@@ -1,0 +1,35 @@
+"""Extension benchmark: how much would asynchronous (pipelined) transfers
+buy?  The paper leaves async transfers to future work; this bounds the
+answer with the overlap model."""
+
+from repro.model.overlap import async_speedup_table
+from repro.net.spec import get_network
+from repro.workloads import MatrixProductCase
+
+
+def _table():
+    case = MatrixProductCase()
+    return {
+        net: async_speedup_table(case, get_network(net), chunks=32)
+        for net in ("GigaE", "10GE", "40GI", "A-HT")
+    }
+
+
+def test_async_overlap_bound(benchmark):
+    tables = benchmark(_table)
+    print("\nasync pipelining speedup bound (MM, 32 chunks)")
+    print("size   " + "  ".join(f"{n:>7s}" for n in tables))
+    sizes = [e.size for e in next(iter(tables.values()))]
+    for i, size in enumerate(sizes):
+        row = "  ".join(f"{tables[n][i].speedup:7.3f}" for n in tables)
+        print(f"{size:6d} {row}")
+    # Shape: pipelining never hurts, and pays more on faster networks
+    # (where the PCIe stage is a comparable share of the copy).
+    for estimates in tables.values():
+        assert all(e.speedup >= 1.0 for e in estimates)
+    last = {net: tables[net][-1].speedup for net in tables}
+    assert last["GigaE"] < last["10GE"] < last["A-HT"]
+    # Even in the best case the bound is modest -- the network, not the
+    # overlap structure, dominates rCUDA's overhead, supporting the
+    # paper's focus on interconnect bandwidth.
+    assert last["A-HT"] < 1.5

@@ -1,0 +1,34 @@
+"""Ablation: Nagle's algorithm on vs off over the TCP segment model.
+
+The paper disables Nagle explicitly.  This benchmark quantifies why: the
+rCUDA request pattern (many small control messages, each needing a reply
+before the next) hits the delayed-ACK pathology, multiplying per-call
+latency by orders of magnitude.
+"""
+
+from repro.net.spec import GIGAE_TCP_MODEL
+from repro.protocol.accounting import table1_from_codec
+
+
+def _control_plane_seconds(nagle: bool) -> float:
+    """One-way time for one of each Table I control message."""
+    model = GIGAE_TCP_MODEL.with_nagle(nagle)
+    sizes = []
+    for cost in table1_from_codec():
+        if not cost.send_has_payload:
+            sizes.append(cost.send_fixed)
+        sizes.append(cost.receive_fixed)
+    return sum(model.one_way_seconds(s) for s in sizes)
+
+
+def test_nagle_ablation(benchmark):
+    t_off = benchmark(_control_plane_seconds, False)
+    t_on = _control_plane_seconds(True)
+    slowdown = t_on / t_off
+    print(
+        f"\ncontrol-plane one-way time: Nagle off {t_off * 1e6:.1f} us, "
+        f"on {t_on * 1e3:.1f} ms -> {slowdown:.0f}x slower with Nagle"
+    )
+    # Shape: sub-MSS messages hit the delayed-ACK timeout; the slowdown
+    # is enormous -- the paper's tuning is not optional.
+    assert slowdown > 100

@@ -1,0 +1,34 @@
+"""Extension benchmark: the GPU-resident break-even analysis (the paper's
+"part of a more complex algorithm" condition for the FFT)."""
+
+from repro.model.amortization import break_even_table
+from repro.net.spec import list_networks
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+def _tables():
+    specs = list(list_networks())
+    return {
+        (case.name, size): break_even_table(case, specs, size)
+        for case in (FftBatchCase(), MatrixProductCase())
+        for size in (case.paper_sizes[0], case.paper_sizes[-1])
+    }
+
+
+def test_break_even_analysis(benchmark):
+    tables = benchmark(_tables)
+    print("\nbreak-even GPU-resident iterations (remote GPU vs 8-core CPU)")
+    for (case, size), table in tables.items():
+        cells = "  ".join(f"{n}:{r}" for n, r in table.items())
+        print(f"{case:3s} size {size:6d}: {cells}")
+    # Shape: the FFT -- hopeless as a one-shot offload -- breaks even
+    # within ~10 GPU-resident iterations on every network, and faster
+    # networks need no more iterations than slower ones.
+    for (case, _size), table in tables.items():
+        values = list(table.values())
+        assert all(r is not None for r in values)
+        if case == "FFT":
+            assert all(1 < r <= 10 for r in values)
+            assert table["GigaE"] >= table["A-HT"]
+        else:
+            assert all(r <= 3 for r in values)  # MM is near-immediate

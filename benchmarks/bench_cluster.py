@@ -1,0 +1,33 @@
+"""Extension benchmark: the GPU provisioning sweep (the paper's motivation
+and declared future work, quantified)."""
+
+from repro.cluster import provisioning_sweep, workload_mix
+from repro.cluster.provisioning import best_by_performance_per_cost
+
+
+def _sweep():
+    jobs = workload_mix(
+        80, network="40GI", mean_interarrival_seconds=5.0, seed=11
+    )
+    return provisioning_sweep(16, jobs, gpu_counts=[1, 2, 4, 8, 16])
+
+
+def test_provisioning_sweep(benchmark):
+    points = benchmark(_sweep)
+    print("\nGPUs  makespan(s)  slowdown  utilization  perf/cost")
+    for p in points:
+        print(
+            f"{p.num_gpus:4d}  {p.makespan_seconds:11.1f}  "
+            f"{p.mean_slowdown:8.2f}  {p.mean_utilization:11.2f}  "
+            f"{p.performance_per_cost:.6f}"
+        )
+    best = best_by_performance_per_cost(points)
+    print(f"best configuration: {best.num_gpus} GPUs for 16 nodes")
+    # Shape: makespan is non-increasing in GPU count, utilization is
+    # non-increasing too, and the cost-efficiency knee is strictly inside
+    # (fewer GPUs than nodes wins) -- the paper's thesis.
+    makespans = [p.makespan_seconds for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(makespans, makespans[1:]))
+    utils = [p.mean_utilization for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(utils, utils[1:]))
+    assert best.num_gpus < 16

@@ -1,0 +1,32 @@
+"""Extension benchmark: per-client slowdown when several applications
+share one GPU server (network + GPU contention, the paper's future work)."""
+
+from repro.cluster.contention import contention_sweep, max_clients_within_slowdown
+from repro.net.spec import get_network
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+def _sweep():
+    out = {}
+    for case, size in ((MatrixProductCase(), 8192), (FftBatchCase(), 8192)):
+        for net in ("GigaE", "40GI"):
+            out[(case.name, net)] = contention_sweep(
+                case, size, get_network(net), max_concurrency=8
+            )
+    return out
+
+
+def test_contention_sweep(benchmark):
+    sweeps = benchmark(_sweep)
+    print("\nper-client slowdown vs concurrency (size 8192)")
+    for (case, net), points in sweeps.items():
+        row = "  ".join(f"{p.slowdown:5.2f}" for p in points)
+        budget = max_clients_within_slowdown(points, 1.0)
+        print(f"{case:3s} over {net:5s}: {row}   (<=2x up to {budget} clients)")
+    for points in sweeps.values():
+        slowdowns = [p.slowdown for p in points]
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[0] == 1.0
+    # Host-side work shields clients partially: 8-way sharing dilates the
+    # MM by less than 8x on every network.
+    assert sweeps[("MM", "40GI")][-1].slowdown < 8.0

@@ -1,0 +1,24 @@
+"""Figure 2 benchmark: trace a real middleware session and regenerate the
+communication sequence diagram."""
+
+from conftest import emit
+
+from repro.experiments.figure2 import record_session
+from repro.experiments.figure2 import run as run_figure2
+
+
+def test_figure2_regeneration(benchmark):
+    exchanges = benchmark.pedantic(record_session, rounds=5, iterations=1)
+    ops = [e.operation for e in exchanges]
+    # Shape: the seven-phase sequence of Section III, as message traffic.
+    assert ops[0] == "Initialization"
+    assert ops.count("cudaMalloc") == 3
+    assert ops.count("cudaMemcpy (to device)") == 2
+    assert ops.count("cudaLaunch") == 1
+    assert ops.count("cudaMemcpy (to host)") == 1
+    assert ops.count("cudaFree") == 3
+    # Table I sizes appear in the live trace.
+    assert exchanges[0].sent_bytes == 21490
+    launch = next(e for e in exchanges if e.operation == "cudaLaunch")
+    assert launch.sent_bytes == 52
+    emit(run_figure2())

@@ -1,0 +1,30 @@
+"""Figure 3 benchmark: GigaE ping-pong characterization."""
+
+from conftest import emit
+
+from repro.experiments.figures34 import run_figure3
+from repro.net.pingpong import run_pingpong
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+
+
+def _pingpong():
+    link = SimulatedLink(
+        get_network("GigaE"), distortion_mode="stochastic", seed=42
+    )
+    return run_pingpong(link, network="GigaE")
+
+
+def test_figure3_regeneration(benchmark):
+    result = benchmark.pedantic(_pingpong, rounds=3, iterations=1)
+    fit = result.large_fit
+    # Shape: the paper's f(n) = 8.9n - 0.3 with corr 1.0 re-emerges, and
+    # the effective bandwidth is ~112.4 MB/s.
+    assert abs(fit.slope_ms_per_mib - 8.9) < 0.05
+    assert abs(fit.intercept_ms + 0.3) < 0.3
+    assert fit.corrcoef > 0.99999
+    assert abs(result.effective_bw_mibps - 112.4) < 1.0
+    # Small packets: non-linear response (the 12-byte delayed-ACK bump).
+    assert result.sample_for(12).mean_one_way_us > \
+        result.sample_for(20).mean_one_way_us
+    emit(run_figure3())

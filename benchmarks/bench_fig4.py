@@ -1,0 +1,27 @@
+"""Figure 4 benchmark: 40GI ping-pong characterization."""
+
+from conftest import emit
+
+from repro.experiments.figures34 import run_figure4
+from repro.net.pingpong import run_pingpong
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+
+
+def _pingpong():
+    link = SimulatedLink(get_network("40GI"), seed=42)
+    return run_pingpong(link, network="40GI")
+
+
+def test_figure4_regeneration(benchmark):
+    result = benchmark.pedantic(_pingpong, rounds=3, iterations=1)
+    fit = result.large_fit
+    # Shape: g(n) = 0.7n + 2.8, corr 1.0, ~1,367 MB/s effective.
+    assert abs(fit.slope_ms_per_mib - 0.7) < 0.01
+    assert abs(fit.intercept_ms - 2.8) < 0.1
+    assert fit.corrcoef > 0.99999
+    assert abs(result.effective_bw_mibps - 1367.1) < 10.0
+    # InfiniBand's small-message response is far flatter than GigaE's:
+    # the 21,490-byte module costs ~81 us here vs ~339 us there.
+    assert result.sample_for(21490).mean_one_way_us < 100
+    emit(run_figure4())

@@ -1,0 +1,30 @@
+"""Figure 5 benchmark: processing-time series under the GigaE model."""
+
+from conftest import emit
+
+from repro.experiments.figures56 import run_figure5
+from repro.experiments.table6 import regenerate
+
+
+def _series(testbed):
+    rows = regenerate("MM", testbed)
+    return rows
+
+
+def test_figure5_regeneration(benchmark, testbed):
+    rows = benchmark(_series, testbed)
+    sizes = [r.size for r in rows]
+    cpu = [r.cpu for r in rows]
+    gigae = [r.gigae for r in rows]
+    aht = [r.gigae_model["A-HT"] for r in rows]
+    # Shape of the left plot: all series grow with m; the CPU crosses
+    # above rCUDA-over-GigaE between m=12288 and m=16384; the HPC-network
+    # estimates track the local GPU closely.
+    assert sizes == sorted(sizes)
+    assert all(a < b for a, b in zip(cpu, cpu[1:]))
+    crossings = [c > g for c, g in zip(cpu, gigae)]
+    assert crossings[0] is False and crossings[-1] is True
+    for r in rows:
+        assert abs(r.gigae_model["A-HT"] - r.gpu) / r.gpu < 0.25
+    assert all(a < c for a, c in zip(aht, cpu))
+    emit(run_figure5())

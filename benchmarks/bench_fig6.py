@@ -1,0 +1,29 @@
+"""Figure 6 benchmark: processing-time series under the 40GI model."""
+
+from conftest import emit
+
+from repro.experiments.figures56 import run_figure6
+from repro.experiments.table6 import regenerate
+
+
+def _series(testbed):
+    return {name: regenerate(name, testbed) for name in ("MM", "FFT")}
+
+
+def test_figure6_regeneration(benchmark, testbed):
+    rows = benchmark(_series, testbed)
+    # Shape: the two models' estimates nearly coincide for the MM's large
+    # transfers ("no major differences between the estimations based on
+    # both models")...
+    for row in rows["MM"][-4:]:
+        for name in row.gigae_model:
+            a, b = row.gigae_model[name], row.ib40_model[name]
+            assert abs(a - b) / b < 0.03
+    # ...but disperse for the FFT's small ones (right plot): the GigaE
+    # model sits visibly above the 40GI model at the smallest batch.
+    first_fft = rows["FFT"][0]
+    assert first_fft.gigae_model["10GE"] > first_fft.ib40_model["10GE"] * 1.2
+    # FFT right plot: every remote estimate sits above the CPU line.
+    for row in rows["FFT"]:
+        assert all(row.cpu < est for est in row.ib40_model.values())
+    emit(run_figure6())

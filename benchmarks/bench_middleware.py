@@ -1,0 +1,65 @@
+"""Middleware micro-benchmarks: per-call round-trip cost and bulk
+throughput through the real stack (codec + transport + handler + device)."""
+
+import numpy as np
+import pytest
+
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import SimulatedGpu, MemcpyKind, fabricate_module
+from repro.simcuda.errors import CudaError
+
+
+@pytest.fixture(scope="module")
+def client():
+    daemon = RCudaDaemon(SimulatedGpu())
+    module = fabricate_module("bench", ["sgemmNN", "saxpy"], 4096)
+    c = RCudaClient.connect_inproc(daemon, module)
+    yield c
+    c.close()
+
+
+def test_malloc_free_roundtrip(benchmark, client):
+    rt = client.runtime
+
+    def malloc_free():
+        err, ptr = rt.cudaMalloc(4096)
+        assert err == CudaError.cudaSuccess
+        rt.cudaFree(ptr)
+
+    benchmark(malloc_free)
+
+
+def test_memcpy_throughput_1mib(benchmark, client):
+    rt = client.runtime
+    payload = np.zeros(1 << 20, dtype=np.uint8)
+    err, ptr = rt.cudaMalloc(payload.nbytes)
+    assert err == CudaError.cudaSuccess
+
+    def h2d():
+        status, _ = rt.cudaMemcpy(
+            ptr, 0, payload.nbytes, MemcpyKind.cudaMemcpyHostToDevice, payload
+        )
+        assert status == CudaError.cudaSuccess
+
+    benchmark(h2d)
+    rt.cudaFree(ptr)
+
+
+def test_kernel_launch_roundtrip(benchmark, client):
+    from repro.simcuda.types import Dim3
+
+    rt = client.runtime
+    err, px = rt.cudaMalloc(4096)
+    assert err == CudaError.cudaSuccess
+    err, py = rt.cudaMalloc(4096)
+    assert err == CudaError.cudaSuccess
+
+    def launch():
+        status = rt.launch_kernel(
+            "saxpy", Dim3(4), Dim3(256), (px, py, 1024, 1.5)
+        )
+        assert status == CudaError.cudaSuccess
+
+    benchmark(launch)
+    rt.cudaFree(px)
+    rt.cudaFree(py)

@@ -1,0 +1,18 @@
+"""Table I benchmark: regenerate the message-size breakdown from the codec."""
+
+from conftest import emit
+
+from repro.experiments.table1 import run as run_table1
+from repro.protocol.accounting import table1_from_codec
+
+
+def test_table1_regeneration(benchmark):
+    costs = benchmark(table1_from_codec)
+    # Shape: the six operations, with the Table I fixed sizes.
+    by_op = {c.operation: c for c in costs}
+    assert by_op["Initialization"].send_fixed == 4
+    assert by_op["cudaMalloc"].send_fixed == 8
+    assert by_op["cudaMemcpy (to device)"].send_fixed == 20
+    assert by_op["cudaLaunch"].send_fixed == 44
+    assert by_op["cudaFree"].receive_fixed == 4
+    emit(run_table1())

@@ -1,0 +1,32 @@
+"""Table II benchmark: symbolic per-call transfer costs for both cases."""
+
+from conftest import emit
+
+from repro.experiments.table2 import run as run_table2
+from repro.model.transfer import table2_symbolic, table2_totals
+from repro.net.spec import get_network
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+def _build():
+    out = {}
+    for case in (MatrixProductCase(), FftBatchCase()):
+        for net in ("GigaE", "40GI"):
+            rows = table2_symbolic(case, get_network(net))
+            out[(case.name, net)] = (rows, table2_totals(rows))
+    return out
+
+
+def test_table2_regeneration(benchmark):
+    tables = benchmark(_build)
+    mm_rows, mm_totals = tables[("MM", "GigaE")]
+    # Shape: the memcpy rows carry the only payload-dependent terms, and
+    # the raw-convention coefficient is slope * bytes-per-unit.
+    payload_rows = [r for r in mm_rows if r.send.coeff or r.receive.coeff]
+    assert {r.operation for r in payload_rows} == {
+        "cudaMemcpy (to device)", "cudaMemcpy (to host)",
+    }
+    assert mm_totals["send"].coeff == 2 * 4 * 8.9  # 71.2
+    fft_rows, fft_totals = tables[("FFT", "40GI")]
+    assert fft_totals["send"].coeff == 4096 * 0.7  # 2867.2
+    emit(run_table2())

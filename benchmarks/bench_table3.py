@@ -1,0 +1,33 @@
+"""Table III benchmark: per-copy transfer times on GigaE and 40GI."""
+
+from conftest import emit
+
+from repro.experiments.table3 import run as run_table3
+from repro.model.transfer import memcpy_transfer_seconds
+from repro.net.spec import get_network
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+def _build():
+    ge, ib = get_network("GigaE"), get_network("40GI")
+    table = {}
+    for case in (MatrixProductCase(), FftBatchCase()):
+        for size in case.paper_sizes:
+            payload = case.payload_bytes(size)
+            table[(case.name, size)] = (
+                memcpy_transfer_seconds(ge, payload),
+                memcpy_transfer_seconds(ib, payload),
+            )
+    return table
+
+
+def test_table3_regeneration(benchmark):
+    table = benchmark(_build)
+    # Shape: 40GI beats GigaE by the bandwidth ratio (~12x) at every size.
+    for (case, size), (t_ge, t_ib) in table.items():
+        assert abs(t_ge / t_ib - 1367.1 / 112.4) < 1e-9
+    # Largest MM copy is ~11.5 s on GigaE, under 1 s on InfiniBand.
+    t_ge, t_ib = table[("MM", 18432)]
+    assert 11.0 < t_ge < 12.0
+    assert t_ib < 1.0
+    emit(run_table3())

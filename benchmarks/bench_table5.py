@@ -1,0 +1,34 @@
+"""Table V benchmark: transfer times on the five HPC target networks."""
+
+from conftest import emit
+
+from repro.experiments.table5 import run as run_table5
+from repro.model.transfer import memcpy_transfer_seconds
+from repro.net.spec import get_network, hpc_networks
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+def _build():
+    table = {}
+    for case in (MatrixProductCase(), FftBatchCase()):
+        for size in case.paper_sizes:
+            payload = case.payload_bytes(size)
+            table[(case.name, size)] = {
+                spec.name: memcpy_transfer_seconds(spec, payload)
+                for spec in hpc_networks()
+            }
+    return table
+
+
+def test_table5_regeneration(benchmark):
+    table = benchmark(_build)
+    # Shape: ordering follows bandwidth (A-HT < F-HT < 10GI < 10GE < Myr).
+    for times in table.values():
+        assert times["A-HT"] < times["F-HT"] < times["10GI"]
+        assert times["10GI"] < times["10GE"] < times["Myr"]
+    # Headline: A-HT cuts GigaE's transfer time by ~96%.
+    payload = MatrixProductCase().payload_bytes(18432)
+    gigae = memcpy_transfer_seconds(get_network("GigaE"), payload)
+    aht = table[("MM", 18432)]["A-HT"]
+    assert 1.0 - aht / gigae > 0.95
+    emit(run_table5())

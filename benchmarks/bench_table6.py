@@ -1,0 +1,38 @@
+"""Table VI benchmark: the full measured-vs-estimated pipeline."""
+
+from conftest import emit
+
+from repro.experiments.table6 import regenerate
+from repro.experiments.table6 import run as run_table6
+
+
+def _build(testbed):
+    return {
+        name: regenerate(name, testbed) for name in ("MM", "FFT")
+    }
+
+
+def test_table6_regeneration(benchmark, testbed):
+    rows = benchmark(_build, testbed)
+
+    mm = rows["MM"]
+    # Paper shape: at m=4096 the local GPU loses to remote 40GI (the
+    # daemon pre-initializes the context)...
+    assert mm[0].gpu > mm[0].ib40
+    # ...and at scale the remote GPU over every HPC network beats the
+    # 8-core CPU.
+    last = mm[-1]
+    assert all(est < last.cpu for est in last.gigae_model.values())
+    assert all(est < last.cpu for est in last.ib40_model.values())
+    # GigaE is the only network where the CPU stays competitive at the
+    # largest sizes.
+    assert last.gigae < last.cpu
+
+    fft = rows["FFT"]
+    # Paper shape: the FFT is not GPU-eligible at all -- the CPU beats
+    # the local GPU, and a fortiori every remote estimate.
+    for row in fft:
+        assert row.cpu < row.gpu
+        assert all(row.cpu < est for est in row.gigae_model.values())
+
+    emit(run_table6())

@@ -1,0 +1,30 @@
+"""Ablation: middleware overhead by transport (in-proc vs real TCP).
+
+Times a full functional MM execution through the real client/server stack
+over both transports, demonstrating the middleware itself (codec, handler,
+device) is cheap relative to the modeled network costs.
+"""
+
+import pytest
+
+from repro.testbed import FunctionalRunner
+from repro.workloads import MatrixProductCase
+
+CASE = MatrixProductCase()
+SIZE = 128
+
+
+@pytest.mark.parametrize("use_tcp", [False, True], ids=["inproc", "tcp"])
+def test_functional_run_by_transport(benchmark, use_tcp):
+    with FunctionalRunner(use_tcp=use_tcp) as runner:
+        report = benchmark.pedantic(
+            lambda: runner.run(CASE, SIZE), rounds=5, iterations=1
+        )
+    assert report.result.verified
+    wall = report.result.wall_seconds
+    virtual_gigae = report.virtual_network_seconds["GigaE"]
+    print(
+        f"\n{'tcp' if use_tcp else 'inproc'}: wall {wall * 1e3:.1f} ms for "
+        f"{report.bytes_sent + report.bytes_received} wire bytes; the same "
+        f"traffic would cost {virtual_gigae * 1e3:.1f} ms on GigaE"
+    )

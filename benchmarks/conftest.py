@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_table*.py`` / ``bench_fig*.py`` regenerates one artifact of
+the paper through :mod:`repro.experiments`, times the regeneration with
+pytest-benchmark, prints the paper-layout rows, and asserts the *shape*
+criteria from DESIGN.md (who wins, error signs, crossovers).  Absolute
+agreement with the published numbers is asserted in the test suite; the
+benchmarks focus on regeneration cost and shape.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.model.calibration import default_calibration  # noqa: E402
+from repro.testbed import SimulatedTestbed  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_calibration():
+    """Fit the calibration once so benchmarks measure steady-state cost."""
+    default_calibration()
+
+
+@pytest.fixture(scope="session")
+def testbed() -> SimulatedTestbed:
+    return SimulatedTestbed()
+
+
+def emit(result) -> None:
+    """Print a regenerated artifact under its experiment id."""
+    print(f"\n===== {result.experiment_id}: {result.title} =====")
+    print(result.text)

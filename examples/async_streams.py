@@ -1,0 +1,111 @@
+"""Asynchronous transfers and streams: the paper's future work, working.
+
+Shows (1) functional ``cudaMemcpyAsync`` + streams through the real
+middleware, (2) the virtual-clock overlap effect (independent streams run
+concurrently on the device), and (3) the overlap model's prediction of
+what pipelined transfers would buy on each interconnect.
+
+Run:  python examples/async_streams.py
+"""
+
+import numpy as np
+
+from repro import RCudaClient, RCudaDaemon, SimulatedGpu, VirtualClock
+from repro.model.overlap import estimate_async_execution
+from repro.net import list_networks
+from repro.reporting import render_table
+from repro.simcuda import CudaRuntime, MemcpyKind, check, fabricate_module
+from repro.workloads import MatrixProductCase
+
+
+def remote_async_demo() -> None:
+    print("== remote cudaMemcpyAsync through the middleware ==")
+    daemon = RCudaDaemon(SimulatedGpu())
+    module = fabricate_module("async_demo", ["saxpy"], 1024)
+    with RCudaClient.connect_inproc(daemon, module) as client:
+        rt = client.runtime
+        n = 1 << 16
+        x = np.random.default_rng(0).standard_normal(n, dtype=np.float32)
+        y = np.zeros(n, dtype=np.float32)
+        err, px = rt.cudaMalloc(x.nbytes); check(err)
+        err, py = rt.cudaMalloc(y.nbytes); check(err)
+        err, stream = rt.cudaStreamCreate(); check(err)
+        # Queue both uploads asynchronously, then synchronize once.
+        for ptr, host in ((px, x), (py, y)):
+            err, _ = rt.cudaMemcpyAsync(
+                ptr, 0, host.nbytes, MemcpyKind.cudaMemcpyHostToDevice,
+                stream=stream, host_data=host,
+            )
+            check(err)
+        check(rt.cudaStreamSynchronize(stream))
+        from repro.simcuda import Dim3
+
+        check(rt.launch_kernel("saxpy", Dim3(256), Dim3(256),
+                               (px, py, n, 2.0), stream=stream))
+        err, raw = rt.cudaMemcpy(0, py, y.nbytes,
+                                 MemcpyKind.cudaMemcpyDeviceToHost)
+        check(err)
+        result = raw.view(np.float32)
+        print(f"  saxpy on {n} elements via async uploads: "
+              f"max |err| = {np.abs(result - 2.0 * x).max():.2e}")
+
+
+def overlap_on_the_virtual_clock() -> None:
+    print("\n== stream overlap on the virtual clock ==")
+    clock = VirtualClock()
+    gpu = SimulatedGpu(clock=clock, functional=False)
+    rt = CudaRuntime(gpu, preinitialized=True)
+    _, ptr = rt.cudaMalloc(64 << 20)
+    payload_bytes = 64 << 20
+
+    # Serial: two synchronous 64 MiB uploads.
+    t0 = clock.now()
+    for _ in range(2):
+        rt.cudaMemcpy(ptr, 0, payload_bytes, MemcpyKind.cudaMemcpyHostToDevice)
+    serial = clock.now() - t0
+
+    # Concurrent: the same two uploads on independent streams.
+    _, s1 = rt.cudaStreamCreate()
+    _, s2 = rt.cudaStreamCreate()
+    t0 = clock.now()
+    rt.cudaMemcpyAsync(ptr, 0, payload_bytes,
+                       MemcpyKind.cudaMemcpyHostToDevice, stream=s1)
+    rt.cudaMemcpyAsync(ptr, 0, payload_bytes,
+                       MemcpyKind.cudaMemcpyHostToDevice, stream=s2)
+    rt.cudaThreadSynchronize()
+    overlapped = clock.now() - t0
+    print(f"  two 64 MiB uploads: serial {serial * 1e3:.1f} ms, "
+          f"independent streams {overlapped * 1e3:.1f} ms")
+    rt.close()
+
+
+def pipelining_predictions() -> None:
+    print("\n== what would pipelined transfers buy? (MM, m = 16384) ==")
+    case = MatrixProductCase()
+    rows = []
+    for spec in list_networks():
+        est = estimate_async_execution(case, 16384, spec, chunks=32)
+        rows.append([
+            spec.name,
+            est.sync_seconds,
+            est.async_seconds,
+            f"{(est.speedup - 1) * 100:.1f}%",
+        ])
+    print(render_table(
+        ["Network", "Sync (s)", "Pipelined (s)", "Gain"], rows,
+    ))
+    print(
+        "  The gain grows with bandwidth (PCIe becomes a comparable pipe)\n"
+        "  but stays modest -- the interconnect, not overlap structure,\n"
+        "  dominates rCUDA's overhead, as the paper's analysis implies."
+    )
+
+
+def main() -> None:
+    remote_async_demo()
+    overlap_on_the_virtual_clock()
+    pipelining_predictions()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro: reproduction of "Performance of CUDA Virtualized Remote GPUs in
+High Performance Clusters" (Duato, Pena, Silla, Mayo, Quintana-Orti;
+ICPP 2011).
+
+The package rebuilds the paper's whole system in Python:
+
+* :mod:`repro.simcuda` -- a software CUDA device and Runtime API
+  (allocator, kernels, streams, timing models);
+* :mod:`repro.rcuda` -- the rCUDA client/server middleware with the exact
+  Table I wire protocol (:mod:`repro.protocol`) over real TCP or
+  in-process transports (:mod:`repro.transport`);
+* :mod:`repro.net` -- interconnect models for the seven networks studied;
+* :mod:`repro.workloads` -- the MM and FFT case studies;
+* :mod:`repro.testbed` -- functional and virtual-clock testbeds;
+* :mod:`repro.model` -- the transfer/fixed-time estimation model;
+* :mod:`repro.cluster` -- the Figure 1 architecture at cluster scale;
+* :mod:`repro.experiments` -- regeneration of every table and figure.
+
+Quick start::
+
+    from repro import SimulatedGpu, RCudaDaemon, RCudaClient
+    from repro.workloads import MatrixProductCase
+
+    case = MatrixProductCase()
+    daemon = RCudaDaemon(SimulatedGpu())
+    with RCudaClient.connect_inproc(daemon, case.module()) as client:
+        result = case.run(client.runtime, size=128)
+        assert result.verified
+"""
+
+from repro.clock import VirtualClock, WallClock
+from repro.errors import ReproError
+from repro.model import default_calibration
+from repro.net import NetworkSpec, get_network, list_networks
+from repro.rcuda import RCudaClient, RCudaDaemon, RemoteCudaRuntime
+from repro.simcuda import CudaRuntime, SimulatedGpu
+from repro.testbed import FunctionalRunner, SimulatedTestbed
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CudaRuntime",
+    "FftBatchCase",
+    "FunctionalRunner",
+    "MatrixProductCase",
+    "NetworkSpec",
+    "RCudaClient",
+    "RCudaDaemon",
+    "RemoteCudaRuntime",
+    "ReproError",
+    "SimulatedGpu",
+    "SimulatedTestbed",
+    "VirtualClock",
+    "WallClock",
+    "__version__",
+    "default_calibration",
+    "get_network",
+    "list_networks",
+]

@@ -1,0 +1,341 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands:
+
+* ``experiment <id>...`` -- regenerate tables/figures (``all`` for every
+  one), printing the paper-layout report and optionally writing text +
+  CSV artifacts;
+* ``pingpong <network>`` -- characterize a simulated link the way
+  Section IV.A characterizes a real one;
+* ``serve`` -- run an rCUDA daemon on a TCP port over a simulated GPU;
+* ``run <case>`` -- one functional remote execution with verification;
+* ``cluster`` -- the provisioning sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENT_IDS, run_experiment, write_result
+
+    ids = args.ids
+    if ids == ["all"]:
+        ids = list(EXPERIMENT_IDS)
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.text)
+        print()
+        if args.outdir:
+            paths = write_result(result, args.outdir)
+            print(f"[wrote {', '.join(str(p) for p in paths)}]")
+    return 0
+
+
+def _cmd_pingpong(args: argparse.Namespace) -> int:
+    from repro.net import SimulatedLink, get_network, run_pingpong
+
+    if args.real:
+        return _real_pingpong()
+    spec = get_network(args.network)
+    link = SimulatedLink(spec, distortion_mode="stochastic", seed=args.seed)
+    result = run_pingpong(link, network=spec.name)
+    print(f"network: {spec.name} ({spec.description})")
+    for sample in result.samples:
+        print(
+            f"  {sample.payload_bytes:>12d} B  "
+            f"mean {sample.mean_one_way_us:10.1f} us  "
+            f"min {sample.min_one_way_seconds * 1e6:10.1f} us"
+        )
+    if result.large_fit is not None:
+        fit = result.large_fit
+        print(
+            f"large-payload fit: t(ms) = {fit.slope_ms_per_mib:.2f} * n_MiB "
+            f"{fit.intercept_ms:+.2f}, corr {fit.corrcoef:.6f}"
+        )
+    print(f"effective one-way bandwidth: {result.effective_bw_mibps:.1f} MiB/s")
+    return 0
+
+
+def _real_pingpong() -> int:
+    """Characterize this machine's loopback TCP with the Section IV.A
+    procedure -- a template for measuring a real two-node network."""
+    import socket
+
+    from repro.net import EchoPeer, characterize_transport
+    from repro.transport.tcp import TcpTransport
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    client_sock = socket.create_connection(("127.0.0.1", port))
+    server_sock, _ = listener.accept()
+    listener.close()
+    peer = EchoPeer(TcpTransport(server_sock)).start()
+    result = characterize_transport(
+        TcpTransport(client_sock), network="loopback-tcp"
+    )
+    peer.join()
+    print("network: loopback TCP (real sockets, real wall clock)")
+    for sample in result.samples:
+        print(
+            f"  {sample.payload_bytes:>12d} B  "
+            f"mean {sample.mean_one_way_us:10.1f} us  "
+            f"min {sample.min_one_way_seconds * 1e6:10.1f} us"
+        )
+    if result.large_fit is not None:
+        fit = result.large_fit
+        print(
+            f"large-payload fit: t(ms) = {fit.slope_ms_per_mib:.4f} * n_MiB "
+            f"{fit.intercept_ms:+.4f}, corr {fit.corrcoef:.6f}"
+        )
+    print(f"effective one-way bandwidth: {result.effective_bw_mibps:.1f} MiB/s")
+    print(
+        "\n(point the same harness at a socket to another machine to "
+        "characterize a real network, then feed the numbers to "
+        "`repro whatif --bandwidth ...`)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.rcuda import RCudaDaemon
+    from repro.simcuda import SimulatedGpu
+
+    daemon = RCudaDaemon(SimulatedGpu(), host=args.host, port=args.port)
+    port = daemon.start()
+    print(f"rCUDA daemon listening on {args.host}:{port} (Ctrl-C to stop)")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nstopping")
+        daemon.stop()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.testbed import FunctionalRunner
+    from repro.testbed.simulated import case_by_name
+
+    case = case_by_name(args.case.upper())
+    with FunctionalRunner(use_tcp=args.tcp) as runner:
+        report = runner.run(case, args.size, seed=args.seed)
+    result = report.result
+    print(
+        f"{case.name} size {args.size}: verified={result.verified} "
+        f"(max |err| {result.max_abs_error:.3g}), "
+        f"wall {result.wall_seconds * 1e3:.1f} ms, "
+        f"{report.bytes_sent + report.bytes_received} wire bytes in "
+        f"{report.messages_sent} messages"
+    )
+    for network, seconds in report.virtual_network_seconds.items():
+        print(f"  virtual network time on {network}: {seconds * 1e3:.2f} ms")
+    return 0 if result.verified else 1
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.model.whatif import custom_network, minimum_viable_bandwidth, what_if
+    from repro.testbed.simulated import case_by_name
+
+    case = case_by_name(args.case.upper())
+    spec = custom_network(
+        "what-if", args.bandwidth, base_latency_us=args.base_latency_us
+    )
+    report = what_if(case, args.size, spec)
+    print(
+        f"{case.name} size {args.size} over a {args.bandwidth:.0f} MiB/s "
+        f"network (base latency {args.base_latency_us} us):"
+    )
+    print(f"  predicted rCUDA execution: {report.predicted_seconds:.3f} s")
+    print(f"  per-copy transfer:         {report.per_copy_transfer_seconds * 1e3:.1f} ms")
+    print(f"  local GPU:                 {report.local_gpu_seconds:.3f} s "
+          f"({100 * report.slowdown_vs_local_gpu:+.1f}% vs remote)")
+    print(f"  8-core CPU:                {report.local_cpu_seconds:.3f} s "
+          f"({report.speedup_vs_cpu:.2f}x remote speedup)")
+    print(f"  worthwhile vs CPU:         {'yes' if report.worthwhile else 'no'}")
+    from repro.errors import ConfigurationError
+
+    try:
+        threshold = minimum_viable_bandwidth(
+            case, args.size, max_slowdown_vs_gpu=args.budget
+        )
+    except ConfigurationError:
+        # A legitimate finding, not a failure: no interconnect can meet
+        # the budget because the network is not the bottleneck (the
+        # paper's verdict on the FFT).
+        print(
+            f"  min bandwidth for <={100 * args.budget:.0f}% slowdown vs "
+            "local GPU: none -- the remoting overhead itself exceeds the "
+            "budget; no interconnect can fix this workload"
+        )
+    else:
+        print(
+            f"  min bandwidth for <={100 * args.budget:.0f}% slowdown vs "
+            f"local GPU: {threshold:.0f} MiB/s"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import (
+        all_passed,
+        render_scorecard,
+        validate_all,
+    )
+
+    rows = validate_all()
+    print(render_scorecard(rows))
+    return 0 if all_passed(rows) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.reporting import render_table
+    from repro.testbed import SimulatedTestbed
+    from repro.testbed.simulated import case_by_name
+
+    case = case_by_name(args.case.upper())
+    testbed = SimulatedTestbed()
+    run = testbed.measure_remote(case, args.size, args.network)
+    rows = [
+        [phase, seconds * 1e3, 100.0 * seconds / run.total_seconds]
+        for phase, seconds in run.trace.by_phase().items()
+    ]
+    print(
+        render_table(
+            ["Phase", "Time (ms)", "Share (%)"],
+            rows,
+            title=(
+                f"{case.name} size {args.size} over {args.network}: "
+                f"{run.total_seconds:.3f} s total"
+            ),
+            digits=1,
+        )
+    )
+    print(
+        f"\nbreakdown: network {run.trace.network_seconds * 1e3:.1f} ms, "
+        f"device {run.trace.device_seconds * 1e3:.1f} ms, "
+        f"host {run.trace.host_seconds * 1e3:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import provisioning_sweep, workload_mix
+    from repro.cluster.provisioning import best_by_performance_per_cost
+    from repro.reporting import render_table
+
+    jobs = workload_mix(
+        args.jobs,
+        network=args.network,
+        mean_interarrival_seconds=args.interarrival,
+        seed=args.seed,
+    )
+    points = provisioning_sweep(args.nodes, jobs)
+    rows = [
+        [p.num_gpus, p.makespan_seconds, p.mean_response_seconds,
+         p.mean_slowdown, p.mean_utilization, p.cost, p.performance_per_cost]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["GPUs", "Makespan (s)", "Mean resp (s)", "Slowdown",
+             "Utilization", "Cost", "Perf/cost"],
+            rows,
+            title=f"Provisioning sweep: {args.nodes} nodes, {args.jobs} jobs "
+            f"over {args.network}",
+            digits=4,
+        )
+    )
+    best = best_by_performance_per_cost(points)
+    print(f"\nbest performance per cost: {best.num_gpus} GPUs")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="rCUDA ICPP 2011 reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    p.add_argument("ids", nargs="+", help="table1..table6 figure3..figure6, or 'all'")
+    p.add_argument("--outdir", default=None, help="write text + CSV artifacts here")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("pingpong", help="characterize a network link")
+    p.add_argument("network", nargs="?", default="GigaE",
+                   help="GigaE, 40GI, 10GE, 10GI, Myr, F-HT, A-HT")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--real", action="store_true",
+                   help="measure real loopback TCP instead of a model")
+    p.set_defaults(func=_cmd_pingpong)
+
+    p = sub.add_parser("serve", help="run an rCUDA daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8308)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("run", help="one functional remote execution")
+    p.add_argument("case", choices=["mm", "fft", "MM", "FFT"])
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tcp", action="store_true", help="use real TCP sockets")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "whatif",
+        help="predict rCUDA performance on a network you describe",
+    )
+    p.add_argument("case", choices=["mm", "fft", "MM", "FFT"])
+    p.add_argument("--size", type=int, default=12288)
+    p.add_argument("--bandwidth", type=float, required=True,
+                   help="effective one-way bandwidth in MiB/s")
+    p.add_argument("--base-latency-us", type=float, default=5.0)
+    p.add_argument("--budget", type=float, default=0.25,
+                   help="slowdown budget vs a local GPU")
+    p.set_defaults(func=_cmd_whatif)
+
+    p = sub.add_parser(
+        "validate",
+        help="regenerate every artifact and check agreement budgets",
+    )
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("trace", help="phase breakdown of one simulated run")
+    p.add_argument("case", choices=["mm", "fft", "MM", "FFT"])
+    p.add_argument("--size", type=int, default=8192)
+    p.add_argument("--network", default="40GI")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("cluster", help="GPU provisioning sweep")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--jobs", type=int, default=100)
+    p.add_argument("--network", default="40GI")
+    p.add_argument("--interarrival", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_cluster)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The distributed acceleration architecture (Figure 1) at cluster scale.
+
+The paper's motivation: equip only a few nodes with GPUs, let every node
+use them through rCUDA, and trade a small slowdown for large acquisition,
+maintenance and energy savings.  Its future work: scheduling multiple
+applications onto shared GPU servers, and the network contention they
+cause.  This package implements both:
+
+* :mod:`repro.cluster.job` / :mod:`repro.cluster.node` -- workloads and
+  cluster topology;
+* :mod:`repro.cluster.scheduler` -- the global scheduler the paper says a
+  less-GPUs-than-nodes cluster needs, with pluggable placement policies;
+* :mod:`repro.cluster.simulation` -- a discrete-event simulation with
+  processor-sharing GPU servers (rCUDA time-multiplexes sessions, one
+  context per client);
+* :mod:`repro.cluster.provisioning` -- the "how many GPUs does this
+  cluster actually need" sweep, with the paper's energy observation (a
+  GPU may rate 25% of a node's power) as the default cost model.
+"""
+
+from repro.cluster.contention import (
+    ContentionPoint,
+    contention_sweep,
+    max_clients_within_slowdown,
+)
+from repro.cluster.job import GpuJob, JobOutcome, workload_mix
+from repro.cluster.node import ClusterNode, GpuServer, build_cluster
+from repro.cluster.provisioning import ProvisioningPoint, provisioning_sweep
+from repro.cluster.scheduler import (
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+)
+from repro.cluster.phased import (
+    PhasedClusterSimulation,
+    PhasedJob,
+    PhasedReport,
+    phased_job_from_testbed,
+)
+from repro.cluster.simulation import ClusterSimulation, SimulationReport
+from repro.cluster.topology import ClusterTopology, topology_contention_report
+
+__all__ = [
+    "ClusterNode",
+    "ClusterSimulation",
+    "ClusterTopology",
+    "ContentionPoint",
+    "GpuJob",
+    "GpuServer",
+    "JobOutcome",
+    "LeastLoadedPolicy",
+    "PhasedClusterSimulation",
+    "PhasedJob",
+    "PhasedReport",
+    "phased_job_from_testbed",
+    "PlacementPolicy",
+    "ProvisioningPoint",
+    "provisioning_sweep",
+    "RoundRobinPolicy",
+    "Scheduler",
+    "SimulationReport",
+    "build_cluster",
+    "contention_sweep",
+    "max_clients_within_slowdown",
+    "topology_contention_report",
+    "workload_mix",
+]

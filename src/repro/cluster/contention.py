@@ -1,0 +1,103 @@
+"""Network contention among concurrent rCUDA clients.
+
+Second piece of the paper's future work: "potential network contention
+caused by multiple applications running in a cluster featuring several
+GPGPU servers will also be covered in future work."
+
+Model: a GPU server's link is fair-shared, so ``k`` concurrent sessions
+each see ``bandwidth / k`` during their transfer phases, while compute
+phases (kernel, PCIe, host work) are unaffected by *network* contention
+(GPU sharing is the simulation's processor-sharing model).  The functions
+here predict per-client slowdown under concurrency for any network and
+case study -- the planning analysis behind "how many clients can share one
+GPU server before the link saturates".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.calibration import Calibration, default_calibration
+from repro.model.transfer import small_message_overhead_seconds
+from repro.net.spec import NetworkSpec
+from repro.workloads.base import CaseStudy
+
+
+def contended_bandwidth_mibps(base_mibps: float, flows: int) -> float:
+    """Fair-share bandwidth for one of ``flows`` concurrent transfers."""
+    if flows < 1:
+        raise ModelError(f"flow count must be >= 1, got {flows}")
+    if base_mibps <= 0:
+        raise ModelError(f"bandwidth must be positive, got {base_mibps}")
+    return base_mibps / flows
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """Predicted per-client execution under k-way sharing of one server."""
+
+    concurrency: int
+    per_client_seconds: float
+    solo_seconds: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.per_client_seconds / self.solo_seconds
+
+
+def contended_execution_seconds(
+    case: CaseStudy,
+    size: int,
+    spec: NetworkSpec,
+    concurrency: int,
+    calibration: Calibration | None = None,
+) -> float:
+    """One client's execution time with ``concurrency`` peers on the same
+    GPU server.
+
+    The network phases dilate by the fair-share factor; the device phases
+    (kernel + PCIe) dilate by the GPU's time-multiplexing factor; the
+    client-side host work does not dilate (each client has its own node).
+    """
+    if concurrency < 1:
+        raise ModelError(f"concurrency must be >= 1, got {concurrency}")
+    cal = calibration if calibration is not None else default_calibration()
+    payload = case.payload_bytes(size)
+    net = case.copies_per_run * spec.estimated_transfer_seconds(payload)
+    net += small_message_overhead_seconds(case, size, spec)
+    device = cal.pcie_seconds(case, size) + cal.kernel_seconds(case, size)
+    host = cal.remote_host_seconds(case, size)
+    return host + net * concurrency + device * concurrency
+
+
+def contention_sweep(
+    case: CaseStudy,
+    size: int,
+    spec: NetworkSpec,
+    max_concurrency: int = 8,
+    calibration: Calibration | None = None,
+) -> list[ContentionPoint]:
+    """Per-client slowdown for 1..max_concurrency sharing clients."""
+    cal = calibration if calibration is not None else default_calibration()
+    solo = contended_execution_seconds(case, size, spec, 1, cal)
+    return [
+        ContentionPoint(
+            concurrency=k,
+            per_client_seconds=contended_execution_seconds(
+                case, size, spec, k, cal
+            ),
+            solo_seconds=solo,
+        )
+        for k in range(1, max_concurrency + 1)
+    ]
+
+
+def max_clients_within_slowdown(
+    points: list[ContentionPoint], budget: float
+) -> int:
+    """Largest concurrency whose slowdown stays within ``1 + budget``."""
+    if not points:
+        raise ModelError("empty contention sweep")
+    eligible = [p.concurrency for p in points if p.slowdown <= 1.0 + budget]
+    return max(eligible, default=0)

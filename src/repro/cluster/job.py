@@ -1,0 +1,103 @@
+"""GPU jobs: units of work the cluster scheduler places on GPU servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.testbed.simulated import SimulatedTestbed, case_by_name
+
+
+@dataclass(frozen=True)
+class GpuJob:
+    """One GPU-accelerated execution submitted by some cluster node.
+
+    ``service_seconds`` is the job's demand on an *unshared* GPU server
+    (remote execution time over the cluster's interconnect, straight from
+    the simulated testbed); sharing dilates it.
+    """
+
+    job_id: int
+    case_name: str
+    size: int
+    submit_seconds: float
+    service_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.service_seconds <= 0:
+            raise ConfigurationError(
+                f"job {self.job_id}: service time must be positive"
+            )
+        if self.submit_seconds < 0:
+            raise ConfigurationError(
+                f"job {self.job_id}: submit time must be non-negative"
+            )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Completion record produced by the simulation."""
+
+    job: GpuJob
+    server: str
+    start_seconds: float
+    finish_seconds: float
+
+    @property
+    def response_seconds(self) -> float:
+        return self.finish_seconds - self.job.submit_seconds
+
+    @property
+    def slowdown(self) -> float:
+        """Response time over unshared service time (>= 1)."""
+        return self.response_seconds / self.job.service_seconds
+
+
+def workload_mix(
+    num_jobs: int,
+    network: str = "40GI",
+    mean_interarrival_seconds: float = 10.0,
+    mm_fraction: float = 0.7,
+    seed: int = 0,
+    testbed: SimulatedTestbed | None = None,
+) -> list[GpuJob]:
+    """A seeded random job mix over the paper's problem sizes.
+
+    MM jobs dominate by default (the paper's GPU-worthy workload); FFT
+    jobs model the small offloads that also show up in practice.  Service
+    demands come from the simulated testbed's remote execution times over
+    ``network``.
+    """
+    if num_jobs <= 0:
+        raise ConfigurationError("num_jobs must be positive")
+    if not 0.0 <= mm_fraction <= 1.0:
+        raise ConfigurationError("mm_fraction must lie in [0, 1]")
+    testbed = testbed if testbed is not None else SimulatedTestbed()
+    rng = np.random.default_rng(seed)
+    mm = case_by_name("MM")
+    fft = case_by_name("FFT")
+
+    # Cache service demands per (case, size): the testbed is deterministic.
+    demand: dict[tuple[str, int], float] = {}
+
+    jobs: list[GpuJob] = []
+    t = 0.0
+    for job_id in range(num_jobs):
+        t += float(rng.exponential(mean_interarrival_seconds))
+        case = mm if rng.random() < mm_fraction else fft
+        size = int(rng.choice(case.paper_sizes))
+        key = (case.name, size)
+        if key not in demand:
+            demand[key] = testbed.measure_remote(case, size, network).total_seconds
+        jobs.append(
+            GpuJob(
+                job_id=job_id,
+                case_name=case.name,
+                size=size,
+                submit_seconds=t,
+                service_seconds=demand[key],
+            )
+        )
+    return jobs

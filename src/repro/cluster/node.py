@@ -1,0 +1,90 @@
+"""Cluster topology: nodes, of which a few are GPU servers (Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterNode:
+    """One node; GPU-equipped nodes also run the rCUDA daemon.
+
+    ``gpu_count`` > 1 models a multi-GPU server (the paper's future work:
+    "Scheduling of multiple GPUs being simultaneously accessed by several
+    applications also needs to be addressed").
+    """
+
+    name: str
+    has_gpu: bool = False
+    gpu_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.has_gpu and self.gpu_count < 1:
+            raise ConfigurationError(
+                f"{self.name}: a GPU node needs at least one GPU"
+            )
+
+
+@dataclass
+class GpuServer:
+    """Runtime state of one GPU server during a simulation.
+
+    rCUDA time-multiplexes concurrent sessions over separate GPU
+    contexts; we model that as processor sharing across the server's
+    ``g`` GPUs: with ``k`` active jobs each progresses at rate
+    ``min(1, g / k)`` (k <= g jobs run at full speed on their own
+    device; beyond that the devices are shared).
+    """
+
+    node: ClusterNode
+    active_jobs: set[int] = field(default_factory=set)
+    busy_seconds: float = 0.0
+    served_jobs: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def gpu_count(self) -> int:
+        return self.node.gpu_count
+
+    @property
+    def load(self) -> int:
+        return len(self.active_jobs)
+
+    def rate(self) -> float:
+        """Per-job progress rate under processor sharing over g GPUs."""
+        if not self.active_jobs:
+            return 0.0
+        return min(1.0, self.gpu_count / self.load)
+
+
+def build_cluster(
+    num_nodes: int, num_gpu_servers: int, gpus_per_server: int = 1
+) -> list[ClusterNode]:
+    """A cluster of ``num_nodes`` with the first ``num_gpu_servers``
+    hosting ``gpus_per_server`` GPUs each (the paper's hybrid
+    configuration; one GPU in every node is the fully-equipped
+    baseline)."""
+    if num_nodes <= 0:
+        raise ConfigurationError("a cluster needs at least one node")
+    if not 0 < num_gpu_servers <= num_nodes:
+        raise ConfigurationError(
+            f"GPU server count must be in [1, {num_nodes}], "
+            f"got {num_gpu_servers}"
+        )
+    if gpus_per_server < 1:
+        raise ConfigurationError(
+            f"gpus_per_server must be >= 1, got {gpus_per_server}"
+        )
+    return [
+        ClusterNode(
+            name=f"node{i:03d}",
+            has_gpu=i < num_gpu_servers,
+            gpu_count=gpus_per_server if i < num_gpu_servers else 0,
+        )
+        for i in range(num_nodes)
+    ]

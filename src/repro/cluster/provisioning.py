@@ -1,0 +1,110 @@
+"""GPU provisioning: how many accelerators does the cluster need?
+
+The paper's economic argument, quantified: sweep the number of GPU
+servers from 1 to the node count, run the same workload through the
+cluster simulation, and report performance against an acquisition +
+energy cost model (the paper notes a GPU "may well rate 25% of [the
+power] of an HPC node").  The knee of the resulting curve is the
+configuration the paper advocates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.job import GpuJob
+from repro.cluster.node import build_cluster
+from repro.cluster.scheduler import LeastLoadedPolicy, PlacementPolicy
+from repro.cluster.simulation import ClusterSimulation
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative cluster cost: nodes plus their accelerators.
+
+    Defaults: a node costs 1.0 unit; a GPU adds 0.25 (the paper's power
+    observation used as the energy proxy) plus 0.35 acquisition -- the
+    absolute numbers matter less than the trend, and both are
+    constructor-tunable.
+    """
+
+    node_cost: float = 1.0
+    gpu_energy_cost: float = 0.25
+    gpu_acquisition_cost: float = 0.35
+
+    def cluster_cost(self, num_nodes: int, num_gpus: int) -> float:
+        per_gpu = self.gpu_energy_cost + self.gpu_acquisition_cost
+        return num_nodes * self.node_cost + num_gpus * per_gpu
+
+
+@dataclass(frozen=True)
+class ProvisioningPoint:
+    """One configuration of the sweep."""
+
+    num_nodes: int
+    num_gpus: int
+    makespan_seconds: float
+    mean_response_seconds: float
+    mean_slowdown: float
+    mean_utilization: float
+    cost: float
+
+    @property
+    def performance_per_cost(self) -> float:
+        """Throughput proxy (1/makespan) per cost unit."""
+        return 1.0 / (self.makespan_seconds * self.cost)
+
+
+def provisioning_sweep(
+    num_nodes: int,
+    jobs: Sequence[GpuJob],
+    gpu_counts: Sequence[int] | None = None,
+    policy_factory=LeastLoadedPolicy,
+    cost_model: CostModel | None = None,
+    gpus_per_server: int = 1,
+) -> list[ProvisioningPoint]:
+    """Evaluate the workload under different GPU-server counts.
+
+    ``policy_factory`` builds a fresh policy per configuration (policies
+    such as round-robin carry state).  ``gpus_per_server`` > 1 sweeps
+    multi-GPU server configurations (the paper's future work); the cost
+    model then charges ``servers * gpus_per_server`` accelerators.
+    """
+    if num_nodes <= 0:
+        raise ConfigurationError("num_nodes must be positive")
+    cost_model = cost_model if cost_model is not None else CostModel()
+    if gpu_counts is None:
+        gpu_counts = sorted(
+            {1, max(1, num_nodes // 8), max(1, num_nodes // 4),
+             max(1, num_nodes // 2), num_nodes}
+        )
+    points: list[ProvisioningPoint] = []
+    for num_servers in gpu_counts:
+        cluster = build_cluster(num_nodes, num_servers, gpus_per_server)
+        policy: PlacementPolicy = policy_factory()
+        report = ClusterSimulation(cluster, policy).run(jobs)
+        mean_util = sum(report.utilization.values()) / len(report.utilization)
+        total_gpus = num_servers * gpus_per_server
+        points.append(
+            ProvisioningPoint(
+                num_nodes=num_nodes,
+                num_gpus=total_gpus,
+                makespan_seconds=report.makespan_seconds,
+                mean_response_seconds=report.mean_response_seconds,
+                mean_slowdown=report.mean_slowdown,
+                mean_utilization=mean_util,
+                cost=cost_model.cluster_cost(num_nodes, total_gpus),
+            )
+        )
+    return points
+
+
+def best_by_performance_per_cost(
+    points: Sequence[ProvisioningPoint],
+) -> ProvisioningPoint:
+    """The sweep's knee under the throughput-per-cost metric."""
+    if not points:
+        raise ConfigurationError("empty sweep")
+    return max(points, key=lambda p: p.performance_per_cost)

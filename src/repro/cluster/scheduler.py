@@ -1,0 +1,87 @@
+"""The global scheduler.
+
+"A configuration where not all the nodes in the cluster have an
+accelerator ... requires a global scheduler to map tasks to nodes
+according to their hardware requirements" -- unless GPUs are virtualized,
+in which case the scheduler's job shrinks to picking *which* GPU server a
+session should talk to.  That is the decision implemented here, with
+pluggable policies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.job import GpuJob
+from repro.cluster.node import GpuServer
+from repro.errors import SchedulerError
+
+
+class PlacementPolicy(ABC):
+    """Chooses a GPU server for an arriving session."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def pick(self, servers: Sequence[GpuServer], job: GpuJob) -> GpuServer:
+        """Return the chosen server (servers is non-empty)."""
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Cycle through the servers regardless of load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, servers: Sequence[GpuServer], job: GpuJob) -> GpuServer:
+        server = servers[self._next % len(servers)]
+        self._next += 1
+        return server
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Send the session to the server with the fewest active jobs."""
+
+    name = "least-loaded"
+
+    def pick(self, servers: Sequence[GpuServer], job: GpuJob) -> GpuServer:
+        return min(servers, key=lambda s: (s.load, s.name))
+
+
+class RandomPolicy(PlacementPolicy):
+    """Uniform random placement (seeded)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def pick(self, servers: Sequence[GpuServer], job: GpuJob) -> GpuServer:
+        return servers[int(self._rng.integers(len(servers)))]
+
+
+class Scheduler:
+    """Applies a policy over the cluster's GPU servers."""
+
+    def __init__(
+        self, servers: Sequence[GpuServer], policy: PlacementPolicy | None = None
+    ) -> None:
+        if not servers:
+            raise SchedulerError(
+                "the cluster has no GPU servers; nothing can host a session"
+            )
+        self.servers = list(servers)
+        self.policy = policy if policy is not None else LeastLoadedPolicy()
+
+    def place(self, job: GpuJob) -> GpuServer:
+        server = self.policy.pick(self.servers, job)
+        if server not in self.servers:
+            raise SchedulerError(
+                f"policy {self.policy.name!r} returned a foreign server"
+            )
+        return server

@@ -1,0 +1,162 @@
+"""Discrete-event cluster simulation with processor-sharing GPU servers.
+
+Each GPU server runs its ``k`` active sessions at per-job rate
+``min(1, g/k)`` for ``g`` on-board GPUs (rCUDA's time-multiplexing over
+per-session contexts; ``g = 1`` is the paper's configuration); events are
+job arrivals and completions.  The simulation is exact for this model:
+between events, every active job on a server progresses linearly, so the
+next completion time per server is a simple minimum over remaining work.
+
+For phase-resolved simulation (network vs GPU contention separated, with
+fabric topologies) see :mod:`repro.cluster.phased`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.job import GpuJob, JobOutcome
+from repro.cluster.node import ClusterNode, GpuServer
+from repro.cluster.scheduler import PlacementPolicy, Scheduler
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Aggregate results of one run."""
+
+    outcomes: tuple[JobOutcome, ...]
+    makespan_seconds: float
+    mean_response_seconds: float
+    max_response_seconds: float
+    mean_slowdown: float
+    #: server name -> busy fraction over the makespan.
+    utilization: dict[str, float]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.outcomes)
+
+
+@dataclass
+class _ActiveJob:
+    job: GpuJob
+    server: GpuServer
+    start: float
+    remaining: float
+
+
+class ClusterSimulation:
+    """One cluster + one scheduler policy, simulating a job list."""
+
+    def __init__(
+        self,
+        nodes: Sequence[ClusterNode],
+        policy: PlacementPolicy | None = None,
+    ) -> None:
+        gpu_nodes = [n for n in nodes if n.has_gpu]
+        if not gpu_nodes:
+            raise ConfigurationError("the cluster has no GPU nodes")
+        self.nodes = list(nodes)
+        self.servers = [GpuServer(node=n) for n in gpu_nodes]
+        self.scheduler = Scheduler(self.servers, policy)
+
+    def run(self, jobs: Sequence[GpuJob]) -> SimulationReport:
+        if not jobs:
+            raise ConfigurationError("no jobs to simulate")
+        pending = sorted(jobs, key=lambda j: (j.submit_seconds, j.job_id))
+        arrivals = list(reversed(pending))  # pop() from the end
+        active: dict[int, _ActiveJob] = {}
+        per_server: dict[str, list[_ActiveJob]] = {
+            s.name: [] for s in self.servers
+        }
+        outcomes: list[JobOutcome] = []
+        now = 0.0
+
+        def next_completion() -> tuple[float, _ActiveJob] | None:
+            best: tuple[float, _ActiveJob] | None = None
+            for server in self.servers:
+                jobs_here = per_server[server.name]
+                if not jobs_here:
+                    continue
+                rate = min(1.0, server.gpu_count / len(jobs_here))
+                soonest = min(jobs_here, key=lambda a: (a.remaining, a.job.job_id))
+                # Clamp float drift: remaining work can underflow to a
+                # tiny negative after many fractional-rate decrements.
+                t = now + max(soonest.remaining, 0.0) / rate
+                if best is None or t < best[0]:
+                    best = (t, soonest)
+            return best
+
+        def advance_to(t: float) -> None:
+            nonlocal now
+            dt = t - now
+            if dt < 0:
+                if dt < -1e-9 * max(1.0, now):
+                    raise ConfigurationError(
+                        "simulation time went backwards"
+                    )
+                dt = 0.0
+                t = now
+            for server in self.servers:
+                jobs_here = per_server[server.name]
+                if jobs_here:
+                    rate = min(1.0, server.gpu_count / len(jobs_here))
+                    for a in jobs_here:
+                        a.remaining -= dt * rate
+                    # Busy time counts device-seconds actually consumed,
+                    # normalized per GPU so utilization stays in [0, 1].
+                    consumed = dt * rate * len(jobs_here)
+                    server.busy_seconds += consumed / server.gpu_count
+            now = t
+
+        while arrivals or active:
+            completion = next_completion()
+            next_arrival = arrivals[-1].submit_seconds if arrivals else None
+            if next_arrival is not None and (
+                completion is None or next_arrival <= completion[0]
+            ):
+                advance_to(next_arrival)
+                job = arrivals.pop()
+                server = self.scheduler.place(job)
+                entry = _ActiveJob(
+                    job=job, server=server, start=now, remaining=job.service_seconds
+                )
+                active[job.job_id] = entry
+                per_server[server.name].append(entry)
+                server.active_jobs.add(job.job_id)
+            else:
+                assert completion is not None
+                t, entry = completion
+                advance_to(t)
+                # Guard against float drift: clamp the finished job.
+                entry.remaining = 0.0
+                per_server[entry.server.name].remove(entry)
+                entry.server.active_jobs.discard(entry.job.job_id)
+                entry.server.served_jobs += 1
+                del active[entry.job.job_id]
+                outcomes.append(
+                    JobOutcome(
+                        job=entry.job,
+                        server=entry.server.name,
+                        start_seconds=entry.start,
+                        finish_seconds=now,
+                    )
+                )
+
+        makespan = max(o.finish_seconds for o in outcomes)
+        responses = [o.response_seconds for o in outcomes]
+        slowdowns = [o.slowdown for o in outcomes]
+        utilization = {
+            s.name: (s.busy_seconds / makespan if makespan > 0 else 0.0)
+            for s in self.servers
+        }
+        return SimulationReport(
+            outcomes=tuple(sorted(outcomes, key=lambda o: o.job.job_id)),
+            makespan_seconds=makespan,
+            mean_response_seconds=sum(responses) / len(responses),
+            max_response_seconds=max(responses),
+            mean_slowdown=sum(slowdowns) / len(slowdowns),
+            utilization=utilization,
+        )

@@ -1,0 +1,194 @@
+"""Cluster network topologies and path-level contention.
+
+The paper's future work: analyze rCUDA "over a wide range of
+applications, cluster configurations, and network topologies".  This
+module models the topology part: the cluster's switching fabric is a
+capacitated graph (networkx), each client->GPU-server session is a flow
+along its shortest path, and a flow's achievable bandwidth is its
+min-share across the links it traverses:
+
+    rate(flow) = min over links L on path of capacity(L) / flows(L)
+
+(the standard bottleneck-share approximation of max-min fairness; exact
+water-filling would only raise non-bottleneck flows, so the numbers here
+are conservative).  Capacities are relative to one NIC (1.0 = the
+network's full effective bandwidth), so a rate of 0.25 means the session
+sees a quarter of the Table III/V bandwidth for its transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import ConfigurationError, ModelError
+from repro.model.calibration import Calibration, default_calibration
+from repro.model.transfer import small_message_overhead_seconds
+from repro.net.spec import NetworkSpec
+from repro.workloads.base import CaseStudy
+
+#: A session is a (client node, server node) pair.
+Flow = tuple[str, str]
+
+
+class ClusterTopology:
+    """A capacitated switching fabric over named cluster nodes."""
+
+    def __init__(self, graph: nx.Graph, node_names: list[str]) -> None:
+        for name in node_names:
+            if name not in graph:
+                raise ConfigurationError(f"node {name!r} missing from graph")
+        for _u, _v, data in graph.edges(data=True):
+            if data.get("capacity", 0) <= 0:
+                raise ConfigurationError("every link needs a positive capacity")
+        self.graph = graph
+        self.node_names = list(node_names)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def star(cls, node_names: list[str], core_capacity: float | None = None
+             ) -> "ClusterTopology":
+        """All nodes on one switch.
+
+        ``core_capacity`` bounds the switch backplane in NIC units
+        (None = non-blocking).  Each node's uplink has capacity 1.0.
+        """
+        if not node_names:
+            raise ConfigurationError("a topology needs at least one node")
+        g = nx.Graph()
+        g.add_node("switch0")
+        for name in node_names:
+            g.add_edge(name, "switch0", capacity=1.0)
+        if core_capacity is not None:
+            # Model the backplane bound as a link to a virtual core that
+            # inter-switch traffic would cross; a single switch has none,
+            # so a finite backplane is expressed by splitting the switch.
+            if core_capacity <= 0:
+                raise ConfigurationError("core capacity must be positive")
+        return cls(g, node_names)
+
+    @classmethod
+    def two_level_tree(
+        cls,
+        node_names: list[str],
+        nodes_per_switch: int,
+        uplink_capacity: float = 4.0,
+    ) -> "ClusterTopology":
+        """Edge switches of ``nodes_per_switch`` nodes under one core.
+
+        ``uplink_capacity`` is each edge switch's uplink in NIC units;
+        uplink_capacity < nodes_per_switch is an oversubscribed fabric,
+        the configuration where topology actually bites.
+        """
+        if not node_names:
+            raise ConfigurationError("a topology needs at least one node")
+        if nodes_per_switch <= 0:
+            raise ConfigurationError("nodes_per_switch must be positive")
+        if uplink_capacity <= 0:
+            raise ConfigurationError("uplink capacity must be positive")
+        g = nx.Graph()
+        g.add_node("core")
+        for i, name in enumerate(node_names):
+            switch = f"edge{i // nodes_per_switch}"
+            if switch not in g:
+                g.add_edge(switch, "core", capacity=uplink_capacity)
+            g.add_edge(name, switch, capacity=1.0)
+        return cls(g, node_names)
+
+    # -- flow analysis ---------------------------------------------------------
+
+    def path_links(self, flow: Flow) -> list[tuple[str, str]]:
+        """The links a session's traffic traverses (shortest path)."""
+        client, server = flow
+        if client == server:
+            return []
+        try:
+            path = nx.shortest_path(self.graph, client, server)
+        except (nx.NodeNotFound, nx.NetworkXNoPath) as exc:
+            raise ModelError(f"no path for flow {flow}") from exc
+        return list(zip(path, path[1:]))
+
+    def flow_rates(self, flows: list[Flow]) -> dict[int, float]:
+        """Min-share bandwidth fraction per flow (keyed by list index).
+
+        Local flows (client == server: the application happens to run on
+        the GPU node) never touch the network and get rate 1.0.
+        """
+        link_load: dict[frozenset, int] = {}
+        paths: dict[int, list[frozenset]] = {}
+        for i, flow in enumerate(flows):
+            links = [frozenset(edge) for edge in self.path_links(flow)]
+            paths[i] = links
+            for link in links:
+                link_load[link] = link_load.get(link, 0) + 1
+        rates: dict[int, float] = {}
+        for i, links in paths.items():
+            if not links:
+                rates[i] = 1.0
+                continue
+            rates[i] = min(
+                self._capacity(link) / link_load[link] for link in links
+            )
+        return rates
+
+    def _capacity(self, link: frozenset) -> float:
+        u, v = tuple(link)
+        return self.graph.edges[u, v]["capacity"]
+
+    def bisection_flows(self) -> int:
+        """Number of compute nodes (upper bound on concurrent NIC flows)."""
+        return len(self.node_names)
+
+
+@dataclass(frozen=True)
+class TopologySessionEstimate:
+    """Predicted execution for one session under topology contention."""
+
+    flow: Flow
+    bandwidth_fraction: float
+    seconds: float
+
+
+def topology_contention_report(
+    case: CaseStudy,
+    size: int,
+    spec: NetworkSpec,
+    topology: ClusterTopology,
+    flows: list[Flow],
+    calibration: Calibration | None = None,
+) -> list[TopologySessionEstimate]:
+    """Per-session execution estimate for concurrent sessions on a fabric.
+
+    Network time dilates by the flow's min-share factor; device time
+    dilates by the per-server GPU concurrency (as in
+    :mod:`repro.cluster.contention`); host time does not dilate.
+    """
+    if not flows:
+        raise ModelError("at least one session is required")
+    cal = calibration if calibration is not None else default_calibration()
+    rates = topology.flow_rates(flows)
+    server_load: dict[str, int] = {}
+    for _client, server in flows:
+        server_load[server] = server_load.get(server, 0) + 1
+
+    payload = case.payload_bytes(size)
+    net_solo = case.copies_per_run * spec.estimated_transfer_seconds(payload)
+    net_solo += small_message_overhead_seconds(case, size, spec)
+    device = cal.pcie_seconds(case, size) + cal.kernel_seconds(case, size)
+    host = cal.remote_host_seconds(case, size)
+
+    estimates: list[TopologySessionEstimate] = []
+    for i, flow in enumerate(flows):
+        rate = rates[i]
+        gpu_share = server_load[flow[1]]
+        net = 0.0 if rate == 1.0 and flow[0] == flow[1] else net_solo / rate
+        estimates.append(
+            TopologySessionEstimate(
+                flow=flow,
+                bandwidth_fraction=rate,
+                seconds=host + net + device * gpu_share,
+            )
+        )
+    return estimates

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+downstream user can catch a single base class.  The CUDA-side failures are
+additionally mirrored as *status codes* (:mod:`repro.simcuda.errors`) because
+the CUDA Runtime API reports errors by value, not by exception; the
+middleware turns non-zero status codes into on-the-wire error fields exactly
+as the paper's Table I describes ("CUDA error", 4 bytes).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """Malformed or unexpected bytes on the rCUDA wire protocol."""
+
+
+class TransportError(ReproError):
+    """A byte transport failed (connection closed, short read, ...)."""
+
+
+class TransportClosedError(TransportError):
+    """The peer closed the connection mid-message."""
+
+
+class DeviceError(ReproError):
+    """The simulated CUDA device rejected an operation."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Device memory exhaustion or an invalid device pointer."""
+
+
+class KernelError(DeviceError):
+    """Kernel lookup or launch failure."""
+
+
+class ModelError(ReproError):
+    """The estimation model was fed inconsistent inputs."""
+
+
+class CalibrationError(ModelError):
+    """Calibration against the published paper data failed."""
+
+
+class SchedulerError(ReproError):
+    """The cluster scheduler could not place a job."""

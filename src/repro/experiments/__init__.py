@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per table and figure of the paper.
+
+Each ``run()`` regenerates its artifact from the implementation (codec,
+network models, simulated testbed, estimation pipeline), renders it in
+the paper's layout, and attaches ours-vs-paper comparison statistics.
+:mod:`repro.experiments.runner` executes any subset and writes text + CSV
+outputs; the CLI (``python -m repro``) and the benchmark harness both go
+through it.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import run_all, write_result
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentResult",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+    "write_result",
+]

@@ -1,0 +1,37 @@
+"""Common experiment result structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.reporting.compare import ComparisonSummary
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    #: Rendered report (paper-layout tables / ASCII figures + notes).
+    text: str
+    #: Ours-vs-paper statistics, one per compared series.
+    comparisons: list[ComparisonSummary] = field(default_factory=list)
+    #: Named CSV exports: name -> (headers, rows).
+    csv_tables: dict[str, tuple[Sequence[str], Sequence[Sequence]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def worst_rel_diff(self) -> float:
+        return max((c.max_rel_diff for c in self.comparisons), default=0.0)
+
+    def comparison_lines(self) -> str:
+        lines = ["", "ours vs paper:"]
+        for c in self.comparisons:
+            lines.append(
+                f"  {c.label}: max rel diff {100 * c.max_rel_diff:.2f}%, "
+                f"mean {100 * c.mean_rel_diff:.2f}% over {c.count} points"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Figures 3 and 4: end-to-end latency characterization of the measured
+networks, via the ping-pong procedure of Section IV.A.
+
+Small packets: 250 replicates averaged.  Large payloads: minimum of 100
+(which filters the transient TCP window stalls, so the regression
+recovers the clean linear law -- run with the stochastic distortion mode
+for exactly that reason).  The regression and effective bandwidth are
+compared against the published f/g and throughput figures.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.net.pingpong import run_pingpong
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+from repro.paperdata.figures import (
+    FIGURE3_LARGE_REGRESSION,
+    FIGURE4_LARGE_REGRESSION,
+    SMALL_MESSAGE_ANCHORS_40GI,
+    SMALL_MESSAGE_ANCHORS_GIGAE,
+)
+from repro.reporting.ascii_plot import ascii_chart
+from repro.reporting.compare import compare_series
+from repro.reporting.tables import render_table
+from repro.units import MIB
+
+
+def _figure(experiment_id: str, network: str, paper_regression, paper_anchors,
+            paper_bw: float) -> ExperimentResult:
+    spec = get_network(network)
+    link = SimulatedLink(spec, distortion_mode="stochastic", seed=42)
+    result = run_pingpong(link, network=network)
+
+    small = [s for s in result.samples if s.payload_bytes <= 21490]
+    large = [s for s in result.samples if s.payload_bytes > 21490]
+
+    small_rows = [[s.payload_bytes, s.mean_one_way_us] for s in small]
+    large_rows = [[s.payload_bytes / MIB, s.min_one_way_ms] for s in large]
+
+    fit = result.large_fit
+    assert fit is not None
+    fit_note = (
+        f"\nlarge-payload regression: t(ms) = {fit.slope_ms_per_mib:.2f} n "
+        f"{fit.intercept_ms:+.2f}  (paper: {paper_regression['slope']} n "
+        f"{paper_regression['intercept']:+}), corr {fit.corrcoef:.6f}"
+        f"\neffective one-way bandwidth: {result.effective_bw_mibps:.1f} MiB/s "
+        f"(paper: {paper_bw})"
+    )
+
+    anchor_sizes = sorted(paper_anchors)
+    ours_anchor = [spec.small_message_us(b) for b in anchor_sizes]
+    paper_anchor = [paper_anchors[b] for b in anchor_sizes]
+
+    chart_small = ascii_chart(
+        [s.payload_bytes for s in small],
+        {"one-way latency": [s.mean_one_way_us for s in small]},
+        title=f"{network} small packets (us vs bytes)",
+        xlabel="payload bytes",
+        ylabel="us",
+        height=12,
+    )
+    chart_large = ascii_chart(
+        [s.payload_bytes / MIB for s in large],
+        {"one-way latency": [s.min_one_way_ms for s in large]},
+        title=f"{network} large payloads (ms vs MiB)",
+        xlabel="payload MiB",
+        ylabel="ms",
+        height=12,
+    )
+
+    text = "\n\n".join(
+        [
+            render_table(
+                ["Payload (B)", "One-way (us)"],
+                small_rows,
+                title=f"{network} -- small packets (mean of "
+                f"{small[0].replicates})",
+                digits=1,
+            ),
+            chart_small,
+            render_table(
+                ["Payload (MiB)", "One-way (ms)"],
+                large_rows,
+                title=f"{network} -- large payloads (min of "
+                f"{large[0].replicates})",
+                digits=1,
+            ),
+            chart_large,
+        ]
+    ) + fit_note
+
+    comparisons = [
+        compare_series(
+            f"{network} regression (slope, bandwidth)",
+            [fit.slope_ms_per_mib, result.effective_bw_mibps],
+            [paper_regression["slope"], paper_bw],
+        ),
+        compare_series(
+            f"{network} small-message anchors", ours_anchor, paper_anchor
+        ),
+    ]
+    result_obj = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Figure {experiment_id[-1]}: {network} end-to-end latency",
+        text=text,
+        comparisons=comparisons,
+        csv_tables={
+            f"{experiment_id}_small": (
+                ["payload_bytes", "one_way_us"], small_rows
+            ),
+            f"{experiment_id}_large": (
+                ["payload_mib", "one_way_ms"], large_rows
+            ),
+        },
+    )
+    result_obj.text += result_obj.comparison_lines()
+    return result_obj
+
+
+def run_figure3() -> ExperimentResult:
+    return _figure(
+        "figure3", "GigaE", FIGURE3_LARGE_REGRESSION,
+        SMALL_MESSAGE_ANCHORS_GIGAE, paper_bw=112.4,
+    )
+
+
+def run_figure4() -> ExperimentResult:
+    return _figure(
+        "figure4", "40GI", FIGURE4_LARGE_REGRESSION,
+        SMALL_MESSAGE_ANCHORS_40GI, paper_bw=1367.1,
+    )

@@ -1,0 +1,96 @@
+"""Figures 5 and 6: processing times of both case studies across networks,
+as plotted series -- Figure 5 uses the GigaE-derived model, Figure 6 the
+40GI-derived one.  The underlying data is the regenerated Table VI."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table6 import regenerate
+from repro.paperdata.networks import HPC_NETWORK_NAMES
+from repro.paperdata.table6 import TABLE6_FFT, TABLE6_MM
+from repro.reporting.ascii_plot import ascii_chart
+from repro.reporting.compare import compare_series
+from repro.testbed.simulated import SimulatedTestbed
+
+
+def _figure(experiment_id: str, model: str) -> ExperimentResult:
+    """``model`` is ``gigae`` (Figure 5) or ``ib40`` (Figure 6)."""
+    testbed = SimulatedTestbed()
+    blocks: list[str] = []
+    comparisons = []
+    csv_tables = {}
+
+    for case_name, paper_rows, scale, unit in (
+        ("MM", TABLE6_MM, 1.0, "s"),
+        ("FFT", TABLE6_FFT, 1e3, "ms"),
+    ):
+        rows = regenerate(case_name, testbed)
+        sizes = [r.size for r in rows]
+        estimates = {
+            name: [
+                (r.gigae_model if model == "gigae" else r.ib40_model)[name]
+                * scale
+                for r in rows
+            ]
+            for name in HPC_NETWORK_NAMES
+        }
+        series = {
+            "CPU": [r.cpu * scale for r in rows],
+            "GPU": [r.gpu * scale for r in rows],
+            "GigaE": [r.gigae * scale for r in rows],
+            "40GI": [r.ib40 * scale for r in rows],
+            **estimates,
+        }
+        blocks.append(
+            ascii_chart(
+                sizes,
+                series,
+                title=(
+                    f"{case_name} processing time ({unit}), "
+                    f"{'GigaE' if model == 'gigae' else '40GI'} model"
+                ),
+                xlabel="problem size",
+                ylabel=unit,
+                height=18,
+            )
+        )
+        ours_flat: list[float] = []
+        paper_flat: list[float] = []
+        for ours_row, paper_row in zip(rows, paper_rows):
+            model_est = (
+                ours_row.gigae_model if model == "gigae" else ours_row.ib40_model
+            )
+            paper_est = (
+                paper_row.gigae_model if model == "gigae" else paper_row.ib40_model
+            )
+            ours_flat += [model_est[n] * scale for n in HPC_NETWORK_NAMES]
+            paper_flat += list(paper_est)
+        comparisons.append(
+            compare_series(
+                f"{case_name} {model}-model series", ours_flat, paper_flat
+            )
+        )
+        csv_tables[f"{experiment_id}_{case_name.lower()}"] = (
+            ["size", *series.keys()],
+            [[s, *(series[k][i] for k in series)] for i, s in enumerate(sizes)],
+        )
+
+    figure_no = "5" if model == "gigae" else "6"
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Figure {figure_no}: processing times "
+        f"({'GigaE' if model == 'gigae' else '40GI'}-based estimates)",
+        text="\n\n".join(blocks),
+        comparisons=comparisons,
+        csv_tables=csv_tables,
+    )
+    result.text += result.comparison_lines()
+    return result
+
+
+def run_figure5() -> ExperimentResult:
+    return _figure("figure5", "gigae")
+
+
+def run_figure6() -> ExperimentResult:
+    return _figure("figure6", "ib40")

@@ -1,0 +1,49 @@
+"""Experiment registry: id -> driver."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    figure2,
+    figures34,
+    figures56,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.base import ExperimentResult
+
+_REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figure2": figure2.run,
+    "figure3": figures34.run_figure3,
+    "figure4": figures34.run_figure4,
+    "figure5": figures56.run_figure5,
+    "figure6": figures56.run_figure6,
+}
+
+EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENT_IDS)
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    return get_experiment(experiment_id)()

@@ -1,0 +1,38 @@
+"""Run experiments and write their artifacts to disk."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+from repro.reporting.csvout import write_csv
+
+
+def write_result(result: ExperimentResult, outdir: str | Path) -> list[Path]:
+    """Write the text report and every CSV of one experiment."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    text_path = outdir / f"{result.experiment_id}.txt"
+    text_path.write_text(result.text + "\n")
+    paths.append(text_path)
+    for name, (headers, rows) in result.csv_tables.items():
+        paths.append(write_csv(outdir / f"{name}.csv", headers, rows))
+    return paths
+
+
+def run_all(
+    experiment_ids: Iterable[str] | None = None,
+    outdir: str | Path | None = None,
+) -> list[ExperimentResult]:
+    """Run a subset (default: everything) and optionally persist it."""
+    ids = tuple(experiment_ids) if experiment_ids is not None else EXPERIMENT_IDS
+    results: list[ExperimentResult] = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        results.append(result)
+        if outdir is not None:
+            write_result(result, outdir)
+    return results

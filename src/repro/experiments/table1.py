@@ -1,0 +1,69 @@
+"""Table I: breakdown of the remote API messages -- regenerated from the
+protocol codec by encoding real messages and measuring them."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.paperdata.table1 import TABLE1
+from repro.protocol.accounting import table1_from_codec
+from repro.reporting.compare import compare_series
+from repro.reporting.tables import render_table
+
+
+def run() -> ExperimentResult:
+    measured = table1_from_codec()
+
+    def _fmt(fixed: int, has_payload: bool) -> str:
+        return f"x+{fixed}" if has_payload else str(fixed)
+
+    rows = []
+    ours_numbers: list[float] = []
+    paper_numbers: list[float] = []
+    for cost, paper in zip(measured, TABLE1):
+        rows.append(
+            [
+                cost.operation,
+                _fmt(cost.send_fixed, cost.send_has_payload),
+                _fmt(paper.send_fixed_total, paper.send_has_payload),
+                _fmt(cost.receive_fixed, cost.receive_has_payload),
+                _fmt(paper.receive_fixed_total, paper.receive_has_payload),
+            ]
+        )
+        ours_numbers += [
+            cost.send_fixed,
+            float(cost.send_has_payload),
+            cost.receive_fixed,
+            float(cost.receive_has_payload),
+        ]
+        paper_numbers += [
+            paper.send_fixed_total,
+            float(paper.send_has_payload),
+            paper.receive_fixed_total,
+            float(paper.receive_has_payload),
+        ]
+
+    table = render_table(
+        ["Operation", "Send (ours)", "Send (paper)", "Recv (ours)", "Recv (paper)"],
+        rows,
+        title="Table I -- remote API message sizes (bytes; x = payload)",
+    )
+    comparison = compare_series("Table I message sizes", ours_numbers, paper_numbers)
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Table I: breakdown of remote API messages",
+        text=table,
+        comparisons=[comparison],
+        csv_tables={
+            "table1": (
+                ["operation", "send_fixed", "send_has_payload",
+                 "recv_fixed", "recv_has_payload"],
+                [
+                    [c.operation, c.send_fixed, int(c.send_has_payload),
+                     c.receive_fixed, int(c.receive_has_payload)]
+                    for c in measured
+                ],
+            )
+        },
+    )
+    result.text += result.comparison_lines()
+    return result

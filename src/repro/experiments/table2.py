@@ -1,0 +1,121 @@
+"""Table II: estimated transfer times of the remote API calls, in the
+paper's symbolic form, regenerated from the codec's message sizes and the
+network latency models."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.model.transfer import table2_symbolic, table2_totals
+from repro.net.spec import get_network
+from repro.paperdata.table2 import TABLE2
+from repro.reporting.compare import compare_series
+from repro.reporting.tables import render_table
+from repro.testbed.simulated import case_by_name
+
+
+def _entry_str(coeff: float, const: float, unit: str) -> str:
+    if coeff == 0.0:
+        return f"{const:.1f}"
+    return f"{coeff:.1f}{unit} + {const:.1f}"
+
+
+def run() -> ExperimentResult:
+    blocks: list[str] = []
+    comparisons = []
+    csv_rows: list[list] = []
+
+    for case_name, unit in (("MM", "m^2"), ("FFT", "n")):
+        case = case_by_name(case_name)
+        gigae_rows = table2_symbolic(case, get_network("GigaE"))
+        ib_rows = table2_symbolic(case, get_network("40GI"))
+        paper_rows = TABLE2[case_name]["rows"]
+
+        table_rows = []
+        ours_vals: list[float] = []
+        paper_vals: list[float] = []
+        for ge, ib, paper in zip(gigae_rows, ib_rows, paper_rows):
+            mult = f" (x{ge.multiplicity})" if ge.multiplicity > 1 else ""
+            table_rows.append(
+                [
+                    ge.operation + mult,
+                    _entry_str(ge.send.coeff, ge.send.const_us, unit),
+                    _entry_str(ge.receive.coeff, ge.receive.const_us, unit),
+                    _entry_str(ib.send.coeff, ib.send.const_us, unit),
+                    _entry_str(ib.receive.coeff, ib.receive.const_us, unit),
+                ]
+            )
+            csv_rows.append(
+                [case_name, ge.operation, ge.multiplicity,
+                 ge.send.coeff, ge.send.const_us,
+                 ge.receive.coeff, ge.receive.const_us,
+                 ib.send.coeff, ib.send.const_us,
+                 ib.receive.coeff, ib.receive.const_us]
+            )
+            ours_vals += [
+                ge.send.coeff, ge.send.const_us,
+                ge.receive.coeff, ge.receive.const_us,
+                ib.send.coeff, ib.send.const_us,
+                ib.receive.coeff, ib.receive.const_us,
+            ]
+            paper_vals += [
+                paper.gigae_send.coeff, paper.gigae_send.const_us,
+                paper.gigae_receive.coeff, paper.gigae_receive.const_us,
+                paper.ib40_send.coeff, paper.ib40_send.const_us,
+                paper.ib40_receive.coeff, paper.ib40_receive.const_us,
+            ]
+
+        ge_tot = table2_totals(gigae_rows)
+        ib_tot = table2_totals(ib_rows)
+        paper_tot = TABLE2[case_name]["total"]
+        table_rows.append(
+            [
+                "Total",
+                _entry_str(ge_tot["send"].coeff, ge_tot["send"].const_us, unit),
+                _entry_str(ge_tot["receive"].coeff, ge_tot["receive"].const_us, unit),
+                _entry_str(ib_tot["send"].coeff, ib_tot["send"].const_us, unit),
+                _entry_str(ib_tot["receive"].coeff, ib_tot["receive"].const_us, unit),
+            ]
+        )
+        ours_vals += [
+            ge_tot["send"].coeff, ge_tot["send"].const_us,
+            ge_tot["receive"].coeff, ge_tot["receive"].const_us,
+            ib_tot["send"].coeff, ib_tot["send"].const_us,
+            ib_tot["receive"].coeff, ib_tot["receive"].const_us,
+        ]
+        paper_vals += [
+            paper_tot["gigae_send"].coeff, paper_tot["gigae_send"].const_us,
+            paper_tot["gigae_receive"].coeff, paper_tot["gigae_receive"].const_us,
+            paper_tot["ib40_send"].coeff, paper_tot["ib40_send"].const_us,
+            paper_tot["ib40_receive"].coeff, paper_tot["ib40_receive"].const_us,
+        ]
+
+        blocks.append(
+            render_table(
+                ["Operation", "GigaE send", "GigaE recv", "40GI send", "40GI recv"],
+                table_rows,
+                title=f"Table II ({case_name}) -- transfer time entries (us; "
+                f"coefficient term in the paper's raw f/g convention)",
+            )
+        )
+        comparisons.append(
+            compare_series(f"Table II {case_name} entries", ours_vals, paper_vals)
+        )
+
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Table II: estimated transfer times for remote API calls",
+        text="\n\n".join(blocks),
+        comparisons=comparisons,
+        csv_tables={
+            "table2": (
+                ["case", "operation", "multiplicity",
+                 "gigae_send_coeff", "gigae_send_const_us",
+                 "gigae_recv_coeff", "gigae_recv_const_us",
+                 "ib40_send_coeff", "ib40_send_const_us",
+                 "ib40_recv_coeff", "ib40_recv_const_us"],
+                csv_rows,
+            )
+        },
+    )
+    result.text += result.comparison_lines()
+    return result

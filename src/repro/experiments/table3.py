@@ -1,0 +1,62 @@
+"""Table III: per-memcpy transfer times on the measured networks, from
+payload size over effective bandwidth."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.model.transfer import memcpy_transfer_seconds
+from repro.net.spec import get_network
+from repro.paperdata.table3 import TABLE3_FFT, TABLE3_MM
+from repro.reporting.compare import compare_series
+from repro.reporting.tables import render_table
+from repro.testbed.simulated import case_by_name
+from repro.units import bytes_to_mib, seconds_to_ms
+
+
+def run() -> ExperimentResult:
+    specs = [get_network("GigaE"), get_network("40GI")]
+    blocks: list[str] = []
+    comparisons = []
+    csv_rows: list[list] = []
+
+    for case_name, paper_rows in (("MM", TABLE3_MM), ("FFT", TABLE3_FFT)):
+        case = case_by_name(case_name)
+        rows = []
+        ours_flat: list[float] = []
+        paper_flat: list[float] = []
+        for paper in paper_rows:
+            payload = case.payload_bytes(paper.size)
+            times_ms = [
+                seconds_to_ms(memcpy_transfer_seconds(spec, payload))
+                for spec in specs
+            ]
+            rows.append([paper.size, bytes_to_mib(payload), *times_ms])
+            csv_rows.append([case_name, paper.size, bytes_to_mib(payload), *times_ms])
+            ours_flat += [bytes_to_mib(payload), *times_ms]
+            paper_flat += [paper.data_mib, paper.gigae_ms, paper.ib40_ms]
+        blocks.append(
+            render_table(
+                ["Size", "Data (MiB)", "GigaE (ms)", "40GI (ms)"],
+                rows,
+                title=f"Table III ({case_name}) -- per-copy transfer time",
+                digits=1,
+            )
+        )
+        comparisons.append(
+            compare_series(f"Table III {case_name}", ours_flat, paper_flat)
+        )
+
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Table III: estimated transfer times per memory copy",
+        text="\n\n".join(blocks),
+        comparisons=comparisons,
+        csv_tables={
+            "table3": (
+                ["case", "size", "data_mib", "gigae_ms", "ib40_ms"],
+                csv_rows,
+            )
+        },
+    )
+    result.text += result.comparison_lines()
+    return result

@@ -1,0 +1,94 @@
+"""Table IV: cross-validation of the estimation models, from simulated
+testbed measurements on GigaE and 40GI."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.model.crossval import cross_validate
+from repro.net.spec import get_network
+from repro.paperdata.table4 import TABLE4_FFT, TABLE4_MM
+from repro.reporting.compare import compare_series
+from repro.reporting.tables import render_table
+from repro.testbed.simulated import SimulatedTestbed, case_by_name
+
+
+def run() -> ExperimentResult:
+    testbed = SimulatedTestbed()
+    spec_ge = get_network("GigaE")
+    spec_ib = get_network("40GI")
+    blocks: list[str] = []
+    comparisons = []
+    csv_rows: list[list] = []
+
+    for case_name, paper_rows, scale, unit in (
+        ("MM", TABLE4_MM, 1.0, "s"),
+        ("FFT", TABLE4_FFT, 1e3, "ms"),
+    ):
+        case = case_by_name(case_name)
+        measured_ge = testbed.measured_column(case, "GigaE")
+        measured_ib = testbed.measured_column(case, "40GI")
+        rows = cross_validate(case, measured_ge, measured_ib, spec_ge, spec_ib)
+
+        table_rows = []
+        ours_err: list[float] = []
+        paper_err: list[float] = []
+        ours_meas: list[float] = []
+        paper_meas: list[float] = []
+        for ours, paper in zip(rows, paper_rows):
+            table_rows.append(
+                [
+                    ours.size,
+                    ours.measured_a * scale,
+                    ours.fixed_a * scale,
+                    ours.estimated_b_from_a * scale,
+                    ours.error_a_model_pct,
+                    ours.measured_b * scale,
+                    ours.fixed_b * scale,
+                    ours.estimated_a_from_b * scale,
+                    ours.error_b_model_pct,
+                ]
+            )
+            csv_rows.append([case_name, *table_rows[-1]])
+            ours_err += [ours.error_a_model_pct, ours.error_b_model_pct]
+            paper_err += [paper.error_gigae_model_pct, paper.error_ib40_model_pct]
+            ours_meas += [ours.measured_a * scale, ours.measured_b * scale]
+            paper_meas += [paper.measured_gigae, paper.measured_ib40]
+
+        blocks.append(
+            render_table(
+                ["Size", f"GigaE meas ({unit})", "Fixed", "Est 40GI", "Err %",
+                 f"40GI meas ({unit})", "Fixed", "Est GigaE", "Err %"],
+                table_rows,
+                title=f"Table IV ({case_name}) -- cross-validation",
+            )
+        )
+        comparisons.append(
+            compare_series(f"Table IV {case_name} measured", ours_meas, paper_meas)
+        )
+        comparisons.append(
+            compare_series(
+                # Error columns are themselves percentages: compare in
+                # absolute points, where sign agreement is the real test.
+                f"Table IV {case_name} errors (abs pts/100)",
+                [e / 100.0 for e in ours_err],
+                [e / 100.0 for e in paper_err],
+                absolute=True,
+            )
+        )
+
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="Table IV: cross-validation of both estimation models",
+        text="\n\n".join(blocks),
+        comparisons=comparisons,
+        csv_tables={
+            "table4": (
+                ["case", "size", "measured_gigae", "fixed_gigae",
+                 "est_ib40", "err_gigae_model_pct", "measured_ib40",
+                 "fixed_ib40", "est_gigae", "err_ib40_model_pct"],
+                csv_rows,
+            )
+        },
+    )
+    result.text += result.comparison_lines()
+    return result

@@ -1,0 +1,94 @@
+"""Table VI: measured vs estimated execution times over all networks."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.model.hpc import Table6Result, build_table6
+from repro.paperdata.networks import HPC_NETWORK_NAMES
+from repro.paperdata.table6 import TABLE6_FFT, TABLE6_MM
+from repro.reporting.compare import compare_series
+from repro.reporting.tables import render_table
+from repro.testbed.simulated import SimulatedTestbed, case_by_name
+
+
+def regenerate(case_name: str, testbed: SimulatedTestbed | None = None) -> list[Table6Result]:
+    """The regenerated Table VI rows for one case study (seconds)."""
+    testbed = testbed if testbed is not None else SimulatedTestbed()
+    case = case_by_name(case_name)
+    cpu, gpu, gigae, ib40 = testbed.table6_inputs(case)
+    return build_table6(case, cpu, gpu, gigae, ib40)
+
+
+def run() -> ExperimentResult:
+    testbed = SimulatedTestbed()
+    blocks: list[str] = []
+    comparisons = []
+    csv_rows: list[list] = []
+
+    for case_name, paper_rows, scale, unit in (
+        ("MM", TABLE6_MM, 1.0, "s"),
+        ("FFT", TABLE6_FFT, 1e3, "ms"),
+    ):
+        rows = regenerate(case_name, testbed)
+        table_rows = []
+        ours_flat: list[float] = []
+        paper_flat: list[float] = []
+        for ours, paper in zip(rows, paper_rows):
+            ge_est = [ours.gigae_model[n] * scale for n in HPC_NETWORK_NAMES]
+            ib_est = [ours.ib40_model[n] * scale for n in HPC_NETWORK_NAMES]
+            table_rows.append(
+                [
+                    ours.size,
+                    ours.cpu * scale,
+                    ours.gpu * scale,
+                    ours.gigae * scale,
+                    ours.ib40 * scale,
+                    *ge_est,
+                    *ib_est,
+                ]
+            )
+            csv_rows.append([case_name, *table_rows[-1]])
+            ours_flat += [
+                ours.cpu * scale, ours.gpu * scale,
+                ours.gigae * scale, ours.ib40 * scale,
+                *ge_est, *ib_est,
+            ]
+            paper_flat += [
+                paper.cpu, paper.gpu, paper.gigae, paper.ib40,
+                *paper.gigae_model, *paper.ib40_model,
+            ]
+        headers = [
+            "Size", "CPU", "GPU", "GigaE", "40GI",
+            *(f"GE:{n}" for n in HPC_NETWORK_NAMES),
+            *(f"IB:{n}" for n in HPC_NETWORK_NAMES),
+        ]
+        blocks.append(
+            render_table(
+                headers,
+                table_rows,
+                title=(
+                    f"Table VI ({case_name}, {unit}) -- measured vs estimated; "
+                    "GE:/IB: columns are the GigaE-/40GI-model estimates"
+                ),
+            )
+        )
+        comparisons.append(
+            compare_series(f"Table VI {case_name}", ours_flat, paper_flat)
+        )
+
+    result = ExperimentResult(
+        experiment_id="table6",
+        title="Table VI: measured vs estimated execution times",
+        text="\n\n".join(blocks),
+        comparisons=comparisons,
+        csv_tables={
+            "table6": (
+                ["case", "size", "cpu", "gpu", "gigae", "ib40",
+                 *(f"ge_{n}" for n in HPC_NETWORK_NAMES),
+                 *(f"ib_{n}" for n in HPC_NETWORK_NAMES)],
+                csv_rows,
+            )
+        },
+    )
+    result.text += result.comparison_lines()
+    return result

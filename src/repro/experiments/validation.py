@@ -1,0 +1,92 @@
+"""One-shot validation: regenerate everything, check agreement budgets.
+
+This is EXPERIMENTS.md as an executable: every table and figure is
+regenerated and its ours-vs-paper statistics are checked against the
+per-artifact tolerance the reproduction promises.  ``python -m repro
+validate`` prints the scorecard and exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+from repro.reporting.tables import render_table
+
+#: Max relative difference promised per experiment (fraction).  Table IV's
+#: error columns are in absolute points and use ERROR_POINT_BUDGET.
+AGREEMENT_BUDGETS: dict[str, float] = {
+    "table1": 0.0,
+    "table2": 1e-9,
+    "table3": 0.01,
+    "table4": 0.03,
+    "table5": 0.01,
+    "table6": 0.07,
+    "figure2": 0.0,
+    "figure3": 0.005,
+    "figure4": 0.005,
+    "figure5": 0.07,
+    "figure6": 0.07,
+}
+
+#: Table IV error columns: |ours - paper| in percentage points / 100.
+ERROR_POINT_BUDGET = 0.035
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One comparison's verdict."""
+
+    experiment_id: str
+    label: str
+    max_diff: float
+    budget: float
+    passed: bool
+
+
+def validate_all() -> list[ValidationRow]:
+    """Run every experiment, apply its budget to every comparison."""
+    rows: list[ValidationRow] = []
+    for experiment_id in EXPERIMENT_IDS:
+        result = run_experiment(experiment_id)
+        for comparison in result.comparisons:
+            if "errors (abs" in comparison.label:
+                budget = ERROR_POINT_BUDGET
+            else:
+                budget = AGREEMENT_BUDGETS[experiment_id]
+            rows.append(
+                ValidationRow(
+                    experiment_id=experiment_id,
+                    label=comparison.label,
+                    max_diff=comparison.max_rel_diff,
+                    budget=budget,
+                    passed=comparison.max_rel_diff <= budget + 1e-12,
+                )
+            )
+    return rows
+
+
+def render_scorecard(rows: list[ValidationRow]) -> str:
+    """The printable scorecard."""
+    table_rows = [
+        [
+            row.experiment_id,
+            row.label,
+            f"{100 * row.max_diff:.2f}%",
+            f"{100 * row.budget:.2f}%",
+            "PASS" if row.passed else "FAIL",
+        ]
+        for row in rows
+    ]
+    text = render_table(
+        ["Experiment", "Series", "Max diff", "Budget", "Verdict"],
+        table_rows,
+        title="Reproduction scorecard (ours vs paper)",
+        align_left_cols=(0, 1),
+    )
+    passed = sum(row.passed for row in rows)
+    return f"{text}\n\n{passed}/{len(rows)} series within budget"
+
+
+def all_passed(rows: list[ValidationRow]) -> bool:
+    return all(row.passed for row in rows)

@@ -1,0 +1,79 @@
+"""The paper's performance estimation model (Sections V-VI).
+
+Pipeline, exactly as published:
+
+1. characterize each network (ping-pong -> small-message anchors +
+   large-payload regression + effective bandwidth) -- :mod:`repro.net`;
+2. cost each remote API call symbolically (Table II) and each memory copy
+   numerically (Tables III/V) -- :mod:`repro.model.transfer`;
+3. subtract the per-copy transfer times from measured executions to get a
+   network-independent *fixed time* -- :mod:`repro.model.fixed`;
+4. add the target network's transfer times back to predict execution
+   there -- :mod:`repro.model.estimate`;
+5. cross-validate between the two measured networks (Table IV) --
+   :mod:`repro.model.crossval`;
+6. project onto the five HPC interconnects (Table VI) --
+   :mod:`repro.model.hpc`.
+
+:mod:`repro.model.calibration` fits the component cost models (CPU, local
+GPU, remote host overhead, kernel rates) against the published measured
+columns, so the simulated testbed regenerates rather than copies them.
+"""
+
+from repro.model.amortization import (
+    AmortizationProfile,
+    amortization_profile,
+    break_even_table,
+)
+from repro.model.calibration import Calibration, PolyCurve, default_calibration
+from repro.model.crossval import CrossValidationRow, cross_validate
+from repro.model.estimate import estimate_execution_seconds
+from repro.model.fixed import extract_fixed_seconds
+from repro.model.hpc import Table6Result, build_table6
+from repro.model.overlap import (
+    AsyncEstimate,
+    async_speedup_table,
+    estimate_async_execution,
+    pipelined_seconds,
+)
+from repro.model.whatif import (
+    WhatIfReport,
+    custom_network,
+    minimum_viable_bandwidth,
+    what_if,
+)
+from repro.model.transfer import (
+    SymbolicEntry,
+    memcpy_transfer_seconds,
+    replay_network_seconds,
+    session_messages,
+    table2_symbolic,
+)
+
+__all__ = [
+    "AmortizationProfile",
+    "AsyncEstimate",
+    "Calibration",
+    "amortization_profile",
+    "async_speedup_table",
+    "break_even_table",
+    "estimate_async_execution",
+    "pipelined_seconds",
+    "WhatIfReport",
+    "custom_network",
+    "minimum_viable_bandwidth",
+    "what_if",
+    "CrossValidationRow",
+    "PolyCurve",
+    "SymbolicEntry",
+    "Table6Result",
+    "build_table6",
+    "cross_validate",
+    "default_calibration",
+    "estimate_execution_seconds",
+    "extract_fixed_seconds",
+    "memcpy_transfer_seconds",
+    "replay_network_seconds",
+    "session_messages",
+    "table2_symbolic",
+]

@@ -1,0 +1,114 @@
+"""Transfer amortization over GPU-resident iterations.
+
+Section VI's FFT discussion ends on a condition: the GPU loses "if the
+data is not previously available on the GPU memory (i.e., if the FFT is
+not part of a more complex algorithm)".  This module quantifies that
+condition: an application that keeps its working set on the (remote) GPU
+and runs ``r`` kernel iterations pays the transfers *once*, so
+
+    T_remote(r) = overhead + copies * T_net(payload) + r * T_kernel
+    T_cpu(r)    = r * T_cpu_once
+
+and there is a break-even iteration count beyond which even the FFT --
+the paper's anti-example -- becomes worth remoting on a given network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.calibration import Calibration, default_calibration
+from repro.model.transfer import small_message_overhead_seconds
+from repro.net.spec import NetworkSpec
+from repro.workloads.base import CaseStudy
+
+
+@dataclass(frozen=True)
+class AmortizationProfile:
+    """Cost structure of an r-iteration GPU-resident workload."""
+
+    case_name: str
+    size: int
+    network: str
+    #: One-time costs on the remote path (setup + transfers in and out).
+    remote_fixed_seconds: float
+    #: Per-iteration cost on the remote GPU (kernel only; data resides).
+    remote_per_iteration_seconds: float
+    #: Per-iteration cost on the local CPU.
+    cpu_per_iteration_seconds: float
+
+    def remote_seconds(self, iterations: int) -> float:
+        if iterations < 1:
+            raise ModelError(f"iterations must be >= 1, got {iterations}")
+        return (
+            self.remote_fixed_seconds
+            + iterations * self.remote_per_iteration_seconds
+        )
+
+    def cpu_seconds(self, iterations: int) -> float:
+        if iterations < 1:
+            raise ModelError(f"iterations must be >= 1, got {iterations}")
+        return iterations * self.cpu_per_iteration_seconds
+
+    def break_even_iterations(self) -> int | None:
+        """Smallest r with remote(r) < cpu(r); None if the GPU never
+        catches up (kernel slower than the CPU per iteration)."""
+        gain = (
+            self.cpu_per_iteration_seconds - self.remote_per_iteration_seconds
+        )
+        if gain <= 0:
+            return None
+        import math
+
+        r = self.remote_fixed_seconds / gain
+        candidate = max(1, math.floor(r) + 1)
+        # Guard against exact-boundary float artifacts.
+        while self.remote_seconds(candidate) >= self.cpu_seconds(candidate):
+            candidate += 1
+        return candidate
+
+
+def amortization_profile(
+    case: CaseStudy,
+    size: int,
+    spec: NetworkSpec,
+    calibration: Calibration | None = None,
+) -> AmortizationProfile:
+    """Build the r-iteration cost structure for one case/size/network.
+
+    Per-iteration CPU cost uses the calibrated CPU curve (MKL/FFTW); the
+    remote fixed part charges the session's full network replay (module,
+    control messages, one payload in, one out) plus PCIe, mirroring the
+    seven-phase recipe with phases 3/5 executed once.
+    """
+    cal = calibration if calibration is not None else default_calibration()
+    payload = case.payload_bytes(size)
+    net = case.copies_per_run * spec.estimated_transfer_seconds(payload)
+    net += small_message_overhead_seconds(case, size, spec)
+    pcie = cal.pcie_seconds(case, size)
+    host = cal.remote_host_seconds(case, size)
+    return AmortizationProfile(
+        case_name=case.name,
+        size=size,
+        network=spec.name,
+        remote_fixed_seconds=host + net + pcie,
+        remote_per_iteration_seconds=cal.kernel_seconds(case, size),
+        cpu_per_iteration_seconds=cal.local_cpu_seconds(case, size),
+    )
+
+
+def break_even_table(
+    case: CaseStudy,
+    specs: list[NetworkSpec],
+    size: int,
+    calibration: Calibration | None = None,
+) -> dict[str, int | None]:
+    """Break-even iteration count per network for one problem size."""
+    cal = calibration if calibration is not None else default_calibration()
+    return {
+        spec.name: amortization_profile(
+            case, size, spec, cal
+        ).break_even_iterations()
+        for spec in specs
+    }

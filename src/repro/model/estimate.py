@@ -1,0 +1,43 @@
+"""Target-network estimation (Sections V-VI).
+
+The inverse of the fixed-time extraction: once the network-independent
+residue is known, the execution time on any interconnect is the residue
+plus that network's per-copy transfer times.  This single line *is* the
+paper's predictive tool -- "providing a tool to determine the behavior of
+our proposal over different interconnects with no need of the physical
+equipment".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.net.spec import NetworkSpec
+from repro.workloads.base import CaseStudy
+
+
+def estimate_execution_seconds(
+    fixed_seconds: float,
+    copies_per_run: int,
+    transfer_per_copy_seconds: float,
+) -> float:
+    """``estimate = fixed + copies * transfer_on_target``."""
+    if copies_per_run <= 0:
+        raise ModelError(
+            f"copies_per_run must be positive, got {copies_per_run}"
+        )
+    if transfer_per_copy_seconds < 0:
+        raise ModelError("transfer time must be non-negative")
+    return fixed_seconds + copies_per_run * transfer_per_copy_seconds
+
+
+def estimate_for_case(
+    case: CaseStudy,
+    size: int,
+    fixed_seconds: float,
+    target: NetworkSpec,
+) -> float:
+    """Predicted execution time of ``case`` at ``size`` on ``target``."""
+    transfer = target.estimated_transfer_seconds(case.payload_bytes(size))
+    return estimate_execution_seconds(
+        fixed_seconds, case.copies_per_run, transfer
+    )

@@ -1,0 +1,46 @@
+"""Fixed-time extraction (Section V).
+
+"We subtract the total estimated transfer times ... from the real
+execution times ... Thus, we obtain a fixed time" -- the
+network-independent residue: CPU and GPU computation, middleware
+management, random data generation, rCUDA initialization and PCIe
+transfers.  The core assumption of the whole model is that this residue
+carries over between networks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.net.spec import NetworkSpec
+from repro.workloads.base import CaseStudy
+
+
+def extract_fixed_seconds(
+    measured_seconds: float,
+    copies_per_run: int,
+    transfer_per_copy_seconds: float,
+) -> float:
+    """``fixed = measured - copies * transfer``.
+
+    ``copies_per_run`` is 3 for the matrix product (two inputs + one
+    output) and 2 for the FFT (one each way), as Section V prescribes.
+    """
+    if copies_per_run <= 0:
+        raise ModelError(
+            f"copies_per_run must be positive, got {copies_per_run}"
+        )
+    if measured_seconds < 0 or transfer_per_copy_seconds < 0:
+        raise ModelError("times must be non-negative")
+    return measured_seconds - copies_per_run * transfer_per_copy_seconds
+
+
+def fixed_for_case(
+    case: CaseStudy,
+    size: int,
+    measured_seconds: float,
+    spec: NetworkSpec,
+) -> float:
+    """Fixed time of one measured execution, using the paper's per-copy
+    estimate (payload over the network's effective bandwidth)."""
+    transfer = spec.estimated_transfer_seconds(case.payload_bytes(size))
+    return extract_fixed_seconds(measured_seconds, case.copies_per_run, transfer)

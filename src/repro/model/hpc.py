@@ -1,0 +1,81 @@
+"""Projection onto the HPC interconnects (Section VI, Table VI).
+
+Takes the four measured columns (CPU, local GPU, rCUDA over GigaE and
+40GI), builds both estimation models, and predicts the execution time on
+each of the five target networks under each model.  Figures 5 and 6 are
+these same series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ModelError
+from repro.model.estimate import estimate_for_case
+from repro.model.fixed import fixed_for_case
+from repro.net.spec import get_network, hpc_networks
+from repro.workloads.base import CaseStudy
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    """One problem size of the regenerated Table VI (seconds throughout)."""
+
+    size: int
+    cpu: float
+    gpu: float
+    gigae: float
+    ib40: float
+    #: network name -> estimate, per source model.
+    gigae_model: dict[str, float]
+    ib40_model: dict[str, float]
+
+
+def build_table6(
+    case: CaseStudy,
+    measured_cpu: Mapping[int, float],
+    measured_gpu: Mapping[int, float],
+    measured_gigae: Mapping[int, float],
+    measured_ib40: Mapping[int, float],
+) -> list[Table6Result]:
+    """Regenerate Table VI for one case study.
+
+    All four mappings are problem size -> seconds and must cover the same
+    sizes.
+    """
+    sizes = set(measured_cpu)
+    for name, column in (
+        ("GPU", measured_gpu),
+        ("GigaE", measured_gigae),
+        ("40GI", measured_ib40),
+    ):
+        if set(column) != sizes:
+            raise ModelError(f"{name} column covers different sizes")
+
+    spec_gigae = get_network("GigaE")
+    spec_ib40 = get_network("40GI")
+    targets = hpc_networks()
+
+    rows: list[Table6Result] = []
+    for size in sorted(sizes):
+        fixed_gigae = fixed_for_case(case, size, measured_gigae[size], spec_gigae)
+        fixed_ib40 = fixed_for_case(case, size, measured_ib40[size], spec_ib40)
+        rows.append(
+            Table6Result(
+                size=size,
+                cpu=measured_cpu[size],
+                gpu=measured_gpu[size],
+                gigae=measured_gigae[size],
+                ib40=measured_ib40[size],
+                gigae_model={
+                    t.name: estimate_for_case(case, size, fixed_gigae, t)
+                    for t in targets
+                },
+                ib40_model={
+                    t.name: estimate_for_case(case, size, fixed_ib40, t)
+                    for t in targets
+                },
+            )
+        )
+    return rows

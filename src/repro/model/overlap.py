@@ -1,0 +1,127 @@
+"""Asynchronous-transfer estimation: the paper's future work, modeled.
+
+Section II: "only applications making use of synchronous data transfers
+are covered by the developed estimation model, leaving asynchronous
+transfers for future work."  This module is that extension: with
+``cudaMemcpyAsync`` (implemented end-to-end in this package) a remoting
+middleware can *pipeline* a memory copy -- stream the payload in chunks so
+the network hop of chunk i+1 overlaps the PCIe hop of chunk i, and
+ultimately the kernel processing of chunk i-1.
+
+The classic pipeline bound: for ``c`` chunks through stages with per-chunk
+times ``s_1..s_m``,
+
+    T = sum(s_j) + (c - 1) * max(s_j)
+
+so as c grows the copy costs ``max(network, PCIe)`` instead of
+``network + PCIe``, and a fully chunked execution approaches
+``max(net_in, pcie_in, kernel, pcie_out, net_out)`` plus startup.  The
+functions below bound the benefit for the paper's case studies -- an
+upper bound, since they ignore chunking overheads beyond the per-message
+protocol headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.calibration import Calibration, default_calibration
+from repro.model.transfer import small_message_overhead_seconds
+from repro.net.spec import NetworkSpec
+from repro.workloads.base import CaseStudy
+
+
+def pipelined_seconds(
+    stage_totals: list[float], chunks: int
+) -> float:
+    """Pipeline completion time for work split into equal chunks.
+
+    ``stage_totals`` are the *unchunked* per-stage totals; each chunk
+    costs ``total / chunks`` in its stage.
+    """
+    if chunks < 1:
+        raise ModelError(f"chunk count must be >= 1, got {chunks}")
+    if not stage_totals or any(t < 0 for t in stage_totals):
+        raise ModelError("stage totals must be non-negative and non-empty")
+    per_chunk = [t / chunks for t in stage_totals]
+    return sum(per_chunk) + (chunks - 1) * max(per_chunk)
+
+
+@dataclass(frozen=True)
+class AsyncEstimate:
+    """Synchronous vs pipelined execution estimate for one problem size."""
+
+    size: int
+    sync_seconds: float
+    async_seconds: float
+    chunks: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sync_seconds / self.async_seconds
+
+    @property
+    def overhead_recovered_fraction(self) -> float:
+        """Share of the synchronous remoting overhead that pipelining
+        hides (relative to the compute-only floor)."""
+        return 1.0 - (self.async_seconds / self.sync_seconds)
+
+
+def estimate_async_execution(
+    case: CaseStudy,
+    size: int,
+    spec: NetworkSpec,
+    chunks: int = 16,
+    calibration: Calibration | None = None,
+) -> AsyncEstimate:
+    """Bound the benefit of pipelined transfers for one execution.
+
+    Synchronous baseline: host + small messages + per-copy
+    (network then PCIe) serialized + kernel.  Pipelined: the input copies
+    stream through {network, PCIe} in ``chunks`` pieces, the output copy
+    streams back the same way; the kernel still runs unsplit between them
+    (kernel-chunking would need algorithm knowledge the middleware does
+    not have).
+    """
+    cal = calibration if calibration is not None else default_calibration()
+    payload = case.payload_bytes(size)
+    net_copy = spec.estimated_transfer_seconds(payload)
+    pcie_copy = cal.pcie.transfer_seconds(payload)
+    kernel = cal.kernel_seconds(case, size)
+    host = cal.remote_host_seconds(case, size)
+    small = small_message_overhead_seconds(case, size, spec)
+
+    inputs = case.num_input_copies
+    outputs = case.copies_per_run - inputs
+
+    sync = (
+        host + small
+        + case.copies_per_run * (net_copy + pcie_copy)
+        + kernel
+    )
+    async_total = (
+        host + small
+        + inputs * pipelined_seconds([net_copy, pcie_copy], chunks)
+        + kernel
+        + outputs * pipelined_seconds([pcie_copy, net_copy], chunks)
+    )
+    return AsyncEstimate(
+        size=size,
+        sync_seconds=sync,
+        async_seconds=async_total,
+        chunks=chunks,
+    )
+
+
+def async_speedup_table(
+    case: CaseStudy,
+    spec: NetworkSpec,
+    chunks: int = 16,
+    calibration: Calibration | None = None,
+) -> list[AsyncEstimate]:
+    """The pipelining bound over the case's paper sizes."""
+    return [
+        estimate_async_execution(case, size, spec, chunks, calibration)
+        for size in case.paper_sizes
+    ]

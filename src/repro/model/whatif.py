@@ -1,0 +1,152 @@
+"""What-if analysis: apply the estimation model to a network you describe.
+
+The paper's contribution is "a tool to determine the behavior of our
+proposal over different interconnects with no need of the physical
+equipment".  The seven built-in networks cover its evaluation; this
+module opens the same pipeline to *any* interconnect a user can sketch
+with two or three numbers -- effective bandwidth, base latency, and
+optionally a large-payload intercept -- and answers the procurement
+question directly: how would my workload run over rCUDA on that fabric?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.model.calibration import Calibration, default_calibration
+from repro.net.latency import (
+    AnchoredSmallMessageModel,
+    BandwidthLatencyModel,
+    LinearLatencyModel,
+)
+from repro.net.spec import NetworkSpec
+from repro.net.tcpmodel import WindowDistortionModel
+from repro.testbed.simulated import SimulatedTestbed
+from repro.units import MIB
+from repro.workloads.base import CaseStudy
+
+
+def custom_network(
+    name: str,
+    bandwidth_mibps: float,
+    base_latency_us: float = 5.0,
+    intercept_ms: float = 0.0,
+) -> NetworkSpec:
+    """Describe an interconnect from first principles.
+
+    ``bandwidth_mibps`` is the effective one-way bandwidth (the paper's
+    ping-pong figure); ``base_latency_us`` the small-message latency;
+    ``intercept_ms`` an optional fixed cost on large transfers (40GI's
+    g(n) carries +2.8 ms, for instance).
+    """
+    if bandwidth_mibps <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    if base_latency_us <= 0:
+        raise ConfigurationError("base latency must be positive")
+    if intercept_ms < 0:
+        raise ConfigurationError("intercept must be non-negative")
+    per_byte_us = 1e6 / (bandwidth_mibps * MIB)
+    anchors = {
+        4: base_latency_us,
+        64: base_latency_us + 64 * per_byte_us,
+        21490: base_latency_us + 21490 * per_byte_us,
+    }
+    return NetworkSpec(
+        name=name,
+        description=f"user-described network ({bandwidth_mibps:.0f} MiB/s)",
+        effective_bw_mibps=bandwidth_mibps,
+        estimate_model=BandwidthLatencyModel(bandwidth_mibps),
+        regression_model=LinearLatencyModel(
+            1000.0 / bandwidth_mibps, intercept_ms
+        ),
+        small_message_model=AnchoredSmallMessageModel(anchors),
+        distortion=WindowDistortionModel.none(),
+        measured=False,
+    )
+
+
+@dataclass(frozen=True)
+class WhatIfReport:
+    """The model's answer for one (case, size, network) question."""
+
+    network: str
+    size: int
+    case_name: str
+    predicted_seconds: float
+    local_gpu_seconds: float
+    local_cpu_seconds: float
+    per_copy_transfer_seconds: float
+
+    @property
+    def slowdown_vs_local_gpu(self) -> float:
+        return self.predicted_seconds / self.local_gpu_seconds - 1.0
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.local_cpu_seconds / self.predicted_seconds
+
+    @property
+    def worthwhile(self) -> bool:
+        """The paper's bottom-line question: beat the CPU?"""
+        return self.predicted_seconds < self.local_cpu_seconds
+
+
+def what_if(
+    case: CaseStudy,
+    size: int,
+    spec: NetworkSpec,
+    calibration: Calibration | None = None,
+) -> WhatIfReport:
+    """Predict ``case`` at ``size`` remoted over ``spec``.
+
+    Uses the same composition as the simulated testbed (host + device +
+    full-session network replay on the described network), so the answer
+    for a built-in network equals the Table VI machinery's.
+    """
+    cal = calibration if calibration is not None else default_calibration()
+    testbed = SimulatedTestbed(cal)
+    run = testbed.measure_remote(case, size, spec)
+    payload = case.payload_bytes(size)
+    return WhatIfReport(
+        network=spec.name,
+        size=size,
+        case_name=case.name,
+        predicted_seconds=run.total_seconds,
+        local_gpu_seconds=cal.local_gpu_seconds(case, size),
+        local_cpu_seconds=cal.local_cpu_seconds(case, size),
+        per_copy_transfer_seconds=spec.estimated_transfer_seconds(payload),
+    )
+
+
+def minimum_viable_bandwidth(
+    case: CaseStudy,
+    size: int,
+    max_slowdown_vs_gpu: float = 0.25,
+    calibration: Calibration | None = None,
+    base_latency_us: float = 5.0,
+) -> float:
+    """Smallest effective bandwidth (MiB/s) keeping the remote execution
+    within ``max_slowdown_vs_gpu`` of a local GPU -- the procurement
+    threshold, found by bisection on the what-if pipeline."""
+    if max_slowdown_vs_gpu <= 0:
+        raise ConfigurationError("slowdown budget must be positive")
+    cal = calibration if calibration is not None else default_calibration()
+
+    def slowdown(bw: float) -> float:
+        spec = custom_network("probe", bw, base_latency_us)
+        return what_if(case, size, spec, cal).slowdown_vs_local_gpu
+
+    lo, hi = 1.0, 1e6
+    if slowdown(hi) > max_slowdown_vs_gpu:
+        raise ConfigurationError(
+            "no bandwidth satisfies the budget: the remoting overhead "
+            "itself (host + PCIe) already exceeds it"
+        )
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if slowdown(mid) > max_slowdown_vs_gpu:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,74 @@
+"""Network substrate: interconnect models for the rCUDA study.
+
+This package provides everything the paper needs from its networks:
+
+* :mod:`repro.net.latency` -- one-way end-to-end latency models: the
+  bandwidth law of Tables III/V, the linear regressions of Figs. 3-4, the
+  anchored small-message curves behind Table II's constants, and the
+  composite model gluing the regimes together.
+* :mod:`repro.net.tcpmodel` -- TCP behaviour: a mechanistic segment/window
+  model (slow start, delayed ACKs, Nagle's algorithm, which the paper
+  disables) and the empirical GigaE window-distortion model that explains
+  the FFT fixed-time variability in Table IV.
+* :mod:`repro.net.spec` -- the runtime :class:`~repro.net.spec.NetworkSpec`
+  registry assembling latency + behaviour models for the seven networks.
+* :mod:`repro.net.simlink` -- virtual-clock links used by the simulated
+  testbed and the timed transports.
+* :mod:`repro.net.pingpong` -- the paper's ping-pong characterization test.
+* :mod:`repro.net.regression` -- least-squares latency fits (slope,
+  intercept, correlation coefficient), as in Section IV.A.
+* :mod:`repro.net.bandwidth` -- effective-bandwidth derivations, including
+  the HyperTransport link arithmetic of Section VI.A.
+"""
+
+from repro.net.bandwidth import (
+    effective_bandwidth_mibps,
+    hypertransport_effective_bw_mibps,
+    hypertransport_raw_gbps,
+)
+from repro.net.latency import (
+    AnchoredSmallMessageModel,
+    BandwidthLatencyModel,
+    CompositeLatencyModel,
+    LatencyModel,
+    LinearLatencyModel,
+)
+from repro.net.pingpong import PingPongResult, PingPongSample, run_pingpong
+from repro.net.realping import EchoPeer, RealLink, characterize_transport
+from repro.net.regression import LinearFit, fit_latency_regression
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import (
+    NetworkSpec,
+    get_network,
+    hpc_networks,
+    list_networks,
+    measured_networks,
+)
+from repro.net.tcpmodel import TcpSegmentModel, WindowDistortionModel
+
+__all__ = [
+    "AnchoredSmallMessageModel",
+    "BandwidthLatencyModel",
+    "CompositeLatencyModel",
+    "EchoPeer",
+    "RealLink",
+    "characterize_transport",
+    "LatencyModel",
+    "LinearLatencyModel",
+    "LinearFit",
+    "NetworkSpec",
+    "PingPongResult",
+    "PingPongSample",
+    "SimulatedLink",
+    "TcpSegmentModel",
+    "WindowDistortionModel",
+    "effective_bandwidth_mibps",
+    "fit_latency_regression",
+    "get_network",
+    "hpc_networks",
+    "hypertransport_effective_bw_mibps",
+    "hypertransport_raw_gbps",
+    "list_networks",
+    "measured_networks",
+    "run_pingpong",
+]

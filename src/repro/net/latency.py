@@ -1,0 +1,191 @@
+"""One-way end-to-end latency models.
+
+The paper characterizes each network with up to three views, all of which
+exist here as :class:`LatencyModel` implementations:
+
+* :class:`BandwidthLatencyModel` -- ``t = payload / effective_bandwidth``.
+  This is the arithmetic of Tables III and V and the estimation model's
+  notion of a memory-copy transfer time.
+* :class:`LinearLatencyModel` -- ``t(n) = slope * n + intercept`` for ``n``
+  MiB, the regressions of Figs. 3-4 (``f(n) = 8.9 n - 0.3`` for GigaE,
+  ``g(n) = 0.7 n + 2.8`` for 40GI).  Only meaningful for large payloads:
+  the GigaE intercept is negative, so the model is clamped below.
+* :class:`AnchoredSmallMessageModel` -- piecewise-linear interpolation
+  through the measured small-message latencies of the left-hand plots
+  (the anchors behind Table II's constants), including non-monotonic
+  artifacts such as the GigaE delayed-ACK bump at 12 bytes.
+* :class:`CompositeLatencyModel` -- the anchored small-message curve glued
+  to a large-payload law at a crossover size, which is what a simulated
+  link actually exhibits.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import MIB, bytes_to_mib, ms_to_seconds, transfer_seconds, us_to_seconds
+
+
+class LatencyModel(ABC):
+    """A one-way end-to-end latency as a function of payload size."""
+
+    @abstractmethod
+    def one_way_seconds(self, nbytes: float) -> float:
+        """Time in seconds to deliver ``nbytes`` of payload one way."""
+
+    def one_way_us(self, nbytes: float) -> float:
+        """Convenience: one-way latency in microseconds."""
+        return self.one_way_seconds(nbytes) * 1e6
+
+    def one_way_ms(self, nbytes: float) -> float:
+        """Convenience: one-way latency in milliseconds."""
+        return self.one_way_seconds(nbytes) * 1e3
+
+    def round_trip_seconds(self, nbytes: float) -> float:
+        """Ping-pong round trip with equal payloads both ways."""
+        return 2.0 * self.one_way_seconds(nbytes)
+
+
+class BandwidthLatencyModel(LatencyModel):
+    """``t = payload / bandwidth``: the Tables III/V transfer-time law."""
+
+    def __init__(self, bandwidth_mibps: float) -> None:
+        if bandwidth_mibps <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {bandwidth_mibps}"
+            )
+        self.bandwidth_mibps = float(bandwidth_mibps)
+
+    def one_way_seconds(self, nbytes: float) -> float:
+        return transfer_seconds(nbytes, self.bandwidth_mibps)
+
+    def __repr__(self) -> str:
+        return f"BandwidthLatencyModel({self.bandwidth_mibps} MiB/s)"
+
+
+class LinearLatencyModel(LatencyModel):
+    """``t(n) = slope * n_mib + intercept`` (milliseconds), clamped at 0.
+
+    ``slope`` is in ms per MiB of payload and ``intercept`` in ms, exactly
+    the published regression parameters.  The clamp matters for GigaE,
+    whose fitted intercept is -0.3 ms: the regression is a large-payload
+    law and must never yield a negative time when a caller evaluates it
+    out of its domain.
+    """
+
+    def __init__(self, slope_ms_per_mib: float, intercept_ms: float) -> None:
+        if slope_ms_per_mib <= 0:
+            raise ConfigurationError(
+                f"slope must be positive, got {slope_ms_per_mib}"
+            )
+        self.slope_ms_per_mib = float(slope_ms_per_mib)
+        self.intercept_ms = float(intercept_ms)
+
+    def one_way_seconds(self, nbytes: float) -> float:
+        ms = self.slope_ms_per_mib * bytes_to_mib(nbytes) + self.intercept_ms
+        return max(ms_to_seconds(ms), 0.0)
+
+    def asymptotic_bandwidth_mibps(self) -> float:
+        """Effective bandwidth implied by the slope (payload >> intercept)."""
+        return 1000.0 / self.slope_ms_per_mib
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearLatencyModel({self.slope_ms_per_mib}*n "
+            f"{self.intercept_ms:+} ms)"
+        )
+
+
+class AnchoredSmallMessageModel(LatencyModel):
+    """Piecewise-linear interpolation through measured (bytes -> us) anchors.
+
+    Below the smallest anchor the latency is held constant (the wire is
+    dominated by the fixed per-message cost); above the largest anchor the
+    last segment's slope is extrapolated.  Anchors may be non-monotonic --
+    the GigaE 12-byte delayed-ACK artifact is part of the published data
+    and is preserved verbatim.
+    """
+
+    def __init__(self, anchors_us: Mapping[int, float]) -> None:
+        if not anchors_us:
+            raise ConfigurationError("at least one anchor is required")
+        items = sorted(anchors_us.items())
+        for size, us in items:
+            if size <= 0 or us <= 0:
+                raise ConfigurationError(
+                    f"anchors must be positive, got ({size}, {us})"
+                )
+        self._sizes: Sequence[int] = [s for s, _ in items]
+        self._lat_us: Sequence[float] = [u for _, u in items]
+
+    @property
+    def max_anchor_bytes(self) -> int:
+        """Largest payload covered by a measured anchor."""
+        return self._sizes[-1]
+
+    def one_way_seconds(self, nbytes: float) -> float:
+        sizes, lats = self._sizes, self._lat_us
+        if nbytes <= sizes[0]:
+            return us_to_seconds(lats[0])
+        if nbytes >= sizes[-1]:
+            if len(sizes) == 1:
+                return us_to_seconds(lats[-1])
+            # Extrapolate with the final segment's slope, never below the
+            # last measured point.
+            slope = (lats[-1] - lats[-2]) / (sizes[-1] - sizes[-2])
+            us = lats[-1] + max(slope, 0.0) * (nbytes - sizes[-1])
+            return us_to_seconds(us)
+        hi = bisect.bisect_right(sizes, nbytes)
+        lo = hi - 1
+        frac = (nbytes - sizes[lo]) / (sizes[hi] - sizes[lo])
+        us = lats[lo] + frac * (lats[hi] - lats[lo])
+        return us_to_seconds(us)
+
+    def __repr__(self) -> str:
+        return f"AnchoredSmallMessageModel({len(self._sizes)} anchors)"
+
+
+class CompositeLatencyModel(LatencyModel):
+    """Small-message anchors below a crossover, a large-payload law above.
+
+    At and above ``crossover_bytes`` (default 1 MiB) the large model rules,
+    but never below what the small model's extrapolation gives -- this
+    keeps the composite continuous-ish and monotone through the handover
+    even for the clamped negative-intercept GigaE regression.
+    """
+
+    DEFAULT_CROSSOVER = MIB
+
+    def __init__(
+        self,
+        small: AnchoredSmallMessageModel,
+        large: LatencyModel,
+        crossover_bytes: int | None = None,
+    ) -> None:
+        self.small = small
+        self.large = large
+        self.crossover_bytes = (
+            self.DEFAULT_CROSSOVER if crossover_bytes is None else crossover_bytes
+        )
+        if self.crossover_bytes <= small.max_anchor_bytes:
+            raise ConfigurationError(
+                "crossover must lie above the last small-message anchor "
+                f"({small.max_anchor_bytes} B), got {self.crossover_bytes} B"
+            )
+
+    def one_way_seconds(self, nbytes: float) -> float:
+        if nbytes < self.crossover_bytes:
+            return self.small.one_way_seconds(nbytes)
+        return max(
+            self.large.one_way_seconds(nbytes),
+            self.small.one_way_seconds(self.crossover_bytes),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeLatencyModel(small={self.small!r}, large={self.large!r}, "
+            f"crossover={self.crossover_bytes} B)"
+        )

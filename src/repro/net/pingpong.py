@@ -1,0 +1,155 @@
+"""The ping-pong characterization test of Section IV.A.
+
+The paper measures each network with "a customized ping-pong test via
+standard TCP sockets": a payload is bounced between the two nodes, the
+round-trip time is halved into a one-way latency, small-packet runs are
+averaged over 250 executions and large-payload runs take the minimum of
+100.  :func:`run_pingpong` reproduces that procedure over a
+:class:`~repro.net.simlink.SimulatedLink` (or anything exposing
+``transfer(nbytes) -> seconds``), and feeds Figures 3-4 and the effective
+bandwidth extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.regression import LinearFit, fit_latency_regression
+from repro.units import MIB
+
+
+class _Transferable(Protocol):
+    def transfer(self, nbytes: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class PingPongSample:
+    """Statistics of the repeated exchanges at one payload size."""
+
+    payload_bytes: int
+    mean_one_way_seconds: float
+    min_one_way_seconds: float
+    std_one_way_seconds: float
+    replicates: int
+
+    @property
+    def mean_one_way_us(self) -> float:
+        return self.mean_one_way_seconds * 1e6
+
+    @property
+    def min_one_way_ms(self) -> float:
+        return self.min_one_way_seconds * 1e3
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    """A full sweep: samples plus the derived regression and bandwidth."""
+
+    network: str
+    samples: tuple[PingPongSample, ...]
+    #: Linear fit over the large-payload samples (None with < 2 of them).
+    large_fit: LinearFit | None
+    #: Effective one-way bandwidth at the largest payload (MiB/s).
+    effective_bw_mibps: float
+
+    def sample_for(self, payload_bytes: int) -> PingPongSample:
+        for sample in self.samples:
+            if sample.payload_bytes == payload_bytes:
+                return sample
+        raise ConfigurationError(
+            f"no ping-pong sample at {payload_bytes} bytes"
+        )
+
+
+#: Payload grids mirroring the paper's plots: small packets up to the MM
+#: module size; large payloads 8-88 MiB.  Both published effective
+#: bandwidths land exactly on an 88 MiB maximum payload (88 MiB / f(88) =
+#: 112.4 MiB/s and 88 MiB / g(88) = 1366.5 ~ 1,367.1 MiB/s), which pins
+#: down the sweep the paper used.
+DEFAULT_SMALL_SIZES: tuple[int, ...] = (
+    4, 8, 12, 16, 20, 32, 52, 58, 64, 128, 256, 512,
+    1024, 2048, 4096, 7856, 8192, 16384, 21490,
+)
+DEFAULT_LARGE_SIZES: tuple[int, ...] = tuple(
+    int(mib * MIB) for mib in (8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88)
+)
+
+#: Replication counts from the paper (250 averaged / 100 minimum).
+SMALL_REPLICATES = 250
+LARGE_REPLICATES = 100
+
+
+def _measure(
+    link: _Transferable, payload: int, replicates: int
+) -> PingPongSample:
+    times = np.empty(replicates, dtype=np.float64)
+    for i in range(replicates):
+        # One ping-pong: payload out, payload back; one-way = RTT / 2.
+        rtt = link.transfer(payload) + link.transfer(payload)
+        times[i] = rtt / 2.0
+    return PingPongSample(
+        payload_bytes=payload,
+        mean_one_way_seconds=float(times.mean()),
+        min_one_way_seconds=float(times.min()),
+        std_one_way_seconds=float(times.std()),
+        replicates=replicates,
+    )
+
+
+def run_pingpong(
+    link: _Transferable,
+    small_sizes: Sequence[int] = DEFAULT_SMALL_SIZES,
+    large_sizes: Sequence[int] = DEFAULT_LARGE_SIZES,
+    small_replicates: int = SMALL_REPLICATES,
+    large_replicates: int = LARGE_REPLICATES,
+    network: str = "?",
+) -> PingPongResult:
+    """Characterize a link the way Section IV.A characterizes a network.
+
+    Small payloads are replicated ``small_replicates`` times and averaged;
+    large payloads ``large_replicates`` times taking the minimum (matching
+    the paper's treatment of network variability).  The linear regression
+    is fitted over the large samples and the effective bandwidth is read at
+    the largest payload.
+    """
+    if not large_sizes:
+        raise ConfigurationError("at least one large payload size is required")
+    samples: list[PingPongSample] = []
+    for size in small_sizes:
+        samples.append(_measure(link, size, small_replicates))
+    large_samples: list[PingPongSample] = []
+    for size in large_sizes:
+        sample = _measure(link, size, large_replicates)
+        samples.append(sample)
+        large_samples.append(sample)
+
+    fit: LinearFit | None = None
+    if len(large_samples) >= 2:
+        fit = fit_latency_regression(
+            [s.payload_bytes for s in large_samples],
+            [s.min_one_way_seconds for s in large_samples],
+        )
+    biggest = large_samples[-1]
+    bw = biggest.payload_bytes / biggest.min_one_way_seconds / MIB
+    return PingPongResult(
+        network=network,
+        samples=tuple(samples),
+        large_fit=fit,
+        effective_bw_mibps=bw,
+    )
+
+
+def one_way_series(
+    samples: Iterable[PingPongSample], use_min: bool = False
+) -> tuple[list[int], list[float]]:
+    """Extract (payload bytes, one-way seconds) series for plotting."""
+    sizes: list[int] = []
+    times: list[float] = []
+    for s in samples:
+        sizes.append(s.payload_bytes)
+        times.append(s.min_one_way_seconds if use_min else s.mean_one_way_seconds)
+    return sizes, times

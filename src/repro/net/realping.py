@@ -1,0 +1,143 @@
+"""Ping-pong characterization over *real* transports.
+
+:mod:`repro.net.pingpong` measures simulated links; this module points the
+same procedure at actual hardware: an echo peer bounces length-prefixed
+messages over any :class:`~repro.transport.base.Transport` (TCP across a
+real network, loopback, in-process), and :class:`RealLink` adapts the
+measured wall-clock round trips to the ``transfer()`` interface the
+ping-pong harness consumes.  With two machines and
+``python -m repro serve``-style plumbing this reproduces Section IV.A on
+whatever network you actually own -- the measured regression and
+effective bandwidth then feed :func:`repro.model.whatif.custom_network`
+to model rCUDA on it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ConfigurationError, TransportClosedError, TransportError
+from repro.protocol.wire import pack_u4
+from repro.transport.base import Transport
+
+#: Sentinel length telling the echo peer to stop.
+_STOP = 0xFFFFFFFF
+
+#: Payloads are streamed in bounded chunks so huge probes do not
+#: materialize twice in memory on the echo side.
+_CHUNK = 1 << 20
+
+
+class EchoPeer:
+    """Echoes length-prefixed messages until told to stop.
+
+    Run it over the far end of a transport pair (a thread here; a process
+    or a remote host in real deployments -- the wire format is just
+    ``u4 length + payload`` both ways).
+    """
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.messages_echoed = 0
+        self._thread: threading.Thread | None = None
+
+    def run(self) -> None:
+        try:
+            while True:
+                header = self.transport.recv_exact(4)
+                length = int.from_bytes(header, "little")
+                if length == _STOP:
+                    break
+                self.transport.send(header)
+                remaining = length
+                while remaining > 0:
+                    chunk = self.transport.recv_exact(min(remaining, _CHUNK))
+                    self.transport.send(chunk)
+                    remaining -= len(chunk)
+                self.messages_echoed += 1
+        except (TransportClosedError, TransportError):
+            pass  # peer went away: a normal way to end the measurement
+
+    def start(self) -> "EchoPeer":
+        self._thread = threading.Thread(
+            target=self.run, name="echo-peer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float = 5.0) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+
+class RealLink:
+    """Wall-clock one-way latency probe over a transport + echo peer.
+
+    ``transfer(nbytes)`` performs one full ping-pong and returns half the
+    measured round trip -- the paper's "round-trip time divided by two".
+    Satisfies the interface :func:`repro.net.pingpong.run_pingpong`
+    expects, so the whole characterization pipeline (mean-of-small,
+    min-of-large, regression, effective bandwidth) runs unchanged on real
+    hardware.
+    """
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.probes_sent = 0
+
+    def transfer(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot probe with {nbytes} bytes")
+        if nbytes == _STOP:
+            raise ConfigurationError("probe size collides with the stop code")
+        payload = bytes(nbytes)
+        t0 = time.perf_counter()
+        self.transport.send(pack_u4(nbytes) + payload)
+        self.transport.recv_exact(4)
+        remaining = nbytes
+        while remaining > 0:
+            remaining -= len(
+                self.transport.recv_exact(min(remaining, _CHUNK))
+            )
+        elapsed = time.perf_counter() - t0
+        self.probes_sent += 1
+        return elapsed / 2.0
+
+    def close(self) -> None:
+        """Tell the echo peer to stop, then drop the connection."""
+        try:
+            self.transport.send(pack_u4(_STOP))
+        except (TransportClosedError, TransportError):
+            pass
+        self.transport.close()
+
+
+def characterize_transport(
+    client_transport: Transport,
+    small_sizes=(4, 64, 1024, 8192),
+    large_sizes=(1 << 20, 4 << 20, 8 << 20),
+    small_replicates: int = 20,
+    large_replicates: int = 5,
+    network: str = "real",
+):
+    """Run the Section IV.A procedure over an already-connected transport
+    whose far end is served by an :class:`EchoPeer`.
+
+    Returns the usual :class:`~repro.net.pingpong.PingPongResult`; close
+    the returned link yourself if you want the peer released eagerly.
+    """
+    from repro.net.pingpong import run_pingpong
+
+    link = RealLink(client_transport)
+    try:
+        return run_pingpong(
+            link,
+            small_sizes=small_sizes,
+            large_sizes=large_sizes,
+            small_replicates=small_replicates,
+            large_replicates=large_replicates,
+            network=network,
+        )
+    finally:
+        link.close()

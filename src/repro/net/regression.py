@@ -1,0 +1,66 @@
+"""Least-squares latency regression, as in Section IV.A.
+
+The paper fits the large-payload end-to-end latencies to a line in the
+payload size and reports slope, intercept and a correlation coefficient of
+1.0 for both measured networks.  :func:`fit_latency_regression` reproduces
+that fit from (payload, time) samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a linear latency fit: ``t_ms = slope * n_mib + intercept``."""
+
+    slope_ms_per_mib: float
+    intercept_ms: float
+    corrcoef: float
+
+    def predict_ms(self, payload_mib: float) -> float:
+        """Predicted one-way latency (ms) for a payload in MiB."""
+        return self.slope_ms_per_mib * payload_mib + self.intercept_ms
+
+    def asymptotic_bandwidth_mibps(self) -> float:
+        """Bandwidth implied by the slope."""
+        return 1000.0 / self.slope_ms_per_mib
+
+
+def fit_latency_regression(
+    payload_bytes: Sequence[float], one_way_seconds: Sequence[float]
+) -> LinearFit:
+    """Fit ``time = slope * payload + intercept`` by least squares.
+
+    Inputs are payloads in bytes and one-way times in seconds; the fit is
+    reported in the paper's units (ms per MiB).  At least two distinct
+    payload sizes are required.
+    """
+    if len(payload_bytes) != len(one_way_seconds):
+        raise ModelError(
+            "payloads and times must have the same length, got "
+            f"{len(payload_bytes)} and {len(one_way_seconds)}"
+        )
+    if len(payload_bytes) < 2:
+        raise ModelError("at least two samples are required for a fit")
+    x = np.asarray(payload_bytes, dtype=np.float64) / MIB
+    y = np.asarray(one_way_seconds, dtype=np.float64) * 1e3
+    if np.ptp(x) == 0.0:
+        raise ModelError("samples must span more than one payload size")
+    slope, intercept = np.polyfit(x, y, deg=1)
+    if np.ptp(y) == 0.0:
+        corr = 0.0
+    else:
+        corr = float(np.corrcoef(x, y)[0, 1])
+    return LinearFit(
+        slope_ms_per_mib=float(slope),
+        intercept_ms=float(intercept),
+        corrcoef=corr,
+    )

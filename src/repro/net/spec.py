@@ -1,0 +1,196 @@
+"""Runtime network specifications for the seven interconnects.
+
+A :class:`NetworkSpec` bundles the three views the study needs of a
+network:
+
+* ``estimate_model`` -- what the *estimation model* assumes: payload over
+  the published effective bandwidth (Tables III/V arithmetic).
+* ``regression_model`` -- the published linear large-payload law, where one
+  exists (GigaE's ``f``, 40GI's ``g``); derived from the bandwidth with a
+  zero intercept otherwise.
+* ``actual behaviour`` -- what a simulated link really does: the anchored
+  small-message curve glued to the large-payload law, plus (for GigaE) the
+  empirical TCP window distortion.  The gap between "actual" and
+  "estimate" is precisely what produces the cross-validation errors of
+  Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.net.latency import (
+    AnchoredSmallMessageModel,
+    BandwidthLatencyModel,
+    CompositeLatencyModel,
+    LatencyModel,
+    LinearLatencyModel,
+)
+from repro.net.tcpmodel import (
+    TcpSegmentModel,
+    WindowDistortionModel,
+    gigae_distortion_from_table4,
+)
+from repro.paperdata.figures import (
+    SMALL_MESSAGE_ANCHORS_40GI,
+    SMALL_MESSAGE_ANCHORS_GIGAE,
+)
+from repro.paperdata.networks import (
+    HPC_NETWORK_NAMES,
+    MEASURED_NETWORK_NAMES,
+    NETWORKS,
+)
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Everything the study needs to know about one interconnect."""
+
+    name: str
+    description: str
+    effective_bw_mibps: float
+    estimate_model: BandwidthLatencyModel
+    regression_model: LinearLatencyModel
+    small_message_model: AnchoredSmallMessageModel
+    distortion: WindowDistortionModel
+    measured: bool = False
+    tcp_model: TcpSegmentModel | None = None
+    _composite: CompositeLatencyModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        composite = CompositeLatencyModel(
+            small=self.small_message_model,
+            large=self.regression_model,
+        )
+        object.__setattr__(self, "_composite", composite)
+
+    # -- the three views -------------------------------------------------
+
+    def estimated_transfer_seconds(self, nbytes: float) -> float:
+        """Model-side transfer time (payload / effective bandwidth)."""
+        return self.estimate_model.one_way_seconds(nbytes)
+
+    def actual_one_way_seconds(
+        self, nbytes: float, include_distortion: bool = True
+    ) -> float:
+        """Behaviour-side one-way latency a simulated link exhibits.
+
+        ``include_distortion=False`` gives the best-case latency with the
+        transient TCP window effects absent -- what a minimum-of-many
+        ping-pong (the paper's large-payload procedure) converges to.
+        """
+        base = self._composite.one_way_seconds(nbytes)
+        if not include_distortion:
+            return base
+        return base + self.distortion.extra_seconds(nbytes)
+
+    def small_message_us(self, nbytes: float) -> float:
+        """Small-message latency (us), the left plots of Figs. 3-4."""
+        return self.small_message_model.one_way_us(nbytes)
+
+    def behaviour_model(self) -> LatencyModel:
+        """The composite model without the distortion term."""
+        return self._composite
+
+
+#: Plausible base latencies (us) for the five networks the paper only
+#: models by bandwidth.  Not paper data: used only to give the simulated
+#: links sane small-message behaviour (the headline tables never consult
+#: them because the estimation model is bandwidth-only).
+_SYNTHETIC_BASE_LATENCY_US = {
+    "10GE": 10.0,
+    "10GI": 5.0,
+    "Myr": 3.0,
+    "F-HT": 1.0,
+    "A-HT": 0.5,
+}
+
+#: The mechanistic TCP model matching the GigaE link of Section IV.A:
+#: 1 Gbps wire, standard 1448-byte MSS, Nagle disabled like the paper.
+GIGAE_TCP_MODEL = TcpSegmentModel(
+    wire_bw_bytes_per_s=125e6,
+    rtt_seconds=50e-6,
+    mss_bytes=1448,
+    initial_window_segments=2,
+    max_window_segments=44,
+    nagle=False,
+)
+
+
+def _synthetic_anchors(name: str, bw_mibps: float) -> dict[int, float]:
+    base_us = _SYNTHETIC_BASE_LATENCY_US[name]
+    per_byte_us = 1e6 / (bw_mibps * MIB)
+    return {
+        4: base_us,
+        64: base_us + 64 * per_byte_us,
+        21490: base_us + 21490 * per_byte_us,
+    }
+
+
+def _build_registry() -> dict[str, NetworkSpec]:
+    registry: dict[str, NetworkSpec] = {}
+    for name, paper in NETWORKS.items():
+        if paper.regression_ms_per_mib is not None:
+            slope, intercept = paper.regression_ms_per_mib
+            regression = LinearLatencyModel(slope, intercept)
+        else:
+            regression = LinearLatencyModel(
+                1000.0 / paper.effective_bw_mibps, 0.0
+            )
+        if name == "GigaE":
+            anchors = SMALL_MESSAGE_ANCHORS_GIGAE
+            distortion = gigae_distortion_from_table4()
+            tcp = GIGAE_TCP_MODEL
+        elif name == "40GI":
+            anchors = SMALL_MESSAGE_ANCHORS_40GI
+            distortion = WindowDistortionModel.none()
+            tcp = None
+        else:
+            anchors = _synthetic_anchors(name, paper.effective_bw_mibps)
+            distortion = WindowDistortionModel.none()
+            tcp = None
+        registry[name] = NetworkSpec(
+            name=name,
+            description=paper.description,
+            effective_bw_mibps=paper.effective_bw_mibps,
+            estimate_model=BandwidthLatencyModel(paper.effective_bw_mibps),
+            regression_model=regression,
+            small_message_model=AnchoredSmallMessageModel(anchors),
+            distortion=distortion,
+            measured=paper.measured,
+            tcp_model=tcp,
+        )
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def get_network(name: str) -> NetworkSpec:
+    """Look up a network by its paper name (``GigaE``, ``40GI``, ``10GE``,
+    ``10GI``, ``Myr``, ``F-HT``, ``A-HT``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown network {name!r}; known networks: {known}"
+        ) from None
+
+
+def list_networks() -> tuple[NetworkSpec, ...]:
+    """All seven networks, measured first, in paper order."""
+    order = (*MEASURED_NETWORK_NAMES, *HPC_NETWORK_NAMES)
+    return tuple(_REGISTRY[name] for name in order)
+
+
+def measured_networks() -> tuple[NetworkSpec, ...]:
+    """The two networks physically present in the paper's testbed."""
+    return tuple(_REGISTRY[name] for name in MEASURED_NETWORK_NAMES)
+
+
+def hpc_networks() -> tuple[NetworkSpec, ...]:
+    """The five projected HPC networks of Section VI."""
+    return tuple(_REGISTRY[name] for name in HPC_NETWORK_NAMES)

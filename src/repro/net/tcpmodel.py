@@ -1,0 +1,179 @@
+"""TCP behaviour models for the GigaE link.
+
+Two distinct models live here, serving two different purposes:
+
+* :class:`TcpSegmentModel` is *mechanistic*: it plays out segments, the
+  congestion-window ramp, delayed ACKs and (optionally) Nagle's algorithm,
+  which the paper explicitly disables ("we disabled the TCP-layer
+  congestion control algorithm ... to avoid unnecessary delays introduced
+  by ... Nagle's algorithm").  It produces the characteristic non-linear
+  small-payload response of Fig. 3 (left) and powers the Nagle on/off
+  ablation benchmark.
+
+* :class:`WindowDistortionModel` is *empirical*: the per-copy extra time,
+  relative to the linear transfer law, that the paper's GigaE measurements
+  exhibit because of "unexpected network transfer times related to the TCP
+  window status" (Section V).  Its anchors are derived from Table IV: the
+  difference between the GigaE-extracted and 40GI-extracted fixed times,
+  divided by the copies per run, is exactly the distortion accumulated per
+  memory copy.  The simulated GigaE link adds this term so that the
+  regenerated cross-validation shows the same FFT error pattern
+  (+34% -> +5.8% under the GigaE model, -16% -> -2.3% under the 40GI one).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import MIB, ms_to_seconds
+
+
+@dataclass(frozen=True)
+class TcpSegmentModel:
+    """Segment-level TCP timing with a congestion-window ramp.
+
+    The model ships ``nbytes`` in MSS-sized segments.  The window starts at
+    ``initial_window_segments`` and doubles every round trip (slow start)
+    until ``max_window_segments``; each round costs one ``rtt_seconds``
+    stall on top of the serialization time at ``wire_bw_bytes_per_s``.
+    With ``nagle=True``, a final sub-MSS residue is additionally held back
+    for a delayed-ACK timeout, the exact pathology the paper avoids by
+    disabling the algorithm.
+    """
+
+    wire_bw_bytes_per_s: float
+    rtt_seconds: float = 50e-6
+    mss_bytes: int = 1448
+    initial_window_segments: int = 2
+    max_window_segments: int = 44
+    nagle: bool = False
+    delayed_ack_seconds: float = 40e-3
+
+    def __post_init__(self) -> None:
+        if self.wire_bw_bytes_per_s <= 0:
+            raise ConfigurationError("wire bandwidth must be positive")
+        if self.mss_bytes <= 0:
+            raise ConfigurationError("MSS must be positive")
+        if self.initial_window_segments <= 0:
+            raise ConfigurationError("initial window must be positive")
+        if self.max_window_segments < self.initial_window_segments:
+            raise ConfigurationError(
+                "max window must be >= initial window"
+            )
+
+    def slow_start_rounds(self, nbytes: int) -> int:
+        """Window-limited round trips while the congestion window ramps.
+
+        Once the window saturates, ACK clocking overlaps transmission and
+        the flow is purely bandwidth-limited -- no further stalls.
+        """
+        segments = max(1, math.ceil(nbytes / self.mss_bytes))
+        window = self.initial_window_segments
+        rounds = 0
+        sent = 0
+        while sent < segments:
+            rounds += 1
+            sent += window
+            if window >= self.max_window_segments:
+                break
+            window = min(window * 2, self.max_window_segments)
+        return rounds
+
+    def one_way_seconds(self, nbytes: int) -> float:
+        """Delivery time for one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError("payload must be non-negative")
+        if nbytes == 0:
+            return self.rtt_seconds / 2.0
+        serialization = nbytes / self.wire_bw_bytes_per_s
+        stalls = self.slow_start_rounds(nbytes) * self.rtt_seconds
+        total = serialization + stalls
+        if self.nagle:
+            residue = nbytes % self.mss_bytes
+            if 0 < residue:
+                # A trailing small segment waits for the delayed ACK of the
+                # previous one before Nagle lets it out.
+                total += self.delayed_ack_seconds
+        return total
+
+    def with_nagle(self, enabled: bool) -> "TcpSegmentModel":
+        """A copy of this model with Nagle's algorithm toggled."""
+        return TcpSegmentModel(
+            wire_bw_bytes_per_s=self.wire_bw_bytes_per_s,
+            rtt_seconds=self.rtt_seconds,
+            mss_bytes=self.mss_bytes,
+            initial_window_segments=self.initial_window_segments,
+            max_window_segments=self.max_window_segments,
+            nagle=enabled,
+            delayed_ack_seconds=self.delayed_ack_seconds,
+        )
+
+
+class WindowDistortionModel:
+    """Empirical extra per-copy time of a bursty TCP link vs the linear law.
+
+    ``extra_seconds(nbytes)`` interpolates piecewise-linearly through
+    (payload MiB -> extra ms) anchors and returns 0 beyond the last anchor.
+    The default anchors (:func:`gigae_distortion_from_table4`) are derived
+    from the published Table IV fixed times; the distortion peaks around
+    16 MiB and decays to noise level by a few hundred MiB, matching the
+    paper's observation that the TCP-related error is "considerably large"
+    for small datasets and ~1% above 40 MB.
+    """
+
+    def __init__(self, anchors_mib_ms: Sequence[tuple[float, float]]) -> None:
+        if not anchors_mib_ms:
+            raise ConfigurationError("at least one anchor is required")
+        pts = sorted(anchors_mib_ms)
+        if pts[0][0] > 0.0:
+            pts.insert(0, (0.0, 0.0))
+        for mib, _ms in pts:
+            if mib < 0:
+                raise ConfigurationError("anchor sizes must be non-negative")
+        self._mib = [p[0] for p in pts]
+        self._ms = [p[1] for p in pts]
+
+    def extra_seconds(self, nbytes: float) -> float:
+        """Extra one-way time (s) beyond the linear model for this payload."""
+        mib = nbytes / MIB
+        if mib <= self._mib[0]:
+            return ms_to_seconds(self._ms[0])
+        if mib >= self._mib[-1]:
+            # Hold the final anchor's value; the default GigaE anchors end
+            # at (256 MiB, 0 ms), so large copies see no distortion.
+            return ms_to_seconds(self._ms[-1])
+        hi = bisect.bisect_right(self._mib, mib)
+        lo = hi - 1
+        frac = (mib - self._mib[lo]) / (self._mib[hi] - self._mib[lo])
+        ms = self._ms[lo] + frac * (self._ms[hi] - self._ms[lo])
+        return ms_to_seconds(ms)
+
+    @staticmethod
+    def none() -> "WindowDistortionModel":
+        """A distortion-free model (used for the InfiniBand link)."""
+        return WindowDistortionModel([(0.0, 0.0)])
+
+
+def gigae_distortion_from_table4() -> WindowDistortionModel:
+    """Distortion anchors derived from the published Table IV fixed times.
+
+    Per copy: ``(fixed_GigaE - fixed_40GI) / copies``.  The FFT rows
+    (k = 2, payloads 8-64 MiB) carry the signal; the MM rows (k = 3,
+    payloads >= 64 MiB) show it already drowned in measurement noise, so
+    the model decays linearly to zero at 256 MiB.
+    """
+    from repro.paperdata.table4 import TABLE4_FFT
+
+    # No distortion below half the smallest FFT transfer: sub-MiB protocol
+    # messages and the small-packet plots are unaffected by window state.
+    anchors: list[tuple[float, float]] = [(4.0, 0.0)]
+    for row in TABLE4_FFT:
+        payload_mib = row.size * 4096 / MIB
+        extra_ms = (row.fixed_gigae - row.fixed_ib40) / 2.0
+        anchors.append((payload_mib, extra_ms))
+    anchors.append((256.0, 0.0))
+    return WindowDistortionModel(anchors)

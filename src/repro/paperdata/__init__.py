@@ -1,0 +1,87 @@
+"""Published data of the ICPP 2011 rCUDA paper, transcribed verbatim.
+
+Every table and figure of the paper's evaluation is stored here as
+structured constants.  Nothing in this package computes anything: it is the
+ground truth that (a) the calibration in :mod:`repro.model.calibration`
+fits component cost models against, and (b) the experiment drivers in
+:mod:`repro.experiments` diff their regenerated tables against.
+
+Numbers follow the paper's own (sometimes quirky) conventions; see the
+module docstrings, in particular :mod:`repro.paperdata.table2` for the
+raw-product coefficient convention and :mod:`repro.units` for the paper's
+MB == MiB convention.
+"""
+
+from repro.paperdata.constants import (
+    CITATION,
+    FFT_BATCHES,
+    FFT_BYTES_PER_POINT,
+    FFT_COPIES_PER_RUN,
+    FFT_MODULE_BYTES,
+    FFT_POINTS,
+    MM_BYTES_PER_ELEMENT,
+    MM_COPIES_PER_RUN,
+    MM_MODULE_BYTES,
+    MM_SIZES,
+    PCIE_EFFECTIVE_MIBPS,
+    PCIE_PEAK_GBPS,
+    TESTBED,
+)
+from repro.paperdata.networks import (
+    HPC_NETWORK_NAMES,
+    MEASURED_NETWORK_NAMES,
+    NETWORKS,
+    PaperNetwork,
+)
+from repro.paperdata.table1 import TABLE1, Table1Operation
+from repro.paperdata.table2 import TABLE2, Table2Row
+from repro.paperdata.table3 import TABLE3_FFT, TABLE3_MM, Table3Row
+from repro.paperdata.table4 import TABLE4_FFT, TABLE4_MM, Table4Row
+from repro.paperdata.table5 import TABLE5_FFT, TABLE5_MM, Table5Row
+from repro.paperdata.table6 import TABLE6_FFT, TABLE6_MM, Table6Row
+from repro.paperdata.figures import (
+    FIGURE3_LARGE_REGRESSION,
+    FIGURE4_LARGE_REGRESSION,
+    SMALL_MESSAGE_ANCHORS_40GI,
+    SMALL_MESSAGE_ANCHORS_GIGAE,
+)
+
+__all__ = [
+    "CITATION",
+    "FFT_BATCHES",
+    "FFT_COPIES_PER_RUN",
+    "MM_COPIES_PER_RUN",
+    "MM_SIZES",
+    "FFT_BYTES_PER_POINT",
+    "FFT_MODULE_BYTES",
+    "FFT_POINTS",
+    "MM_BYTES_PER_ELEMENT",
+    "MM_MODULE_BYTES",
+    "PCIE_EFFECTIVE_MIBPS",
+    "PCIE_PEAK_GBPS",
+    "TESTBED",
+    "HPC_NETWORK_NAMES",
+    "MEASURED_NETWORK_NAMES",
+    "NETWORKS",
+    "PaperNetwork",
+    "TABLE1",
+    "Table1Operation",
+    "TABLE2",
+    "Table2Row",
+    "TABLE3_FFT",
+    "TABLE3_MM",
+    "Table3Row",
+    "TABLE4_FFT",
+    "TABLE4_MM",
+    "Table4Row",
+    "TABLE5_FFT",
+    "TABLE5_MM",
+    "Table5Row",
+    "TABLE6_FFT",
+    "TABLE6_MM",
+    "Table6Row",
+    "FIGURE3_LARGE_REGRESSION",
+    "FIGURE4_LARGE_REGRESSION",
+    "SMALL_MESSAGE_ANCHORS_40GI",
+    "SMALL_MESSAGE_ANCHORS_GIGAE",
+]

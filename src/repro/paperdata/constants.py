@@ -1,0 +1,75 @@
+"""Testbed and workload constants published in the paper (Sections IV-V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CITATION = (
+    "J. Duato, A. J. Pena, F. Silla, R. Mayo, E. S. Quintana-Orti, "
+    '"Performance of CUDA Virtualized Remote GPUs in High Performance '
+    'Clusters", ICPP 2011.'
+)
+
+
+@dataclass(frozen=True)
+class TestbedDescription:
+    """The two-node testbed of Section IV.A."""
+
+    cpu: str
+    cpu_sockets: int
+    cpu_cores_per_socket: int
+    cpu_ghz: float
+    ram_gb: int
+    gpu: str
+    cuda_toolkit: str
+    pcie: str
+
+
+TESTBED = TestbedDescription(
+    cpu="Intel Xeon E5520",
+    cpu_sockets=2,
+    cpu_cores_per_socket=4,
+    cpu_ghz=2.27,
+    ram_gb=24,
+    gpu="NVIDIA Tesla C1060",
+    cuda_toolkit="2.3",
+    pcie="PCIe 2.0 x16",
+)
+
+#: Peak effective host<->GPU bandwidth across PCIe measured in the paper,
+#: in the paper's MB/s (== MiB/s) convention.
+PCIE_EFFECTIVE_MIBPS = 5743.0
+
+#: Theoretical PCIe 2.0 x16 bandwidth quoted by the paper (GB/s).
+PCIE_PEAK_GBPS = 8.0
+
+#: Size of the GPU module (kernels + statically allocated variables) shipped
+#: at initialization for each case study, in bytes (Section IV.B).
+MM_MODULE_BYTES = 21486
+FFT_MODULE_BYTES = 7852
+
+#: The matrix product uses single-precision real elements.
+MM_BYTES_PER_ELEMENT = 4
+
+#: The FFT computes batches of 512-point single-precision complex transforms
+#: (8 bytes per point), i.e. 4096 bytes of payload per batch element.
+FFT_POINTS = 512
+FFT_BYTES_PER_POINT = 8
+
+#: Problem sizes evaluated in the paper.
+MM_SIZES = (4096, 6144, 8192, 10240, 12288, 14336, 16384, 18432)
+FFT_BATCHES = (2048, 4096, 6144, 8192, 10240, 12288, 16384)
+
+#: Memory copies per execution entering the fixed-time extraction of
+#: Section V: the MM moves A and B in and C out (3 copies of 4*m*m bytes),
+#: the FFT moves the signal in and out (2 copies of 4096*n bytes).
+MM_COPIES_PER_RUN = 3
+FFT_COPIES_PER_RUN = 2
+
+#: Paper-reported measurement dispersion (Section IV.A and V).
+GIGAE_SMALL_STDDEV_US = 22.7
+GIGAE_LARGE_STDDEV_MS = 2.1
+IB40_SMALL_STDDEV_US = 1.1
+IB40_LARGE_STDDEV_MS = 4.8
+MM_MAX_STDDEV_S = 1.0
+FFT_MAX_STDDEV_MS = 14.4

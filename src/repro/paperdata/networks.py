@@ -1,0 +1,100 @@
+"""Published constants of the seven interconnects the paper studies.
+
+Two are physically measured (Section IV.A):
+
+* ``GigaE``  -- 1 Gbps Ethernet, TCP sockets with Nagle's algorithm disabled.
+  Large-payload one-way latency fits ``f(n) = 8.9 n - 0.3`` ms for ``n`` MiB,
+  peak effective one-way throughput 112.4 MB/s.
+* ``40GI``   -- 40 Gbps InfiniBand.  ``g(n) = 0.7 n + 2.8`` ms, 1,367.1 MB/s.
+
+Five are modeled from published measurements (Section VI.A):
+
+* ``10GE``   -- 10-Gigabit iWARP Ethernet (NetEffect NE010e), 880 MB/s.
+* ``10GI``   -- 10 Gbps InfiniBand (Mellanox MHEA28-XT), ~970 MB/s.
+* ``Myr``    -- Myrinet-10G (Myri 10G-PCIE-8A-C), 750 MB/s.
+* ``F-HT``   -- FPGA HyperTransport: 16-bit link at 400 MHz (DDR), 12.8 Gb/s
+  raw; 64-byte packets with 8-byte headers give the paper's quoted 88%
+  efficiency and 1,442 MB/s effective.
+* ``A-HT``   -- ASIC HyperTransport, assumed to double F-HT: 2,884 MB/s.
+
+All bandwidths use the paper's MB == MiB convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperNetwork:
+    """Published description of one interconnect."""
+
+    name: str
+    description: str
+    #: Effective one-way bandwidth in the paper's MB/s (MiB/s).
+    effective_bw_mibps: float
+    #: (slope ms/MiB, intercept ms) of the large-payload one-way latency
+    #: regression, when the paper measured one (GigaE and 40GI only).
+    regression_ms_per_mib: tuple[float, float] | None = None
+    #: Correlation coefficient the paper reports for the regression.
+    regression_corrcoef: float | None = None
+    #: True for the two networks physically present in the paper's testbed.
+    measured: bool = False
+
+
+NETWORKS: dict[str, PaperNetwork] = {
+    "GigaE": PaperNetwork(
+        name="GigaE",
+        description="1 Gbps Ethernet, TCP sockets, Nagle disabled",
+        effective_bw_mibps=112.4,
+        regression_ms_per_mib=(8.9, -0.3),
+        regression_corrcoef=1.0,
+        measured=True,
+    ),
+    "40GI": PaperNetwork(
+        name="40GI",
+        description="40 Gbps InfiniBand",
+        effective_bw_mibps=1367.1,
+        regression_ms_per_mib=(0.7, 2.8),
+        regression_corrcoef=1.0,
+        measured=True,
+    ),
+    "10GE": PaperNetwork(
+        name="10GE",
+        description="10-Gigabit iWARP Ethernet (NetEffect NE010e)",
+        effective_bw_mibps=880.0,
+    ),
+    "10GI": PaperNetwork(
+        name="10GI",
+        description="10 Gbps InfiniBand (Mellanox MHEA28-XT)",
+        effective_bw_mibps=970.0,
+    ),
+    "Myr": PaperNetwork(
+        name="Myr",
+        description="Myrinet-10G (10G-PCIE-8A-C)",
+        effective_bw_mibps=750.0,
+    ),
+    "F-HT": PaperNetwork(
+        name="F-HT",
+        description="HyperTransport over FPGA, 16-bit 400 MHz link",
+        effective_bw_mibps=1442.0,
+    ),
+    "A-HT": PaperNetwork(
+        name="A-HT",
+        description="HyperTransport over ASIC (2x the FPGA bandwidth)",
+        effective_bw_mibps=2884.0,
+    ),
+}
+
+#: The two networks of the real testbed, in paper order.
+MEASURED_NETWORK_NAMES = ("GigaE", "40GI")
+
+#: The five projected HPC networks, in the column order of Tables V and VI.
+HPC_NETWORK_NAMES = ("10GE", "10GI", "Myr", "F-HT", "A-HT")
+
+#: Raw F-HT link parameters behind the 1,442 MB/s figure (Section VI.A).
+FHT_LINK_BITS = 16
+FHT_LINK_MHZ = 400.0
+FHT_PACKET_BYTES = 64
+FHT_HEADER_BYTES = 8
+AHT_SPEEDUP_OVER_FHT = 2.0

@@ -1,0 +1,132 @@
+"""Table I: breakdown of the remote API messages of the rCUDA protocol.
+
+Each operation lists the fields sent by the client and returned by the
+server, with sizes in bytes.  ``x`` in the paper (a size that depends on the
+operation's payload) is represented here by ``None``; the accounting helpers
+in :mod:`repro.protocol.accounting` regenerate this table from the actual
+codec and the experiment driver diffs the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table1Field:
+    """One field of a remote API message; ``size=None`` means the variable
+    payload the paper calls ``x``."""
+
+    name: str
+    direction: str  # "send" (client->server) or "receive"
+    size: int | None
+
+
+@dataclass(frozen=True)
+class Table1Operation:
+    """One operation block of Table I."""
+
+    operation: str
+    fields: tuple[Table1Field, ...]
+    #: Published totals: fixed bytes, plus True when an ``x`` payload adds in.
+    send_fixed_total: int
+    send_has_payload: bool
+    receive_fixed_total: int
+    receive_has_payload: bool
+
+
+def _f(name: str, direction: str, size: int | None) -> Table1Field:
+    return Table1Field(name=name, direction=direction, size=size)
+
+
+TABLE1: tuple[Table1Operation, ...] = (
+    Table1Operation(
+        operation="Initialization",
+        fields=(
+            _f("Compute capability", "receive", 8),
+            _f("Size", "send", 4),
+            _f("Module", "send", None),
+            _f("CUDA error", "receive", 4),
+        ),
+        send_fixed_total=4,
+        send_has_payload=True,
+        receive_fixed_total=12,
+        receive_has_payload=False,
+    ),
+    Table1Operation(
+        operation="cudaMalloc",
+        fields=(
+            _f("Function id.", "send", 4),
+            _f("Size", "send", 4),
+            _f("CUDA error", "receive", 4),
+            _f("Device pointer", "receive", 4),
+        ),
+        send_fixed_total=8,
+        send_has_payload=False,
+        receive_fixed_total=8,
+        receive_has_payload=False,
+    ),
+    Table1Operation(
+        operation="cudaMemcpy (to device)",
+        fields=(
+            _f("Function id.", "send", 4),
+            _f("Destination", "send", 4),
+            _f("Source", "send", 4),
+            _f("Size", "send", 4),
+            _f("Kind", "send", 4),
+            _f("Data", "send", None),
+            _f("CUDA error", "receive", 4),
+        ),
+        send_fixed_total=20,
+        send_has_payload=True,
+        receive_fixed_total=4,
+        receive_has_payload=False,
+    ),
+    Table1Operation(
+        operation="cudaMemcpy (to host)",
+        fields=(
+            _f("Function id.", "send", 4),
+            _f("Destination", "send", 4),
+            _f("Source", "send", 4),
+            _f("Size", "send", 4),
+            _f("Kind", "send", 4),
+            _f("CUDA error", "receive", 4),
+            _f("Data", "receive", None),
+        ),
+        send_fixed_total=20,
+        send_has_payload=False,
+        receive_fixed_total=4,
+        receive_has_payload=True,
+    ),
+    Table1Operation(
+        operation="cudaLaunch",
+        fields=(
+            _f("Function id.", "send", 4),
+            _f("Texture offset", "send", 4),
+            _f("Parameters offset", "send", 4),
+            _f("Number of textures", "send", 4),
+            _f("Block dimension", "send", 12),
+            _f("Grid dimension", "send", 8),
+            _f("Shared size", "send", 4),
+            _f("Stream", "send", 4),
+            _f("Kernel name", "send", None),
+            _f("CUDA error", "receive", 4),
+        ),
+        send_fixed_total=44,
+        send_has_payload=True,
+        receive_fixed_total=4,
+        receive_has_payload=False,
+    ),
+    Table1Operation(
+        operation="cudaFree",
+        fields=(
+            _f("Function id.", "send", 4),
+            _f("Device pointer", "send", 4),
+            _f("CUDA error", "receive", 4),
+        ),
+        send_fixed_total=8,
+        send_has_payload=False,
+        receive_fixed_total=4,
+        receive_has_payload=False,
+    ),
+)

@@ -1,0 +1,46 @@
+"""Table III: estimated per-memcpy transfer times on the measured networks.
+
+Each row gives, for one problem size, the payload in the paper's MB (MiB)
+and the one-way transfer time in milliseconds on GigaE and 40GI computed as
+``data / effective_bandwidth`` (112.4 and 1,367.1 MB/s respectively).
+
+To turn a per-copy time into the per-execution network time of Section V,
+multiply by 3 for the matrix product (two inputs + one output) and by 2 for
+the FFT (one copy each way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One problem size of Table III."""
+
+    size: int  # matrix dimension m, or FFT batch n
+    data_mib: float
+    gigae_ms: float
+    ib40_ms: float
+
+
+TABLE3_MM: tuple[Table3Row, ...] = (
+    Table3Row(4096, 64, 569.4, 46.8),
+    Table3Row(6144, 144, 1281.1, 105.3),
+    Table3Row(8192, 256, 2277.6, 187.3),
+    Table3Row(10240, 400, 3558.7, 292.6),
+    Table3Row(12288, 576, 5124.6, 421.3),
+    Table3Row(14336, 784, 6975.1, 573.5),
+    Table3Row(16384, 1024, 9110.3, 749.0),
+    Table3Row(18432, 1296, 11530.2, 948.0),
+)
+
+TABLE3_FFT: tuple[Table3Row, ...] = (
+    Table3Row(2048, 8, 71.2, 5.9),
+    Table3Row(4096, 16, 142.3, 11.7),
+    Table3Row(6144, 24, 213.5, 17.6),
+    Table3Row(8192, 32, 284.7, 23.4),
+    Table3Row(10240, 40, 355.9, 29.3),
+    Table3Row(12288, 48, 427.0, 35.1),
+    Table3Row(16384, 64, 569.4, 46.8),
+)

@@ -1,0 +1,50 @@
+"""Table IV: cross-validation of the two estimation models.
+
+For each problem size the paper builds one model per measured network:
+``fixed = measured - k * transfer`` (k = 3 copies for MM, 2 for FFT), then
+predicts the *other* network as ``fixed + k * transfer_other`` and reports
+the relative error against the real measurement there.
+
+MM rows are in seconds, FFT rows in milliseconds (as published).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One size: the GigaE-derived model and the 40GI-derived model."""
+
+    size: int
+    measured_gigae: float
+    fixed_gigae: float
+    estimated_ib40_from_gigae: float
+    error_gigae_model_pct: float
+    measured_ib40: float
+    fixed_ib40: float
+    estimated_gigae_from_ib40: float
+    error_ib40_model_pct: float
+
+
+TABLE4_MM: tuple[Table4Row, ...] = (
+    Table4Row(4096, 3.64, 1.93, 2.08, 2.16, 2.03, 1.89, 3.60, -1.21),
+    Table4Row(6144, 8.47, 4.62, 4.94, 1.76, 4.85, 4.54, 8.38, -1.01),
+    Table4Row(8192, 15.60, 8.77, 9.33, -0.10, 9.34, 8.78, 15.61, 0.06),
+    Table4Row(10240, 25.47, 14.79, 15.67, -0.41, 15.74, 14.86, 25.54, 0.25),
+    Table4Row(12288, 38.39, 23.02, 24.28, -0.54, 24.42, 23.15, 38.53, 0.35),
+    Table4Row(14336, 54.96, 34.03, 35.75, 0.73, 35.49, 33.77, 54.70, -0.47),
+    Table4Row(16384, 74.13, 46.80, 49.04, -1.78, 49.93, 47.68, 75.02, 1.20),
+    Table4Row(18432, 97.65, 63.06, 65.90, -1.72, 67.05, 64.21, 98.80, 1.18),
+)
+
+TABLE4_FFT: tuple[Table4Row, ...] = (
+    Table4Row(2048, 354.33, 211.98, 223.69, 33.95, 167.00, 155.30, 297.65, -16.00),
+    Table4Row(4096, 555.67, 270.97, 294.38, 30.26, 226.00, 202.59, 487.29, -12.31),
+    Table4Row(6144, 761.00, 333.95, 369.06, 20.48, 306.33, 271.22, 698.27, -8.24),
+    Table4Row(8192, 964.33, 394.94, 441.75, 16.35, 379.67, 332.85, 902.25, -6.44),
+    Table4Row(10240, 1167.67, 455.92, 514.44, 12.32, 458.00, 399.48, 1111.23, -4.83),
+    Table4Row(12288, 1371.33, 517.24, 587.46, 9.26, 537.67, 467.45, 1321.54, -3.63),
+    Table4Row(16384, 1782.00, 643.21, 736.84, 5.77, 696.67, 603.04, 1741.83, -2.25),
+)

@@ -1,0 +1,45 @@
+"""Table V: estimated per-memcpy transfer times on the five HPC networks.
+
+Same arithmetic as Table III (``data / effective_bandwidth``) with the
+Section VI.A bandwidths: 10GE 880, 10GI 970, Myr 750, F-HT 1,442 and
+A-HT 2,884 MB/s.  Times in milliseconds, data in the paper's MB (MiB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One problem size of Table V."""
+
+    size: int
+    data_mib: float
+    ge10_ms: float
+    ib10_ms: float
+    myr_ms: float
+    fht_ms: float
+    aht_ms: float
+
+
+TABLE5_MM: tuple[Table5Row, ...] = (
+    Table5Row(4096, 64, 72.7, 66.0, 85.3, 44.4, 22.2),
+    Table5Row(6144, 144, 163.6, 148.5, 192.0, 99.9, 49.9),
+    Table5Row(8192, 256, 290.9, 263.9, 341.3, 177.5, 88.8),
+    Table5Row(10240, 400, 454.5, 412.4, 533.3, 277.4, 138.7),
+    Table5Row(12288, 576, 654.5, 593.8, 768.0, 399.4, 199.7),
+    Table5Row(14336, 784, 890.9, 808.2, 1045.3, 543.7, 271.8),
+    Table5Row(16384, 1024, 1163.6, 1055.7, 1365.3, 710.1, 355.1),
+    Table5Row(18432, 1296, 1472.7, 1336.1, 1728.0, 898.8, 449.4),
+)
+
+TABLE5_FFT: tuple[Table5Row, ...] = (
+    Table5Row(2048, 8, 9.1, 8.2, 10.7, 5.5, 2.8),
+    Table5Row(4096, 16, 18.2, 16.5, 21.3, 11.1, 5.5),
+    Table5Row(6144, 24, 27.3, 24.7, 32.0, 16.6, 8.3),
+    Table5Row(8192, 32, 36.4, 33.0, 42.7, 22.2, 11.1),
+    Table5Row(10240, 40, 45.5, 41.2, 53.3, 27.7, 13.9),
+    Table5Row(12288, 48, 54.5, 49.5, 64.0, 33.3, 16.6),
+    Table5Row(16384, 64, 72.7, 66.0, 85.3, 44.4, 22.2),
+)

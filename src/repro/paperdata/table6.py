@@ -1,0 +1,80 @@
+"""Table VI: measured vs estimated execution times over several networks.
+
+Measured columns: the 8-core CPU baseline (MKL / FFTW), the local GPU (CUDA
+on the Tesla C1060), and rCUDA over the real GigaE and 40GI links.
+Estimated columns: the GigaE-derived and 40GI-derived models of Section V
+applied to the five HPC networks of Section VI.
+
+MM rows in seconds, FFT rows in milliseconds (as published).  These series
+are exactly what Figures 5 (GigaE model) and 6 (40GI model) plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One problem size of Table VI."""
+
+    size: int
+    cpu: float
+    gpu: float
+    gigae: float
+    ib40: float
+    #: Estimates (10GE, 10GI, Myr, F-HT, A-HT) under each model.
+    gigae_model: tuple[float, float, float, float, float]
+    ib40_model: tuple[float, float, float, float, float]
+
+
+TABLE6_MM: tuple[Table6Row, ...] = (
+    Table6Row(4096, 2.08, 2.40, 3.64, 1.93,
+              (2.13, 2.15, 2.19, 2.07, 2.00),
+              (2.09, 2.11, 2.15, 2.02, 1.96)),
+    Table6Row(6144, 5.66, 4.58, 8.47, 4.62,
+              (5.07, 5.11, 5.20, 4.92, 4.77),
+              (4.98, 5.03, 5.11, 4.84, 4.69)),
+    Table6Row(8192, 11.99, 8.12, 15.60, 8.77,
+              (9.56, 9.64, 9.79, 9.30, 9.04),
+              (9.57, 9.65, 9.80, 9.31, 9.05)),
+    Table6Row(10240, 21.52, 13.30, 25.47, 14.79,
+              (16.03, 16.16, 16.39, 15.63, 15.21),
+              (16.10, 16.22, 16.46, 15.69, 15.27)),
+    Table6Row(12288, 35.45, 20.37, 38.39, 23.02,
+              (24.80, 24.98, 25.32, 24.22, 23.62),
+              (24.93, 25.12, 25.46, 24.35, 23.75)),
+    Table6Row(14336, 54.00, 29.64, 54.96, 34.03,
+              (36.46, 36.70, 37.17, 35.66, 34.85),
+              (36.20, 36.44, 36.91, 35.40, 34.59)),
+    Table6Row(16384, 78.87, 41.43, 74.13, 46.80,
+              (49.96, 50.29, 50.89, 48.93, 47.86),
+              (50.85, 51.18, 51.78, 49.81, 48.75)),
+    Table6Row(18432, 109.12, 55.86, 97.65, 63.06,
+              (67.06, 67.47, 68.24, 65.75, 64.40),
+              (68.22, 68.63, 69.39, 66.90, 65.56)),
+)
+
+TABLE6_FFT: tuple[Table6Row, ...] = (
+    Table6Row(2048, 41.67, 51.00, 354.33, 167.00,
+              (228.48, 230.17, 233.32, 223.08, 217.53),
+              (171.79, 173.48, 176.63, 166.39, 160.84)),
+    Table6Row(4096, 74.67, 102.33, 555.67, 226.00,
+              (303.96, 307.33, 313.64, 293.16, 282.06),
+              (235.58, 238.96, 245.26, 224.78, 213.69)),
+    Table6Row(6144, 115.67, 153.33, 761.00, 306.33,
+              (383.44, 388.50, 397.95, 367.24, 350.60),
+              (320.71, 325.77, 335.22, 304.51, 287.87)),
+    Table6Row(8192, 150.33, 201.67, 964.33, 379.67,
+              (460.92, 467.67, 480.27, 439.32, 417.13),
+              (398.83, 405.58, 418.19, 377.24, 355.04)),
+    Table6Row(10240, 187.33, 253.33, 1167.67, 458.00,
+              (538.40, 546.83, 562.59, 511.40, 483.66),
+              (481.96, 490.39, 506.15, 454.96, 427.22)),
+    Table6Row(12288, 224.67, 304.67, 1371.33, 537.67,
+              (616.21, 626.33, 645.24, 583.82, 550.53),
+              (566.41, 576.54, 595.45, 534.02, 500.73)),
+    Table6Row(16384, 299.00, 403.00, 1782.00, 696.67,
+              (775.17, 788.66, 813.88, 731.98, 687.59),
+              (735.00, 748.49, 773.70, 691.80, 647.42)),
+)

@@ -1,0 +1,102 @@
+"""The rCUDA wire protocol.
+
+The paper (Section III): "the client side sends a message to the server
+for each CUDA call performed by the application ... the first 32 bits of
+the request identify the specific CUDA function called, while the
+subsequent data is function-dependent ... The server always sends a 32-bit
+result code of the operation, and possibly more data".
+
+This package implements that protocol byte-for-byte per Table I:
+
+* :mod:`repro.protocol.constants` -- the 32-bit function identifiers;
+* :mod:`repro.protocol.messages` -- request/response dataclasses;
+* :mod:`repro.protocol.codec` -- struct-level encode/decode.  The
+  initialization exchange is the first message of a connection and carries
+  no function id (exactly as Table I shows: its send side is Size +
+  Module only);
+* :mod:`repro.protocol.accounting` -- message-size arithmetic *derived
+  from the codec* (by encoding and measuring), from which the experiment
+  driver regenerates Table I.
+
+Two quirks of Table I are preserved faithfully: device pointers travel as
+4 bytes (the 32-bit era; the simulated device keeps its address space
+below 2**32 accordingly), and the cudaLaunch "Parameters offset" field
+doubles as the kernel-name region length, which is how the receiver can
+frame the NUL-terminated name without a separate length field.
+
+Kernel arguments travel in a dedicated SETUP_ARGS message (CUDA 2.3's
+``cudaSetupArgument`` batched per launch).  Table I does not list it --
+the paper only breaks down "the most commonly used operations" -- and the
+estimation model never needs it, but a functional middleware does.
+"""
+
+from repro.protocol.constants import FunctionId, PROTOCOL_VERSION
+from repro.protocol.messages import (
+    EventCreateRequest,
+    EventElapsedRequest,
+    EventRecordRequest,
+    FreeRequest,
+    InitRequest,
+    InitResponse,
+    LaunchRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyRequest,
+    MemcpyResponse,
+    PropertiesRequest,
+    PropertiesResponse,
+    Response,
+    SetupArgsRequest,
+    StreamCreateRequest,
+    StreamSyncRequest,
+    SyncRequest,
+    ValueResponse,
+)
+from repro.protocol.codec import (
+    MessageReader,
+    decode_request,
+    encode_request,
+    encode_response,
+    read_response,
+)
+from repro.protocol.accounting import (
+    MessageCost,
+    launch_request_bytes,
+    memcpy_request_bytes,
+    request_response_bytes,
+    table1_from_codec,
+)
+
+__all__ = [
+    "EventCreateRequest",
+    "EventElapsedRequest",
+    "EventRecordRequest",
+    "FreeRequest",
+    "FunctionId",
+    "InitRequest",
+    "InitResponse",
+    "LaunchRequest",
+    "MallocRequest",
+    "MallocResponse",
+    "MemcpyRequest",
+    "MemcpyResponse",
+    "MessageCost",
+    "MessageReader",
+    "PROTOCOL_VERSION",
+    "PropertiesRequest",
+    "PropertiesResponse",
+    "Response",
+    "SetupArgsRequest",
+    "StreamCreateRequest",
+    "StreamSyncRequest",
+    "SyncRequest",
+    "ValueResponse",
+    "decode_request",
+    "encode_request",
+    "encode_response",
+    "launch_request_bytes",
+    "memcpy_request_bytes",
+    "read_response",
+    "request_response_bytes",
+    "table1_from_codec",
+]

@@ -1,0 +1,161 @@
+"""Message-size accounting: Table I, derived from the codec itself.
+
+Nothing here hardcodes a size.  Every number is obtained by *encoding a
+representative message and measuring it*, so the regenerated Table I is a
+genuine property of the implementation -- if the codec drifted from the
+paper's layout, the Table I experiment (and its tests) would fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocol.codec import encode_request, encode_response
+from repro.protocol.messages import (
+    FreeRequest,
+    InitRequest,
+    InitResponse,
+    LaunchRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyRequest,
+    MemcpyResponse,
+    Response,
+    SetupArgsRequest,
+    SyncRequest,
+)
+from repro.simcuda.types import MemcpyKind
+
+
+@dataclass(frozen=True)
+class MessageCost:
+    """Bytes each way for one operation: ``fixed + payload`` on the side
+    that carries the variable part."""
+
+    operation: str
+    send_fixed: int
+    send_has_payload: bool
+    receive_fixed: int
+    receive_has_payload: bool
+
+    def send_bytes(self, payload: int = 0) -> int:
+        return self.send_fixed + (payload if self.send_has_payload else 0)
+
+    def receive_bytes(self, payload: int = 0) -> int:
+        return self.receive_fixed + (payload if self.receive_has_payload else 0)
+
+
+def _measure_fixed(encode_with_payload, payload_sizes=(0, 64)) -> tuple[int, bool]:
+    """Encode at two payload sizes; the intercept is the fixed cost and a
+    unit slope means the payload rides in this direction."""
+    a = len(encode_with_payload(payload_sizes[0]))
+    b = len(encode_with_payload(payload_sizes[1]))
+    slope = (b - a) // (payload_sizes[1] - payload_sizes[0])
+    assert slope in (0, 1), f"non-linear message size (slope {slope})"
+    return a, slope == 1
+
+
+def init_cost() -> MessageCost:
+    send_fixed, send_var = _measure_fixed(
+        lambda n: encode_request(InitRequest(module=b"\x00" * n))
+    )
+    recv = len(encode_response(InitResponse(error=0, compute_capability=(1, 3))))
+    return MessageCost("Initialization", send_fixed, send_var, recv, False)
+
+
+def malloc_cost() -> MessageCost:
+    send = len(encode_request(MallocRequest(size=4096)))
+    recv = len(encode_response(MallocResponse(error=0, ptr=0x1000)))
+    return MessageCost("cudaMalloc", send, False, recv, False)
+
+
+def memcpy_h2d_cost() -> MessageCost:
+    send_fixed, send_var = _measure_fixed(
+        lambda n: encode_request(
+            MemcpyRequest(
+                dst=0x1000,
+                src=0,
+                size=n,
+                kind=MemcpyKind.cudaMemcpyHostToDevice,
+                data=b"\x00" * n,
+            )
+        )
+    )
+    recv = len(encode_response(Response(error=0)))
+    return MessageCost("cudaMemcpy (to device)", send_fixed, send_var, recv, False)
+
+
+def memcpy_d2h_cost() -> MessageCost:
+    send = len(
+        encode_request(
+            MemcpyRequest(
+                dst=0, src=0x1000, size=64, kind=MemcpyKind.cudaMemcpyDeviceToHost
+            )
+        )
+    )
+    recv_fixed, recv_var = _measure_fixed(
+        lambda n: encode_response(MemcpyResponse(error=0, data=b"\x00" * n))
+    )
+    return MessageCost("cudaMemcpy (to host)", send, False, recv_fixed, recv_var)
+
+
+def launch_cost() -> MessageCost:
+    # The variable part is the NUL-terminated kernel name; measure with
+    # name lengths differing by a known amount.
+    a = len(encode_request(LaunchRequest(kernel_name="k")))
+    b = len(encode_request(LaunchRequest(kernel_name="k" * 65)))
+    assert b - a == 64
+    fixed = a - 2  # minus "k\x00"
+    recv = len(encode_response(Response(error=0)))
+    return MessageCost("cudaLaunch", fixed, True, recv, False)
+
+
+def free_cost() -> MessageCost:
+    send = len(encode_request(FreeRequest(ptr=0x1000)))
+    recv = len(encode_response(Response(error=0)))
+    return MessageCost("cudaFree", send, False, recv, False)
+
+
+def setup_args_cost(args: tuple = ()) -> MessageCost:
+    """Not part of Table I (support operation); size depends on the tuple."""
+    send = len(encode_request(SetupArgsRequest(args=args)))
+    recv = len(encode_response(Response(error=0)))
+    return MessageCost("cudaSetupArgument (batched)", send, False, recv, False)
+
+
+def sync_cost() -> MessageCost:
+    send = len(encode_request(SyncRequest()))
+    recv = len(encode_response(Response(error=0)))
+    return MessageCost("cudaThreadSynchronize", send, False, recv, False)
+
+
+def table1_from_codec() -> tuple[MessageCost, ...]:
+    """The six operations of Table I, measured from the codec."""
+    return (
+        init_cost(),
+        malloc_cost(),
+        memcpy_h2d_cost(),
+        memcpy_d2h_cost(),
+        launch_cost(),
+        free_cost(),
+    )
+
+
+# -- convenience arithmetic used by the estimation model --------------------------
+
+def request_response_bytes(cost: MessageCost, payload: int = 0) -> tuple[int, int]:
+    """(bytes sent, bytes received) for one operation with ``payload``
+    variable bytes."""
+    return cost.send_bytes(payload), cost.receive_bytes(payload)
+
+
+def memcpy_request_bytes(payload: int, to_device: bool) -> tuple[int, int]:
+    """Wire bytes each way for one cudaMemcpy of ``payload`` data bytes."""
+    cost = memcpy_h2d_cost() if to_device else memcpy_d2h_cost()
+    return request_response_bytes(cost, payload)
+
+
+def launch_request_bytes(kernel_name: str) -> tuple[int, int]:
+    """Wire bytes each way for a cudaLaunch of ``kernel_name``."""
+    cost = launch_cost()
+    return request_response_bytes(cost, len(kernel_name) + 1)

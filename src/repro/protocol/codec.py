@@ -1,0 +1,347 @@
+"""Encode/decode for the rCUDA wire protocol.
+
+Byte layouts match Table I exactly; see the package docstring for the two
+documented quirks (id-less initialization, the launch "Parameters offset"
+field as the name-region length).  The codec is symmetric and loss-free:
+``decode_request(encode_request(r)) == r`` for every request, a property
+the test suite checks exhaustively with hypothesis.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Protocol
+
+from repro.errors import ProtocolError
+from repro.protocol.constants import FunctionId
+from repro.protocol.messages import (
+    ElapsedResponse,
+    EventCreateRequest,
+    EventElapsedRequest,
+    EventRecordRequest,
+    FreeRequest,
+    InitRequest,
+    InitResponse,
+    LaunchRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyAsyncRequest,
+    MemcpyRequest,
+    MemcpyResponse,
+    MemsetRequest,
+    PropertiesRequest,
+    PropertiesResponse,
+    Request,
+    Response,
+    SetupArgsRequest,
+    StreamCreateRequest,
+    StreamSyncRequest,
+    SyncRequest,
+    ValueResponse,
+)
+from repro.protocol.wire import (
+    pack_args,
+    pack_cstr,
+    pack_u4,
+    unpack_args,
+    unpack_cstr,
+)
+from repro.simcuda.types import Dim3, MemcpyKind
+
+_U4 = struct.Struct("<I")
+_HDR_LAUNCH = struct.Struct("<IIIIIIIIIIII")  # 12 u4 fields incl. id
+_F8 = struct.Struct("<d")
+
+
+class _ByteSource(Protocol):
+    def recv_exact(self, nbytes: int) -> bytes: ...
+
+
+class MessageReader:
+    """Adapter giving ``recv_exact`` over a transport or a bytes buffer."""
+
+    def __init__(self, source) -> None:
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._buf = bytes(source)
+            self._pos = 0
+            self._transport = None
+        else:
+            self._buf = b""
+            self._pos = 0
+            self._transport = source
+
+    def recv_exact(self, nbytes: int) -> bytes:
+        if self._transport is not None:
+            return self._transport.recv_exact(nbytes)
+        if self._pos + nbytes > len(self._buf):
+            raise ProtocolError(
+                f"message truncated: wanted {nbytes} bytes, "
+                f"{len(self._buf) - self._pos} available"
+            )
+        out = self._buf[self._pos : self._pos + nbytes]
+        self._pos += nbytes
+        return out
+
+    def exhausted(self) -> bool:
+        return self._transport is None and self._pos == len(self._buf)
+
+    def read_u4(self) -> int:
+        return _U4.unpack(self.recv_exact(4))[0]
+
+
+# -- requests: encode ----------------------------------------------------------
+
+def encode_request(request: Request) -> bytes:
+    """Serialize any request (prepending the function id, except Init)."""
+    if isinstance(request, InitRequest):
+        return pack_u4(len(request.module)) + request.module
+    if isinstance(request, MallocRequest):
+        return pack_u4(FunctionId.MALLOC) + pack_u4(request.size)
+    if isinstance(request, MemcpyRequest):
+        head = (
+            pack_u4(FunctionId.MEMCPY)
+            + pack_u4(request.dst)
+            + pack_u4(request.src)
+            + pack_u4(request.size)
+            + pack_u4(request.kind)
+        )
+        if MemcpyKind(request.kind) is MemcpyKind.cudaMemcpyHostToDevice:
+            data = request.data if request.data is not None else b""
+            if len(data) != request.size:
+                raise ProtocolError(
+                    f"memcpy payload is {len(data)} bytes but the size "
+                    f"field says {request.size}"
+                )
+            return head + data
+        return head
+    if isinstance(request, MemcpyAsyncRequest):
+        head = (
+            pack_u4(FunctionId.MEMCPY_ASYNC)
+            + pack_u4(request.dst)
+            + pack_u4(request.src)
+            + pack_u4(request.size)
+            + pack_u4(request.kind)
+            + pack_u4(request.stream)
+        )
+        if MemcpyKind(request.kind) is MemcpyKind.cudaMemcpyHostToDevice:
+            data = request.data if request.data is not None else b""
+            if len(data) != request.size:
+                raise ProtocolError(
+                    f"async memcpy payload is {len(data)} bytes but the "
+                    f"size field says {request.size}"
+                )
+            return head + data
+        return head
+    if isinstance(request, MemsetRequest):
+        return (
+            pack_u4(FunctionId.MEMSET)
+            + pack_u4(request.ptr)
+            + pack_u4(request.value)
+            + pack_u4(request.size)
+        )
+    if isinstance(request, LaunchRequest):
+        name_region = pack_cstr(request.kernel_name)
+        # 44 fixed bytes (Table I): id, texture offset, parameters offset
+        # (the name-region length), number of textures, block dim (12),
+        # grid dim (8), shared size, stream -- then the kernel name.
+        return (
+            pack_u4(FunctionId.LAUNCH)
+            + pack_u4(request.texture_offset)
+            + pack_u4(len(name_region))
+            + pack_u4(request.num_textures)
+            + pack_u4(request.block.x)
+            + pack_u4(request.block.y)
+            + pack_u4(request.block.z)
+            + pack_u4(request.grid.x)
+            + pack_u4(request.grid.y)
+            + pack_u4(request.shared_bytes)
+            + pack_u4(request.stream)
+            + name_region
+        )
+    if isinstance(request, FreeRequest):
+        return pack_u4(FunctionId.FREE) + pack_u4(request.ptr)
+    if isinstance(request, SetupArgsRequest):
+        blob = pack_args(request.args)
+        return pack_u4(FunctionId.SETUP_ARGS) + pack_u4(len(blob)) + blob
+    if isinstance(request, SyncRequest):
+        return pack_u4(FunctionId.SYNCHRONIZE)
+    if isinstance(request, PropertiesRequest):
+        return pack_u4(FunctionId.GET_PROPERTIES)
+    if isinstance(request, StreamCreateRequest):
+        return pack_u4(FunctionId.STREAM_CREATE)
+    if isinstance(request, StreamSyncRequest):
+        return pack_u4(FunctionId.STREAM_SYNC) + pack_u4(request.stream)
+    if isinstance(request, EventCreateRequest):
+        return pack_u4(FunctionId.EVENT_CREATE)
+    if isinstance(request, EventRecordRequest):
+        return pack_u4(FunctionId.EVENT_RECORD) + pack_u4(request.event)
+    if isinstance(request, EventElapsedRequest):
+        return (
+            pack_u4(FunctionId.EVENT_ELAPSED)
+            + pack_u4(request.start)
+            + pack_u4(request.end)
+        )
+    raise ProtocolError(f"cannot encode request of type {type(request).__name__}")
+
+
+# -- requests: decode (server side) ----------------------------------------------
+
+def decode_init(reader: MessageReader) -> InitRequest:
+    """Read the id-less initialization message (first on a connection)."""
+    size = reader.read_u4()
+    module = reader.recv_exact(size)
+    return InitRequest(module=module)
+
+
+def decode_request(reader: MessageReader) -> Request:
+    """Read one post-initialization request (function id first)."""
+    raw_id = reader.read_u4()
+    try:
+        fid = FunctionId(raw_id)
+    except ValueError:
+        raise ProtocolError(f"unknown function id {raw_id}") from None
+    if fid is FunctionId.MALLOC:
+        return MallocRequest(size=reader.read_u4())
+    if fid is FunctionId.MEMCPY:
+        dst = reader.read_u4()
+        src = reader.read_u4()
+        size = reader.read_u4()
+        kind = reader.read_u4()
+        data: bytes | None = None
+        if MemcpyKind(kind) is MemcpyKind.cudaMemcpyHostToDevice:
+            data = reader.recv_exact(size)
+        return MemcpyRequest(dst=dst, src=src, size=size, kind=kind, data=data)
+    if fid is FunctionId.MEMCPY_ASYNC:
+        dst = reader.read_u4()
+        src = reader.read_u4()
+        size = reader.read_u4()
+        kind = reader.read_u4()
+        stream = reader.read_u4()
+        data = None
+        if MemcpyKind(kind) is MemcpyKind.cudaMemcpyHostToDevice:
+            data = reader.recv_exact(size)
+        return MemcpyAsyncRequest(
+            dst=dst, src=src, size=size, kind=kind, stream=stream, data=data
+        )
+    if fid is FunctionId.MEMSET:
+        return MemsetRequest(
+            ptr=reader.read_u4(), value=reader.read_u4(), size=reader.read_u4()
+        )
+    if fid is FunctionId.LAUNCH:
+        texture_offset = reader.read_u4()
+        name_region_len = reader.read_u4()
+        num_textures = reader.read_u4()
+        block = Dim3(reader.read_u4(), reader.read_u4(), reader.read_u4())
+        grid = Dim3(reader.read_u4(), reader.read_u4(), 1)
+        shared = reader.read_u4()
+        stream = reader.read_u4()
+        name = unpack_cstr(reader.recv_exact(name_region_len))
+        return LaunchRequest(
+            kernel_name=name,
+            block=block,
+            grid=grid,
+            shared_bytes=shared,
+            stream=stream,
+            texture_offset=texture_offset,
+            num_textures=num_textures,
+        )
+    if fid is FunctionId.FREE:
+        return FreeRequest(ptr=reader.read_u4())
+    if fid is FunctionId.SETUP_ARGS:
+        blob = reader.recv_exact(reader.read_u4())
+        return SetupArgsRequest(args=unpack_args(blob))
+    if fid is FunctionId.SYNCHRONIZE:
+        return SyncRequest()
+    if fid is FunctionId.GET_PROPERTIES:
+        return PropertiesRequest()
+    if fid is FunctionId.STREAM_CREATE:
+        return StreamCreateRequest()
+    if fid is FunctionId.STREAM_SYNC:
+        return StreamSyncRequest(stream=reader.read_u4())
+    if fid is FunctionId.EVENT_CREATE:
+        return EventCreateRequest()
+    if fid is FunctionId.EVENT_RECORD:
+        return EventRecordRequest(event=reader.read_u4())
+    if fid is FunctionId.EVENT_ELAPSED:
+        return EventElapsedRequest(start=reader.read_u4(), end=reader.read_u4())
+    raise ProtocolError(f"unhandled function id {fid!r}")
+
+
+# -- responses ------------------------------------------------------------------
+
+def encode_response(response: Response) -> bytes:
+    """Serialize a response (error code first, then per-type fields)."""
+    if isinstance(response, InitResponse):
+        major, minor = response.compute_capability
+        return pack_u4(major) + pack_u4(minor) + pack_u4(response.error)
+    if isinstance(response, MallocResponse):
+        return pack_u4(response.error) + pack_u4(response.ptr)
+    if isinstance(response, MemcpyResponse):
+        out = pack_u4(response.error)
+        if response.error == 0 and response.data is not None:
+            out += response.data
+        return out
+    if isinstance(response, ValueResponse):
+        return pack_u4(response.error) + pack_u4(response.value)
+    if isinstance(response, PropertiesResponse):
+        name = response.name.encode()
+        major, minor = response.compute_capability
+        return (
+            pack_u4(response.error)
+            + pack_u4(major)
+            + pack_u4(minor)
+            + struct.pack("<Q", response.total_global_mem)
+            + pack_u4(len(name))
+            + name
+        )
+    if isinstance(response, ElapsedResponse):
+        return pack_u4(response.error) + _F8.pack(response.elapsed_ms)
+    if isinstance(response, Response):
+        return pack_u4(response.error)
+    raise ProtocolError(f"cannot encode response {type(response).__name__}")
+
+
+def read_response(reader: MessageReader, request: Request) -> Response:
+    """Read the reply matching ``request`` (the client knows the shape of
+    the answer from the call it made, as in the real middleware)."""
+    if isinstance(request, InitRequest):
+        major = reader.read_u4()
+        minor = reader.read_u4()
+        error = reader.read_u4()
+        return InitResponse(error=error, compute_capability=(major, minor))
+    if isinstance(request, MallocRequest):
+        error = reader.read_u4()
+        ptr = reader.read_u4()
+        return MallocResponse(error=error, ptr=ptr)
+    if isinstance(request, (MemcpyRequest, MemcpyAsyncRequest)):
+        error = reader.read_u4()
+        if MemcpyKind(request.kind) is not MemcpyKind.cudaMemcpyDeviceToHost:
+            # To-device and device-to-device copies answer with the bare
+            # error code (Table I: cudaMemcpy to device receives 4 bytes).
+            return Response(error=error)
+        data: bytes | None = None
+        if error == 0:
+            data = reader.recv_exact(request.size)
+        return MemcpyResponse(error=error, data=data)
+    if isinstance(request, (StreamCreateRequest, EventCreateRequest)):
+        error = reader.read_u4()
+        value = reader.read_u4()
+        return ValueResponse(error=error, value=value)
+    if isinstance(request, PropertiesRequest):
+        error = reader.read_u4()
+        major = reader.read_u4()
+        minor = reader.read_u4()
+        total = struct.unpack("<Q", reader.recv_exact(8))[0]
+        name = reader.recv_exact(reader.read_u4()).decode()
+        return PropertiesResponse(
+            error=error,
+            name=name,
+            compute_capability=(major, minor),
+            total_global_mem=total,
+        )
+    if isinstance(request, EventElapsedRequest):
+        error = reader.read_u4()
+        elapsed = _F8.unpack(reader.recv_exact(8))[0]
+        return ElapsedResponse(error=error, elapsed_ms=elapsed)
+    # Everything else answers with the bare error code.
+    return Response(error=reader.read_u4())

@@ -1,0 +1,35 @@
+"""Protocol constants: the 32-bit function identifiers.
+
+The initialization exchange is *not* identified -- it is the first message
+after connect, which is why Table I's Initialization row has no
+"Function id." field.  Every later request starts with one of these.
+"""
+
+from __future__ import annotations
+
+import enum
+
+PROTOCOL_VERSION = 1
+
+
+class FunctionId(enum.IntEnum):
+    """Request discriminator (the "first 32 bits" of Section III)."""
+
+    # The four remoted calls broken down in Table I.
+    MALLOC = 1
+    MEMCPY = 2
+    LAUNCH = 3
+    FREE = 4
+    # Support calls a functional middleware additionally needs (the paper's
+    # Table I lists only "the most commonly used operations").
+    SETUP_ARGS = 5
+    SYNCHRONIZE = 6
+    GET_PROPERTIES = 7
+    STREAM_CREATE = 8
+    STREAM_SYNC = 9
+    EVENT_CREATE = 10
+    EVENT_RECORD = 11
+    EVENT_ELAPSED = 12
+    # Asynchronous transfers: the paper's declared future work.
+    MEMCPY_ASYNC = 13
+    MEMSET = 14

@@ -1,0 +1,213 @@
+"""Request and response dataclasses, one per remoted operation.
+
+Field names and widths mirror Table I.  ``data`` payloads are ``bytes``;
+the codec never copies them more than once on the way to the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simcuda.types import Dim3
+
+
+# -- requests -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InitRequest:
+    """Initialization: Size (4) + Module (x).  First message on a
+    connection; carries no function id (see Table I)."""
+
+    module: bytes
+
+
+@dataclass(frozen=True)
+class MallocRequest:
+    """cudaMalloc: Function id (4) + Size (4)."""
+
+    size: int
+
+
+@dataclass(frozen=True)
+class MemcpyRequest:
+    """cudaMemcpy: Function id + Destination + Source + Size + Kind
+    (4 each) + Data (x, host-to-device only)."""
+
+    dst: int
+    src: int
+    size: int
+    kind: int
+    data: bytes | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class MemcpyAsyncRequest:
+    """cudaMemcpyAsync: the cudaMemcpy layout plus a 4-byte stream field.
+
+    Not in Table I -- asynchronous transfers are the paper's declared
+    future work; this message is our implementation of it.
+    """
+
+    dst: int
+    src: int
+    size: int
+    kind: int
+    stream: int = 0
+    data: bytes | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class LaunchRequest:
+    """cudaLaunch: Function id + Texture offset + Parameters offset +
+    Number of textures (4 each) + Block dim (12) + Grid dim (8) + Shared
+    size (4) + Stream (4) + Kernel name (x, NUL-terminated).
+
+    The "Parameters offset" field carries the kernel-name region length
+    (the offset at which parameters would begin), which is how the
+    receiver frames the variable region.
+    """
+
+    kernel_name: str
+    block: Dim3 = Dim3(1, 1, 1)
+    grid: Dim3 = Dim3(1, 1, 1)
+    shared_bytes: int = 0
+    stream: int = 0
+    texture_offset: int = 0
+    num_textures: int = 0
+
+
+@dataclass(frozen=True)
+class FreeRequest:
+    """cudaFree: Function id (4) + Device pointer (4)."""
+
+    ptr: int
+
+
+@dataclass(frozen=True)
+class MemsetRequest:
+    """cudaMemset: Function id + Device pointer + Value + Size (4 each)."""
+
+    ptr: int
+    value: int
+    size: int
+
+
+@dataclass(frozen=True)
+class SetupArgsRequest:
+    """Kernel arguments for the next launch (batched cudaSetupArgument)."""
+
+    args: tuple
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """cudaThreadSynchronize."""
+
+
+@dataclass(frozen=True)
+class PropertiesRequest:
+    """cudaGetDeviceProperties (beyond the init handshake's capability)."""
+
+
+@dataclass(frozen=True)
+class StreamCreateRequest:
+    """cudaStreamCreate."""
+
+
+@dataclass(frozen=True)
+class StreamSyncRequest:
+    """cudaStreamSynchronize."""
+
+    stream: int = 0
+
+
+@dataclass(frozen=True)
+class EventCreateRequest:
+    """cudaEventCreate."""
+
+
+@dataclass(frozen=True)
+class EventRecordRequest:
+    """cudaEventRecord."""
+
+    event: int = 0
+
+
+@dataclass(frozen=True)
+class EventElapsedRequest:
+    """cudaEventElapsedTime."""
+
+    start: int = 0
+    end: int = 0
+
+
+Request = (
+    InitRequest
+    | MallocRequest
+    | MemcpyRequest
+    | MemcpyAsyncRequest
+    | MemsetRequest
+    | LaunchRequest
+    | FreeRequest
+    | SetupArgsRequest
+    | SyncRequest
+    | PropertiesRequest
+    | StreamCreateRequest
+    | StreamSyncRequest
+    | EventCreateRequest
+    | EventRecordRequest
+    | EventElapsedRequest
+)
+
+
+# -- responses -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Response:
+    """The universal reply: the 32-bit CUDA error code."""
+
+    error: int = 0
+
+
+@dataclass(frozen=True)
+class InitResponse(Response):
+    """Initialization reply: Compute capability (8 = 2 x u4) + error (4)."""
+
+    compute_capability: tuple[int, int] = (1, 3)
+
+
+@dataclass(frozen=True)
+class MallocResponse(Response):
+    """cudaMalloc reply: error (4) + Device pointer (4)."""
+
+    ptr: int = 0
+
+
+@dataclass(frozen=True)
+class MemcpyResponse(Response):
+    """cudaMemcpy reply: error (4) [+ Data (x) for device-to-host]."""
+
+    data: bytes | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class ValueResponse(Response):
+    """Generic error + one u4 value (stream/event handles)."""
+
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class PropertiesResponse(Response):
+    """Device name, capability and memory for cudaGetDeviceProperties."""
+
+    name: str = ""
+    compute_capability: tuple[int, int] = (0, 0)
+    total_global_mem: int = 0
+
+
+@dataclass(frozen=True)
+class ElapsedResponse(Response):
+    """cudaEventElapsedTime reply: error + elapsed milliseconds (f8)."""
+
+    elapsed_ms: float = 0.0

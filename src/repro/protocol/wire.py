@@ -1,0 +1,118 @@
+"""Low-level wire primitives: packing helpers and typed argument blobs.
+
+Everything on the wire is little-endian, matching the x86 testbed.  Kernel
+arguments are serialized as a count followed by (1-byte type code, value)
+pairs; see :data:`ARG_CODECS`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+
+U4 = struct.Struct("<I")
+I4 = struct.Struct("<i")
+U8 = struct.Struct("<Q")
+I8 = struct.Struct("<q")
+F4 = struct.Struct("<f")
+F8 = struct.Struct("<d")
+
+
+def pack_u4(value: int) -> bytes:
+    if not 0 <= value < 2**32:
+        raise ProtocolError(f"value {value} does not fit a 4-byte field")
+    return U4.pack(value)
+
+
+def unpack_u4(data: bytes, offset: int = 0) -> int:
+    return U4.unpack_from(data, offset)[0]
+
+
+#: Kernel-argument type codes.  Pointers use ``ptr`` (4 bytes on the wire,
+#: like every device pointer in Table I).
+ARG_CODES: dict[str, int] = {
+    "ptr": 0, "u4": 1, "i4": 2, "f4": 3, "f8": 4, "u8": 5, "i8": 6,
+}
+ARG_STRUCTS: dict[int, struct.Struct] = {
+    0: U4, 1: U4, 2: I4, 3: F4, 4: F8, 5: U8, 6: I8,
+}
+
+
+def classify_arg(value) -> str:
+    """Pick a wire type for a Python kernel argument.
+
+    Ints become pointers/``u4``/``u8``/``i4``/``i8`` by range, floats
+    ``f8`` (kernels cast as needed; ``f8`` keeps full precision for
+    alpha/beta scalars).
+    """
+    if isinstance(value, bool):
+        raise ProtocolError("booleans are not valid kernel arguments")
+    if isinstance(value, int):
+        if value < -(2**63) or value >= 2**64:
+            raise ProtocolError(
+                f"kernel argument {value} does not fit any wire integer"
+            )
+        if value < -(2**31):
+            return "i8"
+        if value < 0:
+            return "i4"
+        if value < 2**32:
+            return "u4"
+        return "u8"
+    if isinstance(value, float):
+        return "f8"
+    raise ProtocolError(
+        f"unsupported kernel argument type {type(value).__name__}"
+    )
+
+
+def pack_args(args: tuple) -> bytes:
+    """Serialize a kernel argument tuple."""
+    out = bytearray(pack_u4(len(args)))
+    for value in args:
+        kind = classify_arg(value)
+        code = ARG_CODES[kind]
+        out.append(code)
+        out += ARG_STRUCTS[code].pack(value)
+    return bytes(out)
+
+
+def unpack_args(data: bytes) -> tuple:
+    """Deserialize a kernel argument blob back to Python values."""
+    if len(data) < 4:
+        raise ProtocolError("argument blob shorter than its count field")
+    count = unpack_u4(data)
+    offset = 4
+    values = []
+    for _ in range(count):
+        if offset >= len(data):
+            raise ProtocolError("truncated argument blob")
+        code = data[offset]
+        offset += 1
+        codec = ARG_STRUCTS.get(code)
+        if codec is None:
+            raise ProtocolError(f"unknown argument type code {code}")
+        if offset + codec.size > len(data):
+            raise ProtocolError("truncated argument value")
+        values.append(codec.unpack_from(data, offset)[0])
+        offset += codec.size
+    if offset != len(data):
+        raise ProtocolError(
+            f"argument blob has {len(data) - offset} trailing bytes"
+        )
+    return tuple(values)
+
+
+def pack_cstr(name: str) -> bytes:
+    """A NUL-terminated kernel name, the ``x`` of Table I's cudaLaunch."""
+    encoded = name.encode()
+    if b"\x00" in encoded:
+        raise ProtocolError("kernel names cannot contain NUL")
+    return encoded + b"\x00"
+
+
+def unpack_cstr(data: bytes) -> str:
+    if not data.endswith(b"\x00"):
+        raise ProtocolError("kernel name region is not NUL-terminated")
+    return data[:-1].decode()

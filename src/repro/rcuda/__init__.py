@@ -1,0 +1,29 @@
+"""rCUDA: the CUDA-remoting middleware (Section III).
+
+Client/server architecture exactly as the paper describes: applications
+link against a wrapper runtime (:class:`~repro.rcuda.client.RemoteCudaRuntime`)
+that forwards every CUDA call as a wire message to a GPU server; the
+server daemon (:class:`~repro.rcuda.server.RCudaDaemon`) listens on a TCP
+port and spawns one session -- over a fresh, pre-initialized GPU
+context -- per connection, which is how the GPU is time-multiplexed among
+concurrent clients.
+
+The seven-phase execution recipe of Section III (initialization, memory
+allocation, input transfer, kernel execution, output transfer, memory
+release, finalization) is what :mod:`repro.workloads` drives through this
+package.
+"""
+
+from repro.rcuda.client.connection import RCudaClient
+from repro.rcuda.client.runtime import RemoteCudaRuntime
+from repro.rcuda.server.daemon import RCudaDaemon
+from repro.rcuda.server.handler import SessionHandler
+from repro.rcuda.server.session import ServerSession
+
+__all__ = [
+    "RCudaClient",
+    "RCudaDaemon",
+    "RemoteCudaRuntime",
+    "ServerSession",
+    "SessionHandler",
+]

@@ -1,0 +1,7 @@
+"""Client side of the middleware: the wrapper CUDA runtime applications
+link against, plus connection helpers."""
+
+from repro.rcuda.client.connection import RCudaClient
+from repro.rcuda.client.runtime import RemoteCudaRuntime
+
+__all__ = ["RCudaClient", "RemoteCudaRuntime"]

@@ -1,0 +1,78 @@
+"""Connection helpers: dial a server and run the initialization stage.
+
+"The client side automatically establishes a connection with the remote
+server, and locates and sends the GPU module of the application" --
+:class:`RCudaClient` bundles exactly that: connect (TCP or in-process),
+ship the module, check the capability handshake, hand back a live
+:class:`~repro.rcuda.client.runtime.RemoteCudaRuntime`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransportError
+from repro.rcuda.client.runtime import RemoteCudaRuntime
+from repro.simcuda.errors import CudaError, check
+from repro.simcuda.module import GpuModule
+from repro.transport.base import Transport
+from repro.transport.inproc import inproc_pair
+from repro.transport.tcp import connect_tcp
+
+
+class RCudaClient:
+    """An initialized client session (context-manager friendly)."""
+
+    def __init__(self, runtime: RemoteCudaRuntime) -> None:
+        self.runtime = runtime
+
+    @classmethod
+    def connect(
+        cls, transport: Transport, module: GpuModule
+    ) -> "RCudaClient":
+        """Initialize a session over an already-connected transport."""
+        runtime = RemoteCudaRuntime(transport)
+        status = runtime.initialize(module)
+        if status != CudaError.cudaSuccess:
+            runtime.close()
+            check(status, "rCUDA initialization")
+        return cls(runtime)
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, module: GpuModule, nodelay: bool = True
+    ) -> "RCudaClient":
+        """Dial a daemon over TCP (Nagle disabled by default, as in the
+        paper) and initialize."""
+        transport = connect_tcp(host, port, nodelay=nodelay)
+        try:
+            return cls.connect(transport, module)
+        except Exception:
+            transport.close()
+            raise
+
+    @classmethod
+    def connect_inproc(cls, daemon, module: GpuModule) -> "RCudaClient":
+        """Connect to a daemon in this process without sockets: creates a
+        transport pair and asks the daemon to serve the far end."""
+        client_end, server_end = inproc_pair()
+        try:
+            daemon.serve_transport(server_end)
+            return cls.connect(client_end, module)
+        except Exception:
+            client_end.close()
+            raise
+
+    @property
+    def compute_capability(self) -> tuple[int, int]:
+        cc = self.runtime.compute_capability
+        if cc is None:
+            raise TransportError("session is not initialized")
+        return cc
+
+    def close(self) -> None:
+        self.runtime.close()
+
+    def __enter__(self) -> "RCudaClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,277 @@
+"""The client wrapper runtime: the "library of wrappers to the CUDA
+Runtime API" of Section III.
+
+Applications call the same surface :class:`~repro.simcuda.runtime.CudaRuntime`
+offers locally; every call becomes one request/response exchange with the
+server (kernel launches become two: the batched argument message plus the
+Table I cudaLaunch).  The API "provides the illusion of being a real GPU":
+return values are the CUDA status codes the server produced, shipped back
+in the response's 4-byte error field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.protocol.codec import MessageReader, encode_request, read_response
+from repro.protocol.messages import (
+    ElapsedResponse,
+    EventCreateRequest,
+    EventElapsedRequest,
+    EventRecordRequest,
+    FreeRequest,
+    InitRequest,
+    InitResponse,
+    LaunchRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyAsyncRequest,
+    MemcpyRequest,
+    MemcpyResponse,
+    MemsetRequest,
+    PropertiesRequest,
+    PropertiesResponse,
+    Request,
+    Response,
+    SetupArgsRequest,
+    StreamCreateRequest,
+    StreamSyncRequest,
+    SyncRequest,
+    ValueResponse,
+)
+from repro.simcuda.errors import CudaError
+from repro.simcuda.module import GpuModule
+from repro.simcuda.types import Dim3, DevicePtr, MemcpyKind
+from repro.transport.base import Transport
+
+
+class RemoteCudaRuntime:
+    """One application's connection to a remote GPU."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self._reader = MessageReader(transport)
+        self.compute_capability: tuple[int, int] | None = None
+        self.last_error = CudaError.cudaSuccess
+        self._launch_config: tuple[Dim3, Dim3, int, int] | None = None
+        self._staged_args: list = []
+        self.calls_made = 0
+        self._closed = False
+        #: Optional observer called after every exchange with
+        #: (request, response, bytes_sent).  Figure 2's sequence diagram
+        #: is reconstructed from real sessions through this hook.
+        self.exchange_hook = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _call(self, request: Request) -> Response:
+        if self._closed:
+            raise ProtocolError("runtime is closed")
+        wire = encode_request(request)
+        self.transport.send(wire)
+        response = read_response(self._reader, request)
+        self.calls_made += 1
+        self.last_error = CudaError(response.error)
+        if self.exchange_hook is not None:
+            self.exchange_hook(request, response, len(wire))
+        return response
+
+    # -- initialization stage --------------------------------------------------
+
+    def initialize(self, module: GpuModule) -> CudaError:
+        """Ship the GPU module; stores the device's compute capability."""
+        response = self._call(InitRequest(module=module.payload))
+        assert isinstance(response, InitResponse)
+        if response.error == 0:
+            self.compute_capability = response.compute_capability
+        return CudaError(response.error)
+
+    # -- memory ------------------------------------------------------------------
+
+    def cudaMalloc(self, size: int) -> tuple[CudaError, DevicePtr | None]:
+        if not 0 <= size < 2**32:
+            # Table I's Size field is 4 bytes (the CUDA 2.3 wire ABI):
+            # sizes beyond it are unrepresentable, as on 32-bit CUDA.
+            return CudaError.cudaErrorInvalidValue, None
+        response = self._call(MallocRequest(size=size))
+        assert isinstance(response, MallocResponse)
+        error = CudaError(response.error)
+        return error, response.ptr if error == CudaError.cudaSuccess else None
+
+    def cudaFree(self, ptr: DevicePtr) -> CudaError:
+        return CudaError(self._call(FreeRequest(ptr=ptr)).error)
+
+    def cudaMemcpy(
+        self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        count: int,
+        kind: MemcpyKind,
+        host_data: bytes | np.ndarray | None = None,
+    ) -> tuple[CudaError, np.ndarray | None]:
+        kind = MemcpyKind(kind)
+        payload: bytes | None = None
+        if kind is MemcpyKind.cudaMemcpyHostToDevice:
+            if host_data is None:
+                return CudaError.cudaErrorInvalidValue, None
+            if isinstance(host_data, np.ndarray):
+                payload = np.ascontiguousarray(host_data).tobytes()[:count]
+            else:
+                payload = bytes(host_data)[:count]
+            if len(payload) != count:
+                return CudaError.cudaErrorInvalidValue, None
+        response = self._call(
+            MemcpyRequest(dst=dst, src=src, size=count, kind=int(kind), data=payload)
+        )
+        error = CudaError(response.error)
+        data: np.ndarray | None = None
+        if isinstance(response, MemcpyResponse) and response.data is not None:
+            data = np.frombuffer(response.data, dtype=np.uint8).copy()
+        return error, data
+
+    def cudaMemset(self, ptr: DevicePtr, value: int, count: int) -> CudaError:
+        """Fill remote device memory with a byte value."""
+        if not 0 <= value <= 0xFF or not 0 <= count < 2**32:
+            return CudaError.cudaErrorInvalidValue
+        return CudaError(
+            self._call(MemsetRequest(ptr=ptr, value=value, size=count)).error
+        )
+
+    def cudaMemcpyAsync(
+        self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        count: int,
+        kind: MemcpyKind,
+        stream: int = 0,
+        host_data: bytes | np.ndarray | None = None,
+    ) -> tuple[CudaError, np.ndarray | None]:
+        """Asynchronous copy on a remote stream (the paper's future work:
+        asynchronous transfers are remoted but not covered by the Section
+        V estimation model)."""
+        kind = MemcpyKind(kind)
+        payload: bytes | None = None
+        if kind is MemcpyKind.cudaMemcpyHostToDevice:
+            if host_data is None:
+                return CudaError.cudaErrorInvalidValue, None
+            if isinstance(host_data, np.ndarray):
+                payload = np.ascontiguousarray(host_data).tobytes()[:count]
+            else:
+                payload = bytes(host_data)[:count]
+            if len(payload) != count:
+                return CudaError.cudaErrorInvalidValue, None
+        response = self._call(
+            MemcpyAsyncRequest(
+                dst=dst, src=src, size=count, kind=int(kind),
+                stream=stream, data=payload,
+            )
+        )
+        error = CudaError(response.error)
+        data: np.ndarray | None = None
+        if isinstance(response, MemcpyResponse) and response.data is not None:
+            data = np.frombuffer(response.data, dtype=np.uint8).copy()
+        return error, data
+
+    # -- kernel launch -------------------------------------------------------------
+
+    def cudaConfigureCall(
+        self, grid: Dim3, block: Dim3, shared_bytes: int = 0, stream: int = 0
+    ) -> CudaError:
+        self._launch_config = (grid, block, shared_bytes, stream)
+        self._staged_args = []
+        return CudaError.cudaSuccess
+
+    def cudaSetupArgument(self, value) -> CudaError:
+        if self._launch_config is None:
+            return CudaError.cudaErrorMissingConfiguration
+        self._staged_args.append(value)
+        return CudaError.cudaSuccess
+
+    def cudaLaunch(self, kernel_name: str) -> CudaError:
+        if self._launch_config is None:
+            return CudaError.cudaErrorMissingConfiguration
+        grid, block, shared, stream = self._launch_config
+        self._launch_config = None
+        args = tuple(self._staged_args)
+        self._staged_args = []
+        if args:
+            error = CudaError(self._call(SetupArgsRequest(args=args)).error)
+            if error != CudaError.cudaSuccess:
+                return error
+        response = self._call(
+            LaunchRequest(
+                kernel_name=kernel_name,
+                block=block,
+                grid=grid,
+                shared_bytes=shared,
+                stream=stream,
+            )
+        )
+        return CudaError(response.error)
+
+    def launch_kernel(
+        self,
+        kernel_name: str,
+        grid: Dim3,
+        block: Dim3,
+        args: tuple,
+        stream: int = 0,
+        shared_bytes: int = 0,
+    ) -> CudaError:
+        """Convenience: configure + setup + launch."""
+        self.cudaConfigureCall(grid, block, shared_bytes, stream)
+        for arg in args:
+            self.cudaSetupArgument(arg)
+        return self.cudaLaunch(kernel_name)
+
+    # -- sync / streams / events -------------------------------------------------
+
+    def cudaThreadSynchronize(self) -> CudaError:
+        return CudaError(self._call(SyncRequest()).error)
+
+    def cudaGetDeviceProperties(self) -> tuple[CudaError, PropertiesResponse]:
+        response = self._call(PropertiesRequest())
+        assert isinstance(response, PropertiesResponse)
+        return CudaError(response.error), response
+
+    def cudaStreamCreate(self) -> tuple[CudaError, int | None]:
+        response = self._call(StreamCreateRequest())
+        assert isinstance(response, ValueResponse)
+        error = CudaError(response.error)
+        return error, response.value if error == CudaError.cudaSuccess else None
+
+    def cudaStreamSynchronize(self, stream: int) -> CudaError:
+        return CudaError(self._call(StreamSyncRequest(stream=stream)).error)
+
+    def cudaEventCreate(self) -> tuple[CudaError, int | None]:
+        response = self._call(EventCreateRequest())
+        assert isinstance(response, ValueResponse)
+        error = CudaError(response.error)
+        return error, response.value if error == CudaError.cudaSuccess else None
+
+    def cudaEventRecord(self, event: int) -> CudaError:
+        return CudaError(self._call(EventRecordRequest(event=event)).error)
+
+    def cudaEventElapsedTime(
+        self, start: int, end: int
+    ) -> tuple[CudaError, float | None]:
+        response = self._call(EventElapsedRequest(start=start, end=end))
+        assert isinstance(response, ElapsedResponse)
+        error = CudaError(response.error)
+        return error, response.elapsed_ms if error == CudaError.cudaSuccess else None
+
+    # -- finalization stage ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Finalization: close the socket; the server session releases the
+        GPU context and associated resources."""
+        if not self._closed:
+            self._closed = True
+            self.transport.close()
+
+    def __enter__(self) -> "RemoteCudaRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

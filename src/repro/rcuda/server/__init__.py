@@ -1,0 +1,8 @@
+"""Server side of the middleware: daemon, per-connection sessions, and the
+request handler mapping wire messages onto the CUDA runtime."""
+
+from repro.rcuda.server.daemon import RCudaDaemon
+from repro.rcuda.server.handler import SessionHandler
+from repro.rcuda.server.session import ServerSession
+
+__all__ = ["RCudaDaemon", "ServerSession", "SessionHandler"]

@@ -1,0 +1,121 @@
+"""The rCUDA server daemon.
+
+"On the other side, there is a GPU network service listening for requests
+on a TCP port" (Section III).  The daemon accepts connections and spawns
+one :class:`~repro.rcuda.server.session.ServerSession` per client -- the
+paper's process-per-remote-execution; threads here, since the simulated
+device is in-process -- each over a fresh, pre-initialized GPU context, so
+several applications can time-share the accelerator concurrently.
+
+Besides TCP, ``serve_transport`` attaches a session to any transport
+(e.g. an in-process pair), which is how tests and single-process examples
+run a real client/server exchange without opening ports.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import TransportError
+from repro.rcuda.server.session import ServerSession
+from repro.simcuda.device import SimulatedGpu
+from repro.transport.base import Transport
+from repro.transport.tcp import TcpTransport
+
+
+class RCudaDaemon:
+    """Accept loop + session threads over one simulated GPU."""
+
+    def __init__(
+        self,
+        device: SimulatedGpu,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.device = device
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._session_threads: list[threading.Thread] = []
+        self.sessions: list[ServerSession] = []
+        self._lock = threading.Lock()
+        self._running = False
+
+    # -- TCP service -------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind, listen and start accepting; returns the bound port."""
+        if self._running:
+            raise TransportError("daemon is already running")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self.host, self._requested_port))
+        except OSError as exc:
+            listener.close()
+            raise TransportError(
+                f"could not bind {self.host}:{self._requested_port}: {exc}"
+            ) from exc
+        listener.listen(16)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="rcuda-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.port
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed during stop()
+            transport = TcpTransport(conn, nodelay=True)
+            self.serve_transport(transport)
+
+    def serve_transport(self, transport: Transport) -> ServerSession:
+        """Spawn a session thread over an already-connected transport."""
+        session = ServerSession(transport, self.device)
+        thread = threading.Thread(
+            target=session.run, name="rcuda-session", daemon=True
+        )
+        with self._lock:
+            self.sessions.append(session)
+            self._session_threads.append(thread)
+        thread.start()
+        return session
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop accepting and wait for live sessions to drain."""
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=join_timeout)
+            self._accept_thread = None
+        with self._lock:
+            threads = list(self._session_threads)
+        for thread in threads:
+            thread.join(timeout=join_timeout)
+
+    def __enter__(self) -> "RCudaDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def completed_sessions(self) -> int:
+        with self._lock:
+            return sum(1 for s in self.sessions if s.finished)

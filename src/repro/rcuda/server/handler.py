@@ -1,0 +1,167 @@
+"""Request handler: one decoded request in, one response out.
+
+Transport-free by design (the session layer owns the bytes), so the full
+dispatch logic is unit-testable without sockets.  The handler drives a
+:class:`~repro.simcuda.runtime.CudaRuntime` whose context the daemon
+pre-initialized -- the server-side half of the paper's observation that
+remote executions skip the CUDA environment initialization delay.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.protocol.messages import (
+    ElapsedResponse,
+    EventCreateRequest,
+    EventElapsedRequest,
+    EventRecordRequest,
+    FreeRequest,
+    InitRequest,
+    InitResponse,
+    LaunchRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyAsyncRequest,
+    MemcpyRequest,
+    MemcpyResponse,
+    MemsetRequest,
+    PropertiesRequest,
+    PropertiesResponse,
+    Request,
+    Response,
+    SetupArgsRequest,
+    StreamCreateRequest,
+    StreamSyncRequest,
+    SyncRequest,
+    ValueResponse,
+)
+from repro.simcuda.errors import CudaError
+from repro.simcuda.module import parse_module
+from repro.simcuda.runtime import CudaRuntime
+from repro.simcuda.types import MemcpyKind
+
+
+class SessionHandler:
+    """Maps one session's requests onto its CUDA runtime."""
+
+    def __init__(self, runtime: CudaRuntime) -> None:
+        self.runtime = runtime
+        self._staged_args: tuple = ()
+        self.requests_handled = 0
+
+    # -- initialization (first exchange of a connection) ---------------------
+
+    def handle_init(self, request: InitRequest) -> InitResponse:
+        """Load the shipped GPU module and answer with the device's
+        compute capability (Table I's 8-byte field)."""
+        self.requests_handled += 1
+        try:
+            module = parse_module(request.module)
+        except ProtocolError:
+            return InitResponse(
+                error=int(CudaError.cudaErrorInitializationError),
+                compute_capability=(0, 0),
+            )
+        error = self.runtime.load_module(module)
+        _, props = self.runtime.cudaGetDeviceProperties()
+        return InitResponse(
+            error=int(error), compute_capability=props.compute_capability
+        )
+
+    # -- steady-state dispatch ------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        self.requests_handled += 1
+        if isinstance(request, MallocRequest):
+            error, ptr = self.runtime.cudaMalloc(request.size)
+            return MallocResponse(error=int(error), ptr=ptr or 0)
+        if isinstance(request, MemcpyAsyncRequest):
+            return self._handle_memcpy_async(request)
+        if isinstance(request, MemcpyRequest):
+            return self._handle_memcpy(request)
+        if isinstance(request, MemsetRequest):
+            return Response(
+                error=int(
+                    self.runtime.cudaMemset(
+                        request.ptr, request.value, request.size
+                    )
+                )
+            )
+        if isinstance(request, SetupArgsRequest):
+            self._staged_args = request.args
+            return Response(error=int(CudaError.cudaSuccess))
+        if isinstance(request, LaunchRequest):
+            return self._handle_launch(request)
+        if isinstance(request, FreeRequest):
+            return Response(error=int(self.runtime.cudaFree(request.ptr)))
+        if isinstance(request, SyncRequest):
+            return Response(error=int(self.runtime.cudaThreadSynchronize()))
+        if isinstance(request, PropertiesRequest):
+            _, props = self.runtime.cudaGetDeviceProperties()
+            return PropertiesResponse(
+                error=int(CudaError.cudaSuccess),
+                name=props.name,
+                compute_capability=props.compute_capability,
+                total_global_mem=props.total_global_mem,
+            )
+        if isinstance(request, StreamCreateRequest):
+            error, handle = self.runtime.cudaStreamCreate()
+            return ValueResponse(error=int(error), value=handle or 0)
+        if isinstance(request, StreamSyncRequest):
+            return Response(
+                error=int(self.runtime.cudaStreamSynchronize(request.stream))
+            )
+        if isinstance(request, EventCreateRequest):
+            error, handle = self.runtime.cudaEventCreate()
+            return ValueResponse(error=int(error), value=handle or 0)
+        if isinstance(request, EventRecordRequest):
+            return Response(error=int(self.runtime.cudaEventRecord(request.event)))
+        if isinstance(request, EventElapsedRequest):
+            error, elapsed = self.runtime.cudaEventElapsedTime(
+                request.start, request.end
+            )
+            return ElapsedResponse(error=int(error), elapsed_ms=elapsed or 0.0)
+        raise ProtocolError(
+            f"no handler for request type {type(request).__name__}"
+        )
+
+    def _handle_memcpy(self, request: MemcpyRequest) -> Response:
+        kind = MemcpyKind(request.kind)
+        error, data = self.runtime.cudaMemcpy(
+            request.dst, request.src, request.size, kind, host_data=request.data
+        )
+        if kind is MemcpyKind.cudaMemcpyDeviceToHost:
+            payload = data.tobytes() if data is not None else None
+            return MemcpyResponse(error=int(error), data=payload)
+        return Response(error=int(error))
+
+    def _handle_memcpy_async(self, request: MemcpyAsyncRequest) -> Response:
+        kind = MemcpyKind(request.kind)
+        error, data = self.runtime.cudaMemcpyAsync(
+            request.dst,
+            request.src,
+            request.size,
+            kind,
+            stream=request.stream,
+            host_data=request.data,
+        )
+        if kind is MemcpyKind.cudaMemcpyDeviceToHost:
+            payload = data.tobytes() if data is not None else None
+            return MemcpyResponse(error=int(error), data=payload)
+        return Response(error=int(error))
+
+    def _handle_launch(self, request: LaunchRequest) -> Response:
+        args, self._staged_args = self._staged_args, ()
+        error = self.runtime.launch_kernel(
+            request.kernel_name,
+            grid=request.grid,
+            block=request.block,
+            args=args,
+            stream=request.stream,
+            shared_bytes=request.shared_bytes,
+        )
+        return Response(error=int(error))
+
+    def close(self) -> None:
+        """Finalization: release the session's GPU context and resources."""
+        self.runtime.close()

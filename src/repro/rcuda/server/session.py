@@ -1,0 +1,63 @@
+"""One server session: the request loop for a single client connection.
+
+Lifecycle, matching Section III's phases from the server's side:
+
+1. the first message is the id-less initialization (GPU module shipped by
+   the client); the session loads it and answers with the compute
+   capability;
+2. steady state: decode request, dispatch, encode response, repeat;
+3. finalization: the client closes its socket; the session notices the
+   closed transport, quits servicing and releases the GPU context and all
+   associated resources.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError, TransportClosedError, TransportError
+from repro.protocol.codec import (
+    MessageReader,
+    decode_init,
+    decode_request,
+    encode_response,
+)
+from repro.rcuda.server.handler import SessionHandler
+from repro.simcuda.device import SimulatedGpu
+from repro.simcuda.runtime import CudaRuntime
+from repro.transport.base import Transport
+
+
+class ServerSession:
+    """Services one connection over one fresh GPU context."""
+
+    def __init__(self, transport: Transport, device: SimulatedGpu) -> None:
+        self.transport = transport
+        # "a different server process for each remote execution over a new
+        # GPU context" -- pre-initialized, so clients skip the CUDA
+        # environment initialization delay.
+        self.handler = SessionHandler(CudaRuntime(device, preinitialized=True))
+        self.initialized = False
+        self.finished = False
+
+    def run(self) -> None:
+        """Service the connection until the client disconnects."""
+        reader = MessageReader(self.transport)
+        try:
+            init_request = decode_init(reader)
+            response = self.handler.handle_init(init_request)
+            self.transport.send(encode_response(response))
+            self.initialized = True
+            while True:
+                request = decode_request(reader)
+                response = self.handler.handle(request)
+                self.transport.send(encode_response(response))
+        except (TransportClosedError, TransportError):
+            # Normal finalization: the client closed the socket (or the
+            # connection died); either way the session ends.
+            pass
+        except ProtocolError:
+            # Malformed traffic: drop the connection rather than guess.
+            pass
+        finally:
+            self.finished = True
+            self.handler.close()
+            self.transport.close()

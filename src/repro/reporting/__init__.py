@@ -1,0 +1,16 @@
+"""Rendering: paper-layout tables, ASCII figures, CSV export, and
+ours-vs-paper comparisons for EXPERIMENTS.md."""
+
+from repro.reporting.ascii_plot import ascii_chart
+from repro.reporting.compare import ComparisonSummary, compare_series
+from repro.reporting.csvout import write_csv
+from repro.reporting.tables import format_value, render_table
+
+__all__ = [
+    "ComparisonSummary",
+    "ascii_chart",
+    "compare_series",
+    "format_value",
+    "render_table",
+    "write_csv",
+]

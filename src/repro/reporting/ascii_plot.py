@@ -1,0 +1,88 @@
+"""ASCII line charts for the figure reproductions.
+
+Good enough to show the *shape* the paper's figures show -- who wins,
+where curves cross -- directly in a terminal or a text log, with optional
+log scaling on either axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+_MARKERS = "ox+*#@%&sd"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        if value <= 0 or lo <= 0:
+            raise ConfigurationError("log scale requires positive values")
+        return (math.log10(value) - math.log10(lo)) / (
+            math.log10(hi) - math.log10(lo)
+        )
+    return (value - lo) / (hi - lo)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    logy: bool = False,
+) -> str:
+    """Plot several named series over a shared x grid."""
+    if not series:
+        raise ConfigurationError("at least one series is required")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points, x has {len(x)}"
+            )
+    if len(x) < 2:
+        raise ConfigurationError("need at least two x points")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_lo == y_hi:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xi, yi in zip(x, ys):
+            col = round(_scale(xi, x_lo, x_hi, False) * (width - 1))
+            row = round(_scale(yi, y_lo, y_hi, logy) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if ylabel:
+        lines.append(f"[y: {ylabel}{', log' if logy else ''}]")
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    label_w = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_w)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + "+" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * (label_w + 1) + x_axis)
+    if xlabel:
+        lines.append(" " * (label_w + 1) + f"[x: {xlabel}]")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

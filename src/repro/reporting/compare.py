@@ -1,0 +1,71 @@
+"""Ours-vs-paper comparison: the numbers behind EXPERIMENTS.md.
+
+The reproduction's success criterion is not digit equality -- the paper's
+numbers come from 2009 hardware -- but agreement in value where the
+pipeline is deterministic arithmetic (transfer tables) and agreement in
+*shape* where measurement enters (who wins, error signs, crossovers).
+:func:`compare_series` quantifies both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """Relative-difference statistics between two aligned series."""
+
+    label: str
+    count: int
+    max_rel_diff: float
+    mean_rel_diff: float
+    #: Fraction of points where the two series have the same sign.
+    sign_agreement: float
+
+    def within(self, tolerance: float) -> bool:
+        return self.max_rel_diff <= tolerance
+
+
+def compare_series(
+    label: str,
+    ours: Sequence[float],
+    paper: Sequence[float],
+    absolute: bool = False,
+) -> ComparisonSummary:
+    """Summarize |ours - paper| / |paper| over aligned points.
+
+    With ``absolute=True`` the raw |ours - paper| differences are reported
+    instead -- the right metric when the series are themselves small
+    percentages (e.g. Table IV's error columns, where a 0.2% vs 0.5%
+    disagreement is excellent agreement but a huge *relative* gap).
+    Points where the paper value is 0 are excluded from the relative
+    stats.
+    """
+    if len(ours) != len(paper):
+        raise ConfigurationError(
+            f"{label}: series lengths differ ({len(ours)} vs {len(paper)})"
+        )
+    if not ours:
+        raise ConfigurationError(f"{label}: empty comparison")
+    diffs: list[float] = []
+    signs = 0
+    for a, b in zip(ours, paper):
+        if absolute:
+            diffs.append(abs(a - b))
+        elif b != 0:
+            diffs.append(abs(a - b) / abs(b))
+        if (a >= 0) == (b >= 0):
+            signs += 1
+    if not diffs:
+        diffs = [0.0]
+    return ComparisonSummary(
+        label=label,
+        count=len(ours),
+        max_rel_diff=max(diffs),
+        mean_rel_diff=sum(diffs) / len(diffs),
+        sign_agreement=signs / len(ours),
+    )

@@ -1,0 +1,60 @@
+"""Plain-text table rendering in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_value(value, digits: int = 2) -> str:
+    """Format a cell: floats with fixed digits, everything else via str."""
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    digits: int = 2,
+    align_left_cols: Sequence[int] = (0,),
+) -> str:
+    """Render a monospace table.
+
+    Numeric columns are right-aligned; columns listed in
+    ``align_left_cols`` (default: the first) are left-aligned.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    text_rows = [[format_value(c, digits) for c in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def _fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i in align_left_cols:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(_fmt_row(row))
+    return "\n".join(lines)

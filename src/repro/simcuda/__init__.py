@@ -1,0 +1,60 @@
+"""simcuda: a software CUDA device and runtime for the rCUDA study.
+
+The paper's testbed GPU is an NVIDIA Tesla C1060 driven through the CUDA
+2.3 Runtime API.  This package substitutes a *software* device that
+preserves everything the middleware and the performance model care about:
+
+* the Runtime API surface (:mod:`repro.simcuda.runtime`): ``cudaMalloc``,
+  ``cudaFree``, ``cudaMemcpy``, ``cudaLaunch``, module loading, device
+  properties, streams and events, with CUDA-style status codes
+  (:mod:`repro.simcuda.errors`);
+* a real device-memory allocator (:mod:`repro.simcuda.memory`) with
+  pointer arithmetic, alignment and out-of-memory behaviour;
+* executable kernels (:mod:`repro.simcuda.kernels`): a Volkov-style SGEMM
+  and a batched 512-point radix-2 FFT (the paper's two case studies), plus
+  elementwise and reduction kernels, all computing real results via numpy
+  so end-to-end correctness is testable;
+* a timing model (:mod:`repro.simcuda.timing`) for kernel execution, PCIe
+  transfers (5,743 MB/s effective, as measured in the paper) and the CUDA
+  context initialization the rCUDA daemon hides by pre-initializing.
+
+A device can run *functional* (buffers are real, kernels execute) or
+*metadata-only* (for paper-scale timed simulations where a 1.3 GiB matrix
+transfer should not allocate 1.3 GiB of host RAM).
+"""
+
+from repro.simcuda.context import CudaContext
+from repro.simcuda.device import SimulatedGpu
+from repro.simcuda.errors import CudaError, CudaRuntimeError, check
+from repro.simcuda.kernels import KernelRegistry, default_registry
+from repro.simcuda.memory import DeviceMemory, MemoryBlock
+from repro.simcuda.module import GpuModule, fabricate_module
+from repro.simcuda.properties import TESLA_C1060, DeviceProperties
+from repro.simcuda.runtime import CudaRuntime
+from repro.simcuda.stream import CudaStream
+from repro.simcuda.event import CudaEvent
+from repro.simcuda.timing import DeviceTimingModel, PcieModel
+from repro.simcuda.types import Dim3, MemcpyKind
+
+__all__ = [
+    "CudaContext",
+    "CudaError",
+    "CudaEvent",
+    "CudaRuntime",
+    "CudaRuntimeError",
+    "CudaStream",
+    "DeviceMemory",
+    "DeviceProperties",
+    "DeviceTimingModel",
+    "Dim3",
+    "GpuModule",
+    "KernelRegistry",
+    "MemcpyKind",
+    "MemoryBlock",
+    "PcieModel",
+    "SimulatedGpu",
+    "TESLA_C1060",
+    "check",
+    "default_registry",
+    "fabricate_module",
+]

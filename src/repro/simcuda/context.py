@@ -1,0 +1,96 @@
+"""CUDA contexts.
+
+A context owns everything a client session allocates: device memory,
+loaded modules, streams and events.  rCUDA time-multiplexes the GPU "by
+spawning a different server process for each remote execution over a new
+GPU context" -- in our server each connection gets one
+:class:`CudaContext`, and destroying it releases the session's resources,
+which is exactly the paper's finalization stage.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import DeviceError
+from repro.simcuda.event import CudaEvent
+from repro.simcuda.module import GpuModule
+from repro.simcuda.stream import DEFAULT_STREAM, CudaStream
+from repro.simcuda.types import DevicePtr
+
+_context_ids = itertools.count(1)
+
+
+class CudaContext:
+    """One client session's resources on the device."""
+
+    def __init__(self) -> None:
+        self.context_id = next(_context_ids)
+        self.allocations: set[DevicePtr] = set()
+        self.modules: dict[str, GpuModule] = {}
+        self.streams: dict[int, CudaStream] = {
+            DEFAULT_STREAM: CudaStream(handle=DEFAULT_STREAM)
+        }
+        self.events: dict[int, CudaEvent] = {}
+        self.destroyed = False
+
+    def _check_live(self) -> None:
+        if self.destroyed:
+            raise DeviceError(f"context {self.context_id} was destroyed")
+
+    # -- resource tracking --------------------------------------------------
+
+    def track_allocation(self, ptr: DevicePtr) -> None:
+        self._check_live()
+        self.allocations.add(ptr)
+
+    def untrack_allocation(self, ptr: DevicePtr) -> None:
+        self._check_live()
+        self.allocations.discard(ptr)
+
+    def owns(self, ptr: DevicePtr) -> bool:
+        return ptr in self.allocations
+
+    def load_module(self, module: GpuModule) -> None:
+        self._check_live()
+        self.modules[module.name] = module
+
+    def kernel_visible(self, kernel_name: str) -> bool:
+        """True if any loaded module exports the kernel."""
+        return any(m.exports(kernel_name) for m in self.modules.values())
+
+    # -- streams / events -----------------------------------------------------
+
+    def create_stream(self) -> CudaStream:
+        self._check_live()
+        stream = CudaStream()
+        self.streams[stream.handle] = stream
+        return stream
+
+    def get_stream(self, handle: int) -> CudaStream:
+        self._check_live()
+        try:
+            return self.streams[handle]
+        except KeyError:
+            raise DeviceError(f"invalid stream handle {handle}") from None
+
+    def create_event(self) -> CudaEvent:
+        self._check_live()
+        event = CudaEvent()
+        self.events[event.handle] = event
+        return event
+
+    def get_event(self, handle: int) -> CudaEvent:
+        self._check_live()
+        try:
+            return self.events[handle]
+        except KeyError:
+            raise DeviceError(f"invalid event handle {handle}") from None
+
+    def resource_summary(self) -> dict[str, int]:
+        return {
+            "allocations": len(self.allocations),
+            "modules": len(self.modules),
+            "streams": len(self.streams),
+            "events": len(self.events),
+        }

@@ -1,0 +1,341 @@
+"""The simulated GPU: memory + kernels + timing behind one device object.
+
+:class:`SimulatedGpu` ties the allocator, the kernel registry, the timing
+model and a clock together.  CUDA semantics it preserves:
+
+* kernel launches are asynchronous -- they enqueue work on a stream and
+  return immediately; the clock only advances when something synchronizes
+  (``cudaMemcpy`` is synchronous and drains the device first, as in CUDA);
+* each client session runs in its own :class:`CudaContext`, and
+  destroying the context frees its allocations (rCUDA's finalization);
+* all failures surface as :class:`~repro.simcuda.errors.CudaRuntimeError`
+  carrying the ``cudaError_t`` the real runtime would return -- the server
+  ships that code back in the 4-byte error field of Table I.
+
+The device is *functional* by default (kernels execute, buffers are
+real).  ``functional=False`` keeps the full control path -- allocation
+arithmetic, error behaviour, timing -- with no backing storage, for
+paper-scale virtual-clock runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clock import Clock, VirtualClock
+from repro.errors import DeviceError, DeviceMemoryError, KernelError
+from repro.simcuda.context import CudaContext
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.kernels import KernelRegistry, default_registry
+from repro.simcuda.memory import DeviceMemory
+from repro.simcuda.properties import TESLA_C1060, DeviceProperties
+from repro.simcuda.timing import DeviceTimingModel
+from repro.simcuda.types import Dim3, DevicePtr, MemcpyKind
+from repro.units import MIB
+
+#: Device memory the real CUDA runtime reserves for itself; allocations
+#: come out of what remains (also keeps every device pointer < 2**32,
+#: matching the 4-byte pointer fields of Table I).
+RUNTIME_RESERVED_BYTES = 16 * MIB
+
+
+class SimulatedGpu:
+    """One software CUDA device."""
+
+    def __init__(
+        self,
+        properties: DeviceProperties = TESLA_C1060,
+        timing: DeviceTimingModel | None = None,
+        registry: KernelRegistry | None = None,
+        clock: Clock | None = None,
+        functional: bool = True,
+        memory_policy: str = "first-fit",
+    ) -> None:
+        self.properties = properties
+        self.timing = timing if timing is not None else DeviceTimingModel()
+        self.registry = registry if registry is not None else default_registry()
+        self.clock: Clock = clock if clock is not None else VirtualClock()
+        self.functional = functional
+        capacity = max(properties.total_global_mem - RUNTIME_RESERVED_BYTES, MIB)
+        self.memory = DeviceMemory(
+            capacity=capacity, functional=functional, policy=memory_policy
+        )
+        self._contexts: dict[int, CudaContext] = {}
+        self.kernel_launches = 0
+        self.memcpy_count = 0
+
+    # -- context lifecycle ----------------------------------------------------
+
+    def create_context(self, pay_init_cost: bool = False) -> CudaContext:
+        """Create a session context.
+
+        ``pay_init_cost=True`` charges the CUDA initialization delay --
+        what a *local* application pays on first use and what the rCUDA
+        daemon avoids by pre-initializing its context before clients
+        arrive (the paper's explanation for the remote 40GI run beating
+        the local GPU at m = 4096).
+        """
+        if pay_init_cost:
+            self.clock.advance(self.timing.cuda_init_seconds)
+        ctx = CudaContext()
+        self._contexts[ctx.context_id] = ctx
+        return ctx
+
+    def destroy_context(self, ctx: CudaContext) -> None:
+        """Release every resource the session holds (finalization stage)."""
+        if ctx.context_id not in self._contexts:
+            raise DeviceError(f"context {ctx.context_id} is not on this device")
+        for ptr in list(ctx.allocations):
+            self.memory.free(ptr)
+            ctx.untrack_allocation(ptr)
+        ctx.destroyed = True
+        del self._contexts[ctx.context_id]
+
+    @property
+    def active_contexts(self) -> int:
+        return len(self._contexts)
+
+    # -- memory ---------------------------------------------------------------
+
+    def malloc(self, ctx: CudaContext, size: int) -> DevicePtr:
+        try:
+            ptr = self.memory.malloc(size)
+        except DeviceMemoryError as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorMemoryAllocation, f"cudaMalloc({size})"
+            ) from exc
+        ctx.track_allocation(ptr)
+        return ptr
+
+    def free(self, ctx: CudaContext, ptr: DevicePtr) -> None:
+        if not ctx.owns(ptr):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidDevicePointer, f"cudaFree(0x{ptr:x})"
+            )
+        self.memory.free(ptr)
+        ctx.untrack_allocation(ptr)
+
+    def _sync_all_streams(self, ctx: CudaContext) -> None:
+        # Synchronous operations drain outstanding device work first.
+        horizon = max(
+            (s.busy_until for s in ctx.streams.values()), default=0.0
+        )
+        now = self.clock.now()
+        if horizon > now:
+            self.clock.advance(horizon - now)
+
+    def memcpy(
+        self,
+        ctx: CudaContext,
+        dst: DevicePtr,
+        src: DevicePtr,
+        nbytes: int,
+        kind: MemcpyKind,
+        host_data: bytes | np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Synchronous ``cudaMemcpy``.
+
+        For host-to-device, ``host_data`` carries the payload (may be None
+        on a non-functional device); for device-to-host the copied bytes
+        are returned.  ``dst``/``src`` are device addresses for the device
+        sides and ignored for the host sides.
+        """
+        if nbytes < 0:
+            raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, "cudaMemcpy")
+        kind = MemcpyKind(kind)
+        self._sync_all_streams(ctx)
+        self.memcpy_count += 1
+        try:
+            if kind is MemcpyKind.cudaMemcpyHostToDevice:
+                self._validate_range(ctx, dst, nbytes)
+                self.clock.advance(self.timing.pcie.transfer_seconds(nbytes))
+                if self.functional:
+                    if host_data is None:
+                        raise CudaRuntimeError(
+                            CudaError.cudaErrorInvalidValue,
+                            "cudaMemcpy(H2D) without host data",
+                        )
+                    self.memory.write(dst, self._as_bytes(host_data, nbytes))
+                return None
+            if kind is MemcpyKind.cudaMemcpyDeviceToHost:
+                self._validate_range(ctx, src, nbytes)
+                self.clock.advance(self.timing.pcie.transfer_seconds(nbytes))
+                return self.memory.read(src, nbytes)
+            if kind is MemcpyKind.cudaMemcpyDeviceToDevice:
+                self._validate_range(ctx, src, nbytes)
+                self._validate_range(ctx, dst, nbytes)
+                # On-device copies run at memory bandwidth, not PCIe.
+                self.clock.advance(self.timing.membound_seconds(2 * nbytes))
+                if self.functional:
+                    self.memory.write(dst, self.memory.read(src, nbytes))
+                return None
+        except DeviceMemoryError as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidDevicePointer, "cudaMemcpy"
+            ) from exc
+        raise CudaRuntimeError(
+            CudaError.cudaErrorInvalidMemcpyDirection, f"cudaMemcpy kind={kind}"
+        )
+
+    def memset(
+        self, ctx: CudaContext, ptr: DevicePtr, value: int, nbytes: int
+    ) -> None:
+        """Synchronous ``cudaMemset``: fill device memory with a byte.
+
+        Runs at device memory bandwidth (it is a device-side operation,
+        not a PCIe transfer).
+        """
+        if nbytes < 0 or not 0 <= value <= 0xFF:
+            raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, "cudaMemset")
+        self._sync_all_streams(ctx)
+        try:
+            self._validate_range(ctx, ptr, nbytes)
+        except CudaRuntimeError:
+            raise
+        self.clock.advance(self.timing.membound_seconds(nbytes))
+        if self.functional and nbytes > 0:
+            self.memory.view(ptr, nbytes)[:] = value
+
+    def memcpy_async(
+        self,
+        ctx: CudaContext,
+        dst: DevicePtr,
+        src: DevicePtr,
+        nbytes: int,
+        kind: MemcpyKind,
+        stream_handle: int = 0,
+        host_data: bytes | np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """``cudaMemcpyAsync``: enqueue the PCIe transfer on a stream and
+        return immediately (the host clock does not advance).
+
+        The paper's estimation model covers synchronous transfers only
+        ("leaving asynchronous transfers for future work"); this is that
+        future work's device-side half.  Functionally the bytes move right
+        away -- what is deferred is *time*: the transfer occupies the
+        stream, so a later synchronize/synchronous operation pays for it.
+        """
+        if nbytes < 0:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue, "cudaMemcpyAsync"
+            )
+        kind = MemcpyKind(kind)
+        stream = ctx.get_stream(stream_handle)
+        duration = self.timing.pcie.transfer_seconds(nbytes)
+        self.memcpy_count += 1
+        try:
+            if kind is MemcpyKind.cudaMemcpyHostToDevice:
+                self._validate_range(ctx, dst, nbytes)
+                stream.enqueue(self.clock.now(), duration)
+                if self.functional:
+                    if host_data is None:
+                        raise CudaRuntimeError(
+                            CudaError.cudaErrorInvalidValue,
+                            "cudaMemcpyAsync(H2D) without host data",
+                        )
+                    self.memory.write(dst, self._as_bytes(host_data, nbytes))
+                return None
+            if kind is MemcpyKind.cudaMemcpyDeviceToHost:
+                self._validate_range(ctx, src, nbytes)
+                stream.enqueue(self.clock.now(), duration)
+                return self.memory.read(src, nbytes)
+            if kind is MemcpyKind.cudaMemcpyDeviceToDevice:
+                self._validate_range(ctx, src, nbytes)
+                self._validate_range(ctx, dst, nbytes)
+                stream.enqueue(
+                    self.clock.now(), self.timing.membound_seconds(2 * nbytes)
+                )
+                if self.functional:
+                    self.memory.write(dst, self.memory.read(src, nbytes))
+                return None
+        except DeviceMemoryError as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidDevicePointer, "cudaMemcpyAsync"
+            ) from exc
+        raise CudaRuntimeError(
+            CudaError.cudaErrorInvalidMemcpyDirection,
+            f"cudaMemcpyAsync kind={kind}",
+        )
+
+    def _validate_range(self, ctx: CudaContext, addr: DevicePtr, nbytes: int) -> None:
+        if nbytes == 0:
+            return
+        if not self.memory.is_valid(addr, nbytes):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidDevicePointer,
+                f"device range [0x{addr:x}, +{nbytes})",
+            )
+
+    @staticmethod
+    def _as_bytes(data: bytes | np.ndarray, nbytes: int) -> np.ndarray:
+        if isinstance(data, np.ndarray):
+            flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        else:
+            flat = np.frombuffer(data, dtype=np.uint8)
+        if flat.nbytes < nbytes:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue,
+                f"host buffer ({flat.nbytes} B) smaller than copy ({nbytes} B)",
+            )
+        return flat[:nbytes]
+
+    # -- kernels ----------------------------------------------------------------
+
+    def launch(
+        self,
+        ctx: CudaContext,
+        kernel_name: str,
+        grid: Dim3,
+        block: Dim3,
+        args: tuple,
+        stream_handle: int = 0,
+        shared_bytes: int = 0,
+    ) -> None:
+        """Asynchronous kernel launch: enqueue and return."""
+        if block.count > self.properties.max_threads_per_block:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue,
+                f"block of {block.count} threads exceeds the device limit "
+                f"of {self.properties.max_threads_per_block}",
+            )
+        if ctx.modules and not ctx.kernel_visible(kernel_name):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorLaunchFailure,
+                f"kernel {kernel_name!r} is not exported by any loaded module",
+            )
+        try:
+            kernel = self.registry.get(kernel_name)
+        except KernelError as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorLaunchFailure, str(exc)
+            ) from exc
+        stream = ctx.get_stream(stream_handle)
+        # Malformed argument tuples must surface as launch failures, not
+        # crash the server: a remote client controls these bytes.
+        try:
+            duration = kernel.cost_seconds(self.timing, grid, block, args)
+        except (KernelError, IndexError, TypeError, ValueError) as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorLaunchFailure, f"{kernel_name}: {exc}"
+            ) from exc
+        stream.enqueue(self.clock.now(), duration)
+        self.kernel_launches += 1
+        if self.functional:
+            try:
+                kernel.execute(self.memory, grid, block, args)
+            except (
+                DeviceMemoryError, KernelError, IndexError, TypeError, ValueError,
+            ) as exc:
+                raise CudaRuntimeError(
+                    CudaError.cudaErrorLaunchFailure, f"{kernel_name}: {exc}"
+                ) from exc
+
+    def synchronize(self, ctx: CudaContext) -> None:
+        """``cudaThreadSynchronize``: wait for all streams to drain."""
+        self._sync_all_streams(ctx)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedGpu({self.properties.name}, functional="
+            f"{self.functional}, contexts={self.active_contexts})"
+        )

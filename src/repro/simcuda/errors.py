@@ -1,0 +1,51 @@
+"""CUDA-style status codes.
+
+The CUDA Runtime API reports failures by value; rCUDA ships that value back
+to the client as the 4-byte "CUDA error" field of every response in
+Table I.  The enum values below match the CUDA 2.3 toolkit the paper's
+server daemon was built against.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import DeviceError
+
+
+class CudaError(enum.IntEnum):
+    """Subset of ``cudaError_t`` relevant to the remoted operations."""
+
+    cudaSuccess = 0
+    cudaErrorMissingConfiguration = 1
+    cudaErrorMemoryAllocation = 2
+    cudaErrorInitializationError = 3
+    cudaErrorLaunchFailure = 4
+    cudaErrorInvalidValue = 11
+    cudaErrorInvalidDevicePointer = 17
+    cudaErrorInvalidMemcpyDirection = 21
+    cudaErrorInvalidResourceHandle = 33
+    cudaErrorNotReady = 34
+    cudaErrorNoDevice = 38
+
+
+class CudaRuntimeError(DeviceError):
+    """Raised by :func:`check` when a status code is not ``cudaSuccess``."""
+
+    def __init__(self, status: CudaError, operation: str = "") -> None:
+        self.status = CudaError(status)
+        self.operation = operation
+        prefix = f"{operation}: " if operation else ""
+        super().__init__(f"{prefix}{self.status.name} ({int(self.status)})")
+
+
+def check(status: int | CudaError, operation: str = "") -> None:
+    """Raise :class:`CudaRuntimeError` unless ``status`` is success.
+
+    Mirrors the ubiquitous ``CUDA_SAFE_CALL`` macro: library code that does
+    not want to thread status codes around can convert them to exceptions
+    at the boundary.
+    """
+    status = CudaError(status)
+    if status is not CudaError.cudaSuccess:
+        raise CudaRuntimeError(status, operation)

@@ -1,0 +1,32 @@
+"""CUDA events: timestamps on streams, for elapsed-time measurement."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+
+_handles = itertools.count(1)
+
+
+@dataclass
+class CudaEvent:
+    """A recordable timestamp (``cudaEventRecord`` / ``ElapsedTime``)."""
+
+    handle: int = field(default_factory=lambda: next(_handles))
+    #: Simulated timestamp of the last record; None before any record.
+    recorded_at: float | None = None
+
+    def record(self, timestamp: float) -> None:
+        self.recorded_at = timestamp
+
+    def elapsed_since(self, earlier: "CudaEvent") -> float:
+        """Seconds between two recorded events (``cudaEventElapsedTime``
+        returns milliseconds; we keep seconds like the rest of the
+        package)."""
+        if self.recorded_at is None or earlier.recorded_at is None:
+            raise DeviceError(
+                "both events must be recorded before measuring elapsed time"
+            )
+        return self.recorded_at - earlier.recorded_at

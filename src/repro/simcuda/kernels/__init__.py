@@ -1,0 +1,19 @@
+"""Executable device kernels.
+
+Each kernel is a numpy function operating directly on device memory views,
+registered under the name that travels in the cudaLaunch message.  The two
+case-study kernels carry the exact names implied by Table I's launch
+payload sizes (``x + 44`` with x the NUL-terminated kernel name):
+
+* ``sgemmNN`` (8 bytes with NUL) -- Volkov's single-precision matrix
+  product, MM's 52-byte launch;
+* ``FFT512_device`` (14 bytes with NUL) -- the batched 512-point FFT,
+  FFT's 58-byte launch.
+
+Every kernel pairs its functional implementation with a cost model used by
+the virtual-clock device; see :mod:`repro.simcuda.timing`.
+"""
+
+from repro.simcuda.kernels.registry import KernelImpl, KernelRegistry, default_registry
+
+__all__ = ["KernelImpl", "KernelRegistry", "default_registry"]

@@ -1,0 +1,81 @@
+"""Elementwise kernels: the small utility launches used by examples and
+tests beyond the two case studies.
+
+All operate on float32 device buffers and are memory-bound: the cost model
+charges the touched bytes at the device's sustained memory bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.simcuda.kernels.registry import KernelImpl
+from repro.simcuda.types import Dim3
+
+
+def _positive_count(n) -> int:
+    n = int(n)
+    if n <= 0:
+        raise KernelError(f"element count must be positive, got {n}")
+    return n
+
+
+# -- saxpy: y = alpha * x + y ---------------------------------------------
+
+def saxpy_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    if len(args) != 4:
+        raise KernelError(f"saxpy expects (ptr_x, ptr_y, n, alpha), got {args!r}")
+    ptr_x, ptr_y, n, alpha = args
+    n = _positive_count(n)
+    x = memory.as_array(ptr_x, np.float32, n)
+    y = memory.as_array(ptr_y, np.float32, n)
+    y += np.float32(alpha) * x
+
+
+def saxpy_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    n = _positive_count(args[2])
+    return timing.membound_seconds(3 * 4 * n)  # read x, read+write y
+
+
+SAXPY = KernelImpl("saxpy", saxpy_fn, saxpy_cost, "y = alpha*x + y")
+
+
+# -- sscal: x = alpha * x ---------------------------------------------------
+
+def sscal_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    if len(args) != 3:
+        raise KernelError(f"sscal expects (ptr_x, n, alpha), got {args!r}")
+    ptr_x, n, alpha = args
+    n = _positive_count(n)
+    x = memory.as_array(ptr_x, np.float32, n)
+    x *= np.float32(alpha)
+
+
+def sscal_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    n = _positive_count(args[1])
+    return timing.membound_seconds(2 * 4 * n)
+
+
+SSCAL = KernelImpl("sscal", sscal_fn, sscal_cost, "x = alpha*x")
+
+
+# -- sfill: x[:] = value -----------------------------------------------------
+
+def sfill_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    if len(args) != 3:
+        raise KernelError(f"sfill expects (ptr_x, n, value), got {args!r}")
+    ptr_x, n, value = args
+    n = _positive_count(n)
+    x = memory.as_array(ptr_x, np.float32, n)
+    x[...] = np.float32(value)
+
+
+def sfill_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    n = _positive_count(args[1])
+    return timing.membound_seconds(4 * n)
+
+
+SFILL = KernelImpl("sfill", sfill_fn, sfill_cost, "x[:] = value")
+
+KERNELS = (SAXPY, SSCAL, SFILL)

@@ -1,0 +1,111 @@
+"""Batched 512-point complex FFT (the FFT case study).
+
+The paper computes "different numbers of parallel FFT operations" of 512
+single-precision complex points each (4,096 bytes per batch element) with
+Volkov's FFT kernel.  The functional implementation here is a real
+iterative radix-2 Cooley-Tukey transform, vectorized across the batch with
+numpy butterflies (bit-reversal permutation followed by log2(N) butterfly
+stages) -- not a call into ``np.fft`` -- and is validated against
+``np.fft.fft`` in the test suite.
+
+Argument tuple: ``(ptr_in, ptr_out, batch, direction)`` with direction
++1 for forward, -1 for inverse (inverse applies the 1/N scale).  In-place
+operation (ptr_in == ptr_out) is allowed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.simcuda.kernels.registry import KernelImpl
+from repro.simcuda.types import Dim3
+
+#: 13 characters + NUL = the 14-byte ``x`` of Table I's 58-byte FFT launch.
+KERNEL_NAME = "FFT512_device"
+
+FFT_POINTS = 512
+_LOG2_POINTS = 9
+assert 1 << _LOG2_POINTS == FFT_POINTS
+
+#: Bit-reversal permutation for N = 512, computed once.
+_BITREV = np.array(
+    [int(format(i, f"0{_LOG2_POINTS}b")[::-1], 2) for i in range(FFT_POINTS)],
+    dtype=np.int64,
+)
+
+
+def radix2_fft_batch(data: np.ndarray, direction: int = 1) -> np.ndarray:
+    """Radix-2 DIT FFT over the last axis of a (batch, 512) complex array.
+
+    Returns a new complex64 array.  ``direction=+1`` matches
+    ``np.fft.fft``; ``-1`` matches ``np.fft.ifft`` (including the 1/N
+    normalization).
+    """
+    if data.ndim != 2 or data.shape[1] != FFT_POINTS:
+        raise KernelError(
+            f"expected a (batch, {FFT_POINTS}) array, got {data.shape}"
+        )
+    if direction not in (1, -1):
+        raise KernelError(f"direction must be +1 or -1, got {direction}")
+    # Work in complex128 through the butterflies for accuracy, cast at the
+    # end -- the same trade a float kernel makes with its registers.
+    work = data[:, _BITREV].astype(np.complex128)
+    sign = -1.0 if direction == 1 else 1.0
+    half = 1
+    while half < FFT_POINTS:
+        span = half * 2
+        # Twiddles for this stage: w_k = exp(sign * 2i*pi*k / span).
+        k = np.arange(half)
+        twiddle = np.exp(sign * 2j * np.pi * k / span)
+        blocks = work.reshape(-1, FFT_POINTS // span, span)
+        # Copy the even half: the in-place butterfly below would otherwise
+        # alias it away before the odd half reads it.
+        even = blocks[:, :, :half].copy()
+        odd = blocks[:, :, half:] * twiddle
+        blocks[:, :, :half] = even + odd
+        blocks[:, :, half:] = even - odd
+        half = span
+    if direction == -1:
+        work /= FFT_POINTS
+    return work.astype(np.complex64)
+
+
+def _unpack(args: tuple) -> tuple[int, int, int, int]:
+    if len(args) != 4:
+        raise KernelError(
+            f"{KERNEL_NAME} expects 4 arguments "
+            f"(ptr_in, ptr_out, batch, direction), got {len(args)}"
+        )
+    ptr_in, ptr_out, batch, direction = args
+    if batch <= 0:
+        raise KernelError(f"{KERNEL_NAME}: batch must be positive")
+    return ptr_in, ptr_out, int(batch), int(direction)
+
+
+def fft_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    ptr_in, ptr_out, batch, direction = _unpack(args)
+    signal = memory.as_array(ptr_in, np.complex64, batch * FFT_POINTS)
+    spectra = radix2_fft_batch(signal.reshape(batch, FFT_POINTS), direction)
+    out = memory.as_array(ptr_out, np.complex64, batch * FFT_POINTS)
+    out[...] = spectra.reshape(-1)
+
+
+def fft_flops(args: tuple) -> float:
+    """The standard 5*N*log2(N) flop count per transform."""
+    _, _, batch, _ = _unpack(args)
+    return batch * 5.0 * FFT_POINTS * _LOG2_POINTS
+
+
+def fft_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    return timing.fft_seconds(fft_flops(args))
+
+
+FFT512 = KernelImpl(
+    name=KERNEL_NAME,
+    fn=fft_fn,
+    cost=fft_cost,
+    description="batched 512-point radix-2 complex FFT",
+)
+
+KERNELS = (FFT512,)

@@ -1,0 +1,78 @@
+"""Reduction kernels (sum, dot, max) writing a single float32 result.
+
+Result convention: the kernel stores its scalar output at ``ptr_out`` as
+one float32, like a device-side final-reduction stage would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.simcuda.kernels.registry import KernelImpl
+from repro.simcuda.types import Dim3
+
+
+def _count(n) -> int:
+    n = int(n)
+    if n <= 0:
+        raise KernelError(f"element count must be positive, got {n}")
+    return n
+
+
+def ssum_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    if len(args) != 3:
+        raise KernelError(f"ssum expects (ptr_in, ptr_out, n), got {args!r}")
+    ptr_in, ptr_out, n = args
+    n = _count(n)
+    x = memory.as_array(ptr_in, np.float32, n)
+    out = memory.as_array(ptr_out, np.float32, 1)
+    # Accumulate in float64, matching a tree reduction's better-than-naive
+    # rounding, then store as float32.
+    out[0] = np.float32(x.astype(np.float64).sum())
+
+
+def ssum_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    return timing.membound_seconds(4 * _count(args[2]))
+
+
+SSUM = KernelImpl("ssum", ssum_fn, ssum_cost, "out = sum(x)")
+
+
+def sdot_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    if len(args) != 4:
+        raise KernelError(
+            f"sdot expects (ptr_x, ptr_y, ptr_out, n), got {args!r}"
+        )
+    ptr_x, ptr_y, ptr_out, n = args
+    n = _count(n)
+    x = memory.as_array(ptr_x, np.float32, n).astype(np.float64)
+    y = memory.as_array(ptr_y, np.float32, n).astype(np.float64)
+    out = memory.as_array(ptr_out, np.float32, 1)
+    out[0] = np.float32(x @ y)
+
+
+def sdot_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    return timing.membound_seconds(8 * _count(args[3]))
+
+
+SDOT = KernelImpl("sdot", sdot_fn, sdot_cost, "out = dot(x, y)")
+
+
+def smax_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    if len(args) != 3:
+        raise KernelError(f"smax expects (ptr_in, ptr_out, n), got {args!r}")
+    ptr_in, ptr_out, n = args
+    n = _count(n)
+    x = memory.as_array(ptr_in, np.float32, n)
+    out = memory.as_array(ptr_out, np.float32, 1)
+    out[0] = x.max()
+
+
+def smax_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    return timing.membound_seconds(4 * _count(args[2]))
+
+
+SMAX = KernelImpl("smax", smax_fn, smax_cost, "out = max(x)")
+
+KERNELS = (SSUM, SDOT, SMAX)

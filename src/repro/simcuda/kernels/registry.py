@@ -1,0 +1,96 @@
+"""Kernel registry: name -> (implementation, cost model).
+
+The server resolves the kernel name from a cudaLaunch message against the
+registry of the module(s) the client shipped at initialization.  A kernel
+implementation receives the device memory, the launch geometry and the
+unpacked argument tuple; its cost function receives the same arguments
+plus the device timing model and returns the simulated execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import KernelError
+from repro.simcuda.types import Dim3
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.simcuda.memory import DeviceMemory
+    from repro.simcuda.timing import DeviceTimingModel
+
+KernelFn = Callable[["DeviceMemory", Dim3, Dim3, tuple], None]
+CostFn = Callable[["DeviceTimingModel", Dim3, Dim3, tuple], float]
+
+
+@dataclass(frozen=True)
+class KernelImpl:
+    """One registered kernel."""
+
+    name: str
+    fn: KernelFn
+    cost: CostFn
+    description: str = ""
+
+    def execute(
+        self, memory: "DeviceMemory", grid: Dim3, block: Dim3, args: tuple
+    ) -> None:
+        self.fn(memory, grid, block, args)
+
+    def cost_seconds(
+        self,
+        timing: "DeviceTimingModel",
+        grid: Dim3,
+        block: Dim3,
+        args: tuple,
+    ) -> float:
+        return self.cost(timing, grid, block, args)
+
+
+class KernelRegistry:
+    """A mutable name -> :class:`KernelImpl` map."""
+
+    def __init__(self, kernels: Iterable[KernelImpl] = ()) -> None:
+        self._kernels: dict[str, KernelImpl] = {}
+        for kernel in kernels:
+            self.register(kernel)
+
+    def register(self, kernel: KernelImpl, replace: bool = False) -> None:
+        if not replace and kernel.name in self._kernels:
+            raise KernelError(f"kernel {kernel.name!r} is already registered")
+        self._kernels[kernel.name] = kernel
+
+    def get(self, name: str) -> KernelImpl:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            known = ", ".join(sorted(self._kernels)) or "<none>"
+            raise KernelError(
+                f"unknown kernel {name!r}; registered kernels: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._kernels))
+
+    def copy(self) -> "KernelRegistry":
+        return KernelRegistry(self._kernels.values())
+
+
+_DEFAULT: KernelRegistry | None = None
+
+
+def default_registry() -> KernelRegistry:
+    """The registry with every built-in kernel, built lazily once."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        from repro.simcuda.kernels import elementwise, fft, reduce as reduce_k, sgemm
+
+        registry = KernelRegistry()
+        for module in (sgemm, fft, elementwise, reduce_k):
+            for kernel in module.KERNELS:
+                registry.register(kernel)
+        _DEFAULT = registry
+    return _DEFAULT

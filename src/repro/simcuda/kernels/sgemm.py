@@ -1,0 +1,70 @@
+"""Volkov-style single-precision matrix product (the MM case study).
+
+The paper runs "Volkov's implementation of the matrix-matrix product
+routine" [Volkov & Demmel, SC'08] on the GPU.  Our functional stand-in
+computes the same contraction ``C = alpha * A @ B + beta * C`` on float32
+device buffers via numpy; the cost model charges ``2*m*n*k`` flops at the
+device timing model's sustained SGEMM rate (Volkov reports ~60% of peak on
+the GT200 generation).
+
+Argument tuple (all matrices row-major float32):
+``(ptr_a, ptr_b, ptr_c, m, n, k, alpha, beta)`` for
+A (m x k), B (k x n), C (m x n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.simcuda.kernels.registry import KernelImpl
+from repro.simcuda.types import Dim3
+
+#: The launch name; 7 characters + NUL = the 8-byte ``x`` of Table I's
+#: 52-byte MM cudaLaunch message.
+KERNEL_NAME = "sgemmNN"
+
+
+def _unpack(args: tuple) -> tuple[int, int, int, int, int, int, float, float]:
+    if len(args) != 8:
+        raise KernelError(
+            f"{KERNEL_NAME} expects 8 arguments "
+            "(ptr_a, ptr_b, ptr_c, m, n, k, alpha, beta), got "
+            f"{len(args)}"
+        )
+    ptr_a, ptr_b, ptr_c, m, n, k, alpha, beta = args
+    if min(m, n, k) <= 0:
+        raise KernelError(f"{KERNEL_NAME}: dimensions must be positive")
+    return ptr_a, ptr_b, ptr_c, int(m), int(n), int(k), float(alpha), float(beta)
+
+
+def sgemm_fn(memory, grid: Dim3, block: Dim3, args: tuple) -> None:
+    ptr_a, ptr_b, ptr_c, m, n, k, alpha, beta = _unpack(args)
+    a = memory.as_array(ptr_a, np.float32, m * k).reshape(m, k)
+    b = memory.as_array(ptr_b, np.float32, k * n).reshape(k, n)
+    c = memory.as_array(ptr_c, np.float32, m * n).reshape(m, n)
+    if beta == 0.0:
+        # CUBLAS semantics: beta == 0 must not read C (it may be garbage).
+        result = alpha * (a @ b)
+    else:
+        result = alpha * (a @ b) + beta * c
+    c[...] = result.astype(np.float32, copy=False)
+
+
+def sgemm_flops(args: tuple) -> float:
+    _, _, _, m, n, k, _, _ = _unpack(args)
+    return 2.0 * m * n * k
+
+
+def sgemm_cost(timing, grid: Dim3, block: Dim3, args: tuple) -> float:
+    return timing.gemm_seconds(sgemm_flops(args))
+
+
+SGEMM = KernelImpl(
+    name=KERNEL_NAME,
+    fn=sgemm_fn,
+    cost=sgemm_cost,
+    description="single-precision C = alpha*A@B + beta*C (Volkov SGEMM)",
+)
+
+KERNELS = (SGEMM,)

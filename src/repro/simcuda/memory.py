@@ -1,0 +1,256 @@
+"""Device global-memory allocator.
+
+``cudaMalloc``/``cudaFree`` on the simulated device are served by a
+classic free-list allocator over a flat byte-addressed space:
+
+* allocations are aligned to :data:`ALIGNMENT` bytes like real
+  ``cudaMalloc`` (256 B on the Tesla generation);
+* placement policy is first-fit by default (best-fit available -- the
+  allocator-policy ablation benchmark compares the two);
+* adjacent free blocks coalesce on free, and double frees or frees of
+  non-allocation-start pointers fail the way CUDA fails them
+  (``cudaErrorInvalidDevicePointer``).
+
+When the owning device is *functional* each allocation carries a real
+``numpy`` byte buffer, and reads/writes may target any in-bounds offset
+inside an allocation (device pointer arithmetic works).  Metadata-only
+mode keeps the same address-space behaviour without backing storage, so a
+timed simulation can "allocate" 1.3 GiB matrices for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DeviceMemoryError
+from repro.simcuda.types import DevicePtr
+
+#: cudaMalloc alignment guarantee on the paper-era hardware.
+ALIGNMENT = 256
+
+#: First device address handed out; nonzero so 0 stays the null pointer.
+BASE_ADDRESS = 0x1000
+
+PLACEMENT_POLICIES = ("first-fit", "best-fit")
+
+
+def _align_up(n: int, alignment: int = ALIGNMENT) -> int:
+    return (n + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class MemoryBlock:
+    """One allocation: [ptr, ptr + size) with ``reserved`` aligned bytes."""
+
+    ptr: DevicePtr
+    size: int
+    reserved: int
+    data: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def end(self) -> DevicePtr:
+        return self.ptr + self.reserved
+
+    def contains(self, addr: DevicePtr, nbytes: int = 1) -> bool:
+        """True if [addr, addr + nbytes) lies inside the *requested* size."""
+        return self.ptr <= addr and addr + nbytes <= self.ptr + self.size
+
+
+class DeviceMemory:
+    """The allocator; one instance per simulated device."""
+
+    def __init__(
+        self,
+        capacity: int,
+        functional: bool = True,
+        policy: str = "first-fit",
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive: {capacity}")
+        if policy not in PLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {PLACEMENT_POLICIES}, got {policy!r}"
+            )
+        self.capacity = capacity
+        self.functional = functional
+        self.policy = policy
+        #: Free regions as (start, size), kept sorted by start.
+        self._free: list[tuple[int, int]] = [(BASE_ADDRESS, capacity)]
+        #: Live allocations keyed by their start address.
+        self._blocks: dict[DevicePtr, MemoryBlock] = {}
+        self.peak_used = 0
+        self.total_allocs = 0
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Bytes currently reserved by live allocations."""
+        return sum(b.reserved for b in self._blocks.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def largest_free_block(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    @property
+    def allocation_count(self) -> int:
+        return len(self._blocks)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free/total_free; 0 when free space is contiguous."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    # -- malloc / free ----------------------------------------------------
+
+    def _pick_region(self, reserved: int) -> int | None:
+        candidates = (
+            i for i, (_, size) in enumerate(self._free) if size >= reserved
+        )
+        if self.policy == "first-fit":
+            return next(candidates, None)
+        best_i, best_size = None, None
+        for i in candidates:
+            size = self._free[i][1]
+            if best_size is None or size < best_size:
+                best_i, best_size = i, size
+        return best_i
+
+    def malloc(self, size: int) -> DevicePtr:
+        """Allocate ``size`` bytes; raises :class:`DeviceMemoryError` when
+        no free region fits (CUDA's ``cudaErrorMemoryAllocation``)."""
+        if size <= 0:
+            raise DeviceMemoryError(f"allocation size must be positive: {size}")
+        reserved = _align_up(size)
+        index = self._pick_region(reserved)
+        if index is None:
+            raise DeviceMemoryError(
+                f"out of device memory: requested {size} B "
+                f"(reserved {reserved} B), largest free region "
+                f"{self.largest_free_block} B of {self.free_bytes} B free"
+            )
+        start, region_size = self._free[index]
+        if region_size == reserved:
+            del self._free[index]
+        else:
+            self._free[index] = (start + reserved, region_size - reserved)
+        data = None
+        if self.functional:
+            data = np.zeros(size, dtype=np.uint8)
+        self._blocks[start] = MemoryBlock(
+            ptr=start, size=size, reserved=reserved, data=data
+        )
+        self.total_allocs += 1
+        self.peak_used = max(self.peak_used, self.used)
+        return start
+
+    def free(self, ptr: DevicePtr) -> None:
+        """Release an allocation; the pointer must be an allocation start."""
+        block = self._blocks.pop(ptr, None)
+        if block is None:
+            raise DeviceMemoryError(
+                f"invalid device pointer in free: 0x{ptr:x} is not a live "
+                "allocation start"
+            )
+        self._insert_free(block.ptr, block.reserved)
+
+    def _insert_free(self, start: int, size: int) -> None:
+        # Insert keeping sort order, then coalesce with neighbours.
+        lo = 0
+        hi = len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (start, size))
+        # Coalesce right then left.
+        if lo + 1 < len(self._free):
+            s, z = self._free[lo]
+            s2, z2 = self._free[lo + 1]
+            if s + z == s2:
+                self._free[lo : lo + 2] = [(s, z + z2)]
+        if lo > 0:
+            s0, z0 = self._free[lo - 1]
+            s, z = self._free[lo]
+            if s0 + z0 == s:
+                self._free[lo - 1 : lo + 1] = [(s0, z0 + z)]
+
+    def reset(self) -> None:
+        """Free everything (context teardown)."""
+        self._blocks.clear()
+        self._free = [(BASE_ADDRESS, self.capacity)]
+
+    # -- data access --------------------------------------------------------
+
+    def _locate(self, addr: DevicePtr, nbytes: int) -> tuple[MemoryBlock, int]:
+        """Find the allocation containing [addr, addr + nbytes)."""
+        # Linear scan is fine: live allocation counts in this study are
+        # single digits (3 buffers for MM, 1 for FFT).
+        for block in self._blocks.values():
+            if block.contains(addr, nbytes):
+                return block, addr - block.ptr
+        raise DeviceMemoryError(
+            f"invalid device address range [0x{addr:x}, 0x{addr + nbytes:x})"
+        )
+
+    def is_valid(self, addr: DevicePtr, nbytes: int = 1) -> bool:
+        """True when the whole range lies inside one live allocation."""
+        try:
+            self._locate(addr, nbytes)
+        except DeviceMemoryError:
+            return False
+        return True
+
+    def write(self, addr: DevicePtr, data: bytes | bytearray | np.ndarray) -> None:
+        """Copy host bytes into device memory at ``addr``."""
+        buf = np.frombuffer(data, dtype=np.uint8) if not isinstance(
+            data, np.ndarray
+        ) else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        block, offset = self._locate(addr, buf.nbytes)
+        if not self.functional:
+            return
+        assert block.data is not None
+        block.data[offset : offset + buf.nbytes] = buf
+
+    def read(self, addr: DevicePtr, nbytes: int) -> np.ndarray:
+        """Copy device memory back out as a fresh uint8 array."""
+        block, offset = self._locate(addr, nbytes)
+        if not self.functional:
+            return np.zeros(nbytes, dtype=np.uint8)
+        assert block.data is not None
+        return block.data[offset : offset + nbytes].copy()
+
+    def view(self, addr: DevicePtr, nbytes: int) -> np.ndarray:
+        """A zero-copy uint8 view (kernels mutate device memory through
+        these; only valid on a functional device)."""
+        if not self.functional:
+            raise DeviceMemoryError(
+                "views are only available on a functional device"
+            )
+        block, offset = self._locate(addr, nbytes)
+        assert block.data is not None
+        return block.data[offset : offset + nbytes]
+
+    def as_array(
+        self, addr: DevicePtr, dtype: np.dtype | str, count: int
+    ) -> np.ndarray:
+        """A typed zero-copy view of ``count`` items at ``addr``."""
+        dt = np.dtype(dtype)
+        return self.view(addr, count * dt.itemsize).view(dt)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceMemory(used={self.used}/{self.capacity} B, "
+            f"allocs={self.allocation_count}, policy={self.policy}, "
+            f"functional={self.functional})"
+        )

@@ -1,0 +1,100 @@
+"""GPU modules: the code blob shipped at rCUDA initialization.
+
+The paper's initialization stage "locates and sends the GPU module of the
+application ... which comprises the code to be executed on the GPU
+(kernels) and other related information such as statically allocated
+variables".  The module payload is the ``x`` of Table I's Initialization
+row: 21,486 bytes for the matrix product, 7,852 for the FFT.
+
+Our modules are self-describing blobs: a small header naming the kernels
+they export, padded deterministically to the exact published size, so the
+wire traffic is byte-for-byte the size the paper measured while the server
+can still discover which kernels the module provides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ProtocolError
+
+_MAGIC = b"RPRGPUM1"
+
+
+@dataclass(frozen=True)
+class GpuModule:
+    """A named module exporting kernels, serialized to an exact size."""
+
+    name: str
+    kernel_names: tuple[str, ...]
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+    def exports(self, kernel_name: str) -> bool:
+        return kernel_name in self.kernel_names
+
+
+def fabricate_module(
+    name: str, kernel_names: tuple[str, ...] | list[str], total_bytes: int
+) -> GpuModule:
+    """Build a module blob of exactly ``total_bytes`` bytes.
+
+    Layout: magic, name, kernel-name table, then deterministic padding
+    derived from the name (so two builds of the same module are
+    bit-identical -- important for reproducible wire traces).
+    """
+    kernel_names = tuple(kernel_names)
+    header = bytearray(_MAGIC)
+    name_b = name.encode()
+    header += struct.pack("<I", len(name_b)) + name_b
+    header += struct.pack("<I", len(kernel_names))
+    for kn in kernel_names:
+        knb = kn.encode()
+        header += struct.pack("<I", len(knb)) + knb
+    if total_bytes < len(header):
+        raise ConfigurationError(
+            f"module {name!r} needs at least {len(header)} bytes of header, "
+            f"asked for {total_bytes}"
+        )
+    pad_len = total_bytes - len(header)
+    pad = bytearray()
+    counter = 0
+    seed = name.encode()
+    while len(pad) < pad_len:
+        pad += hashlib.sha256(seed + struct.pack("<I", counter)).digest()
+        counter += 1
+    payload = bytes(header) + bytes(pad[:pad_len])
+    assert len(payload) == total_bytes
+    return GpuModule(name=name, kernel_names=kernel_names, payload=payload)
+
+
+def parse_module(payload: bytes) -> GpuModule:
+    """Recover name and kernel table from a module blob (server side)."""
+    if not payload.startswith(_MAGIC):
+        raise ProtocolError("not a GPU module blob (bad magic)")
+    off = len(_MAGIC)
+
+    def _read_str(off: int) -> tuple[str, int]:
+        if off + 4 > len(payload):
+            raise ProtocolError("truncated GPU module header")
+        (n,) = struct.unpack_from("<I", payload, off)
+        off += 4
+        if off + n > len(payload):
+            raise ProtocolError("truncated GPU module header")
+        return payload[off : off + n].decode(), off + n
+
+    name, off = _read_str(off)
+    if off + 4 > len(payload):
+        raise ProtocolError("truncated GPU module header")
+    (count,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    kernels: list[str] = []
+    for _ in range(count):
+        kn, off = _read_str(off)
+        kernels.append(kn)
+    return GpuModule(name=name, kernel_names=tuple(kernels), payload=payload)

@@ -1,0 +1,63 @@
+"""Device properties (``cudaDeviceProp``) for the simulated GPU.
+
+The rCUDA initialization handshake returns the device's compute capability
+(the 8-byte "Compute capability" field of Table I), so the simulated device
+needs real properties.  :data:`TESLA_C1060` matches the paper's GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """The subset of ``cudaDeviceProp`` the middleware and kernels use."""
+
+    name: str
+    compute_capability: tuple[int, int]
+    total_global_mem: int
+    multiprocessor_count: int
+    cores_per_multiprocessor: int
+    clock_mhz: float
+    memory_bw_gbps: float
+    max_threads_per_block: int = 512
+    max_grid_dim: tuple[int, int] = (65535, 65535)
+    warp_size: int = 32
+
+    @property
+    def core_count(self) -> int:
+        return self.multiprocessor_count * self.cores_per_multiprocessor
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        """Single-precision peak: cores x clock x 3 flops (MAD + MUL) for
+        the GT200 generation."""
+        return self.core_count * self.clock_mhz / 1000.0 * 3.0
+
+
+#: The paper's accelerator: NVIDIA Tesla C1060 (GT200, compute 1.3,
+#: 30 SMs x 8 cores at 1.296 GHz, 4 GB GDDR3).
+TESLA_C1060 = DeviceProperties(
+    name="Tesla C1060",
+    compute_capability=(1, 3),
+    total_global_mem=4 * GIB,
+    multiprocessor_count=30,
+    cores_per_multiprocessor=8,
+    clock_mhz=1296.0,
+    memory_bw_gbps=102.0,
+)
+
+#: A deliberately tiny device for unit tests exercising out-of-memory and
+#: fragmentation paths without allocating real gigabytes.
+TINY_TEST_DEVICE = DeviceProperties(
+    name="Tiny Test Device",
+    compute_capability=(1, 3),
+    total_global_mem=1 * 1024 * 1024,
+    multiprocessor_count=1,
+    cores_per_multiprocessor=8,
+    clock_mhz=1000.0,
+    memory_bw_gbps=10.0,
+)

@@ -1,0 +1,236 @@
+"""The CUDA Runtime API facade.
+
+:class:`CudaRuntime` is the call surface both sides of the study share:
+
+* a *local* application uses it directly (the paper's "local GPU" column),
+  paying the CUDA context initialization on first use;
+* the rCUDA **server** drives one instance per client session, with the
+  context pre-initialized at daemon startup -- the asymmetry the paper
+  points out when the remote 40GI run beats the local GPU at m = 4096.
+
+Like the real API, calls return ``cudaError_t`` status codes (paired with
+a value where the C API uses an out-parameter) instead of raising; the
+middleware forwards the code to the client verbatim as Table I's 4-byte
+"CUDA error" field.  ``check`` from :mod:`repro.simcuda.errors` converts a
+code to an exception for callers who prefer that style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.simcuda.device import SimulatedGpu
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.module import GpuModule
+from repro.simcuda.properties import DeviceProperties
+from repro.simcuda.types import Dim3, DevicePtr, MemcpyKind
+
+
+class CudaRuntime:
+    """One application's (or one rCUDA session's) view of the device."""
+
+    def __init__(self, device: SimulatedGpu, preinitialized: bool = False) -> None:
+        """``preinitialized=True`` models the rCUDA daemon's warm context:
+        no CUDA initialization delay is charged (the local path charges it
+        lazily on the first API call, like the real runtime)."""
+        self.device = device
+        self._preinitialized = preinitialized
+        self._ctx = None
+        self._launch_config: tuple[Dim3, Dim3, int, int] | None = None
+        self._staged_args: list = []
+        self.last_error = CudaError.cudaSuccess
+
+    # -- context ----------------------------------------------------------
+
+    @property
+    def context(self):
+        if self._ctx is None:
+            self._ctx = self.device.create_context(
+                pay_init_cost=not self._preinitialized
+            )
+        return self._ctx
+
+    def close(self) -> None:
+        """Tear down the context, releasing all session resources."""
+        if self._ctx is not None and not self._ctx.destroyed:
+            self.device.destroy_context(self._ctx)
+        self._ctx = None
+
+    def __enter__(self) -> "CudaRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _wrap(self, fn, *args, **kwargs):
+        try:
+            value = fn(*args, **kwargs)
+        except CudaRuntimeError as exc:
+            self.last_error = exc.status
+            return exc.status, None
+        except DeviceError:
+            self.last_error = CudaError.cudaErrorInvalidValue
+            return CudaError.cudaErrorInvalidValue, None
+        self.last_error = CudaError.cudaSuccess
+        return CudaError.cudaSuccess, value
+
+    # -- device queries ------------------------------------------------------
+
+    def cudaGetDeviceProperties(self) -> tuple[CudaError, DeviceProperties]:
+        return CudaError.cudaSuccess, self.device.properties
+
+    def cudaGetLastError(self) -> CudaError:
+        err, self.last_error = self.last_error, CudaError.cudaSuccess
+        return err
+
+    # -- memory ------------------------------------------------------------
+
+    def cudaMalloc(self, size: int) -> tuple[CudaError, DevicePtr | None]:
+        return self._wrap(self.device.malloc, self.context, size)
+
+    def cudaFree(self, ptr: DevicePtr) -> CudaError:
+        status, _ = self._wrap(self.device.free, self.context, ptr)
+        return status
+
+    def cudaMemcpy(
+        self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        count: int,
+        kind: MemcpyKind,
+        host_data: bytes | np.ndarray | None = None,
+    ) -> tuple[CudaError, np.ndarray | None]:
+        return self._wrap(
+            self.device.memcpy, self.context, dst, src, count, kind, host_data
+        )
+
+    def cudaMemset(self, ptr: DevicePtr, value: int, count: int) -> CudaError:
+        status, _ = self._wrap(self.device.memset, self.context, ptr, value, count)
+        return status
+
+    def cudaMemcpyAsync(
+        self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        count: int,
+        kind: MemcpyKind,
+        stream: int = 0,
+        host_data: bytes | np.ndarray | None = None,
+    ) -> tuple[CudaError, np.ndarray | None]:
+        """Asynchronous copy on a stream (the paper's future work)."""
+        return self._wrap(
+            self.device.memcpy_async,
+            self.context,
+            dst,
+            src,
+            count,
+            kind,
+            stream,
+            host_data,
+        )
+
+    # -- module loading (rCUDA initialization stage) -----------------------------
+
+    def load_module(self, module: GpuModule) -> CudaError:
+        status, _ = self._wrap(self.context.load_module, module)
+        return status
+
+    # -- kernel launch (CUDA 2.3 staged style) ------------------------------------
+
+    def cudaConfigureCall(
+        self,
+        grid: Dim3,
+        block: Dim3,
+        shared_bytes: int = 0,
+        stream: int = 0,
+    ) -> CudaError:
+        self._launch_config = (grid, block, shared_bytes, stream)
+        self._staged_args = []
+        return CudaError.cudaSuccess
+
+    def cudaSetupArgument(self, value) -> CudaError:
+        """Stage one kernel argument (offset bookkeeping elided: arguments
+        are consumed positionally, which is what the kernels expect)."""
+        if self._launch_config is None:
+            return CudaError.cudaErrorMissingConfiguration
+        self._staged_args.append(value)
+        return CudaError.cudaSuccess
+
+    def cudaLaunch(self, kernel_name: str) -> CudaError:
+        if self._launch_config is None:
+            self.last_error = CudaError.cudaErrorMissingConfiguration
+            return CudaError.cudaErrorMissingConfiguration
+        grid, block, shared, stream = self._launch_config
+        self._launch_config = None
+        args = tuple(self._staged_args)
+        self._staged_args = []
+        status, _ = self._wrap(
+            self.device.launch,
+            self.context,
+            kernel_name,
+            grid,
+            block,
+            args,
+            stream,
+            shared,
+        )
+        return status
+
+    def launch_kernel(
+        self,
+        kernel_name: str,
+        grid: Dim3,
+        block: Dim3,
+        args: tuple,
+        stream: int = 0,
+        shared_bytes: int = 0,
+    ) -> CudaError:
+        """Convenience: configure + setup + launch in one call."""
+        self.cudaConfigureCall(grid, block, shared_bytes, stream)
+        for arg in args:
+            self.cudaSetupArgument(arg)
+        return self.cudaLaunch(kernel_name)
+
+    # -- synchronization / streams / events ------------------------------------
+
+    def cudaThreadSynchronize(self) -> CudaError:
+        status, _ = self._wrap(self.device.synchronize, self.context)
+        return status
+
+    def cudaStreamCreate(self) -> tuple[CudaError, int | None]:
+        status, stream = self._wrap(self.context.create_stream)
+        return status, stream.handle if stream is not None else None
+
+    def cudaStreamSynchronize(self, handle: int) -> CudaError:
+        def _sync():
+            stream = self.context.get_stream(handle)
+            wait = stream.synchronize_time(self.device.clock.now())
+            self.device.clock.advance(wait)
+
+        status, _ = self._wrap(_sync)
+        return status
+
+    def cudaEventCreate(self) -> tuple[CudaError, int | None]:
+        status, event = self._wrap(self.context.create_event)
+        return status, event.handle if event is not None else None
+
+    def cudaEventRecord(self, handle: int) -> CudaError:
+        def _record():
+            self.context.get_event(handle).record(self.device.clock.now())
+
+        status, _ = self._wrap(_record)
+        return status
+
+    def cudaEventElapsedTime(
+        self, start_handle: int, end_handle: int
+    ) -> tuple[CudaError, float | None]:
+        """Elapsed milliseconds between two recorded events (CUDA returns
+        ms; this one API mirrors that to stay familiar)."""
+
+        def _elapsed():
+            start = self.context.get_event(start_handle)
+            end = self.context.get_event(end_handle)
+            return end.elapsed_since(start) * 1e3
+
+        return self._wrap(_elapsed)

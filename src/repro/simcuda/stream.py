@@ -1,0 +1,44 @@
+"""CUDA streams.
+
+The paper's estimation model only covers synchronous transfers
+("asynchronous transfers [are left] for future work"), but the Runtime API
+surface includes streams -- the cudaLaunch message of Table I carries a
+4-byte stream field -- so the simulated device implements the in-order
+queue semantics: work items on one stream execute in submission order; the
+device clock tracks a per-stream "busy until" horizon.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Stream handle 0 is the default (NULL) stream, as in CUDA.
+DEFAULT_STREAM = 0
+
+_handles = itertools.count(1)
+
+
+@dataclass
+class CudaStream:
+    """One in-order execution queue on the device."""
+
+    handle: int = field(default_factory=lambda: next(_handles))
+    #: Simulated timestamp at which previously queued work completes.
+    busy_until: float = 0.0
+    submitted: int = 0
+
+    def enqueue(self, now: float, duration: float) -> float:
+        """Queue ``duration`` seconds of work at time ``now``; returns the
+        completion timestamp (work starts after prior work finishes)."""
+        start = max(now, self.busy_until)
+        self.busy_until = start + duration
+        self.submitted += 1
+        return self.busy_until
+
+    def is_idle(self, now: float) -> bool:
+        return now >= self.busy_until
+
+    def synchronize_time(self, now: float) -> float:
+        """Seconds the host must wait at ``now`` for the stream to drain."""
+        return max(0.0, self.busy_until - now)

@@ -1,0 +1,87 @@
+"""Device-side cost models for the virtual-clock simulation.
+
+The timing model answers "how long would the Tesla C1060 take" for kernel
+executions and PCIe transfers.  Defaults are literature values for the
+paper's hardware; the calibrated testbed
+(:mod:`repro.model.calibration`) refines the rates so the regenerated
+"measured" columns land on the published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.paperdata.constants import PCIE_EFFECTIVE_MIBPS
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class PcieModel:
+    """Host <-> device transfers across the PCIe 2.0 x16 link.
+
+    The paper measured 5,743 MB/s effective (the theoretical link peak is
+    8 GB/s); each ``cudaMemcpy`` additionally pays a fixed submission
+    overhead.
+    """
+
+    bandwidth_mibps: float = PCIE_EFFECTIVE_MIBPS
+    per_transfer_overhead_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mibps <= 0:
+            raise ConfigurationError("PCIe bandwidth must be positive")
+        if self.per_transfer_overhead_s < 0:
+            raise ConfigurationError("PCIe overhead must be non-negative")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot transfer {nbytes} bytes")
+        return self.per_transfer_overhead_s + nbytes / (
+            self.bandwidth_mibps * MIB
+        )
+
+
+@dataclass(frozen=True)
+class DeviceTimingModel:
+    """Sustained rates of the simulated GPU.
+
+    * ``gemm_gflops`` -- sustained SGEMM rate (Volkov reaches roughly 60%
+      of the GT200's 624 GFLOP/s MAD peak);
+    * ``fft_gflops`` -- sustained batched-FFT rate (5 N log2 N flop
+      convention);
+    * ``membw_gbps`` -- sustained global-memory bandwidth for the
+      memory-bound elementwise/reduction kernels;
+    * ``kernel_launch_overhead_s`` -- fixed per-launch cost;
+    * ``cuda_init_seconds`` -- CUDA context creation.  The rCUDA daemon
+      pre-initializes the context, which is why the paper's remote 40GI
+      run beats the local GPU at m = 4096; the local runtime pays this,
+      the remote server does not.
+    """
+
+    gemm_gflops: float = 375.0
+    fft_gflops: float = 160.0
+    membw_gbps: float = 80.0
+    kernel_launch_overhead_s: float = 8e-6
+    cuda_init_seconds: float = 0.45
+    pcie: PcieModel = PcieModel()
+
+    def __post_init__(self) -> None:
+        for name in ("gemm_gflops", "fft_gflops", "membw_gbps"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.kernel_launch_overhead_s < 0 or self.cuda_init_seconds < 0:
+            raise ConfigurationError("overheads must be non-negative")
+
+    def gemm_seconds(self, flops: float) -> float:
+        return self.kernel_launch_overhead_s + flops / (self.gemm_gflops * 1e9)
+
+    def fft_seconds(self, flops: float) -> float:
+        return self.kernel_launch_overhead_s + flops / (self.fft_gflops * 1e9)
+
+    def membound_seconds(self, nbytes: float) -> float:
+        return self.kernel_launch_overhead_s + nbytes / (self.membw_gbps * 1e9)
+
+    def with_rates(self, **kwargs) -> "DeviceTimingModel":
+        """A copy with some rates replaced (used by calibration)."""
+        return replace(self, **kwargs)

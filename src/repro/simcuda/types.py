@@ -1,0 +1,49 @@
+"""Value types of the CUDA Runtime API surface."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class MemcpyKind(enum.IntEnum):
+    """``cudaMemcpyKind``: the 4-byte "Kind" field of Table I's cudaMemcpy."""
+
+    cudaMemcpyHostToHost = 0
+    cudaMemcpyHostToDevice = 1
+    cudaMemcpyDeviceToHost = 2
+    cudaMemcpyDeviceToDevice = 3
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA's ``dim3``.
+
+    Table I encodes a block dimension in 12 bytes (x, y, z as 32-bit
+    integers) and a grid dimension in 8 (x, y only: 2.x-era grids were
+    two-dimensional).
+    """
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if self.x < 1 or self.y < 1 or self.z < 1:
+            raise ConfigurationError(f"dim3 components must be >= 1: {self}")
+
+    @property
+    def count(self) -> int:
+        """Total number of threads/blocks this dimension describes."""
+        return self.x * self.y * self.z
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+
+#: Device pointers are plain integers (byte addresses in the simulated
+#: device address space); 0 is the null pointer.
+DevicePtr = int
+NULL_PTR: DevicePtr = 0

@@ -1,0 +1,26 @@
+"""Testbeds: where "measured" numbers come from.
+
+* :class:`~repro.testbed.simulated.SimulatedTestbed` -- the virtual-clock
+  counterpart of the paper's two-node cluster: calibrated component cost
+  models plus a full-session network replay produce the measured columns
+  (CPU, local GPU, rCUDA over GigaE/40GI) at paper scale in microseconds
+  of host time.
+* :class:`~repro.testbed.runner.FunctionalRunner` -- really runs the
+  middleware (client, wire protocol, server, device, kernels) and
+  measures wall-clock time and wire traffic; used at small problem sizes
+  for end-to-end correctness and for virtual network accounting of real
+  traffic.
+"""
+
+from repro.testbed.runner import FunctionalRunner, FunctionalRunReport
+from repro.testbed.simulated import SimulatedRun, SimulatedTestbed
+from repro.testbed.trace import ExecutionTrace, PhaseTiming
+
+__all__ = [
+    "ExecutionTrace",
+    "FunctionalRunReport",
+    "FunctionalRunner",
+    "PhaseTiming",
+    "SimulatedRun",
+    "SimulatedTestbed",
+]

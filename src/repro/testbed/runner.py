@@ -1,0 +1,106 @@
+"""Functional runner: really execute a case study through the middleware.
+
+Spins up a daemon over a simulated GPU, connects a client (in-process or
+TCP), runs the seven phases with real bytes and real kernels, verifies
+the numerics, and reports wall time, wire traffic, and -- via
+:class:`~repro.transport.timed.TimedTransport` -- the *virtual* time the
+same traffic would have cost on any modeled network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+from repro.rcuda.client.connection import RCudaClient
+from repro.rcuda.server.daemon import RCudaDaemon
+from repro.simcuda.device import SimulatedGpu
+from repro.transport.inproc import inproc_pair
+from repro.transport.tcp import connect_tcp
+from repro.transport.timed import TimedTransport
+from repro.workloads.base import CaseRunResult, CaseStudy
+
+
+@dataclass(frozen=True)
+class FunctionalRunReport:
+    """Outcome of one real middleware execution."""
+
+    result: CaseRunResult
+    bytes_sent: int
+    bytes_received: int
+    messages_sent: int
+    #: Virtual network seconds the traffic would cost per modeled network.
+    virtual_network_seconds: dict[str, float]
+
+
+class FunctionalRunner:
+    """Owns a device + daemon; runs cases against them for real."""
+
+    def __init__(
+        self,
+        device: SimulatedGpu | None = None,
+        use_tcp: bool = False,
+        accounted_networks: tuple[str, ...] = ("GigaE", "40GI"),
+    ) -> None:
+        self.device = device if device is not None else SimulatedGpu()
+        self.daemon = RCudaDaemon(self.device)
+        self.use_tcp = use_tcp
+        self.accounted_networks = accounted_networks
+        self._port: int | None = None
+
+    def start(self) -> None:
+        if self.use_tcp and self._port is None:
+            self._port = self.daemon.start()
+
+    def stop(self) -> None:
+        if self._port is not None:
+            self.daemon.stop()
+            self._port = None
+
+    def __enter__(self) -> "FunctionalRunner":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def run(
+        self, case: CaseStudy, size: int, seed: int = 0, verify: bool = True
+    ) -> FunctionalRunReport:
+        """One full session: connect, initialize, run, finalize."""
+        links = {
+            name: SimulatedLink(get_network(name))
+            for name in self.accounted_networks
+        }
+
+        if self.use_tcp:
+            self.start()
+            assert self._port is not None
+            base = connect_tcp("127.0.0.1", self._port)
+        else:
+            client_end, server_end = inproc_pair()
+            self.daemon.serve_transport(server_end)
+            base = client_end
+
+        transport = base
+        # Chain one timing wrapper per accounted network; bytes flow
+        # through unchanged, each link's clock accumulates independently.
+        for link in links.values():
+            transport = TimedTransport(transport, link)
+
+        client = RCudaClient.connect(transport, case.module())
+        try:
+            result = case.run(client.runtime, size, seed=seed, verify=verify)
+        finally:
+            client.close()
+
+        return FunctionalRunReport(
+            result=result,
+            bytes_sent=transport.bytes_sent,
+            bytes_received=transport.bytes_received,
+            messages_sent=transport.messages_sent,
+            virtual_network_seconds={
+                name: link.clock.now() for name, link in links.items()
+            },
+        )

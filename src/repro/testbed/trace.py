@@ -1,0 +1,95 @@
+"""Execution traces: per-phase timing of one run.
+
+The paper's model is built by analyzing "the traces of two different case
+studies over two different networks"; this is our trace structure.  The
+phase names follow Section III's seven stages, with the component costs
+(host/PCIe/kernel/network) attributed to the phase that incurs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Canonical phase order (Section III, with the host-side work explicit).
+PHASE_ORDER = (
+    "host",      # data generation + middleware management (fixed-time parts)
+    "init",      # phase 1: connection + module shipping
+    "malloc",    # phase 2
+    "h2d",       # phase 3: input transfers (network + PCIe)
+    "launch",    # phase 4: argument + launch messages
+    "kernel",    # phase 4: device execution
+    "d2h",       # phase 5: output transfer
+    "free",      # phase 6
+    "finalize",  # phase 7
+)
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Seconds spent in one phase, split by where the time went."""
+
+    phase: str
+    network_seconds: float = 0.0
+    device_seconds: float = 0.0
+    host_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.network_seconds + self.device_seconds + self.host_seconds
+
+
+@dataclass
+class ExecutionTrace:
+    """One run's full phase breakdown."""
+
+    case: str
+    size: int
+    network: str
+    phases: list[PhaseTiming] = field(default_factory=list)
+
+    def add(
+        self,
+        phase: str,
+        network_seconds: float = 0.0,
+        device_seconds: float = 0.0,
+        host_seconds: float = 0.0,
+    ) -> None:
+        if phase not in PHASE_ORDER:
+            raise ConfigurationError(
+                f"unknown phase {phase!r}; expected one of {PHASE_ORDER}"
+            )
+        self.phases.append(
+            PhaseTiming(
+                phase=phase,
+                network_seconds=network_seconds,
+                device_seconds=device_seconds,
+                host_seconds=host_seconds,
+            )
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.total_seconds for p in self.phases)
+
+    @property
+    def network_seconds(self) -> float:
+        return sum(p.network_seconds for p in self.phases)
+
+    @property
+    def device_seconds(self) -> float:
+        return sum(p.device_seconds for p in self.phases)
+
+    @property
+    def host_seconds(self) -> float:
+        return sum(p.host_seconds for p in self.phases)
+
+    def by_phase(self) -> dict[str, float]:
+        """Total seconds per phase, aggregated and ordered canonically."""
+        totals: dict[str, float] = {}
+        for p in self.phases:
+            totals[p.phase] = totals.get(p.phase, 0.0) + p.total_seconds
+        return {
+            name: totals[name] for name in PHASE_ORDER if name in totals
+        }

@@ -1,0 +1,26 @@
+"""Byte transports connecting the rCUDA client and server.
+
+* :mod:`repro.transport.tcp` -- real TCP sockets.  Like the paper's
+  middleware, Nagle's algorithm is disabled (``TCP_NODELAY``) so the
+  client controls exactly when a frame goes out.
+* :mod:`repro.transport.inproc` -- an in-process connected pair (two
+  queue-backed endpoints), for tests and single-process demos.
+* :mod:`repro.transport.timed` -- a wrapper that accounts every byte
+  against a :class:`~repro.net.simlink.SimulatedLink`, so a functional run
+  over any transport also yields the *virtual* network time it would have
+  cost on GigaE, InfiniBand, etc.
+"""
+
+from repro.transport.base import Transport
+from repro.transport.inproc import InProcTransport, inproc_pair
+from repro.transport.tcp import TcpTransport, connect_tcp
+from repro.transport.timed import TimedTransport
+
+__all__ = [
+    "InProcTransport",
+    "TcpTransport",
+    "TimedTransport",
+    "Transport",
+    "connect_tcp",
+    "inproc_pair",
+]

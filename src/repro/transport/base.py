@@ -1,0 +1,40 @@
+"""Transport interface: ordered, reliable byte delivery with exact reads."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Transport(ABC):
+    """A bidirectional byte stream between one client and one server.
+
+    The protocol codec only ever needs two primitives: push bytes out, and
+    read an exact count (message framing is self-describing, so there is
+    no per-message length envelope on the wire -- sizes stay exactly what
+    Table I says).
+    """
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+
+    @abstractmethod
+    def send(self, data: bytes) -> None:
+        """Deliver ``data`` in order; raises TransportError on failure."""
+
+    @abstractmethod
+    def recv_exact(self, nbytes: int) -> bytes:
+        """Block until exactly ``nbytes`` arrive; raises
+        TransportClosedError if the peer closes first."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear the connection down (idempotent)."""
+
+    def _account_send(self, nbytes: int) -> None:
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+
+    def _account_recv(self, nbytes: int) -> None:
+        self.bytes_received += nbytes

@@ -1,0 +1,97 @@
+"""In-process transport: a connected pair of queue-backed endpoints.
+
+Works across threads (the server daemon runs its sessions in threads), or
+within a single thread as long as reads never outrun writes.  Closing
+either endpoint wakes any blocked reader on the other with
+:class:`~repro.errors.TransportClosedError` -- which is also how the
+server notices the paper's finalization stage ("the client application
+closes the socket").
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import TransportClosedError
+from repro.transport.base import Transport
+
+
+class _Channel:
+    """One direction: a byte FIFO with blocking exact reads."""
+
+    def __init__(self) -> None:
+        self._chunks: deque[bytes] = deque()
+        self._pending = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def push(self, data: bytes) -> None:
+        with self._cond:
+            if self._closed:
+                raise TransportClosedError("send on a closed transport")
+            self._chunks.append(data)
+            self._pending += len(data)
+            self._cond.notify_all()
+
+    def pop_exact(self, nbytes: int, timeout: float | None) -> bytes:
+        with self._cond:
+            while self._pending < nbytes:
+                if self._closed:
+                    raise TransportClosedError(
+                        f"peer closed with {nbytes - self._pending} of "
+                        f"{nbytes} bytes pending"
+                    )
+                if not self._cond.wait(timeout=timeout):
+                    raise TransportClosedError(
+                        f"timed out waiting for {nbytes} bytes"
+                    )
+            out = bytearray()
+            while len(out) < nbytes:
+                chunk = self._chunks.popleft()
+                take = nbytes - len(out)
+                if len(chunk) > take:
+                    out += chunk[:take]
+                    self._chunks.appendleft(chunk[take:])
+                else:
+                    out += chunk
+            self._pending -= nbytes
+            return bytes(out)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class InProcTransport(Transport):
+    """One endpoint of an in-process pair."""
+
+    def __init__(self, outgoing: _Channel, incoming: _Channel, timeout: float | None = 30.0) -> None:
+        super().__init__()
+        self._out = outgoing
+        self._in = incoming
+        self._timeout = timeout
+
+    def send(self, data: bytes) -> None:
+        self._out.push(bytes(data))
+        self._account_send(len(data))
+
+    def recv_exact(self, nbytes: int) -> bytes:
+        data = self._in.pop_exact(nbytes, self._timeout)
+        self._account_recv(nbytes)
+        return data
+
+    def close(self) -> None:
+        # Closing an endpoint tears down both directions, like a socket.
+        self._out.close()
+        self._in.close()
+
+
+def inproc_pair(timeout: float | None = 30.0) -> tuple[InProcTransport, InProcTransport]:
+    """A connected (client_end, server_end) pair."""
+    a_to_b = _Channel()
+    b_to_a = _Channel()
+    client = InProcTransport(outgoing=a_to_b, incoming=b_to_a, timeout=timeout)
+    server = InProcTransport(outgoing=b_to_a, incoming=a_to_b, timeout=timeout)
+    return client, server

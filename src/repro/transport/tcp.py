@@ -1,0 +1,76 @@
+"""TCP socket transport.
+
+The paper's middleware listens on a TCP port and explicitly disables the
+Nagle congestion-avoidance behaviour ("we explicitly control the instant a
+frame must be sent out ... to avoid unnecessary delays introduced by the
+default congestion control algorithm"); we set ``TCP_NODELAY``
+accordingly, with a constructor flag so the Nagle ablation benchmark can
+put it back.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import TransportClosedError, TransportError
+from repro.transport.base import Transport
+
+
+class TcpTransport(Transport):
+    """One established TCP connection."""
+
+    def __init__(self, sock: socket.socket, nodelay: bool = True) -> None:
+        super().__init__()
+        self._sock = sock
+        self._closed = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1 if nodelay else 0)
+        except OSError as exc:  # pragma: no cover - platform dependent
+            raise TransportError(f"could not set TCP_NODELAY: {exc}") from exc
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            raise TransportClosedError("send on a closed transport")
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise TransportError(f"TCP send failed: {exc}") from exc
+        self._account_send(len(data))
+
+    def recv_exact(self, nbytes: int) -> bytes:
+        if self._closed:
+            raise TransportClosedError("recv on a closed transport")
+        chunks: list[bytes] = []
+        remaining = nbytes
+        while remaining > 0:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except OSError as exc:
+                raise TransportError(f"TCP recv failed: {exc}") from exc
+            if not chunk:
+                raise TransportClosedError(
+                    f"peer closed with {remaining} of {nbytes} bytes pending"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        self._account_recv(nbytes)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+
+def connect_tcp(host: str, port: int, nodelay: bool = True, timeout: float | None = 10.0) -> TcpTransport:
+    """Dial a server; returns a connected transport."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+    except OSError as exc:
+        raise TransportError(f"could not connect to {host}:{port}: {exc}") from exc
+    return TcpTransport(sock, nodelay=nodelay)

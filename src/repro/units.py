@@ -1,0 +1,73 @@
+"""Unit conventions shared by the whole reproduction.
+
+The ICPP 2011 rCUDA paper reports data sizes in "MB" that are actually
+mebibytes: the matrix-matrix product at dimension 4096 is listed as 64 MB,
+and 4 bytes/element * 4096**2 elements = 67,108,864 bytes = 64 MiB exactly.
+All "MB" figures in the paper (payload sizes, effective bandwidths in
+"MB/s") therefore use the 2**20 convention, and so does this package:
+whenever a public API says ``mib`` it means multiples of :data:`MIB`.
+
+Times follow the paper's mixed conventions: latency plots and Table II are
+in microseconds, Tables III and V in milliseconds, Table VI in seconds for
+the matrix product and milliseconds for the FFT.  Internally everything is
+carried in seconds (floats) and converted at the reporting boundary with
+the helpers below.
+"""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * 1024
+GIB: int = 1024 * 1024 * 1024
+
+#: One microsecond / millisecond expressed in seconds.
+US: float = 1e-6
+MS: float = 1e-3
+
+
+def bytes_to_mib(nbytes: float) -> float:
+    """Convert a byte count to mebibytes (the paper's "MB")."""
+    return nbytes / MIB
+
+
+def mib_to_bytes(mib: float) -> float:
+    """Convert mebibytes to bytes."""
+    return mib * MIB
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+def us_to_seconds(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us * US
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms * MS
+
+
+def mibps_to_bytes_per_second(mibps: float) -> float:
+    """Convert a bandwidth in MiB/s (the paper's "MB/s") to bytes/s."""
+    return mibps * MIB
+
+
+def transfer_seconds(nbytes: float, bandwidth_mibps: float) -> float:
+    """Time to move ``nbytes`` at ``bandwidth_mibps`` (MiB/s), in seconds.
+
+    This is the paper's Tables III and V arithmetic: payload divided by the
+    effective one-way bandwidth measured with the ping-pong test.
+    """
+    if bandwidth_mibps <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_mibps}")
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    return nbytes / mibps_to_bytes_per_second(bandwidth_mibps)

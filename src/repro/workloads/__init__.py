@@ -1,0 +1,28 @@
+"""The paper's case studies: the matrix product (MM) and the batched
+512-point FFT, plus their CPU baselines.
+
+A :class:`~repro.workloads.base.CaseStudy` knows its GPU module, kernel,
+payload arithmetic and the seven-phase execution recipe of Section III,
+and can *functionally run* against any runtime exposing the CUDA call
+surface -- the local :class:`~repro.simcuda.runtime.CudaRuntime` and the
+remote :class:`~repro.rcuda.client.runtime.RemoteCudaRuntime` both
+qualify, which is exactly the transparency property the middleware
+promises.
+"""
+
+from repro.workloads.base import CaseStudy, CaseRunResult
+from repro.workloads.cpu_baselines import cpu_fft_batch, cpu_matrix_product
+from repro.workloads.datagen import fft_batch_signal, random_matrix
+from repro.workloads.fftbatch import FftBatchCase
+from repro.workloads.matmul import MatrixProductCase
+
+__all__ = [
+    "CaseRunResult",
+    "CaseStudy",
+    "FftBatchCase",
+    "MatrixProductCase",
+    "cpu_fft_batch",
+    "cpu_matrix_product",
+    "fft_batch_signal",
+    "random_matrix",
+]

@@ -1,0 +1,200 @@
+"""Case-study abstraction: the seven-phase execution recipe of Section III.
+
+A case study describes one GPU-accelerated application the way the paper
+models it: the GPU module it ships at initialization, how many device
+buffers it allocates, how many bytes each memory copy moves for a given
+problem size, which kernel it launches, and how to verify the result.
+``run`` executes all seven phases against any runtime object exposing the
+CUDA call surface -- local or remote, functionally identical, which is
+the transparency the middleware is for.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simcuda.errors import check
+from repro.simcuda.module import GpuModule
+from repro.simcuda.types import Dim3, MemcpyKind
+
+
+@dataclass
+class CaseRunResult:
+    """Outcome of one functional execution."""
+
+    case: str
+    size: int
+    output: np.ndarray = field(repr=False)
+    wall_seconds: float
+    phase_seconds: dict[str, float]
+    verified: bool | None = None
+    max_abs_error: float | None = None
+
+
+class CaseStudy(ABC):
+    """One of the paper's applications (MM, FFT)."""
+
+    #: Case-study identifier used in tables ("MM" / "FFT").
+    name: str
+    #: Kernel launched by phase 4.
+    kernel_name: str
+    #: Device buffers allocated in phase 2 (3 for MM, 1 for FFT).
+    num_buffers: int
+    #: Host-to-device copies in phase 3 (2 for MM, 1 for FFT).
+    num_input_copies: int
+    #: Memory copies per run entering the paper's fixed-time arithmetic
+    #: (inputs + outputs: 3 for MM, 2 for FFT).
+    copies_per_run: int
+    #: Problem sizes of the paper's sweep.
+    paper_sizes: tuple[int, ...]
+
+    @abstractmethod
+    def module(self) -> GpuModule:
+        """The GPU module shipped at initialization (exact paper size)."""
+
+    @abstractmethod
+    def payload_bytes(self, size: int) -> int:
+        """Data bytes of one memory-copy operation at this problem size."""
+
+    @abstractmethod
+    def flops(self, size: int) -> float:
+        """Arithmetic work of one kernel execution."""
+
+    @abstractmethod
+    def launch_geometry(self, size: int) -> tuple[Dim3, Dim3]:
+        """(grid, block) for the kernel launch."""
+
+    # -- functional execution ---------------------------------------------------
+
+    @abstractmethod
+    def generate_inputs(self, size: int, seed: int) -> list[np.ndarray]:
+        """Host input buffers, one per input copy."""
+
+    @abstractmethod
+    def kernel_args(self, size: int, ptrs: list[int]) -> tuple:
+        """Argument tuple given the allocated device pointers."""
+
+    @abstractmethod
+    def buffer_bytes(self, size: int) -> list[int]:
+        """Size of each device buffer (phase 2), ``num_buffers`` entries."""
+
+    @abstractmethod
+    def output_buffer_index(self) -> int:
+        """Which device buffer holds the result (phase 5 reads it)."""
+
+    @abstractmethod
+    def interpret_output(self, size: int, raw: np.ndarray) -> np.ndarray:
+        """Turn the copied-back bytes into the result array."""
+
+    @abstractmethod
+    def reference(self, size: int, inputs: list[np.ndarray]) -> np.ndarray:
+        """CPU reference result for verification."""
+
+    def verify_tolerance(self, size: int) -> float:
+        """Acceptable max-abs deviation from the reference."""
+        return 1e-3 * max(1.0, float(size))
+
+    def validate_size(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigurationError(
+                f"{self.name}: problem size must be positive, got {size}"
+            )
+
+    def run(
+        self,
+        runtime,
+        size: int,
+        seed: int = 0,
+        verify: bool = True,
+    ) -> CaseRunResult:
+        """Execute phases 2-6 of Section III against ``runtime``.
+
+        Phase 1 (initialization: connection + module) belongs to the
+        session setup and phase 7 (finalization) to its teardown; both are
+        owned by the caller so one session can run several executions, as
+        the middleware allows.
+        """
+        self.validate_size(size)
+        phases: dict[str, float] = {}
+        t_all = time.perf_counter()
+
+        t0 = time.perf_counter()
+        inputs = self.generate_inputs(size, seed)
+        phases["datagen"] = time.perf_counter() - t0
+
+        # Phase 2: memory allocation.
+        t0 = time.perf_counter()
+        ptrs: list[int] = []
+        for nbytes in self.buffer_bytes(size):
+            err, ptr = runtime.cudaMalloc(nbytes)
+            check(err, f"{self.name} cudaMalloc({nbytes})")
+            ptrs.append(ptr)
+        phases["malloc"] = time.perf_counter() - t0
+
+        try:
+            # Phase 3: input data transfer.
+            t0 = time.perf_counter()
+            for i, host in enumerate(inputs):
+                err, _ = runtime.cudaMemcpy(
+                    ptrs[i],
+                    0,
+                    host.nbytes,
+                    MemcpyKind.cudaMemcpyHostToDevice,
+                    host_data=host,
+                )
+                check(err, f"{self.name} input copy {i}")
+            phases["h2d"] = time.perf_counter() - t0
+
+            # Phase 4: kernel execution.
+            t0 = time.perf_counter()
+            grid, block = self.launch_geometry(size)
+            err = runtime.launch_kernel(
+                self.kernel_name, grid, block, self.kernel_args(size, ptrs)
+            )
+            check(err, f"{self.name} launch {self.kernel_name}")
+            phases["kernel"] = time.perf_counter() - t0
+
+            # Phase 5: output data transfer (synchronizes the device).
+            t0 = time.perf_counter()
+            out_idx = self.output_buffer_index()
+            out_bytes = self.buffer_bytes(size)[out_idx]
+            err, raw = runtime.cudaMemcpy(
+                0, ptrs[out_idx], out_bytes, MemcpyKind.cudaMemcpyDeviceToHost
+            )
+            check(err, f"{self.name} output copy")
+            phases["d2h"] = time.perf_counter() - t0
+        finally:
+            # Phase 6: memory release.
+            t0 = time.perf_counter()
+            for ptr in ptrs:
+                runtime.cudaFree(ptr)
+            phases["free"] = time.perf_counter() - t0
+
+        output = self.interpret_output(size, raw)
+        verified: bool | None = None
+        max_err: float | None = None
+        if verify:
+            expected = self.reference(size, inputs)
+            max_err = float(np.abs(output - expected).max())
+            verified = max_err <= self.verify_tolerance(size)
+
+        return CaseRunResult(
+            case=self.name,
+            size=size,
+            output=output,
+            wall_seconds=time.perf_counter() - t_all,
+            phase_seconds=phases,
+            verified=verified,
+            max_abs_error=max_err,
+        )
+
+    def ensure_module(self, runtime) -> None:
+        """Load this case's module on a *local* runtime (remote sessions
+        ship it during connection initialization instead)."""
+        if hasattr(runtime, "load_module"):
+            check(runtime.load_module(self.module()), f"{self.name} module load")

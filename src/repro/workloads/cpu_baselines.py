@@ -1,0 +1,41 @@
+"""CPU baselines: the paper's MKL and FFTW executions.
+
+The paper runs the matrix product through Intel MKL 10.1 and the FFT
+through FFTW 3.2.2 on all 8 Xeon cores.  Functionally we stand in numpy's
+BLAS (``@``) and pocketfft (``np.fft``); the paper-scale *timings* of the
+CPU column come from the calibrated cost curves in
+:mod:`repro.model.calibration`, not from timing these (this host is not a
+2009 dual-socket E5520).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def cpu_matrix_product(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Single-precision GEMM on the CPU; returns (C, wall seconds)."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigurationError(
+            f"incompatible GEMM shapes {a.shape} x {b.shape}"
+        )
+    t0 = time.perf_counter()
+    c = (a.astype(np.float32, copy=False) @ b.astype(np.float32, copy=False))
+    return c, time.perf_counter() - t0
+
+
+def cpu_fft_batch(signal: np.ndarray) -> tuple[np.ndarray, float]:
+    """Batched FFT over axis 1 on the CPU; returns (spectra, seconds)."""
+    if signal.ndim != 2:
+        raise ConfigurationError(
+            f"expected a (batch, points) signal, got shape {signal.shape}"
+        )
+    t0 = time.perf_counter()
+    spectra = np.fft.fft(signal, axis=1).astype(np.complex64)
+    return spectra, time.perf_counter() - t0

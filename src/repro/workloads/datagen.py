@@ -1,0 +1,34 @@
+"""Seeded input generation for the case studies.
+
+The paper's fixed time includes "random data generation"; these helpers
+are its functional counterpart.  Everything is seeded so functional runs
+(and their verification against numpy baselines) are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def random_matrix(m: int, n: int | None = None, seed: int = 0) -> np.ndarray:
+    """A dense single-precision matrix with entries in [-1, 1)."""
+    if n is None:
+        n = m
+    if m <= 0 or n <= 0:
+        raise ConfigurationError(f"matrix dimensions must be positive: {m}x{n}")
+    rng = np.random.default_rng(seed)
+    return (rng.random((m, n), dtype=np.float32) * 2.0 - 1.0).astype(np.float32)
+
+
+def fft_batch_signal(batch: int, points: int = 512, seed: int = 0) -> np.ndarray:
+    """A (batch, points) single-precision complex signal."""
+    if batch <= 0 or points <= 0:
+        raise ConfigurationError(
+            f"batch and points must be positive: {batch}, {points}"
+        )
+    rng = np.random.default_rng(seed)
+    real = rng.standard_normal((batch, points), dtype=np.float32)
+    imag = rng.standard_normal((batch, points), dtype=np.float32)
+    return (real + 1j * imag).astype(np.complex64)

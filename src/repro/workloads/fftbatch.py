@@ -1,0 +1,80 @@
+"""The batched 1-D FFT case study (Section IV.B).
+
+``n`` parallel 512-point single-precision complex transforms: 8 bytes per
+point, 4,096 bytes per batch element, one copy in and one copy out of a
+single device buffer (in-place transform, hence Table I's single
+cudaMalloc/cudaFree).  The GPU module is 7,852 bytes; the kernel name
+``FFT512_device`` gives the 58-byte launch.  The O(n log n) cost is the
+paper's example of a problem *not* worth remoting -- nor even worth a
+local GPU once PCIe transfers are counted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.paperdata.constants import (
+    FFT_BYTES_PER_POINT,
+    FFT_MODULE_BYTES,
+    FFT_BATCHES,
+    FFT_POINTS,
+)
+from repro.simcuda.kernels.fft import KERNEL_NAME as FFT_NAME
+from repro.simcuda.module import GpuModule, fabricate_module
+from repro.simcuda.types import Dim3
+from repro.workloads.base import CaseStudy
+from repro.workloads.datagen import fft_batch_signal
+
+
+class FftBatchCase(CaseStudy):
+    """The paper's FFT case study."""
+
+    name = "FFT"
+    kernel_name = FFT_NAME
+    num_buffers = 1
+    num_input_copies = 1
+    copies_per_run = 2
+    paper_sizes = FFT_BATCHES
+
+    _module: GpuModule | None = None
+
+    def module(self) -> GpuModule:
+        if type(self)._module is None:
+            type(self)._module = fabricate_module(
+                "rcuda_fft", [self.kernel_name], FFT_MODULE_BYTES
+            )
+        return type(self)._module
+
+    def payload_bytes(self, size: int) -> int:
+        return FFT_BYTES_PER_POINT * FFT_POINTS * size
+
+    def flops(self, size: int) -> float:
+        # 5 N log2 N per transform, the convention FFT benchmarks use.
+        return size * 5.0 * FFT_POINTS * np.log2(FFT_POINTS)
+
+    def launch_geometry(self, size: int) -> tuple[Dim3, Dim3]:
+        # One 64-thread block per transform, Volkov-FFT style.
+        return Dim3(min(size, 65535), max(1, -(-size // 65535)), 1), Dim3(64, 1, 1)
+
+    def generate_inputs(self, size: int, seed: int) -> list[np.ndarray]:
+        return [fft_batch_signal(size, FFT_POINTS, seed=seed)]
+
+    def buffer_bytes(self, size: int) -> list[int]:
+        return [self.payload_bytes(size)]
+
+    def kernel_args(self, size: int, ptrs: list[int]) -> tuple:
+        (ptr,) = ptrs
+        return (ptr, ptr, size, 1)  # in-place forward transform
+
+    def output_buffer_index(self) -> int:
+        return 0
+
+    def interpret_output(self, size: int, raw: np.ndarray) -> np.ndarray:
+        return raw.view(np.complex64).reshape(size, FFT_POINTS)
+
+    def reference(self, size: int, inputs: list[np.ndarray]) -> np.ndarray:
+        (signal,) = inputs
+        return np.fft.fft(signal.astype(np.complex128), axis=1).astype(np.complex64)
+
+    def verify_tolerance(self, size: int) -> float:
+        return 5e-3  # per-transform error is size-independent

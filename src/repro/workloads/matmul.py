@@ -1,0 +1,83 @@
+"""The matrix-matrix product case study (Section IV.B).
+
+``C = A * B`` on square single-precision matrices.  One element is 4
+bytes, so each of the three memory copies (A in, B in, C out) moves
+``4 * m**2`` bytes; the GPU module is 21,486 bytes; the kernel is
+Volkov's SGEMM (named ``sgemmNN``, giving the 52-byte launch of Table I);
+the asymptotic cost is O(m**3), which is why the paper finds remote
+acceleration worthwhile here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.paperdata.constants import (
+    MM_BYTES_PER_ELEMENT,
+    MM_MODULE_BYTES,
+    MM_SIZES,
+)
+from repro.simcuda.kernels.sgemm import KERNEL_NAME as SGEMM_NAME
+from repro.simcuda.module import GpuModule, fabricate_module
+from repro.simcuda.types import Dim3
+from repro.workloads.base import CaseStudy
+from repro.workloads.datagen import random_matrix
+
+
+class MatrixProductCase(CaseStudy):
+    """The paper's MM case study."""
+
+    name = "MM"
+    kernel_name = SGEMM_NAME
+    num_buffers = 3
+    num_input_copies = 2
+    copies_per_run = 3
+    paper_sizes = MM_SIZES
+
+    _module: GpuModule | None = None
+
+    def module(self) -> GpuModule:
+        if type(self)._module is None:
+            type(self)._module = fabricate_module(
+                "rcuda_mm", [self.kernel_name], MM_MODULE_BYTES
+            )
+        return type(self)._module
+
+    def payload_bytes(self, size: int) -> int:
+        return MM_BYTES_PER_ELEMENT * size * size
+
+    def flops(self, size: int) -> float:
+        return 2.0 * float(size) ** 3
+
+    def launch_geometry(self, size: int) -> tuple[Dim3, Dim3]:
+        # Volkov's SGEMM tiles 64x16 per block on the GT200.
+        block = Dim3(16, 4, 1)
+        grid = Dim3(max(1, (size + 63) // 64), max(1, (size + 15) // 16), 1)
+        return grid, block
+
+    def generate_inputs(self, size: int, seed: int) -> list[np.ndarray]:
+        return [
+            random_matrix(size, size, seed=seed),
+            random_matrix(size, size, seed=seed + 1),
+        ]
+
+    def buffer_bytes(self, size: int) -> list[int]:
+        return [self.payload_bytes(size)] * 3
+
+    def kernel_args(self, size: int, ptrs: list[int]) -> tuple:
+        pa, pb, pc = ptrs
+        return (pa, pb, pc, size, size, size, 1.0, 0.0)
+
+    def output_buffer_index(self) -> int:
+        return 2
+
+    def interpret_output(self, size: int, raw: np.ndarray) -> np.ndarray:
+        return raw.view(np.float32).reshape(size, size)
+
+    def reference(self, size: int, inputs: list[np.ndarray]) -> np.ndarray:
+        a, b = inputs
+        return (a.astype(np.float64) @ b.astype(np.float64)).astype(np.float32)
+
+    def verify_tolerance(self, size: int) -> float:
+        # Accumulated float32 rounding grows ~sqrt(m); generous headroom.
+        return 1e-4 * float(size)

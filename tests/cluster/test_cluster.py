@@ -1,0 +1,190 @@
+"""Cluster: jobs, topology, scheduling policies, DES, provisioning."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulation,
+    GpuJob,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    build_cluster,
+    provisioning_sweep,
+    workload_mix,
+)
+from repro.cluster.node import GpuServer
+from repro.cluster.provisioning import CostModel, best_by_performance_per_cost
+from repro.cluster.scheduler import RandomPolicy
+from repro.errors import ConfigurationError, SchedulerError
+
+
+def _job(job_id, submit, service):
+    return GpuJob(job_id=job_id, case_name="MM", size=4096,
+                  submit_seconds=submit, service_seconds=service)
+
+
+class TestJobs:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _job(0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            _job(0, -1.0, 1.0)
+
+    def test_workload_mix_is_seeded_and_sorted(self):
+        a = workload_mix(20, seed=1)
+        b = workload_mix(20, seed=1)
+        assert [j.submit_seconds for j in a] == [j.submit_seconds for j in b]
+        assert all(
+            x.submit_seconds <= y.submit_seconds for x, y in zip(a, a[1:])
+        )
+
+    def test_workload_mix_respects_fraction(self):
+        jobs = workload_mix(200, mm_fraction=1.0, seed=2)
+        assert all(j.case_name == "MM" for j in jobs)
+        jobs = workload_mix(200, mm_fraction=0.0, seed=2)
+        assert all(j.case_name == "FFT" for j in jobs)
+
+    def test_service_times_come_from_the_testbed(self, testbed):
+        from repro.testbed.simulated import case_by_name
+
+        jobs = workload_mix(50, network="40GI", seed=3, testbed=testbed)
+        for job in jobs:
+            case = case_by_name(job.case_name)
+            expect = testbed.measure_remote(case, job.size, "40GI").total_seconds
+            assert job.service_seconds == pytest.approx(expect)
+
+
+class TestTopology:
+    def test_build_cluster(self):
+        nodes = build_cluster(8, 2)
+        assert len(nodes) == 8
+        assert sum(n.has_gpu for n in nodes) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster(0, 0)
+        with pytest.raises(ConfigurationError):
+            build_cluster(4, 5)
+        with pytest.raises(ConfigurationError):
+            build_cluster(4, 0)
+
+
+class TestScheduler:
+    def _servers(self, n=3):
+        return [GpuServer(node=node) for node in build_cluster(n, n)]
+
+    def test_round_robin_cycles(self):
+        servers = self._servers(3)
+        policy = RoundRobinPolicy()
+        picks = [policy.pick(servers, _job(i, 0, 1)).name for i in range(6)]
+        assert picks == [s.name for s in servers] * 2
+
+    def test_least_loaded_prefers_idle(self):
+        servers = self._servers(2)
+        servers[0].active_jobs = {1, 2}
+        policy = LeastLoadedPolicy()
+        assert policy.pick(servers, _job(0, 0, 1)) is servers[1]
+
+    def test_least_loaded_tie_breaks_by_name(self):
+        servers = self._servers(2)
+        assert LeastLoadedPolicy().pick(servers, _job(0, 0, 1)) is servers[0]
+
+    def test_random_policy_is_seeded(self):
+        servers = self._servers(4)
+        a = [RandomPolicy(seed=1).pick(servers, _job(i, 0, 1)).name
+             for i in range(10)]
+        b = [RandomPolicy(seed=1).pick(servers, _job(i, 0, 1)).name
+             for i in range(10)]
+        assert a == b
+
+    def test_no_gpu_servers_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler([])
+
+
+class TestSimulation:
+    def test_single_job_takes_its_service_time(self):
+        sim = ClusterSimulation(build_cluster(2, 1))
+        report = sim.run([_job(0, 0.0, 10.0)])
+        assert report.makespan_seconds == pytest.approx(10.0)
+        assert report.outcomes[0].slowdown == pytest.approx(1.0)
+
+    def test_processor_sharing_two_jobs(self):
+        # Two identical jobs on one GPU: each runs at rate 1/2 while both
+        # are active.  Both arrive at t=0 with 10 s of work -> both end at
+        # t=20.
+        sim = ClusterSimulation(build_cluster(1, 1))
+        report = sim.run([_job(0, 0.0, 10.0), _job(1, 0.0, 10.0)])
+        assert report.makespan_seconds == pytest.approx(20.0)
+        for outcome in report.outcomes:
+            assert outcome.finish_seconds == pytest.approx(20.0)
+            assert outcome.slowdown == pytest.approx(2.0)
+
+    def test_staggered_sharing_exact_timeline(self):
+        # Job A (10 s) at t=0; job B (4 s) at t=5.  A runs alone for 5 s
+        # (5 s of work left), then both share at rate 1/2: B's 4 s of
+        # work take 8 s of wall time (done t=13), by which point A has
+        # done 4 more (1 left) and finishes alone at t=14.
+        sim = ClusterSimulation(build_cluster(1, 1))
+        report = sim.run([_job(0, 0.0, 10.0), _job(1, 5.0, 4.0)])
+        finishes = {o.job.job_id: o.finish_seconds for o in report.outcomes}
+        assert finishes[1] == pytest.approx(13.0)
+        assert finishes[0] == pytest.approx(14.0)
+
+    def test_two_servers_split_the_load(self):
+        sim = ClusterSimulation(build_cluster(2, 2))
+        report = sim.run([_job(0, 0.0, 10.0), _job(1, 0.0, 10.0)])
+        assert report.makespan_seconds == pytest.approx(10.0)
+        assert report.mean_slowdown == pytest.approx(1.0)
+        assert set(o.server for o in report.outcomes) == {"node000", "node001"}
+
+    def test_utilization_bounds(self):
+        sim = ClusterSimulation(build_cluster(4, 2))
+        jobs = [_job(i, i * 0.5, 3.0) for i in range(20)]
+        report = sim.run(jobs)
+        for util in report.utilization.values():
+            assert 0.0 <= util <= 1.0 + 1e-9
+
+    def test_work_conservation(self):
+        # Total busy time across servers equals total service demand.
+        sim = ClusterSimulation(build_cluster(3, 3))
+        jobs = [_job(i, i * 0.1, 1.0 + i * 0.2) for i in range(15)]
+        report = sim.run(jobs)
+        busy = sum(
+            u * report.makespan_seconds for u in report.utilization.values()
+        )
+        assert busy == pytest.approx(sum(j.service_seconds for j in jobs),
+                                     rel=1e-6)
+
+    def test_empty_job_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSimulation(build_cluster(1, 1)).run([])
+
+    def test_gpuless_cluster_rejected(self):
+        nodes = [n for n in build_cluster(4, 1) if not n.has_gpu]
+        with pytest.raises(ConfigurationError):
+            ClusterSimulation(nodes)
+
+
+class TestProvisioning:
+    def test_more_gpus_never_hurt_makespan(self):
+        jobs = workload_mix(40, mean_interarrival_seconds=2.0, seed=5)
+        points = provisioning_sweep(8, jobs, gpu_counts=[1, 2, 4, 8])
+        makespans = [p.makespan_seconds for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(makespans, makespans[1:]))
+
+    def test_knee_is_strictly_inside_for_bursty_loads(self):
+        jobs = workload_mix(60, mean_interarrival_seconds=5.0, seed=7)
+        points = provisioning_sweep(16, jobs, gpu_counts=[1, 2, 4, 8, 16])
+        best = best_by_performance_per_cost(points)
+        # The paper's thesis: fewer GPUs than nodes wins on cost.
+        assert 1 <= best.num_gpus < 16
+
+    def test_cost_model(self):
+        model = CostModel(node_cost=1.0, gpu_energy_cost=0.25,
+                          gpu_acquisition_cost=0.35)
+        assert model.cluster_cost(16, 4) == pytest.approx(16 + 4 * 0.6)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_by_performance_per_cost([])

@@ -1,0 +1,73 @@
+"""Network contention among concurrent clients (future-work extension)."""
+
+import pytest
+
+from repro.cluster.contention import (
+    contended_bandwidth_mibps,
+    contended_execution_seconds,
+    contention_sweep,
+    max_clients_within_slowdown,
+)
+from repro.errors import ModelError
+from repro.net.spec import get_network
+
+
+def test_fair_share_bandwidth():
+    assert contended_bandwidth_mibps(1000.0, 4) == 250.0
+    with pytest.raises(ModelError):
+        contended_bandwidth_mibps(1000.0, 0)
+    with pytest.raises(ModelError):
+        contended_bandwidth_mibps(0.0, 2)
+
+
+def test_solo_matches_sweep_baseline(mm_case, calibration):
+    spec = get_network("40GI")
+    points = contention_sweep(mm_case, 8192, spec, calibration=calibration)
+    assert points[0].concurrency == 1
+    assert points[0].slowdown == pytest.approx(1.0)
+    assert points[0].per_client_seconds == pytest.approx(
+        contended_execution_seconds(mm_case, 8192, spec, 1, calibration)
+    )
+
+
+def test_slowdown_monotone_in_concurrency(mm_case, fft_case, calibration):
+    for case in (mm_case, fft_case):
+        for net in ("GigaE", "40GI", "A-HT"):
+            points = contention_sweep(
+                case, case.paper_sizes[2], get_network(net),
+                calibration=calibration,
+            )
+            slowdowns = [p.slowdown for p in points]
+            assert slowdowns == sorted(slowdowns)
+            # Sharing k ways can never dilate beyond k.
+            for p in points:
+                assert p.slowdown <= p.concurrency + 1e-9
+
+
+def test_host_work_shields_the_fft_from_contention(fft_case, calibration):
+    # The FFT's time is host-dominated, so even heavy sharing hurts less
+    # than proportionally; the MM (transfer/compute heavy) approaches
+    # the full k-fold dilation.
+    points = contention_sweep(
+        fft_case, 8192, get_network("40GI"), calibration=calibration
+    )
+    assert points[3].slowdown < 3.0  # 4 clients, < 3x
+
+
+def test_capacity_planning(mm_case, calibration):
+    points = contention_sweep(
+        mm_case, 8192, get_network("40GI"), max_concurrency=8,
+        calibration=calibration,
+    )
+    within_half = max_clients_within_slowdown(points, 0.5)
+    within_3x = max_clients_within_slowdown(points, 2.0)
+    assert 1 <= within_half <= within_3x <= 8
+    with pytest.raises(ModelError):
+        max_clients_within_slowdown([], 0.5)
+
+
+def test_validation(mm_case, calibration):
+    with pytest.raises(ModelError):
+        contended_execution_seconds(
+            mm_case, 8192, get_network("40GI"), 0, calibration
+        )

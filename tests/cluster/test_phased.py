@@ -1,0 +1,164 @@
+"""Phased simulation: GPU + fabric sharing with exact small cases."""
+
+import pytest
+
+from repro.cluster.phased import (
+    PhasedClusterSimulation,
+    PhasedJob,
+    phased_job_from_testbed,
+)
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ConfigurationError
+
+
+def _names(n):
+    return [f"node{i:03d}" for i in range(n)]
+
+
+def _sim(n=4, servers=None, topo=None):
+    names = _names(n)
+    topo = topo if topo is not None else ClusterTopology.star(names)
+    servers = servers if servers is not None else {names[-1]: 1}
+    return PhasedClusterSimulation(topo, servers), names
+
+
+def _job(job_id, client, server, submit=0.0, host=1.0, net=2.0, gpu=3.0):
+    return PhasedJob(
+        job_id=job_id, client=client, server=server,
+        submit_seconds=submit, host_seconds=host,
+        net_seconds=net, gpu_seconds=gpu,
+    )
+
+
+class TestExactTimelines:
+    def test_single_job_runs_at_full_rate(self):
+        sim, names = _sim()
+        report = sim.run([_job(0, names[0], names[-1])])
+        (outcome,) = report.outcomes
+        assert outcome.finish_seconds == pytest.approx(6.0)
+        assert outcome.slowdown == pytest.approx(1.0)
+        assert outcome.phase_wall_seconds == pytest.approx(
+            {"host": 1.0, "net": 2.0, "gpu": 3.0}
+        )
+
+    def test_two_clients_one_server_full_timeline(self):
+        # Both jobs: host 1, net 2, gpu 2, same server, distinct clients.
+        # Host phases overlap freely (t=0..1).  Net phases then share the
+        # server downlink at 1/2 (t=1..5 to push 2s of net each).  GPU
+        # phases then share the single GPU at 1/2 (t=5..9).
+        sim, names = _sim()
+        jobs = [
+            _job(0, names[0], names[-1], host=1.0, net=2.0, gpu=2.0),
+            _job(1, names[1], names[-1], host=1.0, net=2.0, gpu=2.0),
+        ]
+        report = sim.run(jobs)
+        for outcome in report.outcomes:
+            assert outcome.finish_seconds == pytest.approx(9.0)
+            assert outcome.phase_wall_seconds["net"] == pytest.approx(4.0)
+            assert outcome.net_stretch == pytest.approx(2.0)
+
+    def test_phase_pipelining_decouples_resources(self):
+        # Job 0 finishes its net phase before job 1 (staggered arrival),
+        # so job 0 computes while job 1 transfers: no contention at all.
+        sim, names = _sim()
+        jobs = [
+            _job(0, names[0], names[-1], submit=0.0, host=0.0, net=2.0, gpu=2.0),
+            _job(1, names[1], names[-1], submit=2.0, host=0.0, net=2.0, gpu=2.0),
+        ]
+        report = sim.run(jobs)
+        finishes = {o.job.job_id: o.finish_seconds for o in report.outcomes}
+        assert finishes[0] == pytest.approx(4.0)
+        assert finishes[1] == pytest.approx(6.0)
+        assert report.mean_slowdown == pytest.approx(1.0)
+
+    def test_zero_demand_phases_are_skipped(self):
+        sim, names = _sim()
+        report = sim.run([_job(0, names[0], names[-1], host=0.0, net=0.0, gpu=5.0)])
+        (outcome,) = report.outcomes
+        assert outcome.finish_seconds == pytest.approx(5.0)
+        assert outcome.phase_wall_seconds["net"] == 0.0
+
+    def test_multi_gpu_server_absorbs_concurrency(self):
+        sim, names = _sim(servers={_names(4)[-1]: 2})
+        jobs = [
+            _job(i, names[i], names[-1], host=0.0, net=0.0, gpu=4.0)
+            for i in range(2)
+        ]
+        report = sim.run(jobs)
+        assert report.makespan_seconds == pytest.approx(4.0)
+
+
+class TestFabricEffects:
+    def test_oversubscribed_tree_stretches_cross_traffic(self):
+        names = _names(8)
+        topo = ClusterTopology.two_level_tree(
+            names, nodes_per_switch=4, uplink_capacity=1.0
+        )
+        servers = {names[3]: 4, names[7]: 4}  # one server per switch
+        sim = PhasedClusterSimulation(topo, servers)
+        # Two clients per server; the cross-switch pair shares uplinks.
+        local = [
+            _job(0, names[0], names[3], net=4.0, host=0.0, gpu=0.1),
+            _job(1, names[1], names[3], net=4.0, host=0.0, gpu=0.1),
+        ]
+        cross = [
+            _job(2, names[4], names[3], net=4.0, host=0.0, gpu=0.1),
+            _job(3, names[5], names[3], net=4.0, host=0.0, gpu=0.1),
+        ]
+        report = sim.run(local + cross)
+        stretch = {o.job.job_id: o.net_stretch for o in report.outcomes}
+        # All four share the server downlink; the cross pair additionally
+        # queues on the 1.0 uplink but that is not the bottleneck here --
+        # downlink sharing dominates, so all stretch ~4x.
+        for job_id in stretch:
+            assert stretch[job_id] >= 3.5
+
+    def test_distinct_servers_on_a_star_run_clean(self):
+        names = _names(4)
+        topo = ClusterTopology.star(names)
+        sim = PhasedClusterSimulation(topo, {names[2]: 1, names[3]: 1})
+        jobs = [
+            _job(0, names[0], names[2]),
+            _job(1, names[1], names[3]),
+        ]
+        report = sim.run(jobs)
+        assert report.mean_slowdown == pytest.approx(1.0)
+        assert report.mean_net_stretch == pytest.approx(1.0)
+
+
+class TestTestbedIntegration:
+    def test_demands_come_from_the_trace(self, testbed, mm_case):
+        names = _names(2)
+        job = phased_job_from_testbed(
+            0, mm_case, 8192, "40GI", names[0], names[1], 0.0, testbed
+        )
+        run = testbed.measure_remote(mm_case, 8192, "40GI")
+        assert job.host_seconds == pytest.approx(run.trace.host_seconds)
+        assert job.net_seconds == pytest.approx(run.trace.network_seconds)
+        assert job.gpu_seconds == pytest.approx(run.trace.device_seconds)
+        # Uncontended phased execution == the testbed total.
+        topo = ClusterTopology.star(names)
+        sim = PhasedClusterSimulation(topo, {names[1]: 1})
+        report = sim.run([job])
+        assert report.makespan_seconds == pytest.approx(
+            run.total_seconds, rel=1e-9
+        )
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        names = _names(3)
+        topo = ClusterTopology.star(names)
+        with pytest.raises(ConfigurationError):
+            PhasedClusterSimulation(topo, {})
+        with pytest.raises(ConfigurationError):
+            PhasedClusterSimulation(topo, {"ghost": 1})
+        with pytest.raises(ConfigurationError):
+            PhasedClusterSimulation(topo, {names[0]: 0})
+        sim = PhasedClusterSimulation(topo, {names[2]: 1})
+        with pytest.raises(ConfigurationError):
+            sim.run([])
+        with pytest.raises(ConfigurationError):
+            sim.run([_job(0, names[0], names[1])])  # not a server
+        with pytest.raises(ConfigurationError):
+            _job(0, names[0], names[2], host=0.0, net=0.0, gpu=0.0)

@@ -1,0 +1,148 @@
+"""Network topologies and path-level contention (future-work extension)."""
+
+import pytest
+
+from repro.cluster.topology import (
+    ClusterTopology,
+    topology_contention_report,
+)
+from repro.errors import ConfigurationError, ModelError
+from repro.net.spec import get_network
+
+
+def _names(n):
+    return [f"node{i:03d}" for i in range(n)]
+
+
+class TestStar:
+    def test_single_flow_gets_full_bandwidth(self):
+        topo = ClusterTopology.star(_names(4))
+        rates = topo.flow_rates([("node000", "node001")])
+        assert rates[0] == 1.0
+
+    def test_server_downlink_is_the_bottleneck(self):
+        # Three clients talking to ONE server share its 1.0 downlink.
+        topo = ClusterTopology.star(_names(4))
+        flows = [(f"node00{i}", "node003") for i in range(3)]
+        rates = topo.flow_rates(flows)
+        for rate in rates.values():
+            assert rate == pytest.approx(1.0 / 3.0)
+
+    def test_distinct_servers_do_not_contend(self):
+        topo = ClusterTopology.star(_names(6))
+        flows = [("node000", "node003"), ("node001", "node004"),
+                 ("node002", "node005")]
+        rates = topo.flow_rates(flows)
+        assert all(rate == 1.0 for rate in rates.values())
+
+    def test_local_flow_skips_the_network(self):
+        topo = ClusterTopology.star(_names(2))
+        rates = topo.flow_rates([("node000", "node000")])
+        assert rates[0] == 1.0
+        assert topo.path_links(("node000", "node000")) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology.star([])
+
+
+class TestTwoLevelTree:
+    def test_intra_switch_flows_avoid_the_core(self):
+        topo = ClusterTopology.two_level_tree(_names(8), nodes_per_switch=4)
+        links = topo.path_links(("node000", "node001"))
+        assert all("core" not in link for link in links)
+
+    def test_inter_switch_flows_cross_the_core(self):
+        topo = ClusterTopology.two_level_tree(_names(8), nodes_per_switch=4)
+        links = topo.path_links(("node000", "node004"))
+        assert any("core" in link for link in links)
+
+    def test_oversubscribed_uplink_bottlenecks_cross_traffic(self):
+        # 4 nodes per edge switch, uplink capacity 2: four simultaneous
+        # cross-switch flows share a 2.0 uplink -> 0.5 each.
+        topo = ClusterTopology.two_level_tree(
+            _names(8), nodes_per_switch=4, uplink_capacity=2.0
+        )
+        flows = [(f"node00{i}", f"node00{i + 4}") for i in range(4)]
+        rates = topo.flow_rates(flows)
+        for rate in rates.values():
+            assert rate == pytest.approx(0.5)
+
+    def test_intra_switch_traffic_is_immune_to_oversubscription(self):
+        topo = ClusterTopology.two_level_tree(
+            _names(8), nodes_per_switch=4, uplink_capacity=1.0
+        )
+        # Mixed: one intra-switch flow, two cross flows to one server.
+        flows = [("node000", "node001"),
+                 ("node004", "node002"), ("node005", "node002")]
+        rates = topo.flow_rates(flows)
+        assert rates[0] == 1.0  # never left the edge switch
+        assert rates[1] < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology.two_level_tree(_names(4), nodes_per_switch=0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology.two_level_tree(
+                _names(4), nodes_per_switch=2, uplink_capacity=0.0
+            )
+
+    def test_no_path_is_an_error(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("a")
+        g.add_node("b")
+        topo = ClusterTopology(g, ["a", "b"])
+        with pytest.raises(ModelError):
+            topo.path_links(("a", "b"))
+
+
+class TestContentionReport:
+    def test_sharing_one_server_dilates_everyone(self, mm_case, calibration):
+        topo = ClusterTopology.star(_names(4))
+        flows = [("node000", "node003"), ("node001", "node003")]
+        estimates = topology_contention_report(
+            mm_case, 8192, get_network("40GI"), topo, flows, calibration
+        )
+        solo = topology_contention_report(
+            mm_case, 8192, get_network("40GI"), topo,
+            [("node000", "node003")], calibration,
+        )[0]
+        for est in estimates:
+            assert est.bandwidth_fraction == pytest.approx(0.5)
+            assert est.seconds > solo.seconds
+
+    def test_separate_servers_match_solo(self, mm_case, calibration):
+        topo = ClusterTopology.star(_names(4))
+        flows = [("node000", "node002"), ("node001", "node003")]
+        estimates = topology_contention_report(
+            mm_case, 8192, get_network("40GI"), topo, flows, calibration
+        )
+        assert estimates[0].seconds == pytest.approx(estimates[1].seconds)
+        assert all(e.bandwidth_fraction == 1.0 for e in estimates)
+
+    def test_oversubscription_hurts_only_cross_traffic(
+        self, mm_case, calibration
+    ):
+        topo = ClusterTopology.two_level_tree(
+            _names(8), nodes_per_switch=4, uplink_capacity=1.0
+        )
+        flows = [("node000", "node001"),   # intra-switch
+                 ("node004", "node002"),   # cross
+                 ("node005", "node003")]   # cross
+        estimates = topology_contention_report(
+            mm_case, 8192, get_network("40GI"), topo, flows, calibration
+        )
+        intra, cross1, cross2 = estimates
+        assert intra.bandwidth_fraction == 1.0
+        # Two cross flows share the 1.0 uplink.
+        assert cross1.bandwidth_fraction == pytest.approx(0.5)
+        assert cross1.seconds > intra.seconds
+
+    def test_empty_flows_rejected(self, mm_case, calibration):
+        topo = ClusterTopology.star(_names(2))
+        with pytest.raises(ModelError):
+            topology_contention_report(
+                mm_case, 8192, get_network("40GI"), topo, [], calibration
+            )

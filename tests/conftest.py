@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.calibration import default_calibration
+from repro.rcuda import RCudaDaemon
+from repro.simcuda import CudaRuntime, SimulatedGpu
+from repro.simcuda.properties import TINY_TEST_DEVICE
+from repro.testbed import SimulatedTestbed
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+@pytest.fixture
+def device() -> SimulatedGpu:
+    """A fresh functional Tesla C1060."""
+    return SimulatedGpu()
+
+
+@pytest.fixture
+def tiny_device() -> SimulatedGpu:
+    """A 1 MiB device for OOM/fragmentation tests."""
+    return SimulatedGpu(properties=TINY_TEST_DEVICE)
+
+
+@pytest.fixture
+def local_runtime(device: SimulatedGpu):
+    """A warm local runtime; closed after the test."""
+    runtime = CudaRuntime(device, preinitialized=True)
+    yield runtime
+    runtime.close()
+
+
+@pytest.fixture
+def daemon(device: SimulatedGpu):
+    """A daemon that serves in-proc transports (no TCP unless started)."""
+    d = RCudaDaemon(device)
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def mm_case() -> MatrixProductCase:
+    return MatrixProductCase()
+
+
+@pytest.fixture
+def fft_case() -> FftBatchCase:
+    return FftBatchCase()
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """The (cached) calibration against the published tables."""
+    return default_calibration()
+
+
+@pytest.fixture(scope="session")
+def testbed(calibration) -> SimulatedTestbed:
+    return SimulatedTestbed(calibration)

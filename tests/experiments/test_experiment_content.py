@@ -1,0 +1,54 @@
+"""Content checks on the rendered experiment reports: the numbers the
+paper's prose highlights must appear in our regenerated text."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def texts():
+    wanted = ("table1", "table2", "table3", "table5", "figure3", "figure4")
+    return {eid: run_experiment(eid).text for eid in wanted}
+
+
+def test_table1_shows_the_published_layout(texts):
+    text = texts["table1"]
+    assert "x+4" in text       # initialization send
+    assert "x+20" in text      # memcpy to device
+    assert "x+44" in text      # launch
+
+
+def test_table2_shows_the_raw_coefficients(texts):
+    text = texts["table2"]
+    assert "35.6m^2" in text
+    assert "36454.4n" in text
+    assert "2867.2n" in text
+    assert "177.7" in text     # the h2d constant
+
+
+def test_table3_shows_headline_cells(texts):
+    text = texts["table3"]
+    assert "569.4" in text     # 64 MiB on GigaE
+    assert "11530.2" in text   # 1296 MiB on GigaE
+    assert "948.0" in text     # 1296 MiB on 40GI
+
+
+def test_table5_shows_the_aht_reduction(texts):
+    text = texts["table5"]
+    assert "transmission-time reduction" in text
+    assert "96" in text
+
+
+def test_figures34_report_the_regressions(texts):
+    assert "8.90 n -0.30" in texts["figure3"]
+    assert "112.4" in texts["figure3"]
+    assert "0.70 n +2.80" in texts["figure4"]
+    assert "1366" in texts["figure4"] or "1367" in texts["figure4"]
+
+
+def test_figures34_have_plots(texts):
+    for eid in ("figure3", "figure4"):
+        assert "small packets" in texts[eid]
+        assert "large payloads" in texts[eid]
+        assert "legend:" in texts[eid]

@@ -1,0 +1,91 @@
+"""Experiment drivers: every table/figure regenerates within tolerance,
+and the paper's qualitative claims hold in OUR regenerated data."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_IDS,
+    get_experiment,
+    run_all,
+    run_experiment,
+    write_result,
+)
+from repro.errors import ConfigurationError
+
+#: Agreement budgets vs the paper, per experiment (max relative diff of
+#: the *value* comparisons; Table IV error columns are checked separately
+#: in absolute points).
+TOLERANCES = {
+    "table1": 0.0,      # byte-exact
+    "table2": 1e-6,     # arithmetic identity
+    "table3": 0.01,     # published rounding
+    "table5": 0.01,
+    "figure2": 0.0,     # traced session == accounting model, exactly
+    "figure3": 0.005,   # regression recovery
+    "figure4": 0.005,
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {eid: run_experiment(eid) for eid in EXPERIMENT_IDS}
+
+
+def test_registry_covers_all_tables_and_figures():
+    assert set(EXPERIMENT_IDS) == {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "figure2", "figure3", "figure4", "figure5", "figure6",
+    }
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError):
+        get_experiment("table7")
+
+
+@pytest.mark.parametrize("eid", sorted(TOLERANCES))
+def test_deterministic_experiments_hit_their_budgets(results, eid):
+    result = results[eid]
+    assert result.worst_rel_diff <= TOLERANCES[eid] + 1e-12, result.text
+
+
+def test_table4_measured_and_error_agreement(results):
+    comparisons = {c.label: c for c in results["table4"].comparisons}
+    assert comparisons["Table IV MM measured"].max_rel_diff < 0.02
+    assert comparisons["Table IV FFT measured"].max_rel_diff < 0.03
+    # Error columns within 3 percentage points, FFT signs all matching.
+    fft_err = comparisons["Table IV FFT errors (abs pts/100)"]
+    assert fft_err.max_rel_diff < 0.035
+    assert fft_err.sign_agreement == 1.0
+
+
+def test_table6_within_7_percent(results):
+    assert results["table6"].worst_rel_diff < 0.07
+
+
+def test_figures56_series_within_7_percent(results):
+    assert results["figure5"].worst_rel_diff < 0.07
+    assert results["figure6"].worst_rel_diff < 0.07
+
+
+def test_every_result_has_text_and_comparisons(results):
+    for eid, result in results.items():
+        assert result.experiment_id == eid
+        assert len(result.text) > 100
+        assert result.comparisons
+        assert "ours vs paper" in result.text
+
+
+def test_write_result_produces_files(results, tmp_path):
+    paths = write_result(results["table3"], tmp_path)
+    names = {p.name for p in paths}
+    assert "table3.txt" in names
+    assert "table3.csv" in names
+    for p in paths:
+        assert p.stat().st_size > 0
+
+
+def test_run_all_subset(tmp_path):
+    out = run_all(["table1"], outdir=tmp_path)
+    assert len(out) == 1
+    assert (tmp_path / "table1.txt").exists()

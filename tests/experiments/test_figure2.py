@@ -1,0 +1,58 @@
+"""Figure 2: the traced communication sequence."""
+
+import pytest
+
+from repro.experiments.figure2 import (
+    TRACE_SIZE,
+    record_session,
+    render_sequence_diagram,
+    run,
+)
+from repro.model.transfer import session_messages
+from repro.workloads import MatrixProductCase
+
+
+@pytest.fixture(scope="module")
+def exchanges():
+    return record_session()
+
+
+def test_sequence_matches_the_accounting_model(exchanges):
+    expected = session_messages(MatrixProductCase(), TRACE_SIZE)
+    assert len(exchanges) == len(expected)
+    for exchange, message in zip(exchanges, expected):
+        assert exchange.operation == message.operation
+        assert exchange.sent_bytes == message.send_bytes
+        assert exchange.received_bytes == message.receive_bytes
+
+
+def test_phase_order_is_section_iii(exchanges):
+    ops = [e.operation for e in exchanges]
+    # Initialization first, frees last, copies in the middle, exactly one
+    # launch preceded by its argument message.
+    assert ops[0] == "Initialization"
+    assert ops[-3:] == ["cudaFree"] * 3
+    launch_at = ops.index("cudaLaunch")
+    assert ops[launch_at - 1] == "cudaSetupArgument"
+    assert all(
+        ops.index(op) < launch_at for op in ("cudaMalloc",
+                                             "cudaMemcpy (to device)")
+    )
+    assert ops.index("cudaMemcpy (to host)") > launch_at
+
+
+def test_diagram_renders_all_phases(exchanges):
+    text = render_sequence_diagram(exchanges)
+    for phase in ("1. initialization", "2. memory allocation",
+                  "3. input data transfer", "4. kernel execution",
+                  "5. output data transfer", "6. memory release",
+                  "7. finalization"):
+        assert phase in text
+    assert "21490 B" in text  # the MM module on the wire
+    assert "cudaLaunch (52 B)" in text
+
+
+def test_experiment_is_exact():
+    result = run()
+    assert result.worst_rel_diff == 0.0
+    assert "figure2" in result.csv_tables

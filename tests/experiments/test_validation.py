@@ -1,0 +1,46 @@
+"""The executable scorecard: every series within its promised budget."""
+
+import pytest
+
+from repro.experiments.validation import (
+    AGREEMENT_BUDGETS,
+    ValidationRow,
+    all_passed,
+    render_scorecard,
+    validate_all,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return validate_all()
+
+
+def test_every_series_within_budget(rows):
+    failing = [r for r in rows if not r.passed]
+    assert not failing, render_scorecard(failing)
+
+
+def test_every_experiment_contributes(rows):
+    covered = {r.experiment_id for r in rows}
+    assert covered == set(AGREEMENT_BUDGETS)
+
+
+def test_scorecard_renders(rows):
+    text = render_scorecard(rows)
+    assert "Reproduction scorecard" in text
+    assert f"{len(rows)}/{len(rows)} series within budget" in text
+    assert "FAIL" not in text
+
+
+def test_all_passed_helper():
+    good = ValidationRow("x", "s", 0.01, 0.02, True)
+    bad = ValidationRow("x", "s", 0.05, 0.02, False)
+    assert all_passed([good])
+    assert not all_passed([good, bad])
+
+
+def test_exact_artifacts_have_zero_budget():
+    # Tables I and II promise exactness, not mere closeness.
+    assert AGREEMENT_BUDGETS["table1"] == 0.0
+    assert AGREEMENT_BUDGETS["table2"] <= 1e-9

@@ -1,0 +1,100 @@
+"""Amortization over GPU-resident iterations (Section VI's condition,
+quantified)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.amortization import (
+    AmortizationProfile,
+    amortization_profile,
+    break_even_table,
+)
+from repro.net.spec import get_network, list_networks
+
+
+class TestProfileAlgebra:
+    def _profile(self, fixed=10.0, per_iter=1.0, cpu=2.0):
+        return AmortizationProfile(
+            case_name="X", size=1, network="40GI",
+            remote_fixed_seconds=fixed,
+            remote_per_iteration_seconds=per_iter,
+            cpu_per_iteration_seconds=cpu,
+        )
+
+    def test_linear_costs(self):
+        p = self._profile()
+        assert p.remote_seconds(5) == pytest.approx(15.0)
+        assert p.cpu_seconds(5) == pytest.approx(10.0)
+
+    def test_break_even_exact(self):
+        # fixed 10, gain 1 per iteration: remote wins strictly from r=11.
+        p = self._profile(fixed=10.0, per_iter=1.0, cpu=2.0)
+        r = p.break_even_iterations()
+        assert r == 11
+        assert p.remote_seconds(r) < p.cpu_seconds(r)
+        assert p.remote_seconds(r - 1) >= p.cpu_seconds(r - 1)
+
+    def test_no_break_even_when_kernel_slower(self):
+        p = self._profile(per_iter=3.0, cpu=2.0)
+        assert p.break_even_iterations() is None
+
+    def test_validation(self):
+        p = self._profile()
+        with pytest.raises(ModelError):
+            p.remote_seconds(0)
+        with pytest.raises(ModelError):
+            p.cpu_seconds(-1)
+
+
+class TestPaperCases:
+    def test_fft_becomes_worthwhile_with_resident_data(
+        self, fft_case, calibration
+    ):
+        # The paper's condition: the FFT loses as a one-shot offload but
+        # wins "if the FFT is part of a more complex algorithm".  A
+        # handful of GPU-resident iterations suffices on every network.
+        table = break_even_table(
+            fft_case, list(list_networks()), 8192, calibration
+        )
+        for network, r in table.items():
+            assert r is not None, network
+            assert 1 <= r <= 10, (network, r)
+        # One-shot (r=1) still loses on 40GI, matching Table VI.
+        profile = amortization_profile(
+            fft_case, 8192, get_network("40GI"), calibration
+        )
+        assert profile.remote_seconds(1) > profile.cpu_seconds(1)
+
+    def test_slower_networks_need_more_iterations(self, fft_case, calibration):
+        gigae = amortization_profile(
+            fft_case, 8192, get_network("GigaE"), calibration
+        ).break_even_iterations()
+        aht = amortization_profile(
+            fft_case, 8192, get_network("A-HT"), calibration
+        ).break_even_iterations()
+        assert gigae > aht
+
+    def test_mm_breaks_even_immediately_on_fast_networks(
+        self, mm_case, calibration
+    ):
+        # Table VI already shows one-shot MM winning on 40GI at m=8192.
+        profile = amortization_profile(
+            mm_case, 8192, get_network("40GI"), calibration
+        )
+        assert profile.break_even_iterations() == 1
+
+    def test_fixed_cost_scales_with_network(self, fft_case, calibration):
+        slow = amortization_profile(
+            fft_case, 8192, get_network("GigaE"), calibration
+        )
+        fast = amortization_profile(
+            fft_case, 8192, get_network("A-HT"), calibration
+        )
+        assert slow.remote_fixed_seconds > fast.remote_fixed_seconds
+        # Per-iteration costs are network-independent.
+        assert slow.remote_per_iteration_seconds == pytest.approx(
+            fast.remote_per_iteration_seconds
+        )
+        assert slow.cpu_per_iteration_seconds == pytest.approx(
+            fast.cpu_per_iteration_seconds
+        )

@@ -1,0 +1,98 @@
+"""Calibration against the published tables."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.model.calibration import PolyCurve, default_calibration
+from repro.paperdata.table4 import TABLE4_FFT, TABLE4_MM
+from repro.paperdata.table6 import TABLE6_FFT, TABLE6_MM
+
+
+class TestPolyCurve:
+    def test_exact_fit(self):
+        curve = PolyCurve.fit([1, 2, 3, 4], [2, 5, 10, 17], powers=(0.0, 2.0))
+        assert curve(5) == pytest.approx(26.0)
+        assert curve.max_relative_error([1, 2, 3, 4], [2, 5, 10, 17]) < 1e-10
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(CalibrationError):
+            PolyCurve.fit([1], [1], powers=(0.0, 1.0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CalibrationError):
+            PolyCurve.fit([1, 2], [1], powers=(0.0,))
+
+
+class TestDefaultCalibration:
+    def test_is_cached(self):
+        assert default_calibration() is default_calibration()
+
+    def test_gemm_rate_is_volkov_scale(self, calibration):
+        # Volkov SGEMM sustains ~370 GFLOP/s on the GT200; the rate
+        # derived from the paper's GPU column lands right there.
+        assert 300 < calibration.mm.kernel_gflops < 450
+
+    def test_fit_errors_are_small(self, calibration):
+        assert calibration.mm.cpu_fit_error < 0.02
+        assert calibration.mm.gpu_fit_error < 0.01
+        assert calibration.mm.host_fit_error < 0.03
+        assert calibration.fft.cpu_fit_error < 0.05
+        assert calibration.fft.gpu_fit_error < 0.03
+        assert calibration.fft.host_fit_error < 0.05
+
+    def test_cpu_curve_reproduces_table6(self, calibration, mm_case, fft_case):
+        for row in TABLE6_MM:
+            assert calibration.local_cpu_seconds(
+                mm_case, row.size
+            ) == pytest.approx(row.cpu, rel=0.02)
+        for row in TABLE6_FFT:
+            assert calibration.local_cpu_seconds(
+                fft_case, row.size
+            ) == pytest.approx(row.cpu * 1e-3, rel=0.05)
+
+    def test_gpu_curve_reproduces_table6(self, calibration, mm_case, fft_case):
+        for row in TABLE6_MM:
+            assert calibration.local_gpu_seconds(
+                mm_case, row.size
+            ) == pytest.approx(row.gpu, rel=0.01)
+        for row in TABLE6_FFT:
+            assert calibration.local_gpu_seconds(
+                fft_case, row.size
+            ) == pytest.approx(row.gpu * 1e-3, rel=0.03)
+
+    def test_components_are_positive(self, calibration, mm_case, fft_case):
+        for case in (mm_case, fft_case):
+            for size in case.paper_sizes:
+                assert calibration.kernel_seconds(case, size) > 0
+                assert calibration.pcie_seconds(case, size) > 0
+                assert calibration.remote_host_seconds(case, size) > 0
+
+    def test_components_never_exceed_the_measured_total(
+        self, calibration, mm_case, fft_case
+    ):
+        for case, table in ((mm_case, TABLE4_MM), (fft_case, TABLE4_FFT)):
+            scale = 1.0 if case.name == "MM" else 1e-3
+            for row in table:
+                parts = (
+                    calibration.kernel_seconds(case, row.size)
+                    + calibration.pcie_seconds(case, row.size)
+                    + calibration.remote_host_seconds(case, row.size)
+                )
+                assert parts < row.measured_ib40 * scale * 1.02
+
+    def test_unknown_case_rejected(self, calibration):
+        with pytest.raises(CalibrationError):
+            calibration.for_case("BLAS3")
+
+    def test_kernel_time_is_minor_share_for_fft(self, calibration, fft_case):
+        # The FFT kernel itself is tiny; host work dominates -- the root
+        # of the paper's "FFT is not GPU-eligible" verdict.
+        size = 8192
+        kernel = calibration.kernel_seconds(fft_case, size)
+        host = calibration.remote_host_seconds(fft_case, size)
+        assert kernel < host * 0.05
+
+    def test_pcie_uses_published_bandwidth(self, calibration, mm_case):
+        # 3 copies of 64 MiB at 5,743 MiB/s.
+        t = calibration.pcie_seconds(mm_case, 4096)
+        assert t == pytest.approx(3 * 64 / 5743.0, rel=0.01)

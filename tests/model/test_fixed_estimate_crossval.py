@@ -1,0 +1,93 @@
+"""Fixed-time extraction, estimation, and cross-validation algebra."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.crossval import cross_validate
+from repro.model.estimate import estimate_execution_seconds, estimate_for_case
+from repro.model.fixed import extract_fixed_seconds, fixed_for_case
+from repro.net.spec import get_network
+
+
+class TestFixedExtraction:
+    def test_paper_arithmetic_mm_4096(self, mm_case):
+        # Table IV first row: 3.64 s measured, 3 copies of 569.4 ms.
+        spec = get_network("GigaE")
+        fixed = fixed_for_case(mm_case, 4096, 3.64, spec)
+        assert fixed == pytest.approx(1.93, abs=0.01)
+
+    def test_paper_arithmetic_fft_2048(self, fft_case):
+        spec = get_network("GigaE")
+        fixed = fixed_for_case(fft_case, 2048, 0.35433, spec)
+        assert fixed == pytest.approx(0.21198, abs=2e-4)
+
+    def test_extraction_validation(self):
+        with pytest.raises(ModelError):
+            extract_fixed_seconds(1.0, 0, 0.1)
+        with pytest.raises(ModelError):
+            extract_fixed_seconds(-1.0, 3, 0.1)
+
+
+class TestEstimation:
+    def test_is_the_inverse_of_extraction(self, mm_case):
+        spec = get_network("GigaE")
+        measured = 15.60
+        fixed = fixed_for_case(mm_case, 8192, measured, spec)
+        back = estimate_for_case(mm_case, 8192, fixed, spec)
+        assert back == pytest.approx(measured, rel=1e-12)
+
+    def test_paper_arithmetic(self, mm_case):
+        # fixed 1.93 + 3 x 46.8 ms on 40GI = 2.07 s (Table IV: 2.08).
+        spec = get_network("40GI")
+        estimate = estimate_for_case(mm_case, 4096, 1.93, spec)
+        assert estimate == pytest.approx(2.07, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            estimate_execution_seconds(1.0, -1, 0.1)
+        with pytest.raises(ModelError):
+            estimate_execution_seconds(1.0, 2, -0.1)
+
+
+class TestCrossValidation:
+    def test_errors_vanish_when_measurements_obey_the_model(self, mm_case):
+        # Synthetic world where measured = fixed + k * transfer exactly:
+        # cross-validation must return ~0% errors.
+        ge, ib = get_network("GigaE"), get_network("40GI")
+        fixed = {4096: 2.0, 8192: 9.0}
+        measured_ge = {
+            s: estimate_for_case(mm_case, s, f, ge) for s, f in fixed.items()
+        }
+        measured_ib = {
+            s: estimate_for_case(mm_case, s, f, ib) for s, f in fixed.items()
+        }
+        rows = cross_validate(mm_case, measured_ge, measured_ib, ge, ib)
+        for row in rows:
+            assert row.error_a_model_pct == pytest.approx(0.0, abs=1e-9)
+            assert row.error_b_model_pct == pytest.approx(0.0, abs=1e-9)
+            assert row.fixed_a == pytest.approx(fixed[row.size])
+            assert row.fixed_b == pytest.approx(fixed[row.size])
+
+    def test_distorted_network_produces_the_paper_error_signs(self, fft_case):
+        # If the GigaE measurements carry extra (TCP) time, the GigaE
+        # model overpredicts 40GI (+) and the 40GI model underpredicts
+        # GigaE (-): the exact sign pattern of Table IV's FFT block.
+        ge, ib = get_network("GigaE"), get_network("40GI")
+        fixed = {2048: 0.155, 4096: 0.203}
+        extra = 0.05
+        measured_ge = {
+            s: estimate_for_case(fft_case, s, f, ge) + extra
+            for s, f in fixed.items()
+        }
+        measured_ib = {
+            s: estimate_for_case(fft_case, s, f, ib) for s, f in fixed.items()
+        }
+        rows = cross_validate(fft_case, measured_ge, measured_ib, ge, ib)
+        for row in rows:
+            assert row.error_a_model_pct > 0
+            assert row.error_b_model_pct < 0
+
+    def test_size_mismatch_rejected(self, mm_case):
+        ge, ib = get_network("GigaE"), get_network("40GI")
+        with pytest.raises(ModelError):
+            cross_validate(mm_case, {4096: 1.0}, {8192: 1.0}, ge, ib)

@@ -1,0 +1,92 @@
+"""HPC projection (Table VI construction)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.hpc import build_table6
+from repro.paperdata.networks import HPC_NETWORK_NAMES
+from repro.paperdata.table6 import TABLE6_FFT, TABLE6_MM
+
+
+@pytest.fixture(scope="module")
+def mm_rows(testbed):
+    from repro.testbed.simulated import case_by_name
+
+    case = case_by_name("MM")
+    return build_table6(case, *testbed.table6_inputs(case))
+
+
+@pytest.fixture(scope="module")
+def fft_rows(testbed):
+    from repro.testbed.simulated import case_by_name
+
+    case = case_by_name("FFT")
+    return build_table6(case, *testbed.table6_inputs(case))
+
+
+def test_mm_estimates_match_paper(mm_rows):
+    for ours, paper in zip(mm_rows, TABLE6_MM):
+        assert ours.size == paper.size
+        for est, published in zip(
+            (ours.gigae_model[n] for n in HPC_NETWORK_NAMES),
+            paper.gigae_model,
+        ):
+            assert est == pytest.approx(published, rel=0.03)
+        for est, published in zip(
+            (ours.ib40_model[n] for n in HPC_NETWORK_NAMES),
+            paper.ib40_model,
+        ):
+            assert est == pytest.approx(published, rel=0.03)
+
+
+def test_fft_estimates_match_paper(fft_rows):
+    for ours, paper in zip(fft_rows, TABLE6_FFT):
+        for est, published in zip(
+            (ours.gigae_model[n] * 1e3 for n in HPC_NETWORK_NAMES),
+            paper.gigae_model,
+        ):
+            assert est == pytest.approx(published, rel=0.07)
+        for est, published in zip(
+            (ours.ib40_model[n] * 1e3 for n in HPC_NETWORK_NAMES),
+            paper.ib40_model,
+        ):
+            assert est == pytest.approx(published, rel=0.07)
+
+
+def test_shape_faster_network_never_slower(mm_rows, fft_rows):
+    # Within one model, estimates must order by bandwidth: A-HT fastest,
+    # Myr slowest of the five.
+    for rows in (mm_rows, fft_rows):
+        for row in rows:
+            for model in (row.gigae_model, row.ib40_model):
+                assert model["A-HT"] < model["F-HT"] < model["10GI"]
+                assert model["10GI"] < model["10GE"] < model["Myr"]
+
+
+def test_shape_mm_remote_beats_cpu_at_scale(mm_rows):
+    last = mm_rows[-1]
+    assert all(est < last.cpu for est in last.gigae_model.values())
+
+
+def test_shape_fft_cpu_beats_everything(fft_rows):
+    for row in fft_rows:
+        assert row.cpu < row.gpu
+        assert all(row.cpu < est for est in row.gigae_model.values())
+
+
+def test_shape_models_agree_for_large_transfers(mm_rows):
+    # "the estimations based on both models present small differences for
+    # large datasets" -- under 3% at the biggest MM sizes.
+    for row in mm_rows[-3:]:
+        for name in HPC_NETWORK_NAMES:
+            a, b = row.gigae_model[name], row.ib40_model[name]
+            assert abs(a - b) / b < 0.03
+
+
+def test_column_coverage_validated(testbed):
+    from repro.testbed.simulated import case_by_name
+
+    case = case_by_name("MM")
+    cpu, gpu, ge, ib = testbed.table6_inputs(case)
+    with pytest.raises(ModelError):
+        build_table6(case, cpu, gpu, ge, {1234: 1.0})

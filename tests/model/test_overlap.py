@@ -1,0 +1,82 @@
+"""Async-pipelining estimation (future-work extension)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.overlap import (
+    async_speedup_table,
+    estimate_async_execution,
+    pipelined_seconds,
+)
+from repro.net.spec import get_network
+
+
+class TestPipelineFormula:
+    def test_one_chunk_is_serial(self):
+        assert pipelined_seconds([3.0, 2.0], 1) == 5.0
+
+    def test_many_chunks_approach_the_bottleneck(self):
+        # 3s + 2s serial -> ~3s fully pipelined.
+        t = pipelined_seconds([3.0, 2.0], 1000)
+        assert t == pytest.approx(3.0, rel=0.01)
+
+    def test_exact_small_case(self):
+        # 2 chunks, stages 4 and 2: per-chunk 2 and 1;
+        # total = (2+1) + (2-1)*2 = 5.
+        assert pipelined_seconds([4.0, 2.0], 2) == pytest.approx(5.0)
+
+    def test_monotone_in_chunks(self):
+        times = [pipelined_seconds([3.0, 2.0], c) for c in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            pipelined_seconds([1.0], 0)
+        with pytest.raises(ModelError):
+            pipelined_seconds([], 4)
+        with pytest.raises(ModelError):
+            pipelined_seconds([-1.0], 4)
+
+
+class TestAsyncEstimates:
+    def test_async_never_slower(self, mm_case, fft_case, calibration):
+        for case in (mm_case, fft_case):
+            for net in ("GigaE", "40GI", "A-HT"):
+                for est in async_speedup_table(
+                    case, get_network(net), calibration=calibration
+                ):
+                    assert est.async_seconds <= est.sync_seconds + 1e-12
+                    assert est.speedup >= 1.0
+
+    def test_benefit_grows_with_network_speed(self, mm_case, calibration):
+        # On GigaE the network dwarfs PCIe, so overlap hides little; on
+        # A-HT the two are comparable and pipelining pays.  The *absolute*
+        # hidden time is bounded by PCIe either way, but the relative
+        # speedup must rise with bandwidth.
+        speedups = {}
+        for net in ("GigaE", "10GE", "A-HT"):
+            est = estimate_async_execution(
+                mm_case, 16384, get_network(net), calibration=calibration
+            )
+            speedups[net] = est.speedup
+        assert speedups["GigaE"] < speedups["10GE"] < speedups["A-HT"]
+
+    def test_hidden_time_bounded_by_smaller_stage(self, mm_case, calibration):
+        est = estimate_async_execution(
+            mm_case, 8192, get_network("40GI"), chunks=1000,
+            calibration=calibration,
+        )
+        hidden = est.sync_seconds - est.async_seconds
+        payload = mm_case.payload_bytes(8192)
+        smaller_stage = min(
+            get_network("40GI").estimated_transfer_seconds(payload),
+            calibration.pcie.transfer_seconds(payload),
+        )
+        assert hidden <= mm_case.copies_per_run * smaller_stage * 1.01
+
+    def test_chunks_one_equals_sync(self, fft_case, calibration):
+        est = estimate_async_execution(
+            fft_case, 4096, get_network("40GI"), chunks=1,
+            calibration=calibration,
+        )
+        assert est.async_seconds == pytest.approx(est.sync_seconds)

@@ -1,0 +1,127 @@
+"""Transfer arithmetic: Tables II/III/V forms and the session replay."""
+
+import pytest
+
+from repro.model.transfer import (
+    memcpy_transfer_seconds,
+    replay_network_seconds,
+    session_messages,
+    small_message_overhead_seconds,
+    symbolic_entry_us,
+    table2_symbolic,
+    table2_totals,
+)
+from repro.net.spec import get_network
+from repro.paperdata.table2 import TABLE2
+from repro.units import MIB, seconds_to_ms
+
+
+class TestMemcpyEstimate:
+    def test_matches_table3_values(self, mm_case):
+        spec = get_network("GigaE")
+        t = memcpy_transfer_seconds(spec, mm_case.payload_bytes(4096))
+        assert seconds_to_ms(t) == pytest.approx(569.4, abs=0.1)
+
+    def test_matches_table5_values(self, fft_case):
+        spec = get_network("F-HT")
+        t = memcpy_transfer_seconds(spec, fft_case.payload_bytes(8192))
+        assert seconds_to_ms(t) == pytest.approx(22.2, abs=0.05)
+
+
+class TestTable2Symbolic:
+    @pytest.mark.parametrize("case_name", ["MM", "FFT"])
+    def test_every_entry_matches_the_paper(self, case_name, mm_case, fft_case):
+        case = mm_case if case_name == "MM" else fft_case
+        ge_rows = table2_symbolic(case, get_network("GigaE"))
+        ib_rows = table2_symbolic(case, get_network("40GI"))
+        for ge, ib, paper in zip(ge_rows, ib_rows, TABLE2[case_name]["rows"]):
+            assert ge.operation == paper.operation
+            assert ge.multiplicity == paper.multiplicity
+            assert ge.send.coeff == pytest.approx(paper.gigae_send.coeff)
+            assert ge.send.const_us == pytest.approx(
+                paper.gigae_send.const_us, abs=0.05
+            )
+            assert ge.receive.coeff == pytest.approx(paper.gigae_receive.coeff)
+            assert ge.receive.const_us == pytest.approx(
+                paper.gigae_receive.const_us, abs=0.05
+            )
+            assert ib.send.coeff == pytest.approx(paper.ib40_send.coeff)
+            assert ib.send.const_us == pytest.approx(
+                paper.ib40_send.const_us, abs=0.05
+            )
+
+    @pytest.mark.parametrize("case_name", ["MM", "FFT"])
+    def test_totals_match_the_paper(self, case_name, mm_case, fft_case):
+        case = mm_case if case_name == "MM" else fft_case
+        totals = table2_totals(table2_symbolic(case, get_network("GigaE")))
+        paper = TABLE2[case_name]["total"]
+        assert totals["send"].coeff == pytest.approx(paper["gigae_send"].coeff)
+        assert totals["send"].const_us == pytest.approx(
+            paper["gigae_send"].const_us, abs=0.1
+        )
+        assert totals["receive"].coeff == pytest.approx(
+            paper["gigae_receive"].coeff
+        )
+        assert totals["receive"].const_us == pytest.approx(
+            paper["gigae_receive"].const_us, abs=0.1
+        )
+
+    def test_byte_expressions_match_table1(self, mm_case):
+        rows = table2_symbolic(mm_case, get_network("GigaE"))
+        by_op = {r.operation: r for r in rows}
+        assert by_op["Initialization"].send_bytes_fixed == 21490
+        assert by_op["cudaMemcpy (to device)"].send_bytes_fixed == 20
+        assert by_op["cudaMemcpy (to device)"].send_bytes_per_unit == 4.0
+        assert by_op["cudaLaunch"].send_bytes_fixed == 52
+
+
+class TestSessionReplay:
+    def test_message_sequence_shape(self, mm_case):
+        messages = session_messages(mm_case, 4096)
+        ops = [m.operation for m in messages]
+        assert ops == [
+            "Initialization",
+            "cudaMalloc", "cudaMalloc", "cudaMalloc",
+            "cudaMemcpy (to device)", "cudaMemcpy (to device)",
+            "cudaSetupArgument", "cudaLaunch",
+            "cudaMemcpy (to host)",
+            "cudaFree", "cudaFree", "cudaFree",
+        ]
+
+    def test_fft_sequence_is_shorter(self, fft_case):
+        ops = [m.operation for m in session_messages(fft_case, 2048)]
+        assert ops.count("cudaMalloc") == 1
+        assert ops.count("cudaMemcpy (to device)") == 1
+        assert ops.count("cudaFree") == 1
+
+    def test_replay_dominated_by_data_payloads(self, mm_case):
+        spec = get_network("40GI")
+        total = replay_network_seconds(mm_case, 4096, spec)
+        bulk = 3 * spec.actual_one_way_seconds(64 * MIB)
+        assert total == pytest.approx(bulk, rel=0.02)
+
+    def test_small_message_overhead_is_negligible(self, mm_case):
+        # The paper's core approximation, quantified: everything except
+        # the bulk copies is well under 1% of the network time.
+        spec = get_network("GigaE")
+        overhead = small_message_overhead_seconds(mm_case, 4096, spec)
+        total = replay_network_seconds(mm_case, 4096, spec)
+        assert overhead / total < 0.01
+
+    def test_distortion_toggle(self, fft_case):
+        spec = get_network("GigaE")
+        with_d = replay_network_seconds(fft_case, 2048, spec)
+        without = replay_network_seconds(
+            fft_case, 2048, spec, include_distortion=False
+        )
+        assert with_d > without
+
+
+def test_symbolic_entry_evaluation():
+    from repro.model.transfer import SymbolicEntry
+
+    entry = SymbolicEntry(coeff=35.6, const_us=177.7)
+    # The raw-convention coefficient term is milliseconds: x1000 to us.
+    assert symbolic_entry_us(entry, 16.0) == pytest.approx(
+        35.6 * 16 * 1000 + 177.7
+    )

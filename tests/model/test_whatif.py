@@ -1,0 +1,97 @@
+"""What-if analysis against user-described networks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.whatif import (
+    custom_network,
+    minimum_viable_bandwidth,
+    what_if,
+)
+from repro.net.spec import get_network
+
+
+class TestCustomNetwork:
+    def test_estimate_model_is_the_bandwidth_law(self):
+        spec = custom_network("x", 1000.0)
+        assert spec.estimated_transfer_seconds(1000 * 2**20) == pytest.approx(1.0)
+
+    def test_small_messages_near_base_latency(self):
+        spec = custom_network("x", 1000.0, base_latency_us=7.0)
+        assert spec.small_message_us(4) == pytest.approx(7.0)
+        assert spec.small_message_us(64) < 10.0
+
+    def test_intercept_enters_the_behaviour_model(self):
+        flat = custom_network("flat", 1000.0)
+        lumpy = custom_network("lumpy", 1000.0, intercept_ms=2.8)
+        payload = 64 * 2**20
+        assert lumpy.actual_one_way_seconds(payload) == pytest.approx(
+            flat.actual_one_way_seconds(payload) + 2.8e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            custom_network("x", 0.0)
+        with pytest.raises(ConfigurationError):
+            custom_network("x", 100.0, base_latency_us=0.0)
+        with pytest.raises(ConfigurationError):
+            custom_network("x", 100.0, intercept_ms=-1.0)
+
+
+class TestWhatIf:
+    def test_matches_builtin_pipeline_for_builtin_bandwidths(
+        self, mm_case, calibration, testbed
+    ):
+        # Describing 40GI by its published numbers must reproduce the
+        # Table VI machinery's answer closely (same bandwidth; the only
+        # differences are the behaviour-model details).
+        spec = custom_network("ib-like", 1367.1, base_latency_us=27.9)
+        report = what_if(mm_case, 8192, spec, calibration)
+        builtin = testbed.measure_remote(mm_case, 8192, "40GI").total_seconds
+        assert report.predicted_seconds == pytest.approx(builtin, rel=0.02)
+
+    def test_worthwhile_verdicts_match_the_paper(
+        self, mm_case, fft_case, calibration
+    ):
+        fast = custom_network("fast", 2884.0)
+        assert what_if(mm_case, 12288, fast, calibration).worthwhile
+        assert not what_if(fft_case, 8192, fast, calibration).worthwhile
+
+    def test_faster_network_is_never_slower(self, mm_case, calibration):
+        slow = what_if(mm_case, 8192, custom_network("s", 200.0), calibration)
+        fast = what_if(mm_case, 8192, custom_network("f", 2000.0), calibration)
+        assert fast.predicted_seconds < slow.predicted_seconds
+
+
+class TestMinimumViableBandwidth:
+    def test_threshold_is_tight(self, mm_case, calibration):
+        budget = 0.25
+        threshold = minimum_viable_bandwidth(
+            mm_case, 12288, budget, calibration
+        )
+        at = what_if(
+            mm_case, 12288, custom_network("at", threshold), calibration
+        ).slowdown_vs_local_gpu
+        below = what_if(
+            mm_case, 12288, custom_network("below", threshold * 0.9),
+            calibration,
+        ).slowdown_vs_local_gpu
+        assert at <= budget + 1e-6
+        assert below > budget
+
+    def test_gigae_fails_a_tight_budget_and_ib_passes(
+        self, mm_case, calibration
+    ):
+        threshold = minimum_viable_bandwidth(mm_case, 12288, 0.25, calibration)
+        assert get_network("GigaE").effective_bw_mibps < threshold
+        assert get_network("40GI").effective_bw_mibps > threshold
+
+    def test_fft_has_no_viable_bandwidth(self, fft_case, calibration):
+        # The paper's verdict as an exception: the FFT's overhead is not
+        # a network problem.
+        with pytest.raises(ConfigurationError, match="no bandwidth"):
+            minimum_viable_bandwidth(fft_case, 8192, 0.05, calibration)
+
+    def test_budget_validation(self, mm_case, calibration):
+        with pytest.raises(ConfigurationError):
+            minimum_viable_bandwidth(mm_case, 8192, 0.0, calibration)

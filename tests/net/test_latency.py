@@ -1,0 +1,127 @@
+"""Latency models: bandwidth law, linear regressions, anchors, composite."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.latency import (
+    AnchoredSmallMessageModel,
+    BandwidthLatencyModel,
+    CompositeLatencyModel,
+    LinearLatencyModel,
+)
+from repro.units import MIB
+
+
+class TestBandwidthLatencyModel:
+    def test_table3_arithmetic(self):
+        model = BandwidthLatencyModel(112.4)
+        assert model.one_way_ms(64 * MIB) == pytest.approx(569.4, abs=0.05)
+
+    def test_zero_payload(self):
+        assert BandwidthLatencyModel(100.0).one_way_seconds(0) == 0.0
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthLatencyModel(0.0)
+        with pytest.raises(ConfigurationError):
+            BandwidthLatencyModel(-10.0)
+
+    def test_proportionality(self):
+        model = BandwidthLatencyModel(970.0)
+        assert model.one_way_seconds(2 * MIB) == pytest.approx(
+            2 * model.one_way_seconds(MIB)
+        )
+
+
+class TestLinearLatencyModel:
+    def test_gigae_regression(self):
+        f = LinearLatencyModel(8.9, -0.3)
+        assert f.one_way_ms(64 * MIB) == pytest.approx(8.9 * 64 - 0.3)
+
+    def test_ib40_regression(self):
+        g = LinearLatencyModel(0.7, 2.8)
+        assert g.one_way_ms(8 * MIB) == pytest.approx(0.7 * 8 + 2.8)
+
+    def test_negative_intercept_clamps_to_zero(self):
+        f = LinearLatencyModel(8.9, -0.3)
+        assert f.one_way_seconds(0) == 0.0  # raw value would be -0.3 ms
+
+    def test_asymptotic_bandwidth(self):
+        f = LinearLatencyModel(8.9, -0.3)
+        # 1000/8.9 = 112.36 MiB/s: the paper's 112.4 effective bandwidth.
+        assert f.asymptotic_bandwidth_mibps() == pytest.approx(112.36, abs=0.01)
+
+    def test_rejects_nonpositive_slope(self):
+        with pytest.raises(ConfigurationError):
+            LinearLatencyModel(0.0, 1.0)
+
+
+class TestAnchoredSmallMessageModel:
+    def test_exact_anchor_values(self):
+        model = AnchoredSmallMessageModel({8: 22.2, 12: 44.4, 20: 22.4})
+        assert model.one_way_us(8) == pytest.approx(22.2)
+        assert model.one_way_us(12) == pytest.approx(44.4)
+        assert model.one_way_us(20) == pytest.approx(22.4)
+
+    def test_interpolation_between_anchors(self):
+        model = AnchoredSmallMessageModel({10: 10.0, 20: 30.0})
+        assert model.one_way_us(15) == pytest.approx(20.0)
+
+    def test_constant_below_first_anchor(self):
+        model = AnchoredSmallMessageModel({8: 22.2, 16: 30.0})
+        assert model.one_way_us(1) == pytest.approx(22.2)
+
+    def test_extrapolation_above_last_anchor(self):
+        model = AnchoredSmallMessageModel({100: 10.0, 200: 20.0})
+        assert model.one_way_us(300) == pytest.approx(30.0)
+
+    def test_extrapolation_never_decreases(self):
+        # A falling last segment must not extrapolate downward.
+        model = AnchoredSmallMessageModel({100: 20.0, 200: 10.0})
+        assert model.one_way_us(400) == pytest.approx(10.0)
+
+    def test_non_monotonic_anchors_preserved(self):
+        # The GigaE 12-byte delayed-ACK bump is real published data.
+        model = AnchoredSmallMessageModel({8: 22.2, 12: 44.4, 20: 22.4})
+        assert model.one_way_us(12) > model.one_way_us(20)
+
+    def test_rejects_empty_and_invalid(self):
+        with pytest.raises(ConfigurationError):
+            AnchoredSmallMessageModel({})
+        with pytest.raises(ConfigurationError):
+            AnchoredSmallMessageModel({0: 5.0})
+        with pytest.raises(ConfigurationError):
+            AnchoredSmallMessageModel({5: -1.0})
+
+
+class TestCompositeLatencyModel:
+    def _composite(self):
+        small = AnchoredSmallMessageModel({8: 22.2, 21490: 338.7})
+        large = LinearLatencyModel(8.9, -0.3)
+        return CompositeLatencyModel(small, large)
+
+    def test_small_side_uses_anchors(self):
+        assert self._composite().one_way_us(21490) == pytest.approx(338.7)
+
+    def test_large_side_uses_regression(self):
+        model = self._composite()
+        assert model.one_way_ms(64 * MIB) == pytest.approx(8.9 * 64 - 0.3)
+
+    def test_large_never_below_small_at_crossover(self):
+        # GigaE's negative intercept would dip below the small-message
+        # extrapolation right at the crossover; the composite floors it.
+        model = self._composite()
+        floor = model.small.one_way_seconds(model.crossover_bytes)
+        assert model.one_way_seconds(model.crossover_bytes) >= floor
+
+    def test_monotone_over_wide_range(self):
+        model = self._composite()
+        sizes = [8, 64, 1024, 21490, 2**20, 8 * 2**20, 64 * 2**20]
+        times = [model.one_way_seconds(s) for s in sizes]
+        assert times == sorted(times)
+
+    def test_crossover_must_exceed_anchors(self):
+        small = AnchoredSmallMessageModel({8: 22.2, 21490: 338.7})
+        with pytest.raises(ConfigurationError):
+            CompositeLatencyModel(small, LinearLatencyModel(8.9, 0.0),
+                                  crossover_bytes=1000)

@@ -1,0 +1,82 @@
+"""Ping-pong characterization: the Section IV.A procedure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.pingpong import one_way_series, run_pingpong
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+from repro.units import MIB
+
+
+def _quick(link, **kw):
+    return run_pingpong(
+        link,
+        small_sizes=(8, 64, 1024),
+        large_sizes=(8 * MIB, 16 * MIB, 32 * MIB, 64 * MIB),
+        small_replicates=5,
+        large_replicates=20,
+        **kw,
+    )
+
+
+def test_recovers_ib40_regression():
+    result = _quick(SimulatedLink(get_network("40GI")), network="40GI")
+    fit = result.large_fit
+    assert fit.slope_ms_per_mib == pytest.approx(0.7, abs=0.01)
+    assert fit.intercept_ms == pytest.approx(2.8, abs=0.1)
+    assert fit.corrcoef == pytest.approx(1.0, abs=1e-6)
+
+
+def test_recovers_gigae_regression_despite_distortion():
+    link = SimulatedLink(
+        get_network("GigaE"), distortion_mode="stochastic", seed=9
+    )
+    result = run_pingpong(link, network="GigaE")
+    fit = result.large_fit
+    # Min-of-100 filters the bursty stalls: the clean law re-emerges.
+    assert fit.slope_ms_per_mib == pytest.approx(8.9, abs=0.05)
+    assert fit.intercept_ms == pytest.approx(-0.3, abs=0.3)
+    assert result.effective_bw_mibps == pytest.approx(112.4, abs=0.5)
+
+
+def test_default_sweep_bandwidths_match_paper():
+    result = run_pingpong(SimulatedLink(get_network("40GI")), network="40GI")
+    assert result.effective_bw_mibps == pytest.approx(1367.1, rel=0.005)
+
+
+def test_one_way_is_half_round_trip():
+    link = SimulatedLink(get_network("40GI"))
+    result = _quick(link)
+    sample = result.sample_for(8 * MIB)
+    expect = link.transfer_time_seconds(8 * MIB)
+    assert sample.mean_one_way_seconds == pytest.approx(expect, rel=1e-9)
+
+
+def test_sample_lookup_raises_for_unknown_size():
+    result = _quick(SimulatedLink(get_network("40GI")))
+    with pytest.raises(ConfigurationError):
+        result.sample_for(12345)
+
+
+def test_statistics_are_consistent():
+    link = SimulatedLink(get_network("GigaE"), jitter_fraction=0.02, seed=7)
+    result = _quick(link)
+    for sample in result.samples:
+        assert sample.min_one_way_seconds <= sample.mean_one_way_seconds
+        assert sample.std_one_way_seconds >= 0.0
+
+
+def test_requires_large_sizes():
+    with pytest.raises(ConfigurationError):
+        run_pingpong(SimulatedLink(get_network("40GI")), large_sizes=())
+
+
+def test_one_way_series_extraction():
+    result = _quick(SimulatedLink(get_network("40GI")))
+    sizes, times = one_way_series(result.samples)
+    assert len(sizes) == len(result.samples)
+    assert sizes[0] == 8
+    sizes_min, times_min = one_way_series(result.samples, use_min=True)
+    # min <= mean up to numpy's float rounding of identical samples.
+    assert all(tm <= t * (1 + 1e-9) for tm, t in zip(times_min, times))

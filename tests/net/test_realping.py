@@ -1,0 +1,123 @@
+"""Real-transport ping-pong characterization."""
+
+import socket
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.realping import EchoPeer, RealLink, characterize_transport
+from repro.transport.inproc import inproc_pair
+from repro.transport.tcp import TcpTransport
+
+
+def _inproc_world():
+    client_end, server_end = inproc_pair()
+    peer = EchoPeer(server_end).start()
+    return client_end, peer
+
+
+def _tcp_world():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    client_sock = socket.create_connection(("127.0.0.1", port))
+    server_sock, _ = listener.accept()
+    listener.close()
+    peer = EchoPeer(TcpTransport(server_sock)).start()
+    return TcpTransport(client_sock), peer
+
+
+class TestRealLink:
+    def test_probe_measures_positive_halved_rtt(self):
+        client, peer = _inproc_world()
+        link = RealLink(client)
+        t = link.transfer(1024)
+        assert t > 0
+        assert link.probes_sent == 1
+        link.close()
+        peer.join()
+        assert peer.messages_echoed == 1
+
+    def test_close_stops_the_peer(self):
+        client, peer = _inproc_world()
+        link = RealLink(client)
+        link.transfer(16)
+        link.close()
+        peer.join()
+        assert peer.messages_echoed == 1
+
+    def test_invalid_sizes(self):
+        client, peer = _inproc_world()
+        link = RealLink(client)
+        with pytest.raises(ConfigurationError):
+            link.transfer(-1)
+        with pytest.raises(ConfigurationError):
+            link.transfer(0xFFFFFFFF)
+        link.close()
+        peer.join()
+
+
+class TestCharacterization:
+    def test_over_inproc(self):
+        client, peer = _inproc_world()
+        result = characterize_transport(
+            client,
+            small_sizes=(4, 1024),
+            large_sizes=(1 << 18, 1 << 19, 1 << 20),
+            small_replicates=3,
+            large_replicates=3,
+            network="inproc",
+        )
+        peer.join()
+        assert result.network == "inproc"
+        assert result.effective_bw_mibps > 0
+        assert result.large_fit is not None
+        # Large payloads take longer than small ones on any real channel.
+        small = result.sample_for(4).mean_one_way_seconds
+        large = result.sample_for(1 << 20).mean_one_way_seconds
+        assert large > small
+
+    def test_over_real_loopback_tcp(self):
+        client, peer = _tcp_world()
+        result = characterize_transport(
+            client,
+            small_sizes=(64,),
+            large_sizes=(1 << 18, 1 << 20),
+            small_replicates=3,
+            large_replicates=3,
+            network="loopback",
+        )
+        peer.join()
+        # Loopback TCP moves at GiB/s -- far beyond every studied fabric.
+        assert result.effective_bw_mibps > 1000
+        fit = result.large_fit
+        assert fit is not None and fit.slope_ms_per_mib > 0
+
+    def test_feeds_the_whatif_pipeline(self, mm_case, calibration):
+        # The paper's workflow end to end on real hardware: characterize,
+        # then model rCUDA on the measured network.
+        from repro.model.whatif import custom_network, what_if
+
+        client, peer = _inproc_world()
+        measured = characterize_transport(
+            client,
+            small_sizes=(64,),
+            large_sizes=(1 << 18, 1 << 20),
+            small_replicates=3,
+            large_replicates=3,
+        )
+        peer.join()
+        spec = custom_network(
+            "measured", measured.effective_bw_mibps,
+            base_latency_us=max(
+                0.1, measured.sample_for(64).mean_one_way_us
+            ),
+        )
+        report = what_if(mm_case, 8192, spec, calibration)
+        assert report.predicted_seconds > 0
+        assert report.per_copy_transfer_seconds == pytest.approx(
+            mm_case.payload_bytes(8192)
+            / (measured.effective_bw_mibps * 2**20),
+            rel=1e-9,
+        )

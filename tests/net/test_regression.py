@@ -1,0 +1,42 @@
+"""Linear latency fits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.net.regression import LinearFit, fit_latency_regression
+from repro.units import MIB
+
+
+def test_exact_fit_recovers_parameters():
+    payloads = [n * MIB for n in (8, 16, 32, 64)]
+    times = [(8.9 * n - 0.3) * 1e-3 for n in (8, 16, 32, 64)]
+    fit = fit_latency_regression(payloads, times)
+    assert fit.slope_ms_per_mib == pytest.approx(8.9)
+    assert fit.intercept_ms == pytest.approx(-0.3)
+    assert fit.corrcoef == pytest.approx(1.0)
+
+
+def test_noisy_fit_is_close():
+    rng = np.random.default_rng(0)
+    ns = np.arange(8, 96, 8)
+    payloads = ns * MIB
+    times = (0.7 * ns + 2.8) * 1e-3 + rng.normal(0, 1e-5, len(ns))
+    fit = fit_latency_regression(payloads, times)
+    assert fit.slope_ms_per_mib == pytest.approx(0.7, abs=0.01)
+    assert fit.corrcoef > 0.999
+
+
+def test_predict_and_bandwidth():
+    fit = LinearFit(slope_ms_per_mib=8.9, intercept_ms=-0.3, corrcoef=1.0)
+    assert fit.predict_ms(64) == pytest.approx(569.3)
+    assert fit.asymptotic_bandwidth_mibps() == pytest.approx(112.36, abs=0.01)
+
+
+def test_validation_errors():
+    with pytest.raises(ModelError):
+        fit_latency_regression([1.0], [1.0])
+    with pytest.raises(ModelError):
+        fit_latency_regression([1.0, 2.0], [1.0])
+    with pytest.raises(ModelError):
+        fit_latency_regression([MIB, MIB], [1.0, 2.0])  # no payload spread

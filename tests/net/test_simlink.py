@@ -1,0 +1,99 @@
+"""Simulated links: clock advancement, distortion modes, accounting."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import ConfigurationError
+from repro.net.simlink import STALL_PROBABILITY, SimulatedLink
+from repro.net.spec import get_network
+from repro.units import MIB
+
+
+def test_transfer_advances_the_clock_by_the_model_time():
+    clock = VirtualClock()
+    link = SimulatedLink(get_network("40GI"), clock=clock)
+    elapsed = link.transfer(8 * MIB)
+    assert clock.now() == pytest.approx(elapsed)
+    assert elapsed == pytest.approx((0.7 * 8 + 2.8) * 1e-3, rel=1e-6)
+
+
+def test_mean_mode_is_deterministic():
+    spec = get_network("GigaE")
+    a = SimulatedLink(spec, seed=1).transfer(16 * MIB)
+    b = SimulatedLink(spec, seed=2).transfer(16 * MIB)
+    assert a == b
+
+
+def test_mean_mode_includes_distortion():
+    spec = get_network("GigaE")
+    with_d = SimulatedLink(spec, distortion_mode="mean").transfer(16 * MIB)
+    without = SimulatedLink(spec, distortion_mode="none").transfer(16 * MIB)
+    assert with_d > without
+    assert with_d - without == pytest.approx(
+        spec.distortion.extra_seconds(16 * MIB)
+    )
+
+
+def test_stochastic_mode_mean_converges_to_mean_mode():
+    spec = get_network("GigaE")
+    link = SimulatedLink(spec, distortion_mode="stochastic", seed=3)
+    n = 4000
+    total = sum(link.transfer(16 * MIB) for _ in range(n))
+    expect = SimulatedLink(spec, distortion_mode="mean").transfer(16 * MIB)
+    assert total / n == pytest.approx(expect, rel=0.05)
+
+
+def test_stochastic_mode_min_sheds_the_distortion():
+    spec = get_network("GigaE")
+    link = SimulatedLink(spec, distortion_mode="stochastic", seed=4)
+    best = min(link.transfer(16 * MIB) for _ in range(100))
+    clean = SimulatedLink(spec, distortion_mode="none").transfer(16 * MIB)
+    assert best == pytest.approx(clean, rel=1e-9)
+
+
+def test_stall_probability_is_respected():
+    spec = get_network("GigaE")
+    link = SimulatedLink(spec, distortion_mode="stochastic", seed=5)
+    clean = SimulatedLink(spec, distortion_mode="none").transfer(16 * MIB)
+    n = 2000
+    stalls = sum(
+        1 for _ in range(n) if link.transfer(16 * MIB) > clean * 1.0001
+    )
+    assert stalls / n == pytest.approx(STALL_PROBABILITY, abs=0.05)
+
+
+def test_jitter_perturbs_but_preserves_mean():
+    spec = get_network("40GI")
+    link = SimulatedLink(spec, jitter_fraction=0.05, seed=6)
+    times = [link.transfer(8 * MIB) for _ in range(500)]
+    nominal = link.transfer_time_seconds(8 * MIB)
+    assert len(set(times)) > 1
+    assert sum(times) / len(times) == pytest.approx(nominal, rel=0.02)
+
+
+def test_byte_and_message_accounting():
+    link = SimulatedLink(get_network("40GI"))
+    link.transfer(100)
+    link.transfer(200)
+    assert link.bytes_sent == 300
+    assert link.messages_sent == 2
+    link.reset_counters()
+    assert link.bytes_sent == 0
+    assert link.messages_sent == 0
+
+
+def test_round_trip_is_two_transfers():
+    link = SimulatedLink(get_network("40GI"))
+    rt = link.round_trip(100, 200)
+    expect = link.transfer_time_seconds(100) + link.transfer_time_seconds(200)
+    assert rt == pytest.approx(expect)
+
+
+def test_validation():
+    spec = get_network("40GI")
+    with pytest.raises(ConfigurationError):
+        SimulatedLink(spec, jitter_fraction=-0.1)
+    with pytest.raises(ConfigurationError):
+        SimulatedLink(spec, distortion_mode="banana")
+    with pytest.raises(ConfigurationError):
+        SimulatedLink(spec).transfer(-1)

@@ -1,0 +1,126 @@
+"""TCP behaviour: the mechanistic segment model and the empirical
+window-distortion model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.tcpmodel import (
+    TcpSegmentModel,
+    WindowDistortionModel,
+    gigae_distortion_from_table4,
+)
+from repro.paperdata.table4 import TABLE4_FFT
+from repro.units import MIB
+
+
+class TestTcpSegmentModel:
+    def _model(self, **kw) -> TcpSegmentModel:
+        defaults = dict(wire_bw_bytes_per_s=125e6, rtt_seconds=50e-6)
+        defaults.update(kw)
+        return TcpSegmentModel(**defaults)
+
+    def test_serialization_dominates_large_payloads(self):
+        model = self._model()
+        t = model.one_way_seconds(64 * MIB)
+        assert t == pytest.approx(64 * MIB / 125e6, rel=0.05)
+
+    def test_slow_start_rounds_grow_logarithmically(self):
+        model = self._model()
+        r1 = model.slow_start_rounds(model.mss_bytes)
+        r16 = model.slow_start_rounds(16 * model.mss_bytes)
+        assert r1 == 1
+        assert 2 <= r16 <= 5
+
+    def test_small_message_latency_is_nonlinear(self):
+        # Per-byte cost at small sizes far exceeds the asymptotic rate.
+        model = self._model()
+        t_small = model.one_way_seconds(100)
+        per_byte_small = t_small / 100
+        per_byte_large = model.one_way_seconds(64 * MIB) / (64 * MIB)
+        assert per_byte_small > 50 * per_byte_large
+
+    def test_nagle_penalizes_trailing_partial_segments(self):
+        off = self._model(nagle=False)
+        on = off.with_nagle(True)
+        payload = off.mss_bytes + 10  # a sub-MSS residue
+        assert on.one_way_seconds(payload) > off.one_way_seconds(payload)
+        assert on.one_way_seconds(payload) - off.one_way_seconds(
+            payload
+        ) == pytest.approx(on.delayed_ack_seconds)
+
+    def test_nagle_no_penalty_on_exact_segments(self):
+        off = self._model(nagle=False)
+        on = off.with_nagle(True)
+        payload = 4 * off.mss_bytes
+        assert on.one_way_seconds(payload) == pytest.approx(
+            off.one_way_seconds(payload)
+        )
+
+    def test_zero_payload(self):
+        model = self._model()
+        assert model.one_way_seconds(0) == pytest.approx(25e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._model(wire_bw_bytes_per_s=0)
+        with pytest.raises(ConfigurationError):
+            self._model(mss_bytes=0)
+        with pytest.raises(ConfigurationError):
+            self._model(initial_window_segments=0)
+        with pytest.raises(ConfigurationError):
+            self._model(max_window_segments=1, initial_window_segments=4)
+        with pytest.raises(ConfigurationError):
+            self._model().one_way_seconds(-1)
+
+
+class TestWindowDistortionModel:
+    def test_interpolates_anchors(self):
+        model = WindowDistortionModel([(8.0, 28.0), (16.0, 34.0)])
+        assert model.extra_seconds(8 * MIB) == pytest.approx(28e-3)
+        assert model.extra_seconds(12 * MIB) == pytest.approx(31e-3)
+
+    def test_zero_prepended_at_origin(self):
+        model = WindowDistortionModel([(8.0, 28.0)])
+        assert model.extra_seconds(0) == 0.0
+        assert model.extra_seconds(4 * MIB) == pytest.approx(14e-3)
+
+    def test_holds_final_anchor(self):
+        model = WindowDistortionModel([(8.0, 28.0), (256.0, 0.0)])
+        assert model.extra_seconds(1000 * MIB) == 0.0
+
+    def test_none_model_is_zero_everywhere(self):
+        model = WindowDistortionModel.none()
+        for mib in (0, 1, 64, 4096):
+            assert model.extra_seconds(mib * MIB) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            WindowDistortionModel([])
+
+
+class TestGigaeDistortionFromTable4:
+    def test_anchors_match_fixed_time_gap(self):
+        model = gigae_distortion_from_table4()
+        for row in TABLE4_FFT:
+            payload = row.size * 4096
+            expect_ms = (row.fixed_gigae - row.fixed_ib40) / 2.0
+            assert model.extra_seconds(payload) == pytest.approx(
+                expect_ms * 1e-3, rel=1e-6
+            )
+
+    def test_zero_below_protocol_scale(self):
+        model = gigae_distortion_from_table4()
+        # Module shipping (21 KB) and control messages see no distortion.
+        assert model.extra_seconds(21490) == 0.0
+        assert model.extra_seconds(4 * MIB) == 0.0
+
+    def test_decays_to_zero_for_huge_copies(self):
+        model = gigae_distortion_from_table4()
+        assert model.extra_seconds(512 * MIB) == 0.0
+
+    def test_peak_is_mid_sized(self):
+        model = gigae_distortion_from_table4()
+        peak = model.extra_seconds(16 * MIB)
+        assert peak > model.extra_seconds(8 * MIB) * 0.9
+        assert peak > model.extra_seconds(64 * MIB)
+        assert 0.02 < peak < 0.05  # ~34 ms from the published data

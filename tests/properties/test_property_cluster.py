@@ -1,0 +1,88 @@
+"""Property tests: cluster simulation invariants under arbitrary
+workloads and topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSimulation, GpuJob, build_cluster
+from repro.cluster.scheduler import LeastLoadedPolicy, RoundRobinPolicy
+
+
+@st.composite
+def workloads(draw, max_jobs=15):
+    count = draw(st.integers(1, max_jobs))
+    jobs = []
+    t = 0.0
+    for job_id in range(count):
+        t += draw(st.floats(0.0, 20.0, allow_nan=False))
+        service = draw(st.floats(0.1, 50.0, allow_nan=False))
+        jobs.append(GpuJob(
+            job_id=job_id, case_name="MM", size=4096,
+            submit_seconds=t, service_seconds=service,
+        ))
+    return jobs
+
+
+topologies = st.tuples(st.integers(1, 12), st.integers(1, 12)).map(
+    lambda t: (max(t), min(t))  # nodes >= gpus
+)
+policies = st.sampled_from([LeastLoadedPolicy, RoundRobinPolicy])
+
+
+@given(jobs=workloads(), topology=topologies, policy_factory=policies)
+@settings(max_examples=80, deadline=None)
+def test_simulation_invariants(jobs, topology, policy_factory):
+    nodes, gpus = topology
+    sim = ClusterSimulation(build_cluster(nodes, gpus), policy_factory())
+    report = sim.run(jobs)
+
+    assert report.num_jobs == len(jobs)
+    total_service = sum(j.service_seconds for j in jobs)
+
+    for outcome in report.outcomes:
+        # Causality: nothing starts before submission or ends before start.
+        assert outcome.start_seconds >= outcome.job.submit_seconds - 1e-9
+        assert outcome.finish_seconds >= outcome.start_seconds
+        # Sharing can only slow a job down.
+        assert outcome.slowdown >= 1.0 - 1e-9
+        # A job can never finish faster than its service demand allows.
+        assert outcome.finish_seconds - outcome.start_seconds >= \
+            outcome.job.service_seconds - 1e-6
+
+    # Makespan bounds: at least the last arrival + shortest completion,
+    # at most serial execution on one GPU.
+    last_submit = max(j.submit_seconds for j in jobs)
+    assert report.makespan_seconds >= last_submit
+    assert report.makespan_seconds <= last_submit + total_service + 1e-6
+
+    # Work conservation: busy time == total demand.
+    busy = sum(
+        u * report.makespan_seconds for u in report.utilization.values()
+    )
+    assert abs(busy - total_service) <= 1e-6 * max(1.0, total_service)
+
+    for util in report.utilization.values():
+        assert 0.0 <= util <= 1.0 + 1e-9
+
+
+@given(jobs=workloads())
+@settings(max_examples=40, deadline=None)
+def test_more_gpus_never_slow_the_least_loaded_cluster(jobs):
+    small = ClusterSimulation(build_cluster(8, 1), LeastLoadedPolicy()).run(jobs)
+    big = ClusterSimulation(build_cluster(8, 8), LeastLoadedPolicy()).run(jobs)
+    assert big.makespan_seconds <= small.makespan_seconds + 1e-6
+    assert big.mean_response_seconds <= small.mean_response_seconds + 1e-6
+
+
+@given(jobs=workloads(max_jobs=8))
+@settings(max_examples=40, deadline=None)
+def test_with_one_gpu_per_job_nothing_shares(jobs):
+    n = max(8, len(jobs))
+    report = ClusterSimulation(
+        build_cluster(n, n), LeastLoadedPolicy()
+    ).run(jobs)
+    # Enough GPUs that every job can run alone... provided arrivals do
+    # not exceed the server count simultaneously; least-loaded guarantees
+    # a free server exists, so every slowdown is exactly 1.
+    for outcome in report.outcomes:
+        assert outcome.slowdown <= len(jobs) + 1e-9

@@ -1,0 +1,98 @@
+"""Property tests: kernels agree with numpy on arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.simcuda.kernels import default_registry
+from repro.simcuda.kernels.fft import FFT_POINTS, radix2_fft_batch
+from repro.simcuda.memory import DeviceMemory
+from repro.simcuda.types import Dim3
+
+D1 = Dim3(1, 1, 1)
+
+finite_f32 = st.floats(
+    min_value=-100.0, max_value=100.0,
+    allow_nan=False, allow_infinity=False, width=32,
+)
+
+
+@st.composite
+def complex_batches(draw, max_batch=4):
+    batch = draw(st.integers(1, max_batch))
+    real = draw(arrays(np.float32, (batch, FFT_POINTS), elements=finite_f32))
+    imag = draw(arrays(np.float32, (batch, FFT_POINTS), elements=finite_f32))
+    return (real + 1j * imag).astype(np.complex64)
+
+
+@given(signal=complex_batches())
+@settings(max_examples=50, deadline=None)
+def test_fft_matches_numpy_on_arbitrary_signals(signal):
+    ours = radix2_fft_batch(signal, 1)
+    ref = np.fft.fft(signal.astype(np.complex128), axis=1)
+    scale = max(1.0, float(np.abs(ref).max()))
+    assert float(np.abs(ours - ref).max()) / scale < 1e-4
+
+
+@given(signal=complex_batches(max_batch=2))
+@settings(max_examples=30, deadline=None)
+def test_fft_linearity(signal):
+    # FFT(2x) == 2 FFT(x): linearity of the transform.
+    doubled = radix2_fft_batch((2.0 * signal).astype(np.complex64), 1)
+    base = radix2_fft_batch(signal, 1)
+    scale = max(1.0, float(np.abs(base).max()))
+    assert float(np.abs(doubled - 2.0 * base).max()) / scale < 1e-3
+
+
+@given(
+    m=st.integers(1, 24), n=st.integers(1, 24), k=st.integers(1, 24),
+    seed=st.integers(0, 2**31),
+    alpha=st.floats(-2.0, 2.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_sgemm_matches_numpy_on_arbitrary_shapes(m, n, k, seed, alpha):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k), dtype=np.float32)
+    b = rng.standard_normal((k, n), dtype=np.float32)
+    mem = DeviceMemory(capacity=1 << 20)
+    pa = mem.malloc(a.nbytes); mem.write(pa, a)
+    pb = mem.malloc(b.nbytes); mem.write(pb, b)
+    pc = mem.malloc(4 * m * n)
+    default_registry().get("sgemmNN").execute(
+        mem, D1, D1, (pa, pb, pc, m, n, k, alpha, 0.0)
+    )
+    ours = mem.as_array(pc, np.float32, m * n).reshape(m, n)
+    ref = alpha * (a.astype(np.float64) @ b.astype(np.float64))
+    assert float(np.abs(ours - ref).max()) < 1e-3 * max(1.0, float(np.abs(ref).max()))
+
+
+@given(
+    n=st.integers(1, 2000), alpha=st.floats(-10.0, 10.0, allow_nan=False),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_saxpy_matches_numpy(n, alpha, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n, dtype=np.float32)
+    y = rng.standard_normal(n, dtype=np.float32)
+    mem = DeviceMemory(capacity=1 << 20)
+    px = mem.malloc(x.nbytes); mem.write(px, x)
+    py = mem.malloc(y.nbytes); mem.write(py, y)
+    default_registry().get("saxpy").execute(mem, D1, D1, (px, py, n, alpha))
+    ours = mem.as_array(py, np.float32, n)
+    np.testing.assert_allclose(ours, np.float32(alpha) * x + y,
+                               rtol=1e-5, atol=1e-5)
+
+
+@given(values=st.lists(finite_f32, min_size=1, max_size=500))
+@settings(max_examples=50, deadline=None)
+def test_ssum_matches_numpy(values):
+    x = np.asarray(values, dtype=np.float32)
+    mem = DeviceMemory(capacity=1 << 20)
+    px = mem.malloc(x.nbytes); mem.write(px, x)
+    pout = mem.malloc(4)
+    default_registry().get("ssum").execute(mem, D1, D1, (px, pout, len(x)))
+    expect = float(x.astype(np.float64).sum())
+    got = float(mem.as_array(pout, np.float32, 1)[0])
+    assert abs(got - expect) <= 1e-3 * max(1.0, abs(expect))

@@ -1,0 +1,128 @@
+"""Property tests: device-memory allocator invariants under arbitrary
+malloc/free interleavings (hypothesis stateful testing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import DeviceMemoryError
+from repro.simcuda.memory import ALIGNMENT, BASE_ADDRESS, DeviceMemory
+
+CAPACITY = 1 << 16  # 64 KiB keeps OOM reachable
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Drive the allocator with random operations, checking invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.mem = DeviceMemory(capacity=CAPACITY, functional=False)
+        self.live: dict[int, int] = {}  # ptr -> size
+
+    @rule(size=st.integers(1, CAPACITY // 4))
+    def malloc(self, size):
+        try:
+            ptr = self.mem.malloc(size)
+        except DeviceMemoryError:
+            # OOM is only legal if no free region fits the reservation.
+            reserved = (size + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+            assert self.mem.largest_free_block < reserved
+            return
+        assert ptr % ALIGNMENT == 0
+        assert ptr >= BASE_ADDRESS
+        self.live[ptr] = size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_live(self, data):
+        ptr = data.draw(st.sampled_from(sorted(self.live)))
+        self.mem.free(ptr)
+        del self.live[ptr]
+
+    @rule(offset=st.integers(1, 1 << 20))
+    def free_garbage_rejected(self, offset):
+        candidate = BASE_ADDRESS + offset
+        if candidate in self.live:
+            return
+        with pytest.raises(DeviceMemoryError):
+            self.mem.free(candidate)
+
+    @invariant()
+    def no_overlap(self):
+        spans = sorted(
+            (ptr, ptr + size) for ptr, size in self.live.items()
+        )
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    @invariant()
+    def accounting_conserves_capacity(self):
+        assert self.mem.used + self.mem.free_bytes == self.mem.capacity
+        assert self.mem.allocation_count == len(self.live)
+
+    @invariant()
+    def used_covers_live_bytes(self):
+        live_bytes = sum(self.live.values())
+        assert live_bytes <= self.mem.used <= live_bytes + len(
+            self.live
+        ) * ALIGNMENT
+
+    @invariant()
+    def live_ranges_stay_valid(self):
+        for ptr, size in self.live.items():
+            assert self.mem.is_valid(ptr, size)
+
+    def teardown(self):
+        for ptr in list(self.live):
+            self.mem.free(ptr)
+        # After releasing everything, free space must fully coalesce.
+        assert self.mem.free_bytes == self.mem.capacity
+        assert self.mem.fragmentation() == 0.0
+
+
+TestAllocatorMachine = AllocatorMachine.TestCase
+TestAllocatorMachine.settings = settings(
+    max_examples=30, stateful_step_count=60, deadline=None
+)
+
+
+class BestFitMachine(AllocatorMachine):
+    def __init__(self):
+        super().__init__()
+        self.mem = DeviceMemory(
+            capacity=CAPACITY, functional=False, policy="best-fit"
+        )
+
+
+TestBestFitMachine = BestFitMachine.TestCase
+TestBestFitMachine.settings = settings(
+    max_examples=20, stateful_step_count=50, deadline=None
+)
+
+
+@given(sizes=st.lists(st.integers(1, 4096), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_alloc_all_free_all_restores_pristine_state(sizes):
+    mem = DeviceMemory(capacity=1 << 20, functional=False)
+    ptrs = [mem.malloc(s) for s in sizes]
+    assert len(set(ptrs)) == len(ptrs)
+    for ptr in ptrs:
+        mem.free(ptr)
+    assert mem.free_bytes == mem.capacity
+    assert mem.malloc(1) == BASE_ADDRESS
+
+
+@given(
+    sizes=st.lists(st.integers(1, 2048), min_size=2, max_size=20),
+    drop=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_freed_space_is_reusable(sizes, drop):
+    mem = DeviceMemory(capacity=1 << 20, functional=False)
+    ptrs = [mem.malloc(s) for s in sizes]
+    index = drop.draw(st.integers(0, len(ptrs) - 1))
+    mem.free(ptrs[index])
+    # The freed reservation can always be re-obtained.
+    again = mem.malloc(sizes[index])
+    assert mem.is_valid(again, sizes[index])

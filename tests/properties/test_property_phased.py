@@ -1,0 +1,105 @@
+"""Property tests: phased-simulation invariants under random workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.phased import PhasedClusterSimulation, PhasedJob
+from repro.cluster.topology import ClusterTopology
+
+
+def _names(n):
+    return [f"node{i:03d}" for i in range(n)]
+
+
+@st.composite
+def phased_world(draw):
+    n = draw(st.integers(3, 8))
+    names = _names(n)
+    server_count = draw(st.integers(1, n - 1))
+    servers = {
+        names[n - 1 - i]: draw(st.integers(1, 3)) for i in range(server_count)
+    }
+    job_count = draw(st.integers(1, 10))
+    jobs = []
+    t = 0.0
+    server_names = sorted(servers)
+    for job_id in range(job_count):
+        t += draw(st.floats(0.0, 5.0, allow_nan=False))
+        # Zero or a meaningful magnitude -- sub-nanosecond demands drown
+        # in float granularity and say nothing about the simulator.
+        demand = st.one_of(st.just(0.0), st.floats(1e-3, 10.0, allow_nan=False))
+        demands = [draw(demand) for _ in range(3)]
+        if sum(demands) == 0.0:
+            demands[2] = 1.0
+        jobs.append(
+            PhasedJob(
+                job_id=job_id,
+                client=names[draw(st.integers(0, n - 1))],
+                server=server_names[draw(st.integers(0, server_count - 1))],
+                submit_seconds=t,
+                host_seconds=demands[0],
+                net_seconds=demands[1],
+                gpu_seconds=demands[2],
+            )
+        )
+    topo_kind = draw(st.sampled_from(["star", "tree"]))
+    if topo_kind == "star":
+        topo = ClusterTopology.star(names)
+    else:
+        topo = ClusterTopology.two_level_tree(
+            names,
+            nodes_per_switch=draw(st.integers(2, n)),
+            uplink_capacity=draw(st.floats(0.5, 4.0, allow_nan=False)),
+        )
+    return topo, servers, jobs
+
+
+@given(world=phased_world())
+@settings(max_examples=60, deadline=None)
+def test_phased_invariants(world):
+    topo, servers, jobs = world
+    report = PhasedClusterSimulation(topo, servers).run(jobs)
+
+    assert len(report.outcomes) == len(jobs)
+    for outcome in report.outcomes:
+        job = outcome.job
+        # Causality and lower bounds.
+        assert outcome.finish_seconds >= job.submit_seconds - 1e-9
+        assert outcome.response_seconds >= job.total_demand_seconds - 1e-6
+        assert outcome.slowdown >= 1.0 - 1e-9
+        assert outcome.net_stretch >= 1.0 - 1e-9
+        # Wall time per phase is at least the demand (rates <= 1).
+        assert outcome.phase_wall_seconds["host"] >= job.host_seconds - 1e-6
+        assert outcome.phase_wall_seconds["net"] >= job.net_seconds - 1e-6
+        assert outcome.phase_wall_seconds["gpu"] >= job.gpu_seconds - 1e-6
+        # And the walls sum to the response time.
+        assert sum(outcome.phase_wall_seconds.values()) == \
+            __import__("pytest").approx(outcome.response_seconds, rel=1e-6, abs=1e-6)
+
+    # Makespan upper bound: after the last arrival, every second of
+    # demand dilates at worst by the resource's worst sharing factor --
+    # GPU phases by jobs-per-device, network phases additionally by the
+    # slowest link on the fabric (an oversubscribed uplink can run a
+    # single flow below NIC speed).
+    last_submit = max(j.submit_seconds for j in jobs)
+    k = len(jobs)
+    gpu_factor = max(1.0, max(k / g for g in servers.values()))
+    min_capacity = min(
+        (data["capacity"] for *_edge, data in topo.graph.edges(data=True)),
+        default=1.0,
+    )
+    net_factor = max(1.0, k / min(1.0, min_capacity))
+    bound = last_submit + sum(
+        j.host_seconds + j.net_seconds * net_factor + j.gpu_seconds * gpu_factor
+        for j in jobs
+    )
+    assert report.makespan_seconds <= bound + 1e-6
+
+
+@given(world=phased_world())
+@settings(max_examples=30, deadline=None)
+def test_phased_is_deterministic(world):
+    topo, servers, jobs = world
+    a = PhasedClusterSimulation(topo, servers).run(jobs)
+    b = PhasedClusterSimulation(topo, servers).run(jobs)
+    assert a == b

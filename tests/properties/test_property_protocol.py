@@ -1,0 +1,116 @@
+"""Property tests: the wire protocol is a loss-free bijection and its
+sizes follow the Table I arithmetic for every possible message."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.codec import (
+    MessageReader,
+    decode_init,
+    decode_request,
+    encode_request,
+    encode_response,
+    read_response,
+)
+from repro.protocol.messages import (
+    FreeRequest,
+    InitRequest,
+    LaunchRequest,
+    MallocRequest,
+    MemcpyRequest,
+    MemcpyResponse,
+    SetupArgsRequest,
+)
+from repro.protocol.wire import pack_args, unpack_args
+from repro.simcuda.types import Dim3
+
+u4 = st.integers(min_value=0, max_value=2**32 - 1)
+ptr = st.integers(min_value=0, max_value=2**32 - 1)
+kernel_name = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters="\x00"),
+    min_size=1, max_size=64,
+)
+dim = st.builds(
+    Dim3,
+    x=st.integers(1, 65535),
+    y=st.integers(1, 65535),
+    z=st.integers(1, 64),
+)
+
+
+@given(size=u4)
+def test_malloc_roundtrip(size):
+    request = MallocRequest(size=size)
+    assert decode_request(MessageReader(encode_request(request))) == request
+
+
+@given(ptr_value=ptr)
+def test_free_roundtrip(ptr_value):
+    request = FreeRequest(ptr=ptr_value)
+    assert decode_request(MessageReader(encode_request(request))) == request
+
+
+@given(dst=ptr, data=st.binary(max_size=4096))
+def test_memcpy_h2d_roundtrip_and_size(dst, data):
+    request = MemcpyRequest(dst=dst, src=0, size=len(data), kind=1, data=data)
+    wire = encode_request(request)
+    assert len(wire) == 20 + len(data)  # Table I: x + 20
+    assert decode_request(MessageReader(wire)) == request
+
+
+@given(src=ptr, size=st.integers(0, 2**31))
+def test_memcpy_d2h_request_is_always_20_bytes(src, size):
+    request = MemcpyRequest(dst=0, src=src, size=size, kind=2)
+    wire = encode_request(request)
+    assert len(wire) == 20
+    assert decode_request(MessageReader(wire)) == request
+
+
+@given(name=kernel_name, block=dim, grid=st.builds(
+    Dim3, x=st.integers(1, 65535), y=st.integers(1, 65535)),
+    shared=st.integers(0, 16384), stream=u4)
+@settings(max_examples=200)
+def test_launch_roundtrip_and_size(name, block, grid, shared, stream):
+    request = LaunchRequest(
+        kernel_name=name, block=block, grid=grid,
+        shared_bytes=shared, stream=stream,
+    )
+    wire = encode_request(request)
+    # Table I: x + 44 with x the NUL-terminated kernel name.
+    assert len(wire) == len(name.encode()) + 1 + 44
+    assert decode_request(MessageReader(wire)) == request
+
+
+@given(module=st.binary(min_size=0, max_size=30000))
+def test_init_roundtrip_and_size(module):
+    request = InitRequest(module=module)
+    wire = encode_request(request)
+    assert len(wire) == len(module) + 4  # Table I: x + 4
+    assert decode_init(MessageReader(wire)) == request
+
+
+arg_value = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+
+
+@given(args=st.tuples() | st.lists(arg_value, max_size=16).map(tuple))
+def test_arg_blob_roundtrip(args):
+    assert unpack_args(pack_args(args)) == args
+
+
+@given(args=st.lists(arg_value, max_size=8).map(tuple))
+def test_setup_args_roundtrip(args):
+    request = SetupArgsRequest(args=args)
+    assert decode_request(MessageReader(encode_request(request))) == request
+
+
+@given(error=st.integers(0, 255), data=st.binary(max_size=2048))
+def test_memcpy_d2h_response_roundtrip(error, data):
+    response = MemcpyResponse(error=error, data=data if error == 0 else None)
+    request = MemcpyRequest(dst=0, src=1, size=len(data), kind=2)
+    wire = encode_response(response)
+    decoded = read_response(MessageReader(wire), request)
+    assert decoded == response

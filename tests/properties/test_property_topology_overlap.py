@@ -1,0 +1,86 @@
+"""Property tests: topology flow rates and the pipelining bound."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.model.overlap import pipelined_seconds
+
+
+def _names(n):
+    return [f"node{i:03d}" for i in range(n)]
+
+
+@st.composite
+def star_flows(draw):
+    n = draw(st.integers(2, 12))
+    names = _names(n)
+    count = draw(st.integers(1, 16))
+    flows = [
+        (
+            names[draw(st.integers(0, n - 1))],
+            names[draw(st.integers(0, n - 1))],
+        )
+        for _ in range(count)
+    ]
+    return names, flows
+
+
+@given(data=star_flows())
+@settings(max_examples=80, deadline=None)
+def test_star_rates_are_valid_shares(data):
+    names, flows = data
+    topo = ClusterTopology.star(names)
+    rates = topo.flow_rates(flows)
+    assert set(rates) == set(range(len(flows)))
+    for rate in rates.values():
+        assert 0.0 < rate <= 1.0
+    # No link can be oversubscribed: flows through any link, each at its
+    # granted rate, must fit the link's capacity.
+    link_usage: dict[frozenset, float] = {}
+    for i, flow in enumerate(flows):
+        for edge in topo.path_links(flow):
+            link = frozenset(edge)
+            link_usage[link] = link_usage.get(link, 0.0) + rates[i]
+    for link, used in link_usage.items():
+        assert used <= topo._capacity(link) + 1e-9
+
+
+@given(data=star_flows())
+@settings(max_examples=50, deadline=None)
+def test_adding_a_flow_never_raises_anyones_rate(data):
+    names, flows = data
+    if len(flows) < 2:
+        return
+    topo = ClusterTopology.star(names)
+    before = topo.flow_rates(flows[:-1])
+    after = topo.flow_rates(flows)
+    for i in before:
+        assert after[i] <= before[i] + 1e-12
+
+
+@given(
+    stages=st.lists(
+        st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=5
+    ),
+    chunks=st.integers(1, 64),
+)
+def test_pipeline_bounds(stages, chunks):
+    t = pipelined_seconds(stages, chunks)
+    serial = sum(stages)
+    bottleneck = max(stages)
+    # Never slower than serial, never faster than the bottleneck stage.
+    assert t <= serial + 1e-9
+    assert t >= bottleneck - 1e-9
+
+
+@given(
+    stages=st.lists(
+        st.floats(0.01, 100.0, allow_nan=False), min_size=2, max_size=5
+    ),
+    c1=st.integers(1, 32),
+    c2=st.integers(1, 32),
+)
+def test_pipeline_monotone_in_chunks(stages, c1, c2):
+    lo, hi = sorted((c1, c2))
+    assert pipelined_seconds(stages, hi) <= pipelined_seconds(stages, lo) + 1e-9

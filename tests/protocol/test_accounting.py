@@ -1,0 +1,56 @@
+"""Message accounting: Table I derived from the codec, and the session
+arithmetic the estimation model uses."""
+
+import pytest
+
+from repro.paperdata.table1 import TABLE1
+from repro.protocol.accounting import (
+    launch_request_bytes,
+    memcpy_request_bytes,
+    setup_args_cost,
+    sync_cost,
+    table1_from_codec,
+)
+
+
+def test_derived_table1_matches_published():
+    derived = table1_from_codec()
+    assert len(derived) == len(TABLE1)
+    for ours, paper in zip(derived, TABLE1):
+        assert ours.operation == paper.operation
+        assert ours.send_fixed == paper.send_fixed_total, paper.operation
+        assert ours.send_has_payload == paper.send_has_payload
+        assert ours.receive_fixed == paper.receive_fixed_total
+        assert ours.receive_has_payload == paper.receive_has_payload
+
+
+def test_case_study_launch_sizes():
+    # Table II's 52- and 58-byte launches come from the kernel names.
+    assert launch_request_bytes("sgemmNN") == (52, 4)
+    assert launch_request_bytes("FFT512_device") == (58, 4)
+
+
+def test_memcpy_accounting_both_directions():
+    send, recv = memcpy_request_bytes(1000, to_device=True)
+    assert (send, recv) == (1020, 4)
+    send, recv = memcpy_request_bytes(1000, to_device=False)
+    assert (send, recv) == (20, 1004)
+
+
+def test_payload_scaling_is_exactly_linear():
+    for payload in (0, 1, 4096, 1 << 20):
+        send, _ = memcpy_request_bytes(payload, to_device=True)
+        assert send == 20 + payload
+
+
+def test_support_message_costs():
+    cost = setup_args_cost((0x1000, 0x2000, 16, 1.0))
+    assert cost.send_fixed > 8  # id + length + blob
+    assert cost.receive_fixed == 4
+    assert sync_cost().send_fixed == 4
+
+
+def test_message_cost_arithmetic():
+    (init,) = [c for c in table1_from_codec() if c.operation == "Initialization"]
+    assert init.send_bytes(21486) == 21490
+    assert init.receive_bytes(12345) == 12  # no payload on this side

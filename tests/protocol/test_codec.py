@@ -1,0 +1,172 @@
+"""Wire codec: Table I layouts, round-trips, framing errors."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.codec import (
+    MessageReader,
+    decode_init,
+    decode_request,
+    encode_request,
+    encode_response,
+    read_response,
+)
+from repro.protocol.constants import FunctionId
+from repro.protocol.messages import (
+    ElapsedResponse,
+    EventElapsedRequest,
+    FreeRequest,
+    InitRequest,
+    InitResponse,
+    LaunchRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyRequest,
+    MemcpyResponse,
+    PropertiesRequest,
+    PropertiesResponse,
+    Response,
+    SetupArgsRequest,
+    StreamCreateRequest,
+    StreamSyncRequest,
+    SyncRequest,
+    ValueResponse,
+)
+from repro.protocol.wire import unpack_u4
+from repro.simcuda.types import Dim3, MemcpyKind
+
+
+class TestTable1Layouts:
+    def test_init_is_size_plus_module(self):
+        module = b"M" * 21486
+        wire = encode_request(InitRequest(module=module))
+        assert len(wire) == 21490  # x + 4, the MM initialization message
+        assert unpack_u4(wire) == 21486
+
+    def test_init_has_no_function_id(self):
+        # The first u4 is the module size, not a function id.
+        wire = encode_request(InitRequest(module=b"ab"))
+        assert unpack_u4(wire) == 2
+
+    def test_malloc_is_8_bytes(self):
+        wire = encode_request(MallocRequest(size=4096))
+        assert len(wire) == 8
+        assert unpack_u4(wire) == FunctionId.MALLOC
+
+    def test_memcpy_h2d_is_payload_plus_20(self):
+        wire = encode_request(
+            MemcpyRequest(dst=0x1000, src=0, size=100, kind=1, data=b"\x00" * 100)
+        )
+        assert len(wire) == 120
+
+    def test_memcpy_d2h_request_is_20(self):
+        wire = encode_request(MemcpyRequest(dst=0, src=0x1000, size=100, kind=2))
+        assert len(wire) == 20
+
+    def test_launch_is_name_plus_44(self):
+        assert len(encode_request(LaunchRequest(kernel_name="sgemmNN"))) == 52
+        assert len(encode_request(LaunchRequest(kernel_name="FFT512_device"))) == 58
+
+    def test_free_is_8(self):
+        assert len(encode_request(FreeRequest(ptr=0x1000))) == 8
+
+    def test_response_sizes(self):
+        assert len(encode_response(InitResponse())) == 12
+        assert len(encode_response(MallocResponse(error=0, ptr=1))) == 8
+        assert len(encode_response(Response(error=0))) == 4
+        assert len(encode_response(MemcpyResponse(error=0, data=b"x" * 9))) == 13
+
+
+REQUESTS = [
+    MallocRequest(size=1),
+    MallocRequest(size=2**32 - 1),
+    MemcpyRequest(dst=0x2000, src=0, size=0, kind=1, data=b""),
+    MemcpyRequest(dst=0x2000, src=0, size=5, kind=1, data=b"hello"),
+    MemcpyRequest(dst=0, src=0x2000, size=1 << 20, kind=2),
+    MemcpyRequest(dst=0x3000, src=0x2000, size=64, kind=3),
+    LaunchRequest(kernel_name="k", block=Dim3(512, 1, 1), grid=Dim3(65535, 2, 1),
+                  shared_bytes=16384, stream=7, texture_offset=3, num_textures=2),
+    FreeRequest(ptr=0xFFFFFFF0),
+    SetupArgsRequest(args=()),
+    SetupArgsRequest(args=(0x1000, 0x2000, 4096, -3, 1.5, 2**40)),
+    SyncRequest(),
+    PropertiesRequest(),
+    StreamCreateRequest(),
+    StreamSyncRequest(stream=3),
+    EventElapsedRequest(start=1, end=2),
+]
+
+
+@pytest.mark.parametrize("request_obj", REQUESTS, ids=lambda r: type(r).__name__ + str(hash(repr(r)) % 997))
+def test_request_roundtrip(request_obj):
+    wire = encode_request(request_obj)
+    reader = MessageReader(wire)
+    decoded = decode_request(reader)
+    assert decoded == request_obj
+    assert reader.exhausted()
+
+
+def test_init_roundtrip():
+    request = InitRequest(module=bytes(range(256)) * 10)
+    reader = MessageReader(encode_request(request))
+    assert decode_init(reader) == request
+    assert reader.exhausted()
+
+
+RESPONSE_CASES = [
+    (MallocRequest(size=4), MallocResponse(error=0, ptr=0x1000)),
+    (MallocRequest(size=4), MallocResponse(error=2, ptr=0)),
+    (MemcpyRequest(dst=0, src=1, size=6, kind=2),
+     MemcpyResponse(error=0, data=b"abcdef")),
+    (MemcpyRequest(dst=0, src=1, size=6, kind=2), MemcpyResponse(error=17)),
+    (MemcpyRequest(dst=1, src=0, size=2, kind=1, data=b"ab"), Response(error=0)),
+    (FreeRequest(ptr=1), Response(error=0)),
+    (SyncRequest(), Response(error=4)),
+    (StreamCreateRequest(), ValueResponse(error=0, value=42)),
+    (EventElapsedRequest(start=1, end=2),
+     ElapsedResponse(error=0, elapsed_ms=12.5)),
+    (InitRequest(module=b"m"),
+     InitResponse(error=0, compute_capability=(1, 3))),
+    (PropertiesRequest(),
+     PropertiesResponse(error=0, name="Tesla C1060",
+                        compute_capability=(1, 3),
+                        total_global_mem=4 << 30)),
+]
+
+
+@pytest.mark.parametrize("request_obj,response_obj", RESPONSE_CASES,
+                         ids=lambda x: type(x).__name__)
+def test_response_roundtrip(request_obj, response_obj):
+    wire = encode_response(response_obj)
+    reader = MessageReader(wire)
+    decoded = read_response(reader, request_obj)
+    assert decoded == response_obj
+    assert reader.exhausted()
+
+
+class TestErrors:
+    def test_unknown_function_id(self):
+        from repro.protocol.wire import pack_u4
+
+        with pytest.raises(ProtocolError, match="unknown function id"):
+            decode_request(MessageReader(pack_u4(999)))
+
+    def test_truncated_message(self):
+        wire = encode_request(MallocRequest(size=4))[:6]
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_request(MessageReader(wire))
+
+    def test_memcpy_size_mismatch_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_request(
+                MemcpyRequest(dst=1, src=0, size=10, kind=1, data=b"short")
+            )
+
+    def test_kernel_name_with_nul_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_request(LaunchRequest(kernel_name="bad\x00name"))
+
+    def test_pointer_overflow_rejected(self):
+        # Table I device pointers are 4 bytes.
+        with pytest.raises(ProtocolError):
+            encode_request(FreeRequest(ptr=2**32))

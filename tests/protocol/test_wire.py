@@ -1,0 +1,100 @@
+"""Low-level wire helpers: argument marshalling, c-strings, u4 packing."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.wire import (
+    classify_arg,
+    pack_args,
+    pack_cstr,
+    pack_u4,
+    unpack_args,
+    unpack_cstr,
+    unpack_u4,
+)
+
+
+class TestU4:
+    def test_roundtrip(self):
+        for value in (0, 1, 2**16, 2**32 - 1):
+            assert unpack_u4(pack_u4(value)) == value
+
+    def test_range_enforced(self):
+        with pytest.raises(ProtocolError):
+            pack_u4(-1)
+        with pytest.raises(ProtocolError):
+            pack_u4(2**32)
+
+    def test_little_endian(self):
+        assert pack_u4(1) == b"\x01\x00\x00\x00"
+
+
+class TestArgs:
+    def test_roundtrip_mixed(self):
+        args = (0x1000, 4096, -7, 1.25, 2**40)
+        assert unpack_args(pack_args(args)) == args
+
+    def test_empty_tuple(self):
+        assert unpack_args(pack_args(())) == ()
+
+    def test_float_precision_preserved(self):
+        args = (0.1 + 0.2,)
+        assert unpack_args(pack_args(args)) == args  # f8 on the wire
+
+    def test_classification(self):
+        assert classify_arg(5) == "u4"
+        assert classify_arg(-5) == "i4"
+        assert classify_arg(2**33) == "u8"
+        assert classify_arg(-(2**40)) == "i8"
+        assert classify_arg(1.0) == "f8"
+
+    def test_huge_negative_roundtrip(self):
+        args = (-(2**40), -(2**63), 2**64 - 1)
+        assert unpack_args(pack_args(args)) == args
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ProtocolError):
+            classify_arg(2**64)
+        with pytest.raises(ProtocolError):
+            classify_arg(-(2**63) - 1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ProtocolError):
+            classify_arg(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_args(("string",))
+
+    def test_truncated_blob_rejected(self):
+        blob = pack_args((1, 2, 3))
+        with pytest.raises(ProtocolError):
+            unpack_args(blob[:-2])
+
+    def test_trailing_garbage_rejected(self):
+        blob = pack_args((1,)) + b"\x00"
+        with pytest.raises(ProtocolError):
+            unpack_args(blob)
+
+    def test_unknown_type_code_rejected(self):
+        blob = bytearray(pack_args((1,)))
+        blob[4] = 0xFF
+        with pytest.raises(ProtocolError):
+            unpack_args(bytes(blob))
+
+
+class TestCstr:
+    def test_roundtrip(self):
+        assert unpack_cstr(pack_cstr("sgemmNN")) == "sgemmNN"
+
+    def test_length_is_name_plus_nul(self):
+        assert len(pack_cstr("sgemmNN")) == 8
+        assert len(pack_cstr("FFT512_device")) == 14
+
+    def test_embedded_nul_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_cstr("a\x00b")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_cstr(b"abc")

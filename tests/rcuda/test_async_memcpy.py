@@ -1,0 +1,140 @@
+"""Asynchronous transfers (the paper's future work) end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.protocol.codec import MessageReader, decode_request, encode_request
+from repro.protocol.messages import MemcpyAsyncRequest
+from repro.rcuda import RCudaClient
+from repro.simcuda import CudaRuntime, SimulatedGpu, MemcpyKind, fabricate_module
+from repro.simcuda.errors import CudaError, check
+from repro.simcuda.properties import TINY_TEST_DEVICE
+
+
+class TestProtocol:
+    def test_roundtrip_h2d(self):
+        request = MemcpyAsyncRequest(
+            dst=0x1000, src=0, size=4, kind=1, stream=7, data=b"abcd"
+        )
+        wire = encode_request(request)
+        # cudaMemcpy's x + 20 plus the 4-byte stream field.
+        assert len(wire) == 4 + 24
+        assert decode_request(MessageReader(wire)) == request
+
+    def test_roundtrip_d2h(self):
+        request = MemcpyAsyncRequest(dst=0, src=0x1000, size=64, kind=2, stream=3)
+        wire = encode_request(request)
+        assert len(wire) == 24
+        assert decode_request(MessageReader(wire)) == request
+
+
+class TestDeviceSemantics:
+    def test_async_does_not_advance_the_host_clock(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        rt = CudaRuntime(gpu, preinitialized=True)
+        _, ptr = rt.cudaMalloc(64 << 10)
+        data = bytes(64 << 10)
+        err, _ = rt.cudaMemcpyAsync(
+            ptr, 0, len(data), MemcpyKind.cudaMemcpyHostToDevice,
+            host_data=data,
+        )
+        assert err == CudaError.cudaSuccess
+        assert clock.now() == 0.0  # enqueued, not waited for
+        rt.cudaThreadSynchronize()
+        assert clock.now() == pytest.approx(
+            gpu.timing.pcie.transfer_seconds(len(data))
+        )
+        rt.close()
+
+    def test_async_copies_serialize_on_one_stream(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        rt = CudaRuntime(gpu, preinitialized=True)
+        _, ptr = rt.cudaMalloc(32 << 10)
+        data = bytes(32 << 10)
+        for _ in range(3):
+            rt.cudaMemcpyAsync(ptr, 0, len(data),
+                               MemcpyKind.cudaMemcpyHostToDevice,
+                               host_data=data)
+        rt.cudaThreadSynchronize()
+        assert clock.now() == pytest.approx(
+            3 * gpu.timing.pcie.transfer_seconds(len(data))
+        )
+        rt.close()
+
+    def test_independent_streams_overlap(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        rt = CudaRuntime(gpu, preinitialized=True)
+        _, ptr = rt.cudaMalloc(32 << 10)
+        data = bytes(32 << 10)
+        _, s1 = rt.cudaStreamCreate()
+        _, s2 = rt.cudaStreamCreate()
+        rt.cudaMemcpyAsync(ptr, 0, len(data),
+                           MemcpyKind.cudaMemcpyHostToDevice,
+                           stream=s1, host_data=data)
+        rt.cudaMemcpyAsync(ptr, 0, len(data),
+                           MemcpyKind.cudaMemcpyHostToDevice,
+                           stream=s2, host_data=data)
+        rt.cudaThreadSynchronize()
+        # Two streams: the copies overlap, total = one copy's time.
+        assert clock.now() == pytest.approx(
+            gpu.timing.pcie.transfer_seconds(len(data))
+        )
+        rt.close()
+
+    def test_functional_data_still_moves(self, device):
+        rt = CudaRuntime(device, preinitialized=True)
+        _, ptr = rt.cudaMalloc(16)
+        payload = bytes(range(16))
+        err, _ = rt.cudaMemcpyAsync(
+            ptr, 0, 16, MemcpyKind.cudaMemcpyHostToDevice, host_data=payload
+        )
+        assert err == CudaError.cudaSuccess
+        err, out = rt.cudaMemcpyAsync(
+            0, ptr, 16, MemcpyKind.cudaMemcpyDeviceToHost
+        )
+        assert out.tobytes() == payload
+        rt.close()
+
+    def test_invalid_pointer_is_reported(self, device):
+        rt = CudaRuntime(device, preinitialized=True)
+        err, _ = rt.cudaMemcpyAsync(
+            0xBEEF, 0, 16, MemcpyKind.cudaMemcpyHostToDevice, host_data=b"0" * 16
+        )
+        assert err == CudaError.cudaErrorInvalidDevicePointer
+        rt.close()
+
+
+class TestRemoteAsync:
+    def test_remote_async_roundtrip(self, daemon):
+        module = fabricate_module("async", ["saxpy"], 512)
+        with RCudaClient.connect_inproc(daemon, module) as client:
+            rt = client.runtime
+            err, ptr = rt.cudaMalloc(256)
+            check(err)
+            err, stream = rt.cudaStreamCreate()
+            check(err)
+            data = np.arange(256, dtype=np.uint8)
+            err, _ = rt.cudaMemcpyAsync(
+                ptr, 0, 256, MemcpyKind.cudaMemcpyHostToDevice,
+                stream=stream, host_data=data,
+            )
+            assert err == CudaError.cudaSuccess
+            check(rt.cudaStreamSynchronize(stream))
+            err, out = rt.cudaMemcpyAsync(
+                0, ptr, 256, MemcpyKind.cudaMemcpyDeviceToHost, stream=stream
+            )
+            assert err == CudaError.cudaSuccess
+            np.testing.assert_array_equal(out, data)
+
+    def test_remote_async_error_codes(self, daemon):
+        module = fabricate_module("async", ["saxpy"], 512)
+        with RCudaClient.connect_inproc(daemon, module) as client:
+            err, _ = client.runtime.cudaMemcpyAsync(
+                0xBEEF, 0, 8, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=b"0" * 8,
+            )
+            assert err == CudaError.cudaErrorInvalidDevicePointer

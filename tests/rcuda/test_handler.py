@@ -1,0 +1,152 @@
+"""Server request handler: dispatch logic without any transport."""
+
+import numpy as np
+import pytest
+
+from repro.protocol.messages import (
+    ElapsedResponse,
+    EventCreateRequest,
+    EventElapsedRequest,
+    EventRecordRequest,
+    FreeRequest,
+    InitRequest,
+    LaunchRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyRequest,
+    MemcpyResponse,
+    PropertiesRequest,
+    PropertiesResponse,
+    SetupArgsRequest,
+    StreamCreateRequest,
+    SyncRequest,
+    ValueResponse,
+)
+from repro.rcuda.server.handler import SessionHandler
+from repro.simcuda import CudaRuntime, SimulatedGpu
+from repro.simcuda.errors import CudaError
+from repro.simcuda.module import fabricate_module
+from repro.simcuda.types import Dim3, MemcpyKind
+
+
+@pytest.fixture
+def handler(device):
+    h = SessionHandler(CudaRuntime(device, preinitialized=True))
+    yield h
+    h.close()
+
+
+def _init(handler, kernels=("sgemmNN", "saxpy")):
+    module = fabricate_module("test", list(kernels), 2048)
+    return handler.handle_init(InitRequest(module=module.payload))
+
+
+class TestInit:
+    def test_returns_compute_capability(self, handler):
+        response = _init(handler)
+        assert response.error == 0
+        assert response.compute_capability == (1, 3)
+
+    def test_garbage_module_fails_gracefully(self, handler):
+        response = handler.handle_init(InitRequest(module=b"garbage"))
+        assert response.error == int(CudaError.cudaErrorInitializationError)
+
+
+class TestDispatch:
+    def test_malloc_free(self, handler):
+        _init(handler)
+        response = handler.handle(MallocRequest(size=1024))
+        assert isinstance(response, MallocResponse)
+        assert response.error == 0
+        assert response.ptr != 0
+        assert handler.handle(FreeRequest(ptr=response.ptr)).error == 0
+
+    def test_free_of_bad_pointer_reports_code(self, handler):
+        _init(handler)
+        response = handler.handle(FreeRequest(ptr=0xBEEF))
+        assert response.error == int(CudaError.cudaErrorInvalidDevicePointer)
+
+    def test_memcpy_roundtrip(self, handler):
+        _init(handler)
+        ptr = handler.handle(MallocRequest(size=16)).ptr
+        data = bytes(range(16))
+        up = handler.handle(MemcpyRequest(
+            dst=ptr, src=0, size=16,
+            kind=int(MemcpyKind.cudaMemcpyHostToDevice), data=data,
+        ))
+        assert up.error == 0
+        down = handler.handle(MemcpyRequest(
+            dst=0, src=ptr, size=16,
+            kind=int(MemcpyKind.cudaMemcpyDeviceToHost),
+        ))
+        assert isinstance(down, MemcpyResponse)
+        assert down.data == data
+
+    def test_launch_consumes_staged_args(self, handler):
+        _init(handler)
+        pa = handler.handle(MallocRequest(size=400)).ptr
+        pb = handler.handle(MallocRequest(size=400)).ptr
+        x = np.ones(100, dtype=np.float32)
+        handler.handle(MemcpyRequest(
+            dst=pa, src=0, size=400,
+            kind=int(MemcpyKind.cudaMemcpyHostToDevice), data=x.tobytes(),
+        ))
+        handler.handle(MemcpyRequest(
+            dst=pb, src=0, size=400,
+            kind=int(MemcpyKind.cudaMemcpyHostToDevice), data=x.tobytes(),
+        ))
+        assert handler.handle(
+            SetupArgsRequest(args=(pa, pb, 100, 2.0))
+        ).error == 0
+        launch = handler.handle(LaunchRequest(
+            kernel_name="saxpy", block=Dim3(64), grid=Dim3(2),
+        ))
+        assert launch.error == 0
+        down = handler.handle(MemcpyRequest(
+            dst=0, src=pb, size=400,
+            kind=int(MemcpyKind.cudaMemcpyDeviceToHost),
+        ))
+        out = np.frombuffer(down.data, dtype=np.float32)
+        np.testing.assert_allclose(out, 3.0)
+        # Args were consumed: a second identical launch now has no args.
+        assert handler.handle(LaunchRequest(
+            kernel_name="saxpy", block=Dim3(64), grid=Dim3(2),
+        )).error == int(CudaError.cudaErrorLaunchFailure)
+
+    def test_launch_of_unshipped_kernel_fails(self, handler):
+        _init(handler, kernels=("saxpy",))
+        response = handler.handle(LaunchRequest(kernel_name="sgemmNN"))
+        assert response.error == int(CudaError.cudaErrorLaunchFailure)
+
+    def test_sync_properties_streams_events(self, handler):
+        _init(handler)
+        assert handler.handle(SyncRequest()).error == 0
+        props = handler.handle(PropertiesRequest())
+        assert isinstance(props, PropertiesResponse)
+        assert props.name == "Tesla C1060"
+        stream = handler.handle(StreamCreateRequest())
+        assert isinstance(stream, ValueResponse) and stream.value > 0
+        ev1 = handler.handle(EventCreateRequest()).value
+        ev2 = handler.handle(EventCreateRequest()).value
+        assert handler.handle(EventRecordRequest(event=ev1)).error == 0
+        assert handler.handle(EventRecordRequest(event=ev2)).error == 0
+        elapsed = handler.handle(EventElapsedRequest(start=ev1, end=ev2))
+        assert isinstance(elapsed, ElapsedResponse)
+        assert elapsed.error == 0
+
+    def test_request_counter(self, handler):
+        _init(handler)
+        handler.handle(SyncRequest())
+        handler.handle(SyncRequest())
+        assert handler.requests_handled == 3  # init + 2
+
+
+class TestTeardown:
+    def test_close_releases_context(self, device):
+        handler = SessionHandler(CudaRuntime(device, preinitialized=True))
+        _init(handler)
+        handler.handle(MallocRequest(size=1024))
+        assert device.memory.allocation_count == 1
+        handler.close()
+        assert device.memory.allocation_count == 0
+        assert device.active_contexts == 0

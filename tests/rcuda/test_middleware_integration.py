@@ -1,0 +1,160 @@
+"""End-to-end middleware: client <-> daemon over in-proc and TCP."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import SimulatedGpu
+from repro.simcuda.errors import CudaError
+from repro.simcuda.module import fabricate_module
+from repro.simcuda.types import Dim3, MemcpyKind
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+@pytest.fixture
+def module():
+    return fabricate_module("itest", ["sgemmNN", "saxpy", "ssum"], 4096)
+
+
+class TestSessionLifecycle:
+    def test_handshake_returns_capability(self, daemon, module):
+        with RCudaClient.connect_inproc(daemon, module) as client:
+            assert client.compute_capability == (1, 3)
+
+    def test_finalization_releases_server_resources(self, daemon, device, module):
+        client = RCudaClient.connect_inproc(daemon, module)
+        client.runtime.cudaMalloc(4096)
+        client.close()
+        # The session thread notices the closed transport and cleans up.
+        for _ in range(100):
+            if device.active_contexts == 0:
+                break
+            threading.Event().wait(0.01)
+        assert device.active_contexts == 0
+        assert device.memory.allocation_count == 0
+
+    def test_sequential_sessions_reuse_the_device(self, daemon, device, module):
+        for _ in range(3):
+            with RCudaClient.connect_inproc(daemon, module) as client:
+                err, ptr = client.runtime.cudaMalloc(128)
+                assert err == CudaError.cudaSuccess
+        assert daemon.completed_sessions >= 2
+
+
+class TestRemoteErrors:
+    def test_error_codes_cross_the_wire(self, daemon, module):
+        with RCudaClient.connect_inproc(daemon, module) as client:
+            rt = client.runtime
+            # Encodable but bigger than device memory: server-side OOM.
+            err, ptr = rt.cudaMalloc(2**32 - 4096)
+            assert err == CudaError.cudaErrorMemoryAllocation
+            assert ptr is None
+            # Not encodable in Table I's 4-byte size field: client-side.
+            err, ptr = rt.cudaMalloc(1 << 40)
+            assert err == CudaError.cudaErrorInvalidValue
+            assert ptr is None
+            assert rt.cudaFree(0xBEEF) == CudaError.cudaErrorInvalidDevicePointer
+            err, _ = rt.cudaMemcpy(
+                0xBEEF, 0, 16, MemcpyKind.cudaMemcpyHostToDevice, b"0" * 16
+            )
+            assert err == CudaError.cudaErrorInvalidDevicePointer
+            assert rt.launch_kernel(
+                "FFT512_device", Dim3(1), Dim3(64), (0, 0, 1, 1)
+            ) == CudaError.cudaErrorLaunchFailure  # not in shipped module
+            # The session survives all of that:
+            err, ptr = rt.cudaMalloc(64)
+            assert err == CudaError.cudaSuccess
+
+    def test_closed_runtime_rejects_calls(self, daemon, module):
+        client = RCudaClient.connect_inproc(daemon, module)
+        client.close()
+        with pytest.raises(ProtocolError):
+            client.runtime.cudaMalloc(16)
+
+
+class TestConcurrentSharing:
+    def test_many_clients_share_one_gpu(self, daemon, device):
+        num_clients = 6
+        results: dict[int, float] = {}
+        mm = MatrixProductCase()
+        fft = FftBatchCase()
+
+        def app(client_id: int) -> None:
+            case = mm if client_id % 2 == 0 else fft
+            size = 48 if case.name == "MM" else 16
+            with RCudaClient.connect_inproc(daemon, case.module()) as client:
+                run = case.run(client.runtime, size, seed=client_id)
+                results[client_id] = run.max_abs_error
+                assert run.verified
+
+        threads = [threading.Thread(target=app, args=(i,)) for i in range(num_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(results) == num_clients
+        # Session threads clean up asynchronously after the client closes.
+        for _ in range(200):
+            if device.active_contexts == 0:
+                break
+            threading.Event().wait(0.01)
+        assert device.active_contexts == 0
+
+    def test_sessions_have_isolated_contexts(self, daemon, module):
+        with RCudaClient.connect_inproc(daemon, module) as c1:
+            with RCudaClient.connect_inproc(daemon, module) as c2:
+                _, p1 = c1.runtime.cudaMalloc(256)
+                # c2 must not be able to free c1's allocation.
+                assert c2.runtime.cudaFree(p1) == \
+                    CudaError.cudaErrorInvalidDevicePointer
+                assert c1.runtime.cudaFree(p1) == CudaError.cudaSuccess
+
+
+class TestTcpService:
+    def test_full_case_study_over_tcp(self, module):
+        device = SimulatedGpu()
+        daemon = RCudaDaemon(device)
+        port = daemon.start()
+        try:
+            mm = MatrixProductCase()
+            with RCudaClient.connect_tcp("127.0.0.1", port, mm.module()) as client:
+                result = mm.run(client.runtime, 64)
+                assert result.verified
+        finally:
+            daemon.stop()
+        assert device.active_contexts == 0
+
+    def test_double_start_rejected(self):
+        from repro.errors import TransportError
+
+        daemon = RCudaDaemon(SimulatedGpu())
+        daemon.start()
+        try:
+            with pytest.raises(TransportError):
+                daemon.start()
+        finally:
+            daemon.stop()
+
+
+class TestWireTrafficMatchesAccounting:
+    def test_functional_bytes_equal_session_message_sizes(self, daemon):
+        """The timed-simulation accounting and the real stack must agree
+        byte for byte -- this pins the two worlds together."""
+        from repro.model.transfer import session_messages
+
+        case = MatrixProductCase()
+        size = 32
+        with RCudaClient.connect_inproc(daemon, case.module()) as client:
+            case.run(client.runtime, size)
+            transport = client.runtime.transport
+            expect_send = sum(
+                m.send_bytes for m in session_messages(case, size)
+            )
+            expect_recv = sum(
+                m.receive_bytes for m in session_messages(case, size)
+            )
+            assert transport.bytes_sent == expect_send
+            assert transport.bytes_received == expect_recv

@@ -1,0 +1,75 @@
+"""Concurrency over real TCP: many simultaneous socket clients."""
+
+import threading
+
+import pytest
+
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import SimulatedGpu
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+
+@pytest.fixture
+def tcp_daemon():
+    device = SimulatedGpu()
+    daemon = RCudaDaemon(device)
+    port = daemon.start()
+    yield daemon, device, port
+    daemon.stop()
+
+
+def test_parallel_tcp_clients(tcp_daemon):
+    daemon, device, port = tcp_daemon
+    cases = [MatrixProductCase(), FftBatchCase()]
+    outcomes: dict[int, bool] = {}
+    errors: list[Exception] = []
+
+    def app(client_id: int) -> None:
+        try:
+            case = cases[client_id % 2]
+            size = 48 if case.name == "MM" else 16
+            with RCudaClient.connect_tcp(
+                "127.0.0.1", port, case.module()
+            ) as client:
+                result = case.run(client.runtime, size, seed=client_id)
+                outcomes[client_id] = bool(result.verified)
+        except Exception as exc:  # surface to the main thread
+            errors.append(exc)
+
+    threads = [threading.Thread(target=app, args=(i,)) for i in range(5)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert outcomes and all(outcomes.values())
+    # Eventually every session context is released.
+    for _ in range(200):
+        if device.active_contexts == 0:
+            break
+        threading.Event().wait(0.01)
+    assert device.active_contexts == 0
+
+
+def test_sequential_reconnects_over_tcp(tcp_daemon):
+    daemon, device, port = tcp_daemon
+    case = FftBatchCase()
+    for seed in range(3):
+        with RCudaClient.connect_tcp("127.0.0.1", port, case.module()) as c:
+            assert case.run(c.runtime, 8, seed=seed).verified
+    assert daemon.completed_sessions >= 2
+
+
+def test_abrupt_disconnect_mid_session(tcp_daemon):
+    daemon, device, port = tcp_daemon
+    case = MatrixProductCase()
+    client = RCudaClient.connect_tcp("127.0.0.1", port, case.module())
+    client.runtime.cudaMalloc(1024)
+    # Slam the socket shut without freeing: the server must reclaim.
+    client.runtime.transport.close()
+    for _ in range(300):
+        if device.active_contexts == 0 and device.memory.allocation_count == 0:
+            break
+        threading.Event().wait(0.01)
+    assert device.active_contexts == 0
+    assert device.memory.allocation_count == 0

@@ -1,0 +1,111 @@
+"""Reporting: tables, ASCII charts, CSV, comparisons."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import (
+    ascii_chart,
+    compare_series,
+    format_value,
+    render_table,
+    write_csv,
+)
+
+
+class TestTables:
+    def test_basic_layout(self):
+        text = render_table(["Size", "Time"], [[4096, 1.5], [8192, 2.25]],
+                            title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Size" in lines[2] and "Time" in lines[2]
+        assert "4096" in text and "2.25" in text
+
+    def test_alignment(self):
+        text = render_table(["Name", "Value"], [["a", 1.0], ["bbbb", 22.0]])
+        rows = text.splitlines()[-2:]
+        # Left-aligned names, right-aligned numbers.
+        assert rows[0].startswith("a ")
+        assert rows[1].startswith("bbbb")
+        assert rows[0].endswith("1.00")
+
+    def test_digits(self):
+        text = render_table(["x"], [[3.14159]], digits=4, align_left_cols=())
+        assert "3.1416" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.23"
+        assert format_value(42) == "42"
+        assert format_value("text") == "text"
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]},
+                           title="T")
+        assert text.startswith("T")
+        assert "legend: o=a  x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1, 2], {"a": [0.0, 1.0]}, logy=True)
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1, 2, 3], {"a": [1, 2]})
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {"a": [1]})
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart([1, 2, 3], {"a": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+
+class TestCsv:
+    def test_write_and_content(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "t.csv", ["a", "b"],
+                         [[1, 2], [3, 4]])
+        assert path.read_text().splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_ragged_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "t.csv", ["a"], [[1, 2]])
+
+
+class TestCompare:
+    def test_relative_stats(self):
+        summary = compare_series("x", [1.0, 2.0], [1.0, 2.2])
+        assert summary.max_rel_diff == pytest.approx(0.2 / 2.2)
+        assert summary.count == 2
+        assert summary.within(0.1)
+
+    def test_absolute_mode(self):
+        summary = compare_series("err", [0.2, -0.5], [0.5, -0.4],
+                                 absolute=True)
+        assert summary.max_rel_diff == pytest.approx(0.3)
+        assert summary.sign_agreement == 1.0
+
+    def test_sign_agreement(self):
+        summary = compare_series("x", [1.0, -1.0], [1.0, 1.0])
+        assert summary.sign_agreement == 0.5
+
+    def test_zero_paper_points_excluded_from_relative(self):
+        summary = compare_series("x", [1.0, 5.0], [0.0, 5.0])
+        assert summary.max_rel_diff == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_series("x", [1.0], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            compare_series("x", [], [])

@@ -1,0 +1,180 @@
+"""SimulatedGpu: contexts, memcpy semantics, launches, timing."""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.simcuda.device import RUNTIME_RESERVED_BYTES, SimulatedGpu
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.properties import TESLA_C1060, TINY_TEST_DEVICE
+from repro.simcuda.types import Dim3, MemcpyKind
+
+
+@pytest.fixture
+def gpu() -> SimulatedGpu:
+    return SimulatedGpu(properties=TINY_TEST_DEVICE)
+
+
+class TestContexts:
+    def test_create_and_destroy(self, gpu):
+        ctx = gpu.create_context()
+        assert gpu.active_contexts == 1
+        gpu.destroy_context(ctx)
+        assert gpu.active_contexts == 0
+        assert ctx.destroyed
+
+    def test_destroy_frees_allocations(self, gpu):
+        ctx = gpu.create_context()
+        for _ in range(3):
+            gpu.malloc(ctx, 1024)
+        assert gpu.memory.allocation_count == 3
+        gpu.destroy_context(ctx)
+        assert gpu.memory.allocation_count == 0
+
+    def test_init_cost_charged_only_when_asked(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        gpu.create_context(pay_init_cost=False)
+        assert clock.now() == 0.0
+        gpu.create_context(pay_init_cost=True)
+        assert clock.now() == pytest.approx(gpu.timing.cuda_init_seconds)
+
+    def test_contexts_are_isolated(self, gpu):
+        ctx1 = gpu.create_context()
+        ctx2 = gpu.create_context()
+        ptr = gpu.malloc(ctx1, 256)
+        # ctx2 cannot free ctx1's allocation.
+        with pytest.raises(CudaRuntimeError) as err:
+            gpu.free(ctx2, ptr)
+        assert err.value.status == CudaError.cudaErrorInvalidDevicePointer
+
+
+class TestMemoryOps:
+    def test_oom_maps_to_cuda_error(self, gpu):
+        ctx = gpu.create_context()
+        with pytest.raises(CudaRuntimeError) as err:
+            gpu.malloc(ctx, 100 << 20)
+        assert err.value.status == CudaError.cudaErrorMemoryAllocation
+
+    def test_h2d_then_d2h_roundtrip(self, gpu):
+        ctx = gpu.create_context()
+        data = np.arange(64, dtype=np.uint8)
+        ptr = gpu.malloc(ctx, 64)
+        gpu.memcpy(ctx, ptr, 0, 64, MemcpyKind.cudaMemcpyHostToDevice, data)
+        out = gpu.memcpy(ctx, 0, ptr, 64, MemcpyKind.cudaMemcpyDeviceToHost)
+        np.testing.assert_array_equal(out, data)
+
+    def test_d2d_copy(self, gpu):
+        ctx = gpu.create_context()
+        src = gpu.malloc(ctx, 32)
+        dst = gpu.malloc(ctx, 32)
+        gpu.memcpy(ctx, src, 0, 32, MemcpyKind.cudaMemcpyHostToDevice,
+                   bytes(range(32)))
+        gpu.memcpy(ctx, dst, src, 32, MemcpyKind.cudaMemcpyDeviceToDevice)
+        out = gpu.memcpy(ctx, 0, dst, 32, MemcpyKind.cudaMemcpyDeviceToHost)
+        assert out.tobytes() == bytes(range(32))
+
+    def test_invalid_pointer_maps_to_cuda_error(self, gpu):
+        ctx = gpu.create_context()
+        with pytest.raises(CudaRuntimeError) as err:
+            gpu.memcpy(ctx, 0xBEEF, 0, 16,
+                       MemcpyKind.cudaMemcpyHostToDevice, b"0" * 16)
+        assert err.value.status == CudaError.cudaErrorInvalidDevicePointer
+
+    def test_h2d_without_data_raises_on_functional_device(self, gpu):
+        ctx = gpu.create_context()
+        ptr = gpu.malloc(ctx, 16)
+        with pytest.raises(CudaRuntimeError) as err:
+            gpu.memcpy(ctx, ptr, 0, 16, MemcpyKind.cudaMemcpyHostToDevice)
+        assert err.value.status == CudaError.cudaErrorInvalidValue
+
+    def test_short_host_buffer_rejected(self, gpu):
+        ctx = gpu.create_context()
+        ptr = gpu.malloc(ctx, 16)
+        with pytest.raises(CudaRuntimeError):
+            gpu.memcpy(ctx, ptr, 0, 16, MemcpyKind.cudaMemcpyHostToDevice, b"xy")
+
+    def test_memcpy_advances_clock_at_pcie_rate(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        ctx = gpu.create_context()
+        ptr = gpu.malloc(ctx, 64 << 10)
+        gpu.memcpy(ctx, ptr, 0, 64 << 10, MemcpyKind.cudaMemcpyHostToDevice,
+                   bytes(64 << 10))
+        expect = gpu.timing.pcie.transfer_seconds(64 << 10)
+        assert clock.now() == pytest.approx(expect)
+
+
+class TestLaunch:
+    def test_launch_is_async_memcpy_synchronizes(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock)
+        ctx = gpu.create_context()
+        m = 64
+        a = np.eye(m, dtype=np.float32)
+        pa = gpu.malloc(ctx, a.nbytes)
+        pb = gpu.malloc(ctx, a.nbytes)
+        pc = gpu.malloc(ctx, a.nbytes)
+        gpu.memcpy(ctx, pa, 0, a.nbytes, MemcpyKind.cudaMemcpyHostToDevice, a)
+        gpu.memcpy(ctx, pb, 0, a.nbytes, MemcpyKind.cudaMemcpyHostToDevice, a)
+        before = clock.now()
+        gpu.launch(ctx, "sgemmNN", Dim3(4, 4), Dim3(16, 4),
+                   (pa, pb, pc, m, m, m, 1.0, 0.0))
+        # Async: the launch returns without advancing the clock.
+        assert clock.now() == before
+        gpu.memcpy(ctx, 0, pc, a.nbytes, MemcpyKind.cudaMemcpyDeviceToHost)
+        # The synchronous copy drained the kernel first.
+        kernel_t = gpu.timing.gemm_seconds(2.0 * m**3)
+        assert clock.now() - before >= kernel_t
+
+    def test_unknown_kernel_is_launch_failure(self, gpu):
+        ctx = gpu.create_context()
+        with pytest.raises(CudaRuntimeError) as err:
+            gpu.launch(ctx, "no_such_kernel", Dim3(1), Dim3(1), ())
+        assert err.value.status == CudaError.cudaErrorLaunchFailure
+
+    def test_module_visibility_enforced(self, gpu):
+        from repro.simcuda.module import fabricate_module
+
+        ctx = gpu.create_context()
+        ctx.load_module(fabricate_module("m", ["saxpy"], 512))
+        # sgemmNN exists in the registry but is not exported by the module.
+        with pytest.raises(CudaRuntimeError) as err:
+            gpu.launch(ctx, "sgemmNN", Dim3(1), Dim3(1), ())
+        assert err.value.status == CudaError.cudaErrorLaunchFailure
+
+    def test_oversized_block_rejected(self, gpu):
+        ctx = gpu.create_context()
+        with pytest.raises(CudaRuntimeError) as err:
+            gpu.launch(ctx, "saxpy", Dim3(1), Dim3(1024, 2, 1), (0, 0, 1, 1.0))
+        assert err.value.status == CudaError.cudaErrorInvalidValue
+
+    def test_synchronize_waits_for_streams(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, functional=False)
+        ctx = gpu.create_context()
+        gpu.launch(ctx, "sgemmNN", Dim3(1), Dim3(16, 4),
+                   (0, 0, 0, 512, 512, 512, 1.0, 0.0))
+        gpu.synchronize(ctx)
+        assert clock.now() >= gpu.timing.gemm_seconds(2.0 * 512**3)
+
+
+class TestNonFunctionalMode:
+    def test_full_control_path_without_storage(self):
+        gpu = SimulatedGpu(functional=False)
+        ctx = gpu.create_context()
+        # Paper-scale allocation succeeds instantly with no real memory.
+        ptr = gpu.malloc(ctx, 1296 << 20)
+        gpu.memcpy(ctx, ptr, 0, 1296 << 20, MemcpyKind.cudaMemcpyHostToDevice)
+        out = gpu.memcpy(ctx, 0, ptr, 1024, MemcpyKind.cudaMemcpyDeviceToHost)
+        assert out.nbytes == 1024
+        gpu.free(ctx, ptr)
+
+    def test_capacity_reserves_runtime_slice(self):
+        gpu = SimulatedGpu(functional=False)
+        expect = TESLA_C1060.total_global_mem - RUNTIME_RESERVED_BYTES
+        assert gpu.memory.capacity == expect
+        # Every pointer fits Table I's 4-byte field.
+        ctx = gpu.create_context()
+        ptr = gpu.malloc(ctx, gpu.memory.capacity)
+        assert ptr + gpu.memory.capacity < 2**32

@@ -1,0 +1,220 @@
+"""Kernel implementations: correctness against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.simcuda.kernels import default_registry
+from repro.simcuda.kernels.fft import FFT_POINTS, radix2_fft_batch
+from repro.simcuda.memory import DeviceMemory
+from repro.simcuda.timing import DeviceTimingModel
+from repro.simcuda.types import Dim3
+
+D1 = Dim3(1, 1, 1)
+TIMING = DeviceTimingModel()
+
+
+@pytest.fixture
+def mem() -> DeviceMemory:
+    return DeviceMemory(capacity=16 << 20)
+
+
+def _upload(mem: DeviceMemory, array: np.ndarray) -> int:
+    ptr = mem.malloc(array.nbytes)
+    mem.write(ptr, array)
+    return ptr
+
+
+class TestSgemm:
+    def _run(self, mem, m, n, k, alpha=1.0, beta=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k), dtype=np.float32)
+        b = rng.standard_normal((k, n), dtype=np.float32)
+        c0 = rng.standard_normal((m, n), dtype=np.float32)
+        pa, pb, pc = _upload(mem, a), _upload(mem, b), _upload(mem, c0)
+        kernel = default_registry().get("sgemmNN")
+        kernel.execute(mem, D1, D1, (pa, pb, pc, m, n, k, alpha, beta))
+        c = mem.as_array(pc, np.float32, m * n).reshape(m, n).copy()
+        return a, b, c0, c
+
+    def test_square_product(self, mem):
+        a, b, _, c = self._run(mem, 32, 32, 32)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5, atol=1e-4)
+
+    def test_rectangular_product(self, mem):
+        a, b, _, c = self._run(mem, 16, 48, 24)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5, atol=1e-4)
+
+    def test_alpha_beta_blend(self, mem):
+        a, b, c0, c = self._run(mem, 8, 8, 8, alpha=0.5, beta=2.0)
+        np.testing.assert_allclose(c, 0.5 * (a @ b) + 2.0 * c0,
+                                   rtol=1e-5, atol=1e-4)
+
+    def test_beta_zero_ignores_garbage_c(self, mem):
+        # CUBLAS semantics: beta == 0 must not read C.
+        a, b, _, c = self._run(mem, 8, 8, 8, alpha=1.0, beta=0.0)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5, atol=1e-4)
+
+    def test_bad_arg_count_raises(self, mem):
+        kernel = default_registry().get("sgemmNN")
+        with pytest.raises(KernelError):
+            kernel.execute(mem, D1, D1, (1, 2, 3))
+
+    def test_nonpositive_dims_raise(self, mem):
+        kernel = default_registry().get("sgemmNN")
+        with pytest.raises(KernelError):
+            kernel.execute(mem, D1, D1, (0, 0, 0, 0, 4, 4, 1.0, 0.0))
+
+    def test_cost_scales_cubically(self):
+        kernel = default_registry().get("sgemmNN")
+        args = lambda m: (0, 0, 0, m, m, m, 1.0, 0.0)
+        t1 = kernel.cost_seconds(TIMING, D1, D1, args(512))
+        t2 = kernel.cost_seconds(TIMING, D1, D1, args(1024))
+        assert t2 / t1 == pytest.approx(8.0, rel=0.05)
+
+
+class TestFft:
+    def test_forward_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x = (rng.standard_normal((12, FFT_POINTS))
+             + 1j * rng.standard_normal((12, FFT_POINTS))).astype(np.complex64)
+        y = radix2_fft_batch(x, 1)
+        np.testing.assert_allclose(
+            y, np.fft.fft(x, axis=1).astype(np.complex64), rtol=1e-4, atol=1e-3
+        )
+
+    def test_inverse_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        x = (rng.standard_normal((4, FFT_POINTS))
+             + 1j * rng.standard_normal((4, FFT_POINTS))).astype(np.complex64)
+        y = radix2_fft_batch(x, -1)
+        np.testing.assert_allclose(
+            y, np.fft.ifft(x, axis=1).astype(np.complex64), rtol=1e-4, atol=1e-5
+        )
+
+    def test_roundtrip_is_identity(self):
+        rng = np.random.default_rng(3)
+        x = (rng.standard_normal((6, FFT_POINTS))
+             + 1j * rng.standard_normal((6, FFT_POINTS))).astype(np.complex64)
+        back = radix2_fft_batch(radix2_fft_batch(x, 1), -1)
+        np.testing.assert_allclose(back, x, rtol=1e-4, atol=1e-4)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(4)
+        x = (rng.standard_normal((1, FFT_POINTS))
+             + 1j * rng.standard_normal((1, FFT_POINTS))).astype(np.complex64)
+        y = radix2_fft_batch(x, 1)
+        lhs = float((np.abs(x) ** 2).sum())
+        rhs = float((np.abs(y) ** 2).sum()) / FFT_POINTS
+        assert rhs == pytest.approx(lhs, rel=1e-4)
+
+    def test_delta_gives_flat_spectrum(self):
+        x = np.zeros((1, FFT_POINTS), dtype=np.complex64)
+        x[0, 0] = 1.0
+        y = radix2_fft_batch(x, 1)
+        np.testing.assert_allclose(y, np.ones_like(y), atol=1e-5)
+
+    def test_in_place_execution_on_device(self, mem):
+        rng = np.random.default_rng(5)
+        x = (rng.standard_normal((8, FFT_POINTS))
+             + 1j * rng.standard_normal((8, FFT_POINTS))).astype(np.complex64)
+        ptr = _upload(mem, x)
+        kernel = default_registry().get("FFT512_device")
+        kernel.execute(mem, D1, D1, (ptr, ptr, 8, 1))
+        out = mem.as_array(ptr, np.complex64, 8 * FFT_POINTS).reshape(8, -1)
+        np.testing.assert_allclose(
+            out, np.fft.fft(x, axis=1).astype(np.complex64),
+            rtol=1e-4, atol=1e-3,
+        )
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(KernelError):
+            radix2_fft_batch(np.zeros((2, 256), dtype=np.complex64), 1)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(KernelError):
+            radix2_fft_batch(np.zeros((1, FFT_POINTS), dtype=np.complex64), 2)
+
+
+class TestElementwiseAndReduce:
+    def test_saxpy(self, mem):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(1000, dtype=np.float32)
+        y = rng.standard_normal(1000, dtype=np.float32)
+        px, py = _upload(mem, x), _upload(mem, y)
+        default_registry().get("saxpy").execute(mem, D1, D1, (px, py, 1000, 3.0))
+        out = mem.as_array(py, np.float32, 1000)
+        np.testing.assert_allclose(out, 3.0 * x + y, rtol=1e-6)
+
+    def test_sscal(self, mem):
+        x = np.arange(100, dtype=np.float32)
+        px = _upload(mem, x)
+        default_registry().get("sscal").execute(mem, D1, D1, (px, 100, -2.0))
+        np.testing.assert_allclose(mem.as_array(px, np.float32, 100), -2.0 * x)
+
+    def test_sfill(self, mem):
+        px = mem.malloc(400)
+        default_registry().get("sfill").execute(mem, D1, D1, (px, 100, 7.5))
+        np.testing.assert_array_equal(
+            mem.as_array(px, np.float32, 100), np.full(100, 7.5, np.float32)
+        )
+
+    def test_ssum(self, mem):
+        x = np.ones(4096, dtype=np.float32)
+        px = _upload(mem, x)
+        pout = mem.malloc(4)
+        default_registry().get("ssum").execute(mem, D1, D1, (px, pout, 4096))
+        assert mem.as_array(pout, np.float32, 1)[0] == pytest.approx(4096.0)
+
+    def test_sdot(self, mem):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal(512, dtype=np.float32)
+        y = rng.standard_normal(512, dtype=np.float32)
+        px, py = _upload(mem, x), _upload(mem, y)
+        pout = mem.malloc(4)
+        default_registry().get("sdot").execute(mem, D1, D1, (px, py, pout, 512))
+        assert mem.as_array(pout, np.float32, 1)[0] == pytest.approx(
+            float(x.astype(np.float64) @ y.astype(np.float64)), rel=1e-4
+        )
+
+    def test_smax(self, mem):
+        x = np.array([1.0, -5.0, 9.5, 3.0], dtype=np.float32)
+        px = _upload(mem, x)
+        pout = mem.malloc(4)
+        default_registry().get("smax").execute(mem, D1, D1, (px, pout, 4))
+        assert mem.as_array(pout, np.float32, 1)[0] == 9.5
+
+    def test_membound_costs_scale_linearly(self):
+        saxpy = default_registry().get("saxpy")
+        t1 = saxpy.cost_seconds(TIMING, D1, D1, (0, 0, 10_000, 1.0))
+        t2 = saxpy.cost_seconds(TIMING, D1, D1, (0, 0, 10_000_000, 1.0))
+        assert t2 > t1 * 100
+
+
+class TestRegistry:
+    def test_default_registry_has_case_study_kernels(self):
+        registry = default_registry()
+        assert "sgemmNN" in registry
+        assert "FFT512_device" in registry
+
+    def test_unknown_kernel_raises_with_listing(self):
+        with pytest.raises(KernelError, match="registered kernels"):
+            default_registry().get("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry().copy()
+        kernel = registry.get("saxpy")
+        with pytest.raises(KernelError):
+            registry.register(kernel)
+        registry.register(kernel, replace=True)  # explicit replace is fine
+
+    def test_copy_is_independent(self):
+        base = default_registry()
+        clone = base.copy()
+        clone.register(
+            type(clone.get("saxpy"))(
+                name="custom", fn=lambda *a: None, cost=lambda *a: 0.0
+            )
+        )
+        assert "custom" in clone
+        assert "custom" not in base

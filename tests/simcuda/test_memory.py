@@ -1,0 +1,183 @@
+"""Device memory allocator: placement, coalescing, data access, errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeviceMemoryError
+from repro.simcuda.memory import ALIGNMENT, BASE_ADDRESS, DeviceMemory
+
+
+@pytest.fixture
+def mem() -> DeviceMemory:
+    return DeviceMemory(capacity=1 << 20)  # 1 MiB, functional
+
+
+class TestAllocation:
+    def test_first_pointer_is_base_address(self, mem):
+        assert mem.malloc(100) == BASE_ADDRESS
+
+    def test_pointers_are_aligned(self, mem):
+        for size in (1, 3, 255, 257, 1000):
+            assert mem.malloc(size) % ALIGNMENT == 0
+
+    def test_allocations_do_not_overlap(self, mem):
+        blocks = [(mem.malloc(1000), 1000) for _ in range(10)]
+        intervals = sorted((p, p + s) for p, s in blocks)
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert end <= start
+
+    def test_out_of_memory_raises(self, mem):
+        with pytest.raises(DeviceMemoryError, match="out of device memory"):
+            mem.malloc(2 << 20)
+
+    def test_exhaustion_then_free_recovers(self, mem):
+        ptr = mem.malloc(mem.capacity)
+        with pytest.raises(DeviceMemoryError):
+            mem.malloc(ALIGNMENT)
+        mem.free(ptr)
+        assert mem.malloc(mem.capacity) == ptr
+
+    def test_rejects_nonpositive_sizes(self, mem):
+        for size in (0, -1):
+            with pytest.raises(DeviceMemoryError):
+                mem.malloc(size)
+
+    def test_accounting(self, mem):
+        assert mem.used == 0
+        p = mem.malloc(100)
+        assert mem.used == ALIGNMENT  # rounded up
+        assert mem.free_bytes == mem.capacity - ALIGNMENT
+        assert mem.allocation_count == 1
+        mem.free(p)
+        assert mem.used == 0
+        assert mem.total_allocs == 1
+        assert mem.peak_used == ALIGNMENT
+
+
+class TestFree:
+    def test_double_free_raises(self, mem):
+        ptr = mem.malloc(64)
+        mem.free(ptr)
+        with pytest.raises(DeviceMemoryError, match="invalid device pointer"):
+            mem.free(ptr)
+
+    def test_free_of_interior_pointer_raises(self, mem):
+        ptr = mem.malloc(1024)
+        with pytest.raises(DeviceMemoryError):
+            mem.free(ptr + 256)
+
+    def test_free_of_never_allocated_raises(self, mem):
+        with pytest.raises(DeviceMemoryError):
+            mem.free(0xDEAD000)
+
+    def test_coalescing_forward_and_backward(self, mem):
+        a = mem.malloc(1024)
+        b = mem.malloc(1024)
+        c = mem.malloc(1024)
+        # Free outer blocks, then the middle: all three must merge so a
+        # 3072-byte allocation fits back in the same region.
+        mem.free(a)
+        mem.free(c)
+        mem.free(b)
+        assert mem.fragmentation() == 0.0
+        assert mem.malloc(3 * 1024) == a
+
+    def test_fragmentation_metric(self, mem):
+        ptrs = [mem.malloc(1024) for _ in range(4)]
+        mem.free(ptrs[0])
+        mem.free(ptrs[2])
+        assert mem.fragmentation() > 0.0
+
+    def test_reset_clears_everything(self, mem):
+        for _ in range(5):
+            mem.malloc(512)
+        mem.reset()
+        assert mem.used == 0
+        assert mem.allocation_count == 0
+        assert mem.malloc(100) == BASE_ADDRESS
+
+
+class TestPlacementPolicies:
+    @staticmethod
+    def _two_holes(policy: str) -> tuple[DeviceMemory, int, int]:
+        # Layout: [big hole][kept][snug hole][kept] -- holes separated by
+        # live allocations so they cannot coalesce.
+        mem = DeviceMemory(capacity=1 << 20, policy=policy)
+        big = mem.malloc(4096)
+        mem.malloc(256)  # keep
+        snug = mem.malloc(256)
+        mem.malloc(256)  # keep
+        mem.free(big)
+        mem.free(snug)
+        return mem, big, snug
+
+    def test_best_fit_prefers_snug_hole(self):
+        mem, big, snug = self._two_holes("best-fit")
+        assert mem.malloc(256) == snug
+
+    def test_first_fit_takes_earliest_hole(self):
+        mem, big, snug = self._two_holes("first-fit")
+        assert mem.malloc(256) == big
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMemory(capacity=1024, policy="worst-fit")
+
+
+class TestDataAccess:
+    def test_write_read_roundtrip(self, mem):
+        ptr = mem.malloc(256)
+        data = bytes(range(256))
+        mem.write(ptr, data)
+        assert mem.read(ptr, 256).tobytes() == data
+
+    def test_offset_access_within_allocation(self, mem):
+        ptr = mem.malloc(1024)
+        mem.write(ptr + 100, b"hello")
+        assert mem.read(ptr + 100, 5).tobytes() == b"hello"
+
+    def test_out_of_bounds_access_raises(self, mem):
+        ptr = mem.malloc(100)
+        with pytest.raises(DeviceMemoryError):
+            mem.read(ptr, 101)
+        with pytest.raises(DeviceMemoryError):
+            mem.write(ptr + 96, b"12345")
+
+    def test_access_to_freed_memory_raises(self, mem):
+        ptr = mem.malloc(64)
+        mem.free(ptr)
+        with pytest.raises(DeviceMemoryError):
+            mem.read(ptr, 1)
+
+    def test_typed_view_mutates_storage(self, mem):
+        ptr = mem.malloc(16)
+        view = mem.as_array(ptr, np.float32, 4)
+        view[:] = [1.0, 2.0, 3.0, 4.0]
+        again = mem.as_array(ptr, np.float32, 4)
+        np.testing.assert_array_equal(again, [1.0, 2.0, 3.0, 4.0])
+
+    def test_is_valid(self, mem):
+        ptr = mem.malloc(64)
+        assert mem.is_valid(ptr, 64)
+        assert not mem.is_valid(ptr, 65)
+        assert not mem.is_valid(0xBEEF)
+
+    def test_fresh_memory_is_zeroed(self, mem):
+        ptr = mem.malloc(128)
+        assert not mem.read(ptr, 128).any()
+
+
+class TestMetadataOnlyMode:
+    def test_allocation_arithmetic_without_storage(self):
+        mem = DeviceMemory(capacity=1 << 30, functional=False)
+        ptr = mem.malloc(512 << 20)  # half a GiB, no real allocation
+        assert mem.used >= 512 << 20
+        mem.write(ptr, b"ignored")
+        assert mem.read(ptr, 4).tolist() == [0, 0, 0, 0]
+        with pytest.raises(DeviceMemoryError):
+            mem.view(ptr, 4)
+
+    def test_oom_still_enforced(self):
+        mem = DeviceMemory(capacity=1 << 20, functional=False)
+        with pytest.raises(DeviceMemoryError):
+            mem.malloc(2 << 20)

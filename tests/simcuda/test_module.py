@@ -1,0 +1,56 @@
+"""GPU module fabrication and parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.paperdata.constants import FFT_MODULE_BYTES, MM_MODULE_BYTES
+from repro.simcuda.module import fabricate_module, parse_module
+
+
+def test_exact_published_sizes():
+    mm = fabricate_module("mm", ["sgemmNN"], MM_MODULE_BYTES)
+    fft = fabricate_module("fft", ["FFT512_device"], FFT_MODULE_BYTES)
+    assert mm.size == 21486
+    assert fft.size == 7852
+
+
+def test_parse_recovers_name_and_kernels():
+    module = fabricate_module("demo", ["k1", "k2", "k3"], 2048)
+    parsed = parse_module(module.payload)
+    assert parsed.name == "demo"
+    assert parsed.kernel_names == ("k1", "k2", "k3")
+    assert parsed.payload == module.payload
+
+
+def test_fabrication_is_deterministic():
+    a = fabricate_module("x", ["k"], 4096)
+    b = fabricate_module("x", ["k"], 4096)
+    assert a.payload == b.payload
+
+
+def test_different_names_give_different_padding():
+    a = fabricate_module("x", ["k"], 4096)
+    b = fabricate_module("y", ["k"], 4096)
+    assert a.payload != b.payload
+
+
+def test_exports():
+    module = fabricate_module("m", ["alpha", "beta"], 1024)
+    assert module.exports("alpha")
+    assert not module.exports("gamma")
+
+
+def test_too_small_budget_rejected():
+    with pytest.raises(ConfigurationError):
+        fabricate_module("m", ["some_kernel"], 10)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        parse_module(b"not a module at all")
+
+
+def test_parse_rejects_truncated_header():
+    module = fabricate_module("longname", ["kernel_one"], 1024)
+    with pytest.raises(ProtocolError):
+        parse_module(module.payload[:12])

@@ -1,0 +1,159 @@
+"""CudaRuntime facade: status-code semantics, staged launches, events."""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.simcuda import CudaRuntime, SimulatedGpu
+from repro.simcuda.errors import CudaError, CudaRuntimeError, check
+from repro.simcuda.module import fabricate_module
+from repro.simcuda.properties import TINY_TEST_DEVICE
+from repro.simcuda.types import Dim3, MemcpyKind
+
+
+@pytest.fixture
+def rt():
+    runtime = CudaRuntime(SimulatedGpu(), preinitialized=True)
+    yield runtime
+    runtime.close()
+
+
+class TestStatusCodes:
+    def test_success_paths_return_cudaSuccess(self, rt):
+        err, ptr = rt.cudaMalloc(1024)
+        assert err == CudaError.cudaSuccess
+        assert rt.cudaFree(ptr) == CudaError.cudaSuccess
+
+    def test_failures_return_codes_not_exceptions(self, rt):
+        err, ptr = rt.cudaMalloc(1 << 40)  # > device memory
+        assert err == CudaError.cudaErrorMemoryAllocation
+        assert ptr is None
+        assert rt.cudaFree(0xBEEF) == CudaError.cudaErrorInvalidDevicePointer
+
+    def test_get_last_error_reads_and_clears(self, rt):
+        rt.cudaFree(0xBEEF)
+        assert rt.cudaGetLastError() == CudaError.cudaErrorInvalidDevicePointer
+        assert rt.cudaGetLastError() == CudaError.cudaSuccess
+
+    def test_check_converts_to_exception(self, rt):
+        with pytest.raises(CudaRuntimeError, match="cudaErrorInvalidDevicePointer"):
+            check(rt.cudaFree(0xBEEF), "free")
+
+
+class TestLazyInit:
+    def test_local_runtime_pays_init_on_first_call(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        rt = CudaRuntime(gpu, preinitialized=False)
+        assert clock.now() == 0.0
+        rt.cudaMalloc(64)
+        assert clock.now() >= gpu.timing.cuda_init_seconds
+        rt.close()
+
+    def test_server_runtime_is_preinitialized(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        rt = CudaRuntime(gpu, preinitialized=True)
+        rt.cudaMalloc(64)
+        assert clock.now() == 0.0
+        rt.close()
+
+
+class TestStagedLaunch:
+    def test_configure_setup_launch(self, rt):
+        m = 16
+        a = np.eye(m, dtype=np.float32)
+        _, pa = rt.cudaMalloc(a.nbytes)
+        _, pb = rt.cudaMalloc(a.nbytes)
+        _, pc = rt.cudaMalloc(a.nbytes)
+        rt.cudaMemcpy(pa, 0, a.nbytes, MemcpyKind.cudaMemcpyHostToDevice, a)
+        rt.cudaMemcpy(pb, 0, a.nbytes, MemcpyKind.cudaMemcpyHostToDevice, 2 * a)
+        assert rt.cudaConfigureCall(Dim3(1), Dim3(16, 4)) == CudaError.cudaSuccess
+        for arg in (pa, pb, pc, m, m, m, 1.0, 0.0):
+            assert rt.cudaSetupArgument(arg) == CudaError.cudaSuccess
+        assert rt.cudaLaunch("sgemmNN") == CudaError.cudaSuccess
+        _, raw = rt.cudaMemcpy(0, pc, a.nbytes, MemcpyKind.cudaMemcpyDeviceToHost)
+        np.testing.assert_allclose(
+            raw.view(np.float32).reshape(m, m), 2 * np.eye(m), atol=1e-6
+        )
+
+    def test_launch_without_configure_fails(self, rt):
+        assert rt.cudaLaunch("sgemmNN") == CudaError.cudaErrorMissingConfiguration
+
+    def test_setup_without_configure_fails(self, rt):
+        assert rt.cudaSetupArgument(1) == CudaError.cudaErrorMissingConfiguration
+
+    def test_config_is_consumed_by_launch(self, rt):
+        rt.cudaConfigureCall(Dim3(1), Dim3(1))
+        rt.cudaSetupArgument(0)
+        rt.cudaLaunch("no_such")  # fails, but consumed the staging
+        assert rt.cudaLaunch("no_such") == CudaError.cudaErrorMissingConfiguration
+
+
+class TestModulesAndProperties:
+    def test_properties(self, rt):
+        err, props = rt.cudaGetDeviceProperties()
+        assert err == CudaError.cudaSuccess
+        assert props.name == "Tesla C1060"
+        assert props.compute_capability == (1, 3)
+
+    def test_module_gated_launch(self, rt):
+        assert rt.load_module(
+            fabricate_module("m", ["saxpy"], 512)
+        ) == CudaError.cudaSuccess
+        _, px = rt.cudaMalloc(40)
+        _, py = rt.cudaMalloc(40)
+        assert rt.launch_kernel(
+            "saxpy", Dim3(1), Dim3(32), (px, py, 10, 1.0)
+        ) == CudaError.cudaSuccess
+        # Not in the module -> launch failure even though registered.
+        assert rt.launch_kernel(
+            "sscal", Dim3(1), Dim3(32), (px, 10, 1.0)
+        ) == CudaError.cudaErrorLaunchFailure
+
+
+class TestStreamsAndEvents:
+    def test_stream_lifecycle(self, rt):
+        err, handle = rt.cudaStreamCreate()
+        assert err == CudaError.cudaSuccess
+        assert handle != 0
+        assert rt.cudaStreamSynchronize(handle) == CudaError.cudaSuccess
+
+    def test_sync_on_bad_stream_fails(self, rt):
+        assert rt.cudaStreamSynchronize(9999) == CudaError.cudaErrorInvalidValue
+
+    def test_event_elapsed_time(self):
+        clock = VirtualClock()
+        gpu = SimulatedGpu(clock=clock, properties=TINY_TEST_DEVICE)
+        rt = CudaRuntime(gpu, preinitialized=True)
+        _, start = rt.cudaEventCreate()
+        _, end = rt.cudaEventCreate()
+        rt.cudaEventRecord(start)
+        clock.advance(0.125)
+        rt.cudaEventRecord(end)
+        err, elapsed_ms = rt.cudaEventElapsedTime(start, end)
+        assert err == CudaError.cudaSuccess
+        assert elapsed_ms == pytest.approx(125.0)
+        rt.close()
+
+    def test_elapsed_before_record_fails(self, rt):
+        _, start = rt.cudaEventCreate()
+        _, end = rt.cudaEventCreate()
+        err, _ = rt.cudaEventElapsedTime(start, end)
+        assert err != CudaError.cudaSuccess
+
+
+class TestLifecycle:
+    def test_context_manager_releases_resources(self):
+        gpu = SimulatedGpu(properties=TINY_TEST_DEVICE)
+        with CudaRuntime(gpu, preinitialized=True) as rt:
+            rt.cudaMalloc(1024)
+            assert gpu.memory.allocation_count == 1
+        assert gpu.memory.allocation_count == 0
+        assert gpu.active_contexts == 0
+
+    def test_close_is_idempotent(self):
+        rt = CudaRuntime(SimulatedGpu(properties=TINY_TEST_DEVICE))
+        rt.cudaMalloc(16)
+        rt.close()
+        rt.close()

@@ -1,0 +1,136 @@
+"""Streams, events, contexts, properties, error codes."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.simcuda.context import CudaContext
+from repro.simcuda.errors import CudaError, CudaRuntimeError, check
+from repro.simcuda.event import CudaEvent
+from repro.simcuda.module import fabricate_module
+from repro.simcuda.properties import TESLA_C1060
+from repro.simcuda.stream import DEFAULT_STREAM, CudaStream
+from repro.simcuda.types import Dim3, MemcpyKind
+from repro.errors import ConfigurationError
+
+
+class TestStream:
+    def test_enqueue_serializes_work(self):
+        s = CudaStream()
+        done1 = s.enqueue(now=0.0, duration=1.0)
+        done2 = s.enqueue(now=0.5, duration=1.0)
+        assert done1 == 1.0
+        assert done2 == 2.0  # starts after the first finishes
+
+    def test_idle_stream_starts_immediately(self):
+        s = CudaStream()
+        s.enqueue(now=0.0, duration=1.0)
+        assert s.enqueue(now=5.0, duration=2.0) == 7.0
+
+    def test_synchronize_time(self):
+        s = CudaStream()
+        s.enqueue(now=0.0, duration=3.0)
+        assert s.synchronize_time(1.0) == pytest.approx(2.0)
+        assert s.synchronize_time(4.0) == 0.0
+        assert s.is_idle(3.0)
+        assert not s.is_idle(2.9)
+
+    def test_handles_are_unique(self):
+        assert CudaStream().handle != CudaStream().handle
+
+
+class TestEvent:
+    def test_elapsed(self):
+        a, b = CudaEvent(), CudaEvent()
+        a.record(1.0)
+        b.record(3.5)
+        assert b.elapsed_since(a) == pytest.approx(2.5)
+
+    def test_unrecorded_elapsed_raises(self):
+        a, b = CudaEvent(), CudaEvent()
+        a.record(1.0)
+        with pytest.raises(DeviceError):
+            b.elapsed_since(a)
+
+    def test_re_record_moves_the_timestamp(self):
+        a = CudaEvent()
+        a.record(1.0)
+        a.record(9.0)
+        assert a.recorded_at == 9.0
+
+
+class TestContext:
+    def test_tracks_allocations(self):
+        ctx = CudaContext()
+        ctx.track_allocation(0x1000)
+        assert ctx.owns(0x1000)
+        ctx.untrack_allocation(0x1000)
+        assert not ctx.owns(0x1000)
+
+    def test_default_stream_exists(self):
+        ctx = CudaContext()
+        assert ctx.get_stream(DEFAULT_STREAM) is not None
+
+    def test_unknown_handles_raise(self):
+        ctx = CudaContext()
+        with pytest.raises(DeviceError):
+            ctx.get_stream(12345)
+        with pytest.raises(DeviceError):
+            ctx.get_event(12345)
+
+    def test_kernel_visibility_via_modules(self):
+        ctx = CudaContext()
+        assert not ctx.kernel_visible("sgemmNN")
+        ctx.load_module(fabricate_module("m", ["sgemmNN"], 512))
+        assert ctx.kernel_visible("sgemmNN")
+        assert not ctx.kernel_visible("other")
+
+    def test_destroyed_context_rejects_use(self):
+        ctx = CudaContext()
+        ctx.destroyed = True
+        with pytest.raises(DeviceError):
+            ctx.track_allocation(0x1000)
+
+    def test_resource_summary(self):
+        ctx = CudaContext()
+        ctx.create_stream()
+        ctx.create_event()
+        ctx.track_allocation(0x1000)
+        summary = ctx.resource_summary()
+        assert summary["streams"] == 2  # default + created
+        assert summary["events"] == 1
+        assert summary["allocations"] == 1
+
+
+class TestPropertiesAndErrors:
+    def test_tesla_c1060_facts(self):
+        assert TESLA_C1060.compute_capability == (1, 3)
+        assert TESLA_C1060.total_global_mem == 4 * 2**30
+        assert TESLA_C1060.core_count == 240
+        # GT200 peak: 240 cores * 1.296 GHz * 3 flops ~ 933 GFLOPS.
+        assert TESLA_C1060.peak_sp_gflops == pytest.approx(933.1, abs=1.0)
+
+    def test_check_passes_success(self):
+        check(CudaError.cudaSuccess)
+        check(0)
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(CudaRuntimeError, match="myop: cudaErrorMemoryAllocation"):
+            check(CudaError.cudaErrorMemoryAllocation, "myop")
+
+    def test_error_enum_values_match_cuda(self):
+        assert CudaError.cudaSuccess == 0
+        assert CudaError.cudaErrorMemoryAllocation == 2
+        assert CudaError.cudaErrorInvalidDevicePointer == 17
+        assert CudaError.cudaErrorInvalidMemcpyDirection == 21
+
+    def test_memcpy_kind_values(self):
+        assert MemcpyKind.cudaMemcpyHostToDevice == 1
+        assert MemcpyKind.cudaMemcpyDeviceToHost == 2
+
+    def test_dim3(self):
+        d = Dim3(4, 2, 3)
+        assert d.count == 24
+        assert d.as_tuple() == (4, 2, 3)
+        assert Dim3().count == 1
+        with pytest.raises(ConfigurationError):
+            Dim3(0, 1, 1)

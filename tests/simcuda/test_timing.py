@@ -1,0 +1,79 @@
+"""Device timing models: PCIe and kernel-rate arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcuda.timing import DeviceTimingModel, PcieModel
+from repro.units import MIB
+
+
+class TestPcieModel:
+    def test_published_effective_bandwidth_is_the_default(self):
+        assert PcieModel().bandwidth_mibps == 5743.0
+
+    def test_transfer_time_matches_the_paper_arithmetic(self):
+        # 64 MiB over 5,743 MiB/s ~ 11.1 ms (plus submission overhead).
+        pcie = PcieModel()
+        t = pcie.transfer_seconds(64 * MIB)
+        assert t == pytest.approx(64 / 5743.0 + pcie.per_transfer_overhead_s)
+
+    def test_overhead_dominates_tiny_transfers(self):
+        pcie = PcieModel()
+        t = pcie.transfer_seconds(4)
+        assert t == pytest.approx(pcie.per_transfer_overhead_s, rel=0.01)
+
+    def test_pcie_beats_every_studied_network(self):
+        # The premise of Section I: "the bottleneck for the data
+        # transfers is located in the network interconnect".
+        from repro.net.spec import list_networks
+
+        pcie = PcieModel()
+        payload = 64 * MIB
+        for spec in list_networks():
+            assert pcie.transfer_seconds(payload) < \
+                spec.estimated_transfer_seconds(payload)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PcieModel(bandwidth_mibps=0.0)
+        with pytest.raises(ConfigurationError):
+            PcieModel(per_transfer_overhead_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            PcieModel().transfer_seconds(-1)
+
+
+class TestDeviceTimingModel:
+    def test_kernel_rates(self):
+        timing = DeviceTimingModel(gemm_gflops=100.0, fft_gflops=50.0)
+        flops = 1e9
+        assert timing.gemm_seconds(flops) == pytest.approx(
+            0.01 + timing.kernel_launch_overhead_s
+        )
+        assert timing.fft_seconds(flops) == pytest.approx(
+            0.02 + timing.kernel_launch_overhead_s
+        )
+
+    def test_membound_rate(self):
+        timing = DeviceTimingModel(membw_gbps=100.0)
+        assert timing.membound_seconds(1e9) == pytest.approx(
+            0.01 + timing.kernel_launch_overhead_s
+        )
+
+    def test_with_rates_replaces_selectively(self):
+        base = DeviceTimingModel()
+        tuned = base.with_rates(gemm_gflops=371.3)
+        assert tuned.gemm_gflops == 371.3
+        assert tuned.fft_gflops == base.fft_gflops
+        assert tuned.pcie == base.pcie
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceTimingModel(gemm_gflops=0.0)
+        with pytest.raises(ConfigurationError):
+            DeviceTimingModel(cuda_init_seconds=-1.0)
+
+    def test_defaults_are_paper_era_plausible(self):
+        timing = DeviceTimingModel()
+        # Volkov SGEMM range on the GT200, sub-second context init.
+        assert 200 < timing.gemm_gflops < 500
+        assert 0.1 < timing.cuda_init_seconds < 2.0

@@ -1,0 +1,89 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_experiment_subcommand(capsys, tmp_path):
+    code = main(["experiment", "table1", "--outdir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Table I" in captured.out
+    assert (tmp_path / "table1.txt").exists()
+
+
+def test_pingpong_subcommand(capsys):
+    code = main(["pingpong", "40GI"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "effective one-way bandwidth" in captured.out
+    assert "136" in captured.out  # ~1367 MiB/s
+
+
+def test_pingpong_unknown_network_errors(capsys):
+    code = main(["pingpong", "5G"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown network" in captured.err
+
+
+def test_pingpong_real_loopback(capsys):
+    code = main(["pingpong", "--real"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "loopback TCP" in captured.out
+    assert "effective one-way bandwidth" in captured.out
+
+
+def test_run_subcommand(capsys):
+    code = main(["run", "mm", "--size", "64"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "verified=True" in captured.out
+
+
+def test_run_fft_over_tcp(capsys):
+    code = main(["run", "fft", "--size", "8", "--tcp"])
+    assert code == 0
+    assert "verified=True" in capsys.readouterr().out
+
+
+def test_trace_subcommand(capsys):
+    code = main(["trace", "mm", "--size", "8192", "--network", "GigaE"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Phase" in captured.out
+    assert "h2d" in captured.out
+    assert "breakdown" in captured.out
+
+
+def test_cluster_subcommand(capsys):
+    code = main(["cluster", "--nodes", "4", "--jobs", "10"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "best performance per cost" in captured.out
+
+
+def test_whatif_subcommand(capsys):
+    code = main(["whatif", "mm", "--size", "12288", "--bandwidth", "3200"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "worthwhile vs CPU:         yes" in captured.out
+    assert "min bandwidth" in captured.out
+
+
+def test_whatif_fft_reports_no_viable_bandwidth(capsys):
+    code = main(
+        ["whatif", "fft", "--size", "8192", "--bandwidth", "3200",
+         "--budget", "0.05"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "worthwhile vs CPU:         no" in captured.out
+    assert "no interconnect can fix this workload" in captured.out
+
+
+def test_missing_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main([])

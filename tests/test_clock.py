@@ -1,0 +1,61 @@
+"""Clocks: virtual time semantics and the Clock protocol."""
+
+import time
+
+import pytest
+
+from repro.clock import Clock, VirtualClock, WallClock
+from repro.errors import ConfigurationError
+
+
+def test_virtual_clock_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_virtual_clock_advances_exactly():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(0.25)
+    assert clock.now() == pytest.approx(1.75)
+
+
+def test_virtual_clock_custom_start():
+    assert VirtualClock(start=10.0).now() == 10.0
+
+
+def test_virtual_clock_rejects_negative_advance():
+    with pytest.raises(ConfigurationError):
+        VirtualClock().advance(-0.1)
+
+
+def test_virtual_clock_advance_to_never_goes_backwards():
+    clock = VirtualClock(start=5.0)
+    clock.advance_to(3.0)
+    assert clock.now() == 5.0
+    clock.advance_to(7.5)
+    assert clock.now() == 7.5
+
+
+def test_virtual_clock_is_free():
+    clock = VirtualClock()
+    t0 = time.perf_counter()
+    clock.advance(1_000_000.0)  # a million virtual seconds
+    assert time.perf_counter() - t0 < 0.1
+    assert clock.now() == 1_000_000.0
+
+
+def test_wall_clock_actually_sleeps():
+    clock = WallClock()
+    t0 = clock.now()
+    clock.advance(0.02)
+    assert clock.now() - t0 >= 0.015
+
+
+def test_wall_clock_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        WallClock().advance(-1.0)
+
+
+def test_both_satisfy_protocol():
+    assert isinstance(VirtualClock(), Clock)
+    assert isinstance(WallClock(), Clock)

@@ -1,0 +1,51 @@
+"""Exception hierarchy: a single catchable base, sensible subtyping."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    leaf_classes = [
+        errors.ConfigurationError,
+        errors.ProtocolError,
+        errors.TransportError,
+        errors.TransportClosedError,
+        errors.DeviceError,
+        errors.DeviceMemoryError,
+        errors.KernelError,
+        errors.ModelError,
+        errors.CalibrationError,
+        errors.SchedulerError,
+    ]
+    for cls in leaf_classes:
+        assert issubclass(cls, errors.ReproError), cls
+
+
+def test_specific_subtyping():
+    assert issubclass(errors.TransportClosedError, errors.TransportError)
+    assert issubclass(errors.DeviceMemoryError, errors.DeviceError)
+    assert issubclass(errors.KernelError, errors.DeviceError)
+    assert issubclass(errors.CalibrationError, errors.ModelError)
+
+
+def test_one_catch_site_suffices():
+    # The documented contract: downstream code can catch ReproError once.
+    from repro.net.spec import get_network
+
+    with pytest.raises(errors.ReproError):
+        get_network("no-such-network")
+    from repro.simcuda.memory import DeviceMemory
+
+    with pytest.raises(errors.ReproError):
+        DeviceMemory(capacity=16).malloc(1 << 20)
+
+
+def test_cuda_runtime_error_is_a_device_error():
+    from repro.simcuda.errors import CudaError, CudaRuntimeError
+
+    exc = CudaRuntimeError(CudaError.cudaErrorMemoryAllocation, "cudaMalloc")
+    assert isinstance(exc, errors.DeviceError)
+    assert exc.status == CudaError.cudaErrorMemoryAllocation
+    assert "cudaMalloc" in str(exc)
+    assert "cudaErrorMemoryAllocation" in str(exc)

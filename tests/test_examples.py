@@ -1,0 +1,65 @@
+"""Example scripts stay runnable (subprocess smoke tests).
+
+Only the quicker examples run here (the full set is exercised manually /
+in docs); each must exit 0 and print its success markers.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "remote sgemm" in out
+    assert "max |error| = 0.00e+00" in out
+    assert "done: the application never touched the device directly." in out
+
+
+def test_quickstart_over_tcp():
+    out = _run("quickstart.py", "--tcp")
+    assert "remote saxpy" in out
+
+
+def test_fft_batch():
+    out = _run("fft_batch.py")
+    assert "verified" in out
+    assert "not eligible for GPU acceleration" in out
+
+
+def test_network_planning():
+    out = _run("network_planning.py", "--size", "8192")
+    assert "extracted fixed time" in out
+    assert "networks meeting the budget" in out
+
+
+def test_async_streams():
+    out = _run("async_streams.py")
+    assert "saxpy on 65536 elements via async uploads" in out
+    assert "independent streams" in out
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py", "matrix_product.py", "fft_batch.py",
+    "network_planning.py", "cluster_sharing.py", "async_streams.py",
+    "gpu_resident_pipeline.py",
+])
+def test_every_example_compiles(name):
+    path = EXAMPLES_DIR / name
+    assert path.exists()
+    compile(path.read_text(), str(path), "exec")

@@ -1,0 +1,43 @@
+"""Public API surface: the documented entry points exist and compose."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_snippet():
+    # The exact code the README shows must work.
+    from repro import SimulatedGpu, RCudaDaemon, RCudaClient
+    from repro.workloads import MatrixProductCase
+
+    case = MatrixProductCase()
+    daemon = RCudaDaemon(SimulatedGpu())
+    with RCudaClient.connect_inproc(daemon, case.module()) as client:
+        result = case.run(client.runtime, size=128)
+        assert result.verified
+
+
+def test_docstring_quickstart_in_init():
+    assert "RCudaClient.connect_inproc" in repro.__doc__
+
+
+def test_subpackage_entry_points():
+    from repro.model import default_calibration, what_if, custom_network
+    from repro.net import get_network
+    from repro.testbed import SimulatedTestbed
+    from repro.cluster import PhasedClusterSimulation  # noqa: F401
+
+    cal = default_calibration()
+    report = what_if(
+        repro.MatrixProductCase(), 8192, custom_network("x", 1000.0), cal
+    )
+    assert report.predicted_seconds > 0
+    assert get_network("A-HT").effective_bw_mibps == 2884.0
+    assert SimulatedTestbed(cal).calibration is cal

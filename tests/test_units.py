@@ -1,0 +1,49 @@
+"""Units: the paper's MB == MiB convention and conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_mib_is_2_to_20():
+    assert units.MIB == 2**20
+    assert units.bytes_to_mib(4 * 4096 * 4096) == 64.0  # MM m=4096 -> 64 "MB"
+
+
+def test_roundtrip_bytes_mib():
+    assert units.mib_to_bytes(units.bytes_to_mib(123456789)) == pytest.approx(
+        123456789
+    )
+
+
+def test_time_conversions():
+    assert units.seconds_to_us(1.5e-6) == pytest.approx(1.5)
+    assert units.seconds_to_ms(0.25) == pytest.approx(250.0)
+    assert units.us_to_seconds(1.0) == pytest.approx(1e-6)
+    assert units.ms_to_seconds(1.0) == pytest.approx(1e-3)
+
+
+def test_transfer_seconds_matches_table3():
+    # Table III: 64 MiB over GigaE's 112.4 MiB/s is 569.4 ms.
+    t = units.transfer_seconds(64 * units.MIB, 112.4)
+    assert units.seconds_to_ms(t) == pytest.approx(569.4, abs=0.05)
+    # ... and 1296 MiB over 40GI's 1367.1 MiB/s is 948.0 ms.
+    t = units.transfer_seconds(1296 * units.MIB, 1367.1)
+    assert units.seconds_to_ms(t) == pytest.approx(948.0, abs=0.05)
+
+
+def test_transfer_seconds_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        units.transfer_seconds(1.0, 0.0)
+    with pytest.raises(ValueError):
+        units.transfer_seconds(1.0, -5.0)
+    with pytest.raises(ValueError):
+        units.transfer_seconds(-1.0, 5.0)
+
+
+def test_transfer_seconds_zero_payload_is_free():
+    assert units.transfer_seconds(0, 100.0) == 0.0
+
+
+def test_bandwidth_conversion():
+    assert units.mibps_to_bytes_per_second(1.0) == units.MIB

@@ -1,0 +1,68 @@
+"""Cross-network consistency matrix: every (case, network) combination of
+the simulated testbed obeys the structural relations the model implies."""
+
+import pytest
+
+from repro.net.spec import list_networks
+from repro.testbed.simulated import case_by_name
+
+CASES = ("MM", "FFT")
+NETWORKS = tuple(s.name for s in list_networks())
+
+
+@pytest.mark.parametrize("case_name", CASES)
+def test_total_orders_by_bandwidth(testbed, case_name):
+    """For one size, remote time must decrease as bandwidth increases
+    (GigaE's distortion only makes the slowest network slower)."""
+    case = case_by_name(case_name)
+    size = case.paper_sizes[3]
+    by_bw = sorted(list_networks(), key=lambda s: s.effective_bw_mibps)
+    times = [
+        testbed.measure_remote(case, size, s.name).total_seconds for s in by_bw
+    ]
+    assert times == sorted(times, reverse=True)
+
+
+@pytest.mark.parametrize("case_name", CASES)
+@pytest.mark.parametrize("network", NETWORKS)
+def test_remote_exceeds_its_components(testbed, calibration, case_name, network):
+    case = case_by_name(case_name)
+    size = case.paper_sizes[0]
+    run = testbed.measure_remote(case, size, network)
+    host = calibration.remote_host_seconds(case, size)
+    device = calibration.kernel_seconds(case, size) + calibration.pcie_seconds(
+        case, size
+    )
+    assert run.total_seconds > host + device
+    assert run.trace.host_seconds == pytest.approx(host)
+    assert run.trace.device_seconds == pytest.approx(device)
+
+
+@pytest.mark.parametrize("case_name", CASES)
+def test_totals_grow_with_problem_size(testbed, case_name):
+    case = case_by_name(case_name)
+    for network in ("GigaE", "40GI", "A-HT"):
+        times = [
+            testbed.measure_remote(case, s, network).total_seconds
+            for s in case.paper_sizes
+        ]
+        assert times == sorted(times)
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_network_time_equals_replay(testbed, network):
+    from repro.model.transfer import replay_network_seconds
+    from repro.net.spec import get_network
+
+    case = case_by_name("MM")
+    size = 8192
+    run = testbed.measure_remote(case, size, network)
+    expect = replay_network_seconds(case, size, get_network(network))
+    assert run.trace.network_seconds == pytest.approx(expect)
+
+
+def test_memoization_returns_identical_objects(testbed):
+    case = case_by_name("FFT")
+    a = testbed.measure_remote(case, 2048, "Myr")
+    b = testbed.measure_remote(case, 2048, "Myr")
+    assert a is b

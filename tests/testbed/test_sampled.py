@@ -1,0 +1,64 @@
+"""Replicated stochastic measurements: the paper's 30-run protocol."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.paperdata.constants import FFT_MAX_STDDEV_MS, MM_MAX_STDDEV_S
+from repro.testbed.simulated import case_by_name
+
+
+class TestSampledMeasurement:
+    def test_mean_converges_on_the_deterministic_run(self, testbed, mm_case):
+        sampled = testbed.measure_remote_sampled(
+            mm_case, 8192, "GigaE", runs=60, seed=5
+        )
+        deterministic = testbed.measure_remote(mm_case, 8192, "GigaE")
+        assert sampled.mean_seconds == pytest.approx(
+            deterministic.total_seconds, rel=0.02
+        )
+
+    def test_statistics_are_consistent(self, testbed, fft_case):
+        sampled = testbed.measure_remote_sampled(fft_case, 4096, "40GI", seed=1)
+        assert sampled.min_seconds <= sampled.mean_seconds <= sampled.max_seconds
+        assert sampled.std_seconds >= 0
+        assert sampled.runs == 30
+
+    def test_seeded_reproducibility(self, testbed, mm_case):
+        a = testbed.measure_remote_sampled(mm_case, 4096, "GigaE", seed=9)
+        b = testbed.measure_remote_sampled(mm_case, 4096, "GigaE", seed=9)
+        assert a == b
+        c = testbed.measure_remote_sampled(mm_case, 4096, "GigaE", seed=10)
+        assert c.mean_seconds != a.mean_seconds
+
+    def test_dispersion_is_paper_scale(self, testbed, mm_case, fft_case):
+        # The paper observed max stds of 1.0 s (MM) and 14.4 ms (FFT)
+        # over 30 runs.  Our stochastic model lands in the same order of
+        # magnitude (it is conservative on the FFT: the bursty-stall
+        # variance needed to explain the fixed-time gaps exceeds what the
+        # paper's quiet moments showed).
+        mm = testbed.measure_remote_sampled(mm_case, 18432, "GigaE", seed=2)
+        assert mm.std_seconds < 2 * MM_MAX_STDDEV_S
+        fft = testbed.measure_remote_sampled(fft_case, 8192, "GigaE", seed=2)
+        assert fft.std_seconds < 4 * FFT_MAX_STDDEV_MS * 1e-3
+        assert fft.std_seconds > 0.1 * FFT_MAX_STDDEV_MS * 1e-3
+
+    def test_infiniband_is_far_quieter_than_ethernet(
+        self, testbed, fft_case
+    ):
+        # No window distortion on IB: its dispersion comes from jitter
+        # alone and sits well below GigaE's.
+        gigae = testbed.measure_remote_sampled(fft_case, 8192, "GigaE", seed=3)
+        ib = testbed.measure_remote_sampled(fft_case, 8192, "40GI", seed=3)
+        assert ib.std_seconds < gigae.std_seconds / 3
+
+    def test_zero_jitter_still_has_tcp_bursts_on_gigae(
+        self, testbed, fft_case
+    ):
+        sampled = testbed.measure_remote_sampled(
+            fft_case, 8192, "GigaE", jitter_fraction=0.0, seed=4
+        )
+        assert sampled.std_seconds > 0  # the stalls alone disperse it
+
+    def test_validation(self, testbed, mm_case):
+        with pytest.raises(ConfigurationError):
+            testbed.measure_remote_sampled(mm_case, 4096, "GigaE", runs=1)

@@ -1,0 +1,102 @@
+"""The simulated testbed: regenerated measured columns vs the paper."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.paperdata.table4 import TABLE4_FFT, TABLE4_MM
+from repro.paperdata.table6 import TABLE6_FFT, TABLE6_MM
+from repro.testbed.simulated import case_by_name
+
+
+class TestMeasuredColumns:
+    def test_mm_gigae_matches_paper(self, testbed, mm_case):
+        column = testbed.measured_column(mm_case, "GigaE")
+        for row in TABLE4_MM:
+            assert column[row.size] == pytest.approx(
+                row.measured_gigae, rel=0.02
+            )
+
+    def test_mm_ib40_matches_paper(self, testbed, mm_case):
+        column = testbed.measured_column(mm_case, "40GI")
+        for row in TABLE4_MM:
+            assert column[row.size] == pytest.approx(
+                row.measured_ib40, rel=0.02
+            )
+
+    def test_fft_gigae_matches_paper(self, testbed, fft_case):
+        column = testbed.measured_column(fft_case, "GigaE")
+        for row in TABLE4_FFT:
+            assert column[row.size] == pytest.approx(
+                row.measured_gigae * 1e-3, rel=0.03
+            )
+
+    def test_fft_ib40_matches_paper(self, testbed, fft_case):
+        column = testbed.measured_column(fft_case, "40GI")
+        for row in TABLE4_FFT:
+            assert column[row.size] == pytest.approx(
+                row.measured_ib40 * 1e-3, rel=0.03
+            )
+
+    def test_cpu_gpu_columns_match_paper(self, testbed, mm_case, fft_case):
+        cpu = testbed.measured_column(mm_case, "CPU")
+        gpu = testbed.measured_column(mm_case, "GPU")
+        for row in TABLE6_MM:
+            assert cpu[row.size] == pytest.approx(row.cpu, rel=0.02)
+            assert gpu[row.size] == pytest.approx(row.gpu, rel=0.01)
+        cpu = testbed.measured_column(fft_case, "CPU")
+        for row in TABLE6_FFT:
+            assert cpu[row.size] == pytest.approx(row.cpu * 1e-3, rel=0.05)
+
+
+class TestRunStructure:
+    def test_remote_trace_phases(self, testbed, mm_case):
+        run = testbed.measure_remote(mm_case, 4096, "40GI")
+        phases = run.trace.by_phase()
+        # Kernel time rides in the d2h phase (the synchronous output copy
+        # drains the device), so there is no separate "kernel" phase here.
+        assert set(phases) == {
+            "host", "init", "malloc", "h2d", "launch", "d2h", "free",
+        }
+        assert run.total_seconds == pytest.approx(run.trace.total_seconds)
+
+    def test_network_share_grows_on_slow_networks(self, testbed, mm_case):
+        slow = testbed.measure_remote(mm_case, 8192, "GigaE")
+        fast = testbed.measure_remote(mm_case, 8192, "A-HT")
+        assert slow.trace.network_seconds > 5 * fast.trace.network_seconds
+        # Device + host time is network-independent.
+        assert slow.trace.device_seconds == pytest.approx(
+            fast.trace.device_seconds
+        )
+        assert slow.trace.host_seconds == pytest.approx(
+            fast.trace.host_seconds
+        )
+
+    def test_local_gpu_includes_init_penalty_at_small_sizes(
+        self, testbed, mm_case
+    ):
+        # The paper: at m=4096 the local GPU (cold CUDA context) is
+        # slower than a remote 40GI execution (daemon pre-initialized).
+        local = testbed.measure_local_gpu(mm_case, 4096).total_seconds
+        remote = testbed.measure_remote(mm_case, 4096, "40GI").total_seconds
+        assert local > remote
+
+    def test_local_gpu_wins_at_scale_over_slow_networks(self, testbed, mm_case):
+        local = testbed.measure_local_gpu(mm_case, 18432).total_seconds
+        gigae = testbed.measure_remote(mm_case, 18432, "GigaE").total_seconds
+        assert gigae > local
+
+    def test_cpu_run_is_single_phase(self, testbed, fft_case):
+        run = testbed.measure_local_cpu(fft_case, 2048)
+        assert run.trace.by_phase() == {"host": pytest.approx(run.total_seconds)}
+
+    def test_table6_inputs_cover_paper_sizes(self, testbed, mm_case):
+        cpu, gpu, ge, ib = testbed.table6_inputs(mm_case)
+        for column in (cpu, gpu, ge, ib):
+            assert set(column) == set(mm_case.paper_sizes)
+
+
+def test_case_by_name():
+    assert case_by_name("MM").name == "MM"
+    assert case_by_name("FFT").name == "FFT"
+    with pytest.raises(ConfigurationError):
+        case_by_name("LU")

@@ -1,0 +1,67 @@
+"""Execution traces and the functional runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testbed import FunctionalRunner
+from repro.testbed.trace import ExecutionTrace, PhaseTiming
+
+
+class TestTrace:
+    def test_totals_aggregate(self):
+        trace = ExecutionTrace(case="MM", size=64, network="40GI")
+        trace.add("host", host_seconds=1.0)
+        trace.add("h2d", network_seconds=0.5, device_seconds=0.25)
+        trace.add("h2d", network_seconds=0.5)
+        assert trace.total_seconds == pytest.approx(2.25)
+        assert trace.network_seconds == pytest.approx(1.0)
+        assert trace.device_seconds == pytest.approx(0.25)
+        assert trace.host_seconds == pytest.approx(1.0)
+
+    def test_by_phase_is_canonically_ordered(self):
+        trace = ExecutionTrace(case="MM", size=64, network="40GI")
+        trace.add("free", network_seconds=0.1)
+        trace.add("init", network_seconds=0.2)
+        trace.add("host", host_seconds=0.3)
+        assert list(trace.by_phase()) == ["host", "init", "free"]
+
+    def test_unknown_phase_rejected(self):
+        trace = ExecutionTrace(case="MM", size=64, network="40GI")
+        with pytest.raises(ConfigurationError):
+            trace.add("teleport", host_seconds=1.0)
+
+    def test_phase_timing_total(self):
+        timing = PhaseTiming("h2d", network_seconds=1.0,
+                             device_seconds=2.0, host_seconds=3.0)
+        assert timing.total_seconds == 6.0
+
+
+class TestFunctionalRunner:
+    def test_inproc_run_verifies_and_accounts(self, mm_case):
+        with FunctionalRunner() as runner:
+            report = runner.run(mm_case, 64)
+        assert report.result.verified
+        assert report.bytes_sent > mm_case.payload_bytes(64) * 2
+        assert report.messages_sent == 12
+        assert set(report.virtual_network_seconds) == {"GigaE", "40GI"}
+        # GigaE is slower than 40GI for the same traffic.
+        assert (
+            report.virtual_network_seconds["GigaE"]
+            > report.virtual_network_seconds["40GI"]
+        )
+
+    def test_tcp_run(self, fft_case):
+        with FunctionalRunner(use_tcp=True) as runner:
+            report = runner.run(fft_case, 16)
+        assert report.result.verified
+
+    def test_custom_network_accounting(self, mm_case):
+        with FunctionalRunner(accounted_networks=("A-HT",)) as runner:
+            report = runner.run(mm_case, 32)
+        assert set(report.virtual_network_seconds) == {"A-HT"}
+
+    def test_multiple_runs_reuse_the_runner(self, mm_case, fft_case):
+        with FunctionalRunner() as runner:
+            assert runner.run(mm_case, 32).result.verified
+            assert runner.run(fft_case, 8).result.verified
+            assert runner.run(mm_case, 48, seed=9).result.verified

@@ -1,0 +1,160 @@
+"""Transports: in-proc pair, real TCP, timed wrapper."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import TransportClosedError
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+from repro.transport.inproc import inproc_pair
+from repro.transport.tcp import TcpTransport, connect_tcp
+from repro.transport.timed import TimedTransport
+
+
+class TestInProc:
+    def test_send_recv_exact(self):
+        a, b = inproc_pair()
+        a.send(b"hello world")
+        assert b.recv_exact(5) == b"hello"
+        assert b.recv_exact(6) == b" world"
+
+    def test_reassembles_across_chunks(self):
+        a, b = inproc_pair()
+        a.send(b"ab")
+        a.send(b"cd")
+        a.send(b"ef")
+        assert b.recv_exact(6) == b"abcdef"
+
+    def test_bidirectional(self):
+        a, b = inproc_pair()
+        a.send(b"ping")
+        assert b.recv_exact(4) == b"ping"
+        b.send(b"pong")
+        assert a.recv_exact(4) == b"pong"
+
+    def test_close_wakes_blocked_reader(self):
+        a, b = inproc_pair()
+        errors = []
+
+        def reader():
+            try:
+                b.recv_exact(10)
+            except TransportClosedError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        a.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert errors
+
+    def test_send_after_close_raises(self):
+        a, b = inproc_pair()
+        a.close()
+        with pytest.raises(TransportClosedError):
+            a.send(b"late")
+
+    def test_timeout(self):
+        a, b = inproc_pair(timeout=0.05)
+        with pytest.raises(TransportClosedError, match="timed out"):
+            b.recv_exact(1)
+
+    def test_accounting(self):
+        a, b = inproc_pair()
+        a.send(b"12345")
+        b.recv_exact(5)
+        assert a.bytes_sent == 5
+        assert a.messages_sent == 1
+        assert b.bytes_received == 5
+
+    def test_cross_thread_throughput(self):
+        a, b = inproc_pair()
+        n = 200
+        payload = bytes(1000)
+
+        def writer():
+            for _ in range(n):
+                a.send(payload)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        total = sum(len(b.recv_exact(1000)) for _ in range(n))
+        t.join()
+        assert total == n * 1000
+
+
+class TestTcp:
+    def _pair(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        client_sock = socket.create_connection(("127.0.0.1", port))
+        server_sock, _ = listener.accept()
+        listener.close()
+        return TcpTransport(client_sock), TcpTransport(server_sock)
+
+    def test_roundtrip(self):
+        a, b = self._pair()
+        try:
+            a.send(b"x" * 10000)
+            assert b.recv_exact(10000) == b"x" * 10000
+            b.send(b"ok")
+            assert a.recv_exact(2) == b"ok"
+        finally:
+            a.close()
+            b.close()
+
+    def test_nodelay_is_set(self):
+        a, b = self._pair()
+        try:
+            assert a._sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_raises(self):
+        a, b = self._pair()
+        a.close()
+        with pytest.raises(TransportClosedError):
+            b.recv_exact(1)
+        b.close()
+
+    def test_connect_refused(self):
+        from repro.errors import TransportError
+
+        with pytest.raises(TransportError):
+            connect_tcp("127.0.0.1", 1, timeout=0.5)  # port 1: refused
+
+
+class TestTimed:
+    def test_send_charges_the_link(self):
+        a, b = inproc_pair()
+        clock = VirtualClock()
+        link = SimulatedLink(get_network("GigaE"), clock=clock)
+        timed = TimedTransport(a, link)
+        timed.send(b"\x00" * 21490)  # the MM init message
+        assert b.recv_exact(21490)
+        assert clock.now() == pytest.approx(338.7e-6)
+        assert timed.virtual_network_seconds == clock.now()
+
+    def test_recv_does_not_double_charge(self):
+        a, b = inproc_pair()
+        link = SimulatedLink(get_network("GigaE"))
+        timed = TimedTransport(a, link)
+        b.send(b"ok")
+        timed.recv_exact(2)
+        assert link.clock.now() == 0.0
+
+    def test_bytes_flow_unchanged(self):
+        a, b = inproc_pair()
+        timed = TimedTransport(a, SimulatedLink(get_network("40GI")))
+        timed.send(b"payload")
+        assert b.recv_exact(7) == b"payload"
+        timed.close()
+        with pytest.raises(TransportClosedError):
+            b.recv_exact(1)

@@ -1,0 +1,152 @@
+"""Case studies: payload arithmetic, functional runs, verification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcuda import CudaRuntime
+from repro.units import MIB
+from repro.workloads import (
+    FftBatchCase,
+    MatrixProductCase,
+    cpu_fft_batch,
+    cpu_matrix_product,
+    fft_batch_signal,
+    random_matrix,
+)
+
+
+class TestMatrixProductArithmetic:
+    def test_payload_matches_table3(self, mm_case):
+        # m=4096 -> 64 MiB per copy (Table III's Data column).
+        assert mm_case.payload_bytes(4096) == 64 * MIB
+        assert mm_case.payload_bytes(18432) == 1296 * MIB
+
+    def test_copies_and_buffers(self, mm_case):
+        assert mm_case.copies_per_run == 3
+        assert mm_case.num_buffers == 3
+        assert mm_case.num_input_copies == 2
+
+    def test_flops_cubic(self, mm_case):
+        assert mm_case.flops(1000) == 2e9
+
+    def test_module_size_is_published_value(self, mm_case):
+        assert mm_case.module().size == 21486
+        assert mm_case.module().exports("sgemmNN")
+
+    def test_paper_sizes(self, mm_case):
+        assert mm_case.paper_sizes == (4096, 6144, 8192, 10240,
+                                       12288, 14336, 16384, 18432)
+
+    def test_launch_geometry_respects_block_limit(self, mm_case):
+        for size in (64, 4096, 18432):
+            grid, block = mm_case.launch_geometry(size)
+            assert block.count <= 512
+            assert grid.x <= 65535 and grid.y <= 65535
+
+
+class TestFftArithmetic:
+    def test_payload_is_4096_per_batch(self, fft_case):
+        assert fft_case.payload_bytes(1) == 4096
+        assert fft_case.payload_bytes(2048) == 8 * MIB
+
+    def test_copies_and_buffers(self, fft_case):
+        assert fft_case.copies_per_run == 2
+        assert fft_case.num_buffers == 1
+
+    def test_module_size(self, fft_case):
+        assert fft_case.module().size == 7852
+        assert fft_case.module().exports("FFT512_device")
+
+    def test_flops_n_log_n(self, fft_case):
+        assert fft_case.flops(1) == pytest.approx(5 * 512 * 9)
+
+
+class TestFunctionalRuns:
+    def test_mm_runs_and_verifies_locally(self, local_runtime, mm_case):
+        mm_case.ensure_module(local_runtime)
+        result = mm_case.run(local_runtime, 48)
+        assert result.verified
+        assert result.output.shape == (48, 48)
+        assert set(result.phase_seconds) >= {
+            "datagen", "malloc", "h2d", "kernel", "d2h", "free",
+        }
+
+    def test_fft_runs_and_verifies_locally(self, local_runtime, fft_case):
+        fft_case.ensure_module(local_runtime)
+        result = fft_case.run(local_runtime, 8)
+        assert result.verified
+        assert result.output.shape == (8, 512)
+        assert result.output.dtype == np.complex64
+
+    def test_runs_are_seed_reproducible(self, local_runtime, mm_case):
+        mm_case.ensure_module(local_runtime)
+        a = mm_case.run(local_runtime, 32, seed=5)
+        b = mm_case.run(local_runtime, 32, seed=5)
+        np.testing.assert_array_equal(a.output, b.output)
+
+    def test_different_seeds_differ(self, local_runtime, mm_case):
+        mm_case.ensure_module(local_runtime)
+        a = mm_case.run(local_runtime, 32, seed=1)
+        b = mm_case.run(local_runtime, 32, seed=2)
+        assert not np.array_equal(a.output, b.output)
+
+    def test_buffers_freed_even_without_verify(self, device, mm_case):
+        rt = CudaRuntime(device, preinitialized=True)
+        mm_case.ensure_module(rt)
+        mm_case.run(rt, 32, verify=False)
+        assert device.memory.allocation_count == 0
+        rt.close()
+
+    def test_invalid_size_rejected(self, local_runtime, mm_case):
+        with pytest.raises(ConfigurationError):
+            mm_case.run(local_runtime, 0)
+
+
+class TestDatagen:
+    def test_matrix_shape_dtype_range(self):
+        m = random_matrix(10, 20, seed=1)
+        assert m.shape == (10, 20)
+        assert m.dtype == np.float32
+        assert float(np.abs(m).max()) <= 1.0
+
+    def test_matrix_seeded(self):
+        np.testing.assert_array_equal(random_matrix(8, seed=3),
+                                      random_matrix(8, seed=3))
+
+    def test_signal_shape_dtype(self):
+        s = fft_batch_signal(4, seed=2)
+        assert s.shape == (4, 512)
+        assert s.dtype == np.complex64
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_matrix(0)
+        with pytest.raises(ConfigurationError):
+            fft_batch_signal(-1)
+
+
+class TestCpuBaselines:
+    def test_gemm_correct(self):
+        a = random_matrix(16, seed=0)
+        b = random_matrix(16, seed=1)
+        c, seconds = cpu_matrix_product(a, b)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-6)
+        assert seconds >= 0
+
+    def test_gemm_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            cpu_matrix_product(np.zeros((2, 3), np.float32),
+                               np.zeros((2, 3), np.float32))
+
+    def test_fft_correct(self):
+        s = fft_batch_signal(4, seed=0)
+        spectra, seconds = cpu_fft_batch(s)
+        np.testing.assert_allclose(
+            spectra, np.fft.fft(s, axis=1).astype(np.complex64),
+            rtol=1e-4, atol=1e-3,
+        )
+
+    def test_fft_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            cpu_fft_batch(np.zeros(512, np.complex64))
