@@ -22,7 +22,7 @@ from repro.cluster.topology import ClusterTopology, topology_contention_report
 from repro.model.amortization import amortization_profile, break_even_table
 from repro.net import get_network, list_networks
 from repro.reporting import render_table
-from repro.simcuda import Dim3, MemcpyKind, check
+from repro.simcuda import MemcpyKind, check
 from repro.workloads import FftBatchCase, MatrixProductCase
 
 

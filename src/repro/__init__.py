@@ -14,6 +14,8 @@ The package rebuilds the paper's whole system in Python:
 * :mod:`repro.testbed` -- functional and virtual-clock testbeds;
 * :mod:`repro.model` -- the transfer/fixed-time estimation model;
 * :mod:`repro.cluster` -- the Figure 1 architecture at cluster scale;
+* :mod:`repro.obs` -- observability: RPC spans, a metrics registry, and
+  JSONL/Perfetto/Prometheus exporters over the whole request path;
 * :mod:`repro.experiments` -- regeneration of every table and figure.
 
 Quick start::
@@ -31,6 +33,7 @@ Quick start::
 from repro.clock import VirtualClock, WallClock
 from repro.errors import ReproError
 from repro.model import default_calibration
+from repro.obs import MetricsRegistry, Tracer
 from repro.net import NetworkSpec, get_network, list_networks
 from repro.rcuda import RCudaClient, RCudaDaemon, RemoteCudaRuntime
 from repro.simcuda import CudaRuntime, SimulatedGpu
@@ -44,6 +47,7 @@ __all__ = [
     "FftBatchCase",
     "FunctionalRunner",
     "MatrixProductCase",
+    "MetricsRegistry",
     "NetworkSpec",
     "RCudaClient",
     "RCudaDaemon",
@@ -51,6 +55,7 @@ __all__ = [
     "ReproError",
     "SimulatedGpu",
     "SimulatedTestbed",
+    "Tracer",
     "VirtualClock",
     "WallClock",
     "__version__",

@@ -7,8 +7,12 @@ Subcommands:
   CSV artifacts;
 * ``pingpong <network>`` -- characterize a simulated link the way
   Section IV.A characterizes a real one;
-* ``serve`` -- run an rCUDA daemon on a TCP port over a simulated GPU;
-* ``run <case>`` -- one functional remote execution with verification;
+* ``serve`` -- run an rCUDA daemon on a TCP port over a simulated GPU,
+  optionally with a Prometheus ``--metrics-port`` and a ``--log-json``
+  span stream;
+* ``run <case>`` -- one functional remote execution with verification
+  (``--trace-out``/``--chrome-out`` record the RPC timeline);
+* ``stats <file>`` -- replay a JSONL span log into a summary table;
 * ``cluster`` -- the provisioning sweep.
 """
 
@@ -106,27 +110,57 @@ def _real_pingpong() -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
+    from repro.obs import JsonlSink, MetricsRegistry, MetricsServer, Tracer
     from repro.rcuda import RCudaDaemon
     from repro.simcuda import SimulatedGpu
 
-    daemon = RCudaDaemon(SimulatedGpu(), host=args.host, port=args.port)
+    sink = JsonlSink(args.log_json) if args.log_json else None
+    tracer = Tracer(sink=sink) if sink is not None else None
+    registry = MetricsRegistry() if args.metrics_port is not None else None
+
+    daemon = RCudaDaemon(
+        SimulatedGpu(), host=args.host, port=args.port,
+        tracer=tracer, metrics=registry,
+    )
     port = daemon.start()
-    print(f"rCUDA daemon listening on {args.host}:{port} (Ctrl-C to stop)")
+    metrics_server = None
     try:
-        while True:
-            time.sleep(1.0)
+        print(f"rCUDA daemon listening on {args.host}:{port} (Ctrl-C to stop)")
+        if registry is not None:
+            metrics_server = MetricsServer(
+                registry, host=args.host, port=args.metrics_port
+            )
+            mport = metrics_server.start()
+            print(f"metrics on http://{args.host}:{mport}/metrics")
+        if sink is not None:
+            print(f"span log streaming to {args.log_json}")
+        sys.stdout.flush()
+        deadline = (
+            time.monotonic() + args.run_seconds
+            if args.run_seconds is not None
+            else None
+        )
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.05 if deadline is not None else 1.0)
     except KeyboardInterrupt:
         print("\nstopping")
+    finally:
         daemon.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
+        if sink is not None:
+            sink.close()
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, write_chrome_trace, write_jsonl
     from repro.testbed import FunctionalRunner
     from repro.testbed.simulated import case_by_name
 
     case = case_by_name(args.case.upper())
-    with FunctionalRunner(use_tcp=args.tcp) as runner:
+    tracer = Tracer() if (args.trace_out or args.chrome_out) else None
+    with FunctionalRunner(use_tcp=args.tcp, tracer=tracer) as runner:
         report = runner.run(case, args.size, seed=args.seed)
     result = report.result
     print(
@@ -138,7 +172,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     for network, seconds in report.virtual_network_seconds.items():
         print(f"  virtual network time on {network}: {seconds * 1e3:.2f} ms")
+    if tracer is not None:
+        if args.trace_out:
+            write_jsonl(tracer.spans, args.trace_out)
+            print(f"  span log: {args.trace_out} ({len(tracer.spans)} spans)")
+        if args.chrome_out:
+            write_chrome_trace(tracer.spans, args.chrome_out)
+            print(f"  chrome trace: {args.chrome_out} (load in Perfetto)")
     return 0 if result.verified else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, render_summary
+
+    try:
+        spans = read_jsonl(args.tracefile)
+    except OSError as exc:
+        print(f"error: cannot read {args.tracefile}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(
+            f"error: {args.tracefile} is not a span log: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not spans:
+        print(f"no spans in {args.tracefile}")
+        return 1
+    print(render_summary(spans, title=f"Span summary: {args.tracefile}"))
+    return 0
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
@@ -197,13 +259,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, write_chrome_trace, write_jsonl
     from repro.reporting import render_table
     from repro.testbed import SimulatedTestbed
     from repro.testbed.simulated import case_by_name
 
     case = case_by_name(args.case.upper())
     testbed = SimulatedTestbed()
-    run = testbed.measure_remote(case, args.size, args.network)
+    tracer = Tracer() if (args.trace_out or args.chrome_out) else None
+    run = testbed.measure_remote(case, args.size, args.network, tracer=tracer)
     rows = [
         [phase, seconds * 1e3, 100.0 * seconds / run.total_seconds]
         for phase, seconds in run.trace.by_phase().items()
@@ -224,6 +288,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"device {run.trace.device_seconds * 1e3:.1f} ms, "
         f"host {run.trace.host_seconds * 1e3:.1f} ms"
     )
+    if tracer is not None:
+        if args.trace_out:
+            write_jsonl(tracer.spans, args.trace_out)
+            print(f"span log: {args.trace_out} ({len(tracer.spans)} spans)")
+        if args.chrome_out:
+            write_chrome_trace(tracer.spans, args.chrome_out)
+            print(f"chrome trace: {args.chrome_out} (load in Perfetto)")
     return 0
 
 
@@ -282,6 +353,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run an rCUDA daemon")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8308)
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="expose Prometheus metrics on this port (0 = ephemeral)")
+    p.add_argument("--log-json", default=None, metavar="FILE",
+                   help="stream server spans to FILE as JSONL")
+    p.add_argument("--run-seconds", type=float, default=None,
+                   help="serve for this long then exit (default: forever)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("run", help="one functional remote execution")
@@ -289,7 +366,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--tcp", action="store_true", help="use real TCP sockets")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write client+server spans to FILE as JSONL")
+    p.add_argument("--chrome-out", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON (Perfetto-loadable)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "stats", help="summarize a JSONL span log written by run/serve"
+    )
+    p.add_argument("tracefile", help="path to a .jsonl span log")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(
         "whatif",
@@ -314,6 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("case", choices=["mm", "fft", "MM", "FFT"])
     p.add_argument("--size", type=int, default=8192)
     p.add_argument("--network", default="40GI")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write virtual-clock spans to FILE as JSONL")
+    p.add_argument("--chrome-out", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON (Perfetto-loadable)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("cluster", help="GPU provisioning sweep")

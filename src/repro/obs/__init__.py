@@ -1,0 +1,80 @@
+"""Observability for the rCUDA stack: spans, metrics, exporters.
+
+The paper built its estimation model by "analyzing the traces of two
+different case studies over two different networks"; this package makes
+that kind of trace a first-class product of every run:
+
+* :mod:`repro.obs.spans` -- one span per remote API call (client side)
+  and per dispatched request (server side), keyed by session + sequence
+  number, timed on wall or virtual clocks;
+* :mod:`repro.obs.metrics` -- counters, gauges and fixed-bucket
+  histograms in a registry (RPC latency per function, bytes per op,
+  active sessions, device-memory occupancy);
+* :mod:`repro.obs.exporters` -- JSONL event logs, Chrome trace-event
+  JSON (Perfetto-loadable), Prometheus v0.0.4 text exposition;
+* :mod:`repro.obs.summary` -- ASCII tables for `repro stats`;
+* :mod:`repro.obs.httpserver` -- the `--metrics-port` scrape endpoint.
+
+Instrumentation defaults to :data:`NULL_TRACER`, a no-op, so the
+uninstrumented hot path stays as fast as before the package existed.
+"""
+
+from repro.obs.exporters import (
+    JsonlSink,
+    chrome_trace,
+    phase_breakdown,
+    read_jsonl,
+    render_prometheus,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.httpserver import MetricsServer
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.naming import describe_request
+from repro.obs.spans import (
+    KIND_CLIENT,
+    KIND_SERVER,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+from repro.obs.summary import (
+    FunctionStats,
+    aggregate_spans,
+    render_summary,
+    spans_to_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "FunctionStats",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "KIND_CLIENT",
+    "KIND_SERVER",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "chrome_trace",
+    "describe_request",
+    "phase_breakdown",
+    "read_jsonl",
+    "render_prometheus",
+    "render_summary",
+    "spans_to_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

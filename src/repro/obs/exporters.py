@@ -1,0 +1,214 @@
+"""Exporters: JSONL span logs, Chrome trace-event JSON, Prometheus text.
+
+Three interchange formats over the same span/metric data:
+
+* **JSONL** -- one event dict per line; the durable form `repro stats`
+  replays and the form ``repro run --trace-out`` / ``repro serve
+  --log-json`` write;
+* **Chrome trace events** -- the ``traceEvents`` JSON that Perfetto and
+  ``chrome://tracing`` load; client and server become processes, sessions
+  become named tracks;
+* **Prometheus text exposition v0.0.4** -- what a scrape of
+  ``repro serve --metrics-port`` returns.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import KIND_CLIENT, Span
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def write_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
+    """Write one event per line; returns the path written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_event(), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[Span]:
+    """Load a span log written by :func:`write_jsonl` (or streamed by
+    :class:`JsonlSink`)."""
+    spans: list[Span] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_event(json.loads(line)))
+    return spans
+
+
+class JsonlSink:
+    """A tracer sink that streams each finished span to a file.
+
+    Safe to share between the client tracer and server session threads;
+    one lock serializes lines so events never interleave mid-record.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def __call__(self, span: Span) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.write(json.dumps(span.to_event(), sort_keys=True))
+                self._fh.write("\n")
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- Chrome trace events -------------------------------------------------------
+
+
+def chrome_trace(spans: Iterable[Span], time_unit: str = "s") -> dict:
+    """Build a Chrome trace-event document (the ``traceEvents`` format).
+
+    Each span becomes one complete ("X") event.  Client and server sides
+    become separate processes; each session gets its own thread row, so
+    Perfetto shows one track per session on either side of the wire.
+    ``time_unit`` names the unit of ``Span.start`` ("s" for wall/virtual
+    seconds); timestamps are emitted in microseconds as the format wants.
+    """
+    scale = {"s": 1e6, "ms": 1e3, "us": 1.0}[time_unit]
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        pid = pids.setdefault(span.kind, len(pids) + 1)
+        tid_key = (span.kind, span.session)
+        if tid_key not in tids:
+            tids[tid_key] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tids[tid_key], "args": {"name": span.session},
+            })
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.attrs.get("phase", "rpc"),
+            "pid": pid,
+            "tid": tids[tid_key],
+            "ts": span.start * scale,
+            "dur": span.duration_seconds * scale,
+            "args": {"seq": span.seq, **span.attrs},
+        })
+    meta = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": f"rcuda-{kind}"}}
+        for kind, pid in pids.items()
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Iterable[Span], path: str | Path, time_unit: str = "s"
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans, time_unit=time_unit)))
+    return path
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The text exposition format v0.0.4 of every metric in ``registry``."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {metric.help_text}")
+        lines.append(f"# TYPE {metric.name} {metric.type_name}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, (cumulative, total, count) in metric.samples():
+                for bound, c in zip(metric.buckets, cumulative):
+                    bl = dict(labels, le=_format_value(bound))
+                    lines.append(f"{metric.name}_bucket{_format_labels(bl)} {c}")
+                bl = dict(labels, le="+Inf")
+                lines.append(f"{metric.name}_bucket{_format_labels(bl)} {count}")
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(total)}"
+                )
+                lines.append(f"{metric.name}_count{_format_labels(labels)} {count}")
+    return "\n".join(lines) + "\n"
+
+
+# -- phase aggregation ---------------------------------------------------------
+
+
+def phase_breakdown(spans: Iterable[Span], kind: str = KIND_CLIENT) -> dict[str, float]:
+    """Total span seconds per Section III phase, canonically ordered.
+
+    This is the span-derived counterpart of
+    :meth:`repro.testbed.trace.ExecutionTrace.by_phase`: aggregating a
+    virtual-clock span log of a simulated run reproduces that run's phase
+    totals exactly.
+    """
+    from repro.testbed.trace import PHASE_ORDER
+
+    totals: dict[str, float] = {}
+    for span in spans:
+        if kind is not None and span.kind != kind:
+            continue
+        phase = span.attrs.get("phase")
+        if phase is None:
+            continue
+        totals[phase] = totals.get(phase, 0.0) + span.duration_seconds
+    ordered = {name: totals.pop(name) for name in PHASE_ORDER if name in totals}
+    ordered.update(totals)  # non-canonical phases trail in insertion order
+    return ordered

@@ -1,0 +1,92 @@
+"""A minimal /metrics endpoint for Prometheus scrapes.
+
+`repro serve --metrics-port N` starts one of these next to the daemon.
+Standard-library only: a threading HTTP server answering ``GET /metrics``
+with the text exposition of a :class:`~repro.obs.metrics.MetricsRegistry`
+and ``GET /healthz`` with a liveness probe.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import TransportError
+from repro.obs.exporters import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+#: Content type the v0.0.4 text exposition is served under.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves a registry on ``GET /metrics`` until :meth:`stop`."""
+
+    def __init__(
+        self, registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        registry = self.registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = render_prometheus(registry).encode()
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes should not spam the daemon's stdout
+
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self.host, self._requested_port), Handler
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"could not bind metrics endpoint "
+                f"{self.host}:{self._requested_port}: {exc}"
+            ) from exc
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,227 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms in a registry.
+
+The shapes mirror the Prometheus client-library data model (the exporter
+in :mod:`repro.obs.exporters` renders the v0.0.4 text exposition), scoped
+to what the daemon actually needs: labelled samples, cumulative histogram
+buckets, and callback gauges so device-memory occupancy is read at scrape
+time instead of being pushed on every allocation.
+
+Everything is thread-safe under one lock per metric -- session threads
+record concurrently while a scrape renders.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Default latency buckets in seconds (Prometheus client defaults,
+#: extended downward: loopback RPCs sit in the tens of microseconds).
+DEFAULT_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Metric:
+    """Base: a named family of samples keyed by label values."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    type_name = "counter"
+
+    def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterator[tuple[dict, float]]:
+        with self._lock:
+            items = list(self._values.items())
+        for key, value in items:
+            yield dict(zip(self.labelnames, key)), value
+
+
+class Gauge(Metric):
+    """A value that can go up and down, or be computed at read time."""
+
+    type_name = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Compute the (unlabelled) value lazily at collection time."""
+        if self.labelnames:
+            raise ConfigurationError(
+                f"callback gauge {self.name} cannot have labels"
+            )
+        self._fn = fn
+
+    def value(self, **labels) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterator[tuple[dict, float]]:
+        if self._fn is not None:
+            yield {}, float(self._fn())
+            return
+        with self._lock:
+            items = list(self._values.items())
+        for key, value in items:
+            yield dict(zip(self.labelnames, key)), value
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution with cumulative bucket counts."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {name} buckets must be sorted and non-empty"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+        #: per label key: ([count per bucket], sum, count)
+        self._series: dict[tuple[str, ...], tuple[list[int], float, int]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts, total, n = self._series.get(
+                key, ([0] * len(self.buckets), 0.0, 0)
+            )
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            self._series[key] = (counts, total + value, n + 1)
+
+    def snapshot(self, **labels) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts, sum, count) for one label set."""
+        with self._lock:
+            counts, total, n = self._series.get(
+                self._key(labels), ([0] * len(self.buckets), 0.0, 0)
+            )
+            cumulative: list[int] = []
+            running = 0
+            for c in counts:
+                running += c
+                cumulative.append(running)
+            return cumulative, total, n
+
+    def samples(self) -> Iterator[tuple[dict, tuple[list[int], float, int]]]:
+        with self._lock:
+            keys = list(self._series)
+        for key in keys:
+            labels = dict(zip(self.labelnames, key))
+            yield labels, self.snapshot(**labels)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric a process exposes."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigurationError(
+                        f"metric {name} already registered as "
+                        f"{existing.type_name}, not {cls.type_name}"
+                    )
+                return existing
+            metric = cls(name, help_text, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames=labelnames, buckets=buckets
+        )
+
+    def collect(self) -> list[Metric]:
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics

@@ -1,0 +1,76 @@
+"""Span naming: map wire requests to CUDA call names and phases.
+
+Both ends of an exchange see the same request object (the client before
+encode, the server after decode), so both sides derive identical span
+names, function ids and Section III phase attributions from this table.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.constants import FunctionId
+from repro.protocol.messages import (
+    EventCreateRequest,
+    EventElapsedRequest,
+    EventRecordRequest,
+    FreeRequest,
+    InitRequest,
+    LaunchRequest,
+    MallocRequest,
+    MemcpyAsyncRequest,
+    MemcpyRequest,
+    MemsetRequest,
+    PropertiesRequest,
+    Request,
+    SetupArgsRequest,
+    StreamCreateRequest,
+    StreamSyncRequest,
+    SyncRequest,
+)
+from repro.simcuda.types import MemcpyKind
+
+#: (span name, function id, phase) per request type; memcpys are refined
+#: by transfer direction in :func:`describe_request`.
+_TABLE: dict[type, tuple[str, int | None, str]] = {
+    InitRequest: ("initialize", None, "init"),
+    MallocRequest: ("cudaMalloc", int(FunctionId.MALLOC), "malloc"),
+    MemcpyRequest: ("cudaMemcpy", int(FunctionId.MEMCPY), "h2d"),
+    MemcpyAsyncRequest: (
+        "cudaMemcpyAsync", int(FunctionId.MEMCPY_ASYNC), "h2d"
+    ),
+    MemsetRequest: ("cudaMemset", int(FunctionId.MEMSET), "h2d"),
+    SetupArgsRequest: (
+        "cudaSetupArgument", int(FunctionId.SETUP_ARGS), "launch"
+    ),
+    LaunchRequest: ("cudaLaunch", int(FunctionId.LAUNCH), "launch"),
+    FreeRequest: ("cudaFree", int(FunctionId.FREE), "free"),
+    SyncRequest: (
+        "cudaThreadSynchronize", int(FunctionId.SYNCHRONIZE), "kernel"
+    ),
+    PropertiesRequest: (
+        "cudaGetDeviceProperties", int(FunctionId.GET_PROPERTIES), "host"
+    ),
+    StreamCreateRequest: (
+        "cudaStreamCreate", int(FunctionId.STREAM_CREATE), "host"
+    ),
+    StreamSyncRequest: (
+        "cudaStreamSynchronize", int(FunctionId.STREAM_SYNC), "kernel"
+    ),
+    EventCreateRequest: (
+        "cudaEventCreate", int(FunctionId.EVENT_CREATE), "host"
+    ),
+    EventRecordRequest: (
+        "cudaEventRecord", int(FunctionId.EVENT_RECORD), "host"
+    ),
+    EventElapsedRequest: (
+        "cudaEventElapsedTime", int(FunctionId.EVENT_ELAPSED), "host"
+    ),
+}
+
+
+def describe_request(request: Request) -> tuple[str, int | None, str]:
+    """(span name, function id or None for init, phase) for one request."""
+    name, fid, phase = _TABLE[type(request)]
+    if isinstance(request, (MemcpyRequest, MemcpyAsyncRequest)):
+        if MemcpyKind(request.kind) is MemcpyKind.cudaMemcpyDeviceToHost:
+            phase = "d2h"
+    return name, fid, phase

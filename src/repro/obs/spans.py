@@ -1,0 +1,173 @@
+"""Span tracing for the rCUDA request path.
+
+One span covers one remoted operation: the client opens a span around each
+request/response exchange, the server opens one around each dispatched
+request.  Spans are keyed by (session, seq) so the two sides of the same
+RPC can be joined after the fact without widening the fixed Table I wire
+format by a single byte -- correlation is positional, exactly like the
+protocol itself (requests on a connection are strictly ordered).
+
+Timestamps come from any :class:`repro.clock.Clock`, so the same tracer
+records wall time under the functional testbed and virtual time under the
+simulated one.  The default tracer is :data:`NULL_TRACER`, whose every
+method is a no-op, keeping the uninstrumented hot path free of work
+beyond one attribute test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clock import Clock, WallClock
+
+#: Span kinds: which side of the wire observed the operation.
+KIND_CLIENT = "client"
+KIND_SERVER = "server"
+
+
+@dataclass
+class Span:
+    """One timed operation on one side of the wire."""
+
+    name: str
+    kind: str
+    session: str
+    seq: int
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_seconds(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def phase(self) -> str | None:
+        """Section III phase this operation belongs to, if attributed."""
+        return self.attrs.get("phase")
+
+    def to_event(self) -> dict:
+        """The JSONL form (one flat dict per line)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "session": self.session,
+            "seq": self.seq,
+            "start": self.start,
+            "end": self.end,
+            **{k: v for k, v in self.attrs.items()},
+        }
+
+    @classmethod
+    def from_event(cls, event: dict) -> "Span":
+        """Inverse of :meth:`to_event`."""
+        core = {"name", "kind", "session", "seq", "start", "end"}
+        return cls(
+            name=event["name"],
+            kind=event["kind"],
+            session=event["session"],
+            seq=int(event["seq"]),
+            start=float(event["start"]),
+            end=None if event.get("end") is None else float(event["end"]),
+            attrs={k: v for k, v in event.items() if k not in core},
+        )
+
+
+class Tracer:
+    """Collects spans; optionally streams each finished span to a sink."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        sink: Callable[[Span], None] | None = None,
+    ) -> None:
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.spans: list[Span] = []
+        self._sink = sink
+
+    def start(self, name: str, kind: str, session: str, seq: int, **attrs) -> Span:
+        """Open a span at the clock's current instant."""
+        return Span(
+            name=name,
+            kind=kind,
+            session=session,
+            seq=seq,
+            start=self.clock.now(),
+            attrs=attrs,
+        )
+
+    def finish(self, span: Span, **attrs) -> Span:
+        """Close ``span`` now, merge ``attrs``, and retain it."""
+        span.end = self.clock.now()
+        if attrs:
+            span.attrs.update(attrs)
+        self.spans.append(span)
+        if self._sink is not None:
+            self._sink(span)
+        return span
+
+    def record(
+        self,
+        name: str,
+        kind: str,
+        session: str,
+        seq: int,
+        start: float,
+        end: float,
+        **attrs,
+    ) -> Span:
+        """Retain an already-timed span (virtual-clock replays)."""
+        span = Span(
+            name=name, kind=kind, session=session, seq=seq,
+            start=start, end=end, attrs=attrs,
+        )
+        self.spans.append(span)
+        if self._sink is not None:
+            self._sink(span)
+        return span
+
+    # -- queries ----------------------------------------------------------
+
+    def spans_for(self, kind: str | None = None, session: str | None = None) -> list[Span]:
+        return [
+            s for s in self.spans
+            if (kind is None or s.kind == kind)
+            and (session is None or s.session == session)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NullTracer:
+    """The zero-cost default: every operation is a no-op.
+
+    ``enabled`` is False so instrumented code can skip even the argument
+    marshalling (byte-counter snapshots and the like) that feeding a real
+    tracer would need.
+    """
+
+    enabled = False
+    spans: tuple = ()
+
+    def start(self, name: str, kind: str, session: str, seq: int, **attrs) -> None:
+        return None
+
+    def finish(self, span, **attrs) -> None:
+        return None
+
+    def record(self, *args, **attrs) -> None:
+        return None
+
+    def spans_for(self, kind: str | None = None, session: str | None = None) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op tracer instance; use this instead of constructing one.
+NULL_TRACER = NullTracer()

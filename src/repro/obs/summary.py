@@ -1,0 +1,133 @@
+"""ASCII summaries of span logs: the `repro stats` backend.
+
+Aggregates a span stream per (kind, function): call count, latency
+statistics, and wire bytes, rendered through :mod:`repro.reporting` so
+the output matches the rest of the toolkit's tables.  Also converts a
+span log back into an :class:`~repro.testbed.trace.ExecutionTrace`, the
+structure the estimation model was built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.exporters import phase_breakdown
+from repro.obs.spans import Span
+from repro.reporting import render_table
+
+
+@dataclass(frozen=True)
+class FunctionStats:
+    """Aggregate over every span of one function on one side."""
+
+    kind: str
+    name: str
+    calls: int
+    total_seconds: float
+    mean_seconds: float
+    p50_seconds: float
+    p95_seconds: float
+    bytes_sent: int
+    bytes_received: int
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def aggregate_spans(spans: Iterable[Span]) -> list[FunctionStats]:
+    """Per-(kind, function) statistics, client side first."""
+    groups: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        groups.setdefault((span.kind, span.name), []).append(span)
+    out: list[FunctionStats] = []
+    for (kind, name), members in sorted(groups.items()):
+        durations = sorted(s.duration_seconds for s in members)
+        total = sum(durations)
+        out.append(
+            FunctionStats(
+                kind=kind,
+                name=name,
+                calls=len(members),
+                total_seconds=total,
+                mean_seconds=total / len(members),
+                p50_seconds=_percentile(durations, 0.50),
+                p95_seconds=_percentile(durations, 0.95),
+                bytes_sent=sum(int(s.attrs.get("bytes_sent", 0)) for s in members),
+                bytes_received=sum(
+                    int(s.attrs.get("bytes_received", 0)) for s in members
+                ),
+            )
+        )
+    return out
+
+
+def render_summary(spans: Iterable[Span], title: str = "Span summary") -> str:
+    """The `repro stats` table: one row per (side, function)."""
+    spans = list(spans)
+    stats = aggregate_spans(spans)
+    rows = [
+        [
+            s.kind,
+            s.name,
+            s.calls,
+            s.total_seconds * 1e3,
+            s.mean_seconds * 1e3,
+            s.p50_seconds * 1e3,
+            s.p95_seconds * 1e3,
+            s.bytes_sent,
+            s.bytes_received,
+        ]
+        for s in stats
+    ]
+    table = render_table(
+        ["Side", "Function", "Calls", "Total (ms)", "Mean (ms)",
+         "P50 (ms)", "P95 (ms)", "B sent", "B recv"],
+        rows,
+        title=title,
+        digits=3,
+        align_left_cols=(0, 1),
+    )
+    phases = phase_breakdown(spans)
+    if phases:
+        total = sum(phases.values()) or 1.0
+        phase_rows = [
+            [name, seconds * 1e3, 100.0 * seconds / total]
+            for name, seconds in phases.items()
+        ]
+        table += "\n\n" + render_table(
+            ["Phase", "Time (ms)", "Share (%)"],
+            phase_rows,
+            title="Client phase breakdown",
+            digits=3,
+        )
+    return table
+
+
+def spans_to_trace(
+    spans: Iterable[Span],
+    case: str,
+    size: int,
+    network: str,
+    kind: str = "client",
+) -> "ExecutionTrace":
+    """Rebuild an :class:`ExecutionTrace` from a span log.
+
+    Span time is attributed per phase the way the functional testbed sees
+    it: one aggregate entry per phase, in canonical order, so
+    ``by_phase()`` of the result equals :func:`phase_breakdown` of the
+    spans by construction.
+    """
+    from repro.testbed.trace import PHASE_ORDER, ExecutionTrace
+
+    trace = ExecutionTrace(case=case, size=size, network=network)
+    for phase, seconds in phase_breakdown(spans, kind=kind).items():
+        if phase in PHASE_ORDER:
+            trace.add(phase, host_seconds=seconds)
+    return trace

@@ -85,6 +85,12 @@ class MessageReader:
     def exhausted(self) -> bool:
         return self._transport is None and self._pos == len(self._buf)
 
+    def note_message(self) -> None:
+        """Tell the underlying transport one full message was consumed."""
+        note = getattr(self._transport, "note_message_received", None)
+        if note is not None:
+            note()
+
     def read_u4(self) -> int:
         return _U4.unpack(self.recv_exact(4))[0]
 
@@ -190,11 +196,18 @@ def decode_init(reader: MessageReader) -> InitRequest:
     """Read the id-less initialization message (first on a connection)."""
     size = reader.read_u4()
     module = reader.recv_exact(size)
+    reader.note_message()
     return InitRequest(module=module)
 
 
 def decode_request(reader: MessageReader) -> Request:
     """Read one post-initialization request (function id first)."""
+    request = _decode_request_body(reader)
+    reader.note_message()
+    return request
+
+
+def _decode_request_body(reader: MessageReader) -> Request:
     raw_id = reader.read_u4()
     try:
         fid = FunctionId(raw_id)
@@ -304,6 +317,12 @@ def encode_response(response: Response) -> bytes:
 def read_response(reader: MessageReader, request: Request) -> Response:
     """Read the reply matching ``request`` (the client knows the shape of
     the answer from the call it made, as in the real middleware)."""
+    response = _read_response_body(reader, request)
+    reader.note_message()
+    return response
+
+
+def _read_response_body(reader: MessageReader, request: Request) -> Response:
     if isinstance(request, InitRequest):
         major = reader.read_u4()
         minor = reader.read_u4()

@@ -26,10 +26,14 @@ class RCudaClient:
 
     @classmethod
     def connect(
-        cls, transport: Transport, module: GpuModule
+        cls,
+        transport: Transport,
+        module: GpuModule,
+        tracer=None,
+        session_id: str | None = None,
     ) -> "RCudaClient":
         """Initialize a session over an already-connected transport."""
-        runtime = RemoteCudaRuntime(transport)
+        runtime = RemoteCudaRuntime(transport, tracer=tracer, session_id=session_id)
         status = runtime.initialize(module)
         if status != CudaError.cudaSuccess:
             runtime.close()
@@ -38,25 +42,37 @@ class RCudaClient:
 
     @classmethod
     def connect_tcp(
-        cls, host: str, port: int, module: GpuModule, nodelay: bool = True
+        cls,
+        host: str,
+        port: int,
+        module: GpuModule,
+        nodelay: bool = True,
+        tracer=None,
+        session_id: str | None = None,
     ) -> "RCudaClient":
         """Dial a daemon over TCP (Nagle disabled by default, as in the
         paper) and initialize."""
         transport = connect_tcp(host, port, nodelay=nodelay)
         try:
-            return cls.connect(transport, module)
+            return cls.connect(transport, module, tracer=tracer, session_id=session_id)
         except Exception:
             transport.close()
             raise
 
     @classmethod
-    def connect_inproc(cls, daemon, module: GpuModule) -> "RCudaClient":
+    def connect_inproc(
+        cls,
+        daemon,
+        module: GpuModule,
+        tracer=None,
+        session_id: str | None = None,
+    ) -> "RCudaClient":
         """Connect to a daemon in this process without sockets: creates a
         transport pair and asks the daemon to serve the far end."""
         client_end, server_end = inproc_pair()
         try:
             daemon.serve_transport(server_end)
-            return cls.connect(client_end, module)
+            return cls.connect(client_end, module, tracer=tracer, session_id=session_id)
         except Exception:
             client_end.close()
             raise

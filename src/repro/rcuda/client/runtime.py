@@ -11,9 +11,13 @@ in the response's 4-byte error field.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.naming import describe_request
+from repro.obs.spans import KIND_CLIENT, NULL_TRACER, Tracer
 from repro.protocol.codec import MessageReader, encode_request, read_response
 from repro.protocol.messages import (
     ElapsedResponse,
@@ -46,10 +50,18 @@ from repro.simcuda.types import Dim3, DevicePtr, MemcpyKind
 from repro.transport.base import Transport
 
 
+_CLIENT_SESSION_IDS = itertools.count(1)
+
+
 class RemoteCudaRuntime:
     """One application's connection to a remote GPU."""
 
-    def __init__(self, transport: Transport) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        tracer: Tracer | None = None,
+        session_id: str | None = None,
+    ) -> None:
         self.transport = transport
         self._reader = MessageReader(transport)
         self.compute_capability: tuple[int, int] | None = None
@@ -58,6 +70,16 @@ class RemoteCudaRuntime:
         self._staged_args: list = []
         self.calls_made = 0
         self._closed = False
+        #: Span tracer; the shared no-op by default so the hot path pays
+        #: nothing when uninstrumented.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Local session key for span correlation (never hits the wire --
+        #: the Table I format stays byte-identical).
+        self.session_id = (
+            session_id
+            if session_id is not None
+            else f"client-{next(_CLIENT_SESSION_IDS)}"
+        )
         #: Optional observer called after every exchange with
         #: (request, response, bytes_sent).  Figure 2's sequence diagram
         #: is reconstructed from real sessions through this hook.
@@ -69,8 +91,27 @@ class RemoteCudaRuntime:
         if self._closed:
             raise ProtocolError("runtime is closed")
         wire = encode_request(request)
+        tracer = self.tracer
+        if tracer.enabled:
+            name, fid, phase = describe_request(request)
+            received_before = self.transport.bytes_received
+            span = tracer.start(
+                name,
+                KIND_CLIENT,
+                self.session_id,
+                self.calls_made,
+                function_id=fid,
+                phase=phase,
+            )
         self.transport.send(wire)
         response = read_response(self._reader, request)
+        if tracer.enabled:
+            tracer.finish(
+                span,
+                bytes_sent=len(wire),
+                bytes_received=self.transport.bytes_received - received_before,
+                error=response.error,
+            )
         self.calls_made += 1
         self.last_error = CudaError(response.error)
         if self.exchange_hook is not None:

@@ -10,6 +10,13 @@ several applications can time-share the accelerator concurrently.
 Besides TCP, ``serve_transport`` attaches a session to any transport
 (e.g. an in-process pair), which is how tests and single-process examples
 run a real client/server exchange without opening ports.
+
+Finished sessions are pruned as new connections arrive (long-lived
+daemons no longer grow one dead entry per connection), ``stop()`` closes
+live session transports so shutdown does not stall for the join timeout,
+and -- when a :class:`~repro.obs.metrics.MetricsRegistry` is attached --
+session counts, request totals and device-memory occupancy are exposed
+as gauges for the `--metrics-port` scrape endpoint.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import socket
 import threading
 
 from repro.errors import TransportError
+from repro.obs.spans import Tracer
 from repro.rcuda.server.session import ServerSession
 from repro.simcuda.device import SimulatedGpu
 from repro.transport.base import Transport
@@ -32,6 +40,8 @@ class RCudaDaemon:
         device: SimulatedGpu,
         host: str = "127.0.0.1",
         port: int = 0,
+        tracer: Tracer | None = None,
+        metrics=None,
     ) -> None:
         self.device = device
         self.host = host
@@ -43,6 +53,45 @@ class RCudaDaemon:
         self.sessions: list[ServerSession] = []
         self._lock = threading.Lock()
         self._running = False
+        self.tracer = tracer
+        self.metrics = metrics
+        #: Connections ever accepted (pruning forgets dead sessions, this
+        #: does not).
+        self.total_sessions = 0
+        self._finished_sessions = 0
+        if metrics is not None:
+            self._register_gauges(metrics)
+
+    def _register_gauges(self, metrics) -> None:
+        metrics.gauge(
+            "rcuda_active_sessions",
+            "Sessions currently attached to a live client connection.",
+        ).set_function(lambda: self.active_sessions)
+        metrics.gauge(
+            "rcuda_sessions_total",
+            "Connections accepted since the daemon started.",
+        ).set_function(lambda: self.total_sessions)
+        metrics.gauge(
+            "rcuda_sessions_completed",
+            "Sessions that have finished and released their GPU context.",
+        ).set_function(lambda: self.completed_sessions)
+        memory = self.device.memory
+        metrics.gauge(
+            "rcuda_device_mem_used_bytes",
+            "Device global memory reserved by live allocations.",
+        ).set_function(lambda: memory.used)
+        metrics.gauge(
+            "rcuda_device_mem_capacity_bytes",
+            "Device global memory capacity.",
+        ).set_function(lambda: memory.capacity)
+        metrics.gauge(
+            "rcuda_device_mem_allocations",
+            "Live allocations on the device.",
+        ).set_function(lambda: memory.allocation_count)
+        metrics.gauge(
+            "rcuda_device_mem_fragmentation",
+            "Allocator fragmentation: 1 - largest_free/total_free.",
+        ).set_function(memory.fragmentation)
 
     # -- TCP service -------------------------------------------------------
 
@@ -60,6 +109,9 @@ class RCudaDaemon:
                 f"could not bind {self.host}:{self._requested_port}: {exc}"
             ) from exc
         listener.listen(16)
+        # A blocked accept() is not reliably woken by close() from another
+        # thread on Linux; poll so stop() never waits out the join timeout.
+        listener.settimeout(0.1)
         self._listener = listener
         self.port = listener.getsockname()[1]
         self._running = True
@@ -74,39 +126,75 @@ class RCudaDaemon:
         while self._running:
             try:
                 conn, _addr = self._listener.accept()
+            except TimeoutError:
+                continue  # periodic wakeup to re-check _running
             except OSError:
                 break  # listener closed during stop()
+            if not self._running:
+                conn.close()
+                break
             transport = TcpTransport(conn, nodelay=True)
             self.serve_transport(transport)
 
     def serve_transport(self, transport: Transport) -> ServerSession:
         """Spawn a session thread over an already-connected transport."""
-        session = ServerSession(transport, self.device)
+        session = ServerSession(
+            transport,
+            self.device,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         thread = threading.Thread(
             target=session.run, name="rcuda-session", daemon=True
         )
         with self._lock:
+            self._prune_locked()
             self.sessions.append(session)
             self._session_threads.append(thread)
+            self.total_sessions += 1
         thread.start()
         return session
 
+    def _prune_locked(self) -> None:
+        """Drop finished sessions and dead threads (caller holds the lock)."""
+        finished = sum(1 for s in self.sessions if s.finished)
+        if finished:
+            self._finished_sessions += finished
+            self.sessions = [s for s in self.sessions if not s.finished]
+        self._session_threads = [
+            t for t in self._session_threads if t.is_alive()
+        ]
+
+    def prune(self) -> None:
+        """Forget finished sessions; counters keep the running totals."""
+        with self._lock:
+            self._prune_locked()
+
     def stop(self, join_timeout: float = 5.0) -> None:
-        """Stop accepting and wait for live sessions to drain."""
+        """Stop accepting, close live sessions, and wait for them to drain.
+
+        Closing each live session's transport wakes its thread out of any
+        blocking read, so shutdown completes promptly instead of stalling
+        for ``join_timeout`` per idle connection.
+        """
         self._running = False
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=join_timeout)
+            self._accept_thread = None
         if self._listener is not None:
             try:
                 self._listener.close()
             except OSError:
                 pass
             self._listener = None
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=join_timeout)
-            self._accept_thread = None
         with self._lock:
+            live = [s for s in self.sessions if not s.finished]
             threads = list(self._session_threads)
+        for session in live:
+            session.transport.close()
         for thread in threads:
             thread.join(timeout=join_timeout)
+        self.prune()
 
     def __enter__(self) -> "RCudaDaemon":
         self.start()
@@ -116,6 +204,15 @@ class RCudaDaemon:
         self.stop()
 
     @property
-    def completed_sessions(self) -> int:
+    def active_sessions(self) -> int:
+        """Sessions attached and not yet finished."""
         with self._lock:
-            return sum(1 for s in self.sessions if s.finished)
+            return sum(1 for s in self.sessions if not s.finished)
+
+    @property
+    def completed_sessions(self) -> int:
+        """Sessions that have finished, including pruned ones."""
+        with self._lock:
+            return self._finished_sessions + sum(
+                1 for s in self.sessions if s.finished
+            )

@@ -9,27 +9,47 @@ Lifecycle, matching Section III's phases from the server's side:
 3. finalization: the client closes its socket; the session notices the
    closed transport, quits servicing and releases the GPU context and all
    associated resources.
+
+When observability is attached, every dispatched request becomes one
+server span (keyed by this session's id + the request sequence number)
+and feeds the daemon's latency histogram and byte counters; the wire
+format is untouched.
 """
 
 from __future__ import annotations
 
+import itertools
+import time
+
 from repro.errors import ProtocolError, TransportClosedError, TransportError
+from repro.obs.naming import describe_request
+from repro.obs.spans import KIND_SERVER, NULL_TRACER, Tracer
 from repro.protocol.codec import (
     MessageReader,
     decode_init,
     decode_request,
     encode_response,
 )
+from repro.protocol.messages import InitRequest, Request
 from repro.rcuda.server.handler import SessionHandler
 from repro.simcuda.device import SimulatedGpu
 from repro.simcuda.runtime import CudaRuntime
 from repro.transport.base import Transport
 
+_SERVER_SESSION_IDS = itertools.count(1)
+
 
 class ServerSession:
     """Services one connection over one fresh GPU context."""
 
-    def __init__(self, transport: Transport, device: SimulatedGpu) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        device: SimulatedGpu,
+        tracer: Tracer | None = None,
+        metrics=None,
+        session_id: str | None = None,
+    ) -> None:
         self.transport = transport
         # "a different server process for each remote execution over a new
         # GPU context" -- pre-initialized, so clients skip the CUDA
@@ -37,19 +57,43 @@ class ServerSession:
         self.handler = SessionHandler(CudaRuntime(device, preinitialized=True))
         self.initialized = False
         self.finished = False
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.session_id = (
+            session_id
+            if session_id is not None
+            else f"server-{next(_SERVER_SESSION_IDS)}"
+        )
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_latency = metrics.histogram(
+                "rcuda_rpc_latency_seconds",
+                "Server-side dispatch latency per remoted CUDA function.",
+                labelnames=("function",),
+            )
+            self._m_bytes = metrics.counter(
+                "rcuda_rpc_bytes_total",
+                "Wire bytes per remoted CUDA function and direction.",
+                labelnames=("function", "direction"),
+            )
+            self._m_requests = metrics.counter(
+                "rcuda_requests_total",
+                "Requests handled by this daemon across all sessions.",
+            )
 
     def run(self) -> None:
         """Service the connection until the client disconnects."""
         reader = MessageReader(self.transport)
         try:
+            received_before = self.transport.bytes_received
             init_request = decode_init(reader)
-            response = self.handler.handle_init(init_request)
-            self.transport.send(encode_response(response))
+            self._dispatch(init_request, seq=0, received_before=received_before)
             self.initialized = True
+            seq = 0
             while True:
+                seq += 1
+                received_before = self.transport.bytes_received
                 request = decode_request(reader)
-                response = self.handler.handle(request)
-                self.transport.send(encode_response(response))
+                self._dispatch(request, seq=seq, received_before=received_before)
         except (TransportClosedError, TransportError):
             # Normal finalization: the client closed the socket (or the
             # connection died); either way the session ends.
@@ -61,3 +105,44 @@ class ServerSession:
             self.finished = True
             self.handler.close()
             self.transport.close()
+
+    def _dispatch(self, request: Request, seq: int, received_before: int) -> None:
+        """Handle one decoded request and send its response, observed."""
+        tracer = self.tracer
+        observing = tracer.enabled or self.metrics is not None
+        span = None
+        t0 = 0.0
+        if observing:
+            name, fid, phase = describe_request(request)
+            bytes_in = self.transport.bytes_received - received_before
+            t0 = time.perf_counter()
+            if tracer.enabled:
+                span = tracer.start(
+                    name,
+                    KIND_SERVER,
+                    self.session_id,
+                    seq,
+                    function_id=fid,
+                    phase=phase,
+                )
+        if isinstance(request, InitRequest):
+            response = self.handler.handle_init(request)
+        else:
+            response = self.handler.handle(request)
+        wire = encode_response(response)
+        self.transport.send(wire)
+        if observing:
+            if span is not None:
+                tracer.finish(
+                    span,
+                    bytes_received=bytes_in,
+                    bytes_sent=len(wire),
+                    error=response.error,
+                )
+            if self.metrics is not None:
+                self._m_latency.observe(
+                    time.perf_counter() - t0, function=name
+                )
+                self._m_bytes.inc(bytes_in, function=name, direction="in")
+                self._m_bytes.inc(len(wire), function=name, direction="out")
+                self._m_requests.inc()

@@ -30,21 +30,33 @@ class FunctionalRunReport:
     bytes_sent: int
     bytes_received: int
     messages_sent: int
+    #: Complete responses consumed by the client (mirrors the server's
+    #: ``messages_sent``; one per request on this strict RPC protocol).
+    messages_received: int
     #: Virtual network seconds the traffic would cost per modeled network.
     virtual_network_seconds: dict[str, float]
 
 
 class FunctionalRunner:
-    """Owns a device + daemon; runs cases against them for real."""
+    """Owns a device + daemon; runs cases against them for real.
+
+    Pass a :class:`repro.obs.Tracer` to record one client span per remote
+    call and one server span per dispatched request; the tracer's span
+    list spans every run this runner performs.
+    """
 
     def __init__(
         self,
         device: SimulatedGpu | None = None,
         use_tcp: bool = False,
         accounted_networks: tuple[str, ...] = ("GigaE", "40GI"),
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.device = device if device is not None else SimulatedGpu()
-        self.daemon = RCudaDaemon(self.device)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.daemon = RCudaDaemon(self.device, tracer=tracer, metrics=metrics)
         self.use_tcp = use_tcp
         self.accounted_networks = accounted_networks
         self._port: int | None = None
@@ -54,9 +66,11 @@ class FunctionalRunner:
             self._port = self.daemon.start()
 
     def stop(self) -> None:
-        if self._port is not None:
-            self.daemon.stop()
-            self._port = None
+        # Always stop the daemon: for in-process runs this joins session
+        # threads that are still winding down after the client closed, so
+        # callers observe active_sessions == 0 deterministically.
+        self.daemon.stop()
+        self._port = None
 
     def __enter__(self) -> "FunctionalRunner":
         self.start()
@@ -89,7 +103,7 @@ class FunctionalRunner:
         for link in links.values():
             transport = TimedTransport(transport, link)
 
-        client = RCudaClient.connect(transport, case.module())
+        client = RCudaClient.connect(transport, case.module(), tracer=self.tracer)
         try:
             result = case.run(client.runtime, size, seed=seed, verify=verify)
         finally:
@@ -100,6 +114,7 @@ class FunctionalRunner:
             bytes_sent=transport.bytes_sent,
             bytes_received=transport.bytes_received,
             messages_sent=transport.messages_sent,
+            messages_received=transport.messages_received,
             virtual_network_seconds={
                 name: link.clock.now() for name, link in links.items()
             },

@@ -72,19 +72,46 @@ class SimulatedTestbed:
     # -- remote executions (rCUDA over a network) --------------------------------
 
     def measure_remote(
-        self, case: CaseStudy, size: int, network: str | NetworkSpec
+        self,
+        case: CaseStudy,
+        size: int,
+        network: str | NetworkSpec,
+        tracer=None,
     ) -> SimulatedRun:
-        """One rCUDA execution of ``case`` at ``size`` over ``network``."""
+        """One rCUDA execution of ``case`` at ``size`` over ``network``.
+
+        With a ``tracer``, the run also emits one virtual-clock span per
+        wire exchange (plus the host-side span), so simulated runs get
+        the same timeline/JSONL/Perfetto treatment as functional ones;
+        aggregating those spans per phase reproduces ``trace.by_phase()``
+        exactly.
+        """
         spec = network if isinstance(network, NetworkSpec) else get_network(network)
         key = (case.name, size, spec.name)
         cached = self._memo.get(key)
-        if cached is not None:
+        if cached is not None and tracer is None:
             return cached
         cal = self.calibration
         trace = ExecutionTrace(case=case.name, size=size, network=spec.name)
+        session = f"sim-{case.name}-{size}-{spec.name}"
+        clock_now = 0.0
+        seq = 0
+
+        def emit(name: str, phase: str, seconds: float, **attrs) -> None:
+            nonlocal clock_now, seq
+            if tracer is not None:
+                tracer.record(
+                    name, "client", session, seq,
+                    start=clock_now, end=clock_now + seconds,
+                    phase=phase, **attrs,
+                )
+            clock_now += seconds
+            seq += 1
 
         # Host-side fixed work: data generation + middleware management.
-        trace.add("host", host_seconds=cal.remote_host_seconds(case, size))
+        host_seconds = cal.remote_host_seconds(case, size)
+        trace.add("host", host_seconds=host_seconds)
+        emit("host work", "host", host_seconds)
 
         # Every wire exchange, charged to the behaviour model.  The rCUDA
         # daemon pre-initialized the GPU context, so no CUDA init appears.
@@ -100,6 +127,11 @@ class SimulatedTestbed:
                 # The synchronous output copy drains the kernel first.
                 device = kernel_seconds + pcie_per_copy
             trace.add(msg.phase, network_seconds=net, device_seconds=device)
+            emit(
+                msg.operation, msg.phase, net + device,
+                bytes_sent=msg.send_bytes, bytes_received=msg.receive_bytes,
+                network_seconds=net, device_seconds=device,
+            )
 
         run = SimulatedRun(
             case=case.name,

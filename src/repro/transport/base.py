@@ -18,6 +18,7 @@ class Transport(ABC):
         self.bytes_sent = 0
         self.bytes_received = 0
         self.messages_sent = 0
+        self.messages_received = 0
 
     @abstractmethod
     def send(self, data: bytes) -> None:
@@ -38,3 +39,14 @@ class Transport(ABC):
 
     def _account_recv(self, nbytes: int) -> None:
         self.bytes_received += nbytes
+
+    def note_message_received(self) -> None:
+        """Count one complete inbound message.
+
+        One wire message takes several exact reads (header, then
+        payload), so per-read accounting cannot see message boundaries;
+        the codec calls this once per fully decoded message, making RPC
+        counts derivable from the receive side too (``messages_received``
+        here mirrors the peer's ``messages_sent``).
+        """
+        self.messages_received += 1

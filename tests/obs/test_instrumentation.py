@@ -1,0 +1,133 @@
+"""End-to-end observability through the real middleware stack."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    phase_breakdown,
+    render_prometheus,
+    spans_to_trace,
+)
+from repro.testbed import FunctionalRunner, SimulatedTestbed
+from repro.testbed.simulated import case_by_name
+
+
+@pytest.fixture(params=[False, True], ids=["inproc", "tcp"])
+def traced_run(request):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    case = case_by_name("MM")
+    with FunctionalRunner(
+        use_tcp=request.param, tracer=tracer, metrics=metrics
+    ) as runner:
+        report = runner.run(case, 32)
+    return tracer, metrics, report
+
+
+class TestSpanCounts:
+    def test_client_server_and_wire_counts_agree(self, traced_run):
+        tracer, _, report = traced_run
+        assert report.result.verified
+        client = tracer.spans_for(kind="client")
+        server = tracer.spans_for(kind="server")
+        assert (
+            len(client)
+            == len(server)
+            == report.messages_sent
+            == report.messages_received
+        )
+
+    def test_sequence_numbers_pair_up(self, traced_run):
+        tracer, _, _ = traced_run
+        client = {s.seq: s for s in tracer.spans_for(kind="client")}
+        server = {s.seq: s for s in tracer.spans_for(kind="server")}
+        assert set(client) == set(server)
+        for seq, cspan in client.items():
+            assert cspan.name == server[seq].name
+            # The client's view of an exchange contains the server's.
+            assert cspan.duration_seconds >= 0
+            assert server[seq].duration_seconds >= 0
+
+    def test_spans_closed_with_wire_byte_attrs(self, traced_run):
+        tracer, _, report = traced_run
+        client = tracer.spans_for(kind="client")
+        assert all(s.end is not None for s in tracer.spans)
+        assert sum(s.attrs["bytes_sent"] for s in client) == report.bytes_sent
+        assert (
+            sum(s.attrs["bytes_received"] for s in client)
+            == report.bytes_received
+        )
+        assert all(s.attrs["error"] == 0 for s in client)
+
+
+class TestPhaseAttribution:
+    def test_functional_phases_cover_the_mm_recipe(self, traced_run):
+        tracer, _, _ = traced_run
+        pb = phase_breakdown(tracer.spans)
+        assert list(pb) == ["init", "malloc", "h2d", "launch", "d2h", "free"]
+        assert all(seconds > 0 for seconds in pb.values())
+
+    def test_spans_to_trace_matches_breakdown(self, traced_run):
+        tracer, _, _ = traced_run
+        trace = spans_to_trace(tracer.spans, "MM", 32, "functional")
+        assert trace.by_phase() == pytest.approx(phase_breakdown(tracer.spans))
+
+
+class TestServerMetrics:
+    def test_latency_histogram_per_function(self, traced_run):
+        _, metrics, _ = traced_run
+        hist = metrics.histogram(
+            "rcuda_rpc_latency_seconds", labelnames=("function",)
+        )
+        for fn, calls in [
+            ("initialize", 1), ("cudaMalloc", 3), ("cudaMemcpy", 3),
+            ("cudaSetupArgument", 1), ("cudaLaunch", 1), ("cudaFree", 3),
+        ]:
+            assert hist.snapshot(function=fn)[2] == calls
+
+    def test_prometheus_exposition_contains_rpc_series(self, traced_run):
+        _, metrics, report = traced_run
+        text = render_prometheus(metrics)
+        assert "# TYPE rcuda_rpc_latency_seconds histogram" in text
+        assert 'rcuda_rpc_latency_seconds_bucket{function="cudaMemcpy"' in text
+        assert 'rcuda_rpc_bytes_total{direction="in",function="cudaMemcpy"}' in text
+        assert f"rcuda_requests_total {report.messages_sent}" in text
+        assert "rcuda_active_sessions 0" in text
+        assert "rcuda_device_mem_used_bytes 0" in text
+
+
+class TestSimulatedTimelines:
+    def test_virtual_spans_reproduce_trace_phase_totals(self):
+        testbed = SimulatedTestbed()
+        tracer = Tracer()
+        case = case_by_name("MM")
+        run = testbed.measure_remote(case, 4096, "GigaE", tracer=tracer)
+        assert phase_breakdown(tracer.spans) == pytest.approx(
+            run.trace.by_phase()
+        )
+        # The virtual timeline is contiguous and ends at the run total.
+        last = max(s.end for s in tracer.spans)
+        assert last == pytest.approx(run.total_seconds)
+
+    def test_memoized_result_unchanged_by_tracing(self):
+        testbed = SimulatedTestbed()
+        case = case_by_name("FFT")
+        plain = testbed.measure_remote(case, 1024, "40GI")
+        traced = testbed.measure_remote(case, 1024, "40GI", tracer=Tracer())
+        assert traced.total_seconds == plain.total_seconds
+
+
+class TestZeroCostDefault:
+    def test_untraced_runtime_uses_null_tracer(self):
+        from repro.obs import NULL_TRACER
+        from repro.rcuda import RCudaClient, RCudaDaemon
+        from repro.simcuda import SimulatedGpu, fabricate_module
+
+        daemon = RCudaDaemon(SimulatedGpu())
+        module = fabricate_module("t", ["saxpy"], 1024)
+        with RCudaClient.connect_inproc(daemon, module) as client:
+            assert client.runtime.tracer is NULL_TRACER
+            err, ptr = client.runtime.cudaMalloc(256)
+            client.runtime.cudaFree(ptr)
+        assert len(NULL_TRACER) == 0

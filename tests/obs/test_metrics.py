@@ -1,0 +1,129 @@
+"""Metrics registry: counters, gauges, histograms, Prometheus rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, render_prometheus
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("reqs_total", "requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels(self):
+        c = Counter("bytes_total", "bytes", labelnames=("direction",))
+        c.inc(10, direction="in")
+        c.inc(4, direction="out")
+        c.inc(1, direction="in")
+        assert c.value(direction="in") == 11
+        assert c.value(direction="out") == 4
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("x_total", "", labelnames=("a",))
+        with pytest.raises(ConfigurationError):
+            c.inc(1, b="nope")
+
+    def test_cannot_decrease(self):
+        c = Counter("x_total", "")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("sessions", "")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+    def test_callback(self):
+        state = {"v": 7}
+        g = Gauge("mem_used", "")
+        g.set_function(lambda: state["v"])
+        assert g.value() == 7
+        state["v"] = 9
+        assert g.value() == 9
+
+    def test_callback_with_labels_rejected(self):
+        g = Gauge("x", "", labelnames=("l",))
+        with pytest.raises(ConfigurationError):
+            g.set_function(lambda: 1)
+
+
+class TestHistogram:
+    def test_observe_and_snapshot(self):
+        h = Histogram("lat", "", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        cumulative, total, count = h.snapshot()
+        assert cumulative == [1, 3, 4]  # cumulative per bucket
+        assert count == 5
+        assert total == pytest.approx(56.05)
+
+    def test_labelled_series_independent(self):
+        h = Histogram("lat", "", labelnames=("fn",), buckets=(1.0,))
+        h.observe(0.5, fn="a")
+        h.observe(0.5, fn="b")
+        h.observe(0.5, fn="b")
+        assert h.snapshot(fn="a")[2] == 1
+        assert h.snapshot(fn="b")[2] == 2
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", "", buckets=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        r = MetricsRegistry()
+        assert r.counter("a_total") is r.counter("a_total")
+
+    def test_type_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a_total")
+        with pytest.raises(ConfigurationError):
+            r.gauge("a_total")
+
+    def test_contains(self):
+        r = MetricsRegistry()
+        r.gauge("g")
+        assert "g" in r
+        assert "missing" not in r
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        r = MetricsRegistry()
+        r.counter("reqs_total", "Total requests.").inc(3)
+        r.gauge("up", "Liveness.").set(1)
+        text = render_prometheus(r)
+        assert "# TYPE reqs_total counter" in text
+        assert "reqs_total 3" in text
+        assert "# HELP up Liveness." in text
+        assert "up 1" in text
+        assert text.endswith("\n")
+
+    def test_labels_sorted_and_escaped(self):
+        r = MetricsRegistry()
+        c = r.counter("x_total", "", labelnames=("b", "a"))
+        c.inc(1, b='say "hi"', a="z")
+        text = render_prometheus(r)
+        assert 'x_total{a="z",b="say \\"hi\\""} 1' in text
+
+    def test_histogram_exposition(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat_seconds", "", labelnames=("fn",), buckets=(0.1, 1.0))
+        h.observe(0.05, fn="malloc")
+        h.observe(0.5, fn="malloc")
+        h.observe(5.0, fn="malloc")
+        text = render_prometheus(r)
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{fn="malloc",le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{fn="malloc",le="1"} 2' in text
+        assert 'lat_seconds_bucket{fn="malloc",le="+Inf"} 3' in text
+        assert 'lat_seconds_count{fn="malloc"} 3' in text
+        assert 'lat_seconds_sum{fn="malloc"}' in text

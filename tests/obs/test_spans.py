@@ -1,0 +1,133 @@
+"""Span tracing core: tracer, null tracer, exporters, phase aggregation."""
+
+import json
+
+from repro.clock import VirtualClock
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    Span,
+    Tracer,
+    chrome_trace,
+    phase_breakdown,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_tracer() -> Tracer:
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock)
+    s = tracer.start("cudaMalloc", "client", "client-1", 0,
+                     phase="malloc", function_id=1)
+    clock.advance(0.25)
+    tracer.finish(s, bytes_sent=8, bytes_received=8, error=0)
+    s = tracer.start("cudaMemcpy", "client", "client-1", 1,
+                     phase="h2d", function_id=2)
+    clock.advance(1.5)
+    tracer.finish(s, bytes_sent=4096, bytes_received=4, error=0)
+    tracer.record("cudaMalloc", "server", "server-1", 0,
+                  start=0.0, end=0.2, phase="malloc")
+    return tracer
+
+
+class TestTracer:
+    def test_durations_from_clock(self):
+        tracer = _sample_tracer()
+        assert [s.duration_seconds for s in tracer.spans] == [0.25, 1.5, 0.2]
+
+    def test_finish_merges_attrs(self):
+        tracer = _sample_tracer()
+        assert tracer.spans[0].attrs["bytes_sent"] == 8
+        assert tracer.spans[0].attrs["phase"] == "malloc"
+
+    def test_spans_for_filters(self):
+        tracer = _sample_tracer()
+        assert len(tracer.spans_for(kind="client")) == 2
+        assert len(tracer.spans_for(kind="server")) == 1
+        assert len(tracer.spans_for(session="client-1")) == 2
+        assert len(tracer) == 3
+
+    def test_sink_sees_each_finished_span(self):
+        seen = []
+        tracer = Tracer(clock=VirtualClock(), sink=seen.append)
+        span = tracer.start("x", "client", "s", 0)
+        tracer.finish(span)
+        tracer.record("y", "client", "s", 1, start=0.0, end=1.0)
+        assert [s.name for s in seen] == ["x", "y"]
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.start("a", "client", "s", 0) is None
+        assert NULL_TRACER.finish(None) is None
+        assert NULL_TRACER.spans_for() == []
+        assert len(NULL_TRACER) == 0
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_jsonl(tracer.spans, tmp_path / "t.jsonl")
+        back = read_jsonl(path)
+        assert [s.to_event() for s in back] == [
+            s.to_event() for s in tracer.spans
+        ]
+
+    def test_event_shape(self):
+        span = Span("cudaFree", "client", "client-9", 3, 1.0, 2.0,
+                    {"phase": "free", "error": 0})
+        event = span.to_event()
+        assert event["name"] == "cudaFree"
+        assert event["seq"] == 3
+        assert event["phase"] == "free"
+        assert Span.from_event(event).to_event() == event
+
+    def test_streaming_sink(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = Tracer(clock=VirtualClock(), sink=sink)
+            tracer.record("a", "server", "s", 0, start=0.0, end=0.5)
+            tracer.record("b", "server", "s", 1, start=0.5, end=0.6)
+        spans = read_jsonl(path)
+        assert [s.name for s in spans] == ["a", "b"]
+
+
+class TestChromeTrace:
+    def test_document_is_valid_and_complete(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_chrome_trace(tracer.spans, tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for e in complete:
+            assert e["dur"] >= 0
+            assert {"name", "ts", "pid", "tid", "args"} <= set(e)
+        # One process per side, one named track per session.
+        names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {m["args"]["name"] for m in names} == {"client-1", "server-1"}
+        procs = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {m["args"]["name"] for m in procs} == {"rcuda-client", "rcuda-server"}
+
+    def test_timestamps_in_microseconds(self):
+        tracer = _sample_tracer()
+        doc = chrome_trace(tracer.spans)
+        first = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert first["dur"] == 0.25 * 1e6
+
+
+class TestPhaseBreakdown:
+    def test_canonical_order_and_totals(self):
+        tracer = _sample_tracer()
+        pb = phase_breakdown(tracer.spans)  # client side only
+        assert list(pb) == ["malloc", "h2d"]
+        assert pb["malloc"] == 0.25
+        assert pb["h2d"] == 1.5
+
+    def test_unphased_spans_ignored(self):
+        tracer = Tracer(clock=VirtualClock())
+        tracer.record("misc", "client", "s", 0, start=0.0, end=1.0)
+        assert phase_breakdown(tracer.spans) == {}

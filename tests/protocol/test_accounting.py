@@ -1,7 +1,6 @@
 """Message accounting: Table I derived from the codec, and the session
 arithmetic the estimation model uses."""
 
-import pytest
 
 from repro.paperdata.table1 import TABLE1
 from repro.protocol.accounting import (

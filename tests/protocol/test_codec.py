@@ -33,7 +33,7 @@ from repro.protocol.messages import (
     ValueResponse,
 )
 from repro.protocol.wire import unpack_u4
-from repro.simcuda.types import Dim3, MemcpyKind
+from repro.simcuda.types import Dim3
 
 
 class TestTable1Layouts:

@@ -1,0 +1,99 @@
+"""Daemon session lifecycle: pruning, prompt shutdown, session gauges."""
+
+import time
+
+from repro.obs import MetricsRegistry
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import SimulatedGpu, fabricate_module
+
+
+def _module():
+    return fabricate_module("t", ["saxpy"], 1024)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestPruning:
+    def test_finished_sessions_are_pruned_on_new_connections(self):
+        daemon = RCudaDaemon(SimulatedGpu())
+        for _ in range(5):
+            with RCudaClient.connect_inproc(daemon, _module()) as client:
+                err, ptr = client.runtime.cudaMalloc(128)
+                client.runtime.cudaFree(ptr)
+            assert _wait_until(lambda: daemon.active_sessions == 0)
+        # The unbounded growth bug kept one entry (and one dead thread)
+        # per connection; pruning keeps only the not-yet-pruned tail.
+        assert len(daemon.sessions) <= 1
+        assert len(daemon._session_threads) <= 1
+        assert daemon.total_sessions == 5
+        assert daemon.completed_sessions == 5
+
+    def test_explicit_prune_keeps_counters(self):
+        daemon = RCudaDaemon(SimulatedGpu())
+        with RCudaClient.connect_inproc(daemon, _module()):
+            pass
+        assert _wait_until(lambda: daemon.completed_sessions == 1)
+        daemon.prune()
+        assert daemon.sessions == []
+        assert daemon.completed_sessions == 1
+        assert daemon.total_sessions == 1
+
+
+class TestShutdown:
+    def test_stop_closes_idle_live_sessions_promptly(self):
+        daemon = RCudaDaemon(SimulatedGpu())
+        daemon.start()
+        try:
+            port = daemon.port
+            client = RCudaClient.connect_tcp("127.0.0.1", port, _module())
+            err, ptr = client.runtime.cudaMalloc(128)
+            assert _wait_until(lambda: daemon.active_sessions == 1)
+        finally:
+            t0 = time.monotonic()
+            daemon.stop(join_timeout=10.0)
+            elapsed = time.monotonic() - t0
+        # Before the fix this stalled for the full join timeout because
+        # the idle session sat in a blocking read stop() never broke.
+        assert elapsed < 5.0
+        assert daemon.active_sessions == 0
+
+    def test_stop_is_idempotent_and_reports_counts(self):
+        daemon = RCudaDaemon(SimulatedGpu())
+        daemon.start()
+        daemon.stop()
+        daemon.stop()
+        assert daemon.active_sessions == 0
+
+
+class TestSessionGauges:
+    def test_session_counts_exposed_as_gauges(self):
+        registry = MetricsRegistry()
+        daemon = RCudaDaemon(SimulatedGpu(), metrics=registry)
+        active = registry.gauge("rcuda_active_sessions")
+        total = registry.gauge("rcuda_sessions_total")
+        completed = registry.gauge("rcuda_sessions_completed")
+        assert active.value() == 0
+        with RCudaClient.connect_inproc(daemon, _module()):
+            assert active.value() == 1
+            assert total.value() == 1
+        assert _wait_until(lambda: completed.value() == 1)
+        assert active.value() == 0
+
+    def test_device_memory_gauges_track_allocations(self):
+        registry = MetricsRegistry()
+        daemon = RCudaDaemon(SimulatedGpu(), metrics=registry)
+        used = registry.gauge("rcuda_device_mem_used_bytes")
+        allocs = registry.gauge("rcuda_device_mem_allocations")
+        with RCudaClient.connect_inproc(daemon, _module()) as client:
+            err, ptr = client.runtime.cudaMalloc(1 << 20)
+            assert used.value() >= 1 << 20
+            assert allocs.value() == 1
+            client.runtime.cudaFree(ptr)
+            assert used.value() == 0

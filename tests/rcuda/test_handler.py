@@ -23,7 +23,7 @@ from repro.protocol.messages import (
     ValueResponse,
 )
 from repro.rcuda.server.handler import SessionHandler
-from repro.simcuda import CudaRuntime, SimulatedGpu
+from repro.simcuda import CudaRuntime
 from repro.simcuda.errors import CudaError
 from repro.simcuda.module import fabricate_module
 from repro.simcuda.types import Dim3, MemcpyKind

@@ -1,8 +1,22 @@
 """CLI subcommands."""
 
+import json
+import socket
+import threading
+import time
+import urllib.request
+
 import pytest
 
 from repro.cli import main
+
+
+def _free_port() -> int:
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
 
 
 def test_experiment_subcommand(capsys, tmp_path):
@@ -34,6 +48,136 @@ def test_pingpong_real_loopback(capsys):
     assert code == 0
     assert "loopback TCP" in captured.out
     assert "effective one-way bandwidth" in captured.out
+
+
+def test_serve_starts_and_stops_on_ephemeral_port(capsys):
+    code = main(["serve", "--port", "0", "--run-seconds", "0"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "rCUDA daemon listening on 127.0.0.1:" in captured.out
+
+
+def test_serve_metrics_endpoint_and_span_log(tmp_path):
+    from repro.errors import TransportError
+    from repro.obs import read_jsonl
+    from repro.rcuda import RCudaClient
+    from repro.workloads import MatrixProductCase
+
+    port, mport = _free_port(), _free_port()
+    log = tmp_path / "server.jsonl"
+    result = {}
+
+    def run_serve():
+        result["code"] = main([
+            "serve", "--port", str(port), "--metrics-port", str(mport),
+            "--log-json", str(log), "--run-seconds", "2.5",
+        ])
+
+    thread = threading.Thread(target=run_serve, daemon=True)
+    thread.start()
+
+    case = MatrixProductCase()
+    client = None
+    deadline = time.monotonic() + 2.0
+    while client is None:
+        try:
+            client = RCudaClient.connect_tcp("127.0.0.1", port, case.module())
+        except TransportError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+    try:
+        run_result = case.run(client.runtime, 16)
+        assert run_result.verified
+        text = urllib.request.urlopen(
+            f"http://127.0.0.1:{mport}/metrics", timeout=5
+        ).read().decode()
+    finally:
+        client.close()
+    assert "# TYPE rcuda_rpc_latency_seconds histogram" in text
+    assert 'rcuda_rpc_latency_seconds_bucket{function="cudaMemcpy"' in text
+    assert "rcuda_active_sessions 1" in text
+    assert "rcuda_requests_total" in text
+
+    thread.join(timeout=15)
+    assert not thread.is_alive()
+    assert result["code"] == 0
+    server_spans = read_jsonl(log)
+    assert server_spans
+    assert all(s.kind == "server" for s in server_spans)
+
+
+def test_run_trace_out_and_chrome_out(capsys, tmp_path):
+    from repro.obs import phase_breakdown, read_jsonl
+
+    jsonl = tmp_path / "run.jsonl"
+    chrome = tmp_path / "run-chrome.json"
+    code = main([
+        "run", "mm", "--size", "32",
+        "--trace-out", str(jsonl), "--chrome-out", str(chrome),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "verified=True" in captured.out
+
+    spans = read_jsonl(jsonl)
+    client = [s for s in spans if s.kind == "client"]
+    server = [s for s in spans if s.kind == "server"]
+    assert len(client) == len(server) > 0
+    pb = phase_breakdown(spans)
+    assert list(pb) == ["init", "malloc", "h2d", "launch", "d2h", "free"]
+
+    doc = json.loads(chrome.read_text())
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    # At least one complete event per remote call (client + server sides).
+    assert len(complete) == len(spans)
+
+
+def test_run_tcp_with_trace(tmp_path):
+    from repro.obs import read_jsonl
+
+    jsonl = tmp_path / "tcp.jsonl"
+    code = main(["run", "mm", "--size", "16", "--tcp", "--trace-out", str(jsonl)])
+    assert code == 0
+    spans = read_jsonl(jsonl)
+    assert len([s for s in spans if s.kind == "client"]) == len(
+        [s for s in spans if s.kind == "server"]
+    )
+
+
+def test_stats_subcommand(capsys, tmp_path):
+    jsonl = tmp_path / "run.jsonl"
+    assert main(["run", "mm", "--size", "32", "--trace-out", str(jsonl)]) == 0
+    capsys.readouterr()
+    code = main(["stats", str(jsonl)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Span summary" in captured.out
+    assert "cudaMemcpy" in captured.out
+    assert "Client phase breakdown" in captured.out
+
+
+def test_stats_empty_log_fails(capsys, tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["stats", str(empty)]) == 1
+
+
+def test_trace_subcommand_writes_virtual_timeline(capsys, tmp_path):
+    from repro.obs import phase_breakdown, read_jsonl
+
+    jsonl = tmp_path / "sim.jsonl"
+    chrome = tmp_path / "sim-chrome.json"
+    code = main([
+        "trace", "mm", "--size", "4096", "--network", "GigaE",
+        "--trace-out", str(jsonl), "--chrome-out", str(chrome),
+    ])
+    assert code == 0
+    spans = read_jsonl(jsonl)
+    pb = phase_breakdown(spans)
+    assert set(pb) == {"host", "init", "malloc", "h2d", "launch", "d2h", "free"}
+    doc = json.loads(chrome.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
 
 
 def test_run_subcommand(capsys):

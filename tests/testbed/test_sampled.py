@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.paperdata.constants import FFT_MAX_STDDEV_MS, MM_MAX_STDDEV_S
-from repro.testbed.simulated import case_by_name
 
 
 class TestSampledMeasurement:

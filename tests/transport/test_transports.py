@@ -71,6 +71,26 @@ class TestInProc:
         assert a.messages_sent == 1
         assert b.bytes_received == 5
 
+    def test_message_receive_accounting(self):
+        """The codec counts complete inbound messages, so receive-side
+        counts mirror the peer's ``messages_sent`` (one message may take
+        several exact reads)."""
+        from repro.protocol.codec import (
+            MessageReader,
+            decode_request,
+            encode_request,
+        )
+        from repro.protocol.messages import MallocRequest, SyncRequest
+
+        a, b = inproc_pair()
+        reader = MessageReader(b)
+        a.send(encode_request(MallocRequest(size=64)))
+        a.send(encode_request(SyncRequest()))
+        decode_request(reader)
+        decode_request(reader)
+        assert b.messages_received == 2
+        assert b.messages_received == a.messages_sent
+
     def test_cross_thread_throughput(self):
         a, b = inproc_pair()
         n = 200

@@ -7,8 +7,6 @@ from repro.errors import ConfigurationError
 from repro.simcuda import CudaRuntime
 from repro.units import MIB
 from repro.workloads import (
-    FftBatchCase,
-    MatrixProductCase,
     cpu_fft_batch,
     cpu_matrix_product,
     fft_batch_signal,
