@@ -1,5 +1,23 @@
 """Middleware micro-benchmarks: per-call round-trip cost and bulk
-throughput through the real stack (codec + transport + handler + device)."""
+throughput through the real stack (codec + transport + handler + device),
+plus the pipelined-vs-sync comparison on the small-message hot path.
+
+Run under pytest-benchmark for the statistical fixtures, or directly as
+a script for the CI perf smoke::
+
+    PYTHONPATH=src python benchmarks/bench_middleware.py --quick
+
+Quick mode drives the small-message-dominated burst workload (memset +
+small H2D + kernel launch per iteration) over real TCP in both modes,
+writes ``BENCH_middleware.json`` (round trips, bytes copied, wall time
+per workload), and asserts the pipelined hot path cuts wall time by at
+least 20% on the burst workload.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -7,13 +25,17 @@ import pytest
 from repro.rcuda import RCudaClient, RCudaDaemon
 from repro.simcuda import SimulatedGpu, MemcpyKind, fabricate_module
 from repro.simcuda.errors import CudaError
+from repro.simcuda.types import Dim3
+from repro.testbed import FunctionalRunner
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+MODULE = fabricate_module("bench", ["sgemmNN", "saxpy"], 4096)
 
 
 @pytest.fixture(scope="module")
 def client():
     daemon = RCudaDaemon(SimulatedGpu())
-    module = fabricate_module("bench", ["sgemmNN", "saxpy"], 4096)
-    c = RCudaClient.connect_inproc(daemon, module)
+    c = RCudaClient.connect_inproc(daemon, MODULE)
     yield c
     c.close()
 
@@ -46,8 +68,6 @@ def test_memcpy_throughput_1mib(benchmark, client):
 
 
 def test_kernel_launch_roundtrip(benchmark, client):
-    from repro.simcuda.types import Dim3
-
     rt = client.runtime
     err, px = rt.cudaMalloc(4096)
     assert err == CudaError.cudaSuccess
@@ -63,3 +83,133 @@ def test_kernel_launch_roundtrip(benchmark, client):
     benchmark(launch)
     rt.cudaFree(px)
     rt.cudaFree(py)
+
+
+# -- pipelined vs sync over real TCP ------------------------------------------
+
+BURST_ITERS = 300
+
+
+def _burst(rt, ptr: int, payload: bytes, iters: int = BURST_ITERS) -> None:
+    """The small-message-dominated hot path: every iteration is two tiny
+    calls (a memset and a 256-byte H2D copy) whose sync-mode cost is
+    dominated by the blocking wait for each 4-byte acknowledgement."""
+    for i in range(iters):
+        rt.cudaMemset(ptr, i & 0xFF, 256)
+        rt.cudaMemcpy(
+            ptr, 0, 256, MemcpyKind.cudaMemcpyHostToDevice, host_data=payload
+        )
+    assert rt.cudaThreadSynchronize() == CudaError.cudaSuccess
+
+
+def _run_burst_tcp(pipeline: bool, iters: int = BURST_ITERS) -> dict:
+    daemon = RCudaDaemon(SimulatedGpu())
+    port = daemon.start()
+    client = RCudaClient.connect_tcp("127.0.0.1", port, MODULE, pipeline=pipeline)
+    rt = client.runtime
+    payload = b"\x5a" * 256
+    try:
+        err, ptr = rt.cudaMalloc(4096)
+        assert err == CudaError.cudaSuccess
+        t0 = time.perf_counter()
+        _burst(rt, ptr, payload, iters)
+        wall = time.perf_counter() - t0
+        return {
+            "mode": "pipelined" if pipeline else "sync",
+            "wall_seconds": wall,
+            "round_trips": rt.round_trips,
+            "messages_sent": rt.transport.messages_sent,
+            "bytes_sent": rt.transport.bytes_sent,
+            "bytes_copied": rt.bytes_copied + rt.transport.copy_bytes,
+        }
+    finally:
+        client.close()
+        daemon.stop()
+
+
+@pytest.mark.parametrize("pipeline", [False, True], ids=["sync", "pipelined"])
+def test_small_message_burst_tcp(benchmark, pipeline):
+    """Fire BURST_ITERS (memset + 256B H2D) pairs over TCP.
+
+    Sync mode pays one loopback round trip per call; pipelined mode
+    defers every one of them to the single trailing synchronize."""
+    report = benchmark.pedantic(
+        lambda: _run_burst_tcp(pipeline), rounds=3, iterations=1
+    )
+    # init + malloc + trailing sync, plus (sync mode only) the memset
+    # and memcpy exchanges of every iteration.
+    expected = 3 if pipeline else 3 + 2 * BURST_ITERS
+    assert report["round_trips"] == expected
+
+
+# -- CI perf smoke ------------------------------------------------------------
+
+
+def _best_of(fn, rounds: int = 3) -> dict:
+    runs = [fn() for _ in range(rounds)]
+    return min(runs, key=lambda r: r["wall_seconds"])
+
+
+def run_quick(output: str = "BENCH_middleware.json") -> dict:
+    """The CI perf-smoke entry point: burst + MM + FFT over TCP in both
+    modes, persisted to ``BENCH_middleware.json``."""
+    burst = {
+        mode: _best_of(lambda p=pipeline: _run_burst_tcp(p))
+        for mode, pipeline in (("sync", False), ("pipelined", True))
+    }
+    workloads = {}
+    for name, case, size in (
+        ("mm", MatrixProductCase(), 128),
+        ("fft", FftBatchCase(), 1024),
+    ):
+        with FunctionalRunner(use_tcp=True) as runner:
+            per_mode = {}
+            for mode, pipeline in (("sync", False), ("pipelined", True)):
+                report = runner.run(case, size, pipeline=pipeline)
+                assert report.result.verified
+                per_mode[mode] = {
+                    "wall_seconds": report.result.wall_seconds,
+                    "round_trips": report.round_trips,
+                    "messages_sent": report.messages_sent,
+                    "bytes_sent": report.bytes_sent,
+                    "bytes_copied": report.bytes_copied,
+                }
+            workloads[name] = per_mode
+
+    reduction = 1.0 - (
+        burst["pipelined"]["wall_seconds"] / burst["sync"]["wall_seconds"]
+    )
+    payload = {
+        "benchmark": "middleware pipelined-vs-sync over TCP loopback",
+        "burst_iters": BURST_ITERS,
+        "burst": burst,
+        "workloads": workloads,
+        "burst_wall_reduction": reduction,
+    }
+    Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"burst sync:      {burst['sync']['wall_seconds'] * 1e3:8.2f} ms, "
+          f"{burst['sync']['round_trips']} round trips")
+    print(f"burst pipelined: {burst['pipelined']['wall_seconds'] * 1e3:8.2f} ms, "
+          f"{burst['pipelined']['round_trips']} round trips")
+    print(f"wall-time reduction on the small-message burst: {reduction:.1%}")
+    for name, per_mode in workloads.items():
+        print(
+            f"{name}: round trips {per_mode['sync']['round_trips']} -> "
+            f"{per_mode['pipelined']['round_trips']}, bytes copied "
+            f"{per_mode['sync']['bytes_copied']} -> "
+            f"{per_mode['pipelined']['bytes_copied']}"
+        )
+    assert reduction >= 0.20, (
+        f"pipelined hot path must cut burst wall time by >=20%, got "
+        f"{reduction:.1%}"
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv:
+        run_quick()
+    else:
+        print(__doc__)
+        raise SystemExit(2)

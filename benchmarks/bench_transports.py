@@ -2,12 +2,19 @@
 
 Times a full functional MM execution through the real client/server stack
 over both transports, demonstrating the middleware itself (codec, handler,
-device) is cheap relative to the modeled network costs.
+device) is cheap relative to the modeled network costs.  Also ablates the
+wire write discipline itself: scatter-gather ``send_vectored`` versus the
+old gather-into-one-buffer copy for header+payload frames.
 """
 
+import socket
+import threading
+
+import numpy as np
 import pytest
 
 from repro.testbed import FunctionalRunner
+from repro.transport.tcp import TcpTransport
 from repro.workloads import MatrixProductCase
 
 CASE = MatrixProductCase()
@@ -28,3 +35,57 @@ def test_functional_run_by_transport(benchmark, use_tcp):
         f"{report.bytes_sent + report.bytes_received} wire bytes; the same "
         f"traffic would cost {virtual_gigae * 1e3:.1f} ms on GigaE"
     )
+
+
+def _tcp_pair():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    client_sock = socket.create_connection(("127.0.0.1", port))
+    server_sock, _ = listener.accept()
+    listener.close()
+    return TcpTransport(client_sock), TcpTransport(server_sock)
+
+
+@pytest.mark.parametrize("vectored", [False, True], ids=["copy", "vectored"])
+def test_header_payload_frame_send(benchmark, vectored):
+    """One memcpy-style frame: a small header plus a 4 MiB payload view.
+
+    ``copy`` is the pre-scatter-gather discipline (concatenate header and
+    payload into a fresh buffer, one send); ``vectored`` hands both
+    buffers to ``sendmsg`` untouched."""
+    a, b = _tcp_pair()
+    header = b"\x10\x00\x00\x00" * 4
+    payload = np.arange(4 << 20, dtype=np.uint8) % 251
+    nbytes = len(header) + payload.nbytes
+    done = threading.Event()
+    stop = threading.Event()
+
+    def drain():
+        try:
+            while not stop.is_set():
+                b.recv_exact(nbytes)
+                done.set()
+        except Exception:
+            pass
+
+    t = threading.Thread(target=drain, daemon=True)
+    t.start()
+
+    def send_copy():
+        done.clear()
+        a.send(header + payload.tobytes())
+        done.wait(10)
+
+    def send_vectored():
+        done.clear()
+        a.send_vectored([header, memoryview(payload)])
+        done.wait(10)
+
+    benchmark(send_vectored if vectored else send_copy)
+    if vectored:
+        assert a.copy_bytes == 0  # no gather staging on the hot path
+    stop.set()
+    a.close()
+    b.close()

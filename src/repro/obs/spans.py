@@ -109,6 +109,16 @@ class Tracer:
             self._sink(span)
         return span
 
+    def fail(self, span: Span, **attrs) -> Span:
+        """Close ``span`` after a transport/protocol failure.
+
+        The request path calls this from its error handlers so a raise
+        between send and response never leaves a span dangling; the span
+        is retained with ``outcome="error"`` (in-flight pipelined spans
+        that will never see their response are abandoned the same way).
+        """
+        return self.finish(span, outcome="error", **attrs)
+
     def record(
         self,
         name: str,
@@ -157,6 +167,9 @@ class NullTracer:
         return None
 
     def finish(self, span, **attrs) -> None:
+        return None
+
+    def fail(self, span, **attrs) -> None:
         return None
 
     def record(self, *args, **attrs) -> None:

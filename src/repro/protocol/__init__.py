@@ -56,7 +56,9 @@ from repro.protocol.codec import (
     MessageReader,
     decode_request,
     encode_request,
+    encode_request_vectored,
     encode_response,
+    encode_response_vectored,
     read_response,
 )
 from repro.protocol.accounting import (
@@ -93,7 +95,9 @@ __all__ = [
     "ValueResponse",
     "decode_request",
     "encode_request",
+    "encode_request_vectored",
     "encode_response",
+    "encode_response_vectored",
     "launch_request_bytes",
     "memcpy_request_bytes",
     "read_response",

@@ -97,12 +97,35 @@ class MessageReader:
 
 # -- requests: encode ----------------------------------------------------------
 
+def _payload_nbytes(data) -> int:
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    return memoryview(data).nbytes
+
+
 def encode_request(request: Request) -> bytes:
-    """Serialize any request (prepending the function id, except Init)."""
+    """Serialize any request to one bytes object.
+
+    Thin gather over :func:`encode_request_vectored`, so the byte stream
+    is *structurally* identical to what a vectored send produces.
+    """
+    parts = encode_request_vectored(request)
+    return parts[0] if len(parts) == 1 and isinstance(parts[0], bytes) else b"".join(parts)
+
+
+def encode_request_vectored(request: Request) -> list:
+    """Serialize any request as a buffer list (prepending the function id,
+    except Init).
+
+    Memcpy payloads pass through as-is -- ``bytes``, ``bytearray``,
+    ``memoryview`` or NumPy views are never concatenated into a fresh
+    header+payload object, so a vectored transport can put them on the
+    wire with zero staging copies.
+    """
     if isinstance(request, InitRequest):
-        return pack_u4(len(request.module)) + request.module
+        return [pack_u4(_payload_nbytes(request.module)), request.module]
     if isinstance(request, MallocRequest):
-        return pack_u4(FunctionId.MALLOC) + pack_u4(request.size)
+        return [pack_u4(FunctionId.MALLOC) + pack_u4(request.size)]
     if isinstance(request, MemcpyRequest):
         head = (
             pack_u4(FunctionId.MEMCPY)
@@ -113,13 +136,13 @@ def encode_request(request: Request) -> bytes:
         )
         if MemcpyKind(request.kind) is MemcpyKind.cudaMemcpyHostToDevice:
             data = request.data if request.data is not None else b""
-            if len(data) != request.size:
+            if _payload_nbytes(data) != request.size:
                 raise ProtocolError(
-                    f"memcpy payload is {len(data)} bytes but the size "
-                    f"field says {request.size}"
+                    f"memcpy payload is {_payload_nbytes(data)} bytes but "
+                    f"the size field says {request.size}"
                 )
-            return head + data
-        return head
+            return [head, data]
+        return [head]
     if isinstance(request, MemcpyAsyncRequest):
         head = (
             pack_u4(FunctionId.MEMCPY_ASYNC)
@@ -131,26 +154,26 @@ def encode_request(request: Request) -> bytes:
         )
         if MemcpyKind(request.kind) is MemcpyKind.cudaMemcpyHostToDevice:
             data = request.data if request.data is not None else b""
-            if len(data) != request.size:
+            if _payload_nbytes(data) != request.size:
                 raise ProtocolError(
-                    f"async memcpy payload is {len(data)} bytes but the "
-                    f"size field says {request.size}"
+                    f"async memcpy payload is {_payload_nbytes(data)} bytes "
+                    f"but the size field says {request.size}"
                 )
-            return head + data
-        return head
+            return [head, data]
+        return [head]
     if isinstance(request, MemsetRequest):
-        return (
+        return [
             pack_u4(FunctionId.MEMSET)
             + pack_u4(request.ptr)
             + pack_u4(request.value)
             + pack_u4(request.size)
-        )
+        ]
     if isinstance(request, LaunchRequest):
         name_region = pack_cstr(request.kernel_name)
         # 44 fixed bytes (Table I): id, texture offset, parameters offset
         # (the name-region length), number of textures, block dim (12),
         # grid dim (8), shared size, stream -- then the kernel name.
-        return (
+        return [
             pack_u4(FunctionId.LAUNCH)
             + pack_u4(request.texture_offset)
             + pack_u4(len(name_region))
@@ -163,30 +186,30 @@ def encode_request(request: Request) -> bytes:
             + pack_u4(request.shared_bytes)
             + pack_u4(request.stream)
             + name_region
-        )
+        ]
     if isinstance(request, FreeRequest):
-        return pack_u4(FunctionId.FREE) + pack_u4(request.ptr)
+        return [pack_u4(FunctionId.FREE) + pack_u4(request.ptr)]
     if isinstance(request, SetupArgsRequest):
         blob = pack_args(request.args)
-        return pack_u4(FunctionId.SETUP_ARGS) + pack_u4(len(blob)) + blob
+        return [pack_u4(FunctionId.SETUP_ARGS) + pack_u4(len(blob)) + blob]
     if isinstance(request, SyncRequest):
-        return pack_u4(FunctionId.SYNCHRONIZE)
+        return [pack_u4(FunctionId.SYNCHRONIZE)]
     if isinstance(request, PropertiesRequest):
-        return pack_u4(FunctionId.GET_PROPERTIES)
+        return [pack_u4(FunctionId.GET_PROPERTIES)]
     if isinstance(request, StreamCreateRequest):
-        return pack_u4(FunctionId.STREAM_CREATE)
+        return [pack_u4(FunctionId.STREAM_CREATE)]
     if isinstance(request, StreamSyncRequest):
-        return pack_u4(FunctionId.STREAM_SYNC) + pack_u4(request.stream)
+        return [pack_u4(FunctionId.STREAM_SYNC) + pack_u4(request.stream)]
     if isinstance(request, EventCreateRequest):
-        return pack_u4(FunctionId.EVENT_CREATE)
+        return [pack_u4(FunctionId.EVENT_CREATE)]
     if isinstance(request, EventRecordRequest):
-        return pack_u4(FunctionId.EVENT_RECORD) + pack_u4(request.event)
+        return [pack_u4(FunctionId.EVENT_RECORD) + pack_u4(request.event)]
     if isinstance(request, EventElapsedRequest):
-        return (
+        return [
             pack_u4(FunctionId.EVENT_ELAPSED)
             + pack_u4(request.start)
             + pack_u4(request.end)
-        )
+        ]
     raise ProtocolError(f"cannot encode request of type {type(request).__name__}")
 
 
@@ -283,34 +306,43 @@ def _decode_request_body(reader: MessageReader) -> Request:
 # -- responses ------------------------------------------------------------------
 
 def encode_response(response: Response) -> bytes:
-    """Serialize a response (error code first, then per-type fields)."""
+    """Serialize a response to one bytes object (gathers the vectored
+    form, so both paths produce identical wire bytes)."""
+    parts = encode_response_vectored(response)
+    return parts[0] if len(parts) == 1 and isinstance(parts[0], bytes) else b"".join(parts)
+
+
+def encode_response_vectored(response: Response) -> list:
+    """Serialize a response as a buffer list (error code first, then
+    per-type fields).  A D2H memcpy's data rides as its own buffer --
+    typically a NumPy view of device memory -- so the server can send
+    header + payload with one vectored write and zero staging copies."""
     if isinstance(response, InitResponse):
         major, minor = response.compute_capability
-        return pack_u4(major) + pack_u4(minor) + pack_u4(response.error)
+        return [pack_u4(major) + pack_u4(minor) + pack_u4(response.error)]
     if isinstance(response, MallocResponse):
-        return pack_u4(response.error) + pack_u4(response.ptr)
+        return [pack_u4(response.error) + pack_u4(response.ptr)]
     if isinstance(response, MemcpyResponse):
-        out = pack_u4(response.error)
         if response.error == 0 and response.data is not None:
-            out += response.data
-        return out
+            return [pack_u4(response.error), response.data]
+        return [pack_u4(response.error)]
     if isinstance(response, ValueResponse):
-        return pack_u4(response.error) + pack_u4(response.value)
+        return [pack_u4(response.error) + pack_u4(response.value)]
     if isinstance(response, PropertiesResponse):
         name = response.name.encode()
         major, minor = response.compute_capability
-        return (
+        return [
             pack_u4(response.error)
             + pack_u4(major)
             + pack_u4(minor)
             + struct.pack("<Q", response.total_global_mem)
             + pack_u4(len(name))
             + name
-        )
+        ]
     if isinstance(response, ElapsedResponse):
-        return pack_u4(response.error) + _F8.pack(response.elapsed_ms)
+        return [pack_u4(response.error) + _F8.pack(response.elapsed_ms)]
     if isinstance(response, Response):
-        return pack_u4(response.error)
+        return [pack_u4(response.error)]
     raise ProtocolError(f"cannot encode response {type(response).__name__}")
 
 

@@ -1,7 +1,11 @@
 """Request and response dataclasses, one per remoted operation.
 
-Field names and widths mirror Table I.  ``data`` payloads are ``bytes``;
-the codec never copies them more than once on the way to the wire.
+Field names and widths mirror Table I.  ``data`` payloads are bytes-like
+(``bytes``, ``bytearray``, or a ``memoryview``/NumPy view of caller
+memory); the vectored codec puts them on the wire with **zero** staging
+copies.  Equality between a view-carrying message and its ``bytes``
+twin holds (buffer-protocol comparison), which the round-trip property
+tests rely on.
 """
 
 from __future__ import annotations
@@ -9,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.simcuda.types import Dim3
+
+#: Anything the codec can put on the wire without copying.
+Buffer = bytes | bytearray | memoryview
 
 
 # -- requests -----------------------------------------------------------------
@@ -37,7 +44,7 @@ class MemcpyRequest:
     src: int
     size: int
     kind: int
-    data: bytes | None = field(default=None, repr=False)
+    data: Buffer | None = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)
@@ -53,7 +60,7 @@ class MemcpyAsyncRequest:
     size: int
     kind: int
     stream: int = 0
-    data: bytes | None = field(default=None, repr=False)
+    data: Buffer | None = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)
@@ -187,7 +194,7 @@ class MallocResponse(Response):
 class MemcpyResponse(Response):
     """cudaMemcpy reply: error (4) [+ Data (x) for device-to-host]."""
 
-    data: bytes | None = field(default=None, repr=False)
+    data: Buffer | None = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)

@@ -31,9 +31,17 @@ class RCudaClient:
         module: GpuModule,
         tracer=None,
         session_id: str | None = None,
+        pipeline: bool = False,
     ) -> "RCudaClient":
-        """Initialize a session over an already-connected transport."""
-        runtime = RemoteCudaRuntime(transport, tracer=tracer, session_id=session_id)
+        """Initialize a session over an already-connected transport.
+
+        ``pipeline=True`` enables the deferred-acknowledgement hot path
+        (see :class:`~repro.rcuda.client.runtime.RemoteCudaRuntime`);
+        strict per-call synchronization remains the default.
+        """
+        runtime = RemoteCudaRuntime(
+            transport, tracer=tracer, session_id=session_id, pipeline=pipeline
+        )
         status = runtime.initialize(module)
         if status != CudaError.cudaSuccess:
             runtime.close()
@@ -49,12 +57,16 @@ class RCudaClient:
         nodelay: bool = True,
         tracer=None,
         session_id: str | None = None,
+        pipeline: bool = False,
     ) -> "RCudaClient":
         """Dial a daemon over TCP (Nagle disabled by default, as in the
         paper) and initialize."""
         transport = connect_tcp(host, port, nodelay=nodelay)
         try:
-            return cls.connect(transport, module, tracer=tracer, session_id=session_id)
+            return cls.connect(
+                transport, module, tracer=tracer,
+                session_id=session_id, pipeline=pipeline,
+            )
         except Exception:
             transport.close()
             raise
@@ -66,13 +78,17 @@ class RCudaClient:
         module: GpuModule,
         tracer=None,
         session_id: str | None = None,
+        pipeline: bool = False,
     ) -> "RCudaClient":
         """Connect to a daemon in this process without sockets: creates a
         transport pair and asks the daemon to serve the far end."""
         client_end, server_end = inproc_pair()
         try:
             daemon.serve_transport(server_end)
-            return cls.connect(client_end, module, tracer=tracer, session_id=session_id)
+            return cls.connect(
+                client_end, module, tracer=tracer,
+                session_id=session_id, pipeline=pipeline,
+            )
         except Exception:
             client_end.close()
             raise

@@ -7,18 +7,41 @@ server (kernel launches become two: the batched argument message plus the
 Table I cudaLaunch).  The API "provides the illusion of being a real GPU":
 return values are the CUDA status codes the server produced, shipped back
 in the response's 4-byte error field.
+
+Two hot-path modes share this class:
+
+**Strict sync** (the default) blocks on one exchange per call, exactly as
+the paper measures in Table I and models in Section V.
+
+**Pipelined** (``pipeline=True``) implements the paper's declared future
+work -- asynchronous, pipelined transfers -- *without changing a single
+wire byte*.  Calls whose results the caller does not need immediately
+(``cudaMemset``, ``cudaFree``, ``cudaEventRecord``, host-to-device
+``cudaMemcpy``/``cudaMemcpyAsync``, and the SetupArgs+Launch pair, which
+coalesces into one vectored write) are fired and their responses drained
+lazily; pipelining is just concatenating Table I messages on the stream,
+so the bytes each side sees are identical to the sequential encoding.
+Errors on deferred calls become a sticky CUDA-style ``last_error``
+surfaced at the next synchronization point: ``cudaThreadSynchronize``,
+``cudaStreamSynchronize``, any value-returning call, ``flush`` or
+``close``.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 
 import numpy as np
 
 from repro.errors import ProtocolError
 from repro.obs.naming import describe_request
 from repro.obs.spans import KIND_CLIENT, NULL_TRACER, Tracer
-from repro.protocol.codec import MessageReader, encode_request, read_response
+from repro.protocol.codec import (
+    MessageReader,
+    encode_request_vectored,
+    read_response,
+)
 from repro.protocol.messages import (
     ElapsedResponse,
     EventCreateRequest,
@@ -47,7 +70,7 @@ from repro.protocol.messages import (
 from repro.simcuda.errors import CudaError
 from repro.simcuda.module import GpuModule
 from repro.simcuda.types import Dim3, DevicePtr, MemcpyKind
-from repro.transport.base import Transport
+from repro.transport.base import Transport, buffer_nbytes
 
 
 _CLIENT_SESSION_IDS = itertools.count(1)
@@ -61,6 +84,7 @@ class RemoteCudaRuntime:
         transport: Transport,
         tracer: Tracer | None = None,
         session_id: str | None = None,
+        pipeline: bool = False,
     ) -> None:
         self.transport = transport
         self._reader = MessageReader(transport)
@@ -70,6 +94,22 @@ class RemoteCudaRuntime:
         self._staged_args: list = []
         self.calls_made = 0
         self._closed = False
+        #: Deferred-acknowledgement mode: fire-and-forget eligible calls,
+        #: drain their responses lazily (see module docstring).
+        self.pipeline = pipeline
+        #: Requests sent but not yet acknowledged: (request, span, nbytes).
+        self._inflight: deque[tuple[Request, object, int]] = deque()
+        #: First error observed on a deferred call; sticky until surfaced
+        #: at a sync point (CUDA's cudaGetLastError discipline).
+        self._deferred_error = CudaError.cudaSuccess
+        #: Blocking request/response waits this session has paid.  A sync
+        #: exchange costs one; draining any number of pipelined responses
+        #: costs one (they are already in flight when we start waiting).
+        self.round_trips = 0
+        #: Payload bytes this runtime had to copy before the transport
+        #: (non-contiguous arrays, immutable-bytes D2H materialization).
+        #: Zero on the zero-copy paths; benchmarks report it.
+        self.bytes_copied = 0
         #: Span tracer; the shared no-op by default so the hot path pays
         #: nothing when uninstrumented.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -82,41 +122,190 @@ class RemoteCudaRuntime:
         )
         #: Optional observer called after every exchange with
         #: (request, response, bytes_sent).  Figure 2's sequence diagram
-        #: is reconstructed from real sessions through this hook.
+        #: is reconstructed from real sessions through this hook.  In
+        #: pipelined mode deferred calls report at drain time.
         self.exchange_hook = None
 
     # -- plumbing -----------------------------------------------------------
 
-    def _call(self, request: Request) -> Response:
+    def _start_span(self, request: Request):
+        tracer = self.tracer
+        if not tracer.enabled:
+            return None
+        name, fid, phase = describe_request(request)
+        return tracer.start(
+            name,
+            KIND_CLIENT,
+            self.session_id,
+            self.calls_made,
+            function_id=fid,
+            phase=phase,
+        )
+
+    def _send_parts(self, parts: list, messages: int = 1) -> None:
+        if len(parts) == 1 and messages == 1:
+            self.transport.send(parts[0])
+        else:
+            self.transport.send_vectored(parts, messages=messages)
+
+    def _abandon_inflight(self) -> None:
+        """Fail every in-flight span after a dead transport (satellite of
+        the span-leak fix: no span may dangle on the error path)."""
+        while self._inflight:
+            _, span, nbytes = self._inflight.popleft()
+            if span is not None:
+                self.tracer.fail(span, bytes_sent=nbytes)
+
+    def _drain_one(self) -> None:
+        """Read and account the oldest in-flight response."""
+        request, span, nbytes = self._inflight.popleft()
+        received_before = self.transport.bytes_received
+        try:
+            response = read_response(self._reader, request)
+        except BaseException:
+            if span is not None:
+                self.tracer.fail(span, bytes_sent=nbytes)
+            self._abandon_inflight()
+            raise
+        if span is not None:
+            self.tracer.finish(
+                span,
+                bytes_sent=nbytes,
+                bytes_received=self.transport.bytes_received - received_before,
+                error=response.error,
+            )
+        error = CudaError(response.error)
+        self.last_error = error
+        if (
+            error != CudaError.cudaSuccess
+            and self._deferred_error == CudaError.cudaSuccess
+        ):
+            self._deferred_error = error
+        if self.exchange_hook is not None:
+            self.exchange_hook(request, response, nbytes)
+
+    def _drain(self, *, blocking: bool = True) -> None:
+        """Consume every outstanding pipelined response.
+
+        ``blocking=True`` charges one round trip (we genuinely wait for
+        the stream to catch up); a drain that piggybacks on a sync
+        exchange already paying its own round trip passes False.
+        """
+        if not self._inflight:
+            return
+        if blocking:
+            self.round_trips += 1
+        while self._inflight:
+            self._drain_one()
+        if self._deferred_error != CudaError.cudaSuccess:
+            self.last_error = self._deferred_error
+
+    def _post(self, request: Request) -> CudaError:
+        """Fire-and-forget: send ``request`` and defer its response."""
         if self._closed:
             raise ProtocolError("runtime is closed")
-        wire = encode_request(request)
-        tracer = self.tracer
-        if tracer.enabled:
-            name, fid, phase = describe_request(request)
-            received_before = self.transport.bytes_received
-            span = tracer.start(
-                name,
-                KIND_CLIENT,
-                self.session_id,
-                self.calls_made,
-                function_id=fid,
-                phase=phase,
+        parts = encode_request_vectored(request)
+        nbytes = sum(buffer_nbytes(p) for p in parts)
+        span = self._start_span(request)
+        try:
+            self._send_parts(parts)
+        except BaseException:
+            if span is not None:
+                self.tracer.fail(span, bytes_sent=nbytes)
+            raise
+        self.calls_made += 1
+        self._inflight.append((request, span, nbytes))
+        return CudaError.cudaSuccess
+
+    def _post_coalesced(self, requests: list[Request]) -> CudaError:
+        """Fire several requests with ONE vectored write (SetupArgs+Launch
+        become a single frame on the stream, halving the launch's writes)."""
+        if self._closed:
+            raise ProtocolError("runtime is closed")
+        parts: list = []
+        staged: list[tuple[Request, object, int]] = []
+        for request in requests:
+            req_parts = encode_request_vectored(request)
+            staged.append(
+                (request, self._start_span(request),
+                 sum(buffer_nbytes(p) for p in req_parts))
             )
-        self.transport.send(wire)
-        response = read_response(self._reader, request)
-        if tracer.enabled:
-            tracer.finish(
+            parts.extend(req_parts)
+            self.calls_made += 1
+        try:
+            self._send_parts(parts, messages=len(requests))
+        except BaseException:
+            for _, span, nbytes in staged:
+                if span is not None:
+                    self.tracer.fail(span, bytes_sent=nbytes)
+            raise
+        self._inflight.extend(staged)
+        return CudaError.cudaSuccess
+
+    def _call(self, request: Request) -> Response:
+        """One blocking exchange (a synchronization point).
+
+        With responses strictly ordered, the request goes out *before*
+        draining: any deferred responses are already racing toward us, so
+        reading them plus our own answer costs a single round trip.
+        """
+        if self._closed:
+            raise ProtocolError("runtime is closed")
+        parts = encode_request_vectored(request)
+        nbytes = sum(buffer_nbytes(p) for p in parts)
+        span = self._start_span(request)
+        try:
+            self._send_parts(parts)
+            self._drain(blocking=False)
+            received_before = self.transport.bytes_received
+            response = read_response(self._reader, request)
+        except BaseException:
+            if span is not None:
+                self.tracer.fail(span, bytes_sent=nbytes)
+            self._abandon_inflight()
+            raise
+        self.round_trips += 1
+        if span is not None:
+            self.tracer.finish(
                 span,
-                bytes_sent=len(wire),
+                bytes_sent=nbytes,
                 bytes_received=self.transport.bytes_received - received_before,
                 error=response.error,
             )
         self.calls_made += 1
         self.last_error = CudaError(response.error)
         if self.exchange_hook is not None:
-            self.exchange_hook(request, response, len(wire))
+            self.exchange_hook(request, response, nbytes)
         return response
+
+    def _surface(self, error: CudaError) -> CudaError:
+        """Apply sync-point error semantics: a pending deferred error
+        replaces this call's own status (and is cleared, CUDA-style)."""
+        if self._deferred_error != CudaError.cudaSuccess:
+            error = self._deferred_error
+            self._deferred_error = CudaError.cudaSuccess
+            self.last_error = error
+        return error
+
+    # -- pipelining surface --------------------------------------------------
+
+    @property
+    def inflight_count(self) -> int:
+        """Deferred requests whose responses have not been read yet."""
+        return len(self._inflight)
+
+    def flush(self) -> CudaError:
+        """Drain every deferred response; a synchronization point."""
+        self._drain()
+        return self._surface(CudaError.cudaSuccess)
+
+    def cudaGetLastError(self) -> CudaError:
+        """Return and clear the sticky error, like the real API (drains
+        first so deferred failures are visible)."""
+        self._drain()
+        error = self._surface(self.last_error)
+        self.last_error = CudaError.cudaSuccess
+        return error
 
     # -- initialization stage --------------------------------------------------
 
@@ -137,11 +326,43 @@ class RemoteCudaRuntime:
             return CudaError.cudaErrorInvalidValue, None
         response = self._call(MallocRequest(size=size))
         assert isinstance(response, MallocResponse)
-        error = CudaError(response.error)
+        error = self._surface(CudaError(response.error))
         return error, response.ptr if error == CudaError.cudaSuccess else None
 
     def cudaFree(self, ptr: DevicePtr) -> CudaError:
+        if self.pipeline:
+            return self._post(FreeRequest(ptr=ptr))
         return CudaError(self._call(FreeRequest(ptr=ptr)).error)
+
+    def _host_payload(self, host_data, count: int):
+        """Validate and slice the H2D payload without copying.
+
+        Returns a flat ``memoryview`` of exactly ``count`` bytes over the
+        caller's buffer, or None when the buffer is absent/too small.  The
+        only copy left is ``np.ascontiguousarray`` on genuinely
+        non-contiguous arrays, where a gather is unavoidable (and is
+        charged to ``bytes_copied``).
+        """
+        if host_data is None:
+            return None
+        if isinstance(host_data, np.ndarray):
+            if not host_data.flags.c_contiguous:
+                host_data = np.ascontiguousarray(host_data)
+                self.bytes_copied += host_data.nbytes
+            view = memoryview(host_data).cast("B")
+        else:
+            view = memoryview(host_data)
+            if view.format != "B" or view.ndim != 1:
+                try:
+                    view = view.cast("B")
+                except TypeError:
+                    # Non-contiguous exotic buffer: gather once.
+                    flat = bytes(host_data)
+                    self.bytes_copied += len(flat)
+                    view = memoryview(flat)
+        if view.nbytes < count:
+            return None
+        return view[:count]
 
     def cudaMemcpy(
         self,
@@ -151,32 +372,9 @@ class RemoteCudaRuntime:
         kind: MemcpyKind,
         host_data: bytes | np.ndarray | None = None,
     ) -> tuple[CudaError, np.ndarray | None]:
-        kind = MemcpyKind(kind)
-        payload: bytes | None = None
-        if kind is MemcpyKind.cudaMemcpyHostToDevice:
-            if host_data is None:
-                return CudaError.cudaErrorInvalidValue, None
-            if isinstance(host_data, np.ndarray):
-                payload = np.ascontiguousarray(host_data).tobytes()[:count]
-            else:
-                payload = bytes(host_data)[:count]
-            if len(payload) != count:
-                return CudaError.cudaErrorInvalidValue, None
-        response = self._call(
-            MemcpyRequest(dst=dst, src=src, size=count, kind=int(kind), data=payload)
-        )
-        error = CudaError(response.error)
-        data: np.ndarray | None = None
-        if isinstance(response, MemcpyResponse) and response.data is not None:
-            data = np.frombuffer(response.data, dtype=np.uint8).copy()
-        return error, data
-
-    def cudaMemset(self, ptr: DevicePtr, value: int, count: int) -> CudaError:
-        """Fill remote device memory with a byte value."""
-        if not 0 <= value <= 0xFF or not 0 <= count < 2**32:
-            return CudaError.cudaErrorInvalidValue
-        return CudaError(
-            self._call(MemsetRequest(ptr=ptr, value=value, size=count)).error
+        return self._memcpy_common(
+            MemcpyRequest, dict(dst=dst, src=src, size=count, kind=0),
+            count, kind, host_data,
         )
 
     def cudaMemcpyAsync(
@@ -191,28 +389,55 @@ class RemoteCudaRuntime:
         """Asynchronous copy on a remote stream (the paper's future work:
         asynchronous transfers are remoted but not covered by the Section
         V estimation model)."""
-        kind = MemcpyKind(kind)
-        payload: bytes | None = None
-        if kind is MemcpyKind.cudaMemcpyHostToDevice:
-            if host_data is None:
-                return CudaError.cudaErrorInvalidValue, None
-            if isinstance(host_data, np.ndarray):
-                payload = np.ascontiguousarray(host_data).tobytes()[:count]
-            else:
-                payload = bytes(host_data)[:count]
-            if len(payload) != count:
-                return CudaError.cudaErrorInvalidValue, None
-        response = self._call(
-            MemcpyAsyncRequest(
-                dst=dst, src=src, size=count, kind=int(kind),
-                stream=stream, data=payload,
-            )
+        return self._memcpy_common(
+            MemcpyAsyncRequest,
+            dict(dst=dst, src=src, size=count, kind=0, stream=stream),
+            count, kind, host_data,
         )
-        error = CudaError(response.error)
+
+    def _memcpy_common(
+        self, request_type, fields: dict, count: int, kind, host_data
+    ) -> tuple[CudaError, np.ndarray | None]:
+        """Shared cudaMemcpy/cudaMemcpyAsync body (deduplicated payload
+        prep; H2D defers in pipelined mode, D2H always synchronizes)."""
+        kind = MemcpyKind(kind)
+        fields["kind"] = int(kind)
+        if kind is MemcpyKind.cudaMemcpyHostToDevice:
+            payload = self._host_payload(host_data, count)
+            if payload is None:
+                return CudaError.cudaErrorInvalidValue, None
+            request = request_type(**fields, data=payload)
+            if self.pipeline:
+                return self._post(request), None
+            return CudaError(self._call(request).error), None
+        response = self._call(request_type(**fields))
+        error = self._surface(CudaError(response.error))
         data: np.ndarray | None = None
         if isinstance(response, MemcpyResponse) and response.data is not None:
-            data = np.frombuffer(response.data, dtype=np.uint8).copy()
+            data = self._received_array(response.data)
         return error, data
+
+    def _received_array(self, data) -> np.ndarray:
+        """D2H payload as a caller-owned writable array.
+
+        The transport's ``recv_into`` slow path already hands us a fresh
+        ``bytearray`` we can wrap for free; only immutable ``bytes``
+        (in-proc / single-segment reads) still require one copy to stay
+        writable, which is charged to ``bytes_copied``.
+        """
+        if isinstance(data, bytearray):
+            return np.frombuffer(data, dtype=np.uint8)
+        self.bytes_copied += len(data)
+        return np.frombuffer(data, dtype=np.uint8).copy()
+
+    def cudaMemset(self, ptr: DevicePtr, value: int, count: int) -> CudaError:
+        """Fill remote device memory with a byte value."""
+        if not 0 <= value <= 0xFF or not 0 <= count < 2**32:
+            return CudaError.cudaErrorInvalidValue
+        request = MemsetRequest(ptr=ptr, value=value, size=count)
+        if self.pipeline:
+            return self._post(request)
+        return CudaError(self._call(request).error)
 
     # -- kernel launch -------------------------------------------------------------
 
@@ -236,20 +461,26 @@ class RemoteCudaRuntime:
         self._launch_config = None
         args = tuple(self._staged_args)
         self._staged_args = []
+        launch = LaunchRequest(
+            kernel_name=kernel_name,
+            block=block,
+            grid=grid,
+            shared_bytes=shared,
+            stream=stream,
+        )
+        if self.pipeline:
+            if args:
+                # One write for both Table I messages: the deferred
+                # SetupArgs and the Launch share a single frame.
+                return self._post_coalesced(
+                    [SetupArgsRequest(args=args), launch]
+                )
+            return self._post(launch)
         if args:
             error = CudaError(self._call(SetupArgsRequest(args=args)).error)
             if error != CudaError.cudaSuccess:
                 return error
-        response = self._call(
-            LaunchRequest(
-                kernel_name=kernel_name,
-                block=block,
-                grid=grid,
-                shared_bytes=shared,
-                stream=stream,
-            )
-        )
-        return CudaError(response.error)
+        return CudaError(self._call(launch).error)
 
     def launch_kernel(
         self,
@@ -269,29 +500,33 @@ class RemoteCudaRuntime:
     # -- sync / streams / events -------------------------------------------------
 
     def cudaThreadSynchronize(self) -> CudaError:
-        return CudaError(self._call(SyncRequest()).error)
+        return self._surface(CudaError(self._call(SyncRequest()).error))
 
     def cudaGetDeviceProperties(self) -> tuple[CudaError, PropertiesResponse]:
         response = self._call(PropertiesRequest())
         assert isinstance(response, PropertiesResponse)
-        return CudaError(response.error), response
+        return self._surface(CudaError(response.error)), response
 
     def cudaStreamCreate(self) -> tuple[CudaError, int | None]:
         response = self._call(StreamCreateRequest())
         assert isinstance(response, ValueResponse)
-        error = CudaError(response.error)
+        error = self._surface(CudaError(response.error))
         return error, response.value if error == CudaError.cudaSuccess else None
 
     def cudaStreamSynchronize(self, stream: int) -> CudaError:
-        return CudaError(self._call(StreamSyncRequest(stream=stream)).error)
+        return self._surface(
+            CudaError(self._call(StreamSyncRequest(stream=stream)).error)
+        )
 
     def cudaEventCreate(self) -> tuple[CudaError, int | None]:
         response = self._call(EventCreateRequest())
         assert isinstance(response, ValueResponse)
-        error = CudaError(response.error)
+        error = self._surface(CudaError(response.error))
         return error, response.value if error == CudaError.cudaSuccess else None
 
     def cudaEventRecord(self, event: int) -> CudaError:
+        if self.pipeline:
+            return self._post(EventRecordRequest(event=event))
         return CudaError(self._call(EventRecordRequest(event=event)).error)
 
     def cudaEventElapsedTime(
@@ -299,17 +534,31 @@ class RemoteCudaRuntime:
     ) -> tuple[CudaError, float | None]:
         response = self._call(EventElapsedRequest(start=start, end=end))
         assert isinstance(response, ElapsedResponse)
-        error = CudaError(response.error)
+        error = self._surface(CudaError(response.error))
         return error, response.elapsed_ms if error == CudaError.cudaSuccess else None
 
     # -- finalization stage ---------------------------------------------------------
 
     def close(self) -> None:
         """Finalization: close the socket; the server session releases the
-        GPU context and associated resources."""
+        GPU context and associated resources.
+
+        A pipelined session drains outstanding responses first, so a
+        deferred failure is still surfaced (``last_error`` keeps the
+        sticky error after close).
+        """
         if not self._closed:
-            self._closed = True
-            self.transport.close()
+            try:
+                self._drain()
+            except Exception:
+                # The transport died with acknowledgements outstanding;
+                # nothing further to collect.
+                pass
+            finally:
+                if self._deferred_error != CudaError.cudaSuccess:
+                    self.last_error = self._deferred_error
+                self._closed = True
+                self.transport.close()
 
     def __enter__(self) -> "RemoteCudaRuntime":
         return self

@@ -126,13 +126,15 @@ class SessionHandler:
         )
 
     def _handle_memcpy(self, request: MemcpyRequest) -> Response:
+        # ``request.data`` (H2D) flows into device memory as received --
+        # ``memory.write`` wraps it with ``np.frombuffer``, so the only
+        # copy is the one into the device array itself.
         kind = MemcpyKind(request.kind)
         error, data = self.runtime.cudaMemcpy(
             request.dst, request.src, request.size, kind, host_data=request.data
         )
         if kind is MemcpyKind.cudaMemcpyDeviceToHost:
-            payload = data.tobytes() if data is not None else None
-            return MemcpyResponse(error=int(error), data=payload)
+            return MemcpyResponse(error=int(error), data=self._d2h_payload(data))
         return Response(error=int(error))
 
     def _handle_memcpy_async(self, request: MemcpyAsyncRequest) -> Response:
@@ -146,9 +148,15 @@ class SessionHandler:
             host_data=request.data,
         )
         if kind is MemcpyKind.cudaMemcpyDeviceToHost:
-            payload = data.tobytes() if data is not None else None
-            return MemcpyResponse(error=int(error), data=payload)
+            return MemcpyResponse(error=int(error), data=self._d2h_payload(data))
         return Response(error=int(error))
+
+    @staticmethod
+    def _d2h_payload(data) -> memoryview | None:
+        """D2H bytes as a zero-copy view over the array ``memory.read``
+        produced (the old ``tobytes()`` duplicated every outbound
+        payload); the view rides the vectored response send untouched."""
+        return memoryview(data).cast("B") if data is not None else None
 
     def _handle_launch(self, request: LaunchRequest) -> Response:
         args, self._staged_args = self._staged_args, ()

@@ -28,13 +28,13 @@ from repro.protocol.codec import (
     MessageReader,
     decode_init,
     decode_request,
-    encode_response,
+    encode_response_vectored,
 )
 from repro.protocol.messages import InitRequest, Request
 from repro.rcuda.server.handler import SessionHandler
 from repro.simcuda.device import SimulatedGpu
 from repro.simcuda.runtime import CudaRuntime
-from repro.transport.base import Transport
+from repro.transport.base import Transport, buffer_nbytes
 
 _SERVER_SESSION_IDS = itertools.count(1)
 
@@ -125,18 +125,32 @@ class ServerSession:
                     function_id=fid,
                     phase=phase,
                 )
-        if isinstance(request, InitRequest):
-            response = self.handler.handle_init(request)
-        else:
-            response = self.handler.handle(request)
-        wire = encode_response(response)
-        self.transport.send(wire)
+        try:
+            if isinstance(request, InitRequest):
+                response = self.handler.handle_init(request)
+            else:
+                response = self.handler.handle(request)
+            # D2H data leaves as its own buffer (a view of device memory)
+            # via one vectored write -- never concatenated into a fresh
+            # header+payload object.
+            parts = encode_response_vectored(response)
+            wire_len = sum(buffer_nbytes(p) for p in parts)
+            if len(parts) == 1:
+                self.transport.send(parts[0])
+            else:
+                self.transport.send_vectored(parts)
+        except BaseException:
+            # Never leak a span: a raise in handling, encoding or the
+            # send itself still closes it, marked as failed.
+            if span is not None:
+                tracer.fail(span, bytes_received=bytes_in)
+            raise
         if observing:
             if span is not None:
                 tracer.finish(
                     span,
                     bytes_received=bytes_in,
-                    bytes_sent=len(wire),
+                    bytes_sent=wire_len,
                     error=response.error,
                 )
             if self.metrics is not None:
@@ -144,5 +158,5 @@ class ServerSession:
                     time.perf_counter() - t0, function=name
                 )
                 self._m_bytes.inc(bytes_in, function=name, direction="in")
-                self._m_bytes.inc(len(wire), function=name, direction="out")
+                self._m_bytes.inc(wire_len, function=name, direction="out")
                 self._m_requests.inc()

@@ -35,6 +35,12 @@ class FunctionalRunReport:
     messages_received: int
     #: Virtual network seconds the traffic would cost per modeled network.
     virtual_network_seconds: dict[str, float]
+    #: Blocking request/response waits the client paid (sync mode: one
+    #: per call; pipelined mode: one per synchronization point).
+    round_trips: int = 0
+    #: Client-side payload bytes that crossed an avoidable staging copy
+    #: (plus the transport's own ``copy_bytes``); zero-copy runs report 0.
+    bytes_copied: int = 0
 
 
 class FunctionalRunner:
@@ -80,9 +86,17 @@ class FunctionalRunner:
         self.stop()
 
     def run(
-        self, case: CaseStudy, size: int, seed: int = 0, verify: bool = True
+        self,
+        case: CaseStudy,
+        size: int,
+        seed: int = 0,
+        verify: bool = True,
+        pipeline: bool = False,
     ) -> FunctionalRunReport:
-        """One full session: connect, initialize, run, finalize."""
+        """One full session: connect, initialize, run, finalize.
+
+        ``pipeline=True`` runs the session over the deferred-ack hot path
+        (byte-identical wire traffic, fewer blocking round trips)."""
         links = {
             name: SimulatedLink(get_network(name))
             for name in self.accounted_networks
@@ -103,7 +117,9 @@ class FunctionalRunner:
         for link in links.values():
             transport = TimedTransport(transport, link)
 
-        client = RCudaClient.connect(transport, case.module(), tracer=self.tracer)
+        client = RCudaClient.connect(
+            transport, case.module(), tracer=self.tracer, pipeline=pipeline
+        )
         try:
             result = case.run(client.runtime, size, seed=seed, verify=verify)
         finally:
@@ -118,4 +134,6 @@ class FunctionalRunner:
             virtual_network_seconds={
                 name: link.clock.now() for name, link in links.items()
             },
+            round_trips=client.runtime.round_trips,
+            bytes_copied=client.runtime.bytes_copied + base.copy_bytes,
         )

@@ -11,7 +11,7 @@
   cost on GigaE, InfiniBand, etc.
 """
 
-from repro.transport.base import Transport
+from repro.transport.base import Transport, buffer_nbytes
 from repro.transport.inproc import InProcTransport, inproc_pair
 from repro.transport.tcp import TcpTransport, connect_tcp
 from repro.transport.timed import TimedTransport
@@ -21,6 +21,7 @@ __all__ = [
     "TcpTransport",
     "TimedTransport",
     "Transport",
+    "buffer_nbytes",
     "connect_tcp",
     "inproc_pair",
 ]

@@ -3,6 +3,15 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterable
+
+
+def buffer_nbytes(data) -> int:
+    """Byte length of any bytes-like object (bytes, bytearray, memoryview,
+    NumPy array) without materializing it."""
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    return memoryview(data).nbytes
 
 
 class Transport(ABC):
@@ -11,7 +20,11 @@ class Transport(ABC):
     The protocol codec only ever needs two primitives: push bytes out, and
     read an exact count (message framing is self-describing, so there is
     no per-message length envelope on the wire -- sizes stay exactly what
-    Table I says).
+    Table I says).  ``send`` accepts any bytes-like object (``bytes``,
+    ``bytearray``, ``memoryview``), and ``recv_exact`` may return either
+    ``bytes`` or a freshly allocated ``bytearray`` the caller owns --
+    both satisfy every consumer (struct unpacking, ``np.frombuffer``,
+    equality against ``bytes``).
     """
 
     def __init__(self) -> None:
@@ -19,13 +32,19 @@ class Transport(ABC):
         self.bytes_received = 0
         self.messages_sent = 0
         self.messages_received = 0
+        #: Bytes that crossed an *avoidable* staging copy inside this
+        #: transport (gather-by-concatenation fallbacks, partial-read
+        #: reassembly).  Zero on the zero-copy fast paths; benchmarks use
+        #: it to demonstrate the vectored/recv_into win.
+        self.copy_bytes = 0
 
     @abstractmethod
-    def send(self, data: bytes) -> None:
-        """Deliver ``data`` in order; raises TransportError on failure."""
+    def send(self, data) -> None:
+        """Deliver the bytes-like ``data`` in order; raises TransportError
+        on failure."""
 
     @abstractmethod
-    def recv_exact(self, nbytes: int) -> bytes:
+    def recv_exact(self, nbytes: int) -> bytes | bytearray:
         """Block until exactly ``nbytes`` arrive; raises
         TransportClosedError if the peer closes first."""
 
@@ -33,9 +52,25 @@ class Transport(ABC):
     def close(self) -> None:
         """Tear the connection down (idempotent)."""
 
-    def _account_send(self, nbytes: int) -> None:
+    def send_vectored(self, bufs: Iterable, messages: int = 1) -> None:
+        """Send several buffers back-to-back as one write (scatter-gather).
+
+        ``messages`` is how many protocol messages the buffers span, so
+        message accounting stays truthful when a pipelined client
+        coalesces e.g. SetupArgs+Launch into a single write.  The default
+        gathers into one bytes object (paying a copy it records in
+        ``copy_bytes``); transports with true vectored I/O override this.
+        """
+        data = b"".join(bufs)
+        self.copy_bytes += len(data)
+        self.send(data)
+        # ``send`` accounted one message for the whole write; top up for
+        # the extra protocol messages it carried.
+        self.messages_sent += messages - 1
+
+    def _account_send(self, nbytes: int, messages: int = 1) -> None:
         self.bytes_sent += nbytes
-        self.messages_sent += 1
+        self.messages_sent += messages
 
     def _account_recv(self, nbytes: int) -> None:
         self.bytes_received += nbytes

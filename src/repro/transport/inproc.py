@@ -14,7 +14,7 @@ import threading
 from collections import deque
 
 from repro.errors import TransportClosedError
-from repro.transport.base import Transport
+from repro.transport.base import Transport, buffer_nbytes
 
 
 class _Channel:
@@ -73,9 +73,23 @@ class InProcTransport(Transport):
         self._in = incoming
         self._timeout = timeout
 
-    def send(self, data: bytes) -> None:
-        self._out.push(bytes(data))
-        self._account_send(len(data))
+    def send(self, data) -> None:
+        # The queue keeps a reference past this call, so bytes-like views
+        # must be materialized here (the in-proc analogue of the NIC
+        # copying a frame out of application memory).
+        self._out.push(data if isinstance(data, bytes) else bytes(data))
+        self._account_send(buffer_nbytes(data))
+
+    def send_vectored(self, bufs, messages: int = 1) -> None:
+        """Push each buffer as its own chunk -- the byte FIFO reassembles
+        on read, so no gather copy is needed."""
+        total = 0
+        for buf in bufs:
+            chunk = buf if isinstance(buf, bytes) else bytes(buf)
+            if chunk:
+                self._out.push(chunk)
+                total += len(chunk)
+        self._account_send(total, messages=messages)
 
     def recv_exact(self, nbytes: int) -> bytes:
         data = self._in.pop_exact(nbytes, self._timeout)

@@ -6,6 +6,17 @@ frame must be sent out ... to avoid unnecessary delays introduced by the
 default congestion control algorithm"); we set ``TCP_NODELAY``
 accordingly, with a constructor flag so the Nagle ablation benchmark can
 put it back.
+
+This transport implements both zero-copy halves of the hot path:
+
+* outbound, ``send_vectored`` hands a header + payload view straight to
+  ``socket.sendmsg`` (scatter-gather I/O), so memcpy payloads are never
+  concatenated into a fresh header+payload bytes object;
+* inbound, ``recv_exact`` first tries a single ``recv`` (one kernel copy,
+  the common case since most Table I messages are tiny) and only on a
+  partial read falls back to ``recv_into`` on one preallocated
+  ``bytearray`` -- large D2H transfers are assembled in place instead of
+  paying the old chunk-list ``b"".join`` copy.
 """
 
 from __future__ import annotations
@@ -28,33 +39,69 @@ class TcpTransport(Transport):
         except OSError as exc:  # pragma: no cover - platform dependent
             raise TransportError(f"could not set TCP_NODELAY: {exc}") from exc
 
-    def send(self, data: bytes) -> None:
+    def send(self, data) -> None:
         if self._closed:
             raise TransportClosedError("send on a closed transport")
+        view = memoryview(data).cast("B") if not isinstance(data, bytes) else data
         try:
-            self._sock.sendall(data)
+            self._sock.sendall(view)
         except OSError as exc:
             raise TransportError(f"TCP send failed: {exc}") from exc
-        self._account_send(len(data))
+        self._account_send(len(view))
 
-    def recv_exact(self, nbytes: int) -> bytes:
+    def send_vectored(self, bufs, messages: int = 1) -> None:
+        if self._closed:
+            raise TransportClosedError("send on a closed transport")
+        pending = [m for m in (memoryview(b).cast("B") for b in bufs) if m.nbytes]
+        total = sum(m.nbytes for m in pending)
+        try:
+            while pending:
+                sent = self._sock.sendmsg(pending)
+                # Drop fully sent buffers, trim the partially sent one.
+                while pending and sent >= pending[0].nbytes:
+                    sent -= pending[0].nbytes
+                    del pending[0]
+                if sent:
+                    pending[0] = pending[0][sent:]
+        except OSError as exc:
+            raise TransportError(f"TCP sendmsg failed: {exc}") from exc
+        self._account_send(total, messages=messages)
+
+    def recv_exact(self, nbytes: int) -> bytes | bytearray:
         if self._closed:
             raise TransportClosedError("recv on a closed transport")
-        chunks: list[bytes] = []
-        remaining = nbytes
-        while remaining > 0:
+        if nbytes == 0:
+            return b""
+        try:
+            first = self._sock.recv(nbytes)
+        except OSError as exc:
+            raise TransportError(f"TCP recv failed: {exc}") from exc
+        if not first:
+            raise TransportClosedError(
+                f"peer closed with {nbytes} of {nbytes} bytes pending"
+            )
+        if len(first) == nbytes:
+            # Fast path: the whole message arrived in one segment; hand
+            # the kernel's bytes object through untouched.
+            self._account_recv(nbytes)
+            return first
+        buf = bytearray(nbytes)
+        view = memoryview(buf)
+        filled = len(first)
+        view[:filled] = first
+        self.copy_bytes += filled  # the one staging copy the slow path pays
+        while filled < nbytes:
             try:
-                chunk = self._sock.recv(min(remaining, 1 << 20))
+                got = self._sock.recv_into(view[filled:])
             except OSError as exc:
                 raise TransportError(f"TCP recv failed: {exc}") from exc
-            if not chunk:
+            if not got:
                 raise TransportClosedError(
-                    f"peer closed with {remaining} of {nbytes} bytes pending"
+                    f"peer closed with {nbytes - filled} of {nbytes} bytes pending"
                 )
-            chunks.append(chunk)
-            remaining -= len(chunk)
+            filled += got
         self._account_recv(nbytes)
-        return b"".join(chunks)
+        return buf
 
     def close(self) -> None:
         if not self._closed:

@@ -12,7 +12,7 @@ links -- the miniature, executable version of the paper's estimation idea.
 from __future__ import annotations
 
 from repro.net.simlink import SimulatedLink
-from repro.transport.base import Transport
+from repro.transport.base import Transport, buffer_nbytes
 
 
 class TimedTransport(Transport):
@@ -28,12 +28,21 @@ class TimedTransport(Transport):
         self.inner = inner
         self.link = link
 
-    def send(self, data: bytes) -> None:
-        self.link.transfer(len(data))
+    def send(self, data) -> None:
+        nbytes = buffer_nbytes(data)
+        self.link.transfer(nbytes)
         self.inner.send(data)
-        self._account_send(len(data))
+        self._account_send(nbytes)
 
-    def recv_exact(self, nbytes: int) -> bytes:
+    def send_vectored(self, bufs, messages: int = 1) -> None:
+        bufs = list(bufs)
+        total = sum(buffer_nbytes(b) for b in bufs)
+        # One write on the real stream is one frame on the modeled link.
+        self.link.transfer(total)
+        self.inner.send_vectored(bufs, messages=messages)
+        self._account_send(total, messages=messages)
+
+    def recv_exact(self, nbytes: int) -> bytes | bytearray:
         data = self.inner.recv_exact(nbytes)
         self._account_recv(nbytes)
         return data

@@ -1,0 +1,455 @@
+"""Pipelined hot-path semantics: byte-identical wire traffic, deferred
+acknowledgements, sticky error surfacing, and round-trip reduction.
+
+The pipelined mode's core invariant is that it changes *when* the client
+waits, never *what* crosses the wire: pipelining is just concatenating
+Table I messages on the stream, so the client->server byte sequence of a
+pipelined session must equal the sequential encoding concatenation --
+checked here exhaustively with hypothesis over generated call sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.codec import encode_request
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import SimulatedGpu, MemcpyKind, fabricate_module
+from repro.simcuda.errors import CudaError
+from repro.simcuda.types import Dim3
+from repro.testbed import FunctionalRunner
+from repro.transport.base import Transport, buffer_nbytes
+from repro.workloads import FftBatchCase, MatrixProductCase
+
+import numpy as np
+import pytest
+
+
+class RecordingTransport(Transport):
+    """Wrapper capturing the outbound byte stream and write boundaries."""
+
+    def __init__(self, inner: Transport) -> None:
+        super().__init__()
+        self.inner = inner
+        self.writes: list[bytes] = []
+
+    def send(self, data) -> None:
+        self.writes.append(bytes(data))
+        self.inner.send(data)
+        self._account_send(buffer_nbytes(data))
+
+    def send_vectored(self, bufs, messages: int = 1) -> None:
+        bufs = list(bufs)
+        self.writes.append(b"".join(bytes(b) for b in bufs))
+        self.inner.send_vectored(bufs, messages=messages)
+        self._account_send(sum(buffer_nbytes(b) for b in bufs), messages=messages)
+
+    def recv_exact(self, nbytes: int):
+        data = self.inner.recv_exact(nbytes)
+        self._account_recv(nbytes)
+        return data
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def stream(self) -> bytes:
+        return b"".join(self.writes)
+
+
+def connect_recorded(daemon, module, pipeline: bool):
+    from repro.transport.inproc import inproc_pair
+
+    client_end, server_end = inproc_pair()
+    daemon.serve_transport(server_end)
+    recorded = RecordingTransport(client_end)
+    return RCudaClient.connect(recorded, module, pipeline=pipeline), recorded
+
+
+def reset_handle_counters():
+    """Event/stream handles draw from process-global counters; pin them
+    so the sync and pipelined runs emit identical handle values."""
+    import itertools
+
+    from repro.simcuda import event, stream
+
+    event._handles = itertools.count(1)
+    stream._handles = itertools.count(1)
+
+
+MODULE = fabricate_module("pipetest", ["saxpy", "sgemmNN"], 2048)
+
+
+def apply_ops(rt, ops, ptr):
+    """Drive one scripted call sequence against a live runtime."""
+    for op in ops:
+        name = op[0]
+        if name == "memset":
+            rt.cudaMemset(ptr, op[1], op[2])
+        elif name == "h2d":
+            data = bytes([op[1]]) * op[2]
+            rt.cudaMemcpy(
+                ptr, 0, op[2], MemcpyKind.cudaMemcpyHostToDevice, host_data=data
+            )
+        elif name == "d2h":
+            rt.cudaMemcpy(0, ptr, op[1], MemcpyKind.cudaMemcpyDeviceToHost)
+        elif name == "launch":
+            rt.launch_kernel(
+                "saxpy", Dim3(1), Dim3(op[1]), (ptr, ptr, op[2], 1.5)
+            )
+        elif name == "sync":
+            rt.cudaThreadSynchronize()
+        elif name == "free_alloc":
+            err, p2 = rt.cudaMalloc(op[1])
+            assert err == CudaError.cudaSuccess
+            rt.cudaFree(p2)
+        elif name == "event":
+            err, ev = rt.cudaEventCreate()
+            assert err == CudaError.cudaSuccess
+            rt.cudaEventRecord(ev)
+        else:  # pragma: no cover - strategy bug
+            raise AssertionError(name)
+
+
+op_strategy = st.one_of(
+    st.tuples(st.just("memset"), st.integers(0, 255), st.integers(1, 256)),
+    st.tuples(st.just("h2d"), st.integers(0, 255), st.integers(1, 256)),
+    st.tuples(st.just("d2h"), st.integers(1, 256)),
+    st.tuples(st.just("launch"), st.integers(1, 64), st.integers(1, 64)),
+    st.tuples(st.just("sync")),
+    st.tuples(st.just("free_alloc"), st.integers(1, 4096)),
+    st.tuples(st.just("event")),
+)
+
+
+class TestWireByteIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=12))
+    def test_pipelined_stream_equals_sequential_stream(self, ops):
+        """The hypothesis round-trip property of the codec extends to the
+        pipelined session: same calls => byte-identical client stream."""
+        streams = {}
+        for pipeline in (False, True):
+            reset_handle_counters()
+            daemon = RCudaDaemon(SimulatedGpu())
+            client, recorded = connect_recorded(daemon, MODULE, pipeline)
+            try:
+                err, ptr = client.runtime.cudaMalloc(4096)
+                assert err == CudaError.cudaSuccess
+                apply_ops(client.runtime, ops, ptr)
+            finally:
+                client.close()
+                daemon.stop()
+            streams[pipeline] = recorded.stream
+        assert streams[True] == streams[False]
+
+    def test_full_mm_session_stream_identical(self):
+        case = MatrixProductCase()
+        streams = {}
+        for pipeline in (False, True):
+            daemon = RCudaDaemon(SimulatedGpu())
+            client, recorded = connect_recorded(daemon, case.module(), pipeline)
+            try:
+                result = case.run(client.runtime, 32)
+                assert result.verified
+            finally:
+                client.close()
+                daemon.stop()
+            streams[pipeline] = recorded.stream
+        assert streams[True] == streams[False]
+
+
+class TestDeferredSemantics:
+    def _pipelined(self, daemon):
+        return RCudaClient.connect_inproc(daemon, MODULE, pipeline=True)
+
+    def test_deferred_calls_do_not_block(self, daemon):
+        client = self._pipelined(daemon)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(1024)
+            assert err == CudaError.cudaSuccess
+            base = rt.round_trips
+            assert rt.cudaMemset(ptr, 0xAB, 1024) == CudaError.cudaSuccess
+            assert (
+                rt.cudaMemcpy(
+                    ptr, 0, 4, MemcpyKind.cudaMemcpyHostToDevice,
+                    host_data=b"abcd",
+                )[0]
+                == CudaError.cudaSuccess
+            )
+            assert rt.inflight_count == 2
+            assert rt.round_trips == base  # nothing blocked
+            assert rt.flush() == CudaError.cudaSuccess
+            assert rt.inflight_count == 0
+            assert rt.round_trips == base + 1  # one drain, many acks
+        finally:
+            client.close()
+
+    def test_launch_is_one_write_and_one_drain(self, daemon):
+        """SetupArgs+Launch coalesce into a single frame: 1 write, not 2
+        blocking exchanges."""
+        client, recorded = connect_recorded(daemon, MODULE, pipeline=True)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(1024)
+            assert err == CudaError.cudaSuccess
+            writes_before = len(recorded.writes)
+            trips_before = rt.round_trips
+            assert (
+                rt.launch_kernel("saxpy", Dim3(1), Dim3(32), (ptr, ptr, 8, 2.0))
+                == CudaError.cudaSuccess
+            )
+            assert len(recorded.writes) == writes_before + 1  # one frame
+            assert rt.round_trips == trips_before  # zero blocking waits
+            from repro.protocol.messages import LaunchRequest, SetupArgsRequest
+
+            expected = encode_request(
+                SetupArgsRequest(args=(ptr, ptr, 8, 2.0))
+            ) + encode_request(
+                LaunchRequest(
+                    kernel_name="saxpy", block=Dim3(32), grid=Dim3(1),
+                    shared_bytes=0, stream=0,
+                )
+            )
+            assert recorded.writes[-1] == expected
+            assert rt.cudaThreadSynchronize() == CudaError.cudaSuccess
+        finally:
+            client.close()
+
+    def test_results_match_sync_mode(self, daemon):
+        """A pipelined MM run stays numerically identical to sync mode."""
+        case = MatrixProductCase()
+        outs = {}
+        for pipeline in (False, True):
+            client = RCudaClient.connect_inproc(
+                daemon, case.module(), pipeline=pipeline
+            )
+            try:
+                result = case.run(client.runtime, 48)
+                assert result.verified
+                outs[pipeline] = result.output
+            finally:
+                client.close()
+        assert (outs[True] == outs[False]).all()
+
+
+class TestStickyErrors:
+    def test_error_surfaces_at_thread_synchronize(self, daemon):
+        client = RCudaClient.connect_inproc(daemon, MODULE, pipeline=True)
+        rt = client.runtime
+        try:
+            # Fire-and-forget on a bogus pointer reports success...
+            assert rt.cudaFree(0xDEAD_BEE) == CudaError.cudaSuccess
+            # ...and the failure lands at the next sync point.
+            assert (
+                rt.cudaThreadSynchronize()
+                == CudaError.cudaErrorInvalidDevicePointer
+            )
+            assert rt.last_error == CudaError.cudaErrorInvalidDevicePointer
+            # Surfacing clears the sticky error, CUDA-style.
+            assert rt.cudaThreadSynchronize() == CudaError.cudaSuccess
+        finally:
+            client.close()
+
+    def test_error_surfaces_at_value_returning_call(self, daemon):
+        client = RCudaClient.connect_inproc(daemon, MODULE, pipeline=True)
+        rt = client.runtime
+        try:
+            assert rt.cudaMemset(0xBAD0BAD, 0, 16) == CudaError.cudaSuccess
+            error, ptr = rt.cudaMalloc(256)
+            assert error == CudaError.cudaErrorInvalidDevicePointer
+            assert ptr is None
+        finally:
+            client.close()
+
+    def test_error_surfaces_on_close(self, daemon):
+        client = RCudaClient.connect_inproc(daemon, MODULE, pipeline=True)
+        rt = client.runtime
+        assert rt.cudaFree(0xDEAD_BEE) == CudaError.cudaSuccess
+        assert rt.inflight_count == 1
+        client.close()
+        assert rt.last_error == CudaError.cudaErrorInvalidDevicePointer
+
+    def test_cuda_get_last_error_drains_and_clears(self, daemon):
+        client = RCudaClient.connect_inproc(daemon, MODULE, pipeline=True)
+        rt = client.runtime
+        try:
+            assert rt.cudaFree(0xDEAD_BEE) == CudaError.cudaSuccess
+            assert rt.cudaGetLastError() == CudaError.cudaErrorInvalidDevicePointer
+            assert rt.cudaGetLastError() == CudaError.cudaSuccess
+        finally:
+            client.close()
+
+    def test_first_deferred_error_wins(self, daemon):
+        client = RCudaClient.connect_inproc(daemon, MODULE, pipeline=True)
+        rt = client.runtime
+        try:
+            assert rt.cudaFree(0xDEAD_BEE) == CudaError.cudaSuccess
+            assert rt.cudaMemset(0xBAD0BAD, 0, 4) == CudaError.cudaSuccess
+            assert (
+                rt.cudaThreadSynchronize()
+                == CudaError.cudaErrorInvalidDevicePointer
+            )
+        finally:
+            client.close()
+
+
+class TestRoundTripReduction:
+    @pytest.mark.parametrize(
+        "case,size",
+        [(MatrixProductCase(), 64), (FftBatchCase(), 256)],
+        ids=["mm", "fft"],
+    )
+    def test_tcp_round_trips_at_most_half(self, case, size):
+        """Acceptance: a pipelined MM/FFT iteration over real TCP pays at
+        most half the blocking round trips, moving identical bytes."""
+        with FunctionalRunner(use_tcp=True) as runner:
+            sync = runner.run(case, size)
+            pipe = runner.run(case, size, pipeline=True)
+        assert sync.result.verified and pipe.result.verified
+        # MM halves exactly (12 -> 6); FFT's 7-call trace floors at
+        # ceil(7/2)=4 because the trailing deferred free still needs one
+        # drain at close.
+        assert pipe.round_trips <= -(-sync.round_trips // 2)
+        assert pipe.bytes_sent == sync.bytes_sent
+        assert pipe.bytes_received == sync.bytes_received
+
+    def test_sync_mode_round_trips_unchanged(self):
+        """Strict sync stays one blocking exchange per call (Table I
+        traces depend on it)."""
+        case = MatrixProductCase()
+        with FunctionalRunner() as runner:
+            report = runner.run(case, 32)
+        # init + 3 mallocs + 2 h2d + setupargs + launch + d2h + 3 frees
+        assert report.round_trips == report.messages_sent == 12
+
+
+class TestZeroCopyAccounting:
+    def test_h2d_payload_prep_copies_nothing(self, daemon):
+        """Contiguous arrays reach the wire without ascontiguousarray/
+        tobytes materialization (the old double copy)."""
+        client = RCudaClient.connect_inproc(daemon, MODULE)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(1 << 16)
+            assert err == CudaError.cudaSuccess
+            payload = np.arange(1 << 16, dtype=np.uint8)
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, payload.nbytes, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=payload,
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.bytes_copied == 0
+            # Round-trip the data back to prove the view path is sound.
+            err, out = rt.cudaMemcpy(
+                0, ptr, 1 << 16, MemcpyKind.cudaMemcpyDeviceToHost
+            )
+            assert err == CudaError.cudaSuccess
+            assert (out == payload).all()
+        finally:
+            client.close()
+
+    def test_non_contiguous_array_still_works_and_is_charged(self, daemon):
+        client = RCudaClient.connect_inproc(daemon, MODULE)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(512)
+            assert err == CudaError.cudaSuccess
+            strided = np.arange(1024, dtype=np.uint8)[::2]  # non-contiguous
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, 512, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=strided,
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.bytes_copied == 512  # the unavoidable gather
+            err, out = rt.cudaMemcpy(
+                0, ptr, 512, MemcpyKind.cudaMemcpyDeviceToHost
+            )
+            assert (out == strided).all()
+        finally:
+            client.close()
+
+    def test_short_host_buffer_rejected(self, daemon):
+        client = RCudaClient.connect_inproc(daemon, MODULE)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(64)
+            assert err == CudaError.cudaSuccess
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, 64, MemcpyKind.cudaMemcpyHostToDevice, host_data=b"too short"
+            )
+            assert err == CudaError.cudaErrorInvalidValue
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, 64, MemcpyKind.cudaMemcpyHostToDevice, host_data=None
+            )
+            assert err == CudaError.cudaErrorInvalidValue
+        finally:
+            client.close()
+
+    def test_oversized_host_buffer_sliced(self, daemon):
+        """A buffer longer than count ships exactly count bytes, as the
+        old tobytes()[:count] slicing did."""
+        client = RCudaClient.connect_inproc(daemon, MODULE)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(4)
+            assert err == CudaError.cudaSuccess
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, 4, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=b"abcdefgh",
+            )
+            assert err == CudaError.cudaSuccess
+            err, out = rt.cudaMemcpy(0, ptr, 4, MemcpyKind.cudaMemcpyDeviceToHost)
+            assert bytes(out) == b"abcd"
+        finally:
+            client.close()
+
+
+class TestSpanHygiene:
+    def test_client_spans_balanced_in_pipeline_mode(self, daemon):
+        from repro.obs.spans import Tracer
+
+        tracer = Tracer()
+        from repro.transport.inproc import inproc_pair
+
+        client_end, server_end = inproc_pair()
+        daemon.serve_transport(server_end)
+        client = RCudaClient.connect(
+            client_end, MODULE, tracer=tracer, pipeline=True
+        )
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(128)
+            assert err == CudaError.cudaSuccess
+            rt.cudaMemset(ptr, 1, 128)
+            rt.cudaFree(ptr)
+            rt.cudaThreadSynchronize()
+        finally:
+            client.close()
+        client_spans = tracer.spans_for(kind="client")
+        assert len(client_spans) == rt.calls_made
+        assert all(s.end is not None for s in client_spans)
+
+    def test_abandoned_inflight_spans_are_failed_not_leaked(self):
+        """If the transport dies with deferred acks outstanding, their
+        spans still close (marked as errored)."""
+        from repro.obs.spans import Tracer
+        from repro.transport.inproc import inproc_pair
+
+        tracer = Tracer()
+        daemon = RCudaDaemon(SimulatedGpu())
+        client_end, server_end = inproc_pair()
+        daemon.serve_transport(server_end)
+        client = RCudaClient.connect(
+            client_end, MODULE, tracer=tracer, pipeline=True
+        )
+        rt = client.runtime
+        rt.cudaMemset(0xBAD, 0, 4)  # deferred, never drained
+        assert rt.inflight_count == 1
+        # Kill the transport out from under the runtime, then close.
+        client_end.close()
+        client.close()
+        daemon.stop()
+        spans = tracer.spans_for(kind="client")
+        assert all(s.end is not None for s in spans)
+        assert any(s.attrs.get("outcome") == "error" for s in spans)
