@@ -10,8 +10,12 @@ a script for the CI perf smoke::
 Quick mode drives the small-message-dominated burst workload (memset +
 small H2D + kernel launch per iteration) over real TCP in both modes,
 writes ``BENCH_middleware.json`` (round trips, bytes copied, wall time
-per workload), and asserts the pipelined hot path cuts wall time by at
-least 20% on the burst workload.
+per workload, plus a model-conformance drift summary), and asserts the
+pipelined hot path cuts wall time by at least 20% on the burst
+workload.  It also leaves two inspection artifacts next to the JSON: a
+Perfetto-loadable ``BENCH_trace.json`` (span + counter tracks of an
+instrumented pipelined MM run) and a ``BENCH_metrics.prom`` Prometheus
+snapshot of the same run.
 """
 
 import json
@@ -150,6 +154,60 @@ def _best_of(fn, rounds: int = 3) -> dict:
     return min(runs, key=lambda r: r["wall_seconds"])
 
 
+def _instrumented_drift_run(
+    case, size: int, trace_out: str, metrics_out: str
+) -> dict:
+    """One fully observed pipelined run: spans + counter tracks go to a
+    Perfetto trace, the metrics registry to a Prometheus snapshot, and
+    every client span through the conformance monitor.  The returned
+    drift summary lands in ``BENCH_middleware.json`` so CI history shows
+    how far the wall-clock middleware sits from the paper model."""
+    from repro.model.calibration import default_calibration
+    from repro.net.spec import get_network
+    from repro.obs import (
+        ConformanceMonitor,
+        MetricsRegistry,
+        RuntimeProfiler,
+        Tracer,
+        render_prometheus,
+        write_chrome_trace,
+    )
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    profiler = RuntimeProfiler()
+    monitor = ConformanceMonitor(get_network("40GI"), metrics=registry)
+    monitor.set_workload(case, size, calibration=default_calibration())
+    runner = FunctionalRunner(
+        use_tcp=True, tracer=tracer, metrics=registry, profiler=profiler
+    )
+    with runner:
+        with profiler:
+            report = runner.run(case, size, pipeline=True)
+    assert report.result.verified
+    monitor.observe_spans(tracer.spans)
+    write_chrome_trace(tracer.spans, trace_out, counters=profiler.samples)
+    Path(metrics_out).write_text(render_prometheus(registry))
+    return {
+        "case": case.name,
+        "size": size,
+        "network": "40GI",
+        "status": monitor.status,
+        "findings": [f.describe() for f in monitor.findings()],
+        "unmodeled_spans": monitor.unmodeled_spans,
+        "phases": {
+            phase: {
+                "measured_seconds": measured,
+                "predicted_seconds": predicted,
+                "relative_error": (
+                    (measured - predicted) / predicted if predicted else None
+                ),
+            }
+            for phase, (measured, predicted) in monitor.phase_table().items()
+        },
+    }
+
+
 def run_quick(output: str = "BENCH_middleware.json") -> dict:
     """The CI perf-smoke entry point: burst + MM + FFT over TCP in both
     modes, persisted to ``BENCH_middleware.json``."""
@@ -176,6 +234,10 @@ def run_quick(output: str = "BENCH_middleware.json") -> dict:
                 }
             workloads[name] = per_mode
 
+    drift = _instrumented_drift_run(
+        MatrixProductCase(), 128, "BENCH_trace.json", "BENCH_metrics.prom"
+    )
+
     reduction = 1.0 - (
         burst["pipelined"]["wall_seconds"] / burst["sync"]["wall_seconds"]
     )
@@ -185,6 +247,7 @@ def run_quick(output: str = "BENCH_middleware.json") -> dict:
         "burst": burst,
         "workloads": workloads,
         "burst_wall_reduction": reduction,
+        "drift": drift,
     }
     Path(output).write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -200,6 +263,12 @@ def run_quick(output: str = "BENCH_middleware.json") -> dict:
             f"{per_mode['sync']['bytes_copied']} -> "
             f"{per_mode['pipelined']['bytes_copied']}"
         )
+    print(
+        f"model conformance ({drift['case']} size {drift['size']} vs "
+        f"{drift['network']}): {drift['status']}, "
+        f"{len(drift['findings'])} finding(s); trace -> BENCH_trace.json, "
+        f"metrics -> BENCH_metrics.prom"
+    )
     assert reduction >= 0.20, (
         f"pipelined hot path must cut burst wall time by >=20%, got "
         f"{reduction:.1%}"

@@ -11,7 +11,10 @@ Subcommands:
   optionally with a Prometheus ``--metrics-port`` and a ``--log-json``
   span stream;
 * ``run <case>`` -- one functional remote execution with verification
-  (``--trace-out``/``--chrome-out`` record the RPC timeline);
+  (``--trace-out``/``--chrome-out`` record the RPC timeline, the latter
+  with runtime counter tracks sampled by the profiler);
+* ``drift <case>...`` -- model conformance: run the case and compare
+  every measured client span against the paper model's prediction;
 * ``stats <file>`` -- replay a JSONL span log into a summary table;
 * ``cluster`` -- the provisioning sweep.
 """
@@ -128,10 +131,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"rCUDA daemon listening on {args.host}:{port} (Ctrl-C to stop)")
         if registry is not None:
             metrics_server = MetricsServer(
-                registry, host=args.host, port=args.metrics_port
+                registry, host=args.host, port=args.metrics_port,
+                health=lambda: {
+                    "sessions": daemon.active_sessions,
+                    "sessions_total": daemon.total_sessions,
+                    "stopping": daemon.stopping,
+                },
             )
             mport = metrics_server.start()
-            print(f"metrics on http://{args.host}:{mport}/metrics")
+            print(f"metrics on http://{args.host}:{mport}/metrics "
+                  f"(health on /healthz)")
         if sink is not None:
             print(f"span log streaming to {args.log_json}")
         sys.stdout.flush()
@@ -145,6 +154,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nstopping")
     finally:
+        # Flip the probe to 503 first so load balancers drain before the
+        # daemon socket actually dies.
+        if metrics_server is not None:
+            metrics_server.mark_stopping()
         daemon.stop()
         if metrics_server is not None:
             metrics_server.stop()
@@ -154,14 +167,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.obs import Tracer, write_chrome_trace, write_jsonl
+    from repro.obs import (
+        RuntimeProfiler,
+        Tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
     from repro.testbed import FunctionalRunner
     from repro.testbed.simulated import case_by_name
 
     case = case_by_name(args.case.upper())
     tracer = Tracer() if (args.trace_out or args.chrome_out) else None
-    with FunctionalRunner(use_tcp=args.tcp, tracer=tracer) as runner:
-        report = runner.run(case, args.size, seed=args.seed)
+    # Counter tracks (queue depth, in-flight window, memory occupancy)
+    # only make sense next to the span timeline, so the profiler rides
+    # on --chrome-out.
+    profiler = RuntimeProfiler() if args.chrome_out else None
+    runner = FunctionalRunner(
+        use_tcp=args.tcp, tracer=tracer, profiler=profiler
+    )
+    with runner:
+        if profiler is not None:
+            profiler.start()
+        try:
+            report = runner.run(
+                case, args.size, seed=args.seed, pipeline=args.pipeline
+            )
+        finally:
+            if profiler is not None:
+                profiler.stop()
     result = report.result
     print(
         f"{case.name} size {args.size}: verified={result.verified} "
@@ -177,9 +210,70 @@ def _cmd_run(args: argparse.Namespace) -> int:
             write_jsonl(tracer.spans, args.trace_out)
             print(f"  span log: {args.trace_out} ({len(tracer.spans)} spans)")
         if args.chrome_out:
-            write_chrome_trace(tracer.spans, args.chrome_out)
-            print(f"  chrome trace: {args.chrome_out} (load in Perfetto)")
+            counters = profiler.samples if profiler is not None else ()
+            write_chrome_trace(tracer.spans, args.chrome_out, counters=counters)
+            print(
+                f"  chrome trace: {args.chrome_out} "
+                f"({len(counters)} counter samples; load in Perfetto)"
+            )
     return 0 if result.verified else 1
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.model.calibration import default_calibration
+    from repro.net.spec import get_network
+    from repro.obs import ConformanceMonitor, Tracer
+    from repro.reporting import render_table
+    from repro.testbed.simulated import case_by_name
+
+    spec = get_network(args.network)
+    calibration = default_calibration()
+    any_drift = False
+    for case_name in args.cases:
+        case = case_by_name(case_name.upper())
+        monitor = ConformanceMonitor(spec)
+        monitor.set_workload(case, args.size, calibration=calibration)
+        tracer = Tracer()
+        if args.simulated:
+            from repro.testbed import SimulatedTestbed
+
+            SimulatedTestbed(calibration).measure_remote(
+                case, args.size, spec, tracer=tracer
+            )
+        else:
+            from repro.testbed import FunctionalRunner
+
+            with FunctionalRunner(tracer=tracer) as runner:
+                runner.run(case, args.size, pipeline=args.pipeline)
+        monitor.observe_spans(tracer.spans)
+        rows = []
+        for phase, (measured, predicted) in monitor.phase_table().items():
+            rel = (
+                100.0 * (measured - predicted) / predicted
+                if predicted > 0
+                else float("inf")
+            )
+            rows.append([phase, measured * 1e3, predicted * 1e3, rel])
+        mode = "simulated" if args.simulated else (
+            "functional, pipelined" if args.pipeline else "functional"
+        )
+        print(
+            render_table(
+                ["Phase", "Measured (ms)", "Predicted (ms)", "Rel err (%)"],
+                rows,
+                title=(
+                    f"{case.name} size {args.size} ({mode}) "
+                    f"vs the {spec.name} model"
+                ),
+                digits=3,
+            )
+        )
+        print()
+        print(monitor.drift_report().render())
+        print()
+        if monitor.status == "drift":
+            any_drift = True
+    return 1 if (any_drift and args.fail_on_drift) else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -366,11 +460,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--tcp", action="store_true", help="use real TCP sockets")
+    p.add_argument("--pipeline", action="store_true",
+                   help="run over the deferred-ack pipelined hot path")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write client+server spans to FILE as JSONL")
     p.add_argument("--chrome-out", default=None, metavar="FILE",
-                   help="write a Chrome trace-event JSON (Perfetto-loadable)")
+                   help="write a Chrome trace-event JSON with runtime "
+                        "counter tracks (Perfetto-loadable)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "drift",
+        help="model conformance: predicted vs measured per call class",
+    )
+    p.add_argument("cases", nargs="*", default=["mm", "fft"],
+                   help="case studies to run (default: mm fft)")
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--network", default="40GI",
+                   help="network model to predict against")
+    p.add_argument("--pipeline", action="store_true",
+                   help="run the functional case over the pipelined path")
+    p.add_argument("--simulated", action="store_true",
+                   help="use the virtual-clock simulated testbed instead "
+                        "of a functional run (in-band by construction)")
+    p.add_argument("--fail-on-drift", action="store_true",
+                   help="exit 1 when any series leaves the drift band")
+    p.set_defaults(func=_cmd_drift)
 
     p = sub.add_parser(
         "stats", help="summarize a JSONL span log written by run/serve"

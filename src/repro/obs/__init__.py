@@ -13,12 +13,24 @@ that kind of trace a first-class product of every run:
 * :mod:`repro.obs.exporters` -- JSONL event logs, Chrome trace-event
   JSON (Perfetto-loadable), Prometheus v0.0.4 text exposition;
 * :mod:`repro.obs.summary` -- ASCII tables for `repro stats`;
-* :mod:`repro.obs.httpserver` -- the `--metrics-port` scrape endpoint.
+* :mod:`repro.obs.httpserver` -- the `--metrics-port` scrape endpoint,
+  with a ``/healthz`` probe;
+* :mod:`repro.obs.conformance` -- live predicted-vs-measured model
+  conformance with EWMA drift detection (`repro drift`);
+* :mod:`repro.obs.profiler` -- sampled counter tracks (queue depth,
+  in-flight window, memory occupancy) for the Perfetto timeline.
 
 Instrumentation defaults to :data:`NULL_TRACER`, a no-op, so the
 uninstrumented hot path stays as fast as before the package existed.
 """
 
+from repro.obs.conformance import (
+    RATIO_BUCKETS,
+    ConformanceConfig,
+    ConformanceMonitor,
+    DriftFinding,
+    DriftReport,
+)
 from repro.obs.exporters import (
     JsonlSink,
     chrome_trace,
@@ -37,6 +49,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.naming import describe_request
+from repro.obs.profiler import (
+    DEFAULT_INTERVAL_SECONDS,
+    CounterSample,
+    RuntimeProfiler,
+)
 from repro.obs.spans import (
     KIND_CLIENT,
     KIND_SERVER,
@@ -54,7 +71,13 @@ from repro.obs.summary import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_INTERVAL_SECONDS",
+    "ConformanceConfig",
+    "ConformanceMonitor",
     "Counter",
+    "CounterSample",
+    "DriftFinding",
+    "DriftReport",
     "FunctionStats",
     "Gauge",
     "Histogram",
@@ -65,6 +88,8 @@ __all__ = [
     "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
+    "RATIO_BUCKETS",
+    "RuntimeProfiler",
     "Span",
     "Tracer",
     "aggregate_spans",

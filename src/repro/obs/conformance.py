@@ -1,0 +1,363 @@
+"""Live model conformance: predicted-vs-measured drift, continuously.
+
+The paper's headline product is a model that predicts rCUDA execution
+time from network parameters.  PR 1 made every run *measurable* (spans);
+this module makes every run a *model check*: each finished client span
+is compared against the prediction the active
+:class:`~repro.net.spec.NetworkSpec` and
+:class:`~repro.simcuda.timing.DeviceTimingModel` would have made for
+that call class, and the stream of relative errors is tracked per
+(call, phase, network) with
+
+* a **ratio histogram** (measured/predicted) in a metrics registry, so a
+  Prometheus scrape shows the conformance distribution live;
+* an **EWMA of the relative error** per series -- the drift detector: a
+  calibrated model under the clock it was calibrated for stays inside a
+  configurable band, a miscalibrated component (or a hot path the model
+  does not describe, like pipelining) pushes the EWMA out and raises a
+  finding;
+* **exemplar span ids** for outliers, so a drift finding points at
+  concrete spans in the trace it was computed from.
+
+The monitor is clock-agnostic: it only reads span timestamps, so it
+works identically on wall-clock functional runs and virtual-clock
+simulated ones.  It is also sink-compatible (``monitor`` is callable),
+so it can be attached to a live :class:`~repro.obs.spans.Tracer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.model.estimate import kernel_seconds_for, predict_call_seconds
+from repro.net.spec import NetworkSpec
+from repro.obs.spans import KIND_CLIENT, Span
+from repro.simcuda.timing import DeviceTimingModel
+
+#: Measured/predicted ratio buckets: symmetric around 1 in log space.
+RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.8, 1.0, 1.25, 2.0, 4.0, 10.0)
+
+
+@dataclass(frozen=True)
+class ConformanceConfig:
+    """Tunables of the drift detector."""
+
+    #: EWMA smoothing factor for the relative error stream.
+    ewma_alpha: float = 0.2
+    #: |EWMA relative error| beyond this raises a drift finding.
+    band: float = 0.35
+    #: Findings need at least this many samples on the series.
+    min_samples: int = 5
+    #: Spans whose ratio leaves [1/x, x] are kept as exemplars.
+    outlier_ratio: float = 3.0
+    #: Exemplars retained per series (worst first).
+    max_exemplars: int = 5
+
+
+@dataclass
+class SeriesStats:
+    """Running conformance state of one (call, phase, network) series."""
+
+    call: str
+    phase: str
+    network: str
+    samples: int = 0
+    measured_total: float = 0.0
+    predicted_total: float = 0.0
+    ewma_rel_error: float = 0.0
+    #: (session, seq, ratio) of the most extreme outliers seen.
+    exemplars: list[tuple[str, int, float]] = field(default_factory=list)
+
+    @property
+    def mean_ratio(self) -> float:
+        if self.predicted_total <= 0.0:
+            return float("inf") if self.measured_total > 0 else 1.0
+        return self.measured_total / self.predicted_total
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One series whose EWMA relative error left the band."""
+
+    call: str
+    phase: str
+    network: str
+    samples: int
+    ewma_rel_error: float
+    mean_ratio: float
+    exemplars: tuple[tuple[str, int, float], ...]
+
+    def describe(self) -> str:
+        direction = "over" if self.ewma_rel_error > 0 else "under"
+        return (
+            f"{self.call} [{self.phase}] on {self.network}: measured runs "
+            f"{abs(self.ewma_rel_error):.0%} {direction} the model "
+            f"(EWMA, {self.samples} samples, mean ratio "
+            f"{self.mean_ratio:.2f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Snapshot of every conformance series plus the active findings."""
+
+    network: str
+    rows: tuple[SeriesStats, ...]
+    findings: tuple[DriftFinding, ...]
+    unmodeled_spans: int
+
+    @property
+    def status(self) -> str:
+        if not self.rows:
+            return "no-data"
+        return "drift" if self.findings else "ok"
+
+    def render(self) -> str:
+        from repro.reporting import render_table
+
+        rows = [
+            [
+                s.call, s.phase, s.samples,
+                s.measured_total * 1e3, s.predicted_total * 1e3,
+                s.mean_ratio,
+                100.0 * s.ewma_rel_error,
+            ]
+            for s in self.rows
+        ]
+        table = render_table(
+            ["Call", "Phase", "N", "Measured (ms)", "Predicted (ms)",
+             "Ratio", "EWMA err (%)"],
+            rows,
+            title=f"Model conformance vs {self.network} (status: {self.status})",
+            digits=3,
+        )
+        lines = [table]
+        for finding in self.findings:
+            lines.append(f"DRIFT: {finding.describe()}")
+        if self.unmodeled_spans:
+            lines.append(
+                f"({self.unmodeled_spans} spans had no model prediction "
+                "and were skipped)"
+            )
+        return "\n".join(lines)
+
+
+class ConformanceMonitor:
+    """Compares every client span against the model's per-call prediction.
+
+    Feed it spans through :meth:`observe` / :meth:`observe_spans`, or
+    attach it as a tracer sink (the instance is callable).  Optionally
+    pass a :class:`~repro.obs.metrics.MetricsRegistry` to publish the
+    ratio histogram, per-series EWMA gauges, and a findings counter.
+    """
+
+    def __init__(
+        self,
+        network: NetworkSpec,
+        timing: DeviceTimingModel | None = None,
+        metrics=None,
+        config: ConformanceConfig | None = None,
+        transfer: str = "behaviour",
+    ) -> None:
+        self.network = network
+        self.timing = timing if timing is not None else DeviceTimingModel()
+        self.config = config if config is not None else ConformanceConfig()
+        self.transfer = transfer
+        self._series: dict[tuple[str, str], SeriesStats] = {}
+        self._flagged: set[tuple[str, str]] = set()
+        self.unmodeled_spans = 0
+        #: Workload context: kernel drain + host-phase predictions.
+        self._kernel_seconds = 0.0
+        self._host_seconds: float | None = None
+        # Lazily-derived wire header sizes (from the real codec).
+        from repro.protocol.accounting import memcpy_d2h_cost, memcpy_h2d_cost
+
+        self._h2d_header = memcpy_h2d_cost().send_fixed
+        self._d2h_header = memcpy_d2h_cost().receive_fixed
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_ratio = metrics.histogram(
+                "rcuda_model_ratio",
+                "Measured/predicted time ratio per call class.",
+                labelnames=("call", "phase", "network"),
+                buckets=RATIO_BUCKETS,
+            )
+            self._m_ewma = metrics.gauge(
+                "rcuda_model_ewma_relative_error",
+                "EWMA of (measured-predicted)/predicted per call class.",
+                labelnames=("call", "phase", "network"),
+            )
+            self._m_findings = metrics.counter(
+                "rcuda_model_drift_findings_total",
+                "Series whose conformance EWMA left the configured band.",
+            )
+
+    # -- workload context ---------------------------------------------------
+
+    def set_workload(
+        self,
+        case,
+        size: int,
+        calibration=None,
+    ) -> None:
+        """Teach the monitor what run it is watching.
+
+        Kernel drain time (charged to the synchronous D2H copy and to
+        explicit synchronizes) and the host-phase prediction need the
+        case study and problem size; with a
+        :class:`~repro.model.calibration.Calibration` both come from the
+        calibrated components (and ``timing`` is replaced by the
+        calibrated one), otherwise from the raw timing model.
+        """
+        if calibration is not None:
+            self.timing = calibration.timing
+            self._kernel_seconds = calibration.kernel_seconds(case, size)
+            self._host_seconds = calibration.remote_host_seconds(case, size)
+        else:
+            self._kernel_seconds = kernel_seconds_for(case, size, self.timing)
+            self._host_seconds = None
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict_span_seconds(self, span: Span) -> float | None:
+        """The model's time for this span's call class, or None when the
+        model has nothing to say (unattributed host work, zero-byte
+        bookkeeping calls)."""
+        phase = span.phase
+        if phase is None:
+            return None
+        if span.name == "host work":
+            return self._host_seconds
+        bytes_sent = int(span.attrs.get("bytes_sent", 0) or 0)
+        bytes_received = int(span.attrs.get("bytes_received", 0) or 0)
+        if bytes_sent == 0 and bytes_received == 0:
+            return None
+        pcie_payload = 0
+        kernel = 0.0
+        if "Memcpy" in span.name:
+            if phase == "d2h":
+                pcie_payload = max(0, bytes_received - self._d2h_header)
+                kernel = self._kernel_seconds
+            else:
+                pcie_payload = max(0, bytes_sent - self._h2d_header)
+        elif span.name in ("cudaThreadSynchronize", "cudaStreamSynchronize"):
+            kernel = self._kernel_seconds
+        return predict_call_seconds(
+            network=self.network,
+            timing=self.timing,
+            bytes_sent=bytes_sent,
+            bytes_received=bytes_received,
+            pcie_payload_bytes=pcie_payload,
+            kernel_seconds=kernel,
+            transfer=self.transfer,
+        )
+
+    # -- observation --------------------------------------------------------
+
+    def __call__(self, span: Span) -> None:
+        self.observe(span)
+
+    def observe(self, span: Span) -> None:
+        """Fold one finished client span into the conformance state."""
+        if span.kind != KIND_CLIENT or span.end is None:
+            return
+        predicted = self.predict_span_seconds(span)
+        if predicted is None or predicted <= 0.0:
+            self.unmodeled_spans += 1
+            return
+        measured = span.duration_seconds
+        ratio = measured / predicted
+        rel_error = ratio - 1.0
+        cfg = self.config
+        key = (span.name, span.phase or "")
+        series = self._series.get(key)
+        if series is None:
+            series = SeriesStats(
+                call=span.name, phase=span.phase or "",
+                network=self.network.name,
+            )
+            series.ewma_rel_error = rel_error
+            self._series[key] = series
+        else:
+            series.ewma_rel_error += cfg.ewma_alpha * (
+                rel_error - series.ewma_rel_error
+            )
+        series.samples += 1
+        series.measured_total += measured
+        series.predicted_total += predicted
+        if ratio >= cfg.outlier_ratio or ratio <= 1.0 / cfg.outlier_ratio:
+            series.exemplars.append((span.session, span.seq, ratio))
+            series.exemplars.sort(key=lambda e: abs(e[2] - 1.0), reverse=True)
+            del series.exemplars[cfg.max_exemplars:]
+        drifting = (
+            series.samples >= cfg.min_samples
+            and abs(series.ewma_rel_error) > cfg.band
+        )
+        if self.metrics is not None:
+            labels = dict(
+                call=series.call, phase=series.phase, network=series.network
+            )
+            self._m_ratio.observe(ratio, **labels)
+            self._m_ewma.set(series.ewma_rel_error, **labels)
+            if drifting and key not in self._flagged:
+                self._m_findings.inc()
+        if drifting:
+            self._flagged.add(key)
+        elif key in self._flagged and abs(series.ewma_rel_error) <= cfg.band:
+            self._flagged.discard(key)
+
+    def observe_spans(self, spans) -> None:
+        for span in spans:
+            self.observe(span)
+
+    # -- reporting ----------------------------------------------------------
+
+    def findings(self) -> list[DriftFinding]:
+        """Series currently outside the band (enough samples seen)."""
+        out: list[DriftFinding] = []
+        for key in sorted(self._flagged):
+            s = self._series[key]
+            out.append(
+                DriftFinding(
+                    call=s.call, phase=s.phase, network=s.network,
+                    samples=s.samples, ewma_rel_error=s.ewma_rel_error,
+                    mean_ratio=s.mean_ratio,
+                    exemplars=tuple(s.exemplars),
+                )
+            )
+        return out
+
+    @property
+    def status(self) -> str:
+        """``no-data`` / ``ok`` / ``drift`` -- what /healthz reports."""
+        if not self._series:
+            return "no-data"
+        return "drift" if self._flagged else "ok"
+
+    def drift_report(self) -> DriftReport:
+        rows = tuple(
+            replace(s, exemplars=list(s.exemplars))
+            for _, s in sorted(self._series.items())
+        )
+        return DriftReport(
+            network=self.network.name,
+            rows=rows,
+            findings=tuple(self.findings()),
+            unmodeled_spans=self.unmodeled_spans,
+        )
+
+    def phase_table(self) -> dict[str, tuple[float, float]]:
+        """(measured, predicted) seconds per phase, canonically ordered."""
+        from repro.testbed.trace import PHASE_ORDER
+
+        totals: dict[str, tuple[float, float]] = {}
+        for series in self._series.values():
+            m, p = totals.get(series.phase, (0.0, 0.0))
+            totals[series.phase] = (
+                m + series.measured_total, p + series.predicted_total
+            )
+        ordered = {
+            name: totals.pop(name) for name in PHASE_ORDER if name in totals
+        }
+        ordered.update(totals)
+        return ordered

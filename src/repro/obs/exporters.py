@@ -83,16 +83,43 @@ class JsonlSink:
 # -- Chrome trace events -------------------------------------------------------
 
 
-def chrome_trace(spans: Iterable[Span], time_unit: str = "s") -> dict:
+#: Microseconds per unit of ``Span.start`` for each supported time unit.
+_TIME_UNIT_SCALE = {"s": 1e6, "ms": 1e3, "us": 1.0}
+
+
+def _time_scale(time_unit: str) -> float:
+    """Microseconds per ``time_unit`` -- shared by span and counter
+    events so both track kinds land on the same timeline.  Wall and
+    virtual clocks both report seconds, so "s" is right for either; an
+    unknown unit used to surface as a raw ``KeyError`` deep in the
+    export, now it is a configuration error."""
+    try:
+        return _TIME_UNIT_SCALE[time_unit]
+    except KeyError:
+        from repro.errors import ConfigurationError
+
+        known = ", ".join(sorted(_TIME_UNIT_SCALE))
+        raise ConfigurationError(
+            f"unknown trace time unit {time_unit!r}; known units: {known}"
+        ) from None
+
+
+def chrome_trace(
+    spans: Iterable[Span], time_unit: str = "s", counters: Iterable = ()
+) -> dict:
     """Build a Chrome trace-event document (the ``traceEvents`` format).
 
     Each span becomes one complete ("X") event.  Client and server sides
     become separate processes; each session gets its own thread row, so
     Perfetto shows one track per session on either side of the wire.
-    ``time_unit`` names the unit of ``Span.start`` ("s" for wall/virtual
+    ``counters`` (e.g. :attr:`~repro.obs.profiler.RuntimeProfiler.samples`)
+    become counter ("C") events under a dedicated ``rcuda-counters``
+    process -- one counter track per sample name, rendered by Perfetto as
+    a filled graph on the same timeline.  ``time_unit`` names the unit of
+    ``Span.start`` *and* the counters' ``t`` ("s" for wall or virtual
     seconds); timestamps are emitted in microseconds as the format wants.
     """
-    scale = {"s": 1e6, "ms": 1e3, "us": 1.0}[time_unit]
+    scale = _time_scale(time_unit)
     events: list[dict] = []
     pids: dict[str, int] = {}
     tids: dict[tuple[str, str], int] = {}
@@ -117,19 +144,45 @@ def chrome_trace(spans: Iterable[Span], time_unit: str = "s") -> dict:
             "dur": span.duration_seconds * scale,
             "args": {"seq": span.seq, **span.attrs},
         })
+    counter_events: list[dict] = []
+    counter_pid: int | None = None
+    for sample in counters:
+        if counter_pid is None:
+            counter_pid = len(pids) + 1
+        counter_events.append({
+            "ph": "C",
+            "name": sample.name,
+            "pid": counter_pid,
+            "tid": 0,
+            "ts": sample.t * scale,
+            "args": {"value": sample.value},
+        })
     meta = [
         {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
          "args": {"name": f"rcuda-{kind}"}}
         for kind, pid in pids.items()
     ]
-    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+    if counter_pid is not None:
+        meta.append({
+            "ph": "M", "name": "process_name", "pid": counter_pid, "tid": 0,
+            "args": {"name": "rcuda-counters"},
+        })
+    return {
+        "traceEvents": meta + events + counter_events,
+        "displayTimeUnit": "ms",
+    }
 
 
 def write_chrome_trace(
-    spans: Iterable[Span], path: str | Path, time_unit: str = "s"
+    spans: Iterable[Span],
+    path: str | Path,
+    time_unit: str = "s",
+    counters: Iterable = (),
 ) -> Path:
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(spans, time_unit=time_unit)))
+    path.write_text(
+        json.dumps(chrome_trace(spans, time_unit=time_unit, counters=counters))
+    )
     return path
 
 

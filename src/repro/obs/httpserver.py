@@ -1,15 +1,21 @@
-"""A minimal /metrics endpoint for Prometheus scrapes.
+"""A minimal /metrics + /healthz endpoint for Prometheus scrapes.
 
 `repro serve --metrics-port N` starts one of these next to the daemon.
 Standard-library only: a threading HTTP server answering ``GET /metrics``
 with the text exposition of a :class:`~repro.obs.metrics.MetricsRegistry`
-and ``GET /healthz`` with a liveness probe.
+and ``GET /healthz`` with a JSON health document -- session count,
+uptime, seconds since the last scrape, and (when a conformance monitor
+is wired in) the model-drift status.  While the daemon is stopping the
+probe answers ``503``, so load balancers drain before the socket dies.
 """
 
 from __future__ import annotations
 
+import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.errors import TransportError
 from repro.obs.exporters import render_prometheus
@@ -20,10 +26,22 @@ CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class MetricsServer:
-    """Serves a registry on ``GET /metrics`` until :meth:`stop`."""
+    """Serves a registry on ``GET /metrics`` until :meth:`stop`.
+
+    ``health`` is an optional zero-argument callable returning a dict
+    merged into the ``/healthz`` document; the keys the probe reacts to:
+
+    * ``"stopping": True`` -- answer 503 (status ``"stopping"``);
+    * ``"drift"`` -- surfaced verbatim as the model-conformance status
+      (a :attr:`~repro.obs.conformance.ConformanceMonitor.status` value).
+    """
 
     def __init__(
-        self, registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Callable[[], dict] | None = None,
     ) -> None:
         self.registry = registry
         self.host = host
@@ -31,21 +49,64 @@ class MetricsServer:
         self.port: int | None = None
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        self._health = health
+        self._started_at: float | None = None
+        self._last_scrape: float | None = None
+        self._stopping = False
+
+    # -- health document ----------------------------------------------------
+
+    def mark_stopping(self) -> None:
+        """Flip the probe to 503 without tearing the endpoint down yet."""
+        self._stopping = True
+
+    def health_document(self) -> tuple[int, dict]:
+        """(HTTP status, body) of the ``/healthz`` probe."""
+        now = time.monotonic()
+        doc: dict = {
+            "status": "ok",
+            "uptime_seconds": (
+                round(now - self._started_at, 3)
+                if self._started_at is not None
+                else 0.0
+            ),
+            "last_scrape_age_seconds": (
+                round(now - self._last_scrape, 3)
+                if self._last_scrape is not None
+                else None
+            ),
+            "drift": "disabled",
+        }
+        if self._health is not None:
+            try:
+                doc.update(self._health())
+            except Exception as exc:  # probe must never take the server down
+                doc["status"] = "error"
+                doc["error"] = str(exc)
+                return 500, doc
+        if self._stopping or doc.pop("stopping", False):
+            doc["status"] = "stopping"
+            return 503, doc
+        return 200, doc
+
+    # -- service ------------------------------------------------------------
 
     def start(self) -> int:
         """Bind and serve in a daemon thread; returns the bound port."""
-        registry = self.registry
+        server = self
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
                 if self.path.split("?", 1)[0] == "/metrics":
-                    body = render_prometheus(registry).encode()
+                    body = render_prometheus(server.registry).encode()
+                    server._last_scrape = time.monotonic()
                     self.send_response(200)
                     self.send_header("Content-Type", CONTENT_TYPE)
-                elif self.path == "/healthz":
-                    body = b"ok\n"
-                    self.send_response(200)
-                    self.send_header("Content-Type", "text/plain")
+                elif self.path.split("?", 1)[0] == "/healthz":
+                    status, doc = server.health_document()
+                    body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+                    self.send_response(status)
+                    self.send_header("Content-Type", "application/json")
                 else:
                     body = b"not found\n"
                     self.send_response(404)
@@ -67,6 +128,7 @@ class MetricsServer:
                 f"{self.host}:{self._requested_port}: {exc}"
             ) from exc
         self.port = self._httpd.server_address[1]
+        self._started_at = time.monotonic()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-metrics",
@@ -76,6 +138,7 @@ class MetricsServer:
         return self.port
 
     def stop(self) -> None:
+        self._stopping = True
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()

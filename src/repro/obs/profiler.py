@@ -1,0 +1,144 @@
+"""Continuous runtime profiling: counter tracks next to the span tracks.
+
+Spans show *when each call ran*; they cannot show how deep the pipeline
+was while it ran.  The profiler samples named sources -- server dispatch
+depth, client in-flight window, bytes in flight, device-memory occupancy
+-- on a background thread (wall clock) or on demand (virtual clocks,
+where a sampling thread is meaningless), and the samples export as
+Perfetto/Chrome *counter* events (``"ph": "C"``) on the same timeline as
+the spans, so pipelined-mode overlap is visible at a glance.
+
+Sources are zero-argument callables returning a number; a source that
+raises (e.g. read during teardown) is skipped for that sample rather
+than killing the profiler.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.clock import Clock, WallClock
+
+#: Default sampling period of the background thread.
+DEFAULT_INTERVAL_SECONDS = 0.005
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One reading of one counter track."""
+
+    name: str
+    t: float
+    value: float
+
+    def to_event(self) -> dict:
+        """The JSONL form (parallel to ``Span.to_event``)."""
+        return {"counter": self.name, "t": self.t, "value": self.value}
+
+
+class RuntimeProfiler:
+    """Samples a set of named sources into counter tracks."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    ) -> None:
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.interval_seconds = interval_seconds
+        self.samples: list[CounterSample] = []
+        self._sources: dict[str, Callable[[], float]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sources ------------------------------------------------------------
+
+    def add_source(self, name: str, fn: Callable[[], float]) -> None:
+        """Register (or replace) one counter track."""
+        with self._lock:
+            self._sources[name] = fn
+
+    def attach_client(self, runtime, prefix: str = "client") -> None:
+        """Track a client runtime's pipeline state: the in-flight window
+        (deferred requests awaiting their ack) and the unacknowledged
+        request bytes on the wire."""
+        self.add_source(f"{prefix}.inflight_window", lambda: runtime.inflight_count)
+        self.add_source(f"{prefix}.bytes_in_flight", lambda: runtime.bytes_inflight)
+
+    def attach_daemon(self, daemon, prefix: str = "server") -> None:
+        """Track a daemon's queue depth, session count, per-session
+        device-memory holdings, and global device-memory occupancy."""
+        self.add_source(f"{prefix}.queue_depth", lambda: daemon.dispatch_depth)
+        self.add_source(f"{prefix}.active_sessions", lambda: daemon.active_sessions)
+        self.add_source(
+            f"{prefix}.session_mem_bytes", lambda: daemon.session_memory_bytes
+        )
+        memory = daemon.device.memory
+        self.add_source(f"{prefix}.device_mem_used", lambda: memory.used)
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self) -> None:
+        """Read every source once, at the clock's current instant.
+
+        Works under any clock -- virtual-clock harnesses call this at
+        the instants they control instead of running the thread.
+        """
+        t = self.clock.now()
+        with self._lock:
+            sources = list(self._sources.items())
+        readings: list[CounterSample] = []
+        for name, fn in sources:
+            try:
+                readings.append(CounterSample(name, t, float(fn())))
+            except Exception:
+                continue  # source mid-teardown: skip this reading
+        with self._lock:
+            self.samples.extend(readings)
+
+    def start(self) -> "RuntimeProfiler":
+        """Start the wall-clock sampling thread (idempotent)."""
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.sample()
+            self._stop.wait(self.interval_seconds)
+
+    def stop(self) -> None:
+        """Stop the thread and take one final sample."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.sample()
+
+    def __enter__(self) -> "RuntimeProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- queries ------------------------------------------------------------
+
+    def tracks(self) -> dict[str, list[CounterSample]]:
+        """Samples grouped per counter name, in time order."""
+        out: dict[str, list[CounterSample]] = {}
+        with self._lock:
+            samples = list(self.samples)
+        for s in samples:
+            out.setdefault(s.name, []).append(s)
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.samples)

@@ -119,6 +119,19 @@ class Tracer:
         """
         return self.finish(span, outcome="error", **attrs)
 
+    def annotate(self, span: Span, **attrs) -> Span:
+        """Merge attrs into an already-finished span.
+
+        Deferred-ack (pipelined) calls finish their span when the request
+        leaves the client -- that is the per-call latency -- and record
+        the acknowledgement later, at drain time, through this method
+        (``acked`` timestamp, response bytes, error code).  Streaming
+        sinks have already seen the span by then; batch exporters pick
+        the merged attrs up.
+        """
+        span.attrs.update(attrs)
+        return span
+
     def record(
         self,
         name: str,
@@ -170,6 +183,9 @@ class NullTracer:
         return None
 
     def fail(self, span, **attrs) -> None:
+        return None
+
+    def annotate(self, span, **attrs) -> None:
         return None
 
     def record(self, *args, **attrs) -> None:

@@ -99,6 +99,9 @@ class RemoteCudaRuntime:
         self.pipeline = pipeline
         #: Requests sent but not yet acknowledged: (request, span, nbytes).
         self._inflight: deque[tuple[Request, object, int]] = deque()
+        #: Request bytes on the wire awaiting their acknowledgement (the
+        #: profiler samples this as the ``bytes_in_flight`` counter).
+        self.bytes_inflight = 0
         #: First error observed on a deferred call; sticky until surfaced
         #: at a sync point (CUDA's cudaGetLastError discipline).
         self._deferred_error = CudaError.cudaSuccess
@@ -149,28 +152,34 @@ class RemoteCudaRuntime:
             self.transport.send_vectored(parts, messages=messages)
 
     def _abandon_inflight(self) -> None:
-        """Fail every in-flight span after a dead transport (satellite of
-        the span-leak fix: no span may dangle on the error path)."""
+        """Mark every in-flight span errored after a dead transport.
+
+        Deferred spans already closed at queue time (their duration is
+        the local fire-and-forget cost), so the abandonment is an
+        annotation -- the ack they were waiting for will never come.
+        """
         while self._inflight:
             _, span, nbytes = self._inflight.popleft()
+            self.bytes_inflight -= nbytes
             if span is not None:
-                self.tracer.fail(span, bytes_sent=nbytes)
+                self.tracer.annotate(span, outcome="error")
 
     def _drain_one(self) -> None:
         """Read and account the oldest in-flight response."""
         request, span, nbytes = self._inflight.popleft()
+        self.bytes_inflight -= nbytes
         received_before = self.transport.bytes_received
         try:
             response = read_response(self._reader, request)
         except BaseException:
             if span is not None:
-                self.tracer.fail(span, bytes_sent=nbytes)
+                self.tracer.annotate(span, outcome="error")
             self._abandon_inflight()
             raise
         if span is not None:
-            self.tracer.finish(
+            self.tracer.annotate(
                 span,
-                bytes_sent=nbytes,
+                acked=self.tracer.clock.now(),
                 bytes_received=self.transport.bytes_received - received_before,
                 error=response.error,
             )
@@ -200,6 +209,18 @@ class RemoteCudaRuntime:
         if self._deferred_error != CudaError.cudaSuccess:
             self.last_error = self._deferred_error
 
+    def _finish_deferred(self, span, nbytes: int) -> None:
+        """Close a deferred call's span at queue time.
+
+        The span's duration is the local fire-and-forget cost -- what the
+        caller actually waited -- not the wait for the acknowledgement,
+        which in pipelined mode overlaps later work.  ``queued`` restates
+        the close timestamp and ``acked`` arrives at drain time via
+        :meth:`~repro.obs.spans.Tracer.annotate`.
+        """
+        self.tracer.finish(span, bytes_sent=nbytes, deferred=True)
+        self.tracer.annotate(span, queued=span.end)
+
     def _post(self, request: Request) -> CudaError:
         """Fire-and-forget: send ``request`` and defer its response."""
         if self._closed:
@@ -213,7 +234,10 @@ class RemoteCudaRuntime:
             if span is not None:
                 self.tracer.fail(span, bytes_sent=nbytes)
             raise
+        if span is not None:
+            self._finish_deferred(span, nbytes)
         self.calls_made += 1
+        self.bytes_inflight += nbytes
         self._inflight.append((request, span, nbytes))
         return CudaError.cudaSuccess
 
@@ -239,6 +263,10 @@ class RemoteCudaRuntime:
                 if span is not None:
                     self.tracer.fail(span, bytes_sent=nbytes)
             raise
+        for _, span, nbytes in staged:
+            if span is not None:
+                self._finish_deferred(span, nbytes)
+            self.bytes_inflight += nbytes
         self._inflight.extend(staged)
         return CudaError.cudaSuccess
 

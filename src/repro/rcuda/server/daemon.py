@@ -53,6 +53,7 @@ class RCudaDaemon:
         self.sessions: list[ServerSession] = []
         self._lock = threading.Lock()
         self._running = False
+        self._stopping = False
         self.tracer = tracer
         self.metrics = metrics
         #: Connections ever accepted (pruning forgets dead sessions, this
@@ -92,6 +93,14 @@ class RCudaDaemon:
             "rcuda_device_mem_fragmentation",
             "Allocator fragmentation: 1 - largest_free/total_free.",
         ).set_function(memory.fragmentation)
+        metrics.gauge(
+            "rcuda_dispatch_depth",
+            "Requests currently being dispatched across all sessions.",
+        ).set_function(lambda: self.dispatch_depth)
+        metrics.gauge(
+            "rcuda_session_mem_bytes",
+            "Device bytes held by live per-session allocations.",
+        ).set_function(lambda: self.session_memory_bytes)
 
     # -- TCP service -------------------------------------------------------
 
@@ -177,6 +186,7 @@ class RCudaDaemon:
         blocking read, so shutdown completes promptly instead of stalling
         for ``join_timeout`` per idle connection.
         """
+        self._stopping = True
         self._running = False
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=join_timeout)
@@ -204,10 +214,28 @@ class RCudaDaemon:
         self.stop()
 
     @property
+    def stopping(self) -> bool:
+        """True once :meth:`stop` has begun (health probes answer 503)."""
+        return self._stopping
+
+    @property
     def active_sessions(self) -> int:
         """Sessions attached and not yet finished."""
         with self._lock:
             return sum(1 for s in self.sessions if not s.finished)
+
+    @property
+    def dispatch_depth(self) -> int:
+        """Requests currently inside a session dispatch (server queue
+        depth as the profiler's counter track sees it)."""
+        with self._lock:
+            return sum(s.dispatching for s in self.sessions)
+
+    @property
+    def session_memory_bytes(self) -> int:
+        """Device bytes held by live allocations, summed over sessions."""
+        with self._lock:
+            return sum(s.device_bytes_held for s in self.sessions)
 
     @property
     def completed_sessions(self) -> int:

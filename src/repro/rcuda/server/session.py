@@ -30,7 +30,12 @@ from repro.protocol.codec import (
     decode_request,
     encode_response_vectored,
 )
-from repro.protocol.messages import InitRequest, Request
+from repro.protocol.messages import (
+    FreeRequest,
+    InitRequest,
+    MallocRequest,
+    Request,
+)
 from repro.rcuda.server.handler import SessionHandler
 from repro.simcuda.device import SimulatedGpu
 from repro.simcuda.runtime import CudaRuntime
@@ -57,6 +62,13 @@ class ServerSession:
         self.handler = SessionHandler(CudaRuntime(device, preinitialized=True))
         self.initialized = False
         self.finished = False
+        #: 1 while a request is being dispatched (the daemon sums this
+        #: into its queue-depth counter track).
+        self.dispatching = 0
+        #: Device bytes this session's live allocations hold, so occupancy
+        #: is attributable per session even though the device is shared.
+        self.device_bytes_held = 0
+        self._allocations: dict[int, int] = {}
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.session_id = (
             session_id
@@ -103,11 +115,32 @@ class ServerSession:
             pass
         finally:
             self.finished = True
-            self.handler.close()
+            self.handler.close()  # releases the context and its memory
+            self._allocations.clear()
+            self.device_bytes_held = 0
             self.transport.close()
+
+    def _account_memory(self, request: Request, response) -> None:
+        """Track this session's live device allocations by watching the
+        malloc/free traffic it services (success paths only)."""
+        if isinstance(request, MallocRequest):
+            if response.error == 0 and response.ptr is not None:
+                self._allocations[response.ptr] = request.size
+                self.device_bytes_held += request.size
+        elif isinstance(request, FreeRequest) and response.error == 0:
+            self.device_bytes_held -= self._allocations.pop(request.ptr, 0)
 
     def _dispatch(self, request: Request, seq: int, received_before: int) -> None:
         """Handle one decoded request and send its response, observed."""
+        self.dispatching = 1
+        try:
+            self._dispatch_inner(request, seq, received_before)
+        finally:
+            self.dispatching = 0
+
+    def _dispatch_inner(
+        self, request: Request, seq: int, received_before: int
+    ) -> None:
         tracer = self.tracer
         observing = tracer.enabled or self.metrics is not None
         span = None
@@ -130,6 +163,7 @@ class ServerSession:
                 response = self.handler.handle_init(request)
             else:
                 response = self.handler.handle(request)
+            self._account_memory(request, response)
             # D2H data leaves as its own buffer (a view of device memory)
             # via one vectored write -- never concatenated into a fresh
             # header+payload object.

@@ -58,6 +58,7 @@ class FunctionalRunner:
         accounted_networks: tuple[str, ...] = ("GigaE", "40GI"),
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> None:
         self.device = device if device is not None else SimulatedGpu()
         self.tracer = tracer
@@ -66,6 +67,14 @@ class FunctionalRunner:
         self.use_tcp = use_tcp
         self.accounted_networks = accounted_networks
         self._port: int | None = None
+        #: Optional :class:`~repro.obs.profiler.RuntimeProfiler`: counter
+        #: tracks (queue depth, in-flight window, memory occupancy) next
+        #: to the spans.  The runner attaches sources and takes explicit
+        #: samples at the session boundaries; starting/stopping the
+        #: background sampling thread stays the caller's choice.
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.attach_daemon(self.daemon)
 
     def start(self) -> None:
         if self.use_tcp and self._port is None:
@@ -120,10 +129,18 @@ class FunctionalRunner:
         client = RCudaClient.connect(
             transport, case.module(), tracer=self.tracer, pipeline=pipeline
         )
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.attach_client(client.runtime)
+            profiler.sample()
         try:
             result = case.run(client.runtime, size, seed=seed, verify=verify)
+            if profiler is not None:
+                profiler.sample()
         finally:
             client.close()
+            if profiler is not None:
+                profiler.sample()
 
         return FunctionalRunReport(
             result=result,

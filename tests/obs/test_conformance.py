@@ -1,0 +1,200 @@
+"""Model-conformance monitoring: predicted-vs-measured drift detection.
+
+The calibrated model and the virtual-clock simulated testbed are built
+from the same components, so observing a simulated run against the same
+calibration must land every series exactly on ratio 1 (the in-band
+case); swapping in a miscalibrated :class:`DeviceTimingModel` must push
+the kernel-bearing series out of the EWMA band and raise a finding.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.model.calibration import default_calibration
+from repro.net.spec import get_network
+from repro.obs import (
+    ConformanceConfig,
+    ConformanceMonitor,
+    MetricsRegistry,
+    Tracer,
+    render_prometheus,
+)
+from repro.testbed import SimulatedTestbed
+from repro.testbed.simulated import case_by_name
+from repro.testbed.trace import PHASE_ORDER
+
+SIZE = 1024
+NETWORK = "40GI"
+
+
+def simulated_spans(case_name: str = "MM", size: int = SIZE):
+    """Virtual-clock client spans of one calibrated simulated run."""
+    case = case_by_name(case_name)
+    tracer = Tracer()
+    SimulatedTestbed().measure_remote(case, size, NETWORK, tracer=tracer)
+    return case, tracer.spans
+
+
+def miscalibrated(factor: float = 8.0):
+    """A calibration whose MM kernel is claimed ``factor``x too fast."""
+    cal = default_calibration()
+    return replace(
+        cal,
+        mm=replace(cal.mm, kernel_gflops=cal.mm.kernel_gflops * factor),
+        timing=replace(cal.timing, gemm_gflops=cal.timing.gemm_gflops * factor),
+    )
+
+
+class TestInBand:
+    def test_calibrated_model_stays_in_band(self):
+        """Acceptance: the calibrated model over the clock it was
+        calibrated for never drifts."""
+        case, spans = simulated_spans()
+        monitor = ConformanceMonitor(get_network(NETWORK))
+        monitor.set_workload(case, SIZE, calibration=default_calibration())
+        for _ in range(5):  # enough samples to arm every series
+            monitor.observe_spans(spans)
+        assert monitor.status == "ok"
+        assert monitor.findings() == []
+        report = monitor.drift_report()
+        assert report.status == "ok"
+        for series in report.rows:
+            assert series.mean_ratio == pytest.approx(1.0, abs=1e-9)
+            assert abs(series.ewma_rel_error) < 1e-9
+
+    def test_phase_table_matches_trace_and_order(self):
+        case, spans = simulated_spans()
+        monitor = ConformanceMonitor(get_network(NETWORK))
+        monitor.set_workload(case, SIZE, calibration=default_calibration())
+        monitor.observe_spans(spans)
+        table = monitor.phase_table()
+        canonical = [p for p in PHASE_ORDER if p in table]
+        assert list(table)[: len(canonical)] == canonical
+        assert set(table) == {
+            "host", "init", "malloc", "h2d", "launch", "d2h", "free"
+        }
+        for measured, predicted in table.values():
+            assert measured == pytest.approx(predicted, rel=1e-9)
+
+
+class TestDrift:
+    def test_miscalibrated_kernel_flags_drift(self):
+        """Acceptance: an injected miscalibrated DeviceTimingModel is
+        flagged; the kernel-bearing d2h series leaves the band."""
+        case, spans = simulated_spans()
+        monitor = ConformanceMonitor(get_network(NETWORK))
+        monitor.set_workload(case, SIZE, calibration=miscalibrated())
+        for _ in range(5):
+            monitor.observe_spans(spans)
+        assert monitor.status == "drift"
+        findings = monitor.findings()
+        assert findings
+        d2h = [f for f in findings if f.phase == "d2h"]
+        assert d2h, "the kernel drain is charged to the d2h copy"
+        finding = d2h[0]
+        assert finding.ewma_rel_error > monitor.config.band
+        assert finding.mean_ratio > 1.0
+        assert "over the model" in finding.describe()
+        assert monitor.drift_report().status == "drift"
+        assert "DRIFT:" in monitor.drift_report().render()
+
+    def test_recovery_clears_the_flag(self):
+        """A series that comes back inside the band stops being flagged."""
+        case, spans = simulated_spans()
+        monitor = ConformanceMonitor(
+            get_network(NETWORK),
+            config=ConformanceConfig(ewma_alpha=0.9, min_samples=1),
+        )
+        monitor.set_workload(case, SIZE, calibration=miscalibrated())
+        monitor.observe_spans(spans)
+        assert monitor.status == "drift"
+        monitor.set_workload(case, SIZE, calibration=default_calibration())
+        for _ in range(8):  # alpha 0.9: EWMA collapses onto ~0 quickly
+            monitor.observe_spans(spans)
+        assert monitor.status == "ok"
+
+
+class TestMechanics:
+    def test_outlier_exemplars_point_at_spans(self):
+        case, spans = simulated_spans()
+        monitor = ConformanceMonitor(get_network(NETWORK))
+        monitor.set_workload(case, SIZE, calibration=default_calibration())
+        h2d = next(s for s in spans if s.phase == "h2d")
+        predicted = monitor.predict_span_seconds(h2d)
+        tracer = Tracer()
+        tracer.record(
+            h2d.name, "client", "outlier-session", 7,
+            start=0.0, end=predicted * 10,
+            phase="h2d",
+            bytes_sent=h2d.attrs["bytes_sent"],
+            bytes_received=h2d.attrs["bytes_received"],
+        )
+        monitor.observe(tracer.spans[-1])
+        series = next(
+            s for s in monitor.drift_report().rows if s.phase == "h2d"
+        )
+        assert series.exemplars
+        session, seq, ratio = series.exemplars[0]
+        assert (session, seq) == ("outlier-session", 7)
+        assert ratio == pytest.approx(10.0, rel=1e-6)
+
+    def test_unmodeled_spans_are_counted_not_scored(self):
+        monitor = ConformanceMonitor(get_network(NETWORK))
+        tracer = Tracer()
+        # No phase at all: not the model's business.
+        tracer.record("connect", "client", "s", 0, start=0.0, end=1.0)
+        # A phase but zero bytes: bookkeeping the model has no term for.
+        tracer.record(
+            "cudaEventCreate", "client", "s", 1,
+            start=1.0, end=2.0, phase="launch",
+        )
+        monitor.observe_spans(tracer.spans)
+        assert monitor.unmodeled_spans == 2
+        assert monitor.status == "no-data"
+        report = monitor.drift_report()
+        assert report.status == "no-data"
+        assert "2 spans had no model prediction" in report.render()
+
+    def test_server_and_unfinished_spans_ignored(self):
+        monitor = ConformanceMonitor(get_network(NETWORK))
+        tracer = Tracer()
+        tracer.record(
+            "cudaMalloc", "server", "s", 0,
+            start=0.0, end=1.0, phase="malloc", bytes_sent=64,
+        )
+        open_span = tracer.start(
+            "cudaMalloc", "client", "s", 1, phase="malloc"
+        )
+        monitor.observe_spans(tracer.spans + [open_span])
+        assert monitor.status == "no-data"
+        assert monitor.unmodeled_spans == 0
+
+    def test_monitor_is_a_tracer_sink(self):
+        """The monitor attaches to a live tracer and scores spans as
+        they finish."""
+        case, _ = simulated_spans()
+        monitor = ConformanceMonitor(get_network(NETWORK))
+        monitor.set_workload(case, SIZE, calibration=default_calibration())
+        tracer = Tracer(sink=monitor)
+        SimulatedTestbed().measure_remote(case, SIZE, NETWORK, tracer=tracer)
+        assert monitor.status == "ok"
+        assert monitor.drift_report().rows
+
+
+class TestMetricsExport:
+    def test_ratio_histogram_and_findings_counter(self):
+        registry = MetricsRegistry()
+        case, spans = simulated_spans()
+        monitor = ConformanceMonitor(get_network(NETWORK), metrics=registry)
+        monitor.set_workload(case, SIZE, calibration=miscalibrated())
+        for _ in range(6):
+            monitor.observe_spans(spans)
+        text = render_prometheus(registry)
+        assert "# TYPE rcuda_model_ratio histogram" in text
+        assert 'phase="d2h"' in text
+        assert "rcuda_model_ewma_relative_error" in text
+        # The same series drifting on and on raises exactly one finding.
+        counter = registry.counter("rcuda_model_drift_findings_total")
+        flagged = len(monitor.findings())
+        assert counter.value() == flagged >= 1

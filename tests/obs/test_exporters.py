@@ -1,0 +1,125 @@
+"""Chrome trace export: counter events, time-unit scaling, round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    CounterSample,
+    Tracer,
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def virtual_spans() -> Tracer:
+    """A small virtual-clock timeline with exact, binary-clean times."""
+    tracer = Tracer()
+    tracer.record(
+        "cudaMalloc", "client", "sess-1", 0,
+        start=0.0, end=0.25, phase="malloc", bytes_sent=64,
+    )
+    tracer.record(
+        "cudaMemcpy", "client", "sess-1", 1,
+        start=0.25, end=1.5, phase="h2d",
+        bytes_sent=4096, bytes_received=16,
+    )
+    tracer.record(
+        "cudaMemcpy", "server", "server-1", 1,
+        start=0.5, end=1.25, phase="h2d", error=0,
+    )
+    return tracer
+
+
+COUNTERS = [
+    CounterSample("server.queue_depth", 0.0, 0.0),
+    CounterSample("server.queue_depth", 0.5, 1.0),
+    CounterSample("client.inflight_window", 0.5, 2.0),
+    CounterSample("client.inflight_window", 1.5, 0.0),
+]
+
+
+class TestCounterEvents:
+    def test_counters_become_c_events_on_their_own_process(self):
+        doc = chrome_trace(virtual_spans().spans, counters=COUNTERS)
+        events = doc["traceEvents"]
+        c = [e for e in events if e["ph"] == "C"]
+        assert len(c) == len(COUNTERS)
+        span_pids = {e["pid"] for e in events if e["ph"] == "X"}
+        counter_pids = {e["pid"] for e in c}
+        assert len(counter_pids) == 1
+        assert counter_pids.isdisjoint(span_pids)
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "rcuda-counters" in names
+        first = c[0]
+        assert first["name"] == "server.queue_depth"
+        assert first["args"] == {"value": 0.0}
+
+    def test_counter_timestamps_share_the_span_timeline(self):
+        doc = chrome_trace(virtual_spans().spans, counters=COUNTERS)
+        c = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        # t=0.5 s lands at 5e5 us, same scaling as the spans.
+        assert c[1]["ts"] == pytest.approx(0.5 * 1e6)
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x[1]["ts"] == pytest.approx(0.25 * 1e6)
+
+    def test_no_counters_means_no_counter_process(self):
+        doc = chrome_trace(virtual_spans().spans)
+        assert not any(e["ph"] == "C" for e in doc["traceEvents"])
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "rcuda-counters" not in names
+
+
+class TestTimeUnits:
+    @pytest.mark.parametrize(
+        "unit,scale", [("s", 1e6), ("ms", 1e3), ("us", 1.0)]
+    )
+    def test_scaling_applies_to_spans_and_counters(self, unit, scale):
+        doc = chrome_trace(
+            virtual_spans().spans, time_unit=unit, counters=COUNTERS
+        )
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        c = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert x[0]["ts"] == pytest.approx(0.0)
+        assert x[0]["dur"] == pytest.approx(0.25 * scale)
+        assert c[1]["ts"] == pytest.approx(0.5 * scale)
+
+    def test_unknown_unit_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown trace time unit"):
+            chrome_trace(virtual_spans().spans, time_unit="ns")
+        with pytest.raises(ConfigurationError, match="known units"):
+            write_chrome_trace(virtual_spans().spans, "/dev/null", time_unit="m")
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip_preserves_spans_exactly(self, tmp_path):
+        """Virtual-clock spans survive write_jsonl -> read_jsonl with
+        attrs, timestamps and identity intact."""
+        spans = virtual_spans().spans
+        path = write_jsonl(spans, tmp_path / "trace.jsonl")
+        loaded = read_jsonl(path)
+        assert len(loaded) == len(spans)
+        for original, back in zip(spans, loaded):
+            assert back.to_event() == original.to_event()
+            assert (back.session, back.seq) == (original.session, original.seq)
+            assert back.duration_seconds == original.duration_seconds
+
+    def test_chrome_file_is_loadable_json_with_all_tracks(self, tmp_path):
+        path = write_chrome_trace(
+            virtual_spans().spans, tmp_path / "trace.json", counters=COUNTERS
+        )
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "C"} <= phases

@@ -1,0 +1,159 @@
+"""The /healthz probe on the metrics endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer
+
+
+def _get(port: int, path: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=5
+        ) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def _healthz(port: int) -> tuple[int, dict]:
+    status, body = _get(port, "/healthz")
+    return status, json.loads(body)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestHealthDocument:
+    def test_ok_document_fields(self, registry):
+        with MetricsServer(registry) as server:
+            status, doc = _healthz(server.port)
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["uptime_seconds"] >= 0.0
+        assert doc["last_scrape_age_seconds"] is None  # never scraped
+        assert doc["drift"] == "disabled"  # no conformance monitor wired
+
+    def test_scrape_age_tracks_metrics_requests(self, registry):
+        with MetricsServer(registry) as server:
+            status, _ = _get(server.port, "/metrics")
+            assert status == 200
+            _, doc = _healthz(server.port)
+        age = doc["last_scrape_age_seconds"]
+        assert age is not None and 0.0 <= age < 5.0
+
+    def test_health_callback_merges_daemon_state(self, registry):
+        server = MetricsServer(
+            registry,
+            health=lambda: {"sessions": 3, "drift": "ok"},
+        )
+        with server:
+            status, doc = _healthz(server.port)
+        assert status == 200
+        assert doc["sessions"] == 3
+        assert doc["drift"] == "ok"
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            status, body = _get(server.port, "/nope")
+        assert status == 404
+        assert body == b"not found\n"
+
+
+class TestStopping:
+    def test_mark_stopping_flips_probe_to_503(self, registry):
+        with MetricsServer(registry) as server:
+            server.mark_stopping()
+            status, doc = _healthz(server.port)
+            # Metrics keep being served while load balancers drain.
+            mstatus, _ = _get(server.port, "/metrics")
+        assert status == 503
+        assert doc["status"] == "stopping"
+        assert mstatus == 200
+
+    def test_health_callback_can_signal_stopping(self, registry):
+        stopping = {"value": False}
+        server = MetricsServer(
+            registry, health=lambda: {"stopping": stopping["value"]}
+        )
+        with server:
+            status, doc = _healthz(server.port)
+            assert (status, doc["status"]) == (200, "ok")
+            assert "stopping" not in doc  # the signal key is consumed
+            stopping["value"] = True
+            status, doc = _healthz(server.port)
+        assert status == 503
+        assert doc["status"] == "stopping"
+
+    def test_failing_health_callback_is_500_not_fatal(self, registry):
+        def broken() -> dict:
+            raise RuntimeError("daemon state unavailable")
+
+        with MetricsServer(registry, health=broken) as server:
+            status, doc = _healthz(server.port)
+            # The endpoint survives the failing probe.
+            mstatus, _ = _get(server.port, "/metrics")
+        assert status == 500
+        assert doc["status"] == "error"
+        assert "daemon state unavailable" in doc["error"]
+        assert mstatus == 200
+
+
+class TestServeWiring:
+    def test_serve_healthz_reports_sessions(self):
+        """`repro serve --metrics-port` wires daemon state into the
+        probe (the integration the CLI promises)."""
+        import socket
+        import threading
+        import time
+
+        from repro.cli import main
+        from repro.errors import TransportError
+        from repro.rcuda import RCudaClient
+        from repro.workloads import MatrixProductCase
+
+        def free_port() -> int:
+            s = socket.socket()
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+            s.close()
+            return port
+
+        port, mport = free_port(), free_port()
+        result = {}
+
+        def run_serve() -> None:
+            result["code"] = main([
+                "serve", "--port", str(port),
+                "--metrics-port", str(mport), "--run-seconds", "2.0",
+            ])
+
+        thread = threading.Thread(target=run_serve, daemon=True)
+        thread.start()
+        case = MatrixProductCase()
+        client = None
+        deadline = time.monotonic() + 2.0
+        while client is None:
+            try:
+                client = RCudaClient.connect_tcp(
+                    "127.0.0.1", port, case.module()
+                )
+            except TransportError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        try:
+            status, doc = _healthz(mport)
+        finally:
+            client.close()
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["sessions"] == 1
+        assert doc["sessions_total"] == 1
+        thread.join(timeout=15)
+        assert result["code"] == 0

@@ -1,0 +1,148 @@
+"""Runtime profiler: sampled counter tracks under wall and virtual clocks."""
+
+import time
+
+from repro.obs import CounterSample, RuntimeProfiler
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import SimulatedGpu, fabricate_module
+from repro.simcuda.errors import CudaError
+from repro.testbed import FunctionalRunner
+from repro.transport.inproc import inproc_pair
+from repro.workloads import MatrixProductCase
+
+MODULE = fabricate_module("proftest", ["saxpy"], 2048)
+
+
+class SteppedClock:
+    """A virtual clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+class TestManualSampling:
+    def test_sample_reads_every_source_at_the_clock_instant(self):
+        clock = SteppedClock()
+        profiler = RuntimeProfiler(clock=clock)
+        depth = {"value": 0}
+        profiler.add_source("queue", lambda: depth["value"])
+        profiler.sample()
+        depth["value"] = 3
+        clock.t = 2.5
+        profiler.sample()
+        assert len(profiler) == 2
+        assert profiler.samples[0] == CounterSample("queue", 0.0, 0.0)
+        assert profiler.samples[1] == CounterSample("queue", 2.5, 3.0)
+
+    def test_raising_source_is_skipped_not_fatal(self):
+        profiler = RuntimeProfiler(clock=SteppedClock())
+
+        def broken() -> float:
+            raise RuntimeError("mid-teardown")
+
+        profiler.add_source("broken", broken)
+        profiler.add_source("fine", lambda: 1)
+        profiler.sample()
+        assert [s.name for s in profiler.samples] == ["fine"]
+
+    def test_tracks_group_samples_per_name_in_order(self):
+        clock = SteppedClock()
+        profiler = RuntimeProfiler(clock=clock)
+        profiler.add_source("a", lambda: 1)
+        profiler.add_source("b", lambda: 2)
+        for t in (0.0, 1.0, 2.0):
+            clock.t = t
+            profiler.sample()
+        tracks = profiler.tracks()
+        assert set(tracks) == {"a", "b"}
+        assert [s.t for s in tracks["a"]] == [0.0, 1.0, 2.0]
+        assert all(s.value == 2.0 for s in tracks["b"])
+
+    def test_counter_sample_event_form(self):
+        event = CounterSample("server.queue_depth", 1.5, 4.0).to_event()
+        assert event == {
+            "counter": "server.queue_depth", "t": 1.5, "value": 4.0
+        }
+
+
+class TestBackgroundThread:
+    def test_start_stop_collects_samples_and_final_reading(self):
+        profiler = RuntimeProfiler(interval_seconds=0.001)
+        profiler.add_source("constant", lambda: 7)
+        with profiler:
+            time.sleep(0.02)
+        n = len(profiler)
+        assert n >= 2  # several periodic readings + the final one
+        assert all(s.value == 7.0 for s in profiler.samples)
+        # After stop() the thread is gone: no more samples accrue.
+        time.sleep(0.01)
+        assert len(profiler) == n
+
+    def test_start_is_idempotent(self):
+        profiler = RuntimeProfiler(interval_seconds=0.001)
+        profiler.add_source("x", lambda: 0)
+        profiler.start()
+        profiler.start()
+        profiler.stop()
+        assert len(profiler) >= 1
+
+
+class TestAttachedSources:
+    def test_daemon_and_client_sources_track_live_state(self):
+        """Session memory, device occupancy and the client's in-flight
+        window are all visible through one sample."""
+        daemon = RCudaDaemon(SimulatedGpu())
+        profiler = RuntimeProfiler(clock=SteppedClock())
+        profiler.attach_daemon(daemon)
+        client_end, server_end = inproc_pair()
+        daemon.serve_transport(server_end)
+        client = RCudaClient.connect(client_end, MODULE, pipeline=True)
+        rt = client.runtime
+        profiler.attach_client(rt)
+        try:
+            err, ptr = rt.cudaMalloc(4096)
+            assert err == CudaError.cudaSuccess
+            assert rt.cudaMemset(ptr, 0, 4096) == CudaError.cudaSuccess
+            # One deferred request in flight, one live 4 KiB allocation.
+            profiler.sample()
+            reading = {s.name: s.value for s in profiler.samples}
+            assert reading["server.active_sessions"] == 1
+            assert reading["server.session_mem_bytes"] == 4096
+            assert reading["server.device_mem_used"] >= 4096
+            assert reading["client.inflight_window"] == 1
+            assert reading["client.bytes_in_flight"] > 0
+            assert rt.flush() == CudaError.cudaSuccess
+            profiler.sample()
+            drained = {s.name: s.value for s in profiler.samples[-6:]}
+            assert drained["client.inflight_window"] == 0
+            assert drained["client.bytes_in_flight"] == 0
+        finally:
+            client.close()
+            daemon.stop()
+        # Post-session: the allocation map was released with the context.
+        profiler.sample()
+        final = {s.name: s.value for s in profiler.samples[-6:]}
+        assert final["server.session_mem_bytes"] == 0
+        assert final["server.active_sessions"] == 0
+
+    def test_functional_runner_emits_all_counter_tracks(self):
+        """The runner wires both sides and samples at the session
+        boundaries, so even a sub-millisecond run yields every track."""
+        profiler = RuntimeProfiler()
+        runner = FunctionalRunner(profiler=profiler)
+        with runner:
+            report = runner.run(MatrixProductCase(), 48, pipeline=True)
+        assert report.result.verified
+        tracks = profiler.tracks()
+        assert {
+            "server.queue_depth",
+            "server.active_sessions",
+            "server.session_mem_bytes",
+            "server.device_mem_used",
+            "client.inflight_window",
+            "client.bytes_in_flight",
+        } <= set(tracks)
+        assert all(len(samples) >= 2 for samples in tracks.values())

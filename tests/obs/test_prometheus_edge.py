@@ -1,0 +1,93 @@
+"""Prometheus text exposition edge cases: escaping, +Inf, concurrency."""
+
+import threading
+
+from repro.obs import MetricsRegistry, render_prometheus
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_are_escaped(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "help", labelnames=("path",))
+        gauge.set(1.0, path='a\\b"c\nd')
+        text = render_prometheus(registry)
+        assert 'g{path="a\\\\b\\"c\\nd"} 1' in text
+        # The exposition stays one sample per line despite the newline.
+        sample_lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert sample_lines == ['g{path="a\\\\b\\"c\\nd"} 1']
+
+    def test_plain_values_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help", labelnames=("fn",)).inc(2, fn="cudaMalloc")
+        assert 'c{fn="cudaMalloc"} 2' in render_prometheus(registry)
+
+
+class TestHistogramExposition:
+    def test_inf_bucket_is_cumulative_total(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "help", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0, 7.0):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        # le="+Inf" covers everything ever observed, above-range included,
+        # and must equal _count.
+        assert 'h_bucket{le="+Inf"} 4' in text
+        assert "h_count 4" in text
+        assert "h_sum 14" in text
+
+    def test_le_labels_sort_with_series_labels(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "h", "help", labelnames=("fn",), buckets=(1.0,)
+        )
+        hist.observe(0.5, fn="cudaMemcpy")
+        text = render_prometheus(registry)
+        assert 'h_bucket{fn="cudaMemcpy",le="1"} 1' in text
+        assert 'h_bucket{fn="cudaMemcpy",le="+Inf"} 1' in text
+
+
+class TestConcurrentScrape:
+    def test_observe_during_render_stays_consistent(self):
+        """Session threads observe while a scrape renders: no tearing,
+        and every rendered snapshot satisfies +Inf == _count."""
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat", "help", labelnames=("fn",), buckets=(0.001, 0.01, 0.1)
+        )
+        stop = threading.Event()
+        per_thread = [0, 0, 0, 0]
+
+        def hammer(slot: int) -> None:
+            while not stop.is_set():
+                hist.observe(0.005, fn="cudaMemcpy")
+                per_thread[slot] += 1
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for w in workers:
+            w.start()
+        try:
+            for _ in range(50):
+                text = render_prometheus(registry)
+                inf_line = next(
+                    line for line in text.splitlines()
+                    if line.startswith("lat_bucket") and 'le="+Inf"' in line
+                )
+                count_line = next(
+                    line for line in text.splitlines()
+                    if line.startswith("lat_count")
+                )
+                assert inf_line.rsplit(" ", 1)[1] == count_line.rsplit(" ", 1)[1]
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()
+        final = hist.snapshot(fn="cudaMemcpy")
+        cumulative, total, count = final
+        assert count == sum(per_thread)
+        assert cumulative[-1] == count

@@ -430,6 +430,74 @@ class TestSpanHygiene:
         assert len(client_spans) == rt.calls_made
         assert all(s.end is not None for s in client_spans)
 
+    def test_deferred_spans_carry_queued_and_acked_timestamps(self, daemon):
+        """A deferred call's span closes at queue time (the wait the
+        caller actually paid); the acknowledgement annotates it later."""
+        from repro.obs.spans import Tracer
+        from repro.transport.inproc import inproc_pair
+
+        tracer = Tracer()
+        client_end, server_end = inproc_pair()
+        daemon.serve_transport(server_end)
+        client = RCudaClient.connect(
+            client_end, MODULE, tracer=tracer, pipeline=True
+        )
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(256)
+            assert err == CudaError.cudaSuccess
+            assert rt.cudaMemset(ptr, 3, 256) == CudaError.cudaSuccess
+            memset = next(
+                s for s in tracer.spans_for(kind="client")
+                if s.name == "cudaMemset"
+            )
+            # Closed immediately, ack still pending.
+            assert memset.end is not None
+            assert memset.attrs["deferred"] is True
+            assert memset.attrs["queued"] == memset.end
+            assert "acked" not in memset.attrs
+            assert rt.flush() == CudaError.cudaSuccess
+            assert memset.attrs["acked"] >= memset.attrs["queued"]
+            assert memset.attrs["error"] == 0
+            assert memset.attrs["bytes_received"] > 0
+        finally:
+            client.close()
+
+    def test_pipelined_deferred_spans_shorter_than_sync_spans(self):
+        """Regression: span durations must reflect the mode's blocking
+        semantics.  A deferred call's span covers only the local send,
+        so across a real-TCP MM run the deferred spans' total duration
+        stays below the same calls' sequential-mode total (which pays a
+        full round trip each)."""
+        from repro.obs.spans import Tracer
+
+        case = MatrixProductCase()
+        tracers = {}
+        for pipeline in (False, True):
+            tracer = Tracer()
+            with FunctionalRunner(use_tcp=True, tracer=tracer) as runner:
+                report = runner.run(case, 128, pipeline=pipeline)
+            assert report.result.verified
+            tracers[pipeline] = tracer
+        deferred = [
+            s for s in tracers[True].spans_for(kind="client")
+            if s.attrs.get("deferred")
+        ]
+        assert deferred, "pipelined MM must defer at least one call"
+        # Match by (name, phase): "cudaMemcpy" alone would also catch
+        # the d2h copy, which blocks in both modes.
+        keys = {(s.name, s.attrs.get("phase")) for s in deferred}
+        sync_matching = [
+            s for s in tracers[False].spans_for(kind="client")
+            if (s.name, s.attrs.get("phase")) in keys
+        ]
+        assert len(sync_matching) == len(deferred)
+        deferred_total = sum(s.duration_seconds for s in deferred)
+        sync_total = sum(s.duration_seconds for s in sync_matching)
+        assert deferred_total < sync_total
+        # Every deferred span was eventually acknowledged.
+        assert all("acked" in s.attrs for s in deferred)
+
     def test_abandoned_inflight_spans_are_failed_not_leaked(self):
         """If the transport dies with deferred acks outstanding, their
         spans still close (marked as errored)."""

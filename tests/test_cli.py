@@ -228,6 +228,43 @@ def test_whatif_fft_reports_no_viable_bandwidth(capsys):
     assert "no interconnect can fix this workload" in captured.out
 
 
+def test_run_pipeline_chrome_out_has_counter_tracks(capsys, tmp_path):
+    chrome = tmp_path / "pipe-chrome.json"
+    code = main([
+        "run", "mm", "--size", "48", "--pipeline",
+        "--chrome-out", str(chrome),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "verified=True" in captured.out
+    doc = json.loads(chrome.read_text())
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert counters
+    # Acceptance: span tracks plus at least three counter tracks.
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    assert len({e["name"] for e in counters}) >= 3
+
+
+def test_drift_subcommand_functional(capsys):
+    code = main(["drift", "mm", "fft", "--size", "48"])
+    captured = capsys.readouterr()
+    assert code == 0
+    # Per-phase predicted-vs-measured table with relative error, per case.
+    assert "MM size 48 (functional)" in captured.out
+    assert "FFT size 48 (functional)" in captured.out
+    assert "Rel err (%)" in captured.out
+    assert "Predicted (ms)" in captured.out
+    assert "Model conformance vs 40GI" in captured.out
+
+
+def test_drift_subcommand_simulated_is_in_band(capsys):
+    code = main(["drift", "mm", "--size", "64", "--simulated",
+                 "--fail-on-drift"])
+    captured = capsys.readouterr()
+    assert code == 0  # the calibrated model over its own clock never drifts
+    assert "(status: ok)" in captured.out
+
+
 def test_missing_subcommand_exits():
     with pytest.raises(SystemExit):
         main([])
