@@ -190,7 +190,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profiler.start()
         try:
             report = runner.run(
-                case, args.size, seed=args.seed, pipeline=args.pipeline
+                case,
+                args.size,
+                seed=args.seed,
+                pipeline=args.pipeline,
+                chunk_bytes=args.chunk_bytes,
+                chunking=not args.no_chunking,
             )
         finally:
             if profiler is not None:
@@ -244,7 +249,13 @@ def _cmd_drift(args: argparse.Namespace) -> int:
             from repro.testbed import FunctionalRunner
 
             with FunctionalRunner(tracer=tracer) as runner:
-                runner.run(case, args.size, pipeline=args.pipeline)
+                runner.run(
+                    case,
+                    args.size,
+                    pipeline=args.pipeline,
+                    chunk_bytes=args.chunk_bytes,
+                    chunking=not args.no_chunking,
+                )
         monitor.observe_spans(tracer.spans)
         rows = []
         for phase, (measured, predicted) in monitor.phase_table().items():
@@ -462,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tcp", action="store_true", help="use real TCP sockets")
     p.add_argument("--pipeline", action="store_true",
                    help="run over the deferred-ack pipelined hot path")
+    p.add_argument("--chunk-bytes", type=int, default=None, metavar="N",
+                   help="pin the streaming frame size for large copies "
+                        "(default: adapted to the bottleneck link)")
+    p.add_argument("--no-chunking", action="store_true",
+                   help="keep every copy monolithic (disable streaming)")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write client+server spans to FILE as JSONL")
     p.add_argument("--chrome-out", default=None, metavar="FILE",
@@ -480,6 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="network model to predict against")
     p.add_argument("--pipeline", action="store_true",
                    help="run the functional case over the pipelined path")
+    p.add_argument("--chunk-bytes", type=int, default=None, metavar="N",
+                   help="pin the streaming frame size for large copies")
+    p.add_argument("--no-chunking", action="store_true",
+                   help="keep every copy monolithic (disable streaming)")
     p.add_argument("--simulated", action="store_true",
                    help="use the virtual-clock simulated testbed instead "
                         "of a functional run (in-band by construction)")

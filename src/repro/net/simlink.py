@@ -97,6 +97,41 @@ class SimulatedLink:
         self.messages_sent += 1
         return elapsed
 
+    def stream_transfer(self, nbytes: int, messages: int = 1) -> float:
+        """Network time for one pipelined stream of ``messages``
+        back-to-back frames totalling ``nbytes``.
+
+        Unlike per-frame :meth:`transfer` calls, a stream is one flow: the
+        per-message latency term is paid once (the frames ride the same
+        established connection with the pipe kept full), while the
+        bandwidth term covers the whole payload.  TCP window distortion is
+        evaluated at the per-frame size -- chunked frames below the
+        distortion knee cross cleanly, which is part of why streaming
+        beats a monolithic send on distorted links.  Does **not** advance
+        the clock (callers overlap this time against a device stage);
+        counts traffic and returns the seconds.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot transfer {nbytes} bytes")
+        if messages < 1:
+            raise ConfigurationError(f"a stream needs >= 1 message, got {messages}")
+        nominal = self.spec.actual_one_way_seconds(nbytes, include_distortion=False)
+        frame_bytes = nbytes / messages
+        if self.distortion_mode == "mean":
+            nominal += messages * self.spec.distortion.extra_seconds(frame_bytes)
+        elif self.distortion_mode == "stochastic":
+            mean_extra = self.spec.distortion.extra_seconds(frame_bytes)
+            if mean_extra > 0.0:
+                stalls = int(self._rng.binomial(messages, STALL_PROBABILITY))
+                nominal += stalls * (mean_extra / STALL_PROBABILITY)
+        elapsed = nominal
+        if self.jitter_fraction > 0.0 and nominal > 0.0:
+            sigma = self.jitter_fraction * nominal
+            elapsed = max(0.0, nominal + float(self._rng.normal(0.0, sigma)))
+        self.bytes_sent += nbytes
+        self.messages_sent += messages
+        return elapsed
+
     def round_trip(self, nbytes_out: int, nbytes_back: int) -> float:
         """A request/response exchange; returns total elapsed seconds."""
         return self.transfer(nbytes_out) + self.transfer(nbytes_back)

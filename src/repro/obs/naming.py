@@ -17,7 +17,10 @@ from repro.protocol.messages import (
     LaunchRequest,
     MallocRequest,
     MemcpyAsyncRequest,
+    MemcpyChunkRequest,
     MemcpyRequest,
+    MemcpyStreamBeginRequest,
+    MemcpyStreamEndRequest,
     MemsetRequest,
     PropertiesRequest,
     Request,
@@ -36,6 +39,17 @@ _TABLE: dict[type, tuple[str, int | None, str]] = {
     MemcpyRequest: ("cudaMemcpy", int(FunctionId.MEMCPY), "h2d"),
     MemcpyAsyncRequest: (
         "cudaMemcpyAsync", int(FunctionId.MEMCPY_ASYNC), "h2d"
+    ),
+    # A streamed copy is still one logical cudaMemcpy: the Begin frame
+    # carries the span; chunk/End frames are its wire-level shrapnel.
+    MemcpyStreamBeginRequest: (
+        "cudaMemcpy", int(FunctionId.MEMCPY_STREAM_BEGIN), "h2d"
+    ),
+    MemcpyChunkRequest: (
+        "cudaMemcpyChunk", int(FunctionId.MEMCPY_CHUNK), "h2d"
+    ),
+    MemcpyStreamEndRequest: (
+        "cudaMemcpyStreamEnd", int(FunctionId.MEMCPY_STREAM_END), "h2d"
     ),
     MemsetRequest: ("cudaMemset", int(FunctionId.MEMSET), "h2d"),
     SetupArgsRequest: (
@@ -70,7 +84,9 @@ _TABLE: dict[type, tuple[str, int | None, str]] = {
 def describe_request(request: Request) -> tuple[str, int | None, str]:
     """(span name, function id or None for init, phase) for one request."""
     name, fid, phase = _TABLE[type(request)]
-    if isinstance(request, (MemcpyRequest, MemcpyAsyncRequest)):
+    if isinstance(
+        request, (MemcpyRequest, MemcpyAsyncRequest, MemcpyStreamBeginRequest)
+    ):
         if MemcpyKind(request.kind) is MemcpyKind.cudaMemcpyDeviceToHost:
             phase = "d2h"
     return name, fid, phase

@@ -67,6 +67,9 @@ class RuntimeProfiler:
         request bytes on the wire."""
         self.add_source(f"{prefix}.inflight_window", lambda: runtime.inflight_count)
         self.add_source(f"{prefix}.bytes_in_flight", lambda: runtime.bytes_inflight)
+        self.add_source(
+            f"{prefix}.chunks_streamed", lambda: runtime.chunks_streamed
+        )
 
     def attach_daemon(self, daemon, prefix: str = "server") -> None:
         """Track a daemon's queue depth, session count, per-session

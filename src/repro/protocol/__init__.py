@@ -41,8 +41,12 @@ from repro.protocol.messages import (
     LaunchRequest,
     MallocRequest,
     MallocResponse,
+    MemcpyChunkRequest,
     MemcpyRequest,
     MemcpyResponse,
+    MemcpyStreamBeginRequest,
+    MemcpyStreamEndRequest,
+    MemcpyStreamResponse,
     PropertiesRequest,
     PropertiesResponse,
     Response,
@@ -60,6 +64,7 @@ from repro.protocol.codec import (
     encode_response,
     encode_response_vectored,
     read_response,
+    read_stream_response,
 )
 from repro.protocol.accounting import (
     MessageCost,
@@ -80,8 +85,12 @@ __all__ = [
     "LaunchRequest",
     "MallocRequest",
     "MallocResponse",
+    "MemcpyChunkRequest",
     "MemcpyRequest",
     "MemcpyResponse",
+    "MemcpyStreamBeginRequest",
+    "MemcpyStreamEndRequest",
+    "MemcpyStreamResponse",
     "MessageCost",
     "MessageReader",
     "PROTOCOL_VERSION",
@@ -101,6 +110,7 @@ __all__ = [
     "launch_request_bytes",
     "memcpy_request_bytes",
     "read_response",
+    "read_stream_response",
     "request_response_bytes",
     "table1_from_codec",
 ]

@@ -18,8 +18,11 @@ from repro.protocol.messages import (
     LaunchRequest,
     MallocRequest,
     MallocResponse,
+    MemcpyChunkRequest,
     MemcpyRequest,
     MemcpyResponse,
+    MemcpyStreamBeginRequest,
+    MemcpyStreamEndRequest,
     Response,
     SetupArgsRequest,
     SyncRequest,
@@ -97,6 +100,52 @@ def memcpy_d2h_cost() -> MessageCost:
         lambda n: encode_response(MemcpyResponse(error=0, data=b"\x00" * n))
     )
     return MessageCost("cudaMemcpy (to host)", send, False, recv_fixed, recv_var)
+
+
+def memcpy_stream_begin_cost() -> MessageCost:
+    send = len(
+        encode_request(
+            MemcpyStreamBeginRequest(
+                dst=0x1000,
+                src=0,
+                size=1 << 20,
+                kind=int(MemcpyKind.cudaMemcpyHostToDevice),
+                chunk_bytes=1 << 16,
+                stream_id=1,
+            )
+        )
+    )
+    # H2D Begin frames are unacknowledged; the End's single terminal ack
+    # covers the whole stream, so the receive side here is 0.
+    return MessageCost("cudaMemcpy (stream begin)", send, False, 0, False)
+
+
+def memcpy_chunk_cost() -> MessageCost:
+    send_fixed, send_var = _measure_fixed(
+        lambda n: encode_request(
+            MemcpyChunkRequest(stream_id=1, seq=0, size=n, data=b"\x00" * n)
+        )
+    )
+    return MessageCost("cudaMemcpy (stream chunk)", send_fixed, send_var, 0, False)
+
+
+def memcpy_stream_end_cost() -> MessageCost:
+    send = len(encode_request(MemcpyStreamEndRequest(stream_id=1, chunks=4)))
+    recv = len(encode_response(Response(error=0)))
+    return MessageCost("cudaMemcpy (stream end)", send, False, recv, False)
+
+
+def streamed_h2d_bytes(payload: int, chunk_bytes: int) -> tuple[int, int]:
+    """Wire bytes each way for one chunked H2D copy of ``payload`` data
+    bytes split into ``chunk_bytes`` frames (Begin + chunks + End)."""
+    chunks = -(-payload // chunk_bytes) if payload else 0
+    sent = (
+        memcpy_stream_begin_cost().send_fixed
+        + chunks * memcpy_chunk_cost().send_fixed
+        + payload
+        + memcpy_stream_end_cost().send_fixed
+    )
+    return sent, memcpy_stream_end_cost().receive_fixed
 
 
 def launch_cost() -> MessageCost:

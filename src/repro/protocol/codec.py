@@ -26,8 +26,12 @@ from repro.protocol.messages import (
     MallocRequest,
     MallocResponse,
     MemcpyAsyncRequest,
+    MemcpyChunkRequest,
     MemcpyRequest,
     MemcpyResponse,
+    MemcpyStreamBeginRequest,
+    MemcpyStreamEndRequest,
+    MemcpyStreamResponse,
     MemsetRequest,
     PropertiesRequest,
     PropertiesResponse,
@@ -210,6 +214,36 @@ def encode_request_vectored(request: Request) -> list:
             + pack_u4(request.start)
             + pack_u4(request.end)
         ]
+    if isinstance(request, MemcpyStreamBeginRequest):
+        return [
+            pack_u4(FunctionId.MEMCPY_STREAM_BEGIN)
+            + pack_u4(request.dst)
+            + pack_u4(request.src)
+            + pack_u4(request.size)
+            + pack_u4(request.kind)
+            + pack_u4(request.chunk_bytes)
+            + pack_u4(request.stream_id)
+        ]
+    if isinstance(request, MemcpyChunkRequest):
+        head = (
+            pack_u4(FunctionId.MEMCPY_CHUNK)
+            + pack_u4(request.stream_id)
+            + pack_u4(request.seq)
+            + pack_u4(request.size)
+        )
+        data = request.data if request.data is not None else b""
+        if _payload_nbytes(data) != request.size:
+            raise ProtocolError(
+                f"memcpy chunk payload is {_payload_nbytes(data)} bytes but "
+                f"the size field says {request.size}"
+            )
+        return [head, data]
+    if isinstance(request, MemcpyStreamEndRequest):
+        return [
+            pack_u4(FunctionId.MEMCPY_STREAM_END)
+            + pack_u4(request.stream_id)
+            + pack_u4(request.chunks)
+        ]
     raise ProtocolError(f"cannot encode request of type {type(request).__name__}")
 
 
@@ -300,6 +334,27 @@ def _decode_request_body(reader: MessageReader) -> Request:
         return EventRecordRequest(event=reader.read_u4())
     if fid is FunctionId.EVENT_ELAPSED:
         return EventElapsedRequest(start=reader.read_u4(), end=reader.read_u4())
+    if fid is FunctionId.MEMCPY_STREAM_BEGIN:
+        return MemcpyStreamBeginRequest(
+            dst=reader.read_u4(),
+            src=reader.read_u4(),
+            size=reader.read_u4(),
+            kind=reader.read_u4(),
+            chunk_bytes=reader.read_u4(),
+            stream_id=reader.read_u4(),
+        )
+    if fid is FunctionId.MEMCPY_CHUNK:
+        stream_id = reader.read_u4()
+        seq = reader.read_u4()
+        size = reader.read_u4()
+        return MemcpyChunkRequest(
+            stream_id=stream_id, seq=seq, size=size,
+            data=reader.recv_exact(size),
+        )
+    if fid is FunctionId.MEMCPY_STREAM_END:
+        return MemcpyStreamEndRequest(
+            stream_id=reader.read_u4(), chunks=reader.read_u4()
+        )
     raise ProtocolError(f"unhandled function id {fid!r}")
 
 
@@ -322,6 +377,18 @@ def encode_response_vectored(response: Response) -> list:
         return [pack_u4(major) + pack_u4(minor) + pack_u4(response.error)]
     if isinstance(response, MallocResponse):
         return [pack_u4(response.error) + pack_u4(response.ptr)]
+    if isinstance(response, MemcpyStreamResponse):
+        # Error code, then -- when healthy -- length-prefixed frames the
+        # client can hand to the device hop as they land, ending with a
+        # 0-length sentinel.  Payloads ride as their own buffers.
+        if response.error != 0:
+            return [pack_u4(response.error)]
+        parts: list = [pack_u4(response.error)]
+        for chunk in response.chunks:
+            parts.append(pack_u4(_payload_nbytes(chunk)))
+            parts.append(chunk)
+        parts.append(pack_u4(0))
+        return parts
     if isinstance(response, MemcpyResponse):
         if response.error == 0 and response.data is not None:
             return [pack_u4(response.error), response.data]
@@ -352,6 +419,37 @@ def read_response(reader: MessageReader, request: Request) -> Response:
     response = _read_response_body(reader, request)
     reader.note_message()
     return response
+
+
+def read_stream_response(
+    reader: MessageReader, request: MemcpyStreamBeginRequest
+) -> MemcpyResponse:
+    """Read the streamed reply to a D2H ``MemcpyStreamBeginRequest``:
+    error code, then length-prefixed frames up to a 0-length sentinel,
+    assembled into one contiguous buffer of ``request.size`` bytes."""
+    error = reader.read_u4()
+    if error != 0:
+        reader.note_message()
+        return MemcpyResponse(error=error)
+    out = bytearray(request.size)
+    filled = 0
+    while True:
+        frame_len = reader.read_u4()
+        if frame_len == 0:
+            break
+        if filled + frame_len > request.size:
+            raise ProtocolError(
+                f"stream response overflows: {filled + frame_len} bytes "
+                f"for a {request.size}-byte read"
+            )
+        out[filled : filled + frame_len] = reader.recv_exact(frame_len)
+        filled += frame_len
+    if filled != request.size:
+        raise ProtocolError(
+            f"stream response delivered {filled} of {request.size} bytes"
+        )
+    reader.note_message()
+    return MemcpyResponse(error=0, data=out)
 
 
 def _read_response_body(reader: MessageReader, request: Request) -> Response:

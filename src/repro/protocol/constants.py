@@ -33,3 +33,9 @@ class FunctionId(enum.IntEnum):
     # Asynchronous transfers: the paper's declared future work.
     MEMCPY_ASYNC = 13
     MEMSET = 14
+    # Chunked streaming transfers: split one large copy into frames so the
+    # network hop of chunk i+1 overlaps the device hop of chunk i (the
+    # Section IV overlap model made real on the wire).
+    MEMCPY_STREAM_BEGIN = 15
+    MEMCPY_CHUNK = 16
+    MEMCPY_STREAM_END = 17

@@ -148,6 +148,44 @@ class EventElapsedRequest:
     end: int = 0
 
 
+@dataclass(frozen=True)
+class MemcpyStreamBeginRequest:
+    """Open a chunked streaming copy: Function id + Destination + Source +
+    Size + Kind + Chunk size + Stream id (4 each).
+
+    H2D begins expect no reply; the terminal ``MemcpyStreamEndRequest``
+    carries the single acknowledgement for the whole stream.  D2H begins
+    are answered with a streamed frame sequence (see the codec).
+    """
+
+    dst: int
+    src: int
+    size: int
+    kind: int
+    chunk_bytes: int
+    stream_id: int
+
+
+@dataclass(frozen=True)
+class MemcpyChunkRequest:
+    """One frame of an open H2D stream: Function id + Stream id + Sequence
+    + Size (4 each) + Data (x).  Never acknowledged individually."""
+
+    stream_id: int
+    seq: int
+    size: int
+    data: Buffer | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class MemcpyStreamEndRequest:
+    """Close an H2D stream: Function id + Stream id + Chunk count
+    (4 each).  The reply is the stream's one terminal error code."""
+
+    stream_id: int
+    chunks: int
+
+
 Request = (
     InitRequest
     | MallocRequest
@@ -164,6 +202,9 @@ Request = (
     | EventCreateRequest
     | EventRecordRequest
     | EventElapsedRequest
+    | MemcpyStreamBeginRequest
+    | MemcpyChunkRequest
+    | MemcpyStreamEndRequest
 )
 
 
@@ -195,6 +236,15 @@ class MemcpyResponse(Response):
     """cudaMemcpy reply: error (4) [+ Data (x) for device-to-host]."""
 
     data: Buffer | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class MemcpyStreamResponse(Response):
+    """D2H stream reply: error (4) [+ frames ``len (4) + data (x)`` ending
+    with a 0 sentinel].  ``chunks`` holds the frame payloads (device-memory
+    views on the server side) for the vectored encoder."""
+
+    chunks: tuple = field(default=(), repr=False)
 
 
 @dataclass(frozen=True)

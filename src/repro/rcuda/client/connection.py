@@ -32,15 +32,20 @@ class RCudaClient:
         tracer=None,
         session_id: str | None = None,
         pipeline: bool = False,
+        chunk_bytes: int | None = None,
+        chunking: bool = True,
     ) -> "RCudaClient":
         """Initialize a session over an already-connected transport.
 
         ``pipeline=True`` enables the deferred-acknowledgement hot path
         (see :class:`~repro.rcuda.client.runtime.RemoteCudaRuntime`);
         strict per-call synchronization remains the default.
+        ``chunking``/``chunk_bytes`` control the chunked streaming path
+        for large copies (on by default, frame size adapted to the link).
         """
         runtime = RemoteCudaRuntime(
-            transport, tracer=tracer, session_id=session_id, pipeline=pipeline
+            transport, tracer=tracer, session_id=session_id,
+            pipeline=pipeline, chunk_bytes=chunk_bytes, chunking=chunking,
         )
         status = runtime.initialize(module)
         if status != CudaError.cudaSuccess:
@@ -58,6 +63,8 @@ class RCudaClient:
         tracer=None,
         session_id: str | None = None,
         pipeline: bool = False,
+        chunk_bytes: int | None = None,
+        chunking: bool = True,
     ) -> "RCudaClient":
         """Dial a daemon over TCP (Nagle disabled by default, as in the
         paper) and initialize."""
@@ -66,6 +73,7 @@ class RCudaClient:
             return cls.connect(
                 transport, module, tracer=tracer,
                 session_id=session_id, pipeline=pipeline,
+                chunk_bytes=chunk_bytes, chunking=chunking,
             )
         except Exception:
             transport.close()
@@ -79,6 +87,8 @@ class RCudaClient:
         tracer=None,
         session_id: str | None = None,
         pipeline: bool = False,
+        chunk_bytes: int | None = None,
+        chunking: bool = True,
     ) -> "RCudaClient":
         """Connect to a daemon in this process without sockets: creates a
         transport pair and asks the daemon to serve the far end."""
@@ -88,6 +98,7 @@ class RCudaClient:
             return cls.connect(
                 client_end, module, tracer=tracer,
                 session_id=session_id, pipeline=pipeline,
+                chunk_bytes=chunk_bytes, chunking=chunking,
             )
         except Exception:
             client_end.close()

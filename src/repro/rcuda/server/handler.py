@@ -9,6 +9,8 @@ remote executions skip the CUDA environment initialization delay.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.errors import ProtocolError
 from repro.protocol.messages import (
     ElapsedResponse,
@@ -22,8 +24,12 @@ from repro.protocol.messages import (
     MallocRequest,
     MallocResponse,
     MemcpyAsyncRequest,
+    MemcpyChunkRequest,
     MemcpyRequest,
     MemcpyResponse,
+    MemcpyStreamBeginRequest,
+    MemcpyStreamEndRequest,
+    MemcpyStreamResponse,
     MemsetRequest,
     PropertiesRequest,
     PropertiesResponse,
@@ -41,12 +47,30 @@ from repro.simcuda.runtime import CudaRuntime
 from repro.simcuda.types import MemcpyKind
 
 
+@dataclass
+class _StreamState:
+    """One open H2D stream: assembly cursor plus the first sticky error."""
+
+    dst: int
+    size: int
+    chunk_bytes: int
+    received: int = 0
+    chunks_seen: int = 0
+    error: int = 0
+
+
 class SessionHandler:
-    """Maps one session's requests onto its CUDA runtime."""
+    """Maps one session's requests onto its CUDA runtime.
+
+    ``handle`` may return ``None`` for messages that are *not*
+    acknowledged on the wire (stream Begin and chunk frames); the session
+    layer simply sends nothing back for those.
+    """
 
     def __init__(self, runtime: CudaRuntime) -> None:
         self.runtime = runtime
         self._staged_args: tuple = ()
+        self._streams: dict[int, _StreamState] = {}
         self.requests_handled = 0
 
     # -- initialization (first exchange of a connection) ---------------------
@@ -70,8 +94,14 @@ class SessionHandler:
 
     # -- steady-state dispatch ------------------------------------------------
 
-    def handle(self, request: Request) -> Response:
+    def handle(self, request: Request) -> Response | None:
         self.requests_handled += 1
+        if isinstance(request, MemcpyStreamBeginRequest):
+            return self._handle_stream_begin(request)
+        if isinstance(request, MemcpyChunkRequest):
+            return self._handle_stream_chunk(request)
+        if isinstance(request, MemcpyStreamEndRequest):
+            return self._handle_stream_end(request)
         if isinstance(request, MallocRequest):
             error, ptr = self.runtime.cudaMalloc(request.size)
             return MallocResponse(error=int(error), ptr=ptr or 0)
@@ -157,6 +187,84 @@ class SessionHandler:
         produced (the old ``tobytes()`` duplicated every outbound
         payload); the view rides the vectored response send untouched."""
         return memoryview(data).cast("B") if data is not None else None
+
+    # -- chunked streaming ----------------------------------------------------
+
+    def _handle_stream_begin(
+        self, request: MemcpyStreamBeginRequest
+    ) -> Response | None:
+        kind = MemcpyKind(request.kind)
+        if kind is MemcpyKind.cudaMemcpyHostToDevice:
+            # No ack: the terminal End carries the stream's one response.
+            self._streams[request.stream_id] = _StreamState(
+                dst=request.dst,
+                size=request.size,
+                chunk_bytes=request.chunk_bytes,
+            )
+            return None
+        if kind is MemcpyKind.cudaMemcpyDeviceToHost:
+            return self._stream_d2h_response(request)
+        return MemcpyStreamResponse(
+            error=int(CudaError.cudaErrorInvalidMemcpyDirection)
+        )
+
+    def _stream_d2h_response(
+        self, request: MemcpyStreamBeginRequest
+    ) -> MemcpyStreamResponse:
+        """Answer a D2H Begin with per-chunk zero-copy device views.
+
+        Each chunk pays its own PCIe charge (the device-side pipeline
+        stage); the views are safe to hand out because the session layer
+        sends them before any later request can mutate device memory.
+        """
+        chunk_bytes = max(1, request.chunk_bytes)
+        views: list = []
+        offset = 0
+        while offset < request.size:
+            nbytes = min(chunk_bytes, request.size - offset)
+            error, view = self.runtime.memcpy_view(request.src + offset, nbytes)
+            if error != CudaError.cudaSuccess:
+                return MemcpyStreamResponse(error=int(error))
+            views.append(memoryview(view).cast("B"))
+            offset += nbytes
+        return MemcpyStreamResponse(error=0, chunks=tuple(views))
+
+    def _handle_stream_chunk(self, request: MemcpyChunkRequest) -> None:
+        state = self._streams.get(request.stream_id)
+        if state is None:
+            # No response channel for chunks: an orphan frame (e.g. after
+            # a failed Begin) is consumed and dropped.
+            return None
+        if state.error == 0 and request.seq != state.chunks_seen:
+            state.error = int(CudaError.cudaErrorInvalidValue)
+        state.chunks_seen += 1
+        if state.error != 0:
+            return None
+        # Each chunk lands straight in device memory through the normal
+        # synchronous-copy path: range validation plus the per-chunk PCIe
+        # charge -- the device-side stage the network stage overlaps.
+        error, _ = self.runtime.cudaMemcpy(
+            state.dst + state.received,
+            0,
+            request.size,
+            MemcpyKind.cudaMemcpyHostToDevice,
+            host_data=request.data,
+        )
+        if error != CudaError.cudaSuccess:
+            state.error = int(error)
+            return None
+        state.received += request.size
+        return None
+
+    def _handle_stream_end(self, request: MemcpyStreamEndRequest) -> Response:
+        state = self._streams.pop(request.stream_id, None)
+        if state is None:
+            return Response(error=int(CudaError.cudaErrorInvalidValue))
+        if state.error != 0:
+            return Response(error=state.error)
+        if state.received != state.size or state.chunks_seen != request.chunks:
+            return Response(error=int(CudaError.cudaErrorInvalidValue))
+        return Response(error=int(CudaError.cudaSuccess))
 
     def _handle_launch(self, request: LaunchRequest) -> Response:
         args, self._staged_args = self._staged_args, ()

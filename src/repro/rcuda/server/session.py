@@ -163,16 +163,21 @@ class ServerSession:
                 response = self.handler.handle_init(request)
             else:
                 response = self.handler.handle(request)
-            self._account_memory(request, response)
-            # D2H data leaves as its own buffer (a view of device memory)
-            # via one vectored write -- never concatenated into a fresh
-            # header+payload object.
-            parts = encode_response_vectored(response)
-            wire_len = sum(buffer_nbytes(p) for p in parts)
-            if len(parts) == 1:
-                self.transport.send(parts[0])
+            if response is None:
+                # Unacknowledged stream frames (Begin/chunks): nothing
+                # goes back on the wire.
+                wire_len = 0
             else:
-                self.transport.send_vectored(parts)
+                self._account_memory(request, response)
+                # D2H data leaves as its own buffer (a view of device
+                # memory) via one vectored write -- never concatenated
+                # into a fresh header+payload object.
+                parts = encode_response_vectored(response)
+                wire_len = sum(buffer_nbytes(p) for p in parts)
+                if len(parts) == 1:
+                    self.transport.send(parts[0])
+                else:
+                    self.transport.send_vectored(parts)
         except BaseException:
             # Never leak a span: a raise in handling, encoding or the
             # send itself still closes it, marked as failed.
@@ -185,7 +190,7 @@ class ServerSession:
                     span,
                     bytes_received=bytes_in,
                     bytes_sent=wire_len,
-                    error=response.error,
+                    error=response.error if response is not None else 0,
                 )
             if self.metrics is not None:
                 self._m_latency.observe(

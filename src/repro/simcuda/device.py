@@ -177,6 +177,30 @@ class SimulatedGpu:
             CudaError.cudaErrorInvalidMemcpyDirection, f"cudaMemcpy kind={kind}"
         )
 
+    def memcpy_view(
+        self, ctx: CudaContext, src: DevicePtr, nbytes: int
+    ) -> np.ndarray:
+        """A synchronous D2H read returning a zero-copy uint8 view.
+
+        Same semantics as ``memcpy(kind=D2H)`` -- stream drain, range
+        validation, per-transfer PCIe charge -- but the bytes come back as
+        a live view of device memory (valid until the next write to the
+        range), so a streaming server can put them on the wire without
+        materializing a copy.  Requires a functional device.
+        """
+        if nbytes < 0:
+            raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, "cudaMemcpy")
+        self._sync_all_streams(ctx)
+        self.memcpy_count += 1
+        try:
+            self._validate_range(ctx, src, nbytes)
+            self.clock.advance(self.timing.pcie.transfer_seconds(nbytes))
+            return self.memory.read(src, nbytes, copy=False)
+        except DeviceMemoryError as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidDevicePointer, "cudaMemcpy"
+            ) from exc
+
     def memset(
         self, ctx: CudaContext, ptr: DevicePtr, value: int, nbytes: int
     ) -> None:

@@ -24,6 +24,7 @@ class CudaError(enum.IntEnum):
     cudaErrorInvalidValue = 11
     cudaErrorInvalidDevicePointer = 17
     cudaErrorInvalidMemcpyDirection = 21
+    cudaErrorUnknown = 30
     cudaErrorInvalidResourceHandle = 33
     cudaErrorNotReady = 34
     cudaErrorNoDevice = 38

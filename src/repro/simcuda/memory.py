@@ -6,7 +6,9 @@ classic free-list allocator over a flat byte-addressed space:
 * allocations are aligned to :data:`ALIGNMENT` bytes like real
   ``cudaMalloc`` (256 B on the Tesla generation);
 * placement policy is first-fit by default (best-fit available -- the
-  allocator-policy ablation benchmark compares the two);
+  allocator-policy ablation benchmark compares the two; ``binned`` adds a
+  size-binned free-list index so lookup is O(1) expected on alloc/free
+  churn instead of a linear scan);
 * adjacent free blocks coalesce on free, and double frees or frees of
   non-allocation-start pointers fail the way CUDA fails them
   (``cudaErrorInvalidDevicePointer``).
@@ -20,6 +22,7 @@ timed simulation can "allocate" 1.3 GiB matrices for free.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,7 +36,7 @@ ALIGNMENT = 256
 #: First device address handed out; nonzero so 0 stays the null pointer.
 BASE_ADDRESS = 0x1000
 
-PLACEMENT_POLICIES = ("first-fit", "best-fit")
+PLACEMENT_POLICIES = ("first-fit", "best-fit", "binned")
 
 
 def _align_up(n: int, alignment: int = ALIGNMENT) -> int:
@@ -78,10 +81,23 @@ class DeviceMemory:
         self.policy = policy
         #: Free regions as (start, size), kept sorted by start.
         self._free: list[tuple[int, int]] = [(BASE_ADDRESS, capacity)]
+        #: Size-binned index over ``_free`` (``binned`` policy only):
+        #: bin key ``size.bit_length()`` -> set of region start addresses.
+        #: Every ``_free`` mutation touches at most two neighbours, so
+        #: keeping the bins current is O(1) set work per mutation.
+        self._bins: dict[int, set[int]] | None = (
+            {} if policy == "binned" else None
+        )
+        if self._bins is not None:
+            self._bins_add(BASE_ADDRESS, capacity)
         #: Live allocations keyed by their start address.
         self._blocks: dict[DevicePtr, MemoryBlock] = {}
         self.peak_used = 0
         self.total_allocs = 0
+        #: Bytes materialized by copying reads (``read(copy=True)``); the
+        #: zero-copy view path leaves this untouched, which the streaming
+        #: D2H accounting asserts on.
+        self.bytes_copied = 0
 
     # -- accounting -------------------------------------------------------
 
@@ -111,7 +127,26 @@ class DeviceMemory:
 
     # -- malloc / free ----------------------------------------------------
 
+    def _bins_add(self, start: int, size: int) -> None:
+        if self._bins is not None:
+            self._bins.setdefault(size.bit_length(), set()).add(start)
+
+    def _bins_discard(self, start: int, size: int) -> None:
+        if self._bins is not None:
+            starts = self._bins.get(size.bit_length())
+            if starts is not None:
+                starts.discard(start)
+                if not starts:
+                    del self._bins[size.bit_length()]
+
+    def _free_index_of(self, start: int) -> int:
+        """Index of the free region starting at ``start`` (which must
+        exist); ``(start,)`` sorts just before ``(start, size)``."""
+        return bisect.bisect_left(self._free, (start,))
+
     def _pick_region(self, reserved: int) -> int | None:
+        if self.policy == "binned":
+            return self._pick_region_binned(reserved)
         candidates = (
             i for i, (_, size) in enumerate(self._free) if size >= reserved
         )
@@ -123,6 +158,31 @@ class DeviceMemory:
             if best_size is None or size < best_size:
                 best_i, best_size = i, size
         return best_i
+
+    def _pick_region_binned(self, reserved: int) -> int | None:
+        """Best-fit-ish O(1) expected lookup: scan bins upward from the
+        request's own size class (at most ~40 bins for any capacity).
+        Only the first bin can hold regions smaller than the request, so
+        only there do candidates need a size check; ties break to the
+        lowest start address for determinism."""
+        assert self._bins is not None
+        first_bin = reserved.bit_length()
+        for b in range(first_bin, self.capacity.bit_length() + 1):
+            starts = self._bins.get(b)
+            if not starts:
+                continue
+            if b == first_bin:
+                fitting = [
+                    s for s in starts
+                    if self._free[self._free_index_of(s)][1] >= reserved
+                ]
+                if not fitting:
+                    continue
+                start = min(fitting)
+            else:
+                start = min(starts)
+            return self._free_index_of(start)
+        return None
 
     def malloc(self, size: int) -> DevicePtr:
         """Allocate ``size`` bytes; raises :class:`DeviceMemoryError` when
@@ -138,10 +198,12 @@ class DeviceMemory:
                 f"{self.largest_free_block} B of {self.free_bytes} B free"
             )
         start, region_size = self._free[index]
+        self._bins_discard(start, region_size)
         if region_size == reserved:
             del self._free[index]
         else:
             self._free[index] = (start + reserved, region_size - reserved)
+            self._bins_add(start + reserved, region_size - reserved)
         data = None
         if self.functional:
             data = np.zeros(size, dtype=np.uint8)
@@ -173,22 +235,32 @@ class DeviceMemory:
             else:
                 hi = mid
         self._free.insert(lo, (start, size))
+        self._bins_add(start, size)
         # Coalesce right then left.
         if lo + 1 < len(self._free):
             s, z = self._free[lo]
             s2, z2 = self._free[lo + 1]
             if s + z == s2:
+                self._bins_discard(s, z)
+                self._bins_discard(s2, z2)
                 self._free[lo : lo + 2] = [(s, z + z2)]
+                self._bins_add(s, z + z2)
         if lo > 0:
             s0, z0 = self._free[lo - 1]
             s, z = self._free[lo]
             if s0 + z0 == s:
+                self._bins_discard(s0, z0)
+                self._bins_discard(s, z)
                 self._free[lo - 1 : lo + 1] = [(s0, z0 + z)]
+                self._bins_add(s0, z0 + z)
 
     def reset(self) -> None:
         """Free everything (context teardown)."""
         self._blocks.clear()
         self._free = [(BASE_ADDRESS, self.capacity)]
+        if self._bins is not None:
+            self._bins = {}
+            self._bins_add(BASE_ADDRESS, self.capacity)
 
     # -- data access --------------------------------------------------------
 
@@ -222,12 +294,23 @@ class DeviceMemory:
         assert block.data is not None
         block.data[offset : offset + buf.nbytes] = buf
 
-    def read(self, addr: DevicePtr, nbytes: int) -> np.ndarray:
-        """Copy device memory back out as a fresh uint8 array."""
+    def read(
+        self, addr: DevicePtr, nbytes: int, copy: bool = True
+    ) -> np.ndarray:
+        """Device memory back out as a uint8 array.
+
+        ``copy=True`` (the default) materializes a fresh caller-owned
+        array and charges ``bytes_copied``; ``copy=False`` returns a live
+        zero-copy view -- the streaming D2H send path uses it, valid only
+        until the next write to the range.
+        """
         block, offset = self._locate(addr, nbytes)
         if not self.functional:
             return np.zeros(nbytes, dtype=np.uint8)
         assert block.data is not None
+        if not copy:
+            return block.data[offset : offset + nbytes]
+        self.bytes_copied += nbytes
         return block.data[offset : offset + nbytes].copy()
 
     def view(self, addr: DevicePtr, nbytes: int) -> np.ndarray:

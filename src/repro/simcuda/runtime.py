@@ -105,6 +105,14 @@ class CudaRuntime:
             self.device.memcpy, self.context, dst, src, count, kind, host_data
         )
 
+    def memcpy_view(
+        self, src: DevicePtr, count: int
+    ) -> tuple[CudaError, np.ndarray | None]:
+        """Zero-copy D2H read (server-side streaming): same validation,
+        synchronization and PCIe timing as ``cudaMemcpy(D2H)``, but the
+        result is a live view of device memory rather than a copy."""
+        return self._wrap(self.device.memcpy_view, self.context, src, count)
+
     def cudaMemset(self, ptr: DevicePtr, value: int, count: int) -> CudaError:
         status, _ = self._wrap(self.device.memset, self.context, ptr, value, count)
         return status

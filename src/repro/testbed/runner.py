@@ -101,11 +101,16 @@ class FunctionalRunner:
         seed: int = 0,
         verify: bool = True,
         pipeline: bool = False,
+        chunk_bytes: int | None = None,
+        chunking: bool = True,
     ) -> FunctionalRunReport:
         """One full session: connect, initialize, run, finalize.
 
         ``pipeline=True`` runs the session over the deferred-ack hot path
-        (byte-identical wire traffic, fewer blocking round trips)."""
+        (byte-identical wire traffic, fewer blocking round trips).
+        ``chunk_bytes`` pins the streaming frame size for large copies;
+        ``chunking=False`` keeps every copy monolithic (the pre-streaming
+        wire shape)."""
         links = {
             name: SimulatedLink(get_network(name))
             for name in self.accounted_networks
@@ -127,7 +132,12 @@ class FunctionalRunner:
             transport = TimedTransport(transport, link)
 
         client = RCudaClient.connect(
-            transport, case.module(), tracer=self.tracer, pipeline=pipeline
+            transport,
+            case.module(),
+            tracer=self.tracer,
+            pipeline=pipeline,
+            chunk_bytes=chunk_bytes,
+            chunking=chunking,
         )
         profiler = self.profiler
         if profiler is not None:

@@ -75,6 +75,22 @@ class Transport(ABC):
     def _account_recv(self, nbytes: int) -> None:
         self.bytes_received += nbytes
 
+    def note_stream_begin(
+        self, total_payload: int, chunk_payload: int, header_bytes: int
+    ) -> None:
+        """A chunked streaming copy is about to flow through this
+        transport: ``total_payload`` bytes in frames of ``chunk_payload``,
+        each under ``header_bytes`` of protocol header.
+
+        Plain byte movers ignore this; timed transports switch to
+        pipelined accounting (network hop of chunk i+1 overlapping the
+        device hop of chunk i) until :meth:`note_stream_end`.
+        """
+
+    def note_stream_end(self) -> None:
+        """The stream opened by :meth:`note_stream_begin` has been fully
+        handed to the transport; settle any deferred accounting."""
+
     def note_message_received(self) -> None:
         """Count one complete inbound message.
 

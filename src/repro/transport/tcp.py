@@ -26,6 +26,15 @@ import socket
 from repro.errors import TransportClosedError, TransportError
 from repro.transport.base import Transport
 
+#: Slow-path reassembly scratch: messages at or below this size are
+#: assembled in one preallocated buffer instead of allocating per call --
+#: the steady-state chunk-frame receive loop stops churning the allocator.
+SCRATCH_BYTES = 64 << 10
+
+#: Socket buffer floor: at least the largest streaming chunk frame
+#: (4 MiB), so one full frame fits in flight per direction.
+SOCKET_BUFFER_BYTES = 4 << 20
+
 
 class TcpTransport(Transport):
     """One established TCP connection."""
@@ -34,10 +43,17 @@ class TcpTransport(Transport):
         super().__init__()
         self._sock = sock
         self._closed = False
+        self._scratch = bytearray(SCRATCH_BYTES)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1 if nodelay else 0)
         except OSError as exc:  # pragma: no cover - platform dependent
             raise TransportError(f"could not set TCP_NODELAY: {exc}") from exc
+        for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+            try:
+                if sock.getsockopt(socket.SOL_SOCKET, opt) < SOCKET_BUFFER_BYTES:
+                    sock.setsockopt(socket.SOL_SOCKET, opt, SOCKET_BUFFER_BYTES)
+            except OSError:  # pragma: no cover - platform dependent
+                pass
 
     def send(self, data) -> None:
         if self._closed:
@@ -85,11 +101,16 @@ class TcpTransport(Transport):
             # the kernel's bytes object through untouched.
             self._account_recv(nbytes)
             return first
-        buf = bytearray(nbytes)
-        view = memoryview(buf)
+        # Slow path: small messages assemble in the preallocated scratch
+        # (no per-call allocation; the result is an owned bytes copy);
+        # large ones get a fresh bytearray whose ownership transfers to
+        # the caller, keeping the payload single-copy.
+        scratch = nbytes <= len(self._scratch)
+        buf = self._scratch if scratch else bytearray(nbytes)
+        view = memoryview(buf)[:nbytes]
         filled = len(first)
         view[:filled] = first
-        self.copy_bytes += filled  # the one staging copy the slow path pays
+        self.copy_bytes += nbytes if scratch else filled
         while filled < nbytes:
             try:
                 got = self._sock.recv_into(view[filled:])
@@ -101,7 +122,7 @@ class TcpTransport(Transport):
                 )
             filled += got
         self._account_recv(nbytes)
-        return buf
+        return bytes(view) if scratch else buf
 
     def close(self) -> None:
         if not self._closed:

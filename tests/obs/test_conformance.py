@@ -182,6 +182,66 @@ class TestMechanics:
         assert monitor.drift_report().rows
 
 
+class TestStreamedPrediction:
+    """Streamed copies are scored against the overlap-aware pipeline
+    bound, not the paper's serial network-then-PCIe sum."""
+
+    PAYLOAD = 16 << 20
+    CHUNKS = 64
+
+    def _h2d_span(self, tracer, seq: int, *, streamed: bool,
+                  end: float = 1.0):
+        if streamed:
+            sent = 28 + self.CHUNKS * 16 + self.PAYLOAD + 12
+            tracer.record(
+                "cudaMemcpy", "client", "s", seq, start=0.0, end=end,
+                phase="h2d", bytes_sent=sent, bytes_received=4,
+                streamed=True, chunks=self.CHUNKS,
+                chunk_bytes=self.PAYLOAD // self.CHUNKS,
+            )
+        else:
+            tracer.record(
+                "cudaMemcpy", "client", "s", seq, start=0.0, end=end,
+                phase="h2d", bytes_sent=20 + self.PAYLOAD, bytes_received=4,
+            )
+        return tracer.spans[-1]
+
+    def test_overlap_prediction_undercuts_the_serial_model(self):
+        spec = get_network("GigaE")
+        monitor = ConformanceMonitor(spec)
+        tracer = Tracer()
+        streamed = monitor.predict_span_seconds(
+            self._h2d_span(tracer, 0, streamed=True)
+        )
+        serial = monitor.predict_span_seconds(
+            self._h2d_span(tracer, 1, streamed=False)
+        )
+        assert streamed is not None and serial is not None
+        assert 0.0 < streamed < serial
+        # Overlap can hide the faster stage, never the slower one: the
+        # prediction stays above the bare undistorted network time.
+        assert streamed > spec.actual_one_way_seconds(
+            self.PAYLOAD, include_distortion=False
+        )
+
+    def test_streamed_spans_score_in_band_at_their_own_prediction(self):
+        """A streamed span that lands exactly on the overlap-aware
+        prediction is in band -- the monitor does not mistake the
+        pipelined hot path for drift."""
+        monitor = ConformanceMonitor(get_network("GigaE"))
+        tracer = Tracer()
+        probe = self._h2d_span(tracer, 0, streamed=True)
+        predicted = monitor.predict_span_seconds(probe)
+        monitor.observe(
+            self._h2d_span(tracer, 1, streamed=True, end=predicted)
+        )
+        row = next(
+            s for s in monitor.drift_report().rows if s.phase == "h2d"
+        )
+        assert row.mean_ratio == pytest.approx(1.0, rel=1e-9)
+        assert monitor.unmodeled_spans == 0
+
+
 class TestMetricsExport:
     def test_ratio_histogram_and_findings_counter(self):
         registry = MetricsRegistry()

@@ -10,6 +10,7 @@ from repro.protocol.codec import (
     encode_request,
     encode_response,
     read_response,
+    read_stream_response,
 )
 from repro.protocol.constants import FunctionId
 from repro.protocol.messages import (
@@ -21,8 +22,12 @@ from repro.protocol.messages import (
     LaunchRequest,
     MallocRequest,
     MallocResponse,
+    MemcpyChunkRequest,
     MemcpyRequest,
     MemcpyResponse,
+    MemcpyStreamBeginRequest,
+    MemcpyStreamEndRequest,
+    MemcpyStreamResponse,
     PropertiesRequest,
     PropertiesResponse,
     Response,
@@ -94,6 +99,13 @@ REQUESTS = [
     StreamCreateRequest(),
     StreamSyncRequest(stream=3),
     EventElapsedRequest(start=1, end=2),
+    MemcpyStreamBeginRequest(dst=0x2000, src=0, size=16 << 20, kind=1,
+                             chunk_bytes=1 << 18, stream_id=7),
+    MemcpyStreamBeginRequest(dst=0, src=0x2000, size=1 << 20, kind=2,
+                             chunk_bytes=1 << 16, stream_id=8),
+    MemcpyChunkRequest(stream_id=7, seq=0, size=0, data=b""),
+    MemcpyChunkRequest(stream_id=7, seq=3, size=5, data=b"hello"),
+    MemcpyStreamEndRequest(stream_id=7, chunks=64),
 ]
 
 
@@ -120,6 +132,8 @@ RESPONSE_CASES = [
      MemcpyResponse(error=0, data=b"abcdef")),
     (MemcpyRequest(dst=0, src=1, size=6, kind=2), MemcpyResponse(error=17)),
     (MemcpyRequest(dst=1, src=0, size=2, kind=1, data=b"ab"), Response(error=0)),
+    (MemcpyStreamEndRequest(stream_id=1, chunks=4), Response(error=0)),
+    (MemcpyStreamEndRequest(stream_id=1, chunks=4), Response(error=11)),
     (FreeRequest(ptr=1), Response(error=0)),
     (SyncRequest(), Response(error=4)),
     (StreamCreateRequest(), ValueResponse(error=0, value=42)),
@@ -144,6 +158,51 @@ def test_response_roundtrip(request_obj, response_obj):
     assert reader.exhausted()
 
 
+class TestStreamedD2HResponse:
+    """The D2H streamed response is framed ([len][data]... 0 sentinel)
+    and reassembles into one contiguous MemcpyResponse."""
+
+    def _begin(self, size: int) -> MemcpyStreamBeginRequest:
+        return MemcpyStreamBeginRequest(
+            dst=0, src=0x1000, size=size, kind=2,
+            chunk_bytes=4, stream_id=1,
+        )
+
+    def test_frames_reassemble(self):
+        wire = encode_response(
+            MemcpyStreamResponse(error=0, chunks=(b"abcd", b"efgh", b"ij"))
+        )
+        reader = MessageReader(wire)
+        response = read_stream_response(reader, self._begin(10))
+        assert response.error == 0
+        assert bytes(response.data) == b"abcdefghij"
+        assert reader.exhausted()
+
+    def test_zero_byte_stream(self):
+        wire = encode_response(MemcpyStreamResponse(error=0, chunks=()))
+        response = read_stream_response(MessageReader(wire), self._begin(0))
+        assert response.error == 0
+        assert bytes(response.data) == b""
+
+    def test_error_response_carries_no_frames(self):
+        wire = encode_response(MemcpyStreamResponse(error=21))
+        response = read_stream_response(MessageReader(wire), self._begin(8))
+        assert response.error == 21
+        assert response.data is None
+
+    def test_overflowing_frame_rejected(self):
+        wire = encode_response(
+            MemcpyStreamResponse(error=0, chunks=(b"abcd", b"efgh"))
+        )
+        with pytest.raises(ProtocolError):
+            read_stream_response(MessageReader(wire), self._begin(6))
+
+    def test_short_delivery_rejected(self):
+        wire = encode_response(MemcpyStreamResponse(error=0, chunks=(b"abcd",)))
+        with pytest.raises(ProtocolError):
+            read_stream_response(MessageReader(wire), self._begin(10))
+
+
 class TestErrors:
     def test_unknown_function_id(self):
         from repro.protocol.wire import pack_u4
@@ -160,6 +219,12 @@ class TestErrors:
         with pytest.raises(ProtocolError):
             encode_request(
                 MemcpyRequest(dst=1, src=0, size=10, kind=1, data=b"short")
+            )
+
+    def test_chunk_size_mismatch_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_request(
+                MemcpyChunkRequest(stream_id=1, seq=0, size=10, data=b"short")
             )
 
     def test_kernel_name_with_nul_rejected(self):

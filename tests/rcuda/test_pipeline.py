@@ -468,35 +468,48 @@ class TestSpanHygiene:
         semantics.  A deferred call's span covers only the local send,
         so across a real-TCP MM run the deferred spans' total duration
         stays below the same calls' sequential-mode total (which pays a
-        full round trip each)."""
+        full round trip each).
+
+        The spans are microseconds of wall clock, so one scheduler
+        hiccup on a loaded machine can invert a single comparison;
+        three independent trials, any one passing, keeps the semantic
+        claim without the load sensitivity."""
         from repro.obs.spans import Tracer
 
         case = MatrixProductCase()
-        tracers = {}
-        for pipeline in (False, True):
-            tracer = Tracer()
-            with FunctionalRunner(use_tcp=True, tracer=tracer) as runner:
-                report = runner.run(case, 128, pipeline=pipeline)
-            assert report.result.verified
-            tracers[pipeline] = tracer
-        deferred = [
-            s for s in tracers[True].spans_for(kind="client")
-            if s.attrs.get("deferred")
-        ]
-        assert deferred, "pipelined MM must defer at least one call"
-        # Match by (name, phase): "cudaMemcpy" alone would also catch
-        # the d2h copy, which blocks in both modes.
-        keys = {(s.name, s.attrs.get("phase")) for s in deferred}
-        sync_matching = [
-            s for s in tracers[False].spans_for(kind="client")
-            if (s.name, s.attrs.get("phase")) in keys
-        ]
-        assert len(sync_matching) == len(deferred)
-        deferred_total = sum(s.duration_seconds for s in deferred)
-        sync_total = sum(s.duration_seconds for s in sync_matching)
-        assert deferred_total < sync_total
-        # Every deferred span was eventually acknowledged.
-        assert all("acked" in s.attrs for s in deferred)
+        totals = []
+        for _ in range(3):
+            tracers = {}
+            for pipeline in (False, True):
+                tracer = Tracer()
+                with FunctionalRunner(use_tcp=True, tracer=tracer) as runner:
+                    report = runner.run(case, 128, pipeline=pipeline)
+                assert report.result.verified
+                tracers[pipeline] = tracer
+            deferred = [
+                s for s in tracers[True].spans_for(kind="client")
+                if s.attrs.get("deferred")
+            ]
+            assert deferred, "pipelined MM must defer at least one call"
+            # Match by (name, phase): "cudaMemcpy" alone would also catch
+            # the d2h copy, which blocks in both modes.
+            keys = {(s.name, s.attrs.get("phase")) for s in deferred}
+            sync_matching = [
+                s for s in tracers[False].spans_for(kind="client")
+                if (s.name, s.attrs.get("phase")) in keys
+            ]
+            assert len(sync_matching) == len(deferred)
+            # Every deferred span was eventually acknowledged.
+            assert all("acked" in s.attrs for s in deferred)
+            deferred_total = sum(s.duration_seconds for s in deferred)
+            sync_total = sum(s.duration_seconds for s in sync_matching)
+            if deferred_total < sync_total:
+                break
+            totals.append((deferred_total, sync_total))
+        else:
+            pytest.fail(
+                f"deferred spans never came in under the sync spans: {totals}"
+            )
 
     def test_abandoned_inflight_spans_are_failed_not_leaked(self):
         """If the transport dies with deferred acks outstanding, their

@@ -1,0 +1,446 @@
+"""Chunked streaming transfers: correctness, fault, and timing semantics.
+
+The tentpole invariant is *payload identity*: splitting one large copy
+into Begin + chunk frames + End must deliver byte-identical device
+contents (and byte-identical D2H readback) for any chunk size and any
+payload size, including zero and non-multiples of the chunk -- checked
+exhaustively with hypothesis.  On top of that:
+
+* the whole stream costs one blocking round trip (the End's terminal
+  ack);
+* a connection death mid-stream surfaces as the sticky
+  ``cudaErrorUnknown`` (device contents undefined);
+* streamed D2H leaves the server zero-copy (``memory.bytes_copied``
+  stays 0 where the monolithic path charges a materialization);
+* under a :class:`~repro.transport.timed.TimedTransport` the virtual
+  clocks record the network/PCIe overlap: chunked strictly beats
+  monolithic and lands within 15% of the classic pipeline bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.model.overlap import pipelined_seconds
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+from repro.protocol.accounting import (
+    memcpy_chunk_cost,
+    memcpy_stream_begin_cost,
+    memcpy_stream_end_cost,
+)
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import MemcpyKind, SimulatedGpu, fabricate_module
+from repro.simcuda.errors import CudaError
+from repro.simcuda.timing import PcieModel
+from repro.transport.base import Transport, buffer_nbytes
+from repro.transport.inproc import inproc_pair
+from repro.transport.timed import TimedTransport
+
+MODULE = fabricate_module("streamtest", ["saxpy"], 2048)
+
+MIB = 1 << 20
+
+
+def connect(daemon, chunking=True, chunk_bytes=None, pipeline=False,
+            tracer=None, transport_wrap=None):
+    client_end, server_end = inproc_pair()
+    daemon.serve_transport(server_end)
+    transport = client_end if transport_wrap is None else transport_wrap(client_end)
+    return RCudaClient.connect(
+        transport, MODULE, tracer=tracer, pipeline=pipeline,
+        chunk_bytes=chunk_bytes, chunking=chunking,
+    )
+
+
+class TestPayloadIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size=st.one_of(
+            st.just(0),
+            st.integers(1, 4 * 65536 + 17),
+        ),
+        chunk=st.integers(1, 1 << 17),
+        seed=st.integers(0, 2**16),
+    )
+    def test_chunked_equals_monolithic(self, size, chunk, seed):
+        """Any (payload, chunk size) pair round-trips byte-identically
+        through the streamed path and matches the monolithic copy."""
+        payload = np.random.default_rng(seed).integers(
+            0, 256, size, dtype=np.uint8
+        )
+        outputs = {}
+        for chunking in (False, True):
+            daemon = RCudaDaemon(SimulatedGpu())
+            client = connect(
+                daemon, chunking=chunking,
+                chunk_bytes=chunk if chunking else None,
+            )
+            rt = client.runtime
+            rt.stream_threshold = 0  # stream every copy, however small
+            try:
+                err, ptr = rt.cudaMalloc(max(size, 1))
+                assert err == CudaError.cudaSuccess
+                err, _ = rt.cudaMemcpy(
+                    ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                    host_data=payload,
+                )
+                assert err == CudaError.cudaSuccess
+                err, out = rt.cudaMemcpy(
+                    0, ptr, size, MemcpyKind.cudaMemcpyDeviceToHost
+                )
+                assert err == CudaError.cudaSuccess
+                outputs[chunking] = (
+                    np.zeros(0, np.uint8) if out is None else out.copy()
+                )
+            finally:
+                client.close()
+                daemon.stop()
+        assert outputs[True].tobytes() == payload.tobytes()
+        assert outputs[True].tobytes() == outputs[False].tobytes()
+
+    def test_non_multiple_tail_chunk(self, daemon):
+        """The last frame carries the remainder when the payload is not a
+        chunk multiple."""
+        size = 2 * MIB + 12345
+        payload = np.random.default_rng(3).integers(0, 256, size, np.uint8)
+        client = connect(daemon, chunk_bytes=MIB)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=payload,
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.chunks_streamed == 3
+            err, out = rt.cudaMemcpy(
+                0, ptr, size, MemcpyKind.cudaMemcpyDeviceToHost
+            )
+            assert err == CudaError.cudaSuccess
+            assert out.tobytes() == payload.tobytes()
+        finally:
+            client.close()
+
+    def test_async_copies_stay_monolithic(self, daemon):
+        """cudaMemcpyAsync never streams (its ordering belongs to the
+        server stream queue, not the wire)."""
+        size = 2 * MIB
+        payload = np.zeros(size, np.uint8)
+        client = connect(daemon)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            err, _ = rt.cudaMemcpyAsync(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=payload,
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.chunks_streamed == 0
+        finally:
+            client.close()
+
+
+class TestRoundTripsAndWire:
+    def test_streamed_copy_is_one_round_trip(self, daemon):
+        """Begin and chunk frames are unacknowledged; the End's terminal
+        ack is the stream's single blocking exchange."""
+        size = 4 * MIB
+        client = connect(daemon, chunk_bytes=512 << 10)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            before = rt.round_trips
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=np.zeros(size, np.uint8),
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.round_trips == before + 1
+            assert rt.chunks_streamed == 8
+        finally:
+            client.close()
+
+    def test_wire_bytes_match_accounting_table(self, daemon):
+        """The streamed copy's wire bytes equal what the codec-derived
+        accounting predicts: Begin + chunks * header + payload + End."""
+        size = 3 * MIB + 7
+        chunk = MIB
+        client = connect(daemon, chunk_bytes=chunk)
+        rt = client.runtime
+        transport = rt.transport
+        try:
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            sent_before = transport.bytes_sent
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=np.zeros(size, np.uint8),
+            )
+            assert err == CudaError.cudaSuccess
+            chunks = -(-size // chunk)
+            expected = (
+                memcpy_stream_begin_cost().send_fixed
+                + chunks * memcpy_chunk_cost().send_fixed
+                + size
+                + memcpy_stream_end_cost().send_fixed
+            )
+            assert transport.bytes_sent - sent_before == expected
+        finally:
+            client.close()
+
+    def test_pipeline_mode_defers_the_terminal_ack(self, daemon):
+        """Under pipeline=, the streamed copy queues its End ack like any
+        deferred call; the flush drains it."""
+        size = 2 * MIB
+        client = connect(daemon, chunk_bytes=MIB, pipeline=True)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            before = rt.round_trips
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=np.zeros(size, np.uint8),
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.round_trips == before  # fire-and-forget
+            assert rt.inflight_count == 1
+            assert rt.flush() == CudaError.cudaSuccess
+            assert rt.inflight_count == 0
+        finally:
+            client.close()
+
+
+class TestZeroCopyD2H:
+    def test_streamed_d2h_never_copies_device_memory(self, device, daemon):
+        """The server reads streamed D2H frames as live views
+        (``read(copy=False)``): ``bytes_copied`` stays zero, while the
+        monolithic response path charges its materialization."""
+        size = 2 * MIB
+        client = connect(daemon, chunk_bytes=MIB)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=np.arange(size, dtype=np.uint8),
+            )
+            assert err == CudaError.cudaSuccess
+            assert device.memory.bytes_copied == 0
+            err, out = rt.cudaMemcpy(
+                0, ptr, size, MemcpyKind.cudaMemcpyDeviceToHost
+            )
+            assert err == CudaError.cudaSuccess
+            assert out is not None
+            assert device.memory.bytes_copied == 0  # views only
+            # The same copy monolithically pays the server-side copy.
+            rt.chunking = False
+            err, _ = rt.cudaMemcpy(
+                0, ptr, size, MemcpyKind.cudaMemcpyDeviceToHost
+            )
+            assert err == CudaError.cudaSuccess
+            assert device.memory.bytes_copied == size
+        finally:
+            client.close()
+
+
+class DyingTransport(Transport):
+    """Raises on the Nth payload-bearing send (fault injection)."""
+
+    def __init__(self, inner: Transport, die_after_sends: int) -> None:
+        super().__init__()
+        self.inner = inner
+        self.remaining = die_after_sends
+
+    def _countdown(self) -> None:
+        self.remaining -= 1
+        if self.remaining < 0:
+            raise TransportError("injected connection drop")
+
+    def send(self, data) -> None:
+        self._countdown()
+        self.inner.send(data)
+        self._account_send(buffer_nbytes(data))
+
+    def send_vectored(self, bufs, messages: int = 1) -> None:
+        self._countdown()
+        bufs = list(bufs)
+        self.inner.send_vectored(bufs, messages=messages)
+        self._account_send(
+            sum(buffer_nbytes(b) for b in bufs), messages=messages
+        )
+
+    def recv_exact(self, nbytes: int):
+        data = self.inner.recv_exact(nbytes)
+        self._account_recv(nbytes)
+        return data
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class TestMidStreamFaults:
+    def test_connection_drop_mid_stream_is_sticky_unknown(self):
+        """A transport death between chunk frames raises and leaves the
+        CUDA-style sticky ``cudaErrorUnknown`` (contents undefined)."""
+        from repro.obs.spans import Tracer
+
+        size = 4 * MIB
+        tracer = Tracer()
+        daemon = RCudaDaemon(SimulatedGpu())
+        # Survive init (2 sends: init + malloc), Begin, and 2 chunk
+        # frames; die on the third chunk.
+        client = connect(
+            daemon, chunk_bytes=MIB, tracer=tracer,
+            transport_wrap=lambda end: DyingTransport(end, 5),
+        )
+        rt = client.runtime
+        err, ptr = rt.cudaMalloc(size)
+        assert err == CudaError.cudaSuccess
+        with pytest.raises(TransportError):
+            rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=np.zeros(size, np.uint8),
+            )
+        assert rt.last_error == CudaError.cudaErrorUnknown
+        assert rt.bytes_inflight == 0
+        # The copy's span closed, marked as errored -- never leaked.
+        spans = tracer.spans_for(kind="client")
+        assert all(s.end is not None for s in spans)
+        assert any(s.attrs.get("outcome") == "error" for s in spans)
+        daemon.stop()
+
+    def test_server_drops_orphan_chunks(self, daemon):
+        """Chunk frames without an open stream are consumed and dropped
+        (no response channel exists for them); the End for an unknown
+        stream reports cudaErrorInvalidValue."""
+        from repro.protocol.messages import (
+            MemcpyChunkRequest,
+            MemcpyStreamEndRequest,
+        )
+        from repro.rcuda.server.handler import SessionHandler
+        from repro.simcuda.runtime import CudaRuntime
+
+        handler = SessionHandler(CudaRuntime(SimulatedGpu(), preinitialized=True))
+        assert handler.handle(
+            MemcpyChunkRequest(stream_id=99, seq=0, size=4, data=b"abcd")
+        ) is None
+        end = handler.handle(MemcpyStreamEndRequest(stream_id=99, chunks=1))
+        assert end is not None
+        assert end.error == int(CudaError.cudaErrorInvalidValue)
+
+    def test_server_rejects_out_of_order_chunks(self):
+        """A sequence gap poisons the stream; the End surfaces the first
+        sticky error."""
+        from repro.protocol.messages import (
+            MemcpyChunkRequest,
+            MemcpyStreamBeginRequest,
+            MemcpyStreamEndRequest,
+        )
+        from repro.rcuda.server.handler import SessionHandler
+        from repro.simcuda.runtime import CudaRuntime
+
+        runtime = CudaRuntime(SimulatedGpu(), preinitialized=True)
+        err, ptr = runtime.cudaMalloc(8)
+        assert err == CudaError.cudaSuccess
+        handler = SessionHandler(runtime)
+        assert handler.handle(
+            MemcpyStreamBeginRequest(
+                dst=ptr, src=0, size=8,
+                kind=int(MemcpyKind.cudaMemcpyHostToDevice),
+                chunk_bytes=4, stream_id=1,
+            )
+        ) is None
+        assert handler.handle(
+            MemcpyChunkRequest(stream_id=1, seq=1, size=4, data=b"abcd")
+        ) is None  # wrong seq: expected 0
+        end = handler.handle(MemcpyStreamEndRequest(stream_id=1, chunks=1))
+        assert end.error == int(CudaError.cudaErrorInvalidValue)
+
+
+class TestOverlapTiming:
+    SIZE = 16 * MIB
+
+    def _one_copy_seconds(self, network: str, chunking: bool):
+        """Virtual seconds of one 16 MiB H2D copy: link clock delta plus
+        device clock delta (the two stages of the transfer pipeline)."""
+        device = SimulatedGpu()
+        daemon = RCudaDaemon(device)
+        link = SimulatedLink(get_network(network))
+        client_end, server_end = inproc_pair()
+        daemon.serve_transport(server_end)
+        transport = TimedTransport(client_end, link)
+        client = RCudaClient.connect(transport, MODULE, chunking=chunking)
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(self.SIZE)
+            assert err == CudaError.cudaSuccess
+            t0 = link.clock.now() + device.clock.now()
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, self.SIZE, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=np.zeros(self.SIZE, np.uint8),
+            )
+            assert err == CudaError.cudaSuccess
+            elapsed = link.clock.now() + device.clock.now() - t0
+            return elapsed, rt
+        finally:
+            client.close()
+            daemon.stop()
+
+    @pytest.mark.parametrize("network", ["GigaE", "40GI"])
+    def test_chunked_beats_monolithic_and_meets_pipeline_bound(self, network):
+        mono, _ = self._one_copy_seconds(network, chunking=False)
+        chunked, rt = self._one_copy_seconds(network, chunking=True)
+        assert chunked < mono
+        # Within 15% of the classic pipeline bound for the two stages.
+        spec = get_network(network)
+        chunk_bytes = rt._stream_chunk_bytes(self.SIZE)
+        chunks = -(-self.SIZE // chunk_bytes)
+        wire = self.SIZE + chunks * memcpy_chunk_cost().send_fixed
+        net = spec.actual_one_way_seconds(wire, include_distortion=False)
+        pcie = chunks * PcieModel().transfer_seconds(self.SIZE / chunks)
+        bound = pipelined_seconds([net, pcie], chunks)
+        assert chunked <= 1.15 * bound
+
+    def test_chained_links_account_independently(self):
+        """Two stacked TimedTransports are independent what-if views:
+        each link sees the same streamed traffic at its own speed."""
+        device = SimulatedGpu()
+        daemon = RCudaDaemon(device)
+        links = {
+            name: SimulatedLink(get_network(name))
+            for name in ("GigaE", "40GI")
+        }
+        client_end, server_end = inproc_pair()
+        daemon.serve_transport(server_end)
+        transport = client_end
+        for link in links.values():
+            transport = TimedTransport(transport, link)
+        client = RCudaClient.connect(transport, MODULE)
+        rt = client.runtime
+        try:
+            size = 8 * MIB
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=np.zeros(size, np.uint8),
+            )
+            assert err == CudaError.cudaSuccess
+            gigae = links["GigaE"].clock.now()
+            inf40 = links["40GI"].clock.now()
+            assert gigae > inf40 > 0.0
+            # Both links saw every streamed byte exactly once.
+            assert links["GigaE"].bytes_sent == links["40GI"].bytes_sent
+        finally:
+            client.close()
+            daemon.stop()

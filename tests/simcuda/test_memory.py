@@ -123,6 +123,83 @@ class TestPlacementPolicies:
         with pytest.raises(ConfigurationError):
             DeviceMemory(capacity=1024, policy="worst-fit")
 
+    def test_binned_prefers_snug_hole(self):
+        mem, big, snug = self._two_holes("binned")
+        # 256 B lands in the snug hole's size class before the big one's.
+        assert mem.malloc(256) == snug
+
+    def test_default_policy_unchanged(self):
+        assert DeviceMemory(capacity=1024).policy == "first-fit"
+
+
+class TestBinnedPolicy:
+    @pytest.fixture
+    def binned(self) -> DeviceMemory:
+        return DeviceMemory(capacity=1 << 20, policy="binned")
+
+    def test_free_then_malloc_reuses_the_bin(self, binned):
+        """Alloc/free churn at one size keeps returning the same region
+        (the O(1) bin lookup finds it without scanning the free list)."""
+        keep = binned.malloc(4096)
+        ptr = binned.malloc(4096)
+        for _ in range(50):
+            binned.free(ptr)
+            assert binned.malloc(4096) == ptr
+        binned.free(keep)
+
+    def test_bins_track_coalescing(self, binned):
+        """Merged neighbours leave their old size classes; the merged
+        region is findable at its new class."""
+        a = binned.malloc(1024)
+        b = binned.malloc(1024)
+        c = binned.malloc(1024)
+        binned.free(a)
+        binned.free(c)
+        binned.free(b)  # middle free merges all three
+        assert binned.fragmentation() == 0.0
+        assert binned.malloc(3 * 1024) == a
+
+    def test_matches_first_fit_contents_under_churn(self):
+        """Property: the binned index changes placement, never safety --
+        no overlap, full recovery, deterministic reuse."""
+        rng = np.random.default_rng(11)
+        mem = DeviceMemory(capacity=1 << 20, policy="binned")
+        live: list[tuple[int, int]] = []
+        for step in range(400):
+            if live and (rng.random() < 0.45 or mem.free_bytes < (32 << 10)):
+                ptr, _ = live.pop(rng.integers(len(live)))
+                mem.free(ptr)
+            else:
+                size = int(rng.integers(1, 32 << 10))
+                live.append((mem.malloc(size), size))
+            intervals = sorted((p, p + s) for p, s in live)
+            for (_, end), (start, _) in zip(intervals, intervals[1:]):
+                assert end <= start
+        for ptr, _ in live:
+            mem.free(ptr)
+        assert mem.used == 0
+        assert mem.fragmentation() == 0.0
+
+    def test_fragmentation_stats_track_binned_churn(self, binned):
+        ptrs = [binned.malloc(1024) for _ in range(8)]
+        for p in ptrs[::2]:
+            binned.free(p)
+        assert binned.fragmentation() > 0.0
+        assert binned.largest_free_block >= 1024
+        for p in ptrs[1::2]:
+            binned.free(p)
+        assert binned.fragmentation() == 0.0
+
+    def test_oom_and_reset(self, binned):
+        with pytest.raises(DeviceMemoryError):
+            binned.malloc(2 << 20)
+        ptr = binned.malloc(binned.capacity)
+        with pytest.raises(DeviceMemoryError):
+            binned.malloc(ALIGNMENT)
+        binned.free(ptr)
+        binned.reset()
+        assert binned.malloc(100) == BASE_ADDRESS
+
 
 class TestDataAccess:
     def test_write_read_roundtrip(self, mem):

@@ -124,9 +124,10 @@ class TestTcpVectored:
             got = b.recv_exact(8)
             t.join()
             assert got == b"abcdefgh"
-            # The partial first read was staged into the preallocated
-            # buffer; the remainder arrived via recv_into (no join copy).
-            assert b.copy_bytes == 4
+            # Small messages assemble in the preallocated scratch buffer
+            # and come back as one owned bytes copy (charged in full);
+            # there is still no per-segment join copy.
+            assert b.copy_bytes == 8
         finally:
             a.close()
             b.close()
