@@ -8,8 +8,11 @@ Subcommands:
 * ``pingpong <network>`` -- characterize a simulated link the way
   Section IV.A characterizes a real one;
 * ``serve`` -- run an rCUDA daemon on a TCP port over a simulated GPU,
-  optionally with a Prometheus ``--metrics-port`` and a ``--log-json``
-  span stream;
+  optionally with a Prometheus ``--metrics-port`` (which also serves
+  ``/healthz`` and ``/sessions``), a ``--log-json`` span stream, SLO
+  objectives (``--slo``) and a ``--postmortem-dir`` for crash dumps;
+* ``top`` -- live ASCII dashboard over a serving daemon's endpoints;
+* ``postmortem <dump.json>`` -- render a flight-recorder crash dump;
 * ``run <case>`` -- one functional remote execution with verification
   (``--trace-out``/``--chrome-out`` record the RPC timeline, the latter
   with runtime counter tracks sampled by the profiler);
@@ -22,6 +25,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.errors import ReproError
@@ -113,34 +117,62 @@ def _real_pingpong() -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.obs import JsonlSink, MetricsRegistry, MetricsServer, Tracer
+    from repro.obs import (
+        JsonlSink,
+        MetricsRegistry,
+        MetricsServer,
+        SloEngine,
+        Tracer,
+        parse_objective,
+    )
     from repro.rcuda import RCudaDaemon
     from repro.simcuda import SimulatedGpu
 
     sink = JsonlSink(args.log_json) if args.log_json else None
     tracer = Tracer(sink=sink) if sink is not None else None
     registry = MetricsRegistry() if args.metrics_port is not None else None
+    slo = SloEngine(
+        objectives=(
+            [parse_objective(spec) for spec in args.slo]
+            if args.slo else None
+        ),
+        network=args.network_label,
+    )
 
     daemon = RCudaDaemon(
         SimulatedGpu(), host=args.host, port=args.port,
-        tracer=tracer, metrics=registry,
+        tracer=tracer, metrics=registry, slo=slo,
+        postmortem_dir=args.postmortem_dir,
     )
     port = daemon.start()
     metrics_server = None
+
+    def health() -> dict:
+        doc = {
+            "sessions": daemon.active_sessions,
+            "sessions_total": daemon.total_sessions,
+            "unclean_sessions": daemon.unclean_sessions,
+            "stopping": daemon.stopping,
+        }
+        doc.update(slo.health_block())
+        return doc
+
     try:
         print(f"rCUDA daemon listening on {args.host}:{port} (Ctrl-C to stop)")
+        for objective in slo.objectives:
+            print(f"SLO {objective.describe()}")
+        if daemon.postmortem_dir is not None:
+            print(f"postmortem dumps land in {daemon.postmortem_dir}")
         if registry is not None:
             metrics_server = MetricsServer(
                 registry, host=args.host, port=args.metrics_port,
-                health=lambda: {
-                    "sessions": daemon.active_sessions,
-                    "sessions_total": daemon.total_sessions,
-                    "stopping": daemon.stopping,
-                },
+                health=health,
+                sessions=daemon.session_ledgers,
             )
             mport = metrics_server.start()
             print(f"metrics on http://{args.host}:{mport}/metrics "
-                  f"(health on /healthz)")
+                  f"(health on /healthz, ledgers on /sessions; "
+                  f"`repro top --url http://{args.host}:{mport}` to watch)")
         if sink is not None:
             print(f"span log streaming to {args.log_json}")
         sys.stdout.flush()
@@ -308,6 +340,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=1 if args.once else args.iterations,
+        clear=not args.no_clear,
+    )
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    from repro.obs import read_postmortem, render_postmortem
+
+    try:
+        dump = read_postmortem(args.dumpfile)
+    except OSError as exc:
+        print(f"error: cannot read {args.dumpfile}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(
+            f"error: {args.dumpfile} is not a postmortem dump: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_postmortem(dump, last_events=args.events))
+    return 0
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
     from repro.model.whatif import custom_network, minimum_viable_bandwidth, what_if
     from repro.testbed.simulated import case_by_name
@@ -464,7 +525,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream server spans to FILE as JSONL")
     p.add_argument("--run-seconds", type=float, default=None,
                    help="serve for this long then exit (default: forever)")
+    p.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                   help="SLO objective as name:metric:pQQ<=threshold"
+                        "[:call[:phase]] (repeatable; default: built-ins)")
+    p.add_argument("--network-label", default="local",
+                   help="network label on SLO quantile series")
+    p.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                   help="write flight-recorder crash dumps here on unclean "
+                        "session ends (also honours $REPRO_POSTMORTEM_DIR)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="live dashboard over a serving daemon's endpoints"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:9090",
+                   help="base URL of the daemon's metrics endpoint")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after this many frames (default: forever)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="do not clear the screen between frames")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "postmortem", help="render a flight-recorder crash dump"
+    )
+    p.add_argument("dumpfile", help="path to a postmortem-*.json dump")
+    p.add_argument("--events", type=int, default=40,
+                   help="timeline events to show (default: 40)")
+    p.set_defaults(func=_cmd_postmortem)
 
     p = sub.add_parser("run", help="one functional remote execution")
     p.add_argument("case", choices=["mm", "fft", "MM", "FFT"])
@@ -561,6 +653,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # ``repro postmortem dump | head`` closes stdout early; exit
+        # quietly the way well-behaved Unix filters do.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -18,7 +18,14 @@ that kind of trace a first-class product of every run:
 * :mod:`repro.obs.conformance` -- live predicted-vs-measured model
   conformance with EWMA drift detection (`repro drift`);
 * :mod:`repro.obs.profiler` -- sampled counter tracks (queue depth,
-  in-flight window, memory occupancy) for the Perfetto timeline.
+  in-flight window, memory occupancy) for the Perfetto timeline;
+* :mod:`repro.obs.flight` -- always-on bounded flight recorder and
+  postmortem dumps (`repro postmortem`);
+* :mod:`repro.obs.slo` -- streaming tail-latency quantiles and SLO
+  burn-rate evaluation;
+* :mod:`repro.obs.accounting` -- per-session resource ledgers (the
+  ``/sessions`` endpoint);
+* :mod:`repro.obs.top` -- the `repro top` live ops dashboard.
 
 Instrumentation defaults to :data:`NULL_TRACER`, a no-op, so the
 uninstrumented hot path stays as fast as before the package existed.
@@ -31,14 +38,28 @@ from repro.obs.conformance import (
     DriftFinding,
     DriftReport,
 )
+from repro.obs.accounting import SessionAccounting
 from repro.obs.exporters import (
     JsonlSink,
     chrome_trace,
+    metrics_snapshot,
     phase_breakdown,
     read_jsonl,
     render_prometheus,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.flight import (
+    EVENT_DAEMON,
+    EVENT_ERROR,
+    EVENT_SESSION,
+    EVENT_SPAN,
+    EVENT_STREAM,
+    FlightRecorder,
+    build_postmortem,
+    read_postmortem,
+    render_postmortem,
+    write_postmortem,
 )
 from repro.obs.httpserver import MetricsServer
 from repro.obs.metrics import (
@@ -48,11 +69,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.naming import describe_request
+from repro.obs.naming import describe_request, request_kind
 from repro.obs.profiler import (
     DEFAULT_INTERVAL_SECONDS,
     CounterSample,
     RuntimeProfiler,
+)
+from repro.obs.slo import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    QuantileSketch,
+    SloEngine,
+    SloObjective,
+    default_objectives,
+    parse_objective,
 )
 from repro.obs.spans import (
     KIND_CLIENT,
@@ -72,12 +102,19 @@ from repro.obs.summary import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_INTERVAL_SECONDS",
+    "DEFAULT_QUANTILES",
+    "EVENT_DAEMON",
+    "EVENT_ERROR",
+    "EVENT_SESSION",
+    "EVENT_SPAN",
+    "EVENT_STREAM",
     "ConformanceConfig",
     "ConformanceMonitor",
     "Counter",
     "CounterSample",
     "DriftFinding",
     "DriftReport",
+    "FlightRecorder",
     "FunctionStats",
     "Gauge",
     "Histogram",
@@ -88,18 +125,31 @@ __all__ = [
     "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
+    "P2Quantile",
+    "QuantileSketch",
     "RATIO_BUCKETS",
     "RuntimeProfiler",
+    "SessionAccounting",
+    "SloEngine",
+    "SloObjective",
     "Span",
     "Tracer",
     "aggregate_spans",
+    "build_postmortem",
     "chrome_trace",
+    "default_objectives",
     "describe_request",
+    "metrics_snapshot",
+    "parse_objective",
     "phase_breakdown",
     "read_jsonl",
+    "read_postmortem",
+    "render_postmortem",
     "render_prometheus",
     "render_summary",
+    "request_kind",
     "spans_to_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_postmortem",
 ]

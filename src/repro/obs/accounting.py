@@ -1,0 +1,126 @@
+"""Per-session resource ledgers: who holds what, right now.
+
+The ROADMAP's multi-tenant rearchitecture needs per-tenant accounting
+before it can enforce quotas or fairness; this module is that substrate.
+One :class:`SessionAccounting` rides on every
+:class:`~repro.rcuda.server.session.ServerSession` and is updated inline
+by the dispatch path (plain integer adds -- no locks, no allocation) so
+the daemon can answer "which session holds those 900 MB" from the
+``/sessions`` endpoint, per-session labelled gauges, and postmortem
+dumps without reconstructing anything.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SessionAccounting:
+    """Running resource ledger of one server session.
+
+    Written by the owning session thread only; read concurrently by
+    scrapes and dumps.  Fields are plain ints/floats, so torn reads are
+    impossible under CPython and readers see a near-instantaneous view.
+    """
+
+    session: str
+    started_at: float = field(default_factory=time.time)
+    started_monotonic: float = field(default_factory=time.monotonic)
+    #: Request traffic.  Byte totals are not added up per request: the
+    #: transport already counts every wire byte, so while the session is
+    #: live the ledger reads the transport's counters (see
+    #: :meth:`bind_transport`); at close the totals are frozen into the
+    #: plain fields.
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: Device memory.
+    allocs: int = 0
+    frees: int = 0
+    device_bytes_held: int = 0
+    peak_device_bytes: int = 0
+    #: Transfers and launches.
+    copies_in: int = 0
+    copies_out: int = 0
+    chunks_received: int = 0
+    launches: int = 0
+    #: Streaming state: H2D streams currently open mid-assembly.
+    open_streams: int = 0
+    #: Sticky error state: the last non-success CUDA status this session
+    #: produced, kept after the session dies (postmortems show it).
+    last_error: int = 0
+    last_error_name: str = ""
+    #: Lifecycle.
+    finished: bool = False
+    close_reason: str = ""
+    #: Live byte-counter source (not serialized); ``None`` once frozen.
+    _transport: object | None = None
+
+    def bind_transport(self, transport) -> None:
+        """Source ``bytes_in``/``bytes_out`` from the transport's own
+        wire counters while the session is live -- zero hot-path cost."""
+        self._transport = transport
+
+    def freeze_bytes(self) -> None:
+        """Copy the transport totals into the plain fields and unbind;
+        called at session close so the ledger outlives the socket."""
+        t = self._transport
+        if t is not None:
+            self.bytes_in = t.bytes_received
+            self.bytes_out = t.bytes_sent
+            self._transport = None
+
+    @property
+    def current_bytes_in(self) -> int:
+        t = self._transport
+        return t.bytes_received if t is not None else self.bytes_in
+
+    @property
+    def current_bytes_out(self) -> int:
+        t = self._transport
+        return t.bytes_sent if t is not None else self.bytes_out
+
+    @property
+    def age_seconds(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    @property
+    def live_allocations(self) -> int:
+        return self.allocs - self.frees
+
+    def record_error(self, error: int) -> None:
+        if error != 0:
+            self.last_error = int(error)
+            try:
+                from repro.simcuda.errors import CudaError
+
+                self.last_error_name = CudaError(error).name
+            except ValueError:
+                self.last_error_name = f"error-{error}"
+
+    def to_dict(self) -> dict:
+        """The JSON form served by ``/sessions`` and stored in dumps."""
+        return {
+            "session": self.session,
+            "started_at": self.started_at,
+            "age_seconds": round(self.age_seconds, 3),
+            "requests": self.requests,
+            "bytes_in": self.current_bytes_in,
+            "bytes_out": self.current_bytes_out,
+            "allocs": self.allocs,
+            "frees": self.frees,
+            "live_allocations": self.live_allocations,
+            "device_bytes_held": self.device_bytes_held,
+            "peak_device_bytes": self.peak_device_bytes,
+            "copies_in": self.copies_in,
+            "copies_out": self.copies_out,
+            "chunks_received": self.chunks_received,
+            "launches": self.launches,
+            "open_streams": self.open_streams,
+            "last_error": self.last_error,
+            "last_error_name": self.last_error_name,
+            "finished": self.finished,
+            "close_reason": self.close_reason,
+        }

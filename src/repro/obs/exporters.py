@@ -241,6 +241,37 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
+def metrics_snapshot(registry: MetricsRegistry) -> dict:
+    """Every metric family as a JSON-ready dict (the postmortem form).
+
+    The same data a scrape renders, but structured: per family the type,
+    help text, and each label series' value (histograms keep their
+    cumulative buckets + sum + count).
+    """
+    snapshot: dict = {}
+    for metric in registry.collect():
+        family: dict = {
+            "type": metric.type_name,
+            "help": metric.help_text,
+            "samples": [],
+        }
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                family["samples"].append({"labels": labels, "value": value})
+        elif isinstance(metric, Histogram):
+            for labels, (cumulative, total, count) in metric.samples():
+                family["samples"].append({
+                    "labels": labels,
+                    "buckets": dict(
+                        zip(map(_format_value, metric.buckets), cumulative)
+                    ),
+                    "sum": total,
+                    "count": count,
+                })
+        snapshot[metric.name] = family
+    return snapshot
+
+
 # -- phase aggregation ---------------------------------------------------------
 
 

@@ -1,0 +1,281 @@
+"""Flight recorder: a bounded in-memory ring of structured events, plus
+postmortem dumps rendered by ``repro postmortem``.
+
+A daemon that dies tells you nothing unless something was already
+watching.  The flight recorder is that something: an always-on ring
+buffer (``collections.deque`` with ``maxlen``) holding the last N
+structured events -- span completions, errors, session lifecycle
+transitions, stream begin/end -- recorded at near-zero hot-path cost
+(one tuple build and one lock-free ``deque.append`` per event; no I/O,
+no allocation growth).
+
+When a session ends uncleanly (transport died mid-message or
+mid-stream, malformed traffic, a dispatch raise) or the daemon stops
+with live sessions, the recorder's contents plus a metrics snapshot,
+the per-session accounting ledgers and the sticky error are written as
+one JSON **postmortem dump**.  ``repro postmortem <dump.json>`` renders
+it back as the ASCII timeline a human reads first after a crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Iterable
+
+#: Event kinds the recorder distinguishes (free-form kinds are allowed;
+#: these are the ones the middleware emits).
+EVENT_SPAN = "span"
+EVENT_ERROR = "error"
+EVENT_SESSION = "session"
+EVENT_STREAM = "stream"
+EVENT_DAEMON = "daemon"
+
+#: Default ring capacity: enough for the tail of a burst workload while
+#: keeping a worst-case dump in the tens of kilobytes.  Sized so the
+#: ring's resident tuples stay small against the L2 cache: the recorder
+#: rides the dispatch hot path, and a multi-megabyte ring measurably
+#: slows everything around it through eviction alone.
+DEFAULT_CAPACITY = 1024
+
+_DUMP_IDS = itertools.count(1)
+
+
+class FlightRecorder:
+    """Bounded ring of (t, kind, name, session, seq, attrs) events.
+
+    Callable with a :class:`~repro.obs.spans.Span` so it plugs straight
+    into a tracer as a sink; :meth:`record` takes raw fields so the
+    server hot path can log completions without building a Span at all.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._ring: deque[tuple] = deque(maxlen=capacity)
+        #: Events ever recorded (the ring forgets, this does not).
+        self.total_events = 0
+        #: Add to a ``time.perf_counter()`` reading to get wall time.
+        #: Hot paths that already hold a perf-counter timestamp pass
+        #: ``t=reading + wall_offset`` to :meth:`record_span` and skip a
+        #: second clock read; the small drift against NTP-adjusted wall
+        #: time over long runs is irrelevant for a crash timeline.
+        self.wall_offset = time.time() - time.perf_counter()
+
+    def record(
+        self,
+        kind: str,
+        name: str,
+        session: str = "",
+        seq: int = 0,
+        **attrs,
+    ) -> None:
+        """Append one event at the current wall instant.
+
+        Lock-free on purpose: ``deque.append`` with a ``maxlen`` is
+        atomic under CPython, and this runs once per dispatched request
+        on every session thread.  ``total_events`` may undercount by a
+        hair under heavy cross-thread contention; it is a diagnostic
+        total, not an invariant.
+        """
+        self._ring.append((time.time(), kind, name, session, seq, attrs))
+        self.total_events += 1
+
+    def record_span(
+        self,
+        name: str,
+        session: str,
+        seq: int,
+        duration_seconds: float,
+        phase: str,
+        error: int = 0,
+        t: float | None = None,
+    ) -> None:
+        """Positional fast path for the one event the dispatch loop emits
+        per request.  Stored as a flat 8-tuple (no attrs dict): this is
+        by far the highest-volume event, and a dict per entry triples
+        the ring's resident size and allocation churn.
+        :meth:`snapshot` renders both shapes identically.
+        """
+        self._ring.append(
+            (time.time() if t is None else t, EVENT_SPAN, name, session,
+             seq, duration_seconds, phase, error)
+        )
+        self.total_events += 1
+
+    def __call__(self, span) -> None:
+        """Tracer-sink compatibility: record a finished span."""
+        self.record(
+            EVENT_SPAN,
+            span.name,
+            session=span.session,
+            seq=span.seq,
+            duration_seconds=span.duration_seconds,
+            **{
+                k: span.attrs[k]
+                for k in ("phase", "error", "outcome")
+                if k in span.attrs
+            },
+        )
+
+    def snapshot(self, last: int | None = None) -> list[dict]:
+        """The retained events, oldest first, as JSON-ready dicts."""
+        events = list(self._ring)  # atomic copy; appends may race past it
+        if last is not None:
+            events = events[-last:]
+        out = []
+        for event in events:
+            if len(event) == 8:  # flat span fast path (record_span)
+                t, kind, name, session, seq, duration, phase, error = event
+                d = {
+                    "t": t, "kind": kind, "name": name,
+                    "session": session, "seq": seq,
+                    "duration_seconds": duration, "phase": phase,
+                }
+                if error:
+                    d["error"] = error
+            else:
+                t, kind, name, session, seq, attrs = event
+                d = {
+                    "t": t, "kind": kind, "name": name,
+                    "session": session, "seq": seq, **attrs,
+                }
+            out.append(d)
+        return out
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+# -- postmortem dumps ----------------------------------------------------------
+
+
+def build_postmortem(
+    reason: str,
+    flight: FlightRecorder | None = None,
+    registry=None,
+    sessions: Iterable[dict] = (),
+    sticky_error: str | int | None = None,
+    detail: str = "",
+    last_events: int | None = None,
+) -> dict:
+    """Assemble the crash document: recent events + metrics snapshot +
+    per-session accounting + the sticky error that triggered it."""
+    from repro.obs.exporters import metrics_snapshot
+
+    return {
+        "postmortem": True,
+        "reason": reason,
+        "detail": detail,
+        "written_at": time.time(),
+        "sticky_error": sticky_error,
+        "events": (
+            flight.snapshot(last=last_events) if flight is not None else []
+        ),
+        "events_total": flight.total_events if flight is not None else 0,
+        "sessions": [dict(s) for s in sessions],
+        "metrics": metrics_snapshot(registry) if registry is not None else {},
+    }
+
+
+def write_postmortem(dump: dict, directory: str | Path) -> Path:
+    """Write ``dump`` under ``directory`` with a unique timestamped name."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    path = directory / f"postmortem-{stamp}-{next(_DUMP_IDS):04d}.json"
+    path.write_text(json.dumps(dump, indent=2, default=str) + "\n")
+    return path
+
+
+def read_postmortem(path: str | Path) -> dict:
+    """Load a dump written by :func:`write_postmortem`."""
+    dump = json.loads(Path(path).read_text())
+    if not isinstance(dump, dict) or not dump.get("postmortem"):
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"{path} is not a postmortem dump")
+    return dump
+
+
+def render_postmortem(dump: dict, last_events: int = 40) -> str:
+    """The `repro postmortem` view: header, ledgers, event timeline."""
+    from repro.reporting import render_table
+
+    lines = [
+        f"POSTMORTEM: {dump.get('reason', 'unknown')}",
+    ]
+    if dump.get("detail"):
+        lines.append(f"  detail: {dump['detail']}")
+    if dump.get("sticky_error") not in (None, "", 0):
+        lines.append(f"  sticky error: {dump['sticky_error']}")
+    written = dump.get("written_at")
+    if written:
+        lines.append(
+            "  written: "
+            + time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(written))
+        )
+    sessions = dump.get("sessions", [])
+    if sessions:
+        rows = [
+            [
+                s.get("session", "?"),
+                s.get("requests", 0),
+                s.get("allocs", 0) - s.get("frees", 0),
+                s.get("device_bytes_held", 0),
+                s.get("bytes_in", 0),
+                s.get("bytes_out", 0),
+                s.get("open_streams", 0),
+                s.get("last_error_name") or s.get("last_error", 0),
+                s.get("close_reason", "") or ("live" if not s.get("finished") else "closed"),
+            ]
+            for s in sessions
+        ]
+        lines.append("")
+        lines.append(
+            render_table(
+                ["Session", "Reqs", "Live allocs", "Held B", "B in",
+                 "B out", "Streams", "Last err", "State"],
+                rows,
+                title="Session accounting at time of death",
+                digits=0,
+                align_left_cols=(0, 7, 8),
+            )
+        )
+    events = dump.get("events", [])
+    if events:
+        shown = events[-last_events:]
+        lines.append("")
+        lines.append(
+            f"Last {len(shown)} of {dump.get('events_total', len(events))} "
+            "recorded events (oldest first):"
+        )
+        t0 = shown[0].get("t", 0.0)
+        for e in shown:
+            extra = {
+                k: v for k, v in e.items()
+                if k not in ("t", "kind", "name", "session", "seq")
+            }
+            detail = " ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+            lines.append(
+                f"  +{e.get('t', 0.0) - t0:9.4f}s  "
+                f"[{e.get('kind', '?'):>7s}] "
+                f"{e.get('session', ''):<12s} "
+                f"#{e.get('seq', 0):<5d} "
+                f"{e.get('name', '')}"
+                + (f"  ({detail})" if detail else "")
+            )
+    else:
+        lines.append("")
+        lines.append("(no events retained)")
+    metrics = dump.get("metrics", {})
+    if metrics:
+        lines.append("")
+        lines.append(f"Metrics snapshot: {len(metrics)} families "
+                     "(see the JSON for full samples)")
+    return "\n".join(lines)

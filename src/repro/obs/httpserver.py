@@ -1,12 +1,13 @@
-"""A minimal /metrics + /healthz endpoint for Prometheus scrapes.
+"""A minimal /metrics + /healthz + /sessions endpoint for operations.
 
 `repro serve --metrics-port N` starts one of these next to the daemon.
 Standard-library only: a threading HTTP server answering ``GET /metrics``
-with the text exposition of a :class:`~repro.obs.metrics.MetricsRegistry`
-and ``GET /healthz`` with a JSON health document -- session count,
-uptime, seconds since the last scrape, and (when a conformance monitor
-is wired in) the model-drift status.  While the daemon is stopping the
-probe answers ``503``, so load balancers drain before the socket dies.
+with the text exposition of a :class:`~repro.obs.metrics.MetricsRegistry`,
+``GET /healthz`` with a JSON health document -- session count, uptime,
+seconds since the last scrape, model-drift and SLO status when wired in
+-- and ``GET /sessions`` with the per-session accounting ledgers
+(`repro top` reads all three).  While the daemon is stopping the probe
+answers ``503``, so load balancers drain before the socket dies.
 """
 
 from __future__ import annotations
@@ -42,6 +43,7 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         health: Callable[[], dict] | None = None,
+        sessions: Callable[[], list] | None = None,
     ) -> None:
         self.registry = registry
         self.host = host
@@ -50,6 +52,7 @@ class MetricsServer:
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._health = health
+        self._sessions = sessions
         self._started_at: float | None = None
         self._last_scrape: float | None = None
         self._stopping = False
@@ -89,6 +92,20 @@ class MetricsServer:
             return 503, doc
         return 200, doc
 
+    def sessions_document(self) -> tuple[int, dict]:
+        """(HTTP status, body) of the ``GET /sessions`` ledger listing."""
+        if self._sessions is None:
+            return 200, {"sessions": [], "count": 0, "enabled": False}
+        try:
+            ledgers = [dict(entry) for entry in self._sessions()]
+        except Exception as exc:  # the listing must never kill the server
+            return 500, {"error": str(exc), "sessions": [], "count": 0}
+        return 200, {
+            "sessions": ledgers,
+            "count": len(ledgers),
+            "enabled": True,
+        }
+
     # -- service ------------------------------------------------------------
 
     def start(self) -> int:
@@ -105,6 +122,13 @@ class MetricsServer:
                 elif self.path.split("?", 1)[0] == "/healthz":
                     status, doc = server.health_document()
                     body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+                    self.send_response(status)
+                    self.send_header("Content-Type", "application/json")
+                elif self.path.split("?", 1)[0] == "/sessions":
+                    status, doc = server.sessions_document()
+                    body = (
+                        json.dumps(doc, sort_keys=True, default=str) + "\n"
+                    ).encode()
                     self.send_response(status)
                     self.send_header("Content-Type", "application/json")
                 else:

@@ -36,6 +36,9 @@ class Metric:
         self.help_text = help_text
         self.labelnames = tuple(labelnames)
         self._lock = threading.Lock()
+        #: The per-label-key sample store; each subclass aliases its own
+        #: dict here so :meth:`remove` works uniformly.
+        self._store: dict[tuple[str, ...], object] = {}
 
     def _key(self, labels: dict) -> tuple[str, ...]:
         if set(labels) != set(self.labelnames):
@@ -45,6 +48,19 @@ class Metric:
             )
         return tuple(str(labels[n]) for n in self.labelnames)
 
+    def remove(self, **labels) -> bool:
+        """Drop one label series so a long-running process does not
+        accumulate dead series (e.g. per-session gauges after the session
+        completes).  Returns True when a series was actually removed."""
+        key = self._key(labels)
+        with self._lock:
+            return self._store.pop(key, None) is not None
+
+    def series_count(self) -> int:
+        """Live label series on this metric family."""
+        with self._lock:
+            return len(self._store)
+
 
 class Counter(Metric):
     """A monotonically increasing count."""
@@ -53,7 +69,7 @@ class Counter(Metric):
 
     def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> None:
         super().__init__(name, help_text, labelnames)
-        self._values: dict[tuple[str, ...], float] = {}
+        self._values: dict[tuple[str, ...], float] = self._store
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         if amount < 0:
@@ -82,7 +98,7 @@ class Gauge(Metric):
 
     def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> None:
         super().__init__(name, help_text, labelnames)
-        self._values: dict[tuple[str, ...], float] = {}
+        self._values: dict[tuple[str, ...], float] = self._store
         self._fn: Callable[[], float] | None = None
 
     def set(self, value: float, **labels) -> None:
@@ -141,7 +157,7 @@ class Histogram(Metric):
             )
         self.buckets = tuple(float(b) for b in buckets)
         #: per label key: ([count per bucket], sum, count)
-        self._series: dict[tuple[str, ...], tuple[list[int], float, int]] = {}
+        self._series: dict[tuple[str, ...], tuple[list[int], float, int]] = self._store
 
     def observe(self, value: float, **labels) -> None:
         key = self._key(labels)
@@ -182,6 +198,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
         self._lock = threading.Lock()
+        self._collect_hooks: list[Callable[[], None]] = []
 
     def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> Metric:
         with self._lock:
@@ -218,7 +235,22 @@ class MetricsRegistry:
             Histogram, name, help_text, labelnames=labelnames, buckets=buckets
         )
 
+    def add_collect_hook(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` before every collection (scrape-time refresh of
+        derived series -- SLO quantiles, per-session gauges -- keeping
+        the request hot path free of registry writes)."""
+        with self._lock:
+            self._collect_hooks.append(fn)
+
     def collect(self) -> list[Metric]:
+        with self._lock:
+            hooks = list(self._collect_hooks)
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:
+                # A broken refresher must never take the scrape down.
+                pass
         with self._lock:
             return sorted(self._metrics.values(), key=lambda m: m.name)
 

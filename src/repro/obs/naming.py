@@ -81,12 +81,74 @@ _TABLE: dict[type, tuple[str, int | None, str]] = {
 }
 
 
+#: Request types whose phase/ledger direction depends on the memcpy kind
+#: field.  Checked with ``type() in`` and a plain int compare: this runs
+#: once per dispatched request, and constructing a ``MemcpyKind`` enum
+#: member there costs more than the rest of the lookup combined.
+_DIRECTIONAL: frozenset[type] = frozenset(
+    {MemcpyRequest, MemcpyAsyncRequest, MemcpyStreamBeginRequest}
+)
+_D2H = int(MemcpyKind.cudaMemcpyDeviceToHost)
+
+
 def describe_request(request: Request) -> tuple[str, int | None, str]:
     """(span name, function id or None for init, phase) for one request."""
     name, fid, phase = _TABLE[type(request)]
-    if isinstance(
-        request, (MemcpyRequest, MemcpyAsyncRequest, MemcpyStreamBeginRequest)
-    ):
-        if MemcpyKind(request.kind) is MemcpyKind.cudaMemcpyDeviceToHost:
-            phase = "d2h"
+    if type(request) in _DIRECTIONAL and request.kind == _D2H:
+        phase = "d2h"
     return name, fid, phase
+
+
+#: Accounting kinds: which ledger counter a request bumps.
+KIND_ALLOC = "alloc"
+KIND_FREE = "free"
+KIND_COPY_IN = "copy_in"
+KIND_COPY_OUT = "copy_out"
+KIND_CHUNK = "chunk"
+KIND_LAUNCH = "launch"
+KIND_OTHER = "other"
+
+
+_KIND_TABLE: dict[type, str] = {
+    MallocRequest: KIND_ALLOC,
+    FreeRequest: KIND_FREE,
+    MemcpyChunkRequest: KIND_CHUNK,
+    LaunchRequest: KIND_LAUNCH,
+    MemsetRequest: KIND_COPY_IN,
+}
+
+
+def request_kind(request: Request) -> str:
+    """Classify a request for per-session accounting.
+
+    Coarser than :func:`describe_request`: the ledger cares about
+    resource movement (allocations, copies per direction, launches), not
+    span naming.  Stream Begin frames count as the copy they open; chunk
+    frames count separately so the ledger shows assembly progress.
+    """
+    t = type(request)
+    kind = _KIND_TABLE.get(t)
+    if kind is not None:
+        return kind
+    if t in _DIRECTIONAL:
+        return KIND_COPY_OUT if request.kind == _D2H else KIND_COPY_IN
+    return KIND_OTHER
+
+
+#: Fused hot-path descriptor: one dict hit per dispatched request gives
+#: (span name, function id, phase, accounting kind).  The server's
+#: dispatch loop uses this instead of calling :func:`describe_request`
+#: and :func:`request_kind` separately; for the types in
+#: :data:`DIRECTIONAL_TYPES` the caller flips phase/kind to d2h/copy_out
+#: when ``request.kind == D2H_KIND``.
+HOT_DESCRIPTORS: dict[type, tuple[str, int | None, str, str]] = {
+    t: (
+        name,
+        fid,
+        phase,
+        _KIND_TABLE.get(t, KIND_COPY_IN if t in _DIRECTIONAL else KIND_OTHER),
+    )
+    for t, (name, fid, phase) in _TABLE.items()
+}
+DIRECTIONAL_TYPES = _DIRECTIONAL
+D2H_KIND = _D2H

@@ -1,0 +1,563 @@
+"""Streaming tail-latency quantiles and SLO burn-rate evaluation.
+
+The paper's claim is a *bounded overhead*; an operator's version of that
+claim is a tail-latency objective ("p99 dispatch latency of cudaMemcpy
+stays under X", "p99 measured/predicted ratio stays under 1.5x").  This
+module keeps that check running continuously without storing samples:
+
+* :class:`QuantileSketch` -- a fixed-geometric-bucket histogram (HDR /
+  CKMS-style sketch).  Bucket boundaries grow by a constant factor, so
+  any quantile is answered within a *guaranteed* relative error of
+  ``sqrt(growth) - 1`` (~3.9% at the default 1.08) using a bounded
+  number of integer counters: O(1) memory per series no matter how many
+  observations stream through.
+* :class:`P2Quantile` -- the classic five-marker P² estimator (Jain &
+  Chlamtac 1985) for tracking one quantile in exactly 15 floats; used
+  where a single running percentile is wanted without a sketch.
+* :class:`SloObjective` -- a declarative objective: metric, label
+  selectors, quantile, threshold.
+* :class:`SloEngine` -- folds observations into per-(metric, call,
+  phase, network) sketches over a sliding window of bucketed good/bad
+  counts per objective, and evaluates **burn rate**: the observed
+  violation fraction divided by the objective's error budget
+  (``1 - quantile``).  Burn rate > 1 means the series is eating budget
+  faster than the SLO allows.
+
+The engine publishes quantile gauges and burn rates into a
+:class:`~repro.obs.metrics.MetricsRegistry` via a collect hook (scrape
+time, not observe time) and contributes an ``slo`` block to ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Quantiles every series tracks (rendered by `repro top` and Prometheus).
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class QuantileSketch:
+    """Fixed-geometric-bucket streaming quantile estimator.
+
+    Values are counted in buckets ``[lo * growth**i, lo * growth**(i+1))``
+    and a quantile query walks the cumulative counts, answering with the
+    geometric midpoint of the target bucket (clamped to the exact
+    observed min/max).  Relative error is bounded by ``sqrt(growth) - 1``
+    for values inside ``[lo, hi]``; values outside clamp into the edge
+    buckets.  Memory is bounded by the fixed bucket count regardless of
+    the observation count.
+    """
+
+    def __init__(
+        self,
+        lo: float = 1e-9,
+        hi: float = 1e4,
+        growth: float = 1.08,
+    ) -> None:
+        if not (0 < lo < hi) or growth <= 1.0:
+            raise ConfigurationError(
+                f"sketch needs 0 < lo < hi and growth > 1, "
+                f"got lo={lo}, hi={hi}, growth={growth}"
+            )
+        self._lo = lo
+        self._log_lo = math.log(lo)
+        self._log_growth = math.log(growth)
+        self._growth = growth
+        self.bucket_limit = int(math.ceil((math.log(hi) - self._log_lo)
+                                          / self._log_growth)) + 2
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _index(self, value: float) -> int:
+        if value <= self._lo:
+            return 0
+        i = int((math.log(value) - self._log_lo) / self._log_growth) + 1
+        return min(i, self.bucket_limit - 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        i = self._index(value) if value > 0 else 0
+        self._counts[i] = self._counts.get(i, 0) + 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """The value at rank ``q`` (0..1), within the sketch's error bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for i in sorted(self._counts):
+            seen += self._counts[i]
+            if seen > rank:
+                if i == 0:
+                    estimate = self._lo
+                else:
+                    lower = math.exp(
+                        self._log_lo + (i - 1) * self._log_growth
+                    )
+                    estimate = lower * math.sqrt(self._growth)
+                return min(self.max, max(self.min, estimate))
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __len__(self) -> int:
+        """Live bucket count -- bounded by ``bucket_limit``."""
+        return len(self._counts)
+
+
+class P2Quantile:
+    """The classic P² single-quantile estimator: five markers, no samples.
+
+    State is exactly five heights + five positions + five desired
+    positions; per observation the markers shift by parabolic (or linear)
+    interpolation toward their ideal ranks.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(f"P2 quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._initial: list[float] = []
+        self._heights: list[float] | None = None
+        self._pos: list[float] = []
+        self._desired: list[float] = []
+        self._dn = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        h = self._heights
+        if h is None:
+            self._initial.append(float(x))
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [
+                    1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0,
+                ]
+            return
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 3
+            for i in range(1, 5):
+                if x < h[i]:
+                    k = i - 1
+                    break
+        n = self._pos
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._dn[i]
+        for i in range(1, 4):
+            d = self._desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, d)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, int(d))
+                h[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        n, h = self._pos, self._heights
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        n, h = self._pos, self._heights
+        return h[i] + d * (h[i + d] - h[i]) / (n[i + d] - n[i])
+
+    def value(self) -> float:
+        """The current estimate (exact while fewer than five samples)."""
+        if self._heights is None:
+            if not self._initial:
+                return 0.0
+            ordered = sorted(self._initial)
+            idx = min(
+                len(ordered) - 1,
+                max(0, round(self.q * (len(ordered) - 1))),
+            )
+            return ordered[idx]
+        return self._heights[2]
+
+
+# -- objectives ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective: "quantile of metric <= threshold".
+
+    ``call``/``phase``/``network`` are selectors; ``None`` matches any
+    value, so one objective can cover a family of series.  The error
+    budget is ``1 - quantile``: a p99 objective tolerates 1% of events
+    over the threshold before its burn rate crosses 1.
+    """
+
+    name: str
+    threshold: float
+    metric: str = "latency_seconds"
+    quantile: float = 0.99
+    call: str | None = None
+    phase: str | None = None
+    network: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ConfigurationError(
+                f"objective {self.name}: quantile must be in (0, 1), "
+                f"got {self.quantile}"
+            )
+        if self.threshold <= 0:
+            raise ConfigurationError(
+                f"objective {self.name}: threshold must be > 0, "
+                f"got {self.threshold}"
+            )
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.quantile
+
+    def matches(self, metric: str, call: str, phase: str, network: str) -> bool:
+        return (
+            metric == self.metric
+            and (self.call is None or call == self.call)
+            and (self.phase is None or phase == self.phase)
+            and (self.network is None or network == self.network)
+        )
+
+    def describe(self) -> str:
+        scope = ",".join(
+            f"{k}={v}"
+            for k, v in (
+                ("call", self.call), ("phase", self.phase),
+                ("network", self.network),
+            )
+            if v is not None
+        ) or "all series"
+        return (
+            f"{self.name}: p{self.quantile * 100:g} {self.metric} "
+            f"<= {self.threshold:g} on {scope}"
+        )
+
+
+def parse_objective(spec: str) -> SloObjective:
+    """Parse the CLI form ``name:metric:pQQ<=threshold[:call[:phase]]``.
+
+    Examples: ``memcpy-tail:latency_seconds:p99<=0.005:cudaMemcpy`` or
+    ``model:model_ratio:p99<=1.5``.
+    """
+    parts = spec.split(":")
+    if len(parts) < 3 or "<=" not in parts[2]:
+        raise ConfigurationError(
+            f"bad SLO spec {spec!r}; want name:metric:pQQ<=threshold[:call[:phase]]"
+        )
+    name, metric = parts[0], parts[1]
+    quantile_s, threshold_s = parts[2].split("<=", 1)
+    if not quantile_s.startswith("p"):
+        raise ConfigurationError(
+            f"bad SLO quantile {quantile_s!r} in {spec!r}; want e.g. p99"
+        )
+    try:
+        quantile = float(quantile_s[1:]) / 100.0
+        threshold = float(threshold_s)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad SLO spec {spec!r}: {exc}") from None
+    return SloObjective(
+        name=name,
+        metric=metric,
+        quantile=quantile,
+        threshold=threshold,
+        call=parts[3] if len(parts) > 3 and parts[3] else None,
+        phase=parts[4] if len(parts) > 4 and parts[4] else None,
+    )
+
+
+def default_objectives() -> tuple[SloObjective, ...]:
+    """The objectives `repro serve` evaluates out of the box."""
+    return (
+        SloObjective(
+            name="rpc-tail",
+            metric="latency_seconds",
+            quantile=0.99,
+            threshold=0.050,
+            description="p99 server dispatch latency stays under 50 ms",
+        ),
+        SloObjective(
+            name="model-conformance",
+            metric="model_ratio",
+            quantile=0.99,
+            threshold=1.5,
+            description=(
+                "p99 measured/predicted overhead ratio stays within "
+                "1.5x of the paper model"
+            ),
+        ),
+    )
+
+
+# -- burn-rate window ----------------------------------------------------------
+
+
+class _BurnWindow:
+    """Bucketed sliding window of good/bad counts for one objective."""
+
+    def __init__(
+        self, window_seconds: float, buckets: int, clock
+    ) -> None:
+        self.window_seconds = window_seconds
+        self.bucket_seconds = window_seconds / buckets
+        self._clock = clock
+        #: (bucket_start, good, bad), oldest first.
+        self._buckets: deque[list] = deque()
+
+    def _advance(self, now: float) -> None:
+        cutoff = now - self.window_seconds
+        while self._buckets and self._buckets[0][0] + self.bucket_seconds < cutoff:
+            self._buckets.popleft()
+
+    def add(self, ok: bool) -> None:
+        now = self._clock()
+        self._advance(now)
+        if (
+            not self._buckets
+            or now - self._buckets[-1][0] >= self.bucket_seconds
+        ):
+            self._buckets.append([now, 0, 0])
+        self._buckets[-1][1 if ok else 2] += 1
+
+    def totals(self) -> tuple[int, int]:
+        """(good, bad) inside the window right now."""
+        self._advance(self._clock())
+        good = sum(b[1] for b in self._buckets)
+        bad = sum(b[2] for b in self._buckets)
+        return good, bad
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+@dataclass
+class _Series:
+    sketch: QuantileSketch = field(default_factory=QuantileSketch)
+
+
+class SloEngine:
+    """Per-(metric, call, phase, network) tail quantiles + SLO burn rates.
+
+    Observations arrive from the server dispatch path (latency) and the
+    conformance monitor (measured/predicted ratio); evaluation is pulled
+    by ``/healthz``, the Prometheus collect hook, and `repro top`.
+    """
+
+    def __init__(
+        self,
+        objectives=None,
+        network: str = "local",
+        window_seconds: float = 300.0,
+        buckets: int = 30,
+        min_samples: int = 10,
+        clock=None,
+        metrics=None,
+    ) -> None:
+        import time as _time
+
+        self.objectives: tuple[SloObjective, ...] = tuple(
+            default_objectives() if objectives is None else objectives
+        )
+        names = [o.name for o in self.objectives]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(
+                f"duplicate SLO objective names: {sorted(names)}"
+            )
+        self.network = network
+        self.min_samples = min_samples
+        self._clock = clock if clock is not None else _time.monotonic
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, str, str, str], _Series] = {}
+        self._windows: dict[str, _BurnWindow] = {
+            o.name: _BurnWindow(window_seconds, buckets, self._clock)
+            for o in self.objectives
+        }
+        self._observations = 0
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    # -- ingest -------------------------------------------------------------
+
+    def observe(
+        self,
+        call: str,
+        phase: str,
+        value: float,
+        metric: str = "latency_seconds",
+        network: str | None = None,
+    ) -> None:
+        """Fold one measurement into its series and objective windows."""
+        network = network if network is not None else self.network
+        key = (metric, call, phase, network)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _Series()
+            series.sketch.observe(value)
+            self._observations += 1
+            for objective in self.objectives:
+                if objective.matches(metric, call, phase, network):
+                    self._windows[objective.name].add(
+                        value <= objective.threshold
+                    )
+
+    def observe_span(self, span) -> None:
+        """Tracer-sink form: finished client/server spans become latency
+        observations on their (call, phase) series."""
+        if span.end is None:
+            return
+        self.observe(
+            span.name, span.attrs.get("phase") or "", span.duration_seconds
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def quantile(
+        self,
+        call: str,
+        phase: str,
+        q: float,
+        metric: str = "latency_seconds",
+        network: str | None = None,
+    ) -> float | None:
+        key = (metric, call, phase, network or self.network)
+        with self._lock:
+            series = self._series.get(key)
+            return series.sketch.quantile(q) if series is not None else None
+
+    def series_table(
+        self, quantiles=DEFAULT_QUANTILES
+    ) -> list[dict]:
+        """One row per series: labels, count, and the tracked quantiles."""
+        with self._lock:
+            items = sorted(self._series.items())
+            rows = []
+            for (metric, call, phase, network), series in items:
+                row = {
+                    "metric": metric, "call": call, "phase": phase,
+                    "network": network, "count": series.sketch.count,
+                    "mean": series.sketch.mean,
+                }
+                for q in quantiles:
+                    row[f"p{q * 100:g}"] = series.sketch.quantile(q)
+                rows.append(row)
+        return rows
+
+    def evaluate(self) -> list[dict]:
+        """Burn-rate evaluation of every objective, evaluation order
+        matching declaration order."""
+        out = []
+        with self._lock:
+            for objective in self.objectives:
+                good, bad = self._windows[objective.name].totals()
+                total = good + bad
+                violation = bad / total if total else 0.0
+                burn = violation / objective.budget if total else 0.0
+                out.append({
+                    "objective": objective.name,
+                    "description": objective.description or objective.describe(),
+                    "metric": objective.metric,
+                    "quantile": objective.quantile,
+                    "threshold": objective.threshold,
+                    "window_samples": total,
+                    "window_violations": bad,
+                    "burn_rate": burn,
+                    "ok": total < self.min_samples or burn <= 1.0,
+                })
+        return out
+
+    @property
+    def status(self) -> str:
+        """``no-data`` / ``ok`` / ``breach`` -- what /healthz reports."""
+        if self._observations == 0:
+            return "no-data"
+        return "ok" if all(e["ok"] for e in self.evaluate()) else "breach"
+
+    def health_block(self) -> dict:
+        """The ``slo`` entry merged into the /healthz document."""
+        return {
+            "slo": self.status,
+            "slo_objectives": {
+                e["objective"]: {
+                    "ok": e["ok"],
+                    "burn_rate": round(e["burn_rate"], 4),
+                    "window_samples": e["window_samples"],
+                }
+                for e in self.evaluate()
+            },
+        }
+
+    # -- Prometheus ---------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Publish quantiles and burn rates at scrape time via a collect
+        hook (the hot path never touches the registry)."""
+        quantile_gauge = registry.gauge(
+            "rcuda_slo_quantile",
+            "Streaming quantile estimate per series.",
+            labelnames=("metric", "call", "phase", "network", "quantile"),
+        )
+        burn_gauge = registry.gauge(
+            "rcuda_slo_burn_rate",
+            "Error-budget burn rate per SLO objective (>1 = burning).",
+            labelnames=("objective",),
+        )
+        ok_gauge = registry.gauge(
+            "rcuda_slo_ok",
+            "1 while the objective's burn rate is inside budget.",
+            labelnames=("objective",),
+        )
+
+        def refresh() -> None:
+            for row in self.series_table():
+                for q in DEFAULT_QUANTILES:
+                    quantile_gauge.set(
+                        row[f"p{q * 100:g}"],
+                        metric=row["metric"], call=row["call"],
+                        phase=row["phase"], network=row["network"],
+                        quantile=f"{q:g}",
+                    )
+            for e in self.evaluate():
+                burn_gauge.set(e["burn_rate"], objective=e["objective"])
+                ok_gauge.set(
+                    1.0 if e["ok"] else 0.0, objective=e["objective"]
+                )
+
+        registry.add_collect_hook(refresh)

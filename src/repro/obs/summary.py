@@ -28,6 +28,7 @@ class FunctionStats:
     mean_seconds: float
     p50_seconds: float
     p95_seconds: float
+    p99_seconds: float
     bytes_sent: int
     bytes_received: int
 
@@ -59,6 +60,7 @@ def aggregate_spans(spans: Iterable[Span]) -> list[FunctionStats]:
                 mean_seconds=total / len(members),
                 p50_seconds=_percentile(durations, 0.50),
                 p95_seconds=_percentile(durations, 0.95),
+                p99_seconds=_percentile(durations, 0.99),
                 bytes_sent=sum(int(s.attrs.get("bytes_sent", 0)) for s in members),
                 bytes_received=sum(
                     int(s.attrs.get("bytes_received", 0)) for s in members
@@ -81,6 +83,7 @@ def render_summary(spans: Iterable[Span], title: str = "Span summary") -> str:
             s.mean_seconds * 1e3,
             s.p50_seconds * 1e3,
             s.p95_seconds * 1e3,
+            s.p99_seconds * 1e3,
             s.bytes_sent,
             s.bytes_received,
         ]
@@ -88,7 +91,7 @@ def render_summary(spans: Iterable[Span], title: str = "Span summary") -> str:
     ]
     table = render_table(
         ["Side", "Function", "Calls", "Total (ms)", "Mean (ms)",
-         "P50 (ms)", "P95 (ms)", "B sent", "B recv"],
+         "P50 (ms)", "P95 (ms)", "P99 (ms)", "B sent", "B recv"],
         rows,
         title=title,
         digits=3,

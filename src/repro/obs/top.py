@@ -1,0 +1,315 @@
+"""`repro top`: a live ASCII dashboard over /metrics, /sessions, /healthz.
+
+Standard-library only.  Each refresh scrapes the three endpoints a
+running ``repro serve --metrics-port`` exposes and renders one screen:
+daemon health and SLO status, throughput (counter deltas between
+refreshes), tail-latency quantiles from the streaming SLO sketches, and
+the per-session accounting table.  ``--once`` renders a single frame
+(what the tests drive); the interactive loop just repeats it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import TransportError
+from repro.reporting import render_table
+
+#: Bytes-per-second and similar rates are derived from counter deltas
+#: between consecutive frames; the first frame shows totals instead.
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """A minimal parser of the v0.0.4 text exposition: per metric name a
+    list of (labels, value) samples.  Enough for the exposition this
+    repo's own exporter renders (no escapes beyond ``\\"``, ``\\\\`` and
+    ``\\n`` appear in our label values)."""
+    out: dict[str, list[tuple[dict, float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if "{" in line:
+                name, rest = line.split("{", 1)
+                labels_s, value_s = rest.rsplit("}", 1)
+                labels = {}
+                for part in _split_labels(labels_s):
+                    k, v = part.split("=", 1)
+                    labels[k] = (
+                        v.strip('"')
+                        .replace("\\n", "\n")
+                        .replace('\\"', '"')
+                        .replace("\\\\", "\\")
+                    )
+            else:
+                name, value_s = line.rsplit(None, 1)
+                labels = {}
+            value = float(value_s)
+        except ValueError:
+            continue  # one malformed line must not kill the dashboard
+        out.setdefault(name.strip(), []).append((labels, value))
+    return out
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (p.strip() for p in parts) if p]
+
+
+def metric_value(
+    metrics: dict, name: str, default: float = 0.0, **labels
+) -> float:
+    """First sample of ``name`` whose labels include ``labels``."""
+    for sample_labels, value in metrics.get(name, ()):
+        if all(sample_labels.get(k) == str(v) for k, v in labels.items()):
+            return value
+    return default
+
+
+def fetch_endpoints(base_url: str, timeout: float = 2.0) -> dict:
+    """One scrape of /metrics, /healthz and /sessions.
+
+    Returns ``{"metrics": {...}, "health": {...}, "sessions": {...}}``;
+    raises :class:`~repro.errors.TransportError` when /metrics itself is
+    unreachable (the other two degrade to empty documents)."""
+    base = base_url.rstrip("/")
+
+    def get(path: str) -> bytes:
+        with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+            return resp.read()
+
+    try:
+        metrics_text = get("/metrics").decode()
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise TransportError(f"cannot scrape {base}/metrics: {exc}") from exc
+    out = {"metrics": parse_prometheus(metrics_text)}
+    for key, path in (("health", "/healthz"), ("sessions", "/sessions")):
+        try:
+            out[key] = json.loads(get(path).decode())
+        except urllib.error.HTTPError as exc:
+            # /healthz answers 503 while stopping -- the body still parses.
+            try:
+                out[key] = json.loads(exc.read().decode())
+            except Exception:
+                out[key] = {}
+        except Exception:
+            out[key] = {}
+    return out
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"
+
+
+def render_dashboard(
+    snapshot: dict,
+    previous: dict | None = None,
+    interval_seconds: float | None = None,
+) -> str:
+    """One frame of the dashboard from a :func:`fetch_endpoints` snapshot.
+
+    With a ``previous`` snapshot and the seconds between them, counters
+    become rates; without, totals are shown.
+    """
+    metrics = snapshot.get("metrics", {})
+    health = snapshot.get("health", {}) or {}
+    sessions_doc = snapshot.get("sessions", {}) or {}
+    lines: list[str] = []
+
+    status = health.get("status", "unknown")
+    drift = health.get("drift", "disabled")
+    slo = health.get("slo", "disabled")
+    uptime = health.get("uptime_seconds", 0.0)
+    lines.append(
+        f"rcuda daemon  status={status}  uptime={uptime:.0f}s  "
+        f"drift={drift}  slo={slo}"
+    )
+
+    active = metric_value(metrics, "rcuda_active_sessions")
+    total = metric_value(metrics, "rcuda_sessions_total")
+    unclean = metric_value(metrics, "rcuda_unclean_sessions_total")
+    mem_used = metric_value(metrics, "rcuda_device_mem_used_bytes")
+    mem_cap = metric_value(metrics, "rcuda_device_mem_capacity_bytes")
+    requests = metric_value(metrics, "rcuda_requests_total")
+    occupancy = 100.0 * mem_used / mem_cap if mem_cap else 0.0
+    lines.append(
+        f"sessions: {active:.0f} active / {total:.0f} total "
+        f"({unclean:.0f} unclean)   device mem: "
+        f"{_fmt_bytes(mem_used)} / {_fmt_bytes(mem_cap)} "
+        f"({occupancy:.1f}%)"
+    )
+
+    if previous is not None and interval_seconds and interval_seconds > 0:
+        prev_requests = metric_value(
+            previous.get("metrics", {}), "rcuda_requests_total"
+        )
+        prev_bytes = sum(
+            v for _, v in previous.get("metrics", {}).get(
+                "rcuda_rpc_bytes_total", ()
+            )
+        )
+        now_bytes = sum(
+            v for _, v in metrics.get("rcuda_rpc_bytes_total", ())
+        )
+        rps = max(0.0, requests - prev_requests) / interval_seconds
+        bps = max(0.0, now_bytes - prev_bytes) / interval_seconds
+        lines.append(
+            f"throughput: {rps:,.0f} req/s   {_fmt_bytes(bps)}/s on the wire"
+        )
+    else:
+        lines.append(f"throughput: {requests:,.0f} requests total")
+
+    slo_objectives = health.get("slo_objectives") or {}
+    if slo_objectives:
+        rows = [
+            [
+                name,
+                "ok" if entry.get("ok") else "BURNING",
+                entry.get("burn_rate", 0.0),
+                entry.get("window_samples", 0),
+            ]
+            for name, entry in sorted(slo_objectives.items())
+        ]
+        lines.append("")
+        lines.append(
+            render_table(
+                ["Objective", "State", "Burn rate", "Samples"],
+                rows,
+                title="SLO burn rates",
+                digits=3,
+                align_left_cols=(0, 1),
+            )
+        )
+
+    quantiles = metrics.get("rcuda_slo_quantile", [])
+    latency_rows = []
+    by_series: dict[tuple, dict] = {}
+    for labels, value in quantiles:
+        if labels.get("metric") != "latency_seconds":
+            continue
+        key = (labels.get("call", ""), labels.get("phase", ""))
+        by_series.setdefault(key, {})[labels.get("quantile", "")] = value
+    for (call, phase), qs in sorted(by_series.items()):
+        latency_rows.append([
+            call, phase,
+            qs.get("0.5", 0.0) * 1e3,
+            qs.get("0.95", 0.0) * 1e3,
+            qs.get("0.99", 0.0) * 1e3,
+        ])
+    if latency_rows:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["Call", "Phase", "P50 (ms)", "P95 (ms)", "P99 (ms)"],
+                latency_rows,
+                title="Tail latency (streaming estimates)",
+                digits=3,
+                align_left_cols=(0, 1),
+            )
+        )
+
+    session_rows = [
+        [
+            s.get("session", "?"),
+            "live" if not s.get("finished") else (
+                s.get("close_reason") or "closed"
+            ),
+            s.get("requests", 0),
+            s.get("device_bytes_held", 0),
+            s.get("bytes_in", 0),
+            s.get("bytes_out", 0),
+            s.get("launches", 0),
+            s.get("last_error_name") or "-",
+        ]
+        for s in sessions_doc.get("sessions", [])
+    ]
+    if session_rows:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["Session", "State", "Reqs", "Held B", "B in", "B out",
+                 "Launches", "Last err"],
+                session_rows,
+                title="Sessions",
+                digits=0,
+                align_left_cols=(0, 1, 7),
+            )
+        )
+    else:
+        lines.append("")
+        lines.append("(no session ledgers -- accounting disabled?)")
+    return "\n".join(lines)
+
+
+def run_top(
+    base_url: str,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    out=None,
+    clear: bool = True,
+) -> int:
+    """The refresh loop: scrape, render, sleep, repeat.
+
+    ``iterations=None`` runs until interrupted; ``iterations=1`` is the
+    ``--once`` mode.  Returns a process exit code (1 when the first
+    scrape already fails -- the daemon is not there)."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+    previous: dict | None = None
+    prev_t: float | None = None
+    n = 0
+    while True:
+        try:
+            snapshot = fetch_endpoints(base_url)
+        except TransportError as exc:
+            print(f"repro top: {exc}", file=out)
+            return 1
+        now = time.monotonic()
+        frame = render_dashboard(
+            snapshot,
+            previous=previous,
+            interval_seconds=(
+                now - prev_t if prev_t is not None else None
+            ),
+        )
+        if clear and n > 0:
+            print("\033[2J\033[H", end="", file=out)
+        print(frame, file=out)
+        previous, prev_t = snapshot, now
+        n += 1
+        if iterations is not None and n >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

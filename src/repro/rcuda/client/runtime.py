@@ -102,6 +102,8 @@ class RemoteCudaRuntime:
         pipeline: bool = False,
         chunk_bytes: int | None = None,
         chunking: bool = True,
+        flight=None,
+        postmortem_dir: str | None = None,
     ) -> None:
         if chunk_bytes is not None and chunk_bytes < 1:
             raise ConfigurationError(
@@ -159,6 +161,14 @@ class RemoteCudaRuntime:
         self._stream_ids = itertools.count(1)
         #: Chunk frames this session has streamed (a profiler counter).
         self.chunks_streamed = 0
+        #: Optional flight recorder (stream lifecycle, deferred errors,
+        #: transport death); share the daemon's instance for one merged
+        #: timeline, or attach a separate client-side ring.
+        self.flight = flight
+        #: When set, the first transport death writes a postmortem dump
+        #: here; the path lands in :attr:`postmortem_path`.
+        self.postmortem_dir = postmortem_dir
+        self.postmortem_path = None
 
     # -- plumbing -----------------------------------------------------------
 
@@ -189,11 +199,58 @@ class RemoteCudaRuntime:
         the local fire-and-forget cost), so the abandonment is an
         annotation -- the ack they were waiting for will never come.
         """
+        abandoned = len(self._inflight)
         while self._inflight:
             _, span, nbytes = self._inflight.popleft()
             self.bytes_inflight -= nbytes
             if span is not None:
                 self.tracer.annotate(span, outcome="error")
+        if self.flight is not None:
+            self.flight.record(
+                "error", "client-transport-died",
+                session=self.session_id,
+                abandoned_inflight=abandoned,
+            )
+        self._write_postmortem(
+            "client-transport-died",
+            detail=f"{abandoned} in-flight request(s) abandoned",
+        )
+
+    def _write_postmortem(self, reason: str, detail: str = "") -> None:
+        """First-failure crash dump (no-op without a postmortem_dir)."""
+        if self.postmortem_dir is None or self.postmortem_path is not None:
+            return
+        from repro.obs.flight import build_postmortem, write_postmortem
+
+        sticky = (
+            self.last_error
+            if self.last_error != CudaError.cudaSuccess
+            else self._deferred_error
+        )
+        ledger = {
+            "session": self.session_id,
+            "requests": self.calls_made,
+            "bytes_in": self.transport.bytes_received,
+            "bytes_out": self.transport.bytes_sent,
+            "open_streams": 0,
+            "last_error": int(sticky),
+            "last_error_name": sticky.name if sticky else "",
+            "finished": True,
+            "close_reason": reason,
+        }
+        dump = build_postmortem(
+            reason,
+            flight=self.flight,
+            sessions=[ledger],
+            sticky_error=sticky.name if sticky else None,
+            detail=detail,
+        )
+        try:
+            self.postmortem_path = write_postmortem(
+                dump, self.postmortem_dir
+            )
+        except OSError:
+            pass  # an unwritable dump dir must not mask the real failure
 
     def _drain_one(self) -> None:
         """Read and account the oldest in-flight response."""
@@ -221,6 +278,13 @@ class RemoteCudaRuntime:
             and self._deferred_error == CudaError.cudaSuccess
         ):
             self._deferred_error = error
+            if self.flight is not None:
+                self.flight.record(
+                    "error", "deferred-error",
+                    session=self.session_id,
+                    error=error.name,
+                    request=type(request).__name__,
+                )
         if self.exchange_hook is not None:
             self.exchange_hook(request, response, nbytes)
 
@@ -564,6 +628,12 @@ class RemoteCudaRuntime:
             self.tracer.annotate(
                 span, streamed=True, chunks=chunks, chunk_bytes=chunk_bytes
             )
+        if self.flight is not None:
+            self.flight.record(
+                "stream", "stream-begin",
+                session=self.session_id,
+                stream_id=stream_id, total=count, chunks=chunks,
+            )
         inflight_added = 0
         try:
             # The Begin rides the ordinary serial small-message path; the
@@ -599,12 +669,18 @@ class RemoteCudaRuntime:
             self.bytes_inflight -= inflight_added
             if span is not None:
                 self.tracer.fail(span, bytes_sent=inflight_added)
-            self._abandon_inflight()
             # A copy died mid-stream with the device contents undefined:
-            # sticky, CUDA-style, until the caller looks.
+            # sticky, CUDA-style, until the caller looks.  Set before
+            # abandoning so the postmortem dump carries the sticky error.
             self.last_error = CudaError.cudaErrorUnknown
             self._deferred_error = CudaError.cudaErrorUnknown
+            self._abandon_inflight()
             raise
+        if self.flight is not None:
+            self.flight.record(
+                "stream", "stream-end",
+                session=self.session_id, stream_id=stream_id,
+            )
         self.calls_made += 1
         if self.pipeline:
             if span is not None:
@@ -619,9 +695,9 @@ class RemoteCudaRuntime:
             self.bytes_inflight -= inflight_added
             if span is not None:
                 self.tracer.fail(span, bytes_sent=inflight_added)
-            self._abandon_inflight()
             self.last_error = CudaError.cudaErrorUnknown
             self._deferred_error = CudaError.cudaErrorUnknown
+            self._abandon_inflight()
             raise
         self.round_trips += 1
         self.bytes_inflight -= inflight_added
@@ -664,9 +740,9 @@ class RemoteCudaRuntime:
         except BaseException:
             if span is not None:
                 self.tracer.fail(span, bytes_sent=STREAM_BEGIN_BYTES)
-            self._abandon_inflight()
             self.last_error = CudaError.cudaErrorUnknown
             self._deferred_error = CudaError.cudaErrorUnknown
+            self._abandon_inflight()
             raise
         self.round_trips += 1
         if span is not None:

@@ -15,21 +15,43 @@ Finished sessions are pruned as new connections arrive (long-lived
 daemons no longer grow one dead entry per connection), ``stop()`` closes
 live session transports so shutdown does not stall for the join timeout,
 and -- when a :class:`~repro.obs.metrics.MetricsRegistry` is attached --
-session counts, request totals and device-memory occupancy are exposed
-as gauges for the `--metrics-port` scrape endpoint.
+session counts, request totals, device-memory occupancy and per-session
+ledgers are exposed for the `--metrics-port` scrape endpoint.
+
+A :class:`~repro.obs.flight.FlightRecorder` rides along by default:
+every session logs lifecycle, span and stream events into one shared
+bounded ring.  When a session ends uncleanly (transport died
+mid-message or mid-stream, malformed traffic, a dispatch raise) or the
+daemon stops with live sessions and a ``postmortem_dir`` is configured,
+the ring plus a metrics snapshot and the accounting ledgers are written
+as a postmortem dump for ``repro postmortem`` to render.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
+from collections import deque
 
 from repro.errors import TransportError
+from repro.obs.flight import EVENT_DAEMON, FlightRecorder, build_postmortem, write_postmortem
 from repro.obs.spans import Tracer
 from repro.rcuda.server.session import ServerSession
 from repro.simcuda.device import SimulatedGpu
 from repro.transport.base import Transport
 from repro.transport.tcp import TcpTransport
+
+#: Sentinel: "give me the default flight recorder" (pass ``None`` to
+#: switch the recorder off, or your own instance to share one).
+DEFAULT_FLIGHT = object()
+
+#: Environment variable naming a fallback postmortem directory (CI sets
+#: it so test-failure dumps surface as artifacts).
+POSTMORTEM_DIR_ENV = "REPRO_POSTMORTEM_DIR"
+
+#: Finished-session ledgers the daemon keeps for /sessions.
+RECENT_LEDGERS = 32
 
 
 class RCudaDaemon:
@@ -42,6 +64,11 @@ class RCudaDaemon:
         port: int = 0,
         tracer: Tracer | None = None,
         metrics=None,
+        flight=DEFAULT_FLIGHT,
+        slo=None,
+        accounting: bool = True,
+        postmortem_dir: str | None = None,
+        max_postmortems: int = 8,
     ) -> None:
         self.device = device
         self.host = host
@@ -56,12 +83,31 @@ class RCudaDaemon:
         self._stopping = False
         self.tracer = tracer
         self.metrics = metrics
+        self.flight: FlightRecorder | None = (
+            FlightRecorder() if flight is DEFAULT_FLIGHT else flight
+        )
+        self.slo = slo
+        self.accounting = accounting
+        if postmortem_dir is None:
+            postmortem_dir = os.environ.get(POSTMORTEM_DIR_ENV) or None
+        self.postmortem_dir = postmortem_dir
+        self.max_postmortems = max_postmortems
+        #: Paths of dumps written by this daemon (bounded by
+        #: ``max_postmortems`` so a crash-looping client cannot fill disk).
+        self.postmortem_paths: list = []
+        #: Sessions that ended any way but a clean client close.
+        self.unclean_sessions = 0
+        #: Ledgers of recently finished sessions, for /sessions.
+        self._recent_ledgers: deque[dict] = deque(maxlen=RECENT_LEDGERS)
         #: Connections ever accepted (pruning forgets dead sessions, this
         #: does not).
         self.total_sessions = 0
         self._finished_sessions = 0
+        self._exported_session_ids: set[str] = set()
         if metrics is not None:
             self._register_gauges(metrics)
+            if self.slo is not None:
+                self.slo.bind_metrics(metrics)
 
     def _register_gauges(self, metrics) -> None:
         metrics.gauge(
@@ -101,6 +147,122 @@ class RCudaDaemon:
             "rcuda_session_mem_bytes",
             "Device bytes held by live per-session allocations.",
         ).set_function(lambda: self.session_memory_bytes)
+        metrics.gauge(
+            "rcuda_unclean_sessions_total",
+            "Sessions that ended any way but a clean client close.",
+        ).set_function(lambda: self.unclean_sessions)
+        if self.flight is not None:
+            flight = self.flight
+            metrics.gauge(
+                "rcuda_flight_events_total",
+                "Events ever recorded by the flight recorder.",
+            ).set_function(lambda: flight.total_events)
+        if self.accounting:
+            # Per-session labelled gauges, refreshed at scrape time so
+            # the dispatch hot path never touches the registry; stale
+            # series are removed when their session completes.
+            self._g_session_bytes = metrics.gauge(
+                "rcuda_session_device_bytes",
+                "Device bytes held by one live session's allocations.",
+                labelnames=("session",),
+            )
+            self._g_session_requests = metrics.gauge(
+                "rcuda_session_requests",
+                "Requests dispatched by one live session.",
+                labelnames=("session",),
+            )
+            self._g_session_age = metrics.gauge(
+                "rcuda_session_age_seconds",
+                "Seconds since one live session attached.",
+                labelnames=("session",),
+            )
+            metrics.add_collect_hook(self._refresh_session_gauges)
+
+    def _refresh_session_gauges(self) -> None:
+        """Scrape-time refresh of the per-session labelled gauges."""
+        with self._lock:
+            ledgers = [
+                s.accounting for s in self.sessions
+                if not s.finished and s.accounting is not None
+            ]
+        current: set[str] = set()
+        for acct in ledgers:
+            current.add(acct.session)
+            self._g_session_bytes.set(
+                acct.device_bytes_held, session=acct.session
+            )
+            self._g_session_requests.set(acct.requests, session=acct.session)
+            self._g_session_age.set(acct.age_seconds, session=acct.session)
+        for stale in self._exported_session_ids - current:
+            for gauge in (
+                self._g_session_bytes,
+                self._g_session_requests,
+                self._g_session_age,
+            ):
+                gauge.remove(session=stale)
+        self._exported_session_ids = current
+
+    # -- postmortems -------------------------------------------------------
+
+    def session_ledgers(self) -> list[dict]:
+        """Accounting ledgers: live sessions first, then recently
+        finished ones (the /sessions document).  Prunes first, so a
+        session that died since the last connection shows up as
+        recently-finished instead of vanishing until the next accept."""
+        with self._lock:
+            self._prune_locked()
+            live = [
+                s.accounting.to_dict()
+                for s in self.sessions
+                if not s.finished and s.accounting is not None
+            ]
+            recent = list(self._recent_ledgers)
+        return live + recent
+
+    def _on_session_unclean(
+        self, session: ServerSession, reason: str, detail: str
+    ) -> None:
+        """Session-thread callback: an unclean close just happened."""
+        self.unclean_sessions += 1
+        acct = session.accounting
+        sticky = (
+            acct.last_error_name or acct.last_error if acct is not None
+            else None
+        )
+        self._write_postmortem(
+            reason,
+            detail=detail,
+            sticky_error=sticky,
+            sessions=(
+                [acct.to_dict()] if acct is not None
+                else self.session_ledgers()
+            ),
+        )
+
+    def _write_postmortem(
+        self, reason: str, detail: str = "", sticky_error=None, sessions=None
+    ) -> None:
+        if self.postmortem_dir is None:
+            return
+        with self._lock:
+            if len(self.postmortem_paths) >= self.max_postmortems:
+                return
+        dump = build_postmortem(
+            reason,
+            flight=self.flight,
+            registry=self.metrics,
+            sessions=(
+                sessions if sessions is not None else self.session_ledgers()
+            ),
+            sticky_error=sticky_error,
+            detail=detail,
+        )
+        try:
+            path = write_postmortem(dump, self.postmortem_dir)
+        except OSError:
+            return  # a full or unwritable disk must not break the daemon
+        with self._lock:
+            self.postmortem_paths.append(path)
 
     # -- TCP service -------------------------------------------------------
 
@@ -124,6 +286,8 @@ class RCudaDaemon:
         self._listener = listener
         self.port = listener.getsockname()[1]
         self._running = True
+        if self.flight is not None:
+            self.flight.record(EVENT_DAEMON, "daemon-start", port=self.port)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="rcuda-accept", daemon=True
         )
@@ -152,6 +316,10 @@ class RCudaDaemon:
             self.device,
             tracer=self.tracer,
             metrics=self.metrics,
+            flight=self.flight,
+            slo=self.slo,
+            accounting=self.accounting,
+            on_unclean=self._on_session_unclean,
         )
         thread = threading.Thread(
             target=session.run, name="rcuda-session", daemon=True
@@ -166,9 +334,12 @@ class RCudaDaemon:
 
     def _prune_locked(self) -> None:
         """Drop finished sessions and dead threads (caller holds the lock)."""
-        finished = sum(1 for s in self.sessions if s.finished)
+        finished = [s for s in self.sessions if s.finished]
         if finished:
-            self._finished_sessions += finished
+            self._finished_sessions += len(finished)
+            for s in finished:
+                if s.accounting is not None:
+                    self._recent_ledgers.append(s.accounting.to_dict())
             self.sessions = [s for s in self.sessions if not s.finished]
         self._session_threads = [
             t for t in self._session_threads if t.is_alive()
@@ -184,7 +355,10 @@ class RCudaDaemon:
 
         Closing each live session's transport wakes its thread out of any
         blocking read, so shutdown completes promptly instead of stalling
-        for ``join_timeout`` per idle connection.
+        for ``join_timeout`` per idle connection.  Stopping with sessions
+        still attached is an unclean shutdown: if a postmortem directory
+        is configured, the flight recorder is dumped before the
+        transports are torn down.
         """
         self._stopping = True
         self._running = False
@@ -200,6 +374,15 @@ class RCudaDaemon:
         with self._lock:
             live = [s for s in self.sessions if not s.finished]
             threads = list(self._session_threads)
+        if self.flight is not None:
+            self.flight.record(
+                EVENT_DAEMON, "daemon-stop", live_sessions=len(live)
+            )
+        if live:
+            self._write_postmortem(
+                "stopped-with-live-sessions",
+                detail=f"{len(live)} session(s) still attached at stop()",
+            )
         for session in live:
             session.transport.close()
         for thread in threads:

@@ -12,8 +12,16 @@ Lifecycle, matching Section III's phases from the server's side:
 
 When observability is attached, every dispatched request becomes one
 server span (keyed by this session's id + the request sequence number)
-and feeds the daemon's latency histogram and byte counters; the wire
-format is untouched.
+and feeds the daemon's latency histogram, byte counters, flight
+recorder, SLO engine and per-session accounting ledger; the wire format
+is untouched.
+
+The session also classifies *how* it ended.  A clean finalization is the
+transport closing exactly on a message boundary with no stream open; a
+close mid-message, mid-stream, on malformed traffic or on a dispatch
+raise is unclean, and the ``on_unclean`` callback (wired by the daemon)
+gets the chance to write a postmortem dump before the context is torn
+down.
 """
 
 from __future__ import annotations
@@ -22,7 +30,21 @@ import itertools
 import time
 
 from repro.errors import ProtocolError, TransportClosedError, TransportError
-from repro.obs.naming import describe_request
+from repro.obs.accounting import SessionAccounting
+from repro.obs.flight import (
+    EVENT_ERROR,
+    EVENT_SESSION,
+    EVENT_STREAM,
+)
+from repro.obs.naming import (
+    D2H_KIND,
+    DIRECTIONAL_TYPES,
+    HOT_DESCRIPTORS,
+    KIND_CHUNK,
+    KIND_COPY_IN,
+    KIND_COPY_OUT,
+    KIND_LAUNCH,
+)
 from repro.obs.spans import KIND_SERVER, NULL_TRACER, Tracer
 from repro.protocol.codec import (
     MessageReader,
@@ -34,6 +56,8 @@ from repro.protocol.messages import (
     FreeRequest,
     InitRequest,
     MallocRequest,
+    MemcpyStreamBeginRequest,
+    MemcpyStreamEndRequest,
     Request,
 )
 from repro.rcuda.server.handler import SessionHandler
@@ -42,6 +66,15 @@ from repro.simcuda.runtime import CudaRuntime
 from repro.transport.base import Transport, buffer_nbytes
 
 _SERVER_SESSION_IDS = itertools.count(1)
+
+#: Close reasons a session can end with.  ``client-closed`` is the one
+#: clean ending; everything else triggers the unclean-close callback.
+CLOSE_CLEAN = "client-closed"
+CLOSE_MID_MESSAGE = "transport-died-mid-message"
+CLOSE_MID_STREAM = "transport-died-mid-stream"
+CLOSE_MID_DISPATCH = "transport-died-mid-dispatch"
+CLOSE_PROTOCOL = "protocol-error"
+CLOSE_DISPATCH_RAISED = "dispatch-failed"
 
 
 class ServerSession:
@@ -54,6 +87,10 @@ class ServerSession:
         tracer: Tracer | None = None,
         metrics=None,
         session_id: str | None = None,
+        flight=None,
+        slo=None,
+        accounting: bool = True,
+        on_unclean=None,
     ) -> None:
         self.transport = transport
         # "a different server process for each remote execution over a new
@@ -75,6 +112,19 @@ class ServerSession:
             if session_id is not None
             else f"server-{next(_SERVER_SESSION_IDS)}"
         )
+        self.flight = flight
+        self.slo = slo
+        #: Called as ``on_unclean(session, reason, detail)`` from the
+        #: session thread when the connection ends any way but cleanly.
+        self.on_unclean = on_unclean
+        self.accounting: SessionAccounting | None = (
+            SessionAccounting(self.session_id) if accounting else None
+        )
+        if self.accounting is not None:
+            # Wire byte totals come from the transport's own counters;
+            # the dispatch path never re-adds them.
+            self.accounting.bind_transport(transport)
+        self.close_reason = ""
         self.metrics = metrics
         if metrics is not None:
             self._m_latency = metrics.histogram(
@@ -92,43 +142,113 @@ class ServerSession:
                 "Requests handled by this daemon across all sessions.",
             )
 
+    @property
+    def open_streams(self) -> int:
+        """Chunked H2D streams currently open mid-assembly."""
+        return len(self.handler._streams)
+
     def run(self) -> None:
         """Service the connection until the client disconnects."""
         reader = MessageReader(self.transport)
+        flight = self.flight
+        if flight is not None:
+            flight.record(
+                EVENT_SESSION, "session-start", session=self.session_id
+            )
+        reason, detail = CLOSE_DISPATCH_RAISED, ""
         try:
-            received_before = self.transport.bytes_received
-            init_request = decode_init(reader)
-            self._dispatch(init_request, seq=0, received_before=received_before)
-            self.initialized = True
-            seq = 0
-            while True:
-                seq += 1
-                received_before = self.transport.bytes_received
-                request = decode_request(reader)
-                self._dispatch(request, seq=seq, received_before=received_before)
-        except (TransportClosedError, TransportError):
-            # Normal finalization: the client closed the socket (or the
-            # connection died); either way the session ends.
-            pass
-        except ProtocolError:
-            # Malformed traffic: drop the connection rather than guess.
-            pass
+            reason, detail = self._serve(reader)
         finally:
+            self.close_reason = reason
+            unclean = reason != CLOSE_CLEAN
+            acct = self.accounting
+            if acct is not None:
+                acct.open_streams = self.open_streams
+                acct.finished = True
+                acct.close_reason = reason
+                acct.freeze_bytes()
+                if unclean and acct.last_error == 0:
+                    # Mirror the client's sticky state: an aborted
+                    # connection surfaces there as cudaErrorUnknown.
+                    from repro.simcuda.errors import CudaError
+
+                    acct.record_error(int(CudaError.cudaErrorUnknown))
+            if flight is not None:
+                if unclean:
+                    flight.record(
+                        EVENT_ERROR, reason,
+                        session=self.session_id, detail=detail,
+                    )
+                flight.record(
+                    EVENT_SESSION, "session-end",
+                    session=self.session_id, reason=reason,
+                )
             self.finished = True
+            if unclean and self.on_unclean is not None:
+                try:
+                    self.on_unclean(self, reason, detail)
+                except Exception:
+                    pass  # a broken dump writer must not mask the close
             self.handler.close()  # releases the context and its memory
             self._allocations.clear()
             self.device_bytes_held = 0
             self.transport.close()
 
+    def _serve(self, reader: MessageReader) -> tuple[str, str]:
+        """The decode/dispatch loop; returns (close reason, detail)."""
+        seq = -1
+        try:
+            while True:
+                seq += 1
+                received_before = self.transport.bytes_received
+                try:
+                    # The first message is the id-less initialization.
+                    request = (
+                        decode_init(reader) if seq == 0
+                        else decode_request(reader)
+                    )
+                except (TransportClosedError, TransportError) as exc:
+                    if self.transport.bytes_received != received_before:
+                        # The peer died with a partially delivered
+                        # message on the wire: never a clean close.
+                        return CLOSE_MID_MESSAGE, str(exc)
+                    if self.open_streams:
+                        # On a message boundary, but a chunked copy was
+                        # still being assembled.
+                        return CLOSE_MID_STREAM, str(exc)
+                    # Normal finalization: the client closed its socket.
+                    return CLOSE_CLEAN, ""
+                self._dispatch(
+                    request, seq=seq, received_before=received_before
+                )
+                if seq == 0:
+                    self.initialized = True
+        except (TransportClosedError, TransportError) as exc:
+            # The response send failed: the client vanished while a
+            # request was in flight.
+            return CLOSE_MID_DISPATCH, str(exc)
+        except ProtocolError as exc:
+            # Malformed traffic: drop the connection rather than guess.
+            return CLOSE_PROTOCOL, str(exc)
+
     def _account_memory(self, request: Request, response) -> None:
         """Track this session's live device allocations by watching the
         malloc/free traffic it services (success paths only)."""
+        acct = self.accounting
         if isinstance(request, MallocRequest):
             if response.error == 0 and response.ptr is not None:
                 self._allocations[response.ptr] = request.size
                 self.device_bytes_held += request.size
+                if acct is not None:
+                    acct.allocs += 1
+                    acct.device_bytes_held = self.device_bytes_held
+                    if self.device_bytes_held > acct.peak_device_bytes:
+                        acct.peak_device_bytes = self.device_bytes_held
         elif isinstance(request, FreeRequest) and response.error == 0:
             self.device_bytes_held -= self._allocations.pop(request.ptr, 0)
+            if acct is not None:
+                acct.frees += 1
+                acct.device_bytes_held = self.device_bytes_held
 
     def _dispatch(self, request: Request, seq: int, received_before: int) -> None:
         """Handle one decoded request and send its response, observed."""
@@ -141,15 +261,35 @@ class ServerSession:
     def _dispatch_inner(
         self, request: Request, seq: int, received_before: int
     ) -> None:
+        # This method is the per-request hot path: everything observed
+        # is aliased to locals up front, and byte totals that the
+        # transport already counts (bytes in/out) are never re-summed
+        # here -- the ledger reads them lazily.  The flight recorder and
+        # the accounting ledger are on for every production session, so
+        # their branch must stay within the benchmarked <5% budget.
         tracer = self.tracer
-        observing = tracer.enabled or self.metrics is not None
+        flight = self.flight
+        acct = self.accounting
+        metrics = self.metrics
+        slo = self.slo
+        traced = tracer.enabled
+        wired = traced or metrics is not None
+        observing = (
+            flight is not None or acct is not None or wired or slo is not None
+        )
         span = None
         t0 = 0.0
+        bytes_in = 0
         if observing:
-            name, fid, phase = describe_request(request)
-            bytes_in = self.transport.bytes_received - received_before
+            rtype = type(request)
+            name, fid, phase, kind = HOT_DESCRIPTORS[rtype]
+            if rtype in DIRECTIONAL_TYPES and request.kind == D2H_KIND:
+                phase = "d2h"
+                kind = KIND_COPY_OUT
+            if wired:
+                bytes_in = self.transport.bytes_received - received_before
             t0 = time.perf_counter()
-            if tracer.enabled:
+            if traced:
                 span = tracer.start(
                     name,
                     KIND_SERVER,
@@ -173,29 +313,76 @@ class ServerSession:
                 # memory) via one vectored write -- never concatenated
                 # into a fresh header+payload object.
                 parts = encode_response_vectored(response)
-                wire_len = sum(buffer_nbytes(p) for p in parts)
+                if wired:
+                    wire_len = sum(buffer_nbytes(p) for p in parts)
                 if len(parts) == 1:
                     self.transport.send(parts[0])
                 else:
                     self.transport.send_vectored(parts)
-        except BaseException:
+        except BaseException as exc:
             # Never leak a span: a raise in handling, encoding or the
             # send itself still closes it, marked as failed.
             if span is not None:
                 tracer.fail(span, bytes_received=bytes_in)
+            if flight is not None:
+                flight.record(
+                    EVENT_ERROR, type(exc).__name__,
+                    session=self.session_id, seq=seq, request=name,
+                )
             raise
         if observing:
+            elapsed = time.perf_counter() - t0
+            error = response.error if response is not None else 0
             if span is not None:
                 tracer.finish(
                     span,
                     bytes_received=bytes_in,
                     bytes_sent=wire_len,
-                    error=response.error if response is not None else 0,
+                    error=error,
                 )
-            if self.metrics is not None:
-                self._m_latency.observe(
-                    time.perf_counter() - t0, function=name
-                )
+            if metrics is not None:
+                self._m_latency.observe(elapsed, function=name)
                 self._m_bytes.inc(bytes_in, function=name, direction="in")
                 self._m_bytes.inc(wire_len, function=name, direction="out")
                 self._m_requests.inc()
+            stream_edge = (
+                rtype is MemcpyStreamBeginRequest
+                or rtype is MemcpyStreamEndRequest
+            )
+            if acct is not None:
+                acct.requests += 1
+                if kind == KIND_COPY_IN:
+                    acct.copies_in += 1
+                elif kind == KIND_COPY_OUT:
+                    acct.copies_out += 1
+                elif kind == KIND_CHUNK:
+                    acct.chunks_received += 1
+                elif kind == KIND_LAUNCH:
+                    acct.launches += 1
+                if stream_edge:
+                    # Only Begin/End frames move the open-stream count;
+                    # polling it every request would put a len() on the
+                    # chunk-frame fast path for nothing.
+                    acct.open_streams = self.open_streams
+                if error:
+                    acct.record_error(error)
+            if flight is not None:
+                flight.record_span(
+                    name, self.session_id, seq, elapsed, phase, error,
+                    t0 + elapsed + flight.wall_offset,
+                )
+                if stream_edge:
+                    if rtype is MemcpyStreamBeginRequest:
+                        flight.record(
+                            EVENT_STREAM, "stream-begin",
+                            session=self.session_id, seq=seq,
+                            stream_id=request.stream_id, total=request.size,
+                        )
+                    else:
+                        flight.record(
+                            EVENT_STREAM, "stream-end",
+                            session=self.session_id, seq=seq,
+                            stream_id=request.stream_id,
+                        )
+            if slo is not None:
+                slo.observe(name, phase, elapsed)

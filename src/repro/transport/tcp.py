@@ -115,8 +115,13 @@ class TcpTransport(Transport):
             try:
                 got = self._sock.recv_into(view[filled:])
             except OSError as exc:
+                # Account what did arrive: a bytes_received that moved
+                # mid-read is how the server distinguishes a clean close
+                # from a connection that died mid-message.
+                self._account_recv(filled)
                 raise TransportError(f"TCP recv failed: {exc}") from exc
             if not got:
+                self._account_recv(filled)
                 raise TransportClosedError(
                     f"peer closed with {nbytes - filled} of {nbytes} bytes pending"
                 )

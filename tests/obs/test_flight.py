@@ -1,0 +1,181 @@
+"""Flight recorder: ring bounds, event shapes, postmortem dumps."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    build_postmortem,
+    read_postmortem,
+    render_postmortem,
+    write_postmortem,
+)
+from repro.obs.flight import EVENT_ERROR, EVENT_SESSION, EVENT_SPAN
+from repro.obs.spans import KIND_SERVER, Span
+
+
+class TestRing:
+    def test_capacity_bounds_retention(self):
+        fr = FlightRecorder(capacity=4)
+        for i in range(10):
+            fr.record(EVENT_SESSION, f"ev-{i}")
+        assert len(fr) == 4
+        names = [e["name"] for e in fr.snapshot()]
+        assert names == ["ev-6", "ev-7", "ev-8", "ev-9"]  # oldest dropped
+
+    def test_total_events_outlives_the_ring(self):
+        fr = FlightRecorder(capacity=2)
+        for _ in range(7):
+            fr.record(EVENT_ERROR, "boom")
+        assert len(fr) == 2
+        assert fr.total_events == 7
+
+    def test_snapshot_last_n(self):
+        fr = FlightRecorder()
+        for i in range(5):
+            fr.record(EVENT_SESSION, f"ev-{i}")
+        tail = fr.snapshot(last=2)
+        assert [e["name"] for e in tail] == ["ev-3", "ev-4"]
+
+    def test_clear_empties_ring_but_not_total(self):
+        fr = FlightRecorder()
+        fr.record(EVENT_SESSION, "x")
+        fr.clear()
+        assert len(fr) == 0
+        assert fr.snapshot() == []
+        assert fr.total_events == 1
+
+    def test_attrs_flow_into_snapshot(self):
+        fr = FlightRecorder()
+        fr.record(
+            EVENT_ERROR, "dispatch", session="s-1", seq=3, error=30,
+            detail="invalid pointer",
+        )
+        [event] = fr.snapshot()
+        assert event["kind"] == EVENT_ERROR
+        assert event["session"] == "s-1"
+        assert event["seq"] == 3
+        assert event["error"] == 30
+        assert event["detail"] == "invalid pointer"
+        assert event["t"] > 0
+
+
+class TestRecordSpanFastPath:
+    def test_flat_form_normalizes_like_record(self):
+        fr = FlightRecorder()
+        fr.record_span("cudaMemcpy", "s-1", 7, 0.0012, "h2d")
+        [event] = fr.snapshot()
+        assert event["kind"] == EVENT_SPAN
+        assert event["name"] == "cudaMemcpy"
+        assert event["session"] == "s-1"
+        assert event["seq"] == 7
+        assert event["duration_seconds"] == pytest.approx(0.0012)
+        assert event["phase"] == "h2d"
+        assert "error" not in event  # success omits the key
+
+    def test_error_included_when_nonzero(self):
+        fr = FlightRecorder()
+        fr.record_span("cudaLaunch", "s-1", 1, 0.001, "launch", error=4)
+        [event] = fr.snapshot()
+        assert event["error"] == 4
+
+    def test_explicit_timestamp_via_wall_offset(self):
+        import time
+
+        fr = FlightRecorder()
+        t0 = time.perf_counter()
+        fr.record_span("cudaMalloc", "s", 0, 0.0, "malloc",
+                       t=t0 + fr.wall_offset)
+        [event] = fr.snapshot()
+        assert event["t"] == pytest.approx(time.time(), abs=1.0)
+
+    def test_flat_and_dict_events_interleave(self):
+        fr = FlightRecorder()
+        fr.record(EVENT_SESSION, "attach", session="s-1")
+        fr.record_span("cudaMemcpy", "s-1", 1, 0.001, "d2h")
+        fr.record(EVENT_SESSION, "detach", session="s-1")
+        kinds = [e["kind"] for e in fr.snapshot()]
+        assert kinds == [EVENT_SESSION, EVENT_SPAN, EVENT_SESSION]
+
+
+class TestTracerSinkCompat:
+    def test_finished_span_recorded_via_call(self):
+        fr = FlightRecorder()
+        span = Span(
+            name="cudaMemcpy", kind=KIND_SERVER, session="s-9", seq=12,
+            start=10.0, end=10.5,
+            attrs={"phase": "h2d", "error": 0, "ignored": "x"},
+        )
+        fr(span)
+        [event] = fr.snapshot()
+        assert event["kind"] == EVENT_SPAN
+        assert event["name"] == "cudaMemcpy"
+        assert event["session"] == "s-9"
+        assert event["seq"] == 12
+        assert event["duration_seconds"] == pytest.approx(0.5)
+        assert event["phase"] == "h2d"
+        assert "ignored" not in event  # only phase/error/outcome carry over
+
+
+class TestPostmortem:
+    def _dump(self, tmp_path):
+        fr = FlightRecorder()
+        fr.record_span("cudaMemcpy", "s-1", 5, 0.002, "h2d")
+        fr.record(EVENT_ERROR, "transport", session="s-1", seq=6,
+                  detail="connection reset")
+        registry = MetricsRegistry()
+        registry.counter("rcuda_requests_total", "Requests.").inc(6)
+        return build_postmortem(
+            "transport-died",
+            flight=fr,
+            registry=registry,
+            sessions=[{
+                "session": "s-1", "requests": 6, "allocs": 2, "frees": 1,
+                "device_bytes_held": 4096, "bytes_in": 900, "bytes_out": 120,
+                "open_streams": 1, "last_error_name": "cudaErrorUnknown",
+                "close_reason": "transport-died", "finished": True,
+            }],
+            sticky_error="cudaErrorUnknown",
+            detail="recv mid-message",
+        )
+
+    def test_build_collects_everything(self, tmp_path):
+        dump = self._dump(tmp_path)
+        assert dump["postmortem"] is True
+        assert dump["reason"] == "transport-died"
+        assert dump["sticky_error"] == "cudaErrorUnknown"
+        assert dump["events_total"] == 2
+        assert [e["kind"] for e in dump["events"]] == [EVENT_SPAN, EVENT_ERROR]
+        assert dump["sessions"][0]["session"] == "s-1"
+        assert "rcuda_requests_total" in dump["metrics"]
+
+    def test_write_read_roundtrip(self, tmp_path):
+        dump = self._dump(tmp_path)
+        path = write_postmortem(dump, tmp_path / "dumps")
+        assert path.name.startswith("postmortem-")
+        loaded = read_postmortem(path)
+        assert loaded["reason"] == dump["reason"]
+        assert loaded["events"] == json.loads(json.dumps(dump["events"]))
+
+    def test_read_rejects_non_dump_json(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ConfigurationError):
+            read_postmortem(bogus)
+
+    def test_render_shows_ledger_and_timeline(self, tmp_path):
+        text = render_postmortem(self._dump(tmp_path))
+        assert "POSTMORTEM: transport-died" in text
+        assert "sticky error: cudaErrorUnknown" in text
+        assert "Session accounting at time of death" in text
+        assert "cudaErrorUnknown" in text
+        assert "cudaMemcpy" in text
+        assert "connection reset" in text
+
+    def test_render_without_events(self):
+        text = render_postmortem(build_postmortem("unclean-stop"))
+        assert "POSTMORTEM: unclean-stop" in text
+        assert "(no events retained)" in text

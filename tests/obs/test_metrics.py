@@ -77,6 +77,74 @@ class TestHistogram:
             Histogram("lat", "", buckets=(1.0, 0.1))
 
 
+class TestSeriesRemoval:
+    def test_remove_drops_one_label_series(self):
+        g = Gauge("session_bytes", "", labelnames=("session",))
+        g.set(100, session="s-1")
+        g.set(200, session="s-2")
+        assert g.series_count() == 2
+        assert g.remove(session="s-1") is True
+        assert g.series_count() == 1
+        assert g.value(session="s-2") == 200
+
+    def test_remove_missing_series_is_false(self):
+        g = Gauge("x", "", labelnames=("session",))
+        assert g.remove(session="never-seen") is False
+
+    def test_remove_validates_labelnames(self):
+        g = Gauge("x", "", labelnames=("session",))
+        with pytest.raises(ConfigurationError):
+            g.remove(wrong="s-1")
+
+    def test_removed_series_vanishes_from_exposition(self):
+        r = MetricsRegistry()
+        g = r.gauge("session_bytes", "", labelnames=("session",))
+        g.set(100, session="s-1")
+        g.set(200, session="s-2")
+        g.remove(session="s-1")
+        text = render_prometheus(r)
+        assert 'session_bytes{session="s-2"} 200' in text
+        assert 's-1' not in text
+
+    def test_counter_and_histogram_support_remove(self):
+        c = Counter("reqs_total", "", labelnames=("session",))
+        c.inc(3, session="s-1")
+        assert c.remove(session="s-1") is True
+        h = Histogram("lat", "", labelnames=("session",), buckets=(1.0,))
+        h.observe(0.5, session="s-1")
+        assert h.series_count() == 1
+        assert h.remove(session="s-1") is True
+        assert h.series_count() == 0
+
+
+class TestCollectHooks:
+    def test_hook_runs_before_each_collection(self):
+        r = MetricsRegistry()
+        g = r.gauge("derived")
+        calls = {"n": 0}
+
+        def refresh() -> None:
+            calls["n"] += 1
+            g.set(calls["n"])
+
+        r.add_collect_hook(refresh)
+        render_prometheus(r)
+        text = render_prometheus(r)
+        assert calls["n"] == 2
+        assert "derived 2" in text
+
+    def test_failing_hook_does_not_break_collection(self):
+        r = MetricsRegistry()
+        r.counter("reqs_total", "").inc(1)
+
+        def broken() -> None:
+            raise RuntimeError("refresh failed")
+
+        r.add_collect_hook(broken)
+        text = render_prometheus(r)  # must not raise
+        assert "reqs_total 1" in text
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self):
         r = MetricsRegistry()

@@ -1,0 +1,148 @@
+"""The /sessions ledger endpoint and MetricsServer edge cases."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer
+
+
+def _get(port: int, path: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=5
+        ) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def _sessions(port: int) -> tuple[int, dict]:
+    status, body = _get(port, "/sessions")
+    return status, json.loads(body)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestSessionsDocument:
+    def test_no_callback_reports_disabled(self, registry):
+        with MetricsServer(registry) as server:
+            status, doc = _sessions(server.port)
+        assert status == 200
+        assert doc == {"sessions": [], "count": 0, "enabled": False}
+
+    def test_ledgers_served_as_json(self, registry):
+        ledgers = [
+            {"session": "s-1", "requests": 41, "device_bytes_held": 2048},
+            {"session": "s-2", "requests": 7, "device_bytes_held": 0},
+        ]
+        server = MetricsServer(registry, sessions=lambda: ledgers)
+        with server:
+            status, doc = _sessions(server.port)
+        assert status == 200
+        assert doc["enabled"] is True
+        assert doc["count"] == 2
+        assert doc["sessions"][0]["session"] == "s-1"
+        assert doc["sessions"][1]["requests"] == 7
+
+    def test_callback_sees_live_mutations(self, registry):
+        ledgers: list[dict] = []
+        with MetricsServer(registry, sessions=lambda: ledgers) as server:
+            _, before = _sessions(server.port)
+            ledgers.append({"session": "s-1", "requests": 1})
+            _, after = _sessions(server.port)
+        assert before["count"] == 0
+        assert after["count"] == 1
+
+    def test_failing_callback_is_500_not_fatal(self, registry):
+        def broken() -> list:
+            raise RuntimeError("registry walked away")
+
+        with MetricsServer(registry, sessions=broken) as server:
+            status, doc = _sessions(server.port)
+            mstatus, _ = _get(server.port, "/metrics")
+        assert status == 500
+        assert "registry walked away" in doc["error"]
+        assert doc["sessions"] == []
+        assert mstatus == 200  # the scrape endpoint survives
+
+    def test_non_serializable_fields_coerced(self, registry):
+        class Odd:
+            def __str__(self) -> str:
+                return "odd-value"
+
+        server = MetricsServer(
+            registry, sessions=lambda: [{"session": "s", "extra": Odd()}]
+        )
+        with server:
+            status, doc = _sessions(server.port)
+        assert status == 200
+        assert doc["sessions"][0]["extra"] == "odd-value"
+
+    def test_sessions_served_while_stopping(self, registry):
+        """Draining still answers /sessions so `repro top` keeps working
+        until the socket actually dies."""
+        ledgers = [{"session": "s-1", "requests": 3}]
+        with MetricsServer(registry, sessions=lambda: ledgers) as server:
+            server.mark_stopping()
+            hstatus, _ = _get(server.port, "/healthz")
+            sstatus, doc = _sessions(server.port)
+        assert hstatus == 503
+        assert sstatus == 200
+        assert doc["count"] == 1
+
+    def test_query_string_ignored(self, registry):
+        with MetricsServer(registry, sessions=lambda: []) as server:
+            status, doc = _sessions(server.port)
+            qstatus, body = _get(server.port, "/sessions?pretty=1")
+        assert status == qstatus == 200
+        assert json.loads(body) == doc
+
+
+class TestConcurrentScrapes:
+    def test_scrapes_survive_registry_mutation(self, registry):
+        """Concurrent /metrics + /sessions reads while label series are
+        created and removed must never 500 or serve torn text."""
+        gauge = registry.gauge(
+            "rcuda_session_requests", "", labelnames=("session",)
+        )
+        ledgers: list[dict] = []
+        stop = threading.Event()
+        failures: list = []
+
+        def scrape(port: int, path: str) -> None:
+            while not stop.is_set():
+                status, body = _get(port, path)
+                if status != 200:
+                    failures.append((path, status))
+                    return
+                if path == "/sessions":
+                    json.loads(body)
+
+        with MetricsServer(registry, sessions=lambda: list(ledgers)) as server:
+            threads = [
+                threading.Thread(
+                    target=scrape, args=(server.port, path), daemon=True
+                )
+                for path in ("/metrics", "/sessions", "/metrics", "/healthz")
+            ]
+            for t in threads:
+                t.start()
+            for i in range(150):  # churn series under the scrapers
+                sid = f"s-{i % 8}"
+                gauge.set(i, session=sid)
+                ledgers.append({"session": sid, "requests": i})
+                if i % 3 == 0:
+                    gauge.remove(session=sid)
+                    ledgers.clear()
+            stop.set()
+            for t in threads:
+                t.join(timeout=5)
+        assert failures == []
+        assert gauge.series_count() <= 8

@@ -1,0 +1,323 @@
+"""Streaming quantiles and the SLO burn-rate engine.
+
+The property test here is an acceptance criterion: the sketch must stay
+within 5% relative error of the exact percentile on randomized
+workloads while holding O(1) memory.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.slo import (
+    P2Quantile,
+    QuantileSketch,
+    SloEngine,
+    SloObjective,
+    default_objectives,
+    parse_objective,
+)
+from repro.obs.spans import KIND_SERVER, Span
+
+QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile matching the sketch's rank convention."""
+    ordered = sorted(values)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+def workloads(seed: int) -> dict[str, list[float]]:
+    """Randomized latency-like workloads, all inside the sketch range."""
+    rng = random.Random(seed)
+    return {
+        "uniform": [rng.uniform(1e-4, 1e-1) for _ in range(4000)],
+        "exponential": [rng.expovariate(1000.0) + 1e-6 for _ in range(4000)],
+        "lognormal": [rng.lognormvariate(-7.0, 1.5) for _ in range(4000)],
+        "bimodal": [
+            rng.gauss(1e-4, 1e-5) if rng.random() < 0.8
+            else rng.gauss(1e-2, 1e-3)
+            for _ in range(4000)
+        ],
+    }
+
+
+class TestQuantileSketchProperty:
+    @pytest.mark.parametrize("seed", [7, 23, 1789])
+    def test_within_5pct_of_exact_on_random_workloads(self, seed):
+        for name, values in workloads(seed).items():
+            values = [max(v, 1e-9) for v in values]
+            sketch = QuantileSketch()
+            for v in values:
+                sketch.observe(v)
+            for q in QUANTILES:
+                exact = exact_quantile(values, q)
+                got = sketch.quantile(q)
+                rel = abs(got - exact) / exact
+                assert rel <= 0.05, (
+                    f"{name} p{q * 100:g}: sketch {got:.6g} vs exact "
+                    f"{exact:.6g} ({rel:.2%} off)"
+                )
+
+    def test_memory_is_bounded_regardless_of_count(self):
+        rng = random.Random(42)
+        sketch = QuantileSketch()
+        for _ in range(1_000):
+            sketch.observe(rng.lognormvariate(-7.0, 2.0))
+        after_1k = len(sketch)
+        for _ in range(49_000):
+            sketch.observe(rng.lognormvariate(-7.0, 2.0))
+        assert sketch.count == 50_000
+        # 50x the stream, yet the live-bucket set stays under the fixed
+        # ceiling: memory is O(bucket_limit), not O(n).
+        assert after_1k <= sketch.bucket_limit
+        assert len(sketch) <= sketch.bucket_limit
+        assert sketch.bucket_limit < 500  # truly O(1): a few hundred ints
+
+    def test_documented_error_bound_matches_growth(self):
+        sketch = QuantileSketch(growth=1.08)
+        assert math.sqrt(1.08) - 1 < 0.05  # the bound the 5% claim rests on
+
+    def test_min_max_mean_exact(self):
+        sketch = QuantileSketch()
+        for v in (0.001, 0.002, 0.009):
+            sketch.observe(v)
+        assert sketch.min == 0.001
+        assert sketch.max == 0.009
+        assert sketch.mean == pytest.approx(0.004)
+        assert sketch.quantile(0.0) == 0.001
+        assert sketch.quantile(1.0) == 0.009
+
+    def test_empty_and_bad_inputs(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.5) == 0.0
+        with pytest.raises(ConfigurationError):
+            sketch.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(lo=1.0, hi=0.5)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(growth=1.0)
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        p2 = P2Quantile(0.5)
+        assert p2.value() == 0.0
+        for v in (3.0, 1.0, 2.0):
+            p2.observe(v)
+        assert p2.value() == 2.0
+
+    def test_tracks_median_of_uniform_stream(self):
+        rng = random.Random(11)
+        p2 = P2Quantile(0.5)
+        for _ in range(20_000):
+            p2.observe(rng.uniform(0.0, 1.0))
+        assert p2.value() == pytest.approx(0.5, abs=0.03)
+
+    def test_tracks_p99_tail(self):
+        rng = random.Random(5)
+        p2 = P2Quantile(0.99)
+        values = [rng.expovariate(1.0) for _ in range(20_000)]
+        for v in values:
+            p2.observe(v)
+        exact = exact_quantile(values, 0.99)
+        assert p2.value() == pytest.approx(exact, rel=0.10)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            P2Quantile(1.0)
+
+
+class TestObjectiveSpec:
+    def test_parse_full_spec(self):
+        obj = parse_objective(
+            "memcpy-tail:latency_seconds:p99<=0.005:cudaMemcpy:h2d"
+        )
+        assert obj.name == "memcpy-tail"
+        assert obj.metric == "latency_seconds"
+        assert obj.quantile == pytest.approx(0.99)
+        assert obj.threshold == pytest.approx(0.005)
+        assert obj.call == "cudaMemcpy"
+        assert obj.phase == "h2d"
+
+    def test_parse_minimal_spec(self):
+        obj = parse_objective("model:model_ratio:p95<=1.5")
+        assert (obj.call, obj.phase, obj.network) == (None, None, None)
+        assert obj.budget == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("spec", [
+        "name-only",
+        "a:b:no-operator",
+        "a:b:q99<=1",           # quantile must be pNN
+        "a:b:p99<=not-a-number",
+        "a:b:p200<=1",          # quantile outside (0, 1)
+        "a:b:p99<=0",           # threshold must be positive
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_objective(spec)
+
+    def test_matches_respects_selectors(self):
+        obj = SloObjective(
+            name="o", threshold=1.0, call="cudaMemcpy", phase="d2h"
+        )
+        assert obj.matches("latency_seconds", "cudaMemcpy", "d2h", "local")
+        assert not obj.matches("latency_seconds", "cudaMemcpy", "h2d", "local")
+        assert not obj.matches("model_ratio", "cudaMemcpy", "d2h", "local")
+
+    def test_describe_mentions_scope(self):
+        assert "call=cudaMemcpy" in SloObjective(
+            name="o", threshold=0.005, call="cudaMemcpy"
+        ).describe()
+        assert "all series" in SloObjective(name="o", threshold=1.0).describe()
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 1000.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def engine(**kwargs) -> tuple[SloEngine, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(
+        objectives=[SloObjective(name="tail", threshold=0.005, quantile=0.99)],
+        window_seconds=60.0,
+        buckets=6,
+        min_samples=1,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return SloEngine(**defaults), clock
+
+
+class TestSloEngine:
+    def test_no_data_then_ok_then_breach(self):
+        eng, clock = engine()
+        assert eng.status == "no-data"
+        for _ in range(100):
+            eng.observe("cudaMemcpy", "h2d", 0.001)
+        assert eng.status == "ok"
+        for _ in range(10):  # 10/110 violations >> 1% budget
+            eng.observe("cudaMemcpy", "h2d", 0.100)
+        assert eng.status == "breach"
+
+    def test_burn_rate_is_violation_over_budget(self):
+        eng, clock = engine()
+        for _ in range(98):
+            eng.observe("cudaMemcpy", "h2d", 0.001)
+        for _ in range(2):
+            eng.observe("cudaMemcpy", "h2d", 0.100)
+        [row] = eng.evaluate()
+        assert row["window_samples"] == 100
+        assert row["window_violations"] == 2
+        assert row["burn_rate"] == pytest.approx(2.0)  # 2% spent of 1% budget
+        assert not row["ok"]
+
+    def test_window_forgets_old_violations(self):
+        eng, clock = engine()
+        for _ in range(5):
+            eng.observe("cudaMemcpy", "h2d", 0.100)
+        assert eng.status == "breach"
+        clock.t += 120.0  # two windows later the burn is history
+        [row] = eng.evaluate()
+        assert row["window_samples"] == 0
+        assert row["burn_rate"] == 0.0
+        assert row["ok"]
+
+    def test_min_samples_suppresses_early_alarms(self):
+        eng, clock = engine(min_samples=10)
+        eng.observe("cudaMemcpy", "h2d", 1.0)  # one terrible sample
+        [row] = eng.evaluate()
+        assert row["ok"]  # not enough evidence to page anyone
+
+    def test_selectors_scope_the_window(self):
+        eng, clock = engine(objectives=[
+            SloObjective(name="memcpy-only", threshold=0.005,
+                         quantile=0.99, call="cudaMemcpy"),
+        ])
+        eng.observe("cudaLaunch", "launch", 9.0)  # out of scope
+        [row] = eng.evaluate()
+        assert row["window_samples"] == 0
+        eng.observe("cudaMemcpy", "h2d", 9.0)
+        [row] = eng.evaluate()
+        assert row["window_samples"] == 1
+
+    def test_quantile_query_and_series_table(self):
+        eng, clock = engine()
+        for ms in range(1, 101):
+            eng.observe("cudaMemcpy", "h2d", ms * 1e-3)
+        assert eng.quantile("cudaMemcpy", "h2d", 0.5) == pytest.approx(
+            0.050, rel=0.05
+        )
+        assert eng.quantile("cudaLaunch", "launch", 0.5) is None
+        [row] = eng.series_table()
+        assert row["call"] == "cudaMemcpy"
+        assert row["phase"] == "h2d"
+        assert row["count"] == 100
+        assert row["p99"] == pytest.approx(0.099, rel=0.05)
+
+    def test_observe_span_ingests_finished_spans_only(self):
+        eng, clock = engine()
+        open_span = Span(name="cudaMemcpy", kind=KIND_SERVER,
+                         session="s", seq=1, start=0.0)
+        eng.observe_span(open_span)
+        assert eng.status == "no-data"
+        done = Span(name="cudaMemcpy", kind=KIND_SERVER, session="s",
+                    seq=2, start=0.0, end=0.002, attrs={"phase": "h2d"})
+        eng.observe_span(done)
+        assert eng.quantile("cudaMemcpy", "h2d", 0.5) is not None
+
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SloEngine(objectives=[
+                SloObjective(name="x", threshold=1.0),
+                SloObjective(name="x", threshold=2.0),
+            ])
+
+    def test_health_block_shape(self):
+        eng, clock = engine()
+        eng.observe("cudaMemcpy", "h2d", 0.001)
+        block = eng.health_block()
+        assert block["slo"] == "ok"
+        tail = block["slo_objectives"]["tail"]
+        assert tail["ok"] is True
+        assert tail["window_samples"] == 1
+
+    def test_default_objectives_cover_latency_and_model(self):
+        metrics = {o.metric for o in default_objectives()}
+        assert metrics == {"latency_seconds", "model_ratio"}
+
+
+class TestPrometheusBinding:
+    def test_quantiles_and_burn_rates_published_at_scrape(self):
+        registry = MetricsRegistry()
+        eng, clock = engine(metrics=registry)
+        for _ in range(20):
+            eng.observe("cudaMemcpy", "h2d", 0.001)
+        text = render_prometheus(registry)
+        assert 'rcuda_slo_quantile{' in text
+        assert 'call="cudaMemcpy"' in text
+        assert 'rcuda_slo_burn_rate{objective="tail"} 0' in text
+        assert 'rcuda_slo_ok{objective="tail"} 1' in text
+
+    def test_breach_flips_ok_gauge(self):
+        registry = MetricsRegistry()
+        eng, clock = engine(metrics=registry)
+        for _ in range(20):
+            eng.observe("cudaMemcpy", "h2d", 9.0)
+        text = render_prometheus(registry)
+        assert 'rcuda_slo_ok{objective="tail"} 0' in text
+        [burn_line] = [
+            line for line in text.splitlines()
+            if line.startswith('rcuda_slo_burn_rate{objective="tail"}')
+        ]
+        assert float(burn_line.split()[-1]) == pytest.approx(100.0)

@@ -1,0 +1,190 @@
+"""Fault injection: kill the transport mid-session, get a postmortem.
+
+The acceptance walk for the flight recorder: a client dies with a
+request half on the wire (or a chunked stream half assembled), the
+daemon writes a crash dump holding the last span events, the session's
+accounting ledger and the sticky error, and ``repro postmortem``
+renders it for a human.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, read_postmortem
+from repro.protocol.codec import encode_request
+from repro.protocol.messages import MemcpyStreamBeginRequest
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.rcuda.server.session import CLOSE_MID_MESSAGE, CLOSE_MID_STREAM
+from repro.simcuda import SimulatedGpu, fabricate_module
+from repro.simcuda.types import MemcpyKind
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    daemon = RCudaDaemon(
+        SimulatedGpu(),
+        metrics=MetricsRegistry(),
+        postmortem_dir=str(tmp_path / "dumps"),
+    )
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+def _client(daemon) -> RCudaClient:
+    module = fabricate_module("t", ["saxpy"], 1024)
+    return RCudaClient.connect_tcp("127.0.0.1", daemon.port, module)
+
+
+def _kill_mid_message(client) -> None:
+    """Push half a function id onto the wire, then vanish."""
+    sock = client.runtime.transport._sock
+    sock.sendall(b"\x01\x00")  # 2 of the 4 header bytes
+    sock.close()
+
+
+class TestMidMessageDeath:
+    def test_dump_holds_spans_ledger_and_sticky_error(self, daemon):
+        client = _client(daemon)
+        err, ptr = client.runtime.cudaMalloc(4096)
+        assert err == 0
+        err, _ = client.runtime.cudaMemcpy(
+            ptr, 0, 4096, MemcpyKind.cudaMemcpyHostToDevice,
+            host_data=b"x" * 4096,
+        )
+        assert err == 0
+        _kill_mid_message(client)
+        assert _wait_until(lambda: daemon.postmortem_paths)
+
+        dump = read_postmortem(daemon.postmortem_paths[0])
+        assert dump["reason"] == CLOSE_MID_MESSAGE
+        assert dump["sticky_error"] == "cudaErrorUnknown"
+
+        # The flight recorder kept the tail of the request timeline.
+        span_names = [
+            e["name"] for e in dump["events"] if e["kind"] == "span"
+        ]
+        assert "cudaMalloc" in span_names
+        assert "cudaMemcpy" in span_names
+        # And the lifecycle + error events around it.
+        kinds = {e["kind"] for e in dump["events"]}
+        assert {"session", "error"} <= kinds
+
+        # The session ledger rode along, frozen at time of death.
+        [ledger] = dump["sessions"]
+        assert ledger["close_reason"] == CLOSE_MID_MESSAGE
+        assert ledger["last_error_name"] == "cudaErrorUnknown"
+        assert ledger["finished"] is True
+        assert ledger["requests"] >= 3  # init + malloc + memcpy
+        assert ledger["allocs"] == 1
+        assert ledger["device_bytes_held"] == 4096
+        assert ledger["bytes_in"] > 4096  # the copy payload made it over
+
+        # Metrics snapshot for the same instant.
+        assert "rcuda_rpc_latency_seconds" in dump["metrics"]
+
+    def test_dead_session_shows_in_ledgers_without_new_connection(self, daemon):
+        """/sessions must list a just-died session as recently finished
+        even though pruning normally waits for the next accept."""
+        client = _client(daemon)
+        client.runtime.cudaMalloc(256)
+        _kill_mid_message(client)
+        assert _wait_until(lambda: daemon.postmortem_paths)
+        [ledger] = daemon.session_ledgers()
+        assert ledger["finished"] is True
+        assert ledger["close_reason"] == CLOSE_MID_MESSAGE
+
+    def test_daemon_counts_the_unclean_close(self, daemon):
+        client = _client(daemon)
+        _kill_mid_message(client)
+        assert _wait_until(lambda: daemon.unclean_sessions == 1)
+        # A later clean session must not add dumps or unclean counts.
+        with _client(daemon) as clean:
+            clean.runtime.cudaMalloc(64)
+        assert _wait_until(lambda: daemon.completed_sessions == 2)
+        assert daemon.unclean_sessions == 1
+        assert len(daemon.postmortem_paths) == 1
+
+
+class TestMidStreamDeath:
+    def test_open_stream_at_close_is_its_own_reason(self, daemon):
+        client = _client(daemon)
+        err, ptr = client.runtime.cudaMalloc(1 << 20)
+        assert err == 0
+        # Open a chunked H2D stream by hand, then die before any chunk:
+        # the server sits on a message boundary but with a stream open.
+        begin = MemcpyStreamBeginRequest(
+            dst=ptr, src=0, size=1 << 20,
+            kind=int(MemcpyKind.cudaMemcpyHostToDevice),
+            chunk_bytes=64 << 10, stream_id=0,
+        )
+        sock = client.runtime.transport._sock
+        sock.sendall(encode_request(begin))
+        assert _wait_until(
+            lambda: daemon.sessions and daemon.sessions[0].open_streams == 1
+        )
+        sock.close()
+        assert _wait_until(lambda: daemon.postmortem_paths)
+
+        dump = read_postmortem(daemon.postmortem_paths[0])
+        assert dump["reason"] == CLOSE_MID_STREAM
+        [ledger] = dump["sessions"]
+        assert ledger["open_streams"] == 1
+        assert ledger["last_error_name"] == "cudaErrorUnknown"
+
+
+class TestPostmortemCli:
+    def test_cli_renders_a_real_dump(self, daemon, capsys):
+        client = _client(daemon)
+        client.runtime.cudaMalloc(128)
+        _kill_mid_message(client)
+        assert _wait_until(lambda: daemon.postmortem_paths)
+        path = daemon.postmortem_paths[0]
+
+        assert main(["postmortem", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"POSTMORTEM: {CLOSE_MID_MESSAGE}" in out
+        assert "sticky error: cudaErrorUnknown" in out
+        assert "Session accounting at time of death" in out
+        assert "cudaMalloc" in out
+
+    def test_cli_rejects_non_dump(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-dump.json"
+        bogus.write_text(json.dumps({"nope": 1}))
+        assert main(["postmortem", str(bogus)]) == 2
+        assert "not a postmortem dump" in capsys.readouterr().err
+
+
+class TestTopCli:
+    def test_top_once_renders_live_daemon(self, daemon, capsys):
+        from repro.obs import MetricsServer
+
+        client = _client(daemon)
+        client.runtime.cudaMalloc(2048)
+        server = MetricsServer(
+            daemon.metrics,
+            health=daemon.health_snapshot
+            if hasattr(daemon, "health_snapshot") else None,
+            sessions=daemon.session_ledgers,
+        )
+        with server:
+            code = main([
+                "top", "--url", f"http://127.0.0.1:{server.port}",
+                "--once", "--no-clear",
+            ])
+        client.close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rCUDA" in out or "session" in out.lower()
