@@ -125,7 +125,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         Tracer,
         parse_objective,
     )
-    from repro.rcuda import RCudaDaemon
+    from repro.rcuda import AsyncRCudaDaemon, RCudaDaemon
     from repro.simcuda import SimulatedGpu
 
     sink = JsonlSink(args.log_json) if args.log_json else None
@@ -139,11 +139,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         network=args.network_label,
     )
 
-    daemon = RCudaDaemon(
-        SimulatedGpu(), host=args.host, port=args.port,
+    common = dict(
+        host=args.host, port=args.port,
         tracer=tracer, metrics=registry, slo=slo,
         postmortem_dir=args.postmortem_dir,
+        max_sessions=args.max_sessions,
     )
+    if args.use_async:
+        daemon = AsyncRCudaDaemon(
+            SimulatedGpu(), idle_timeout=args.idle_timeout, **common
+        )
+    else:
+        if args.idle_timeout is not None:
+            print(
+                "error: --idle-timeout requires --async "
+                "(the thread daemon blocks per connection)",
+                file=sys.stderr,
+            )
+            return 2
+        daemon = RCudaDaemon(SimulatedGpu(), **common)
     port = daemon.start()
     metrics_server = None
 
@@ -152,13 +166,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "sessions": daemon.active_sessions,
             "sessions_total": daemon.total_sessions,
             "unclean_sessions": daemon.unclean_sessions,
+            "rejected_sessions": daemon.rejected_sessions,
             "stopping": daemon.stopping,
         }
+        if args.use_async:
+            # Event-loop lag is the multiplexed server's saturation
+            # signal; surface it where the probes already look.
+            doc["loop_lag_seconds"] = round(daemon.loop_lag_seconds, 6)
+            doc["loop_lag_max_seconds"] = round(daemon.loop_lag_max, 6)
+            doc["loop_connections"] = daemon.loop_connections
+            doc["backpressure_stalls"] = daemon.backpressure_stalls
         doc.update(slo.health_block())
         return doc
 
     try:
-        print(f"rCUDA daemon listening on {args.host}:{port} (Ctrl-C to stop)")
+        mode = "event-loop" if args.use_async else "thread-per-connection"
+        print(
+            f"rCUDA daemon ({mode}) listening on {args.host}:{port} "
+            f"(Ctrl-C to stop)"
+        )
+        if args.max_sessions is not None:
+            print(f"admission control: at most {args.max_sessions} sessions")
+        if args.use_async and args.idle_timeout is not None:
+            print(f"idle sessions reaped after {args.idle_timeout:g}s")
         for objective in slo.objectives:
             print(f"SLO {objective.describe()}")
         if daemon.postmortem_dir is not None:
@@ -533,6 +563,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--postmortem-dir", default=None, metavar="DIR",
                    help="write flight-recorder crash dumps here on unclean "
                         "session ends (also honours $REPRO_POSTMORTEM_DIR)")
+    p.add_argument("--async", dest="use_async", action="store_true",
+                   help="serve from the selector event loop (thousands of "
+                        "multiplexed sessions, one I/O thread) instead of "
+                        "a thread per connection")
+    p.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                   help="admission control: refuse connections past N live "
+                        "sessions with a clean protocol error")
+    p.add_argument("--idle-timeout", type=float, default=None, metavar="SEC",
+                   help="(--async only) close sessions idle for SEC seconds "
+                        "with a clean keepalive close")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

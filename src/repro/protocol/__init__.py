@@ -73,6 +73,7 @@ from repro.protocol.accounting import (
     request_response_bytes,
     table1_from_codec,
 )
+from repro.protocol.streamdec import StreamDecoder
 
 __all__ = [
     "EventCreateRequest",
@@ -99,6 +100,7 @@ __all__ = [
     "Response",
     "SetupArgsRequest",
     "StreamCreateRequest",
+    "StreamDecoder",
     "StreamSyncRequest",
     "SyncRequest",
     "ValueResponse",

@@ -372,6 +372,10 @@ def encode_response_vectored(response: Response) -> list:
     per-type fields).  A D2H memcpy's data rides as its own buffer --
     typically a NumPy view of device memory -- so the server can send
     header + payload with one vectored write and zero staging copies."""
+    if type(response) is Response:
+        # The bare ack every memset/free/sync sends: skip the per-type
+        # chain below (it would test every subclass first).
+        return [pack_u4(response.error)]
     if isinstance(response, InitResponse):
         major, minor = response.compute_capability
         return [pack_u4(major) + pack_u4(minor) + pack_u4(response.error)]

@@ -17,10 +17,12 @@ package.
 from repro.rcuda.client.connection import RCudaClient
 from repro.rcuda.client.runtime import RemoteCudaRuntime
 from repro.rcuda.server.daemon import RCudaDaemon
+from repro.rcuda.server.eventloop import AsyncRCudaDaemon
 from repro.rcuda.server.handler import SessionHandler
 from repro.rcuda.server.session import ServerSession
 
 __all__ = [
+    "AsyncRCudaDaemon",
     "RCudaClient",
     "RCudaDaemon",
     "RemoteCudaRuntime",

@@ -50,7 +50,12 @@ class RCudaClient:
         status = runtime.initialize(module)
         if status != CudaError.cudaSuccess:
             runtime.close()
-            check(status, "rCUDA initialization")
+            # An admission refusal keeps its readable explanation (and
+            # ``runtime.last_error`` stays sticky past the close).
+            check(
+                status,
+                runtime.refusal_detail or "rCUDA initialization",
+            )
         return cls(runtime)
 
     @classmethod

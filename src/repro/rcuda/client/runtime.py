@@ -113,6 +113,10 @@ class RemoteCudaRuntime:
         self._reader = MessageReader(transport)
         self.compute_capability: tuple[int, int] | None = None
         self.last_error = CudaError.cudaSuccess
+        #: Readable reason when the server refused initialization
+        #: (admission control); ``last_error`` holds the sticky
+        #: ``cudaErrorUnknown`` the refusal surfaces as.
+        self.refusal_detail: str | None = None
         self._launch_config: tuple[Dim3, Dim3, int, int] | None = None
         self._staged_args: list = []
         self.calls_made = 0
@@ -433,9 +437,22 @@ class RemoteCudaRuntime:
     # -- initialization stage --------------------------------------------------
 
     def initialize(self, module: GpuModule) -> CudaError:
-        """Ship the GPU module; stores the device's compute capability."""
+        """Ship the GPU module; stores the device's compute capability.
+
+        A daemon at its ``max_sessions`` admission limit answers with
+        ``cudaErrorDevicesUnavailable`` instead of stalling the
+        connection; that refusal surfaces here as a sticky CUDA-style
+        ``cudaErrorUnknown`` (``refusal_detail`` keeps the readable
+        explanation for the raise site)."""
         response = self._call(InitRequest(module=module.payload))
         assert isinstance(response, InitResponse)
+        if response.error == int(CudaError.cudaErrorDevicesUnavailable):
+            self.refusal_detail = (
+                "server refused the session: daemon is at its "
+                "--max-sessions admission limit"
+            )
+            self.last_error = CudaError.cudaErrorUnknown
+            return CudaError.cudaErrorUnknown
         if response.error == 0:
             self.compute_capability = response.compute_capability
         return CudaError(response.error)

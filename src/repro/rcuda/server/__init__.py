@@ -1,8 +1,15 @@
 """Server side of the middleware: daemon, per-connection sessions, and the
 request handler mapping wire messages onto the CUDA runtime."""
 
-from repro.rcuda.server.daemon import RCudaDaemon
+from repro.rcuda.server.daemon import DaemonCore, RCudaDaemon
+from repro.rcuda.server.eventloop import AsyncRCudaDaemon
 from repro.rcuda.server.handler import SessionHandler
 from repro.rcuda.server.session import ServerSession
 
-__all__ = ["RCudaDaemon", "ServerSession", "SessionHandler"]
+__all__ = [
+    "AsyncRCudaDaemon",
+    "DaemonCore",
+    "RCudaDaemon",
+    "ServerSession",
+    "SessionHandler",
+]

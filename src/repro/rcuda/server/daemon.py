@@ -1,22 +1,29 @@
 """The rCUDA server daemon.
 
 "On the other side, there is a GPU network service listening for requests
-on a TCP port" (Section III).  The daemon accepts connections and spawns
-one :class:`~repro.rcuda.server.session.ServerSession` per client -- the
-paper's process-per-remote-execution; threads here, since the simulated
-device is in-process -- each over a fresh, pre-initialized GPU context, so
-several applications can time-share the accelerator concurrently.
+on a TCP port" (Section III).  Two serving modes share one core:
+
+* :class:`RCudaDaemon` -- the classic blocking mode: one accept loop,
+  one thread per connection (the paper's process-per-remote-execution;
+  threads here, since the simulated device is in-process);
+* :class:`~repro.rcuda.server.eventloop.AsyncRCudaDaemon` -- a
+  selector-based event loop multiplexing thousands of connections in one
+  I/O thread, with bounded per-session queues and explicit backpressure
+  (the ROADMAP's "async daemon rearchitecture").
+
+:class:`DaemonCore` carries everything mode-independent: the session
+registry and its pruning, per-session accounting ledgers (the
+``/sessions`` document), metrics gauges, flight-recorder postmortems,
+and **admission control** -- ``max_sessions`` caps concurrently attached
+sessions, and an over-capacity connection is refused with a clean
+protocol error (an ``InitResponse`` carrying
+``cudaErrorDevicesUnavailable``) instead of being accepted and stalled;
+the client surfaces that as a sticky ``cudaErrorUnknown`` with a
+readable message.
 
 Besides TCP, ``serve_transport`` attaches a session to any transport
 (e.g. an in-process pair), which is how tests and single-process examples
 run a real client/server exchange without opening ports.
-
-Finished sessions are pruned as new connections arrive (long-lived
-daemons no longer grow one dead entry per connection), ``stop()`` closes
-live session transports so shutdown does not stall for the join timeout,
-and -- when a :class:`~repro.obs.metrics.MetricsRegistry` is attached --
-session counts, request totals, device-memory occupancy and per-session
-ledgers are exposed for the `--metrics-port` scrape endpoint.
 
 A :class:`~repro.obs.flight.FlightRecorder` rides along by default:
 every session logs lifecycle, span and stream events into one shared
@@ -37,8 +44,11 @@ from collections import deque
 from repro.errors import TransportError
 from repro.obs.flight import EVENT_DAEMON, FlightRecorder, build_postmortem, write_postmortem
 from repro.obs.spans import Tracer
+from repro.protocol.codec import MessageReader, decode_init, encode_response
+from repro.protocol.messages import InitResponse
 from repro.rcuda.server.session import ServerSession
 from repro.simcuda.device import SimulatedGpu
+from repro.simcuda.errors import CudaError
 from repro.transport.base import Transport
 from repro.transport.tcp import TcpTransport
 
@@ -53,9 +63,20 @@ POSTMORTEM_DIR_ENV = "REPRO_POSTMORTEM_DIR"
 #: Finished-session ledgers the daemon keeps for /sessions.
 RECENT_LEDGERS = 32
 
+#: Listen backlog: a connection storm from a whole cluster partition must
+#: queue in the kernel instead of seeing resets (the old 16 dropped SYNs
+#: under the many-client benchmark's simultaneous dials).
+LISTEN_BACKLOG = 1024
 
-class RCudaDaemon:
-    """Accept loop + session threads over one simulated GPU."""
+#: The wire error an over-capacity daemon answers initialization with.
+#: The client maps it to a sticky ``cudaErrorUnknown`` plus a readable
+#: refusal message (see ``RemoteCudaRuntime.initialize``).
+ADMISSION_REFUSED_ERROR = int(CudaError.cudaErrorDevicesUnavailable)
+
+
+class DaemonCore:
+    """Mode-independent daemon state: sessions, ledgers, metrics,
+    postmortems, admission control, and thread-based transport serving."""
 
     def __init__(
         self,
@@ -69,13 +90,16 @@ class RCudaDaemon:
         accounting: bool = True,
         postmortem_dir: str | None = None,
         max_postmortems: int = 8,
+        max_sessions: int | None = None,
     ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise TransportError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
         self.device = device
         self.host = host
         self._requested_port = port
         self.port: int | None = None
-        self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
         self._session_threads: list[threading.Thread] = []
         self.sessions: list[ServerSession] = []
         self._lock = threading.Lock()
@@ -92,11 +116,14 @@ class RCudaDaemon:
             postmortem_dir = os.environ.get(POSTMORTEM_DIR_ENV) or None
         self.postmortem_dir = postmortem_dir
         self.max_postmortems = max_postmortems
+        self.max_sessions = max_sessions
         #: Paths of dumps written by this daemon (bounded by
         #: ``max_postmortems`` so a crash-looping client cannot fill disk).
         self.postmortem_paths: list = []
-        #: Sessions that ended any way but a clean client close.
+        #: Sessions that ended any way but a clean close.
         self.unclean_sessions = 0
+        #: Connections refused by admission control (``max_sessions``).
+        self.rejected_sessions = 0
         #: Ledgers of recently finished sessions, for /sessions.
         self._recent_ledgers: deque[dict] = deque(maxlen=RECENT_LEDGERS)
         #: Connections ever accepted (pruning forgets dead sessions, this
@@ -122,6 +149,10 @@ class RCudaDaemon:
             "rcuda_sessions_completed",
             "Sessions that have finished and released their GPU context.",
         ).set_function(lambda: self.completed_sessions)
+        metrics.gauge(
+            "rcuda_sessions_rejected_total",
+            "Connections refused by max-sessions admission control.",
+        ).set_function(lambda: self.rejected_sessions)
         memory = self.device.memory
         metrics.gauge(
             "rcuda_device_mem_used_bytes",
@@ -222,7 +253,7 @@ class RCudaDaemon:
     def _on_session_unclean(
         self, session: ServerSession, reason: str, detail: str
     ) -> None:
-        """Session-thread callback: an unclean close just happened."""
+        """Session callback: an unclean close just happened."""
         self.unclean_sessions += 1
         acct = session.accounting
         sticky = (
@@ -264,54 +295,54 @@ class RCudaDaemon:
         with self._lock:
             self.postmortem_paths.append(path)
 
-    # -- TCP service -------------------------------------------------------
+    # -- admission control -------------------------------------------------
 
-    def start(self) -> int:
-        """Bind, listen and start accepting; returns the bound port."""
-        if self._running:
-            raise TransportError("daemon is already running")
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        try:
-            listener.bind((self.host, self._requested_port))
-        except OSError as exc:
-            listener.close()
-            raise TransportError(
-                f"could not bind {self.host}:{self._requested_port}: {exc}"
-            ) from exc
-        listener.listen(16)
-        # A blocked accept() is not reliably woken by close() from another
-        # thread on Linux; poll so stop() never waits out the join timeout.
-        listener.settimeout(0.1)
-        self._listener = listener
-        self.port = listener.getsockname()[1]
-        self._running = True
+    def at_capacity(self) -> bool:
+        """True when ``max_sessions`` live sessions are already attached."""
+        if self.max_sessions is None:
+            return False
+        return self.active_sessions >= self.max_sessions
+
+    def _refuse_transport(self, transport: Transport) -> None:
+        """Refuse one over-capacity connection with a clean protocol
+        error: consume the initialization message (so the close cannot
+        race the client's pending send and reset it), answer with an
+        ``InitResponse`` carrying ``cudaErrorDevicesUnavailable``, close.
+        Runs in a short-lived thread; never raises."""
+        self.rejected_sessions += 1
         if self.flight is not None:
-            self.flight.record(EVENT_DAEMON, "daemon-start", port=self.port)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="rcuda-accept", daemon=True
+            self.flight.record(
+                EVENT_DAEMON, "session-refused",
+                max_sessions=self.max_sessions,
+            )
+        try:
+            decode_init(MessageReader(transport))
+            transport.send(
+                encode_response(
+                    InitResponse(
+                        error=ADMISSION_REFUSED_ERROR,
+                        compute_capability=(0, 0),
+                    )
+                )
+            )
+        except Exception:
+            pass  # the refused peer may already be gone; nothing to save
+        finally:
+            transport.close()
+
+    def _spawn_refusal(self, transport: Transport) -> None:
+        thread = threading.Thread(
+            target=self._refuse_transport,
+            args=(transport,),
+            name="rcuda-refuse",
+            daemon=True,
         )
-        self._accept_thread.start()
-        return self.port
+        thread.start()
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while self._running:
-            try:
-                conn, _addr = self._listener.accept()
-            except TimeoutError:
-                continue  # periodic wakeup to re-check _running
-            except OSError:
-                break  # listener closed during stop()
-            if not self._running:
-                conn.close()
-                break
-            transport = TcpTransport(conn, nodelay=True)
-            self.serve_transport(transport)
+    # -- serving transports (thread mode; shared by both daemons) ----------
 
-    def serve_transport(self, transport: Transport) -> ServerSession:
-        """Spawn a session thread over an already-connected transport."""
-        session = ServerSession(
+    def _make_session(self, transport: Transport) -> ServerSession:
+        return ServerSession(
             transport,
             self.device,
             tracer=self.tracer,
@@ -321,6 +352,16 @@ class RCudaDaemon:
             accounting=self.accounting,
             on_unclean=self._on_session_unclean,
         )
+
+    def serve_transport(self, transport: Transport) -> ServerSession | None:
+        """Spawn a session thread over an already-connected transport.
+
+        Returns ``None`` when admission control refuses the connection
+        (the refusal handshake happens on its own short-lived thread)."""
+        if self.at_capacity():
+            self._spawn_refusal(transport)
+            return None
+        session = self._make_session(transport)
         thread = threading.Thread(
             target=session.run, name="rcuda-session", daemon=True
         )
@@ -349,6 +390,114 @@ class RCudaDaemon:
         """Forget finished sessions; counters keep the running totals."""
         with self._lock:
             self._prune_locked()
+
+    # -- shared lifecycle --------------------------------------------------
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> int:  # pragma: no cover - abstract by convention
+        raise NotImplementedError
+
+    def stop(self, join_timeout: float = 5.0) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _bind_listener(self) -> socket.socket:
+        """Bind + listen the daemon's TCP socket; sets ``self.port``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self.host, self._requested_port))
+        except OSError as exc:
+            listener.close()
+            raise TransportError(
+                f"could not bind {self.host}:{self._requested_port}: {exc}"
+            ) from exc
+        listener.listen(LISTEN_BACKLOG)
+        self.port = listener.getsockname()[1]
+        return listener
+
+    @property
+    def stopping(self) -> bool:
+        """True once :meth:`stop` has begun (health probes answer 503)."""
+        return self._stopping
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions attached and not yet finished."""
+        with self._lock:
+            return sum(1 for s in self.sessions if not s.finished)
+
+    @property
+    def dispatch_depth(self) -> int:
+        """Requests currently inside a session dispatch (server queue
+        depth as the profiler's counter track sees it)."""
+        with self._lock:
+            return sum(s.dispatching for s in self.sessions)
+
+    @property
+    def session_memory_bytes(self) -> int:
+        """Device bytes held by live allocations, summed over sessions."""
+        with self._lock:
+            return sum(s.device_bytes_held for s in self.sessions)
+
+    @property
+    def completed_sessions(self) -> int:
+        """Sessions that have finished, including pruned ones."""
+        with self._lock:
+            return self._finished_sessions + sum(
+                1 for s in self.sessions if s.finished
+            )
+
+
+class RCudaDaemon(DaemonCore):
+    """Blocking mode: accept loop + one thread per session over one
+    simulated GPU (the seed architecture; kept as the fallback path and
+    the baseline the async daemon is benchmarked against)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+
+    # -- TCP service -------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind, listen and start accepting; returns the bound port."""
+        if self._running:
+            raise TransportError("daemon is already running")
+        listener = self._bind_listener()
+        # A blocked accept() is not reliably woken by close() from another
+        # thread on Linux; poll so stop() never waits out the join timeout.
+        listener.settimeout(0.1)
+        self._listener = listener
+        self._running = True
+        if self.flight is not None:
+            self.flight.record(EVENT_DAEMON, "daemon-start", port=self.port)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="rcuda-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.port
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except TimeoutError:
+                continue  # periodic wakeup to re-check _running
+            except OSError:
+                break  # listener closed during stop()
+            if not self._running:
+                conn.close()
+                break
+            transport = TcpTransport(conn, nodelay=True)
+            self.serve_transport(transport)
 
     def stop(self, join_timeout: float = 5.0) -> None:
         """Stop accepting, close live sessions, and wait for them to drain.
@@ -388,42 +537,3 @@ class RCudaDaemon:
         for thread in threads:
             thread.join(timeout=join_timeout)
         self.prune()
-
-    def __enter__(self) -> "RCudaDaemon":
-        self.start()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    @property
-    def stopping(self) -> bool:
-        """True once :meth:`stop` has begun (health probes answer 503)."""
-        return self._stopping
-
-    @property
-    def active_sessions(self) -> int:
-        """Sessions attached and not yet finished."""
-        with self._lock:
-            return sum(1 for s in self.sessions if not s.finished)
-
-    @property
-    def dispatch_depth(self) -> int:
-        """Requests currently inside a session dispatch (server queue
-        depth as the profiler's counter track sees it)."""
-        with self._lock:
-            return sum(s.dispatching for s in self.sessions)
-
-    @property
-    def session_memory_bytes(self) -> int:
-        """Device bytes held by live allocations, summed over sessions."""
-        with self._lock:
-            return sum(s.device_bytes_held for s in self.sessions)
-
-    @property
-    def completed_sessions(self) -> int:
-        """Sessions that have finished, including pruned ones."""
-        with self._lock:
-            return self._finished_sessions + sum(
-                1 for s in self.sessions if s.finished
-            )

@@ -1,0 +1,906 @@
+"""Selector-based event-loop daemon: thousands of sessions, one I/O thread.
+
+The thread-per-connection :class:`~repro.rcuda.server.daemon.RCudaDaemon`
+reproduces the paper's process-per-remote-execution shape faithfully, but
+a cluster-scale consolidation scenario (Section V: many nodes sharing few
+GPU servers) parks thousands of mostly-idle connections on the daemon --
+and a thread apiece is exactly the memory/scheduler cost the paper's
+"remote GPU virtualization" argument says the server side must not pay.
+
+:class:`AsyncRCudaDaemon` serves the same wire protocol from a single
+``selectors``-driven I/O thread:
+
+* non-blocking accept/read/write; per-connection state machines driven by
+  the codec's own message boundaries (:class:`StreamDecoder` -- one
+  decode implementation, so wire-byte identity with the blocking path
+  holds by construction);
+* bounded per-session queues with explicit backpressure: when a session's
+  decoded-request queue fills or its outbound backlog crosses the high
+  water mark, the loop *stops reading that socket* (the kernel buffer and
+  then TCP flow control push back to the client) and resumes on drain;
+* zero-copy responses survive: dispatch enqueues the same vectored
+  header+payload views the blocking path hands to ``sendmsg``, and the
+  flush path scatter-gathers them in ``IOV_BATCH`` batches.  A D2H
+  payload is a *view of live device memory*, so a session with device
+  views in its outbound queue is not dispatched again until they reach
+  the wire (the flush gate) -- otherwise a later request could mutate
+  the memory mid-send;
+* keepalive with idle timeout, and graceful drain on ``stop()``: queued
+  requests finish, outbound bytes flush, then connections close with the
+  clean ``server-drained`` reason.  Only connections force-closed at the
+  drain deadline count as unclean and trigger the flight-recorder
+  postmortem.
+
+The loop also measures its own health: a heartbeat tick is scheduled
+every ``LAG_TICK`` seconds and the observed lateness (EWMA + max) is the
+event-loop lag that ``/healthz`` reports -- the first saturation signal
+a multiplexed server shows.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from itertools import islice
+
+from repro.errors import ProtocolError, TransportClosedError, TransportError
+from repro.obs.flight import EVENT_DAEMON
+from repro.protocol.codec import encode_response
+from repro.protocol.messages import InitResponse
+from repro.protocol.streamdec import StreamDecoder
+from repro.rcuda.server.daemon import ADMISSION_REFUSED_ERROR, DaemonCore
+from repro.rcuda.server.session import (
+    CLEAN_REASONS,
+    CLOSE_CLEAN,
+    CLOSE_DISPATCH_RAISED,
+    CLOSE_DRAINED,
+    CLOSE_IDLE,
+    CLOSE_MID_DISPATCH,
+    CLOSE_MID_MESSAGE,
+    CLOSE_MID_STREAM,
+    CLOSE_PROTOCOL,
+    ServerSession,
+)
+from repro.transport.base import Transport
+from repro.transport.tcp import IOV_BATCH, SOCKET_BUFFER_BYTES
+
+#: Bytes asked of one non-blocking ``recv`` per readable event.
+RECV_BYTES = 256 << 10
+
+#: Decoded requests a session may queue before the loop stops reading its
+#: socket (backpressure: TCP flow control then pushes back to the client).
+INBOUND_QUEUE_LIMIT = 64
+
+#: Reading resumes once the queue has drained to this depth (hysteresis,
+#: so a session at the limit does not flap interest per message).
+INBOUND_RESUME = 16
+
+#: Outbound backlog (bytes not yet on the wire) above which a session
+#: stops being dispatched *and* stops being read.
+OUTBOUND_HIGH_WATER = 8 << 20
+
+#: Dispatch and reading resume once the backlog flushes below this.
+OUTBOUND_LOW_WATER = 1 << 20
+
+#: Requests dispatched per session per loop pass, so one chatty session
+#: cannot starve a thousand quiet ones.
+DISPATCH_BUDGET = 64
+
+#: Connections accepted per readable-listener event.
+ACCEPT_BURST = 64
+
+#: Heartbeat cadence; observed lateness is the loop-lag health signal.
+LAG_TICK = 0.25
+
+#: Idle/deadline sweep cadence.
+SWEEP_INTERVAL = 1.0
+
+#: A clean close with unflushed bytes gets this long to deliver them.
+FLUSH_GRACE = 5.0
+
+
+def _nbytes(buf) -> int:
+    return len(buf) if isinstance(buf, bytes) else buf.nbytes
+
+
+class _LoopTransport(Transport):
+    """The event loop's transport: sends enqueue, reads are loop-driven.
+
+    ``send``/``send_vectored`` never block and never copy -- buffers (and
+    the zero-copy device-memory views of D2H responses) go into an
+    outbound deque the loop flushes with ``sendmsg`` when the socket is
+    writable.  Byte/message accounting happens at enqueue time, so the
+    session's observed dispatch path sees identical counters to the
+    blocking transport.
+    """
+
+    def __init__(self, sock: socket.socket, nodelay: bool = True) -> None:
+        super().__init__()
+        self._sock = sock
+        self._closed = False
+        #: A fatal send error was seen; the connection is beyond saving.
+        self.dead = False
+        self._outbound: deque = deque()
+        #: Enqueued bytes not yet handed to the kernel.
+        self.unsent_bytes = 0
+        #: True while the outbound queue holds a view of live device
+        #: memory (a zero-copy D2H payload).  The loop must flush before
+        #: dispatching this session again, or a later request could
+        #: mutate the memory mid-send.
+        self.flush_gate = False
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1 if nodelay else 0)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+            try:
+                if sock.getsockopt(socket.SOL_SOCKET, opt) < SOCKET_BUFFER_BYTES:
+                    sock.setsockopt(socket.SOL_SOCKET, opt, SOCKET_BUFFER_BYTES)
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+
+    def send(self, data) -> None:
+        if type(data) is bytes:
+            # The single-buffer ack path every small response takes:
+            # enqueue and account without the vectored loop's dispatch.
+            if self._closed or self.dead:
+                raise TransportClosedError("send on a closed transport")
+            nbytes = len(data)
+            if nbytes:
+                self._outbound.append(data)
+                self.unsent_bytes += nbytes
+            self.bytes_sent += nbytes
+            self.messages_sent += 1
+            return
+        self.send_vectored((data,), messages=1)
+
+    def send_vectored(self, bufs, messages: int = 1) -> None:
+        if self._closed or self.dead:
+            raise TransportClosedError("send on a closed transport")
+        total = 0
+        for buf in bufs:
+            if isinstance(buf, bytes):
+                if buf:
+                    self._outbound.append(buf)
+                    total += len(buf)
+            else:
+                view = memoryview(buf).cast("B")
+                if view.nbytes:
+                    self._outbound.append(view)
+                    total += view.nbytes
+                    # Conservatively treat any borrowed view as a device
+                    # view: flush before the session dispatches again.
+                    self.flush_gate = True
+        self.unsent_bytes += total
+        self._account_send(total, messages=messages)
+
+    def flush(self) -> bool:
+        """Push queued buffers to the kernel; True when fully drained,
+        False when the socket would block.  Raises TransportError on a
+        dead peer (and marks the transport dead)."""
+        out = self._outbound
+        while out:
+            batch = list(islice(out, IOV_BATCH))
+            try:
+                sent = self._sock.sendmsg(batch)
+            except (BlockingIOError, InterruptedError):
+                return False
+            except OSError as exc:
+                self.dead = True
+                raise TransportError(f"TCP sendmsg failed: {exc}") from exc
+            self.unsent_bytes -= sent
+            while out and sent >= _nbytes(out[0]):
+                sent -= _nbytes(out[0])
+                out.popleft()
+            if sent:
+                out[0] = memoryview(out[0])[sent:]
+        self.flush_gate = False
+        return True
+
+    def recv_exact(self, nbytes: int):
+        raise TransportError(
+            "event-loop transport reads are selector-driven; "
+            "use the blocking daemon for pull-based consumers"
+        )
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._outbound.clear()
+            self.unsent_bytes = 0
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
+class _Connection:
+    """Per-socket state machine the loop drives."""
+
+    __slots__ = (
+        "sock", "transport", "session", "decoder", "inbound", "seq",
+        "reading_paused", "want_write", "registered", "eof", "draining",
+        "finished", "refused", "decode_error", "close_after_flush",
+        "flush_deadline", "last_activity",
+    )
+
+    def __init__(self, sock, transport, session, now: float) -> None:
+        self.sock = sock
+        self.transport: _LoopTransport = transport
+        self.session: ServerSession | None = session  # None => refusal
+        self.decoder = StreamDecoder(expect_init=True)
+        #: Decoded-but-undispatched (request, consumed_bytes) pairs.
+        self.inbound: deque = deque()
+        self.seq = 0
+        self.reading_paused = False
+        self.want_write = False
+        self.registered = 0  # selector interest mask currently installed
+        self.eof = False
+        self.draining = False
+        self.finished = False
+        self.refused = session is None
+        self.decode_error: str | None = None
+        #: (reason, detail) to complete with once outbound flushes.
+        self.close_after_flush: tuple[str, str] | None = None
+        self.flush_deadline = 0.0
+        self.last_activity = now
+
+
+class AsyncRCudaDaemon(DaemonCore):
+    """Event-loop mode: one selector thread multiplexing every TCP
+    connection, with bounded queues, backpressure and graceful drain.
+
+    ``serve_transport`` (in-process pairs) still runs sessions on
+    threads -- the event loop only owns sockets it accepted.
+    """
+
+    def __init__(
+        self,
+        *args,
+        idle_timeout: float | None = None,
+        inbound_queue: int = INBOUND_QUEUE_LIMIT,
+        outbound_limit: int = OUTBOUND_HIGH_WATER,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise TransportError(
+                f"idle_timeout must be positive, got {idle_timeout}"
+            )
+        self.idle_timeout = idle_timeout
+        self.inbound_queue = max(1, int(inbound_queue))
+        self.outbound_limit = max(1, int(outbound_limit))
+        self._inbound_resume = min(INBOUND_RESUME, max(0, self.inbound_queue // 4))
+        self._outbound_resume = min(OUTBOUND_LOW_WATER, max(1, self.outbound_limit // 8))
+        self._listener: socket.socket | None = None
+        self._selector: selectors.BaseSelector | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._waker_r: socket.socket | None = None
+        self._waker_w: socket.socket | None = None
+        self._conns: dict[int, _Connection] = {}
+        self._runnable: set[_Connection] = set()
+        self._drain_deadline = 0.0
+        self._drain_started = False
+        #: Times a session's reads were paused for backpressure (inbound
+        #: queue full or outbound backlog over the high water mark).
+        self.backpressure_stalls = 0
+        #: Sessions reaped by the idle keepalive timeout.
+        self.idle_closed_sessions = 0
+        #: Event-loop lag: EWMA and worst-case lateness of the heartbeat
+        #: tick.  The first saturation signal a multiplexed server shows;
+        #: ``/healthz`` reports both.
+        self.loop_lag_seconds = 0.0
+        self.loop_lag_max = 0.0
+        self._exported_queue_ids: set[str] = set()
+        if self.metrics is not None:
+            self._register_loop_gauges(self.metrics)
+
+    def _register_loop_gauges(self, metrics) -> None:
+        metrics.gauge(
+            "rcuda_loop_lag_seconds",
+            "Event-loop heartbeat lateness (EWMA); saturation signal.",
+        ).set_function(lambda: self.loop_lag_seconds)
+        metrics.gauge(
+            "rcuda_backpressure_stalls_total",
+            "Times a session's reads were paused by queue backpressure.",
+        ).set_function(lambda: self.backpressure_stalls)
+        metrics.gauge(
+            "rcuda_idle_closed_sessions_total",
+            "Sessions reaped by the keepalive idle timeout.",
+        ).set_function(lambda: self.idle_closed_sessions)
+        metrics.gauge(
+            "rcuda_loop_connections",
+            "Connections currently registered with the event loop.",
+        ).set_function(lambda: len(self._conns))
+        self._g_queue_depth = metrics.gauge(
+            "rcuda_session_inbound_depth",
+            "Decoded requests queued for one session, awaiting dispatch.",
+            labelnames=("session",),
+        )
+        self._g_queue_bytes = metrics.gauge(
+            "rcuda_session_outbound_bytes",
+            "Response bytes queued for one session, awaiting the wire.",
+            labelnames=("session",),
+        )
+        metrics.add_collect_hook(self._refresh_queue_gauges)
+
+    def _refresh_queue_gauges(self) -> None:
+        """Scrape-time refresh of the per-session queue gauges (the
+        dispatch/flush hot paths never touch the registry)."""
+        with self._lock:
+            live = [
+                (c.session.session_id, len(c.inbound), c.transport.unsent_bytes)
+                for c in self._conns.values()
+                if c.session is not None and not c.finished
+            ]
+        current: set[str] = set()
+        for sid, depth, unsent in live:
+            current.add(sid)
+            self._g_queue_depth.set(depth, session=sid)
+            self._g_queue_bytes.set(unsent, session=sid)
+        for stale in self._exported_queue_ids - current:
+            self._g_queue_depth.remove(session=stale)
+            self._g_queue_bytes.remove(session=stale)
+        self._exported_queue_ids = current
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> int:
+        if self._running:
+            raise TransportError("daemon is already running")
+        listener = self._bind_listener()
+        listener.setblocking(False)
+        self._listener = listener
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, "accept")
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._waker_w.setblocking(False)
+        self._selector.register(self._waker_r, selectors.EVENT_READ, "wake")
+        self._running = True
+        self._drain_started = False
+        if self.flight is not None:
+            self.flight.record(
+                EVENT_DAEMON, "daemon-start", port=self.port, mode="async"
+            )
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="rcuda-loop", daemon=True
+        )
+        self._loop_thread.start()
+        return self.port
+
+    def _wake(self) -> None:
+        waker = self._waker_w
+        if waker is not None:
+            try:
+                waker.send(b"\0")
+            except OSError:
+                pass
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Graceful drain: stop accepting, finish queued requests, flush
+        outbound bytes, close every connection with the clean
+        ``server-drained`` reason.  Connections still unfinished at the
+        deadline are force-closed uncleanly (and, with a postmortem
+        directory configured, dumped)."""
+        self._stopping = True
+        self._drain_deadline = time.monotonic() + join_timeout
+        self._wake()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=join_timeout + 2.0)
+            self._loop_thread = None
+        self._running = False
+        # Thread-mode sessions (serve_transport over in-process pairs)
+        # drain exactly like the blocking daemon's.
+        with self._lock:
+            live = [s for s in self.sessions if not s.finished]
+            threads = list(self._session_threads)
+        if live:
+            self._write_postmortem(
+                "stopped-with-live-sessions",
+                detail=f"{len(live)} session(s) still attached at stop()",
+            )
+            for session in live:
+                session.transport.close()
+        for thread in threads:
+            thread.join(timeout=join_timeout)
+        self.prune()
+
+    # -- the loop ----------------------------------------------------------
+
+    def _loop(self) -> None:
+        selector = self._selector
+        assert selector is not None
+        now = time.monotonic()
+        next_tick = now + LAG_TICK
+        next_sweep = now + SWEEP_INTERVAL
+        while True:
+            if self._stopping and not self._drain_started:
+                self._begin_drain()
+            if self._drain_started and not self._conns:
+                break
+            if self._drain_started and time.monotonic() >= self._drain_deadline:
+                self._force_drain()
+                break
+            timeout = 0.0 if self._runnable else min(
+                LAG_TICK, max(0.0, next_tick - time.monotonic())
+            )
+            events = selector.select(timeout)
+            now = time.monotonic()
+            if now >= next_tick:
+                lag = now - next_tick
+                self.loop_lag_seconds = (
+                    0.8 * self.loop_lag_seconds + 0.2 * lag
+                )
+                if lag > self.loop_lag_max:
+                    self.loop_lag_max = lag
+                next_tick = now + LAG_TICK
+            for key, mask in events:
+                if key.data == "accept":
+                    self._accept_ready(now)
+                elif key.data == "wake":
+                    try:
+                        while self._waker_r.recv(4096):
+                            pass
+                    except OSError:
+                        pass
+                else:
+                    conn: _Connection = key.data
+                    if mask & selectors.EVENT_WRITE and not conn.finished:
+                        self._on_writable(conn)
+                    if mask & selectors.EVENT_READ and not conn.finished:
+                        self._on_readable(conn, now)
+            if self._runnable:
+                runnable, self._runnable = self._runnable, set()
+                for conn in runnable:
+                    if not conn.finished:
+                        self._service(conn)
+            if now >= next_sweep:
+                next_sweep = now + SWEEP_INTERVAL
+                self._sweep(now)
+                self.prune()
+        self._teardown()
+
+    def _teardown(self) -> None:
+        selector = self._selector
+        for sock in (self._listener, self._waker_r, self._waker_w):
+            if sock is None:
+                continue
+            try:
+                if selector is not None:
+                    selector.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._listener = self._waker_r = self._waker_w = None
+        if selector is not None:
+            selector.close()
+        self._selector = None
+        self.prune()
+
+    # -- accept ------------------------------------------------------------
+
+    def _accept_ready(self, now: float) -> None:
+        assert self._listener is not None
+        for _ in range(ACCEPT_BURST):
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            if self._stopping:
+                sock.close()
+                return
+            transport = _LoopTransport(sock, nodelay=True)
+            if self.at_capacity():
+                # Refused over the wire, but on the loop -- no thread:
+                # read the init message, answer the refusal, flush, close.
+                self.rejected_sessions += 1
+                if self.flight is not None:
+                    self.flight.record(
+                        EVENT_DAEMON, "session-refused",
+                        max_sessions=self.max_sessions,
+                    )
+                conn = _Connection(sock, transport, None, now)
+            else:
+                session = self._make_session(transport)
+                conn = _Connection(sock, transport, session, now)
+                with self._lock:
+                    self.sessions.append(session)
+                    self.total_sessions += 1
+                session.begin()
+            with self._lock:
+                self._conns[sock.fileno()] = conn
+            self._update_interest(conn)
+
+    # -- selector interest -------------------------------------------------
+
+    def _update_interest(self, conn: _Connection) -> None:
+        desired = 0
+        if not conn.finished:
+            if not conn.reading_paused and not conn.eof:
+                desired |= selectors.EVENT_READ
+            if conn.want_write:
+                desired |= selectors.EVENT_WRITE
+        if desired == conn.registered:
+            return
+        selector = self._selector
+        if conn.registered and desired:
+            selector.modify(conn.sock, desired, conn)
+        elif desired:
+            selector.register(conn.sock, desired, conn)
+        else:
+            try:
+                selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+        conn.registered = desired
+
+    def _pause_reading(self, conn: _Connection) -> None:
+        if not conn.reading_paused:
+            conn.reading_paused = True
+            self.backpressure_stalls += 1
+            self._update_interest(conn)
+
+    def _maybe_resume_reading(self, conn: _Connection) -> None:
+        if (
+            conn.reading_paused
+            and not conn.draining
+            and not conn.eof
+            and conn.decode_error is None
+            and conn.close_after_flush is None
+            and len(conn.inbound) <= self._inbound_resume
+            and conn.transport.unsent_bytes <= self._outbound_resume
+        ):
+            conn.reading_paused = False
+            self._update_interest(conn)
+            # The decoder may hold complete messages we stopped decoding
+            # at the queue limit; surface them without waiting for bytes.
+            self._pump(conn)
+
+    # -- read side ---------------------------------------------------------
+
+    def _on_readable(self, conn: _Connection, now: float) -> None:
+        if conn.reading_paused or conn.eof:
+            return
+        try:
+            data = conn.sock.recv(RECV_BYTES)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            self._finish(conn, *self._eof_reason(conn, error=str(exc)))
+            return
+        if not data:
+            conn.eof = True
+            self._update_interest(conn)
+            self._runnable.add(conn)
+            return
+        conn.last_activity = now
+        conn.decoder.feed(data)
+        self._pump(conn)
+
+    def _pump(self, conn: _Connection) -> None:
+        """Decode buffered bytes into the bounded inbound queue and apply
+        read backpressure."""
+        if conn.decode_error is None:
+            while len(conn.inbound) < self.inbound_queue:
+                try:
+                    item = conn.decoder.next_message()
+                except ProtocolError as exc:
+                    conn.decode_error = str(exc)
+                    conn.eof = True  # stop reading a stream we can't frame
+                    self._update_interest(conn)
+                    break
+                if item is None:
+                    break
+                conn.inbound.append(item)
+        if conn.inbound or conn.eof:
+            self._runnable.add(conn)
+        if not conn.reading_paused and (
+            len(conn.inbound) >= self.inbound_queue
+            or conn.transport.unsent_bytes >= self.outbound_limit
+        ):
+            self._pause_reading(conn)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _blocked_on_outbound(self, conn: _Connection) -> bool:
+        """True when this session must not be dispatched again yet: the
+        outbound queue holds a live device-memory view (the flush gate),
+        or the backlog is over the high water mark."""
+        t = conn.transport
+        return (t.flush_gate and t.unsent_bytes > 0) or (
+            t.unsent_bytes >= self.outbound_limit
+        )
+
+    def _service(self, conn: _Connection) -> None:
+        """One scheduling pass over a runnable connection: dispatch up to
+        the budget, flush what that produced, settle terminal states."""
+        if conn.refused:
+            self._service_refusal(conn)
+            return
+        session = conn.session
+        transport = conn.transport
+        budget = DISPATCH_BUDGET
+        inbound = conn.inbound
+        outbound_limit = self.outbound_limit
+        # The loop condition open-codes _blocked_on_outbound: a function
+        # call per message is measurable at full rates.
+        while inbound and budget > 0 and not (
+            (transport.flush_gate and transport.unsent_bytes > 0)
+            or transport.unsent_bytes >= outbound_limit
+        ):
+            request, consumed = inbound.popleft()
+            # Inlined _account_recv + note_message_received: the loop
+            # transport never overrides them and the call overhead is
+            # measurable at full message rates.
+            received_before = transport.bytes_received
+            transport.bytes_received = received_before + consumed
+            transport.messages_received += 1
+            seq = conn.seq
+            conn.seq += 1
+            try:
+                session.dispatch(
+                    request, seq=seq, received_before=received_before
+                )
+            except (TransportClosedError, TransportError) as exc:
+                self._finish(conn, CLOSE_MID_DISPATCH, str(exc))
+                return
+            except ProtocolError as exc:
+                self._finish(conn, CLOSE_PROTOCOL, str(exc))
+                return
+            except Exception as exc:
+                self._finish(
+                    conn, CLOSE_DISPATCH_RAISED,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                return
+            if seq == 0:
+                session.initialized = True
+            budget -= 1
+        if not self._try_flush(conn):
+            return
+        if conn.inbound:
+            if not self._blocked_on_outbound(conn):
+                # Budget exhausted with work left: yield, stay runnable.
+                self._runnable.add(conn)
+            # else: the writable event re-schedules us after the flush.
+            return
+        # Inbound is drained; settle terminal states.
+        if conn.decode_error is not None:
+            self._finish(conn, CLOSE_PROTOCOL, conn.decode_error)
+        elif conn.eof:
+            self._finish(conn, *self._eof_reason(conn))
+        elif conn.draining:
+            if conn.decoder.pending_bytes:
+                # A request is half-delivered: it is in-flight work, not
+                # an idle connection.  Keep reading so the client can
+                # finish the message (the drain deadline still bounds
+                # this; a conn mid-message at the deadline force-closes
+                # uncleanly).
+                if conn.reading_paused:
+                    conn.reading_paused = False
+                    self._update_interest(conn)
+            else:
+                self._finish(conn, CLOSE_DRAINED, "")
+        else:
+            self._maybe_resume_reading(conn)
+
+    def _service_refusal(self, conn: _Connection) -> None:
+        """A refused connection: wait for its init message, answer with
+        the admission error, flush, close."""
+        if conn.inbound:
+            conn.inbound.clear()
+            try:
+                conn.transport.send(
+                    encode_response(
+                        InitResponse(
+                            error=ADMISSION_REFUSED_ERROR,
+                            compute_capability=(0, 0),
+                        )
+                    )
+                )
+            except TransportError:
+                pass
+            self._finish(conn, CLOSE_CLEAN, "admission-refused")
+            return
+        if conn.eof or conn.decode_error is not None or conn.draining:
+            self._complete(conn, CLOSE_CLEAN, "admission-refused")
+
+    def _eof_reason(self, conn: _Connection, error: str = "") -> tuple[str, str]:
+        """Classify a peer close exactly like the blocking loop does."""
+        pending = conn.decoder.pending_bytes
+        if pending or conn.inbound:
+            detail = error or f"peer closed with {pending} buffered bytes mid-message"
+            return CLOSE_MID_MESSAGE, detail
+        if conn.session is not None and conn.session.open_streams:
+            return CLOSE_MID_STREAM, error or "peer closed with a chunked stream open"
+        if error:
+            return CLOSE_MID_DISPATCH, error
+        return CLOSE_CLEAN, ""
+
+    # -- write side --------------------------------------------------------
+
+    def _try_flush(self, conn: _Connection) -> bool:
+        """Flush the outbound queue; returns False when the connection
+        finished (fatal send error, or a deferred close completed)."""
+        transport = conn.transport
+        try:
+            drained = transport.flush()
+        except TransportError as exc:
+            if conn.close_after_flush is not None:
+                # The peer vanished before taking its goodbye bytes; the
+                # close itself keeps its (clean) reason.
+                reason, _ = conn.close_after_flush
+                self._complete(conn, reason, f"flush failed: {exc}")
+            else:
+                self._complete(conn, CLOSE_MID_DISPATCH, str(exc))
+            return False
+        if drained:
+            if conn.want_write:
+                conn.want_write = False
+                self._update_interest(conn)
+            if conn.close_after_flush is not None:
+                self._complete(conn, *conn.close_after_flush)
+                return False
+        else:
+            if not conn.want_write:
+                conn.want_write = True
+                self._update_interest(conn)
+        return True
+
+    def _on_writable(self, conn: _Connection) -> None:
+        if not self._try_flush(conn):
+            return
+        # The flush may have cleared the gate or the high water mark:
+        # queued work (and paused reads) can move again.
+        if conn.inbound or conn.eof or conn.draining:
+            self._runnable.add(conn)
+        else:
+            self._maybe_resume_reading(conn)
+
+    # -- closing -----------------------------------------------------------
+
+    def _finish(self, conn: _Connection, reason: str, detail: str = "") -> None:
+        """Close a connection, delivering queued response bytes first when
+        the close is clean and the peer may still take them."""
+        if conn.finished:
+            return
+        if (
+            reason in CLEAN_REASONS
+            and conn.transport.unsent_bytes
+            and not conn.transport.dead
+        ):
+            conn.close_after_flush = (reason, detail)
+            conn.flush_deadline = time.monotonic() + FLUSH_GRACE
+            if not conn.reading_paused:
+                conn.reading_paused = True  # no new work during goodbye
+                self._update_interest(conn)
+            self._try_flush(conn)
+            return
+        self._complete(conn, reason, detail)
+
+    def _complete(self, conn: _Connection, reason: str, detail: str = "") -> None:
+        """Terminal: unregister, drop, end the session (which closes the
+        transport and releases the GPU context)."""
+        if conn.finished:
+            return
+        conn.finished = True
+        self._update_interest(conn)  # unregisters (desired mask is 0)
+        with self._lock:
+            self._conns.pop(conn.sock.fileno(), None)
+        self._runnable.discard(conn)
+        if conn.session is not None:
+            conn.session.finish(reason, detail)
+        else:
+            conn.transport.close()
+
+    # -- sweeps and drain --------------------------------------------------
+
+    def _sweep(self, now: float) -> None:
+        """Reap idle sessions and enforce goodbye-flush deadlines."""
+        idle_after = self.idle_timeout
+        for conn in list(self._conns.values()):
+            if conn.finished:
+                continue
+            if (
+                conn.close_after_flush is not None
+                and now >= conn.flush_deadline
+            ):
+                reason, _detail = conn.close_after_flush
+                self._complete(conn, reason, "flush grace period expired")
+                continue
+            if (
+                idle_after is not None
+                and not conn.draining
+                and conn.close_after_flush is None
+                and not conn.inbound
+                and not conn.transport.unsent_bytes
+                and conn.decoder.pending_bytes == 0
+                and now - conn.last_activity >= idle_after
+            ):
+                self.idle_closed_sessions += 1
+                self._finish(conn, CLOSE_IDLE, f"idle for >= {idle_after:g}s")
+
+    def _begin_drain(self) -> None:
+        """stop() was called: close the listener, put every connection in
+        draining mode (finish queued work, flush, close cleanly)."""
+        self._drain_started = True
+        selector = self._selector
+        if self._listener is not None:
+            try:
+                selector.unregister(self._listener)
+            except (KeyError, ValueError):
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self.flight is not None:
+            self.flight.record(
+                EVENT_DAEMON, "daemon-stop",
+                live_sessions=len(self._conns), mode="async",
+            )
+        for conn in list(self._conns.values()):
+            conn.draining = True
+            if not conn.reading_paused:
+                conn.reading_paused = True
+                self._update_interest(conn)
+            self._runnable.add(conn)
+
+    def _force_drain(self) -> None:
+        """The drain deadline passed with connections still open: close
+        them now.  Connections that still had work in flight are unclean
+        (postmortems fire); truly-idle stragglers still close cleanly."""
+        forced = 0
+        for conn in list(self._conns.values()):
+            if conn.finished:
+                continue
+            had_work = bool(
+                conn.inbound
+                or conn.transport.unsent_bytes
+                or conn.decoder.pending_bytes
+            )
+            if had_work and conn.session is not None:
+                forced += 1
+                self._complete(
+                    conn, CLOSE_MID_DISPATCH,
+                    "graceful drain deadline passed with work in flight",
+                )
+            else:
+                self._complete(conn, CLOSE_DRAINED, "drain deadline")
+        if forced and self.flight is not None:
+            self.flight.record(
+                EVENT_DAEMON, "drain-forced", connections=forced
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def loop_connections(self) -> int:
+        """Connections currently registered with the event loop."""
+        return len(self._conns)
+
+    @property
+    def queued_requests(self) -> int:
+        """Decoded requests waiting in per-session inbound queues."""
+        with self._lock:
+            return sum(len(c.inbound) for c in self._conns.values())
+
+    @property
+    def outbound_backlog_bytes(self) -> int:
+        """Response bytes enqueued but not yet handed to the kernel."""
+        with self._lock:
+            return sum(c.transport.unsent_bytes for c in self._conns.values())

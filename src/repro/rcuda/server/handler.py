@@ -95,65 +95,70 @@ class SessionHandler:
     # -- steady-state dispatch ------------------------------------------------
 
     def handle(self, request: Request) -> Response | None:
+        """Exact-type table dispatch: request classes are flat (no request
+        subclasses another), so one dict probe on ``type(request)``
+        replaces the old isinstance chain -- the chain put hot memsets
+        seventh and cost up to 20 type checks per request at the
+        event-loop's message rates."""
         self.requests_handled += 1
-        if isinstance(request, MemcpyStreamBeginRequest):
-            return self._handle_stream_begin(request)
-        if isinstance(request, MemcpyChunkRequest):
-            return self._handle_stream_chunk(request)
-        if isinstance(request, MemcpyStreamEndRequest):
-            return self._handle_stream_end(request)
-        if isinstance(request, MallocRequest):
-            error, ptr = self.runtime.cudaMalloc(request.size)
-            return MallocResponse(error=int(error), ptr=ptr or 0)
-        if isinstance(request, MemcpyAsyncRequest):
-            return self._handle_memcpy_async(request)
-        if isinstance(request, MemcpyRequest):
-            return self._handle_memcpy(request)
-        if isinstance(request, MemsetRequest):
-            return Response(
-                error=int(
-                    self.runtime.cudaMemset(
-                        request.ptr, request.value, request.size
-                    )
-                )
+        handle = _DISPATCH.get(type(request))
+        if handle is None:
+            raise ProtocolError(
+                f"no handler for request type {type(request).__name__}"
             )
-        if isinstance(request, SetupArgsRequest):
-            self._staged_args = request.args
-            return Response(error=int(CudaError.cudaSuccess))
-        if isinstance(request, LaunchRequest):
-            return self._handle_launch(request)
-        if isinstance(request, FreeRequest):
-            return Response(error=int(self.runtime.cudaFree(request.ptr)))
-        if isinstance(request, SyncRequest):
-            return Response(error=int(self.runtime.cudaThreadSynchronize()))
-        if isinstance(request, PropertiesRequest):
-            _, props = self.runtime.cudaGetDeviceProperties()
-            return PropertiesResponse(
-                error=int(CudaError.cudaSuccess),
-                name=props.name,
-                compute_capability=props.compute_capability,
-                total_global_mem=props.total_global_mem,
+        return handle(self, request)
+
+    def _handle_malloc(self, request: MallocRequest) -> MallocResponse:
+        error, ptr = self.runtime.cudaMalloc(request.size)
+        return MallocResponse(error=int(error), ptr=ptr or 0)
+
+    def _handle_memset(self, request: MemsetRequest) -> Response:
+        return Response(
+            error=int(
+                self.runtime.cudaMemset(request.ptr, request.value, request.size)
             )
-        if isinstance(request, StreamCreateRequest):
-            error, handle = self.runtime.cudaStreamCreate()
-            return ValueResponse(error=int(error), value=handle or 0)
-        if isinstance(request, StreamSyncRequest):
-            return Response(
-                error=int(self.runtime.cudaStreamSynchronize(request.stream))
-            )
-        if isinstance(request, EventCreateRequest):
-            error, handle = self.runtime.cudaEventCreate()
-            return ValueResponse(error=int(error), value=handle or 0)
-        if isinstance(request, EventRecordRequest):
-            return Response(error=int(self.runtime.cudaEventRecord(request.event)))
-        if isinstance(request, EventElapsedRequest):
-            error, elapsed = self.runtime.cudaEventElapsedTime(
-                request.start, request.end
-            )
-            return ElapsedResponse(error=int(error), elapsed_ms=elapsed or 0.0)
-        raise ProtocolError(
-            f"no handler for request type {type(request).__name__}"
         )
+
+    def _handle_setup_args(self, request: SetupArgsRequest) -> Response:
+        self._staged_args = request.args
+        return Response(error=int(CudaError.cudaSuccess))
+
+    def _handle_free(self, request: FreeRequest) -> Response:
+        return Response(error=int(self.runtime.cudaFree(request.ptr)))
+
+    def _handle_sync(self, request: SyncRequest) -> Response:
+        return Response(error=int(self.runtime.cudaThreadSynchronize()))
+
+    def _handle_properties(self, request: PropertiesRequest) -> PropertiesResponse:
+        _, props = self.runtime.cudaGetDeviceProperties()
+        return PropertiesResponse(
+            error=int(CudaError.cudaSuccess),
+            name=props.name,
+            compute_capability=props.compute_capability,
+            total_global_mem=props.total_global_mem,
+        )
+
+    def _handle_stream_create(self, request: StreamCreateRequest) -> ValueResponse:
+        error, handle = self.runtime.cudaStreamCreate()
+        return ValueResponse(error=int(error), value=handle or 0)
+
+    def _handle_stream_sync(self, request: StreamSyncRequest) -> Response:
+        return Response(
+            error=int(self.runtime.cudaStreamSynchronize(request.stream))
+        )
+
+    def _handle_event_create(self, request: EventCreateRequest) -> ValueResponse:
+        error, handle = self.runtime.cudaEventCreate()
+        return ValueResponse(error=int(error), value=handle or 0)
+
+    def _handle_event_record(self, request: EventRecordRequest) -> Response:
+        return Response(error=int(self.runtime.cudaEventRecord(request.event)))
+
+    def _handle_event_elapsed(self, request: EventElapsedRequest) -> ElapsedResponse:
+        error, elapsed = self.runtime.cudaEventElapsedTime(
+            request.start, request.end
+        )
+        return ElapsedResponse(error=int(error), elapsed_ms=elapsed or 0.0)
 
     def _handle_memcpy(self, request: MemcpyRequest) -> Response:
         # ``request.data`` (H2D) flows into device memory as received --
@@ -281,3 +286,26 @@ class SessionHandler:
     def close(self) -> None:
         """Finalization: release the session's GPU context and resources."""
         self.runtime.close()
+
+
+#: Steady-state dispatch: exact request type -> unbound handler method.
+#: Built once at import; ``handle`` probes it with ``type(request)``.
+_DISPATCH = {
+    MemcpyStreamBeginRequest: SessionHandler._handle_stream_begin,
+    MemcpyChunkRequest: SessionHandler._handle_stream_chunk,
+    MemcpyStreamEndRequest: SessionHandler._handle_stream_end,
+    MallocRequest: SessionHandler._handle_malloc,
+    MemcpyAsyncRequest: SessionHandler._handle_memcpy_async,
+    MemcpyRequest: SessionHandler._handle_memcpy,
+    MemsetRequest: SessionHandler._handle_memset,
+    SetupArgsRequest: SessionHandler._handle_setup_args,
+    LaunchRequest: SessionHandler._handle_launch,
+    FreeRequest: SessionHandler._handle_free,
+    SyncRequest: SessionHandler._handle_sync,
+    PropertiesRequest: SessionHandler._handle_properties,
+    StreamCreateRequest: SessionHandler._handle_stream_create,
+    StreamSyncRequest: SessionHandler._handle_stream_sync,
+    EventCreateRequest: SessionHandler._handle_event_create,
+    EventRecordRequest: SessionHandler._handle_event_record,
+    EventElapsedRequest: SessionHandler._handle_event_elapsed,
+}

@@ -67,14 +67,22 @@ from repro.transport.base import Transport, buffer_nbytes
 
 _SERVER_SESSION_IDS = itertools.count(1)
 
-#: Close reasons a session can end with.  ``client-closed`` is the one
-#: clean ending; everything else triggers the unclean-close callback.
+#: Close reasons a session can end with.  ``client-closed`` is the
+#: client-side clean ending; ``idle-timeout`` and ``server-drained`` are
+#: the server-initiated clean endings of the async daemon (keepalive
+#: reaping and graceful drain).  Everything else triggers the
+#: unclean-close callback.
 CLOSE_CLEAN = "client-closed"
+CLOSE_IDLE = "idle-timeout"
+CLOSE_DRAINED = "server-drained"
 CLOSE_MID_MESSAGE = "transport-died-mid-message"
 CLOSE_MID_STREAM = "transport-died-mid-stream"
 CLOSE_MID_DISPATCH = "transport-died-mid-dispatch"
 CLOSE_PROTOCOL = "protocol-error"
 CLOSE_DISPATCH_RAISED = "dispatch-failed"
+
+#: The endings that are *not* unclean (no sticky error, no postmortem).
+CLEAN_REASONS = frozenset({CLOSE_CLEAN, CLOSE_IDLE, CLOSE_DRAINED})
 
 
 class ServerSession:
@@ -148,51 +156,66 @@ class ServerSession:
         return len(self.handler._streams)
 
     def run(self) -> None:
-        """Service the connection until the client disconnects."""
+        """Service the connection until the client disconnects (the
+        blocking thread-per-connection driver; the async daemon drives
+        :meth:`begin`/:meth:`dispatch`/:meth:`finish` itself)."""
         reader = MessageReader(self.transport)
-        flight = self.flight
-        if flight is not None:
-            flight.record(
-                EVENT_SESSION, "session-start", session=self.session_id
-            )
+        self.begin()
         reason, detail = CLOSE_DISPATCH_RAISED, ""
         try:
             reason, detail = self._serve(reader)
         finally:
-            self.close_reason = reason
-            unclean = reason != CLOSE_CLEAN
-            acct = self.accounting
-            if acct is not None:
-                acct.open_streams = self.open_streams
-                acct.finished = True
-                acct.close_reason = reason
-                acct.freeze_bytes()
-                if unclean and acct.last_error == 0:
-                    # Mirror the client's sticky state: an aborted
-                    # connection surfaces there as cudaErrorUnknown.
-                    from repro.simcuda.errors import CudaError
+            self.finish(reason, detail)
 
-                    acct.record_error(int(CudaError.cudaErrorUnknown))
-            if flight is not None:
-                if unclean:
-                    flight.record(
-                        EVENT_ERROR, reason,
-                        session=self.session_id, detail=detail,
-                    )
+    def begin(self) -> None:
+        """Mark the session live (flight-recorder lifecycle event)."""
+        if self.flight is not None:
+            self.flight.record(
+                EVENT_SESSION, "session-start", session=self.session_id
+            )
+
+    def finish(self, reason: str, detail: str = "") -> None:
+        """End the session: classify the close, freeze the ledger, fire
+        the unclean callback, release the GPU context, close the
+        transport.  Idempotent; both the blocking ``run`` loop and the
+        event-loop driver funnel through here."""
+        if self.finished:
+            return
+        flight = self.flight
+        self.close_reason = reason
+        unclean = reason not in CLEAN_REASONS
+        acct = self.accounting
+        if acct is not None:
+            acct.open_streams = self.open_streams
+            acct.finished = True
+            acct.close_reason = reason
+            acct.freeze_bytes()
+            if unclean and acct.last_error == 0:
+                # Mirror the client's sticky state: an aborted
+                # connection surfaces there as cudaErrorUnknown.
+                from repro.simcuda.errors import CudaError
+
+                acct.record_error(int(CudaError.cudaErrorUnknown))
+        if flight is not None:
+            if unclean:
                 flight.record(
-                    EVENT_SESSION, "session-end",
-                    session=self.session_id, reason=reason,
+                    EVENT_ERROR, reason,
+                    session=self.session_id, detail=detail,
                 )
-            self.finished = True
-            if unclean and self.on_unclean is not None:
-                try:
-                    self.on_unclean(self, reason, detail)
-                except Exception:
-                    pass  # a broken dump writer must not mask the close
-            self.handler.close()  # releases the context and its memory
-            self._allocations.clear()
-            self.device_bytes_held = 0
-            self.transport.close()
+            flight.record(
+                EVENT_SESSION, "session-end",
+                session=self.session_id, reason=reason,
+            )
+        self.finished = True
+        if unclean and self.on_unclean is not None:
+            try:
+                self.on_unclean(self, reason, detail)
+            except Exception:
+                pass  # a broken dump writer must not mask the close
+        self.handler.close()  # releases the context and its memory
+        self._allocations.clear()
+        self.device_bytes_held = 0
+        self.transport.close()
 
     def _serve(self, reader: MessageReader) -> tuple[str, str]:
         """The decode/dispatch loop; returns (close reason, detail)."""
@@ -218,7 +241,7 @@ class ServerSession:
                         return CLOSE_MID_STREAM, str(exc)
                     # Normal finalization: the client closed its socket.
                     return CLOSE_CLEAN, ""
-                self._dispatch(
+                self.dispatch(
                     request, seq=seq, received_before=received_before
                 )
                 if seq == 0:
@@ -234,8 +257,11 @@ class ServerSession:
     def _account_memory(self, request: Request, response) -> None:
         """Track this session's live device allocations by watching the
         malloc/free traffic it services (success paths only)."""
+        rtype = type(request)
+        if rtype is not MallocRequest and rtype is not FreeRequest:
+            return
         acct = self.accounting
-        if isinstance(request, MallocRequest):
+        if rtype is MallocRequest:
             if response.error == 0 and response.ptr is not None:
                 self._allocations[response.ptr] = request.size
                 self.device_bytes_held += request.size
@@ -244,14 +270,19 @@ class ServerSession:
                     acct.device_bytes_held = self.device_bytes_held
                     if self.device_bytes_held > acct.peak_device_bytes:
                         acct.peak_device_bytes = self.device_bytes_held
-        elif isinstance(request, FreeRequest) and response.error == 0:
+        elif response.error == 0:
             self.device_bytes_held -= self._allocations.pop(request.ptr, 0)
             if acct is not None:
                 acct.frees += 1
                 acct.device_bytes_held = self.device_bytes_held
 
-    def _dispatch(self, request: Request, seq: int, received_before: int) -> None:
-        """Handle one decoded request and send its response, observed."""
+    def dispatch(self, request: Request, seq: int, received_before: int) -> None:
+        """Handle one decoded request and send its response, observed.
+
+        ``received_before`` is the transport's ``bytes_received`` before
+        this request's bytes were accounted, so per-request inbound byte
+        attribution works for both the blocking reader and the async
+        decoder."""
         self.dispatching = 1
         try:
             self._dispatch_inner(request, seq, received_before)

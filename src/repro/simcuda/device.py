@@ -116,10 +116,14 @@ class SimulatedGpu:
         ctx.untrack_allocation(ptr)
 
     def _sync_all_streams(self, ctx: CudaContext) -> None:
-        # Synchronous operations drain outstanding device work first.
-        horizon = max(
-            (s.busy_until for s in ctx.streams.values()), default=0.0
-        )
+        # Synchronous operations drain outstanding device work first.  A
+        # plain loop: contexts almost always hold just the default
+        # stream, where a generator-driven max() costs several times the
+        # comparison it wraps.
+        horizon = 0.0
+        for s in ctx.streams.values():
+            if s.busy_until > horizon:
+                horizon = s.busy_until
         now = self.clock.now()
         if horizon > now:
             self.clock.advance(horizon - now)
@@ -212,13 +216,23 @@ class SimulatedGpu:
         if nbytes < 0 or not 0 <= value <= 0xFF:
             raise CudaRuntimeError(CudaError.cudaErrorInvalidValue, "cudaMemset")
         self._sync_all_streams(ctx)
-        try:
-            self._validate_range(ctx, ptr, nbytes)
-        except CudaRuntimeError:
-            raise
+        # Validate and resolve the destination in one allocation lookup
+        # (the old validate-then-view shape paid the bisect twice).
+        dest = None
+        if nbytes:
+            try:
+                if self.functional:
+                    dest = self.memory.view(ptr, nbytes)
+                else:
+                    self.memory._locate(ptr, nbytes)
+            except DeviceMemoryError as exc:
+                raise CudaRuntimeError(
+                    CudaError.cudaErrorInvalidDevicePointer,
+                    f"device range [0x{ptr:x}, +{nbytes})",
+                ) from exc
         self.clock.advance(self.timing.membound_seconds(nbytes))
-        if self.functional and nbytes > 0:
-            self.memory.view(ptr, nbytes)[:] = value
+        if dest is not None:
+            dest[:] = value
 
     def memcpy_async(
         self,

@@ -28,6 +28,7 @@ class CudaError(enum.IntEnum):
     cudaErrorInvalidResourceHandle = 33
     cudaErrorNotReady = 34
     cudaErrorNoDevice = 38
+    cudaErrorDevicesUnavailable = 46
 
 
 class CudaRuntimeError(DeviceError):

@@ -114,8 +114,19 @@ class CudaRuntime:
         return self._wrap(self.device.memcpy_view, self.context, src, count)
 
     def cudaMemset(self, ptr: DevicePtr, value: int, count: int) -> CudaError:
-        status, _ = self._wrap(self.device.memset, self.context, ptr, value, count)
-        return status
+        # Open-coded _wrap: memset is the hot small-message call and the
+        # wrapper's extra frame plus (status, value) unpacking is
+        # measurable at event-loop message rates.
+        try:
+            self.device.memset(self.context, ptr, value, count)
+        except CudaRuntimeError as exc:
+            self.last_error = exc.status
+            return exc.status
+        except DeviceError:
+            self.last_error = CudaError.cudaErrorInvalidValue
+            return CudaError.cudaErrorInvalidValue
+        self.last_error = CudaError.cudaSuccess
+        return CudaError.cudaSuccess
 
     def cudaMemcpyAsync(
         self,

@@ -21,6 +21,7 @@ This transport implements both zero-copy halves of the hot path:
 
 from __future__ import annotations
 
+import select
 import socket
 
 from repro.errors import TransportClosedError, TransportError
@@ -34,6 +35,12 @@ SCRATCH_BYTES = 64 << 10
 #: Socket buffer floor: at least the largest streaming chunk frame
 #: (4 MiB), so one full frame fits in flight per direction.
 SOCKET_BUFFER_BYTES = 4 << 20
+
+#: Most buffers one ``sendmsg`` call is handed.  Linux caps an iovec at
+#: ``UIO_MAXIOV`` (1024) and fails the whole call with EMSGSIZE past it;
+#: a D2H stream response of many chunks can exceed that, so the vectored
+#: send walks the buffer list in bounded batches.
+IOV_BATCH = 512
 
 
 class TcpTransport(Transport):
@@ -66,13 +73,28 @@ class TcpTransport(Transport):
         self._account_send(len(view))
 
     def send_vectored(self, bufs, messages: int = 1) -> None:
+        """Gather-write ``bufs`` with ``sendmsg``, handling every partial
+        outcome: a short write inside a buffer, a write ending between
+        buffers, an iovec longer than the kernel's per-call cap, and --
+        on a non-blocking socket or one with a small ``SO_SNDBUF`` -- a
+        send that cannot progress yet (waits for writability instead of
+        failing).  The loop advances across the iovec by the ``sendmsg``
+        return value; nothing assumes a full write."""
         if self._closed:
             raise TransportClosedError("send on a closed transport")
         pending = [m for m in (memoryview(b).cast("B") for b in bufs) if m.nbytes]
         total = sum(m.nbytes for m in pending)
         try:
             while pending:
-                sent = self._sock.sendmsg(pending)
+                try:
+                    sent = self._sock.sendmsg(pending[:IOV_BATCH])
+                except BlockingIOError:
+                    # Non-blocking socket with a full send buffer: wait
+                    # for drain, then resume exactly where we stopped.
+                    select.select((), (self._sock,), ())
+                    continue
+                except InterruptedError:
+                    continue
                 # Drop fully sent buffers, trim the partially sent one.
                 while pending and sent >= pending[0].nbytes:
                     sent -= pending[0].nbytes

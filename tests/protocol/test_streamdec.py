@@ -1,0 +1,153 @@
+"""The push-driven StreamDecoder decodes byte-for-byte what the blocking
+reader decodes, no matter how the network slices the arrivals."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocol.codec import MessageReader, decode_init, decode_request, encode_request
+from repro.protocol.messages import (
+    FreeRequest,
+    InitRequest,
+    MallocRequest,
+    MemcpyRequest,
+    MemsetRequest,
+)
+from repro.protocol.streamdec import StreamDecoder
+
+u4 = st.integers(min_value=0, max_value=2**32 - 1)
+
+request_strategy = st.one_of(
+    st.builds(MallocRequest, size=u4),
+    st.builds(FreeRequest, ptr=u4),
+    st.builds(MemsetRequest, ptr=u4, value=st.integers(0, 255), size=u4),
+    st.builds(
+        MemcpyRequest,
+        dst=u4,
+        src=st.just(0),
+        size=st.just(0),
+        kind=st.just(1),
+        data=st.binary(max_size=512),
+    ).map(
+        lambda r: MemcpyRequest(
+            dst=r.dst, src=0, size=len(r.data), kind=1, data=r.data
+        )
+    ),
+)
+
+
+def _wire(requests):
+    """The init frame plus each request frame, as one byte stream."""
+    blob = encode_request(InitRequest(module=b"module-bytes"))
+    frames = [blob]
+    for request in requests:
+        frames.append(encode_request(request))
+    return b"".join(frames), frames
+
+
+def _blocking_decode(stream, count):
+    """What the thread-per-connection server would decode."""
+    reader = MessageReader(stream)
+    out = [decode_init(reader)]
+    for _ in range(count):
+        out.append(decode_request(reader))
+    return out
+
+
+def _chop(stream, cut_points):
+    cuts = sorted({min(c, len(stream)) for c in cut_points})
+    pieces, last = [], 0
+    for cut in cuts:
+        pieces.append(stream[last:cut])
+        last = cut
+    pieces.append(stream[last:])
+    return [p for p in pieces if p]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    requests=st.lists(request_strategy, max_size=6),
+    cut_points=st.lists(st.integers(0, 4200), max_size=12),
+)
+def test_any_slicing_decodes_identically_to_blocking_reader(
+    requests, cut_points
+):
+    stream, _ = _wire(requests)
+    expected = _blocking_decode(stream, len(requests))
+
+    decoder = StreamDecoder(expect_init=True)
+    decoded, consumed_total = [], 0
+    for piece in _chop(stream, cut_points):
+        decoder.feed(piece)
+        while (item := decoder.next_message()) is not None:
+            request, consumed = item
+            decoded.append(request)
+            consumed_total += consumed
+
+    assert decoded == expected
+    # Per-message consumed byte counts sum to the whole stream: wire
+    # accounting through the async path loses nothing.
+    assert consumed_total == len(stream)
+    assert decoder.pending_bytes == 0
+    assert decoder.messages_decoded == len(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(requests=st.lists(request_strategy, min_size=1, max_size=4))
+def test_byte_at_a_time_feed(requests):
+    stream, frames = _wire(requests)
+    decoder = StreamDecoder(expect_init=True)
+    decoded = []
+    for i in range(len(stream)):
+        decoder.feed(stream[i : i + 1])
+        while (item := decoder.next_message()) is not None:
+            decoded.append(item[0])
+    assert len(decoded) == len(frames)
+
+
+def test_truncated_message_reports_pending_bytes():
+    stream, _ = _wire([MallocRequest(size=4096)])
+    decoder = StreamDecoder(expect_init=True)
+    decoder.feed(stream[:-3])  # peer dies mid-malloc
+    assert decoder.next_message() is not None  # init completes
+    assert decoder.next_message() is None
+    # Nonzero at EOF: the close was mid-message, never clean.
+    assert decoder.pending_bytes > 0
+    decoder.feed(stream[-3:])
+    assert decoder.next_message() is not None
+    assert decoder.pending_bytes == 0
+
+
+def test_malformed_function_id_raises_like_blocking_path():
+    init = encode_request(InitRequest(module=b"m"))
+    garbage = struct.pack("<I", 0xDEADBEEF)
+    decoder = StreamDecoder(expect_init=True)
+    decoder.feed(init + garbage)
+    assert decoder.next_message() is not None
+    with pytest.raises(ProtocolError):
+        decoder.next_message()
+    # The blocking reader rejects the identical bytes identically.
+    with pytest.raises(ProtocolError):
+        decode_request(MessageReader(garbage))
+
+
+def test_compaction_keeps_decoding_across_large_streams():
+    # Push well past the compaction threshold (64 KiB) in one buffer and
+    # confirm nothing is lost when the consumed prefix is dropped.
+    payload = bytes(range(256)) * 8  # 2 KiB per memcpy
+    requests = [
+        MemcpyRequest(dst=i, src=0, size=len(payload), kind=1, data=payload)
+        for i in range(80)
+    ]
+    stream, _ = _wire(requests)
+    assert len(stream) > 128 << 10
+    decoder = StreamDecoder(expect_init=True)
+    decoder.feed(stream)
+    decoded = []
+    while (item := decoder.next_message()) is not None:
+        decoded.append(item[0])
+    assert len(decoded) == len(requests) + 1
+    assert decoded[1:] == requests

@@ -1,0 +1,81 @@
+"""Admission control: ``max_sessions`` refuses politely over the wire
+and the client surfaces a readable sticky error, on both daemons."""
+
+import time
+
+import pytest
+
+from repro.rcuda import AsyncRCudaDaemon, RCudaClient, RCudaDaemon
+from repro.simcuda import SimulatedGpu, fabricate_module
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+
+
+def _module():
+    return fabricate_module("t", ["saxpy"], 1024)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.mark.parametrize("daemon_cls", [RCudaDaemon, AsyncRCudaDaemon])
+class TestAdmission:
+    def test_refusal_is_a_readable_sticky_error(self, daemon_cls):
+        daemon = daemon_cls(SimulatedGpu(), max_sessions=1)
+        port = daemon.start()
+        try:
+            with RCudaClient.connect_tcp("127.0.0.1", port, _module()):
+                with pytest.raises(CudaRuntimeError) as excinfo:
+                    RCudaClient.connect_tcp("127.0.0.1", port, _module())
+                # The protocol-level refusal maps to the sticky
+                # cudaErrorUnknown the real runtime would show, but the
+                # raise keeps the human explanation.
+                assert excinfo.value.status == CudaError.cudaErrorUnknown
+                assert "max-sessions" in str(excinfo.value)
+                assert daemon.rejected_sessions == 1
+        finally:
+            daemon.stop()
+
+    def test_capacity_frees_up_when_a_session_ends(self, daemon_cls):
+        daemon = daemon_cls(SimulatedGpu(), max_sessions=1)
+        port = daemon.start()
+        try:
+            with RCudaClient.connect_tcp("127.0.0.1", port, _module()) as c:
+                assert int(c.runtime.cudaMalloc(64)[0]) == 0
+            assert _wait_until(lambda: daemon.active_sessions == 0)
+            # Re-admitted: the limit counts live sessions, not history.
+            with RCudaClient.connect_tcp("127.0.0.1", port, _module()) as c:
+                assert int(c.runtime.cudaMalloc(64)[0]) == 0
+            assert daemon.rejected_sessions == 0
+            assert daemon.unclean_sessions == 0
+        finally:
+            daemon.stop()
+
+    def test_refusals_do_not_count_as_sessions(self, daemon_cls):
+        daemon = daemon_cls(SimulatedGpu(), max_sessions=2)
+        port = daemon.start()
+        try:
+            keep = [
+                RCudaClient.connect_tcp("127.0.0.1", port, _module())
+                for _ in range(2)
+            ]
+            for _ in range(3):
+                with pytest.raises(CudaRuntimeError):
+                    RCudaClient.connect_tcp("127.0.0.1", port, _module())
+            assert daemon.rejected_sessions == 3
+            assert daemon.total_sessions == 2
+            for client in keep:
+                client.close()
+            assert _wait_until(lambda: daemon.completed_sessions == 2)
+            assert daemon.unclean_sessions == 0
+        finally:
+            daemon.stop()
+
+    def test_invalid_max_sessions_rejected(self, daemon_cls):
+        with pytest.raises(Exception):
+            daemon_cls(SimulatedGpu(), max_sessions=0)

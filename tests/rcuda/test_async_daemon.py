@@ -1,0 +1,270 @@
+"""The event-loop daemon: lifecycle, drain, idle reaping, backpressure,
+close classification, and zero-copy survival on the async path."""
+
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.protocol.codec import encode_request
+from repro.protocol.messages import InitRequest, MemsetRequest
+from repro.rcuda import AsyncRCudaDaemon, RCudaClient
+from repro.rcuda.server.session import (
+    CLOSE_CLEAN,
+    CLOSE_DRAINED,
+    CLOSE_IDLE,
+    CLOSE_MID_MESSAGE,
+    CLOSE_PROTOCOL,
+)
+from repro.simcuda import SimulatedGpu, fabricate_module
+from repro.simcuda.types import MemcpyKind
+from repro.workloads import MatrixProductCase
+
+
+def _module():
+    return fabricate_module("t", ["saxpy"], 1024)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.fixture
+def daemon():
+    d = AsyncRCudaDaemon(SimulatedGpu())
+    d.start()
+    yield d
+    d.stop()
+
+
+class TestLifecycle:
+    def test_full_workload_verifies_over_the_event_loop(self, daemon):
+        case = MatrixProductCase()
+        with RCudaClient.connect_tcp("127.0.0.1", daemon.port, case.module()) as c:
+            assert case.run(c.runtime, 32, seed=7).verified
+        assert _wait_until(lambda: daemon.completed_sessions == 1)
+        assert daemon.unclean_sessions == 0
+        assert _wait_until(lambda: daemon.loop_connections == 0)
+
+    def test_client_close_is_classified_clean(self, daemon):
+        client = RCudaClient.connect_tcp("127.0.0.1", daemon.port, _module())
+        assert _wait_until(lambda: daemon.active_sessions == 1)
+        with daemon._lock:
+            session = daemon.sessions[-1]
+        client.close()
+        assert _wait_until(lambda: session.finished)
+        assert session.close_reason == CLOSE_CLEAN
+        assert daemon.unclean_sessions == 0
+
+    def test_start_twice_refused_and_stop_idempotent(self):
+        d = AsyncRCudaDaemon(SimulatedGpu())
+        d.start()
+        with pytest.raises(Exception):
+            d.start()
+        d.stop()
+        d.stop()
+        assert d.active_sessions == 0
+
+    def test_sequential_reconnects(self, daemon):
+        case = MatrixProductCase()
+        for seed in range(3):
+            with RCudaClient.connect_tcp(
+                "127.0.0.1", daemon.port, case.module()
+            ) as c:
+                assert case.run(c.runtime, 16, seed=seed).verified
+        assert _wait_until(lambda: daemon.completed_sessions == 3)
+        assert daemon.unclean_sessions == 0
+
+
+class TestZeroCopyD2H:
+    def test_large_d2h_readback_is_intact(self, daemon):
+        """A D2H payload is enqueued as a live device-memory view (the
+        flush gate): the bytes on the wire must be what the device held
+        at dispatch time, even with more requests queued behind it."""
+        with RCudaClient.connect_tcp("127.0.0.1", daemon.port, _module()) as c:
+            rt = c.runtime
+            n = 2 << 20  # well past one sendmsg batch
+            err, ptr = rt.cudaMalloc(n)
+            assert int(err) == 0
+            pattern = np.arange(n, dtype=np.uint8)
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, n, MemcpyKind.cudaMemcpyHostToDevice, host_data=pattern
+            )
+            assert int(err) == 0
+            err, out = rt.cudaMemcpy(
+                0, ptr, n, MemcpyKind.cudaMemcpyDeviceToHost
+            )
+            assert int(err) == 0
+            assert np.array_equal(out, pattern)
+        assert _wait_until(lambda: daemon.completed_sessions == 1)
+        assert daemon.unclean_sessions == 0
+
+
+class TestGracefulDrain:
+    def test_stop_drains_attached_sessions_cleanly(self):
+        d = AsyncRCudaDaemon(SimulatedGpu())
+        d.start()
+        clients = [
+            RCudaClient.connect_tcp("127.0.0.1", d.port, _module())
+            for _ in range(5)
+        ]
+        for client in clients:
+            err, _ = client.runtime.cudaMalloc(128)
+            assert int(err) == 0
+        assert _wait_until(lambda: d.active_sessions == 5)
+        with d._lock:
+            sessions = list(d.sessions)
+        d.stop()
+        assert all(s.finished for s in sessions)
+        assert {s.close_reason for s in sessions} == {CLOSE_DRAINED}
+        assert d.unclean_sessions == 0
+        assert d.loop_connections == 0
+        for client in clients:
+            client.runtime.close()
+
+    def test_drain_deadline_forces_unclean_close_with_work_in_flight(self):
+        d = AsyncRCudaDaemon(SimulatedGpu())
+        port = d.start()
+        sock = socket.create_connection(("127.0.0.1", port))
+        sock.sendall(encode_request(InitRequest(module=_module().payload)))
+        sock.recv(64)
+        # Leave half a request on the wire: the drain cannot finish it.
+        sock.sendall(struct.pack("<I", 3)[:2])
+        assert _wait_until(lambda: d.active_sessions == 1)
+        # Wait until the loop has actually read the half-frame (bytes
+        # still in the kernel buffer are indistinguishable from bytes
+        # still on the network, and close cleanly).
+        assert _wait_until(
+            lambda: any(
+                c.decoder.pending_bytes for c in d._conns.values()
+            )
+        )
+        d.stop(join_timeout=0.3)
+        assert d.unclean_sessions == 1
+        sock.close()
+
+
+class TestIdleTimeout:
+    def test_idle_sessions_are_reaped_cleanly(self):
+        d = AsyncRCudaDaemon(SimulatedGpu(), idle_timeout=0.5)
+        d.start()
+        try:
+            client = RCudaClient.connect_tcp("127.0.0.1", d.port, _module())
+            assert _wait_until(lambda: d.active_sessions == 1)
+            with d._lock:
+                session = d.sessions[-1]
+            # Sit idle past the timeout; the sweep runs every second.
+            assert _wait_until(lambda: session.finished, timeout=8.0)
+            assert session.close_reason == CLOSE_IDLE
+            assert d.idle_closed_sessions == 1
+            assert d.unclean_sessions == 0
+            client.runtime.close()
+        finally:
+            d.stop()
+
+    def test_active_sessions_are_not_reaped(self):
+        d = AsyncRCudaDaemon(SimulatedGpu(), idle_timeout=0.5)
+        d.start()
+        try:
+            with RCudaClient.connect_tcp("127.0.0.1", d.port, _module()) as c:
+                err, ptr = c.runtime.cudaMalloc(64)
+                deadline = time.monotonic() + 2.0
+                while time.monotonic() < deadline:
+                    assert int(c.runtime.cudaMemset(ptr, 1, 64)) == 0
+                    time.sleep(0.1)
+            assert d.idle_closed_sessions == 0
+        finally:
+            d.stop()
+
+    def test_nonpositive_idle_timeout_rejected(self):
+        with pytest.raises(Exception):
+            AsyncRCudaDaemon(SimulatedGpu(), idle_timeout=0.0)
+
+
+class TestBackpressure:
+    def test_flood_pauses_reads_and_still_answers_everything(self):
+        """A client that bursts requests without reading responses fills
+        the bounded inbound queue; the loop stops reading its socket
+        (counted as a stall) and recovers once the responses drain."""
+        d = AsyncRCudaDaemon(SimulatedGpu(), inbound_queue=4)
+        port = d.start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", port))
+            sock.sendall(encode_request(InitRequest(module=_module().payload)))
+            init_resp = sock.recv(12)
+            assert struct.unpack_from("<I", init_resp, 8)[0] == 0
+            frame = encode_request(MemsetRequest(ptr=0, value=7, size=0))
+            count = 5000
+            sock.sendall(frame * count)
+            got, want = 0, 4 * count
+            while got < want:
+                data = sock.recv(1 << 20)
+                assert data, "daemon closed mid-flood"
+                got += len(data)
+            assert got == want
+            assert d.backpressure_stalls > 0
+            sock.close()
+            assert _wait_until(lambda: d.completed_sessions == 1)
+            assert d.unclean_sessions == 0
+        finally:
+            d.stop()
+
+
+class TestCloseClassification:
+    def test_peer_death_mid_message_is_unclean(self):
+        d = AsyncRCudaDaemon(SimulatedGpu())
+        port = d.start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", port))
+            sock.sendall(encode_request(InitRequest(module=_module().payload)))
+            sock.recv(64)
+            assert _wait_until(lambda: d.active_sessions == 1)
+            with d._lock:
+                session = d.sessions[-1]
+            sock.sendall(struct.pack("<I", 3)[:2])  # half a function id
+            sock.close()
+            assert _wait_until(lambda: session.finished)
+            assert session.close_reason == CLOSE_MID_MESSAGE
+            assert d.unclean_sessions == 1
+        finally:
+            d.stop()
+
+    def test_malformed_traffic_is_a_protocol_error_close(self):
+        d = AsyncRCudaDaemon(SimulatedGpu())
+        port = d.start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", port))
+            sock.sendall(encode_request(InitRequest(module=_module().payload)))
+            sock.recv(64)
+            assert _wait_until(lambda: d.active_sessions == 1)
+            with d._lock:
+                session = d.sessions[-1]
+            sock.sendall(struct.pack("<I", 0xDEADBEEF))
+            assert _wait_until(lambda: session.finished)
+            assert session.close_reason == CLOSE_PROTOCOL
+            assert d.unclean_sessions == 1
+            sock.close()
+        finally:
+            d.stop()
+
+
+class TestLoopHealth:
+    def test_loop_lag_is_measured(self, daemon):
+        assert _wait_until(lambda: daemon.loop_lag_max >= 0.0, timeout=1.0)
+        with RCudaClient.connect_tcp("127.0.0.1", daemon.port, _module()) as c:
+            err, _ = c.runtime.cudaMalloc(64)
+            assert int(err) == 0
+        # The heartbeat keeps ticking while traffic flows.
+        assert daemon.loop_lag_seconds >= 0.0
+        assert daemon.loop_lag_max < 60.0
+
+    def test_queue_introspection_counts(self, daemon):
+        assert daemon.queued_requests == 0
+        assert daemon.outbound_backlog_bytes == 0

@@ -54,7 +54,26 @@ def test_serve_starts_and_stops_on_ephemeral_port(capsys):
     code = main(["serve", "--port", "0", "--run-seconds", "0"])
     captured = capsys.readouterr()
     assert code == 0
-    assert "rCUDA daemon listening on 127.0.0.1:" in captured.out
+    assert "rCUDA daemon (thread-per-connection) listening on 127.0.0.1:" in captured.out
+
+
+def test_serve_async_starts_and_stops_on_ephemeral_port(capsys):
+    code = main([
+        "serve", "--port", "0", "--async", "--max-sessions", "64",
+        "--idle-timeout", "30", "--run-seconds", "0",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "rCUDA daemon (event-loop) listening on 127.0.0.1:" in captured.out
+    assert "admission control: at most 64 sessions" in captured.out
+    assert "idle sessions reaped after 30s" in captured.out
+
+
+def test_serve_idle_timeout_requires_async(capsys):
+    code = main(["serve", "--port", "0", "--idle-timeout", "30"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--idle-timeout requires --async" in captured.err
 
 
 def test_serve_metrics_endpoint_and_span_log(tmp_path):

@@ -162,6 +162,73 @@ class TestTcpVectored:
             b.close()
 
 
+class TestTcpPartialWrites:
+    """The kernel accepting only part of an iovec batch must never drop,
+    duplicate or reorder bytes (the sendmsg loop retries from the split
+    point, trimming the partially sent buffer)."""
+
+    @staticmethod
+    def _tiny_sndbuf_pair():
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        client_sock = socket.create_connection(("127.0.0.1", port))
+        # A tiny send buffer forces sendmsg to take partial batches as
+        # soon as the (unread) peer window fills.
+        client_sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        server_sock, _ = listener.accept()
+        server_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        listener.close()
+        return TcpTransport(client_sock), TcpTransport(server_sock)
+
+    def test_partial_batches_reassemble_exactly(self):
+        a, b = self._tiny_sndbuf_pair()
+        try:
+            # Enough distinct small buffers to span several IOV batches,
+            # each one recognizable so any reorder/drop corrupts the sum.
+            bufs = [bytes([i % 256]) * 577 for i in range(1500)]
+            total = sum(len(x) for x in bufs)
+            received = {}
+
+            def reader():
+                time.sleep(0.05)  # let the send buffer fill first
+                received["data"] = bytes(b.recv_exact(total))
+
+            t = threading.Thread(target=reader)
+            t.start()
+            a.send_vectored(bufs)
+            t.join(timeout=30)
+            assert not t.is_alive()
+            assert received["data"] == b"".join(bufs)
+            assert a.bytes_sent == total
+            assert a.messages_sent == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_split_inside_one_large_buffer(self):
+        a, b = self._tiny_sndbuf_pair()
+        try:
+            payload = np.arange(3 << 20, dtype=np.uint8) % 249
+            received = {}
+
+            def reader():
+                time.sleep(0.05)
+                received["data"] = bytes(b.recv_exact(4 + payload.nbytes))
+
+            t = threading.Thread(target=reader)
+            t.start()
+            a.send_vectored([b"HDR!", memoryview(payload)])
+            t.join(timeout=30)
+            assert not t.is_alive()
+            assert received["data"][:4] == b"HDR!"
+            assert received["data"][4:] == payload.tobytes()
+        finally:
+            a.close()
+            b.close()
+
+
 class TestTimedVectored:
     def test_vectored_send_charges_link_once(self):
         a, b = inproc_pair()
