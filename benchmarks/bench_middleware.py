@@ -635,6 +635,99 @@ def _connection_scaling(clients: int, iters: int = SCALING_ITERS) -> dict:
     }
 
 
+# -- multi-tenant device sharing ----------------------------------------------
+
+#: The acceptance gates: fair-share batching must reach at least this
+#: multiple of naive serialized (fifo) dispatch's aggregate launch
+#: throughput at 8 contending tenants, at a Jain fairness index at
+#: least this high across per-tenant completion rates.
+MULTI_TENANT_MIN_SPEEDUP = 1.3
+MULTI_TENANT_MIN_JAIN = 0.9
+
+#: Saxpy length whose memory-bound compute time is ~16 us -- twice the
+#: 8 us fixed launch overhead, so coalescing has real overhead to
+#: amortize without drowning it in compute.
+MULTI_TENANT_SAXPY_N = 106_667
+
+
+def _multi_tenant_run(policy: str, tenants: int, launches: int = 64) -> dict:
+    """Drive ``tenants`` contending handlers through one pooled device
+    and measure aggregate launch throughput on the device's virtual
+    clock (deterministic: no wall time in the metric)."""
+    from repro.protocol.messages import (
+        LaunchRequest,
+        SetupArgsRequest,
+        SyncRequest,
+    )
+    from repro.rcuda import DevicePool, TenantSessionHandler
+
+    pool = DevicePool(
+        devices=1, policy=policy,
+        device_factory=lambda: SimulatedGpu(functional=False),
+    )
+    handlers = [TenantSessionHandler(pool.attach()) for _ in range(tenants)]
+    t0 = time.perf_counter()
+    for handler in handlers:
+        for _ in range(launches):
+            handler.handle(
+                SetupArgsRequest(args=(0, 0, MULTI_TENANT_SAXPY_N, 1.0))
+            )
+            response = handler.handle(LaunchRequest(kernel_name="saxpy"))
+            assert response.error == 0
+    for handler in handlers:
+        assert handler.handle(SyncRequest()).error == 0
+    wall = time.perf_counter() - t0
+    rates = [
+        launches / h.tenant.last_completion for h in handlers
+    ]
+    horizon = max(h.tenant.last_completion for h in handlers)
+    jain = sum(rates) ** 2 / (tenants * sum(r * r for r in rates))
+    coalesced = sum(h.tenant.launches_coalesced for h in handlers)
+    return {
+        "policy": policy,
+        "tenants": tenants,
+        "launches_per_tenant": launches,
+        "device_seconds": horizon,
+        "aggregate_launches_per_second": tenants * launches / horizon,
+        "jain_fairness": jain,
+        "launches_coalesced": coalesced,
+        "wall_seconds": wall,
+    }
+
+
+def _multi_tenant_comparison() -> dict:
+    """Fair-share batched dispatch vs naive serialized (fifo) dispatch
+    at 2/8/32 contending tenants on one pooled device."""
+    points = []
+    for tenants in (2, 8, 32):
+        fifo = _multi_tenant_run("fifo", tenants)
+        fair = _multi_tenant_run("fair", tenants)
+        points.append({
+            "tenants": tenants,
+            "fifo": fifo,
+            "fair": fair,
+            "fair_vs_fifo_throughput": (
+                fair["aggregate_launches_per_second"]
+                / fifo["aggregate_launches_per_second"]
+            ),
+        })
+    at8 = next(p for p in points if p["tenants"] == 8)
+    return {
+        "what": (
+            "aggregate kernel-launch throughput on one pooled device, "
+            "deficit-round-robin batched dispatch (fair) vs serialized "
+            "arrival-order dispatch (fifo), measured on the device's "
+            "virtual clock"
+        ),
+        "saxpy_n": MULTI_TENANT_SAXPY_N,
+        "points": points,
+        "speedup_at_8": at8["fair_vs_fifo_throughput"],
+        "jain_at_8": at8["fair"]["jain_fairness"],
+        "min_speedup": MULTI_TENANT_MIN_SPEEDUP,
+        "min_jain": MULTI_TENANT_MIN_JAIN,
+    }
+
+
 # -- CI perf smoke ------------------------------------------------------------
 
 
@@ -807,6 +900,7 @@ def run_quick(
     large_copies = _large_copy_comparison()
     obs_overhead = _observability_overhead()
     scaling = _connection_scaling(scaling_clients)
+    multi_tenant = _multi_tenant_comparison()
 
     reduction = 1.0 - (
         burst["pipelined"]["wall_seconds"] / burst["sync"]["wall_seconds"]
@@ -821,6 +915,7 @@ def run_quick(
         "large_copies": large_copies,
         "observability_overhead": obs_overhead,
         "connection_scaling": scaling,
+        "multi_tenant": multi_tenant,
     }
     Path(output).write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -883,6 +978,15 @@ def run_quick(
         f"async vs thread throughput at {scaling['clients']} sessions: "
         f"{scaling['async_vs_thread_throughput']:.2f}x"
     )
+    for point in multi_tenant["points"]:
+        print(
+            f"multi-tenant {point['tenants']:>2} tenants: "
+            f"fifo {point['fifo']['aggregate_launches_per_second']:,.0f} "
+            f"(J={point['fifo']['jain_fairness']:.3f}) vs "
+            f"fair {point['fair']['aggregate_launches_per_second']:,.0f} "
+            f"launches/s (J={point['fair']['jain_fairness']:.3f}), "
+            f"speedup {point['fair_vs_fifo_throughput']:.3f}x"
+        )
     # The dispatch-path work (exact-type handler table, generated
     # decoder constructors, single-lookup memset) cut the sync mode's
     # per-round-trip cost roughly in half, so pipelining's *relative*
@@ -928,6 +1032,19 @@ def run_quick(
         f"event-loop daemon must reach >= {scaling_min:.1f}x the "
         f"thread daemon's throughput at {scaling_clients} sessions, got "
         f"{scaling['async_vs_thread_throughput']:.2f}x"
+    )
+    # Virtual-clock metrics, so these gates are deterministic: noise on
+    # the runner cannot move them.
+    assert multi_tenant["speedup_at_8"] >= MULTI_TENANT_MIN_SPEEDUP, (
+        f"fair-share batching must reach >= "
+        f"{MULTI_TENANT_MIN_SPEEDUP:.1f}x serialized dispatch's aggregate "
+        f"launch throughput at 8 tenants, got "
+        f"{multi_tenant['speedup_at_8']:.3f}x"
+    )
+    assert multi_tenant["jain_at_8"] >= MULTI_TENANT_MIN_JAIN, (
+        f"fair-share completion rates must stay >= "
+        f"{MULTI_TENANT_MIN_JAIN:.2f} Jain-fair at 8 tenants, got "
+        f"{multi_tenant['jain_at_8']:.3f}"
     )
     return payload
 

@@ -145,9 +145,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         postmortem_dir=args.postmortem_dir,
         max_sessions=args.max_sessions,
     )
+    pool = None
+    if args.share_device is not None:
+        from repro.rcuda import DevicePool
+
+        pool = DevicePool(
+            devices=args.share_device,
+            quota_bytes=args.quota_bytes,
+            policy=args.sched,
+        )
+        common["pool"] = pool
+    elif args.quota_bytes is not None:
+        print(
+            "error: --quota-bytes requires --share-device "
+            "(quotas only apply to pooled tenants)",
+            file=sys.stderr,
+        )
+        return 2
+    device = pool.devices[0] if pool is not None else SimulatedGpu()
     if args.use_async:
         daemon = AsyncRCudaDaemon(
-            SimulatedGpu(), idle_timeout=args.idle_timeout, **common
+            device, idle_timeout=args.idle_timeout, **common
         )
     else:
         if args.idle_timeout is not None:
@@ -157,7 +175,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        daemon = RCudaDaemon(SimulatedGpu(), **common)
+        daemon = RCudaDaemon(device, **common)
     port = daemon.start()
     metrics_server = None
 
@@ -187,6 +205,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if args.max_sessions is not None:
             print(f"admission control: at most {args.max_sessions} sessions")
+        if pool is not None:
+            quota = (
+                f", quota {args.quota_bytes} B/tenant"
+                if args.quota_bytes is not None else ""
+            )
+            print(
+                f"device pool: {len(pool.devices)} shared device(s), "
+                f"{args.sched} launch scheduling{quota}"
+            )
         if args.use_async and args.idle_timeout is not None:
             print(f"idle sessions reaped after {args.idle_timeout:g}s")
         for objective in slo.objectives:
@@ -378,6 +405,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
         interval=args.interval,
         iterations=1 if args.once else args.iterations,
         clear=not args.no_clear,
+        sort=args.sort,
     )
 
 
@@ -573,6 +601,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--idle-timeout", type=float, default=None, metavar="SEC",
                    help="(--async only) close sessions idle for SEC seconds "
                         "with a clean keepalive close")
+    p.add_argument("--share-device", type=int, default=None, metavar="N",
+                   help="pool N shared devices and attach every session as "
+                        "a tenant (fair-share launch scheduling, per-tenant "
+                        "metrics); default: one private device per daemon")
+    p.add_argument("--quota-bytes", type=int, default=None, metavar="B",
+                   help="(--share-device only) per-tenant device memory "
+                        "quota; an over-quota cudaMalloc fails with "
+                        "cudaErrorMemoryAllocation")
+    p.add_argument("--sched", choices=["fair", "fifo"], default="fair",
+                   help="(--share-device only) launch scheduling policy: "
+                        "deficit-round-robin with batching (fair, default) "
+                        "or naive arrival-order dispatch (fifo)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -588,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop after this many frames (default: forever)")
     p.add_argument("--no-clear", action="store_true",
                    help="do not clear the screen between frames")
+    p.add_argument("--sort", default=None,
+                   choices=["session", "reqs", "held", "in", "out",
+                            "launches", "quota", "wait", "coalesced"],
+                   help="order session rows by this column (tenant columns "
+                        "need a daemon running --share-device)")
     p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(

@@ -101,3 +101,20 @@ def max_clients_within_slowdown(
         raise ModelError("empty contention sweep")
     eligible = [p.concurrency for p in points if p.slowdown <= 1.0 + budget]
     return max(eligible, default=0)
+
+
+def device_timeshare_factor(active_tenants: int) -> float:
+    """Per-tenant slowdown when ``active_tenants`` time-share one GPU.
+
+    The device term of the sharing model: a GPU is a serially-reusable
+    resource, so k tenants with queued work each see their device time
+    stretch by k (processor sharing, no context-switch overhead in the
+    simulated device).  The serving path's launch scheduler feeds its
+    live contender count through this so shared-device timing degrades
+    by the same law the offline sweeps assume.
+    """
+    if active_tenants < 1:
+        raise ModelError(
+            f"active tenant count must be >= 1, got {active_tenants}"
+        )
+    return float(active_tenants)

@@ -57,11 +57,29 @@ class SessionAccounting:
     close_reason: str = ""
     #: Live byte-counter source (not serialized); ``None`` once frozen.
     _transport: object | None = None
+    #: Live tenant ledger source on a pooled device (not serialized);
+    #: ``None`` for unshared sessions and once frozen.
+    _tenant: object | None = None
+    #: Frozen tenant snapshot after close (shared sessions only).
+    tenant: dict | None = None
 
     def bind_transport(self, transport) -> None:
         """Source ``bytes_in``/``bytes_out`` from the transport's own
         wire counters while the session is live -- zero hot-path cost."""
         self._transport = transport
+
+    def bind_tenant(self, tenant) -> None:
+        """Source the per-tenant block (quota, queue, coalescing,
+        contention) live from the pool tenant; shared sessions only."""
+        self._tenant = tenant
+
+    def freeze_tenant(self) -> None:
+        """Snapshot the tenant ledger at close so postmortems and late
+        scrapes keep the quota/queue picture after the tenant detaches."""
+        t = self._tenant
+        if t is not None:
+            self.tenant = t.snapshot()
+            self._tenant = None
 
     def freeze_bytes(self) -> None:
         """Copy the transport totals into the plain fields and unbind;
@@ -100,8 +118,7 @@ class SessionAccounting:
             except ValueError:
                 self.last_error_name = f"error-{error}"
 
-    def to_dict(self) -> dict:
-        """The JSON form served by ``/sessions`` and stored in dumps."""
+    def _base_dict(self) -> dict:
         return {
             "session": self.session,
             "started_at": self.started_at,
@@ -124,3 +141,17 @@ class SessionAccounting:
             "finished": self.finished,
             "close_reason": self.close_reason,
         }
+
+    def to_dict(self) -> dict:
+        """The JSON form served by ``/sessions`` and stored in dumps.
+
+        Unshared sessions keep the exact historical document; a tenant
+        block is appended only when the session rides a device pool.
+        """
+        d = self._base_dict()
+        t = self._tenant
+        if t is not None:
+            d["tenant"] = t.snapshot()
+        elif self.tenant is not None:
+            d["tenant"] = self.tenant
+        return d

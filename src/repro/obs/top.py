@@ -130,15 +130,36 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:.1f} GiB"
 
 
+#: ``--sort`` column -> ledger accessor.  Tenant-backed keys read the
+#: ``tenant`` block a ``--share-device`` daemon adds to /sessions rows
+#: (zero for unshared sessions, so the sort is still total).
+SESSION_SORT_KEYS = {
+    "session": lambda s: str(s.get("session", "")),
+    "reqs": lambda s: s.get("requests", 0),
+    "held": lambda s: s.get("device_bytes_held", 0),
+    "in": lambda s: s.get("bytes_in", 0),
+    "out": lambda s: s.get("bytes_out", 0),
+    "launches": lambda s: s.get("launches", 0),
+    "quota": lambda s: (s.get("tenant") or {}).get("quota_used_bytes", 0),
+    "wait": lambda s: (s.get("tenant") or {}).get("queue_wait_p99_s", 0.0),
+    "coalesced": lambda s: (
+        (s.get("tenant") or {}).get("launches_coalesced", 0)
+    ),
+}
+
+
 def render_dashboard(
     snapshot: dict,
     previous: dict | None = None,
     interval_seconds: float | None = None,
+    sort: str | None = None,
 ) -> str:
     """One frame of the dashboard from a :func:`fetch_endpoints` snapshot.
 
     With a ``previous`` snapshot and the seconds between them, counters
-    become rates; without, totals are shown.
+    become rates; without, totals are shown.  ``sort`` orders the session
+    table by one of :data:`SESSION_SORT_KEYS` (descending, except the
+    lexical ``session`` key).
     """
     metrics = snapshot.get("metrics", {})
     health = snapshot.get("health", {}) or {}
@@ -237,8 +258,14 @@ def render_dashboard(
             )
         )
 
-    session_rows = [
-        [
+    ledgers = list(sessions_doc.get("sessions", []))
+    if sort is not None and sort in SESSION_SORT_KEYS:
+        key = SESSION_SORT_KEYS[sort]
+        ledgers.sort(key=key, reverse=(sort != "session"))
+    tenanted = any(s.get("tenant") for s in ledgers)
+    session_rows = []
+    for s in ledgers:
+        row = [
             s.get("session", "?"),
             "live" if not s.get("finished") else (
                 s.get("close_reason") or "closed"
@@ -250,18 +277,31 @@ def render_dashboard(
             s.get("launches", 0),
             s.get("last_error_name") or "-",
         ]
-        for s in sessions_doc.get("sessions", [])
-    ]
+        if tenanted:
+            t = s.get("tenant") or {}
+            quota = t.get("quota_bytes")
+            used = t.get("quota_used_bytes", 0)
+            row.extend([
+                f"{used}/{quota}" if quota is not None else str(used),
+                f"{t.get('queue_wait_p99_s', 0.0) * 1e3:.2f}",
+                t.get("launches_coalesced", 0),
+            ])
+        session_rows.append(row)
     if session_rows:
+        headers = ["Session", "State", "Reqs", "Held B", "B in", "B out",
+                   "Launches", "Last err"]
+        left = (0, 1, 7)
+        if tenanted:
+            headers += ["Quota B", "Wait p99 ms", "Coalesced"]
+            left = (0, 1, 7, 8)
         lines.append("")
         lines.append(
             render_table(
-                ["Session", "State", "Reqs", "Held B", "B in", "B out",
-                 "Launches", "Last err"],
+                headers,
                 session_rows,
                 title="Sessions",
                 digits=0,
-                align_left_cols=(0, 1, 7),
+                align_left_cols=left,
             )
         )
     else:
@@ -276,6 +316,7 @@ def run_top(
     iterations: int | None = None,
     out=None,
     clear: bool = True,
+    sort: str | None = None,
 ) -> int:
     """The refresh loop: scrape, render, sleep, repeat.
 
@@ -301,6 +342,7 @@ def run_top(
             interval_seconds=(
                 now - prev_t if prev_t is not None else None
             ),
+            sort=sort,
         )
         if clear and n > 0:
             print("\033[2J\033[H", end="", file=out)

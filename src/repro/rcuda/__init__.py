@@ -20,12 +20,20 @@ from repro.rcuda.server.daemon import RCudaDaemon
 from repro.rcuda.server.eventloop import AsyncRCudaDaemon
 from repro.rcuda.server.handler import SessionHandler
 from repro.rcuda.server.session import ServerSession
+from repro.rcuda.server.tenancy import (
+    DevicePool,
+    LaunchScheduler,
+    TenantSessionHandler,
+)
 
 __all__ = [
     "AsyncRCudaDaemon",
+    "DevicePool",
+    "LaunchScheduler",
     "RCudaClient",
     "RCudaDaemon",
     "RemoteCudaRuntime",
     "ServerSession",
     "SessionHandler",
+    "TenantSessionHandler",
 ]

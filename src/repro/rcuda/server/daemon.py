@@ -91,11 +91,16 @@ class DaemonCore:
         postmortem_dir: str | None = None,
         max_postmortems: int = 8,
         max_sessions: int | None = None,
+        pool=None,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise TransportError(
                 f"max_sessions must be >= 1, got {max_sessions}"
             )
+        #: Shared-device mode: a :class:`~repro.rcuda.server.tenancy.
+        #: DevicePool` every new session attaches to as a tenant.  None
+        #: (the default) keeps the historical unshared path untouched.
+        self.pool = pool
         self.device = device
         self.host = host
         self._requested_port = port
@@ -208,6 +213,82 @@ class DaemonCore:
                 labelnames=("session",),
             )
             metrics.add_collect_hook(self._refresh_session_gauges)
+        if self.pool is not None:
+            pool = self.pool
+            metrics.gauge(
+                "rcuda_pool_devices",
+                "Shared devices owned by the daemon's device pool.",
+            ).set_function(lambda: len(pool.devices))
+            metrics.gauge(
+                "rcuda_pool_tenants",
+                "Tenants currently attached to the device pool.",
+            ).set_function(lambda: pool.tenant_count)
+            # Per-tenant labelled gauges, same scrape-time refresh +
+            # stale-series removal discipline as the session gauges.
+            self._g_tenant_quota_used = metrics.gauge(
+                "rcuda_tenant_quota_used_bytes",
+                "Device bytes one tenant's live allocations hold.",
+                labelnames=("tenant",),
+            )
+            self._g_tenant_headroom = metrics.gauge(
+                "rcuda_tenant_quota_headroom_bytes",
+                "Bytes one tenant may still allocate under its quota.",
+                labelnames=("tenant",),
+            )
+            self._g_tenant_queue = metrics.gauge(
+                "rcuda_tenant_queue_depth",
+                "Launches one tenant has queued on the fair-share scheduler.",
+                labelnames=("tenant",),
+            )
+            self._g_tenant_coalesced = metrics.gauge(
+                "rcuda_tenant_launches_coalesced",
+                "Launches that rode an earlier launch's device submission.",
+                labelnames=("tenant",),
+            )
+            self._g_tenant_wait = metrics.gauge(
+                "rcuda_tenant_queue_wait_p99_seconds",
+                "p99 wall wait between launch submit and device dispatch.",
+                labelnames=("tenant",),
+            )
+            self._g_tenant_slowdown = metrics.gauge(
+                "rcuda_tenant_contention_slowdown",
+                "Contention-model slowdown the tenant currently sees.",
+                labelnames=("tenant",),
+            )
+            self._exported_tenant_ids: set[str] = set()
+            metrics.add_collect_hook(self._refresh_tenant_gauges)
+
+    def _refresh_tenant_gauges(self) -> None:
+        """Scrape-time refresh of the per-tenant labelled gauges."""
+        current: set[str] = set()
+        for tenant in self.pool.tenants():
+            tid = tenant.tenant_id
+            current.add(tid)
+            self._g_tenant_quota_used.set(tenant.bytes_held, tenant=tid)
+            headroom = tenant.quota_headroom
+            if headroom is not None:
+                self._g_tenant_headroom.set(headroom, tenant=tid)
+            self._g_tenant_queue.set(len(tenant.queue), tenant=tid)
+            self._g_tenant_coalesced.set(
+                tenant.launches_coalesced, tenant=tid
+            )
+            self._g_tenant_wait.set(
+                tenant.queue_wait.quantile(0.99), tenant=tid
+            )
+            self._g_tenant_slowdown.set(
+                tenant.contention_slowdown, tenant=tid
+            )
+        for stale in self._exported_tenant_ids - current:
+            for gauge in (
+                self._g_tenant_quota_used,
+                self._g_tenant_headroom,
+                self._g_tenant_queue,
+                self._g_tenant_coalesced,
+                self._g_tenant_wait,
+                self._g_tenant_slowdown,
+            ):
+                gauge.remove(tenant=stale)
+        self._exported_tenant_ids = current
 
     def _refresh_session_gauges(self) -> None:
         """Scrape-time refresh of the per-session labelled gauges."""
@@ -342,7 +423,10 @@ class DaemonCore:
     # -- serving transports (thread mode; shared by both daemons) ----------
 
     def _make_session(self, transport: Transport) -> ServerSession:
-        return ServerSession(
+        tenant = None
+        if self.pool is not None:
+            tenant = self.pool.attach()
+        session = ServerSession(
             transport,
             self.device,
             tracer=self.tracer,
@@ -351,7 +435,17 @@ class DaemonCore:
             slo=self.slo,
             accounting=self.accounting,
             on_unclean=self._on_session_unclean,
+            tenant=tenant,
         )
+        if tenant is not None and self.flight is not None:
+            self.flight.record(
+                EVENT_DAEMON, "tenant-attach",
+                session=session.session_id,
+                tenant=tenant.tenant_id,
+                device=tenant.device_index,
+                quota_bytes=tenant.quota_bytes,
+            )
+        return session
 
     def serve_transport(self, transport: Transport) -> ServerSession | None:
         """Spawn a session thread over an already-connected transport.

@@ -828,6 +828,13 @@ class AsyncRCudaDaemon(DaemonCore):
                 and not conn.inbound
                 and not conn.transport.unsent_bytes
                 and conn.decoder.pending_bytes == 0
+                # A silent socket is not an idle session when launches
+                # still sit in the scheduler queue: pending device work
+                # is liveness, and reaping would drop it.
+                and not (
+                    conn.session is not None
+                    and conn.session.pending_device_work
+                )
                 and now - conn.last_activity >= idle_after
             ):
                 self.idle_closed_sessions += 1

@@ -67,11 +67,33 @@ class SessionHandler:
     layer simply sends nothing back for those.
     """
 
+    #: Steady-state dispatch table (exact request type -> unbound handler
+    #: method); populated at module bottom once all methods exist.
+    _DISPATCH: dict = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Rebind the dispatch table per subclass: the table stores
+        function objects, so a subclass overriding ``_handle_launch``
+        would otherwise still dispatch to the base implementation."""
+        super().__init_subclass__(**kwargs)
+        cls._DISPATCH = {
+            rtype: getattr(cls, fn.__name__)
+            for rtype, fn in cls._DISPATCH.items()
+        }
+
     def __init__(self, runtime: CudaRuntime) -> None:
         self.runtime = runtime
         self._staged_args: tuple = ()
         self._streams: dict[int, _StreamState] = {}
         self.requests_handled = 0
+
+    @property
+    def pending_device_work(self) -> bool:
+        """Whether device work is queued beyond the socket (always false
+        for direct dispatch; the tenant handler overrides).  The idle
+        sweep consults this so a session parked in a scheduler queue is
+        not reaped as idle."""
+        return False
 
     # -- initialization (first exchange of a connection) ---------------------
 
@@ -101,7 +123,7 @@ class SessionHandler:
         seventh and cost up to 20 type checks per request at the
         event-loop's message rates."""
         self.requests_handled += 1
-        handle = _DISPATCH.get(type(request))
+        handle = self._DISPATCH.get(type(request))
         if handle is None:
             raise ProtocolError(
                 f"no handler for request type {type(request).__name__}"
@@ -290,7 +312,8 @@ class SessionHandler:
 
 #: Steady-state dispatch: exact request type -> unbound handler method.
 #: Built once at import; ``handle`` probes it with ``type(request)``.
-_DISPATCH = {
+#: Stored on the class so ``__init_subclass__`` can rebind overrides.
+SessionHandler._DISPATCH = {
     MemcpyStreamBeginRequest: SessionHandler._handle_stream_begin,
     MemcpyChunkRequest: SessionHandler._handle_stream_chunk,
     MemcpyStreamEndRequest: SessionHandler._handle_stream_end,

@@ -99,12 +99,23 @@ class ServerSession:
         slo=None,
         accounting: bool = True,
         on_unclean=None,
+        tenant=None,
     ) -> None:
         self.transport = transport
         # "a different server process for each remote execution over a new
         # GPU context" -- pre-initialized, so clients skip the CUDA
-        # environment initialization delay.
-        self.handler = SessionHandler(CudaRuntime(device, preinitialized=True))
+        # environment initialization delay.  When the daemon runs a
+        # device pool, the session instead services its pool tenant
+        # (quota checks, scheduled launches) over the shared device.
+        if tenant is not None:
+            from repro.rcuda.server.tenancy import TenantSessionHandler
+
+            self.handler = TenantSessionHandler(tenant)
+        else:
+            self.handler = SessionHandler(
+                CudaRuntime(device, preinitialized=True)
+            )
+        self.tenant = tenant
         self.initialized = False
         self.finished = False
         #: 1 while a request is being dispatched (the daemon sums this
@@ -132,6 +143,10 @@ class ServerSession:
             # Wire byte totals come from the transport's own counters;
             # the dispatch path never re-adds them.
             self.accounting.bind_transport(transport)
+            if tenant is not None:
+                self.accounting.bind_tenant(tenant)
+        if tenant is not None:
+            tenant.session = self.session_id
         self.close_reason = ""
         self.metrics = metrics
         if metrics is not None:
@@ -154,6 +169,13 @@ class ServerSession:
     def open_streams(self) -> int:
         """Chunked H2D streams currently open mid-assembly."""
         return len(self.handler._streams)
+
+    @property
+    def pending_device_work(self) -> bool:
+        """True while launches sit in the scheduler queue: a session
+        parked there is *live* even if its socket is silent, so the idle
+        sweep must not reap it."""
+        return self.handler.pending_device_work
 
     def run(self) -> None:
         """Service the connection until the client disconnects (the
@@ -190,6 +212,7 @@ class ServerSession:
             acct.finished = True
             acct.close_reason = reason
             acct.freeze_bytes()
+            acct.freeze_tenant()
             if unclean and acct.last_error == 0:
                 # Mirror the client's sticky state: an aborted
                 # connection surfaces there as cudaErrorUnknown.

@@ -1,0 +1,615 @@
+"""Multi-tenant device sharing: pooled devices, quotas, fair launch dispatch.
+
+The daemon scaled to thousands of sessions (the event-loop rework) while
+the "GPU" layer stayed effectively single-tenant: every session got its
+own context on one device, kernel launches from different sessions landed
+on *independent* per-context streams, and nothing modelled the paper's
+core consolidation claim -- many cluster clients time-sharing few GPUs.
+This module closes that gap:
+
+* :class:`DevicePool` owns one or more shared :class:`SimulatedGpu`
+  devices and hands each attaching session a :class:`Tenant` (least-
+  loaded device placement, optional per-tenant byte quota);
+* :class:`Tenant` carries the session's CUDA runtime plus its launch
+  queue and the per-tenant ledger the observability surfaces export
+  (quota headroom, queue-wait sketch, coalesced-launch counters,
+  contention slowdown);
+* :class:`LaunchScheduler` replaces direct per-session kernel dispatch
+  with a deficit-round-robin queue over the tenants of one device.  A
+  tenant's turn executes up to ``quantum`` adjacent launches as **one
+  device submission**: the fixed per-launch overhead is paid once per
+  batch (driver-level launch coalescing), which is where the aggregate
+  throughput win over naive serialized dispatch comes from.  The
+  scheduler also serializes batches on a device-wide busy horizon, so
+  shared-device timing degrades realistically under load -- the live
+  serving-path counterpart of :mod:`repro.cluster.contention`'s
+  time-multiplexing model;
+* :class:`TenantSessionHandler` is the shared-mode request handler:
+  quota checks on ``cudaMalloc``, launches enqueued instead of executed
+  (CUDA's own asynchronous-launch semantics make this faithful -- a
+  launch returns immediately and execution errors surface at the next
+  synchronization point), queued work drained before any operation that
+  touches device memory or the clock.
+
+Launch-queue liveness matters to the daemons: a session whose socket is
+quiet but whose tenant still has queued launches reports
+``pending_device_work`` and is not reaped by the idle-timeout sweep.
+
+The single-tenant path is untouched: without a pool the daemons build
+the plain :class:`~repro.rcuda.server.handler.SessionHandler` and stay
+byte- and timing-identical on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    DeviceMemoryError,
+    KernelError,
+)
+from repro.obs.slo import QuantileSketch
+from repro.protocol.messages import (
+    FreeRequest,
+    MallocRequest,
+    MallocResponse,
+    MemcpyAsyncRequest,
+    MemcpyChunkRequest,
+    MemcpyRequest,
+    MemcpyStreamBeginRequest,
+    MemsetRequest,
+    Response,
+    StreamSyncRequest,
+    SyncRequest,
+)
+from repro.rcuda.server.handler import SessionHandler
+from repro.simcuda.device import SimulatedGpu
+from repro.simcuda.errors import CudaError, CudaRuntimeError
+from repro.simcuda.runtime import CudaRuntime
+
+#: Launches one tenant may coalesce into a single device submission per
+#: scheduling turn (the DRR quantum, in launches).
+DEFAULT_QUANTUM = 16
+
+POLICY_FAIR = "fair"
+POLICY_FIFO = "fifo"
+POLICIES = (POLICY_FAIR, POLICY_FIFO)
+
+_TENANT_IDS = itertools.count(1)
+
+
+def _timeshare_factor(active_tenants: int) -> float:
+    """Predicted per-tenant device slowdown under k-way sharing, from the
+    cluster contention model (lazy import: the model package must not be
+    a hard dependency of the serving hot path)."""
+    from repro.cluster.contention import device_timeshare_factor
+
+    return device_timeshare_factor(active_tenants)
+
+
+@dataclass
+class _QueuedLaunch:
+    """One deferred kernel launch, validated at submit time."""
+
+    kernel: object  # KernelImpl
+    grid: object
+    block: object
+    args: tuple
+    stream: object  # resolved CudaStream
+    duration: float
+    seq: int
+    enqueued_at: float
+
+
+class Tenant:
+    """One session's slice of a pooled device: runtime, quota, queue,
+    and the per-tenant ledger the ``/metrics``/``/sessions`` surfaces
+    export."""
+
+    def __init__(
+        self,
+        tenant_id: str,
+        device_index: int,
+        runtime: CudaRuntime,
+        quota_bytes: int | None,
+        scheduler: "LaunchScheduler",
+        pool: "DevicePool",
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.device_index = device_index
+        self.runtime = runtime
+        self.quota_bytes = quota_bytes
+        self.scheduler = scheduler
+        self.pool = pool
+        #: Session id of the owning server session (set on attach).
+        self.session = ""
+        #: Live device bytes held, maintained by the quota-checking
+        #: malloc/free path (the enforcement counter; the session ledger
+        #: keeps its own copy for unshared parity).
+        self.bytes_held = 0
+        self.peak_bytes_held = 0
+        self.quota_denials = 0
+        self._alloc_sizes: dict[int, int] = {}
+        #: Deferred launches awaiting their scheduling turn.
+        self.queue: deque[_QueuedLaunch] = deque()
+        self.deficit = 0.0
+        self._scheduled = False
+        self.launches_enqueued = 0
+        self.launches_executed = 0
+        #: Launches that rode an earlier launch's device submission
+        #: (batch size minus one, summed over batches).
+        self.launches_coalesced = 0
+        self.batches = 0
+        #: Wall-clock wait between submit and device submission.
+        self.queue_wait = QuantileSketch(lo=1e-7, hi=1e3)
+        #: First execution error of a deferred launch; surfaced at the
+        #: next synchronization point, as CUDA surfaces launch failures.
+        self.pending_error = 0
+        #: Device-clock timestamp at which this tenant's last submitted
+        #: work completes.
+        self.last_completion = 0.0
+        #: EWMA of the contention model's predicted slowdown at each of
+        #: this tenant's batch submissions (1.0 = alone on the device).
+        self.contention_slowdown = 1.0
+        self.released = False
+
+    @property
+    def quota_headroom(self) -> int | None:
+        if self.quota_bytes is None:
+            return None
+        return max(0, self.quota_bytes - self.bytes_held)
+
+    def take_error(self) -> int:
+        """Pop the sticky deferred-launch error (sync-point semantics)."""
+        error, self.pending_error = self.pending_error, 0
+        return error
+
+    def snapshot(self) -> dict:
+        """The JSON block ``/sessions`` and the gauges export."""
+        return {
+            "tenant": self.tenant_id,
+            "device": self.device_index,
+            "quota_bytes": self.quota_bytes,
+            "quota_used_bytes": self.bytes_held,
+            "quota_headroom_bytes": self.quota_headroom,
+            "quota_denials": self.quota_denials,
+            "peak_bytes_held": self.peak_bytes_held,
+            "queue_depth": len(self.queue),
+            "launches_enqueued": self.launches_enqueued,
+            "launches_executed": self.launches_executed,
+            "launches_coalesced": self.launches_coalesced,
+            "batches": self.batches,
+            "queue_wait_p99_s": round(self.queue_wait.quantile(0.99), 9),
+            "contention_slowdown": round(self.contention_slowdown, 3),
+        }
+
+
+class LaunchScheduler:
+    """Fair-share (deficit round-robin) launch queue over one shared
+    device, with per-turn batch coalescing.
+
+    ``fair`` serves tenants round-robin, each turn executing up to
+    ``quantum`` of that tenant's adjacent launches as one device
+    submission (the batch pays the fixed launch overhead once).
+    ``fifo`` is the naive baseline: strict global arrival order, one
+    launch per submission, full overhead every time -- what direct
+    per-session dispatch would do on a shared device.
+
+    Batches from different tenants serialize on a device-wide busy
+    horizon: one GPU time-multiplexes its tenants, so each tenant's
+    completion time stretches with the load its neighbours offer (the
+    serving-path realization of the contention model's device term).
+    """
+
+    def __init__(
+        self,
+        device: SimulatedGpu,
+        policy: str = POLICY_FAIR,
+        quantum: int = DEFAULT_QUANTUM,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"scheduler policy must be one of {POLICIES}, got {policy!r}"
+            )
+        if quantum < 1:
+            raise ConfigurationError(f"quantum must be >= 1, got {quantum}")
+        self.device = device
+        self.policy = policy
+        self.quantum = quantum
+        #: Tenants with queued work, in round-robin order.
+        self._active: deque[Tenant] = deque()
+        self._seq = itertools.count()
+        self.batches = 0
+        self.launches_executed = 0
+        #: Device-wide busy horizon: the device clock time at which the
+        #: last scheduled batch finishes (tenants time-share one GPU).
+        self.device_busy_until = 0.0
+
+    # -- submit --------------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: Tenant,
+        kernel_name: str,
+        grid,
+        block,
+        args: tuple,
+        stream: int = 0,
+        shared_bytes: int = 0,
+    ) -> None:
+        """Validate and enqueue one launch; raises
+        :class:`CudaRuntimeError` on anything the device would reject at
+        launch time (bad kernel, oversized block, malformed arguments),
+        so obviously-invalid launches still fail on the spot -- only
+        *execution* is deferred, as in CUDA."""
+        device = self.device
+        ctx = tenant.runtime.context
+        if block.count > device.properties.max_threads_per_block:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue,
+                f"block of {block.count} threads exceeds the device limit "
+                f"of {device.properties.max_threads_per_block}",
+            )
+        if ctx.modules and not ctx.kernel_visible(kernel_name):
+            raise CudaRuntimeError(
+                CudaError.cudaErrorLaunchFailure,
+                f"kernel {kernel_name!r} is not exported by any loaded module",
+            )
+        try:
+            kernel = device.registry.get(kernel_name)
+        except KernelError as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorLaunchFailure, str(exc)
+            ) from exc
+        try:
+            duration = kernel.cost_seconds(device.timing, grid, block, args)
+        except (KernelError, IndexError, TypeError, ValueError) as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorLaunchFailure, f"{kernel_name}: {exc}"
+            ) from exc
+        try:
+            resolved = ctx.get_stream(stream)
+        except DeviceError as exc:
+            raise CudaRuntimeError(
+                CudaError.cudaErrorInvalidValue, str(exc)
+            ) from exc
+        tenant.queue.append(
+            _QueuedLaunch(
+                kernel=kernel,
+                grid=grid,
+                block=block,
+                args=args,
+                stream=resolved,
+                duration=duration,
+                seq=next(self._seq),
+                enqueued_at=time.perf_counter(),
+            )
+        )
+        tenant.launches_enqueued += 1
+        if not tenant._scheduled:
+            tenant._scheduled = True
+            self._active.append(tenant)
+
+    # -- drain ---------------------------------------------------------------
+
+    def pending(self, tenant: Tenant) -> int:
+        return len(tenant.queue)
+
+    def drain_tenant(self, tenant: Tenant) -> None:
+        """Run scheduling turns until ``tenant``'s queue is empty.  Under
+        ``fair`` the turns interleave every contending tenant's batches
+        (draining one tenant advances the whole device fairly); under
+        ``fifo`` strict arrival order decides."""
+        while tenant.queue:
+            self._step()
+
+    def drain_all(self) -> None:
+        while self._active:
+            self._step()
+
+    def discard(self, tenant: Tenant) -> None:
+        """Forget a detaching tenant's queued work (finalization)."""
+        tenant.queue.clear()
+        tenant.deficit = 0.0
+
+    # -- one scheduling turn -------------------------------------------------
+
+    def _step(self) -> None:
+        active = self._active
+        while active and not active[0].queue:
+            gone = active.popleft()
+            gone._scheduled = False
+            gone.deficit = 0.0
+        if not active:
+            return
+        if self.policy == POLICY_FIFO:
+            tenant = min(active, key=lambda t: t.queue[0].seq)
+            self._execute(tenant, [tenant.queue.popleft()])
+            if not tenant.queue:
+                active.remove(tenant)
+                tenant._scheduled = False
+            return
+        tenant = active.popleft()
+        tenant.deficit += self.quantum
+        batch: list[_QueuedLaunch] = []
+        while tenant.queue and tenant.deficit >= 1.0:
+            batch.append(tenant.queue.popleft())
+            tenant.deficit -= 1.0
+        self._execute(tenant, batch)
+        if tenant.queue:
+            active.append(tenant)
+        else:
+            tenant._scheduled = False
+            tenant.deficit = 0.0
+
+    def _execute(self, tenant: Tenant, batch: list[_QueuedLaunch]) -> None:
+        """Submit one tenant's batch to the device as a single coalesced
+        submission: the first launch pays the fixed launch overhead, the
+        rest ride it; compute costs are unchanged."""
+        if not batch:
+            return
+        device = self.device
+        overhead = device.timing.kernel_launch_overhead_s
+        # Contending tenants (this one plus every other with queued
+        # work) time-share the device; record what the contention model
+        # predicts for this degree of sharing.
+        contenders = 1 + sum(1 for t in self._active if t.queue and t is not tenant)
+        predicted = _timeshare_factor(contenders)
+        tenant.contention_slowdown = (
+            0.8 * tenant.contention_slowdown + 0.2 * predicted
+        )
+        now_wall = time.perf_counter()
+        horizon = max(device.clock.now(), self.device_busy_until)
+        for i, q in enumerate(batch):
+            duration = q.duration if i == 0 else max(q.duration - overhead, 0.0)
+            start = max(horizon, q.stream.busy_until)
+            done = q.stream.enqueue(start, duration)
+            horizon = done
+            tenant.last_completion = done
+            device.kernel_launches += 1
+            tenant.queue_wait.observe(now_wall - q.enqueued_at)
+            if device.functional:
+                try:
+                    q.kernel.execute(device.memory, q.grid, q.block, q.args)
+                except (
+                    DeviceMemoryError, KernelError,
+                    IndexError, TypeError, ValueError,
+                ):
+                    if tenant.pending_error == 0:
+                        tenant.pending_error = int(
+                            CudaError.cudaErrorLaunchFailure
+                        )
+        self.device_busy_until = horizon
+        executed = len(batch)
+        tenant.launches_executed += executed
+        tenant.launches_coalesced += executed - 1
+        tenant.batches += 1
+        self.batches += 1
+        self.launches_executed += executed
+
+
+class DevicePool:
+    """One or more shared simulated devices, tenanted.
+
+    Sessions :meth:`attach` to get a :class:`Tenant` on the least-loaded
+    device; :meth:`release` (idempotent) drops the tenant's queued work
+    and tears down its context.  ``lock`` is the pool-wide reentrant
+    lock every shared-mode handler holds across a request -- the thread
+    daemon dispatches sessions concurrently and the simulated devices
+    are not internally synchronized.
+    """
+
+    def __init__(
+        self,
+        devices: int | list[SimulatedGpu] = 1,
+        quota_bytes: int | None = None,
+        policy: str = POLICY_FAIR,
+        quantum: int = DEFAULT_QUANTUM,
+        device_factory=None,
+    ) -> None:
+        if isinstance(devices, int):
+            if devices < 1:
+                raise ConfigurationError(
+                    f"a pool needs at least one device, got {devices}"
+                )
+            factory = device_factory if device_factory is not None else SimulatedGpu
+            self.devices = [factory() for _ in range(devices)]
+        else:
+            self.devices = list(devices)
+            if not self.devices:
+                raise ConfigurationError("a pool needs at least one device")
+        if quota_bytes is not None and quota_bytes < 1:
+            raise ConfigurationError(
+                f"quota_bytes must be positive, got {quota_bytes}"
+            )
+        self.quota_bytes = quota_bytes
+        self.policy = policy
+        self.schedulers = [
+            LaunchScheduler(device, policy=policy, quantum=quantum)
+            for device in self.devices
+        ]
+        self.lock = threading.RLock()
+        self._tenants: dict[str, Tenant] = {}
+        self._attached = [0] * len(self.devices)
+        self.total_tenants = 0
+
+    def attach(self, session: str = "") -> Tenant:
+        """Place a new tenant on the least-loaded device."""
+        with self.lock:
+            index = min(
+                range(len(self.devices)), key=lambda i: self._attached[i]
+            )
+            tenant = Tenant(
+                tenant_id=f"tenant-{next(_TENANT_IDS)}",
+                device_index=index,
+                runtime=CudaRuntime(self.devices[index], preinitialized=True),
+                quota_bytes=self.quota_bytes,
+                scheduler=self.schedulers[index],
+                pool=self,
+            )
+            tenant.session = session
+            self._tenants[tenant.tenant_id] = tenant
+            self._attached[index] += 1
+            self.total_tenants += 1
+            return tenant
+
+    def release(self, tenant: Tenant) -> None:
+        """Detach: drop queued launches, free the tenant's allocations
+        (context teardown), forget it.  Idempotent."""
+        with self.lock:
+            if tenant.released:
+                return
+            tenant.released = True
+            tenant.scheduler.discard(tenant)
+            tenant.runtime.close()
+            self._attached[tenant.device_index] -= 1
+            self._tenants.pop(tenant.tenant_id, None)
+
+    def tenants(self) -> list[Tenant]:
+        with self.lock:
+            return list(self._tenants.values())
+
+    @property
+    def tenant_count(self) -> int:
+        return len(self._tenants)
+
+    def snapshot(self) -> dict:
+        """Pool-level summary for health documents and dumps."""
+        with self.lock:
+            return {
+                "devices": len(self.devices),
+                "policy": self.policy,
+                "quota_bytes": self.quota_bytes,
+                "tenants": self.tenant_count,
+                "total_tenants": self.total_tenants,
+                "per_device": [
+                    {
+                        "device": i,
+                        "tenants": self._attached[i],
+                        "mem_used_bytes": self.devices[i].memory.used,
+                        "mem_capacity_bytes": self.devices[i].memory.capacity,
+                        "launches_executed": self.schedulers[i].launches_executed,
+                        "batches": self.schedulers[i].batches,
+                    }
+                    for i in range(len(self.devices))
+                ],
+            }
+
+
+#: Requests that touch device memory or the device clock: queued
+#: launches must reach the device first so ordering matches the direct
+#: dispatch path (a memcpy after a launch reads the kernel's output; a
+#: free after a launch must not pull the buffer out from under it).
+_DRAIN_BEFORE = frozenset({
+    MemcpyRequest,
+    MemcpyAsyncRequest,
+    MemcpyChunkRequest,
+    MemcpyStreamBeginRequest,
+    MemsetRequest,
+    FreeRequest,
+    SyncRequest,
+    StreamSyncRequest,
+})
+
+
+class TenantSessionHandler(SessionHandler):
+    """Shared-device request handler: same wire protocol, tenant rules.
+
+    Differences from the single-tenant handler, all scoped to shared
+    mode: every request runs under the pool lock; ``cudaMalloc`` is
+    quota-checked; ``cudaLaunch`` enqueues on the fair-share scheduler
+    and returns immediately (execution errors surface at the next sync,
+    CUDA's own asynchronous-launch contract); requests that touch
+    device memory or the clock drain this tenant's queue first.
+    """
+
+    def __init__(self, tenant: Tenant) -> None:
+        super().__init__(tenant.runtime)
+        self.tenant = tenant
+        self._scheduler = tenant.scheduler
+        self._pool_lock = tenant.pool.lock
+
+    @property
+    def pending_device_work(self) -> bool:
+        return bool(self.tenant.queue)
+
+    def handle_init(self, request):
+        with self._pool_lock:
+            return super().handle_init(request)
+
+    def handle(self, request):
+        with self._pool_lock:
+            if type(request) in _DRAIN_BEFORE and self.tenant.queue:
+                self._scheduler.drain_tenant(self.tenant)
+            return super().handle(request)
+
+    def _handle_malloc(self, request: MallocRequest) -> MallocResponse:
+        tenant = self.tenant
+        if (
+            tenant.quota_bytes is not None
+            and tenant.bytes_held + request.size > tenant.quota_bytes
+        ):
+            tenant.quota_denials += 1
+            self.runtime.last_error = CudaError.cudaErrorMemoryAllocation
+            return MallocResponse(
+                error=int(CudaError.cudaErrorMemoryAllocation), ptr=0
+            )
+        response = super()._handle_malloc(request)
+        if response.error == 0:
+            tenant.bytes_held += request.size
+            tenant._alloc_sizes[response.ptr] = request.size
+            if tenant.bytes_held > tenant.peak_bytes_held:
+                tenant.peak_bytes_held = tenant.bytes_held
+        return response
+
+    def _handle_free(self, request: FreeRequest) -> Response:
+        response = super()._handle_free(request)
+        if response.error == 0:
+            tenant = self.tenant
+            tenant.bytes_held -= tenant._alloc_sizes.pop(request.ptr, 0)
+        return response
+
+    def _handle_launch(self, request) -> Response:
+        args, self._staged_args = self._staged_args, ()
+        try:
+            self._scheduler.submit(
+                self.tenant,
+                request.kernel_name,
+                request.grid,
+                request.block,
+                args,
+                stream=request.stream,
+                shared_bytes=request.shared_bytes,
+            )
+        except CudaRuntimeError as exc:
+            self.runtime.last_error = exc.status
+            return Response(error=int(exc.status))
+        self.runtime.last_error = CudaError.cudaSuccess
+        return Response(error=int(CudaError.cudaSuccess))
+
+    def _surface_deferred(self, response: Response) -> Response:
+        """Sync points report the first deferred launch-execution error
+        (the queue was drained before the sync ran)."""
+        error = self.tenant.take_error()
+        if error and response.error == 0:
+            self.runtime.last_error = CudaError(error)
+            return Response(error=error)
+        return response
+
+    def _handle_sync(self, request) -> Response:
+        return self._surface_deferred(super()._handle_sync(request))
+
+    def _handle_stream_sync(self, request) -> Response:
+        return self._surface_deferred(super()._handle_stream_sync(request))
+
+    def close(self) -> None:
+        """Finalization: release the tenant (queued work is dropped, the
+        context and its allocations are torn down)."""
+        with self._pool_lock:
+            self.tenant.pool.release(self.tenant)

@@ -221,15 +221,19 @@ class SimulatedGpu:
         dest = None
         if nbytes:
             try:
-                if self.functional:
-                    dest = self.memory.view(ptr, nbytes)
-                else:
-                    self.memory._locate(ptr, nbytes)
+                block, offset = self.memory._locate(ptr, nbytes)
             except DeviceMemoryError as exc:
                 raise CudaRuntimeError(
                     CudaError.cudaErrorInvalidDevicePointer,
                     f"device range [0x{ptr:x}, +{nbytes})",
                 ) from exc
+            if block.ptr not in ctx.allocations:
+                raise CudaRuntimeError(
+                    CudaError.cudaErrorInvalidDevicePointer,
+                    f"device range [0x{ptr:x}, +{nbytes})",
+                )
+            if self.functional:
+                dest = block.data[offset : offset + nbytes]
         self.clock.advance(self.timing.membound_seconds(nbytes))
         if dest is not None:
             dest[:] = value
@@ -296,9 +300,17 @@ class SimulatedGpu:
         )
 
     def _validate_range(self, ctx: CudaContext, addr: DevicePtr, nbytes: int) -> None:
+        """Range must lie inside one live allocation *owned by this
+        context*: on a pooled device other tenants' buffers are live too,
+        and a forged pointer into one must fail exactly like a wild
+        pointer -- ``cudaErrorInvalidDevicePointer``."""
         if nbytes == 0:
             return
-        if not self.memory.is_valid(addr, nbytes):
+        try:
+            base = self.memory.owning_base(addr, nbytes)
+        except DeviceMemoryError:
+            base = None
+        if base is None or base not in ctx.allocations:
             raise CudaRuntimeError(
                 CudaError.cudaErrorInvalidDevicePointer,
                 f"device range [0x{addr:x}, +{nbytes})",

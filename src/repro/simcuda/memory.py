@@ -303,6 +303,15 @@ class DeviceMemory:
             return False
         return True
 
+    def owning_base(self, addr: DevicePtr, nbytes: int = 1) -> DevicePtr:
+        """Base pointer of the live allocation containing the range
+        (raises :class:`DeviceMemoryError` when no allocation does).
+        Callers use it to check *ownership*, not just validity: on a
+        shared device a range can be live yet belong to another
+        context's allocation."""
+        block, _ = self._locate(addr, nbytes)
+        return block.ptr
+
     def write(self, addr: DevicePtr, data: bytes | bytearray | np.ndarray) -> None:
         """Copy host bytes into device memory at ``addr``."""
         buf = np.frombuffer(data, dtype=np.uint8) if not isinstance(

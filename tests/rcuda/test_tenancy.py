@@ -1,0 +1,344 @@
+"""Multi-tenant device sharing: quotas, isolation, fair scheduling,
+deferred launches, and idle-sweep liveness for queued work."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocol.messages import (
+    FreeRequest,
+    LaunchRequest,
+    MallocRequest,
+    MemcpyRequest,
+    MemsetRequest,
+    SetupArgsRequest,
+    SyncRequest,
+)
+from repro.rcuda import (
+    AsyncRCudaDaemon,
+    DevicePool,
+    RCudaClient,
+    RCudaDaemon,
+    TenantSessionHandler,
+)
+from repro.simcuda import SimulatedGpu, fabricate_module
+from repro.simcuda.errors import CudaError
+from repro.simcuda.types import Dim3, MemcpyKind
+from repro.workloads import MatrixProductCase
+
+
+def _module():
+    return fabricate_module("t", ["saxpy"], 1024)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _launch_saxpy(handler, n=4096, args=(0x1000, 0x2000, 4096, 1.0)):
+    handler.handle(SetupArgsRequest(args=args))
+    return handler.handle(LaunchRequest(kernel_name="saxpy"))
+
+
+class TestDevicePool:
+    def test_least_loaded_placement_across_devices(self):
+        pool = DevicePool(devices=2)
+        tenants = [pool.attach() for _ in range(4)]
+        assert sorted(t.device_index for t in tenants) == [0, 0, 1, 1]
+        pool.release(tenants[0])
+        assert pool.attach().device_index == 0
+
+    def test_release_is_idempotent_and_frees_allocations(self):
+        pool = DevicePool(devices=1)
+        tenant = pool.attach()
+        handler = TenantSessionHandler(tenant)
+        handler.handle(MallocRequest(size=1024))
+        assert pool.devices[0].memory.used >= 1024
+        pool.release(tenant)
+        pool.release(tenant)
+        assert pool.devices[0].memory.used == 0
+        assert pool.tenant_count == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DevicePool(devices=0)
+        with pytest.raises(ConfigurationError):
+            DevicePool(devices=1, quota_bytes=0)
+        with pytest.raises(ConfigurationError):
+            DevicePool(devices=1, policy="lottery")
+
+    def test_snapshot_shape(self):
+        pool = DevicePool(devices=2, quota_bytes=4096, policy="fifo")
+        pool.attach()
+        snap = pool.snapshot()
+        assert snap["devices"] == 2
+        assert snap["policy"] == "fifo"
+        assert snap["tenants"] == 1
+        assert len(snap["per_device"]) == 2
+
+
+class TestQuota:
+    def test_over_quota_malloc_fails_without_touching_the_allocator(self):
+        pool = DevicePool(devices=1, quota_bytes=1024)
+        handler = TenantSessionHandler(pool.attach())
+        assert handler.handle(MallocRequest(size=512)).error == 0
+        used_before = pool.devices[0].memory.used
+        denied = handler.handle(MallocRequest(size=1024))
+        assert denied.error == int(CudaError.cudaErrorMemoryAllocation)
+        assert denied.ptr == 0
+        assert pool.devices[0].memory.used == used_before
+        assert handler.tenant.quota_denials == 1
+
+    def test_one_tenant_at_quota_does_not_disturb_another(self):
+        pool = DevicePool(devices=1, quota_bytes=1024)
+        greedy = TenantSessionHandler(pool.attach())
+        modest = TenantSessionHandler(pool.attach())
+        assert greedy.handle(MallocRequest(size=1024)).error == 0
+        assert greedy.handle(MallocRequest(size=1)).error == int(
+            CudaError.cudaErrorMemoryAllocation
+        )
+        # The neighbour still has its full quota: the denial consumed
+        # nothing device-wide.
+        assert modest.handle(MallocRequest(size=1024)).error == 0
+
+    def test_free_returns_headroom(self):
+        pool = DevicePool(devices=1, quota_bytes=1024)
+        handler = TenantSessionHandler(pool.attach())
+        ptr = handler.handle(MallocRequest(size=1024)).ptr
+        assert handler.tenant.quota_headroom == 0
+        assert handler.handle(FreeRequest(ptr=ptr)).error == 0
+        assert handler.tenant.quota_headroom == 1024
+        assert handler.handle(MallocRequest(size=1024)).error == 0
+
+
+class TestIsolation:
+    def _pair(self):
+        pool = DevicePool(devices=1)
+        return TenantSessionHandler(pool.attach()), TenantSessionHandler(
+            pool.attach()
+        )
+
+    def test_forged_pointer_read_is_rejected(self):
+        victim, attacker = self._pair()
+        ptr = victim.handle(MallocRequest(size=256)).ptr
+        forged = attacker.handle(
+            MemcpyRequest(
+                dst=0, src=ptr, size=64,
+                kind=int(MemcpyKind.cudaMemcpyDeviceToHost),
+            )
+        )
+        assert forged.error == int(CudaError.cudaErrorInvalidDevicePointer)
+
+    def test_forged_pointer_write_and_memset_are_rejected(self):
+        victim, attacker = self._pair()
+        ptr = victim.handle(MallocRequest(size=256)).ptr
+        smash = attacker.handle(
+            MemcpyRequest(
+                dst=ptr, src=0, size=64,
+                kind=int(MemcpyKind.cudaMemcpyHostToDevice),
+                data=b"\xff" * 64,
+            )
+        )
+        assert smash.error == int(CudaError.cudaErrorInvalidDevicePointer)
+        memset = attacker.handle(MemsetRequest(ptr=ptr, value=0, size=64))
+        assert memset.error == int(CudaError.cudaErrorInvalidDevicePointer)
+
+    def test_own_pointer_still_works(self):
+        handler, _ = self._pair()
+        ptr = handler.handle(MallocRequest(size=256)).ptr
+        assert handler.handle(
+            MemsetRequest(ptr=ptr, value=7, size=256)
+        ).error == 0
+
+
+class TestLaunchScheduler:
+    def test_launches_defer_and_drain_at_sync(self):
+        pool = DevicePool(devices=1)
+        handler = TenantSessionHandler(pool.attach())
+        ptr = handler.handle(MallocRequest(size=4096 * 4)).ptr
+        assert _launch_saxpy(handler, args=(ptr, ptr, 4096, 1.0)).error == 0
+        assert handler.pending_device_work
+        assert handler.tenant.launches_executed == 0
+        assert handler.handle(SyncRequest()).error == 0
+        assert not handler.pending_device_work
+        assert handler.tenant.launches_executed == 1
+
+    def test_invalid_launches_fail_at_submit(self):
+        pool = DevicePool(devices=1)
+        handler = TenantSessionHandler(pool.attach())
+        handler.handle(SetupArgsRequest(args=()))
+        bad_kernel = handler.handle(LaunchRequest(kernel_name="nope"))
+        assert bad_kernel.error == int(CudaError.cudaErrorLaunchFailure)
+        handler.handle(SetupArgsRequest(args=(0, 0, 16, 1.0)))
+        oversized = handler.handle(
+            LaunchRequest(kernel_name="saxpy", block=Dim3(4096, 1, 1))
+        )
+        assert oversized.error == int(CudaError.cudaErrorInvalidValue)
+        assert not handler.pending_device_work
+
+    def test_deferred_execution_error_surfaces_at_sync(self):
+        # A launch whose *arguments* are garbage pointers enqueues
+        # successfully (CUDA's async-launch contract) and the failure is
+        # sticky until the next synchronization point.
+        pool = DevicePool(devices=1)
+        handler = TenantSessionHandler(pool.attach())
+        assert _launch_saxpy(handler, args=(0xDEAD, 0xBEEF, 64, 1.0)).error == 0
+        sync = handler.handle(SyncRequest())
+        assert sync.error == int(CudaError.cudaErrorLaunchFailure)
+        # The sticky error is consumed: the next sync is clean.
+        assert handler.handle(SyncRequest()).error == 0
+
+    def test_memcpy_drains_queue_first(self):
+        pool = DevicePool(devices=1)
+        handler = TenantSessionHandler(pool.attach())
+        ptr = handler.handle(MallocRequest(size=64)).ptr
+        _launch_saxpy(handler, args=(ptr, ptr, 8, 1.0))
+        assert handler.pending_device_work
+        out = handler.handle(
+            MemcpyRequest(
+                dst=0, src=ptr, size=64,
+                kind=int(MemcpyKind.cudaMemcpyDeviceToHost),
+            )
+        )
+        assert out.error == 0
+        assert not handler.pending_device_work
+
+    def _contend(self, policy, tenants=4, launches=32, n=106_667):
+        pool = DevicePool(
+            devices=1, policy=policy,
+            device_factory=lambda: SimulatedGpu(functional=False),
+        )
+        handlers = [TenantSessionHandler(pool.attach()) for _ in range(tenants)]
+        for handler in handlers:
+            for _ in range(launches):
+                assert _launch_saxpy(handler, args=(0, 0, n, 1.0)).error == 0
+        for handler in handlers:
+            assert handler.handle(SyncRequest()).error == 0
+        rates = [
+            launches / h.tenant.last_completion for h in handlers
+        ]
+        horizon = max(h.tenant.last_completion for h in handlers)
+        aggregate = tenants * launches / horizon
+        jain = sum(rates) ** 2 / (tenants * sum(r * r for r in rates))
+        return aggregate, jain, handlers
+
+    def test_fair_share_batches_beat_fifo_dispatch(self):
+        fifo, fifo_jain, _ = self._contend("fifo")
+        fair, fair_jain, handlers = self._contend("fair")
+        assert fair / fifo >= 1.3
+        assert fair_jain >= 0.9
+        assert fair_jain > fifo_jain
+        # Coalescing actually happened: most launches rode a batch.
+        tenant = handlers[0].tenant
+        assert tenant.launches_coalesced >= tenant.launches_executed // 2
+        assert tenant.batches < tenant.launches_executed
+
+    def test_contention_slowdown_reflects_active_tenants(self):
+        _, _, handlers = self._contend("fair")
+        # With 4 tenants contending, the EWMA of the model's k-way
+        # slowdown must have left 1.0 well behind.
+        assert handlers[0].tenant.contention_slowdown > 1.5
+
+    def test_tenant_snapshot_exports_scheduler_counters(self):
+        _, _, handlers = self._contend("fair", tenants=2, launches=8)
+        snap = handlers[0].tenant.snapshot()
+        assert snap["launches_enqueued"] == 8
+        assert snap["launches_executed"] == 8
+        assert snap["queue_depth"] == 0
+        assert snap["queue_wait_p99_s"] >= 0.0
+        assert snap["contention_slowdown"] >= 1.0
+
+
+class TestSharedDaemon:
+    def test_workloads_verify_over_a_shared_device(self):
+        pool = DevicePool(devices=1)
+        daemon = RCudaDaemon(pool.devices[0], pool=pool)
+        daemon.start()
+        try:
+            case = MatrixProductCase()
+            with RCudaClient.connect_tcp(
+                "127.0.0.1", daemon.port, case.module()
+            ) as a, RCudaClient.connect_tcp(
+                "127.0.0.1", daemon.port, case.module()
+            ) as b:
+                assert case.run(a.runtime, 24, seed=1).verified
+                assert case.run(b.runtime, 24, seed=2).verified
+            assert _wait_until(lambda: daemon.completed_sessions == 2)
+            assert pool.total_tenants == 2
+            assert pool.tenant_count == 0  # both released at close
+        finally:
+            daemon.stop()
+
+    def test_session_ledger_carries_the_tenant_block(self):
+        pool = DevicePool(devices=1, quota_bytes=1 << 20)
+        daemon = RCudaDaemon(pool.devices[0], pool=pool)
+        daemon.start()
+        try:
+            with RCudaClient.connect_tcp(
+                "127.0.0.1", daemon.port, _module()
+            ) as c:
+                c.runtime.cudaMalloc(4096)
+                ledgers = daemon.session_ledgers()
+                assert ledgers[0]["tenant"]["quota_used_bytes"] == 4096
+                assert ledgers[0]["tenant"]["quota_bytes"] == 1 << 20
+            # The frozen ledger keeps the tenant block after close.
+            assert _wait_until(lambda: daemon.completed_sessions == 1)
+            daemon.prune()
+            recent = daemon.session_ledgers()
+            assert recent[0]["tenant"]["tenant"].startswith("tenant-")
+        finally:
+            daemon.stop()
+
+    def test_unshared_ledger_has_no_tenant_block(self):
+        daemon = RCudaDaemon(SimulatedGpu())
+        daemon.start()
+        try:
+            with RCudaClient.connect_tcp(
+                "127.0.0.1", daemon.port, _module()
+            ):
+                ledgers = daemon.session_ledgers()
+                assert "tenant" not in ledgers[0]
+        finally:
+            daemon.stop()
+
+
+class TestIdleLiveness:
+    def test_queued_launches_keep_a_silent_session_alive(self):
+        pool = DevicePool(devices=1)
+        daemon = AsyncRCudaDaemon(
+            pool.devices[0], pool=pool, idle_timeout=0.5
+        )
+        daemon.start()
+        try:
+            with RCudaClient.connect_tcp(
+                "127.0.0.1", daemon.port, _module()
+            ) as c:
+                err, x = c.runtime.cudaMalloc(64)
+                assert int(err) == 0
+                assert int(c.runtime.launch_kernel(
+                    "saxpy", Dim3(1, 1, 1), Dim3(16, 1, 1),
+                    args=(x, x, 16, 1.0),
+                )) == 0
+                with daemon._lock:
+                    session = daemon.sessions[-1]
+                assert session.pending_device_work
+                # Silent socket for several sweep periods: without the
+                # liveness check this session would be reaped idle.
+                time.sleep(2.2)
+                assert not session.finished
+                assert daemon.idle_closed_sessions == 0
+                # Draining the queue makes it genuinely idle again --
+                # the sweep may now reap it.
+                assert int(c.runtime.cudaThreadSynchronize()) == 0
+                assert not session.pending_device_work
+                assert _wait_until(lambda: session.finished, timeout=8.0)
+                assert daemon.idle_closed_sessions == 1
+                assert daemon.unclean_sessions == 0
+        finally:
+            daemon.stop()
