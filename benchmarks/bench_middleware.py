@@ -12,10 +12,13 @@ small H2D + kernel launch per iteration) over real TCP in both modes,
 writes ``BENCH_middleware.json`` (round trips, bytes copied, wall time
 per workload, plus a model-conformance drift summary), and asserts the
 pipelined hot path cuts wall time by at least 20% on the burst
-workload.  It also leaves two inspection artifacts next to the JSON: a
-Perfetto-loadable ``BENCH_trace.json`` (span + counter tracks of an
-instrumented pipelined MM run) and a ``BENCH_metrics.prom`` Prometheus
-snapshot of the same run.
+workload.  It also leaves three inspection artifacts next to the JSON:
+a Perfetto-loadable ``BENCH_trace.json`` (span + counter tracks of an
+instrumented pipelined MM run, with flow arrows linking each client
+span to its server-side execution), a ``BENCH_causal.json`` assembled
+request tree (per-request phase segments, phase totals and critical
+path from the cross-process trace assembler), and a
+``BENCH_metrics.prom`` Prometheus snapshot of the same run.
 
 Quick mode additionally runs the chunked-vs-monolithic large-copy
 comparison (1-64 MiB H2D on the virtual clock over GigaE and 40GI):
@@ -113,17 +116,26 @@ def _burst(rt, ptr: int, payload: bytes, iters: int = BURST_ITERS) -> None:
 
 
 def _run_burst_tcp(
-    pipeline: bool, iters: int = BURST_ITERS, observability: bool = True
+    pipeline: bool, iters: int = BURST_ITERS, observability: bool = True,
+    traced: bool = False,
 ) -> dict:
     """One burst over TCP.  ``observability=True`` is the daemon default
     (flight recorder + per-session accounting on); ``False`` strips both
-    for the obs-overhead comparison."""
+    for the obs-overhead comparison.  ``traced=True`` additionally wires
+    span tracers into both sides, so every assembly-feeding attribute
+    (client ``sent``, server ``queued_for``) is recorded -- the full
+    cost of making the run explainable by ``repro explain``."""
+    from repro.obs import Tracer
+
+    tracer = Tracer() if traced else None
     if observability:
-        daemon = RCudaDaemon(SimulatedGpu())
+        daemon = RCudaDaemon(SimulatedGpu(), tracer=tracer)
     else:
         daemon = RCudaDaemon(SimulatedGpu(), flight=None, accounting=False)
     port = daemon.start()
-    client = RCudaClient.connect_tcp("127.0.0.1", port, MODULE, pipeline=pipeline)
+    client = RCudaClient.connect_tcp(
+        "127.0.0.1", port, MODULE, pipeline=pipeline, tracer=tracer
+    )
     rt = client.runtime
     payload = b"\x5a" * 256
     try:
@@ -749,71 +761,117 @@ OBS_OVERHEAD_MAX = 1.05
 OBS_OVERHEAD_REGRESSION_MAX = 1.25
 
 
+#: Regression bound for the opt-in causal-tracing configuration (span
+#: tracers on both sides recording the assembly-feeding attrs).  Per-call
+#: span construction costs real time against a ~10 us loopback call --
+#: measured ~1.26-1.30x on the all-tiny-calls burst, the worst case by
+#: construction -- so it carries its own honest bound rather than the
+#: default stack's <5% budget.  Real workloads amortize far better: the
+#: instrumented MM drift run behind BENCH_trace.json is fully traced.
+OBS_TRACED_REGRESSION_MAX = 1.6
+
+
 def _observability_overhead(blocks: int = 12) -> dict:
-    """Pipelined burst with the default observability stack vs stripped.
+    """Pipelined burst: default observability stack and the full
+    causal-tracing configuration, each against the stripped daemon.
+
+    Three arms.  ``on``: flight recorder + per-session accounting, the
+    daemon defaults -- this is the <5% budget claim, re-gated here with
+    the assembly-feeding flight attrs (tenant, queued-launch depth,
+    scheduler batch events) compiled in.  ``traced``: the defaults plus
+    span tracers on both sides recording the assembly attrs (client
+    ``sent``, server ``queued_for``) that ``repro explain`` joins on --
+    the full cost of making a run explainable, gated by its own
+    regression bound.  ``off``: everything stripped.
 
     Loopback wall time on a shared host swings by tens of percent as
     scheduler/throttle windows come and go, so neither best-of-N per arm
     nor per-pair ratios are stable: a slow window landing on one arm
-    poisons the estimate.  Instead each arm runs as many short
-    interleaved segments in ABBA order (on,off,off,on per block) so
-    every noise window is sampled by both arms almost equally, and the
-    ratio of the two arms' *total* wall time is compared.
+    poisons the estimate.  Instead the arms run as short interleaved
+    segments in palindrome order (on,off,traced,traced,off,on per block)
+    so every noise window is sampled by each arm almost equally, and
+    ratios of the arms' *total* wall times are compared.
     """
-    on_total = off_total = 0.0
-    on_walls, off_walls = [], []
+    totals = {"on": 0.0, "off": 0.0, "traced": 0.0}
+    walls: dict[str, list[float]] = {"on": [], "off": [], "traced": []}
     for _ in range(blocks):
-        for obs in (True, False, False, True):
-            wall = _run_burst_tcp(True, observability=obs)["wall_seconds"]
-            if obs:
-                on_total += wall
-                on_walls.append(wall)
-            else:
-                off_total += wall
-                off_walls.append(wall)
-    total_ratio = on_total / off_total if off_total > 0 else float("inf")
-    best_ratio = (
-        min(on_walls) / min(off_walls) if min(off_walls) > 0 else float("inf")
-    )
-    # Both are consistent estimators of the true overhead and noise can
-    # only inflate them (a slow window adds time, never removes it), so
-    # the lesser of the two is the better point estimate.
-    ratio = min(total_ratio, best_ratio)
+        for arm in ("on", "off", "traced", "traced", "off", "on"):
+            wall = _run_burst_tcp(
+                True, observability=arm != "off", traced=arm == "traced"
+            )["wall_seconds"]
+            totals[arm] += wall
+            walls[arm].append(wall)
+
+    def ratios(arm: str) -> tuple[float, float, float]:
+        total = (
+            totals[arm] / totals["off"] if totals["off"] > 0 else float("inf")
+        )
+        best = (
+            min(walls[arm]) / min(walls["off"])
+            if min(walls["off"]) > 0 else float("inf")
+        )
+        # Both are consistent estimators of the true overhead and noise
+        # can only inflate them (a slow window adds time, never removes
+        # it), so the lesser of the two is the better point estimate.
+        return total, best, min(total, best)
+
+    total_ratio, best_ratio, ratio = ratios("on")
+    traced_total, traced_best, traced_ratio = ratios("traced")
     return {
         "what": (
-            "pipelined burst wall time, flight recorder + accounting on "
-            "(the daemon default) vs both stripped; lesser of the "
-            "total-wall ratio over ABBA-interleaved segments and the "
-            "best-segment ratio"
+            "pipelined burst wall time vs the stripped daemon: flight "
+            "recorder + accounting on (the daemon default), and the "
+            "same plus two-sided span tracing with assembly attrs "
+            "(the repro-explain configuration); lesser of the "
+            "total-wall ratio over interleaved segments and the "
+            "best-segment ratio, per arm"
         ),
         "segments_per_arm": 2 * blocks,
-        "on_wall_seconds": min(on_walls),
-        "off_wall_seconds": min(off_walls),
-        "on_total_seconds": on_total,
-        "off_total_seconds": off_total,
+        "on_wall_seconds": min(walls["on"]),
+        "off_wall_seconds": min(walls["off"]),
+        "on_total_seconds": totals["on"],
+        "off_total_seconds": totals["off"],
         "total_ratio": total_ratio,
         "best_ratio": best_ratio,
         "overhead_ratio": ratio,
         "threshold": OBS_OVERHEAD_MAX,
         "within_threshold": ratio <= OBS_OVERHEAD_MAX,
         "regression_threshold": OBS_OVERHEAD_REGRESSION_MAX,
+        "traced": {
+            "wall_seconds": min(walls["traced"]),
+            "total_seconds": totals["traced"],
+            "total_ratio": traced_total,
+            "best_ratio": traced_best,
+            "overhead_ratio": traced_ratio,
+            "regression_threshold": OBS_TRACED_REGRESSION_MAX,
+        },
     }
 
 
 def _instrumented_drift_run(
-    case, size: int, trace_out: str, metrics_out: str
+    case, size: int, trace_out: str, metrics_out: str,
+    causal_out: str = "BENCH_causal.json",
 ) -> dict:
     """One fully observed pipelined run: spans + counter tracks go to a
     Perfetto trace, the metrics registry to a Prometheus snapshot, and
     every client span through the conformance monitor.  The returned
     drift summary lands in ``BENCH_middleware.json`` so CI history shows
-    how far the wall-clock middleware sits from the paper model."""
+    how far the wall-clock middleware sits from the paper model.
+
+    The same spans then go through the cross-process trace assembler:
+    the Perfetto artifact gains flow arrows linking each client span to
+    its server-side execution, and ``causal_out`` records the assembled
+    request tree (per-request phase segments, phase totals, critical
+    path) -- the end-to-end trace CI uploads next to the raw spans.
+    Every matched request must attribute >= 99% of its wall time to
+    named phases, the ``repro explain`` acceptance bar."""
     from repro.model.calibration import default_calibration
     from repro.net.spec import get_network
     from repro.obs import (
         ConformanceMonitor,
         MetricsRegistry,
         RuntimeProfiler,
+        TraceAssembler,
         Tracer,
         render_prometheus,
         write_chrome_trace,
@@ -832,7 +890,47 @@ def _instrumented_drift_run(
             report = runner.run(case, size, pipeline=True)
     assert report.result.verified
     monitor.observe_spans(tracer.spans)
-    write_chrome_trace(tracer.spans, trace_out, counters=profiler.samples)
+    assembled = TraceAssembler().assemble(tracer.spans)
+    for node in assembled.nodes:
+        assert node.attributed_fraction >= 0.99, (
+            f"request {node.session}:{node.seq} ({node.name}) attributed "
+            f"only {node.attributed_fraction:.1%} of its wall time"
+        )
+    critical = assembled.critical_path()
+    write_chrome_trace(
+        tracer.spans, trace_out, counters=profiler.samples,
+        flows=assembled.flows(),
+    )
+    Path(causal_out).write_text(json.dumps({
+        "what": (
+            "assembled end-to-end request tree of the instrumented "
+            f"pipelined {case.name} size-{size} run behind "
+            f"{trace_out}: per-request phase segments from the "
+            "cross-process trace assembler"
+        ),
+        "requests": len(assembled.nodes),
+        "pairing": assembled.pairing,
+        "orphan_client_spans": len(assembled.orphan_client),
+        "orphan_server_spans": len(assembled.orphan_server),
+        "phase_totals_seconds": assembled.phase_totals(),
+        "critical_path": {
+            "total_seconds": critical.total_seconds,
+            "dominant_phase": critical.dominant_phase(),
+            "phase_seconds": critical.phase_seconds,
+        },
+        "nodes": [
+            {
+                "session": node.session,
+                "seq": node.seq,
+                "name": node.name,
+                "wall_seconds": node.wall_seconds,
+                "attributed_fraction": node.attributed_fraction,
+                "dominant_phase": node.dominant_phase(),
+                "segments_seconds": node.segments,
+            }
+            for node in assembled.nodes
+        ],
+    }, indent=2) + "\n")
     Path(metrics_out).write_text(render_prometheus(registry))
     return {
         "case": case.name,
@@ -841,6 +939,14 @@ def _instrumented_drift_run(
         "status": monitor.status,
         "findings": [f.describe() for f in monitor.findings()],
         "unmodeled_spans": monitor.unmodeled_spans,
+        "causal": {
+            "requests_assembled": len(assembled.nodes),
+            "min_attributed_fraction": min(
+                (n.attributed_fraction for n in assembled.nodes),
+                default=1.0,
+            ),
+            "critical_path_dominant_phase": critical.dominant_phase(),
+        },
         "phases": {
             phase: {
                 "measured_seconds": measured,
@@ -935,7 +1041,14 @@ def run_quick(
         f"model conformance ({drift['case']} size {drift['size']} vs "
         f"{drift['network']}): {drift['status']}, "
         f"{len(drift['findings'])} finding(s); trace -> BENCH_trace.json, "
-        f"metrics -> BENCH_metrics.prom"
+        f"causal tree -> BENCH_causal.json, metrics -> BENCH_metrics.prom"
+    )
+    causal = drift["causal"]
+    print(
+        f"causal assembly: {causal['requests_assembled']} requests, min "
+        f"attributed fraction {causal['min_attributed_fraction']:.3f}, "
+        f"critical path dominated by "
+        f"{causal['critical_path_dominant_phase']}"
     )
     for network, rows in large_copies["networks"].items():
         for row in rows:
@@ -959,7 +1072,9 @@ def run_quick(
         f"{obs_overhead['overhead_ratio']:.3f}x "
         f"(on {obs_overhead['on_wall_seconds'] * 1e3:.2f} ms, "
         f"off {obs_overhead['off_wall_seconds'] * 1e3:.2f} ms, "
-        f"threshold {OBS_OVERHEAD_MAX:.2f}x)"
+        f"threshold {OBS_OVERHEAD_MAX:.2f}x); with causal span tracing: "
+        f"{obs_overhead['traced']['overhead_ratio']:.3f}x "
+        f"(bound {OBS_TRACED_REGRESSION_MAX:.2f}x)"
     )
     for mode in ("thread", "async"):
         row = scaling["modes"][mode]
@@ -1013,6 +1128,13 @@ def run_quick(
             "(noisy host); the regression gate "
             f"({OBS_OVERHEAD_REGRESSION_MAX:.2f}x) still holds"
         )
+    assert (
+        obs_overhead["traced"]["overhead_ratio"] <= OBS_TRACED_REGRESSION_MAX
+    ), (
+        f"causal span tracing overhead regressed: expected within "
+        f"{OBS_TRACED_REGRESSION_MAX:.2f}x of the stripped pipelined "
+        f"burst, got {obs_overhead['traced']['overhead_ratio']:.3f}x"
+    )
     for mode in ("thread", "async"):
         row = scaling["modes"][mode]
         assert row["failures"] == 0, (

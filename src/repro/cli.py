@@ -194,6 +194,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             doc["loop_lag_max_seconds"] = round(daemon.loop_lag_max, 6)
             doc["loop_connections"] = daemon.loop_connections
             doc["backpressure_stalls"] = daemon.backpressure_stalls
+            doc["queued_requests"] = daemon.queued_requests
         doc.update(slo.health_block())
         return doc
 
@@ -424,6 +425,251 @@ def _cmd_postmortem(args: argparse.Namespace) -> int:
         )
         return 2
     print(render_postmortem(dump, last_events=args.events))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import TraceAssembler, read_jsonl
+    from repro.obs.causal import CAUSAL_PHASES, PHASE_SCHED_WAIT
+    from repro.reporting import render_table
+
+    # -- collect spans: recorded logs or a live run ------------------------
+    spans = []
+    if args.trace_in:
+        for path in args.trace_in:
+            try:
+                spans.extend(read_jsonl(path))
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            except (ValueError, KeyError, TypeError) as exc:
+                print(
+                    f"error: {path} is not a span log: {exc}", file=sys.stderr
+                )
+                return 2
+        source = ", ".join(args.trace_in)
+    else:
+        from repro.obs import Tracer
+        from repro.testbed import FunctionalRunner
+        from repro.testbed.simulated import case_by_name
+
+        case = case_by_name(args.case.upper())
+        tracer = Tracer()
+        with FunctionalRunner(tracer=tracer) as runner:
+            runner.run(
+                case,
+                args.size,
+                pipeline=args.pipeline,
+                chunk_bytes=args.chunk_bytes,
+                chunking=not args.no_chunking,
+            )
+        spans = list(tracer.spans)
+        mode = "pipelined" if args.pipeline else "synchronous"
+        source = f"live {case.name} size {args.size} ({mode})"
+    if not spans:
+        print("error: no spans to assemble", file=sys.stderr)
+        return 2
+
+    flight_events = []
+    if args.flight_in:
+        from repro.obs import read_postmortem
+
+        try:
+            flight_events = read_postmortem(args.flight_in).get("events", [])
+        except OSError as exc:
+            print(
+                f"error: cannot read {args.flight_in}: {exc}", file=sys.stderr
+            )
+            return 2
+
+    trace = TraceAssembler(flight_events=flight_events).assemble(spans)
+    if not trace.nodes:
+        print("error: no client spans assembled into requests", file=sys.stderr)
+        return 2
+
+    # -- optional model reconciliation -------------------------------------
+    monitor = None
+    if args.against_model:
+        from repro.model.calibration import default_calibration
+        from repro.net.spec import get_network
+        from repro.obs import ConformanceMonitor
+        from repro.testbed.simulated import case_by_name
+
+        monitor = ConformanceMonitor(get_network(args.against_model))
+        if args.case:
+            monitor.set_workload(
+                case_by_name(args.case.upper()),
+                args.size,
+                calibration=default_calibration(),
+            )
+
+    def describe_node(node) -> None:
+        wall_ms = node.wall_seconds * 1e3
+        marks = []
+        if node.streamed:
+            chunks = int(node.client.attrs.get("chunks", 0) or 0)
+            marks.append(f"streamed, {chunks} chunks")
+        if node.deferred:
+            marks.append("deferred-ack")
+        if node.tenant:
+            marks.append(f"tenant {node.tenant}")
+        suffix = f" ({'; '.join(marks)})" if marks else ""
+        print(
+            f"request {node.session}:{node.seq} {node.name} "
+            f"wall {wall_ms:.3f} ms{suffix}"
+        )
+        predicted = (
+            monitor.predict_stage_seconds(node.client)
+            if monitor is not None else None
+        )
+        headers = ["Phase", "Time (ms)", "Share (%)"]
+        if predicted is not None:
+            headers += ["Model (ms)", "Gap (ms)"]
+        rows = []
+        worst = None
+        for phase in CAUSAL_PHASES:
+            seconds = node.segments.get(phase, 0.0)
+            row = [
+                phase,
+                seconds * 1e3,
+                100.0 * seconds / node.wall_seconds
+                if node.wall_seconds > 0 else 0.0,
+            ]
+            if predicted is not None:
+                model = predicted.get(phase, 0.0)
+                gap = seconds - model
+                row += [model * 1e3, gap * 1e3]
+                if worst is None or abs(gap) > abs(worst[1]):
+                    worst = (phase, gap)
+            rows.append(row)
+        print(render_table(headers, rows, digits=3))
+        print(
+            f"  attributed: {100.0 * node.attributed_fraction:.2f}% of "
+            "wall time carries a named phase"
+        )
+        if predicted is not None:
+            total = predicted.get("total", 0.0)
+            print(
+                f"  model total: {total * 1e3:.3f} ms "
+                f"(measured/model "
+                f"{node.wall_seconds / total:.2f}x)"
+                if total > 0 else "  model total: n/a"
+            )
+            if worst is not None and abs(worst[1]) > 0:
+                direction = "over" if worst[1] > 0 else "under"
+                print(
+                    f"  drift localized to: {worst[0]} "
+                    f"({abs(worst[1]) * 1e3:.3f} ms {direction} the model)"
+                )
+            if node.streamed and args.against_model:
+                from repro.obs.causal import stream_bound_stage
+
+                bound = stream_bound_stage(node, args.against_model)
+                print(
+                    f"  pipeline bound stage: {bound['bound_stage']} "
+                    f"(network {bound['network_seconds'] * 1e3:.3f} ms vs "
+                    f"device {bound['device_seconds'] * 1e3:.3f} ms over "
+                    f"{bound['chunks']} chunks; "
+                    f"bound {bound['bound_seconds'] * 1e3:.3f} ms)"
+                )
+        if node.dominant_phase() == PHASE_SCHED_WAIT:
+            blamed = trace.blame_scheduler(node)
+            if blamed is not None:
+                print(
+                    "  scheduler wait dominated; blamed batch: tenant "
+                    f"{blamed.get('tenant', '?')} ran "
+                    f"{blamed.get('launches', 0)} launches "
+                    f"({blamed.get('coalesced', 0)} coalesced, "
+                    f"{blamed.get('contenders', 0)} contenders)"
+                )
+            else:
+                print(
+                    "  scheduler wait dominated (no flight events loaded; "
+                    "pass --flight-in to name the batch)"
+                )
+
+    print(
+        f"assembled {len(trace.nodes)} requests from {len(spans)} spans "
+        f"({source})"
+    )
+    for c_session, s_session in sorted(trace.pairing.items()):
+        offset = trace.offsets.get(c_session, 0.0)
+        skew = f", clock skew {offset * 1e3:+.3f} ms" if offset else ""
+        print(f"  {c_session} <-> {s_session}{skew}")
+    if trace.orphan_client or trace.orphan_server:
+        print(
+            f"  orphans: {len(trace.orphan_client)} client, "
+            f"{len(trace.orphan_server)} server spans unmatched"
+        )
+    print()
+
+    if args.chrome_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(spans, args.chrome_out, flows=trace.flows())
+        print(
+            f"chrome trace with causal flow arrows: {args.chrome_out} "
+            "(load in Perfetto)"
+        )
+        print()
+
+    if args.request:
+        session, _, seq_text = args.request.rpartition(":")
+        try:
+            seq = int(seq_text)
+        except ValueError:
+            print(
+                f"error: --request wants session:seq, got {args.request!r}",
+                file=sys.stderr,
+            )
+            return 2
+        node = trace.node(session, seq)
+        if node is None:
+            print(
+                f"error: no assembled request {session}:{seq} "
+                f"(sessions: {', '.join(trace.sessions())})",
+                file=sys.stderr,
+            )
+            return 2
+        describe_node(node)
+        return 0
+
+    # -- the breakdown over the whole trace --------------------------------
+    totals = trace.phase_totals()
+    grand = sum(totals.values())
+    rows = [
+        [phase, totals.get(phase, 0.0) * 1e3,
+         100.0 * totals.get(phase, 0.0) / grand if grand > 0 else 0.0]
+        for phase in CAUSAL_PHASES
+    ]
+    print(render_table(
+        ["Phase", "Time (ms)", "Share (%)"],
+        rows,
+        title="Phase attribution across all requests",
+        digits=3,
+    ))
+    print()
+    cp = trace.critical_path()
+    if cp.total_seconds > 0:
+        rows = [
+            [phase, seconds * 1e3, 100.0 * seconds / cp.total_seconds]
+            for phase, seconds in sorted(
+                cp.phase_seconds.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        print(render_table(
+            ["Phase", "Time (ms)", "Share (%)"],
+            rows,
+            title=(
+                f"Critical path ({cp.total_seconds * 1e3:.3f} ms; "
+                f"dominant: {cp.dominant_phase()})"
+            ),
+            digits=3,
+        ))
+        print()
+    for node in trace.top(args.top_k):
+        describe_node(node)
+        print()
     return 0
 
 
@@ -689,6 +935,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("tracefile", help="path to a .jsonl span log")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "explain",
+        help="assemble client+server spans into causal request trees "
+             "and explain where each request's wall time went",
+    )
+    p.add_argument("--trace-in", action="append", default=None,
+                   metavar="FILE",
+                   help="JSONL span log(s) to assemble (repeatable: pass "
+                        "the client and server logs of one run); default: "
+                        "perform a live functional run instead")
+    p.add_argument("--case", default="mm",
+                   help="(live run / --against-model) case study (mm, fft)")
+    p.add_argument("--size", type=int, default=256,
+                   help="(live run / --against-model) problem size")
+    p.add_argument("--pipeline", action="store_true",
+                   help="(live run) use the deferred-ack pipelined path")
+    p.add_argument("--chunk-bytes", type=int, default=None, metavar="N",
+                   help="(live run) pin the streaming frame size")
+    p.add_argument("--no-chunking", action="store_true",
+                   help="(live run) keep every copy monolithic")
+    p.add_argument("--request", default=None, metavar="SESSION:SEQ",
+                   help="explain this one request instead of the overview")
+    p.add_argument("--top-k", type=int, default=3,
+                   help="slowest requests to break down (default: 3)")
+    p.add_argument("--against-model", default=None, metavar="NETWORK",
+                   help="reconcile each breakdown against the paper "
+                        "model's per-stage prediction for this network")
+    p.add_argument("--flight-in", default=None, metavar="DUMP",
+                   help="postmortem dump whose flight events name the "
+                        "blamed tenant batch when scheduler wait dominates")
+    p.add_argument("--chrome-out", default=None, metavar="FILE",
+                   help="write the assembled trace as Chrome trace-event "
+                        "JSON with causal flow arrows (Perfetto-loadable)")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "whatif",

@@ -17,6 +17,10 @@ that kind of trace a first-class product of every run:
   with a ``/healthz`` probe;
 * :mod:`repro.obs.conformance` -- live predicted-vs-measured model
   conformance with EWMA drift detection (`repro drift`);
+* :mod:`repro.obs.causal` -- cross-process trace assembly joining client
+  and server spans on (session, seq) into causally-linked request trees,
+  with per-request phase attribution, critical-path extraction and
+  Perfetto flow events (`repro explain`);
 * :mod:`repro.obs.profiler` -- sampled counter tracks (queue depth,
   in-flight window, memory occupancy) for the Perfetto timeline;
 * :mod:`repro.obs.flight` -- always-on bounded flight recorder and
@@ -31,6 +35,16 @@ Instrumentation defaults to :data:`NULL_TRACER`, a no-op, so the
 uninstrumented hot path stays as fast as before the package existed.
 """
 
+from repro.obs.causal import (
+    CAUSAL_PHASES,
+    AssembledTrace,
+    ChromeFlow,
+    CriticalPath,
+    RequestNode,
+    TraceAssembler,
+    stream_bound_stage,
+    stream_stage_totals,
+)
 from repro.obs.conformance import (
     RATIO_BUCKETS,
     ConformanceConfig,
@@ -100,6 +114,7 @@ from repro.obs.summary import (
 )
 
 __all__ = [
+    "CAUSAL_PHASES",
     "DEFAULT_BUCKETS",
     "DEFAULT_INTERVAL_SECONDS",
     "DEFAULT_QUANTILES",
@@ -108,10 +123,13 @@ __all__ = [
     "EVENT_SESSION",
     "EVENT_SPAN",
     "EVENT_STREAM",
+    "AssembledTrace",
+    "ChromeFlow",
     "ConformanceConfig",
     "ConformanceMonitor",
     "Counter",
     "CounterSample",
+    "CriticalPath",
     "DriftFinding",
     "DriftReport",
     "FlightRecorder",
@@ -128,11 +146,13 @@ __all__ = [
     "P2Quantile",
     "QuantileSketch",
     "RATIO_BUCKETS",
+    "RequestNode",
     "RuntimeProfiler",
     "SessionAccounting",
     "SloEngine",
     "SloObjective",
     "Span",
+    "TraceAssembler",
     "Tracer",
     "aggregate_spans",
     "build_postmortem",
@@ -149,6 +169,8 @@ __all__ = [
     "render_summary",
     "request_kind",
     "spans_to_trace",
+    "stream_bound_stage",
+    "stream_stage_totals",
     "write_chrome_trace",
     "write_jsonl",
     "write_postmortem",

@@ -1,0 +1,776 @@
+"""Causal request tracing: join both sides of the wire into one timeline.
+
+Client spans and server spans have always shared a correlation key --
+``(session, seq)``, positional like the protocol itself -- but nothing
+ever joined them.  This module is that join:
+
+* :class:`TraceAssembler` pairs client sessions with server sessions
+  (their ids differ: ``client-N`` on one side, ``server-N`` on the
+  other), walks the two span sequences stream-aware (a chunked copy is
+  ONE client span but Begin + k chunks + End on the server), estimates
+  the clock offset between the two sides from the causality constraints
+  of synchronous exchanges, and emits one :class:`RequestNode` per
+  logical call -- a causally-linked request tree whose children are the
+  server spans that serviced it.
+
+* **Phase attribution** carves each node's wall time into the six named
+  segments of the serving path -- ``client-serialize``, ``network``,
+  ``server-queue``, ``tenant-scheduler-wait``, ``device``, ``response``
+  -- as an *exact partition*: labeled sub-intervals are laid over the
+  node's wall interval by priority and whatever no evidence claims is
+  the network.  Segments therefore sum to the node's wall time by
+  construction, so "where did this request's time go" always has a
+  complete answer.
+
+* **Critical-path extraction** sweeps a session's (possibly
+  overlapping, under pipelined deferred-acks) nodes and charges every
+  instant to the node gating progress -- the active node whose
+  completion lies furthest out -- then decomposes the charged time by
+  the nodes' attributed segments.  For streamed copies,
+  :func:`stream_stage_totals` gives the overlap model's per-stage
+  totals so the pipeline-bound stage (network vs device) is identified
+  from the same math the CI acceptance gate uses.
+
+* :meth:`AssembledTrace.flows` emits Perfetto flow events
+  (``"ph":"s"/"f"``) binding each client slice to the server slices
+  that serviced it, so the chrome exporter renders the assembled trace
+  as one connected timeline.
+
+* Scheduler **blame**: when a node's tenant-scheduler-wait dominates,
+  :meth:`AssembledTrace.blame_scheduler` finds the flight-recorder
+  batch event (another tenant's coalesced launch batch executing under
+  the drain) responsible.
+
+Everything here is offline analysis over recorded spans -- the serving
+hot path only gained the three cheap attrs feeding it (``sent`` on the
+client, ``queued_for``/``sched_drain`` on the server).
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import insort
+from dataclasses import dataclass, field
+
+from repro.obs.spans import KIND_CLIENT, KIND_SERVER, Span
+
+#: The six named segments of the causal breakdown, pipeline order.
+PHASE_CLIENT_SERIALIZE = "client-serialize"
+PHASE_NETWORK = "network"
+PHASE_SERVER_QUEUE = "server-queue"
+PHASE_SCHED_WAIT = "tenant-scheduler-wait"
+PHASE_DEVICE = "device"
+PHASE_RESPONSE = "response"
+CAUSAL_PHASES = (
+    PHASE_CLIENT_SERIALIZE,
+    PHASE_NETWORK,
+    PHASE_SERVER_QUEUE,
+    PHASE_SCHED_WAIT,
+    PHASE_DEVICE,
+    PHASE_RESPONSE,
+)
+
+#: Carving priority: direct evidence beats derived evidence.  Device
+#: execution is the server's own measurement; scheduler wait and queue
+#: time are its measured prefixes; the client-serialize and response
+#: legs are boundary-derived; the residual is the network.
+_PRIORITY = {
+    PHASE_DEVICE: 6,
+    PHASE_SCHED_WAIT: 5,
+    PHASE_SERVER_QUEUE: 4,
+    PHASE_CLIENT_SERIALIZE: 3,
+    PHASE_RESPONSE: 2,
+}
+
+#: Server span names a streamed H2D client span absorbs after its
+#: matching Begin span ("cudaMemcpy", same name as the client span).
+_STREAM_TAIL = ("cudaMemcpyChunk", "cudaMemcpyStreamEnd")
+
+#: How many unmatched server spans the alignment walk may skip while
+#: searching for a client span's mate (tolerates dropped client spans).
+_LOOKAHEAD = 4
+
+
+@dataclass(frozen=True)
+class ChromeFlow:
+    """One Perfetto flow arrow between two slices of the chrome export.
+
+    Timestamps are in the spans' own clock unit; the exporter scales
+    them exactly like slice timestamps, and binds each endpoint to the
+    (kind, session) track the pids/tids maps assign.
+    """
+
+    flow_id: int
+    name: str
+    src_kind: str
+    src_session: str
+    src_ts: float
+    dst_kind: str
+    dst_session: str
+    dst_ts: float
+
+
+@dataclass
+class RequestNode:
+    """One logical remoted call: the client span plus the server spans
+    that serviced it, with the wall time carved into named segments."""
+
+    session: str
+    seq: int
+    name: str
+    client: Span
+    #: Server spans, request order (a streamed H2D owns Begin + chunks +
+    #: End; most calls own exactly one).  These are the node's children
+    #: in the request tree.
+    server: list[Span] = field(default_factory=list)
+    #: Seconds the server side lags the client clock (add to a server
+    #: timestamp to land on the client timeline).
+    clock_offset: float = 0.0
+    #: Node wall interval on the client clock.  ``end`` extends past the
+    #: client span for deferred calls (to the ``acked`` instant -- the
+    #: request is causally live until its acknowledgement lands).
+    start: float = 0.0
+    end: float = 0.0
+    #: Exact partition of ``[start, end]``: seconds per causal phase.
+    segments: dict[str, float] = field(default_factory=dict)
+    #: The partition as (lo, hi, phase) sub-intervals, ascending; the
+    #: critical-path sweep intersects these.
+    timeline: list[tuple[float, float, str]] = field(default_factory=list)
+    tenant: str = ""
+
+    @property
+    def children(self) -> list[Span]:
+        return self.server
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.end - self.start
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Fraction of the wall time carrying a named phase.  1.0 by
+        construction (the residual is the network phase) unless the node
+        is degenerate (zero wall time)."""
+        wall = self.wall_seconds
+        if wall <= 0.0:
+            return 1.0
+        return sum(self.segments.values()) / wall
+
+    @property
+    def streamed(self) -> bool:
+        return bool(self.client.attrs.get("streamed"))
+
+    @property
+    def deferred(self) -> bool:
+        return bool(self.client.attrs.get("deferred"))
+
+    def dominant_phase(self) -> str:
+        if not self.segments:
+            return PHASE_NETWORK
+        return max(self.segments.items(), key=lambda kv: kv[1])[0]
+
+
+@dataclass
+class CriticalPath:
+    """Where a session's wall-clock actually went: per-node responsible
+    seconds plus their phase decomposition."""
+
+    total_seconds: float
+    #: (node, seconds the node gated progress), descending.
+    entries: list[tuple[RequestNode, float]]
+    #: Responsible seconds per causal phase.
+    phase_seconds: dict[str, float]
+
+    def dominant_phase(self) -> str:
+        if not self.phase_seconds:
+            return PHASE_NETWORK
+        return max(self.phase_seconds.items(), key=lambda kv: kv[1])[0]
+
+
+class AssembledTrace:
+    """The assembler's product: request nodes plus the session pairing,
+    clock offsets, orphans, and the scheduler events for blame."""
+
+    def __init__(
+        self,
+        nodes: list[RequestNode],
+        pairing: dict[str, str],
+        offsets: dict[str, float],
+        orphan_client: list[Span],
+        orphan_server: list[Span],
+        sched_events: list[dict],
+        wall_offset: float | None = None,
+    ) -> None:
+        self.nodes = nodes
+        #: client session id -> server session id.
+        self.pairing = pairing
+        #: client session id -> estimated server clock offset.
+        self.offsets = offsets
+        self.orphan_client = orphan_client
+        self.orphan_server = orphan_server
+        self.sched_events = sched_events
+        self.wall_offset = wall_offset
+        self._by_key = {(n.session, n.seq): n for n in nodes}
+
+    # -- queries -------------------------------------------------------------
+
+    def node(self, session: str, seq: int) -> RequestNode | None:
+        return self._by_key.get((session, seq))
+
+    def nodes_for(self, session: str) -> list[RequestNode]:
+        return [n for n in self.nodes if n.session == session]
+
+    def sessions(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for n in self.nodes:
+            seen.setdefault(n.session)
+        return list(seen)
+
+    def phase_totals(self) -> dict[str, float]:
+        """Seconds per causal phase, summed over every node."""
+        totals = {phase: 0.0 for phase in CAUSAL_PHASES}
+        for node in self.nodes:
+            for phase, seconds in node.segments.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
+
+    def top(self, k: int = 10) -> list[RequestNode]:
+        """The k nodes with the most wall time, descending."""
+        return sorted(
+            self.nodes, key=lambda n: (-n.wall_seconds, n.session, n.seq)
+        )[: max(0, k)]
+
+    # -- critical path -------------------------------------------------------
+
+    def critical_path(self, session: str | None = None) -> CriticalPath:
+        """Sweep the (possibly overlapping) nodes of ``session`` (or all
+        sessions) and charge each instant to the node gating progress:
+        among the nodes covering that instant, the one whose completion
+        lies furthest out.  Under pipelined deferred-acks several nodes
+        are live at once and the sweep picks the one the client is
+        actually waiting on; synchronous runs degenerate to "every node
+        owns its own interval"."""
+        nodes = [
+            n for n in self.nodes
+            if n.wall_seconds > 0.0
+            and (session is None or n.session == session)
+        ]
+        if not nodes:
+            return CriticalPath(0.0, [], {})
+        cuts = sorted({t for n in nodes for t in (n.start, n.end)})
+        charged: dict[tuple[str, int], float] = {}
+        phase_seconds: dict[str, float] = {}
+        by_key = {(n.session, n.seq): n for n in nodes}
+        active: list[RequestNode] = []
+        for lo, hi in zip(cuts, cuts[1:]):
+            active = [n for n in nodes if n.start <= lo and n.end >= hi]
+            if not active:
+                continue
+            winner = max(active, key=lambda n: (n.end, n.start, n.seq))
+            key = (winner.session, winner.seq)
+            charged[key] = charged.get(key, 0.0) + (hi - lo)
+            for s_lo, s_hi, phase in winner.timeline:
+                overlap = min(hi, s_hi) - max(lo, s_lo)
+                if overlap > 0.0:
+                    phase_seconds[phase] = (
+                        phase_seconds.get(phase, 0.0) + overlap
+                    )
+        entries = sorted(
+            ((by_key[key], seconds) for key, seconds in charged.items()),
+            key=lambda e: (-e[1], e[0].session, e[0].seq),
+        )
+        return CriticalPath(
+            total_seconds=sum(charged.values()),
+            entries=entries,
+            phase_seconds=phase_seconds,
+        )
+
+    # -- perfetto flows ------------------------------------------------------
+
+    def flows(self) -> list[ChromeFlow]:
+        """One request arrow (client send -> first server slice) and one
+        response arrow (last server slice -> client completion) per
+        assembled node, ready for the chrome exporter."""
+        out: list[ChromeFlow] = []
+        ids = itertools.count(1)
+        for node in self.nodes:
+            if not node.server:
+                continue
+            c = node.client
+            if c.end is None:
+                continue
+            first, last = node.server[0], node.server[-1]
+            sent = c.attrs.get("sent")
+            src_ts = c.end if sent is None else min(max(sent, c.start), c.end)
+            label = f"{node.session}:{node.seq}"
+            out.append(ChromeFlow(
+                next(ids), label,
+                KIND_CLIENT, c.session, src_ts,
+                KIND_SERVER, first.session, first.start,
+            ))
+            out.append(ChromeFlow(
+                next(ids), f"{label} resp",
+                KIND_SERVER, last.session,
+                last.end if last.end is not None else last.start,
+                KIND_CLIENT, c.session, c.end,
+            ))
+        return out
+
+    # -- scheduler blame -----------------------------------------------------
+
+    def blame_scheduler(self, node: RequestNode, slack: float = 0.01):
+        """The flight-recorder batch event most responsible for this
+        node's tenant-scheduler-wait: the largest coalesced batch another
+        tenant executed while this node's server span was draining.
+        Returns the event dict, or None without evidence."""
+        if not self.sched_events or not node.server:
+            return None
+        woff = self.wall_offset if self.wall_offset is not None else 0.0
+        lo = node.server[0].start + node.clock_offset + woff - slack
+        last = node.server[-1]
+        hi = (
+            (last.end if last.end is not None else last.start)
+            + node.clock_offset + woff + slack
+        )
+        window = [
+            e for e in self.sched_events if lo <= e.get("t", 0.0) <= hi
+        ]
+        if not window:
+            return None
+        foreign = [e for e in window if e.get("tenant", "") != node.tenant]
+        pool = foreign if foreign else window
+        return max(pool, key=lambda e: (e.get("launches", 0), e.get("t", 0.0)))
+
+
+class TraceAssembler:
+    """Joins client spans, server spans and flight-recorder events into
+    an :class:`AssembledTrace`.
+
+    ``flight_events`` are :meth:`~repro.obs.flight.FlightRecorder.
+    snapshot` dicts (or the ``events`` list of a postmortem dump): the
+    scheduler's ``sched``/``batch`` events feed blame, and the span
+    events calibrate the wall offset between flight time (``time.time``)
+    and span time (the tracer clock) when the caller does not pass one.
+    Assembly is order-invariant: spans may arrive in any order and from
+    any interleaving of files.
+    """
+
+    def __init__(
+        self,
+        flight_events: list[dict] | tuple = (),
+        wall_offset: float | None = None,
+        lookahead: int = _LOOKAHEAD,
+    ) -> None:
+        self.flight_events = list(flight_events)
+        self.wall_offset = wall_offset
+        self.lookahead = max(0, int(lookahead))
+
+    # -- entry point ---------------------------------------------------------
+
+    def assemble(self, spans) -> AssembledTrace:
+        clients: dict[str, list[Span]] = {}
+        servers: dict[str, list[Span]] = {}
+        for span in spans:
+            if span.kind == KIND_CLIENT:
+                clients.setdefault(span.session, []).append(span)
+            elif span.kind == KIND_SERVER:
+                servers.setdefault(span.session, []).append(span)
+        # Deterministic regardless of arrival order: the daemons assign
+        # seqs strictly ordered per session; ties (never produced by the
+        # runtimes) break on timestamps.
+        for group in (clients, servers):
+            for span_list in group.values():
+                span_list.sort(key=lambda s: (s.seq, s.start, s.name))
+        pairing = self._pair_sessions(clients, servers)
+        nodes: list[RequestNode] = []
+        offsets: dict[str, float] = {}
+        orphan_client: list[Span] = []
+        matched_server: set[int] = set()
+        for c_session in sorted(clients):
+            s_session = pairing.get(c_session)
+            s_spans = servers.get(s_session, []) if s_session else []
+            matches, unmatched = self._walk(clients[c_session], s_spans)
+            offset = (
+                self.estimate_clock_offset(matches)
+                if s_spans else 0.0
+            )
+            offsets[c_session] = offset
+            orphan_client.extend(unmatched)
+            for c_span, s_list in matches:
+                for s in s_list:
+                    matched_server.add(id(s))
+                nodes.append(self._build_node(c_span, s_list, offset))
+        orphan_server = [
+            s
+            for s_session in sorted(servers)
+            for s in servers[s_session]
+            if id(s) not in matched_server
+        ]
+        sched_events = [
+            e for e in self.flight_events
+            if e.get("kind") == "sched" and e.get("name") == "batch"
+        ]
+        wall_offset = self.wall_offset
+        if wall_offset is None and sched_events:
+            wall_offset = self._infer_wall_offset(servers)
+        nodes.sort(key=lambda n: (n.start, n.session, n.seq))
+        return AssembledTrace(
+            nodes=nodes,
+            pairing=pairing,
+            offsets=offsets,
+            orphan_client=orphan_client,
+            orphan_server=orphan_server,
+            sched_events=sched_events,
+            wall_offset=wall_offset,
+        )
+
+    # -- session pairing -----------------------------------------------------
+
+    def _pair_sessions(
+        self,
+        clients: dict[str, list[Span]],
+        servers: dict[str, list[Span]],
+    ) -> dict[str, str]:
+        """Greedy max matching on alignment quality.
+
+        Score = fraction of a client session's spans the walk matches
+        against the server session, with temporal proximity of the two
+        sessions' midpoints as the tiebreak (identical workloads on N
+        sessions walk identically; time tells them apart)."""
+        candidates: list[tuple[float, float, str, str]] = []
+        for c_session, c_spans in clients.items():
+            for s_session, s_spans in servers.items():
+                matches, _ = self._walk(c_spans, s_spans)
+                hit = sum(1 for _, s_list in matches if s_list)
+                if not hit:
+                    continue
+                score = hit / max(1, len(c_spans))
+                distance = abs(
+                    self._midpoint(c_spans) - self._midpoint(s_spans)
+                )
+                candidates.append((score, -distance, c_session, s_session))
+        candidates.sort(
+            key=lambda c: (-c[0], -c[1], c[2], c[3])
+        )
+        pairing: dict[str, str] = {}
+        taken: set[str] = set()
+        for _, _, c_session, s_session in candidates:
+            if c_session in pairing or s_session in taken:
+                continue
+            pairing[c_session] = s_session
+            taken.add(s_session)
+        return pairing
+
+    @staticmethod
+    def _midpoint(spans: list[Span]) -> float:
+        if not spans:
+            return 0.0
+        last = spans[-1]
+        hi = last.end if last.end is not None else last.start
+        return 0.5 * (spans[0].start + hi)
+
+    # -- stream-aware alignment walk -----------------------------------------
+
+    def _walk(
+        self, c_spans: list[Span], s_spans: list[Span]
+    ) -> tuple[list[tuple[Span, list[Span]]], list[Span]]:
+        """Align one client session against one server session.
+
+        Client seqs count logical calls; server seqs count wire messages,
+        so the two drift apart at the first streamed H2D (one client span
+        vs Begin + k chunks + End).  The walk therefore matches on names
+        in order, absorbing a streamed copy's whole server frame sequence
+        into its one client span, with bounded lookahead so one dropped
+        span does not desynchronize the rest."""
+        matches: list[tuple[Span, list[Span]]] = []
+        unmatched: list[Span] = []
+        j = 0
+        n = len(s_spans)
+        for c in c_spans:
+            found = -1
+            for d in range(self.lookahead + 1):
+                if j + d >= n:
+                    break
+                if s_spans[j + d].name == c.name:
+                    found = j + d
+                    break
+            if found < 0:
+                matches.append((c, []))
+                unmatched.append(c)
+                continue
+            j = found
+            taken = [s_spans[j]]
+            j += 1
+            if (
+                c.attrs.get("streamed")
+                and c.attrs.get("phase") != "d2h"
+            ):
+                # Absorb the chunk frames and the terminal End frame.
+                while j < n and s_spans[j].name == _STREAM_TAIL[0]:
+                    taken.append(s_spans[j])
+                    j += 1
+                if j < n and s_spans[j].name == _STREAM_TAIL[1]:
+                    taken.append(s_spans[j])
+                    j += 1
+            matches.append((c, taken))
+        return matches, unmatched
+
+    # -- clock alignment -----------------------------------------------------
+
+    @staticmethod
+    def estimate_clock_offset(
+        matches: list[tuple[Span, list[Span]]]
+    ) -> float:
+        """Estimate the server->client clock offset from causality.
+
+        For a synchronous (non-deferred) match the server span must lie
+        inside the client span, so the feasible offset sits in
+        ``[c.start - s.start, c.end - s.end]``.  The medians of the two
+        bounds across matches give a robust interval; 0 is preferred
+        when feasible (shared-clock runs are the common case), else the
+        interval midpoint."""
+        los: list[float] = []
+        his: list[float] = []
+        for c, s_list in matches:
+            if not s_list or c.end is None or c.attrs.get("deferred"):
+                continue
+            s_lo = s_list[0].start
+            last = s_list[-1]
+            s_hi = last.end if last.end is not None else last.start
+            insort(los, c.start - s_lo)
+            insort(his, c.end - s_hi)
+        if not los:
+            return 0.0
+        lo_m = los[len(los) // 2]
+        hi_m = his[len(his) // 2]
+        if lo_m <= 0.0 <= hi_m:
+            return 0.0
+        return 0.5 * (lo_m + hi_m)
+
+    def _infer_wall_offset(
+        self, servers: dict[str, list[Span]]
+    ) -> float | None:
+        """Offset from span time to flight time, from the span events
+        both records share: a flight span event's ``t`` is the span's
+        end instant shifted by the recorder's wall offset."""
+        by_key = {
+            (s.session, s.seq): s
+            for s_spans in servers.values()
+            for s in s_spans
+            if s.end is not None
+        }
+        deltas: list[float] = []
+        for e in self.flight_events:
+            if e.get("kind") != "span":
+                continue
+            span = by_key.get((e.get("session"), e.get("seq")))
+            if span is not None:
+                insort(deltas, e.get("t", 0.0) - span.end)
+        if not deltas:
+            return None
+        return deltas[len(deltas) // 2]
+
+    # -- phase attribution ---------------------------------------------------
+
+    def _build_node(
+        self, c: Span, s_list: list[Span], offset: float
+    ) -> RequestNode:
+        attrs = c.attrs
+        start = c.start
+        end = c.end if c.end is not None else c.start
+        acked = attrs.get("acked")
+        if acked is not None and acked > end:
+            end = acked
+        tenant = ""
+        for s in s_list:
+            t = s.attrs.get("tenant")
+            if t:
+                tenant = t
+                break
+        node = RequestNode(
+            session=c.session,
+            seq=c.seq,
+            name=c.name,
+            client=c,
+            server=s_list,
+            clock_offset=offset,
+            start=start,
+            end=end,
+            tenant=tenant,
+        )
+        if end <= start:
+            return node
+        candidates = self._candidate_intervals(node)
+        node.timeline = _carve(start, end, candidates)
+        segments: dict[str, float] = {}
+        for lo, hi, phase in node.timeline:
+            segments[phase] = segments.get(phase, 0.0) + (hi - lo)
+        node.segments = segments
+        return node
+
+    def _candidate_intervals(
+        self, node: RequestNode
+    ) -> list[tuple[int, str, float, float]]:
+        c = node.client
+        attrs = c.attrs
+        out: list[tuple[int, str, float, float]] = []
+        sent = attrs.get("sent")
+        if sent is None and attrs.get("deferred") and c.end is not None:
+            # A deferred call's whole local duration is the serialize +
+            # enqueue cost; the wire write completes at the span close.
+            sent = c.end
+        if sent is not None:
+            out.append(
+                (_PRIORITY[PHASE_CLIENT_SERIALIZE],
+                 PHASE_CLIENT_SERIALIZE, node.start, sent)
+            )
+        if node.server:
+            offset = node.clock_offset
+            last_end = None
+            for s in node.server:
+                s_lo = s.start + offset
+                s_hi = (s.end if s.end is not None else s.start) + offset
+                drain = float(s.attrs.get("sched_drain") or 0.0)
+                if drain > 0.0:
+                    mid = min(s_lo + drain, s_hi)
+                    out.append(
+                        (_PRIORITY[PHASE_SCHED_WAIT],
+                         PHASE_SCHED_WAIT, s_lo, mid)
+                    )
+                    out.append(
+                        (_PRIORITY[PHASE_DEVICE], PHASE_DEVICE, mid, s_hi)
+                    )
+                else:
+                    out.append(
+                        (_PRIORITY[PHASE_DEVICE], PHASE_DEVICE, s_lo, s_hi)
+                    )
+                queued = float(s.attrs.get("queued_for") or 0.0)
+                if queued > 0.0:
+                    out.append(
+                        (_PRIORITY[PHASE_SERVER_QUEUE],
+                         PHASE_SERVER_QUEUE, s_lo - queued, s_lo)
+                    )
+                last_end = s_hi
+            if last_end is not None and last_end < node.end:
+                out.append(
+                    (_PRIORITY[PHASE_RESPONSE],
+                     PHASE_RESPONSE, last_end, node.end)
+                )
+        elif "network_seconds" in attrs or "device_seconds" in attrs:
+            # Simulated-testbed spans are client-only but carry the
+            # model's own split; lay it out sequentially (serialize ->
+            # network -> device), with the fixed per-call overheads in
+            # the serialize segment.
+            net = float(attrs.get("network_seconds") or 0.0)
+            dev = float(attrs.get("device_seconds") or 0.0)
+            wall = node.end - node.start
+            overhead = max(0.0, wall - net - dev)
+            if net + dev > wall and net + dev > 0.0:
+                scale = wall / (net + dev)
+                net *= scale
+                dev *= scale
+            a = node.start + overhead
+            b = a + net
+            out.append(
+                (_PRIORITY[PHASE_CLIENT_SERIALIZE],
+                 PHASE_CLIENT_SERIALIZE, node.start, a)
+            )
+            out.append((1, PHASE_NETWORK, a, b))
+            out.append((_PRIORITY[PHASE_DEVICE], PHASE_DEVICE, b, b + dev))
+        return out
+
+
+def _carve(
+    start: float,
+    end: float,
+    candidates: list[tuple[int, str, float, float]],
+) -> list[tuple[float, float, str]]:
+    """Exact partition of ``[start, end]``: every elementary interval is
+    labeled by the highest-priority candidate covering it, or the
+    network phase when nothing claims it.  Adjacent same-phase pieces
+    are merged."""
+    clipped = []
+    cuts = {start, end}
+    for priority, phase, lo, hi in candidates:
+        lo = max(lo, start)
+        hi = min(hi, end)
+        if hi > lo:
+            clipped.append((priority, phase, lo, hi))
+            cuts.add(lo)
+            cuts.add(hi)
+    points = sorted(cuts)
+    timeline: list[tuple[float, float, str]] = []
+    for lo, hi in zip(points, points[1:]):
+        best_priority = 0
+        phase = PHASE_NETWORK
+        for priority, p, c_lo, c_hi in clipped:
+            if c_lo <= lo and c_hi >= hi and priority > best_priority:
+                best_priority = priority
+                phase = p
+        if timeline and timeline[-1][2] == phase and timeline[-1][1] == lo:
+            timeline[-1] = (timeline[-1][0], hi, phase)
+        else:
+            timeline.append((lo, hi, phase))
+    return timeline
+
+
+# -- streamed-copy overlap stages ----------------------------------------------
+
+
+def stream_stage_totals(
+    size: int,
+    chunk_bytes: int,
+    network,
+    timing=None,
+) -> dict:
+    """Per-stage totals of a chunked H2D copy under the overlap model --
+    the same math the CI acceptance gate (``acceptance_16mib``) commits.
+
+    The network stage carries the whole streamed flow (payload plus the
+    per-chunk frame headers, undistorted -- frames sit below the
+    distortion onset); the device stage pays one PCIe charge per frame.
+    The classic two-stage pipeline bound follows, and the **bound
+    stage** is whichever stage's total dominates: that is the stage the
+    pipeline cannot hide, the one a critical-path reading of a streamed
+    copy should blame."""
+    from repro.model.overlap import pipelined_seconds
+    from repro.net.spec import NetworkSpec, get_network
+    from repro.protocol.accounting import memcpy_chunk_cost
+    from repro.simcuda.timing import DeviceTimingModel
+
+    spec = network if isinstance(network, NetworkSpec) else get_network(network)
+    timing = timing if timing is not None else DeviceTimingModel()
+    chunks = max(1, -(-size // max(1, chunk_bytes)))
+    chunk_header = memcpy_chunk_cost().send_fixed
+    network_seconds = spec.actual_one_way_seconds(
+        size + chunks * chunk_header, include_distortion=False
+    )
+    device_seconds = chunks * timing.pcie.transfer_seconds(size / chunks)
+    bound = pipelined_seconds([network_seconds, device_seconds], chunks)
+    return {
+        "network": spec.name,
+        "size_bytes": size,
+        "chunk_bytes": chunk_bytes,
+        "chunks": chunks,
+        "network_seconds": network_seconds,
+        "device_seconds": device_seconds,
+        "bound_seconds": bound,
+        "bound_stage": (
+            PHASE_NETWORK
+            if network_seconds >= device_seconds
+            else PHASE_DEVICE
+        ),
+    }
+
+
+def stream_bound_stage(node: RequestNode, network, timing=None) -> dict:
+    """Identify a streamed node's pipeline-bound stage against the
+    overlap model, using the node's own chunk geometry."""
+    attrs = node.client.attrs
+    chunks = max(1, int(attrs.get("chunks", 1) or 1))
+    chunk_bytes = int(attrs.get("chunk_bytes", 0) or 0)
+    payload = chunks * chunk_bytes if chunk_bytes else 0
+    if not payload:
+        payload = int(attrs.get("bytes_sent", 0) or 0)
+        chunk_bytes = max(1, payload // chunks)
+    return stream_stage_totals(payload, chunk_bytes, network, timing=timing)

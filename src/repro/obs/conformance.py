@@ -265,6 +265,95 @@ class ConformanceMonitor:
             transfer=self.transfer,
         )
 
+    def predict_stage_seconds(self, span: Span) -> dict[str, float] | None:
+        """The per-call prediction split along the causal phases.
+
+        Same components :meth:`predict_span_seconds` sums, keyed the way
+        :mod:`repro.obs.causal` attributes a request: the request leg is
+        the ``network`` stage, the PCIe hop plus any kernel drain is the
+        ``device`` stage, the return leg is the ``response`` stage.  The
+        serialize/queue/scheduler phases are host-side costs the Section
+        IV/V model deliberately does not describe, so they predict zero
+        -- measured time landing there is *unmodeled*, which is exactly
+        what ``repro explain --against-model`` wants to localize.
+        ``total`` carries the model's call total (less than the stage
+        sum on streamed copies, where the pipeline hides part of it).
+        Returns None where the model has nothing to say.
+        """
+        from repro.obs.causal import (
+            PHASE_DEVICE,
+            PHASE_NETWORK,
+            PHASE_RESPONSE,
+        )
+
+        total = self.predict_span_seconds(span)
+        if total is None or span.name == "host work":
+            return None
+        bytes_sent = int(span.attrs.get("bytes_sent", 0) or 0)
+        bytes_received = int(span.attrs.get("bytes_received", 0) or 0)
+
+        def one_way(nbytes: float) -> float:
+            if self.transfer == "behaviour":
+                return self.network.actual_one_way_seconds(nbytes)
+            return self.network.estimated_transfer_seconds(nbytes)
+
+        phase = span.phase
+        if span.attrs.get("streamed") and phase != "d2h":
+            chunks = max(1, int(span.attrs.get("chunks", 1) or 1))
+            payload = max(
+                0,
+                bytes_sent
+                - self._stream_begin
+                - chunks * self._chunk_header
+                - self._stream_end,
+            )
+            stream_wire = max(0, bytes_sent - self._stream_begin)
+            if self.transfer == "behaviour":
+                stream_net = self.network.actual_one_way_seconds(
+                    stream_wire, include_distortion=False
+                )
+            else:
+                stream_net = self.network.estimated_transfer_seconds(
+                    stream_wire
+                )
+            stages = {
+                PHASE_NETWORK: one_way(self._stream_begin) + stream_net,
+                PHASE_DEVICE: self._chunked_pcie_seconds(payload, chunks),
+                PHASE_RESPONSE: one_way(bytes_received),
+            }
+        else:
+            device = 0.0
+            if "Memcpy" in span.name:
+                if phase == "d2h":
+                    if span.attrs.get("streamed"):
+                        chunks = max(
+                            1, int(span.attrs.get("chunks", 1) or 1)
+                        )
+                        payload = max(0, bytes_received - 4 - chunks * 4 - 4)
+                        device = self._chunked_pcie_seconds(payload, chunks)
+                    else:
+                        payload = max(0, bytes_received - self._d2h_header)
+                        if payload > 0:
+                            device = self.timing.pcie.transfer_seconds(
+                                payload
+                            )
+                    device += self._kernel_seconds
+                else:
+                    payload = max(0, bytes_sent - self._h2d_header)
+                    if payload > 0:
+                        device = self.timing.pcie.transfer_seconds(payload)
+            elif span.name in (
+                "cudaThreadSynchronize", "cudaStreamSynchronize"
+            ):
+                device = self._kernel_seconds
+            stages = {
+                PHASE_NETWORK: one_way(bytes_sent),
+                PHASE_DEVICE: device,
+                PHASE_RESPONSE: one_way(bytes_received),
+            }
+        stages["total"] = total
+        return stages
+
     def _predict_streamed_seconds(
         self, span: Span, bytes_sent: int, bytes_received: int
     ) -> float:

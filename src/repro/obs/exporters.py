@@ -105,7 +105,10 @@ def _time_scale(time_unit: str) -> float:
 
 
 def chrome_trace(
-    spans: Iterable[Span], time_unit: str = "s", counters: Iterable = ()
+    spans: Iterable[Span],
+    time_unit: str = "s",
+    counters: Iterable = (),
+    flows: Iterable = (),
 ) -> dict:
     """Build a Chrome trace-event document (the ``traceEvents`` format).
 
@@ -115,9 +118,15 @@ def chrome_trace(
     ``counters`` (e.g. :attr:`~repro.obs.profiler.RuntimeProfiler.samples`)
     become counter ("C") events under a dedicated ``rcuda-counters``
     process -- one counter track per sample name, rendered by Perfetto as
-    a filled graph on the same timeline.  ``time_unit`` names the unit of
-    ``Span.start`` *and* the counters' ``t`` ("s" for wall or virtual
-    seconds); timestamps are emitted in microseconds as the format wants.
+    a filled graph on the same timeline.  ``flows``
+    (:class:`~repro.obs.causal.ChromeFlow`, e.g. from
+    :meth:`~repro.obs.causal.AssembledTrace.flows`) become flow-start /
+    flow-finish ("s"/"f") pairs binding a client slice to the server
+    slices that serviced it, so the assembled trace renders as one
+    connected timeline instead of two unrelated processes.
+    ``time_unit`` names the unit of ``Span.start`` *and* the counters'
+    ``t`` ("s" for wall or virtual seconds); timestamps are emitted in
+    microseconds as the format wants.
     """
     scale = _time_scale(time_unit)
     events: list[dict] = []
@@ -144,6 +153,34 @@ def chrome_trace(
             "dur": span.duration_seconds * scale,
             "args": {"seq": span.seq, **span.attrs},
         })
+    for flow in flows:
+        endpoints = (
+            ("s", flow.src_kind, flow.src_session, flow.src_ts),
+            ("f", flow.dst_kind, flow.dst_session, flow.dst_ts),
+        )
+        for ph, kind, session, ts in endpoints:
+            pid = pids.setdefault(kind, len(pids) + 1)
+            tid_key = (kind, session)
+            if tid_key not in tids:
+                tids[tid_key] = len(tids) + 1
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tids[tid_key], "args": {"name": session},
+                })
+            event = {
+                "ph": ph,
+                "name": flow.name,
+                "cat": "causal",
+                "id": flow.flow_id,
+                "pid": pid,
+                "tid": tids[tid_key],
+                "ts": ts * scale,
+            }
+            if ph == "f":
+                # Bind to the enclosing slice even when the arrival
+                # timestamp sits on the slice boundary.
+                event["bp"] = "e"
+            events.append(event)
     counter_events: list[dict] = []
     counter_pid: int | None = None
     for sample in counters:
@@ -178,10 +215,13 @@ def write_chrome_trace(
     path: str | Path,
     time_unit: str = "s",
     counters: Iterable = (),
+    flows: Iterable = (),
 ) -> Path:
     path = Path(path)
     path.write_text(
-        json.dumps(chrome_trace(spans, time_unit=time_unit, counters=counters))
+        json.dumps(chrome_trace(
+            spans, time_unit=time_unit, counters=counters, flows=flows
+        ))
     )
     return path
 

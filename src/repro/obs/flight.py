@@ -92,17 +92,29 @@ class FlightRecorder:
         phase: str,
         error: int = 0,
         t: float | None = None,
+        tenant: str = "",
+        depth: int = 0,
     ) -> None:
         """Positional fast path for the one event the dispatch loop emits
         per request.  Stored as a flat 8-tuple (no attrs dict): this is
         by far the highest-volume event, and a dict per entry triples
-        the ring's resident size and allocation churn.
+        the ring's resident size and allocation churn.  Shared-device
+        daemons pass ``tenant`` (and the tenant's queued-launch ``depth``
+        at completion time), widening the entry to a 10-tuple so
+        postmortem dumps stay attributable per tenant.
         :meth:`snapshot` renders both shapes identically.
         """
-        self._ring.append(
-            (time.time() if t is None else t, EVENT_SPAN, name, session,
-             seq, duration_seconds, phase, error)
-        )
+        stamp = time.time() if t is None else t
+        if tenant:
+            self._ring.append(
+                (stamp, EVENT_SPAN, name, session, seq, duration_seconds,
+                 phase, error, tenant, depth)
+            )
+        else:
+            self._ring.append(
+                (stamp, EVENT_SPAN, name, session, seq, duration_seconds,
+                 phase, error)
+            )
         self.total_events += 1
 
     def __call__(self, span) -> None:
@@ -127,8 +139,8 @@ class FlightRecorder:
             events = events[-last:]
         out = []
         for event in events:
-            if len(event) == 8:  # flat span fast path (record_span)
-                t, kind, name, session, seq, duration, phase, error = event
+            if len(event) >= 8:  # flat span fast path (record_span)
+                t, kind, name, session, seq, duration, phase, error = event[:8]
                 d = {
                     "t": t, "kind": kind, "name": name,
                     "session": session, "seq": seq,
@@ -136,6 +148,9 @@ class FlightRecorder:
                 }
                 if error:
                     d["error"] = error
+                if len(event) == 10:  # tenant-attributed (shared device)
+                    d["tenant"] = event[8]
+                    d["queued_launch_depth"] = event[9]
             else:
                 t, kind, name, session, seq, attrs = event
                 d = {

@@ -47,22 +47,43 @@ class Span:
         """Section III phase this operation belongs to, if attributed."""
         return self.attrs.get("phase")
 
+    #: Reserved top-level keys of the JSONL form.  An attr with one of
+    #: these names would overwrite the span's own field in the flat dict,
+    #: so colliding attrs are namespaced under an ``attrs.`` prefix.
+    CORE_KEYS = frozenset({"name", "kind", "session", "seq", "start", "end"})
+
     def to_event(self) -> dict:
-        """The JSONL form (one flat dict per line)."""
-        return {
+        """The JSONL form (one flat dict per line).
+
+        Attrs whose names collide with a core key (``start``, ``seq``,
+        ...) are written as ``attrs.<name>`` so they can never shadow the
+        span's own fields; everything else stays flat for greppability.
+        """
+        event = {
             "name": self.name,
             "kind": self.kind,
             "session": self.session,
             "seq": self.seq,
             "start": self.start,
             "end": self.end,
-            **{k: v for k, v in self.attrs.items()},
         }
+        core = self.CORE_KEYS
+        for k, v in self.attrs.items():
+            event[f"attrs.{k}" if k in core else k] = v
+        return event
 
     @classmethod
     def from_event(cls, event: dict) -> "Span":
         """Inverse of :meth:`to_event`."""
-        core = {"name", "kind", "session", "seq", "start", "end"}
+        core = cls.CORE_KEYS
+        attrs = {}
+        for k, v in event.items():
+            if k in core:
+                continue
+            if k.startswith("attrs.") and k[6:] in core:
+                attrs[k[6:]] = v
+            else:
+                attrs[k] = v
         return cls(
             name=event["name"],
             kind=event["kind"],
@@ -70,7 +91,7 @@ class Span:
             seq=int(event["seq"]),
             start=float(event["start"]),
             end=None if event.get("end") is None else float(event["end"]),
-            attrs={k: v for k, v in event.items() if k not in core},
+            attrs=attrs,
         )
 
 

@@ -189,6 +189,19 @@ def render_dashboard(
         f"({occupancy:.1f}%)"
     )
 
+    if "loop_lag_seconds" in health:
+        # The async daemon's saturation signals (exported on /healthz
+        # since the event-loop PR, surfaced here at last): scheduling
+        # lag of the loop itself plus the decoded-but-undispatched
+        # request backlog across every session queue.
+        lines.append(
+            f"event loop: lag {health.get('loop_lag_seconds', 0.0) * 1e3:.2f} ms "
+            f"(max {health.get('loop_lag_max_seconds', 0.0) * 1e3:.2f} ms)   "
+            f"queued requests: {health.get('queued_requests', 0)}   "
+            f"connections: {health.get('loop_connections', 0)}   "
+            f"backpressure stalls: {health.get('backpressure_stalls', 0)}"
+        )
+
     if previous is not None and interval_seconds and interval_seconds > 0:
         prev_requests = metric_value(
             previous.get("metrics", {}), "rcuda_requests_total"

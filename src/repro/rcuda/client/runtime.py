@@ -383,6 +383,10 @@ class RemoteCudaRuntime:
         span = self._start_span(request)
         try:
             self._send_parts(parts)
+            if span is not None:
+                # Serialization boundary for causal phase attribution:
+                # [start, sent] is the client-serialize segment.
+                self.tracer.annotate(span, sent=self.tracer.clock.now())
             self._drain(blocking=False)
             received_before = self.transport.bytes_received
             response = read_response(self._reader, request)
@@ -693,6 +697,8 @@ class RemoteCudaRuntime:
             self._deferred_error = CudaError.cudaErrorUnknown
             self._abandon_inflight()
             raise
+        if span is not None:
+            self.tracer.annotate(span, sent=self.tracer.clock.now())
         if self.flight is not None:
             self.flight.record(
                 "stream", "stream-end",
@@ -751,6 +757,8 @@ class RemoteCudaRuntime:
             )
         try:
             self._send_parts(encode_request_vectored(begin))
+            if span is not None:
+                self.tracer.annotate(span, sent=self.tracer.clock.now())
             self._drain(blocking=False)
             received_before = self.transport.bytes_received
             response = read_stream_response(self._reader, begin)

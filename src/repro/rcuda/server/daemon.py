@@ -115,6 +115,11 @@ class DaemonCore:
         self.flight: FlightRecorder | None = (
             FlightRecorder() if flight is DEFAULT_FLIGHT else flight
         )
+        if pool is not None:
+            # Scheduler batch events share the daemon's timeline so a
+            # postmortem (or the causal assembler) sees spans and batch
+            # submissions interleaved.
+            pool.flight = self.flight
         self.slo = slo
         self.accounting = accounting
         if postmortem_dir is None:

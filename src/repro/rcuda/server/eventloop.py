@@ -238,7 +238,8 @@ class _Connection:
         self.transport: _LoopTransport = transport
         self.session: ServerSession | None = session  # None => refusal
         self.decoder = StreamDecoder(expect_init=True)
-        #: Decoded-but-undispatched (request, consumed_bytes) pairs.
+        #: Decoded-but-undispatched (request, consumed_bytes, arrived_at)
+        #: triples; ``arrived_at`` is 0.0 when the session is untraced.
         self.inbound: deque = deque()
         self.seq = 0
         self.reading_paused = False
@@ -594,6 +595,16 @@ class AsyncRCudaDaemon(DaemonCore):
         """Decode buffered bytes into the bounded inbound queue and apply
         read backpressure."""
         if conn.decode_error is None:
+            # Arrival stamp for server-queue attribution: every message
+            # surfaced by this pump became dispatchable at this instant.
+            # Only paid when the session is traced; 0.0 otherwise so the
+            # tuple shape stays uniform.
+            session = conn.session
+            arrived = (
+                time.perf_counter()
+                if session is not None and session.tracer.enabled
+                else 0.0
+            )
             while len(conn.inbound) < self.inbound_queue:
                 try:
                     item = conn.decoder.next_message()
@@ -604,7 +615,7 @@ class AsyncRCudaDaemon(DaemonCore):
                     break
                 if item is None:
                     break
-                conn.inbound.append(item)
+                conn.inbound.append((item[0], item[1], arrived))
         if conn.inbound or conn.eof:
             self._runnable.add(conn)
         if not conn.reading_paused and (
@@ -641,7 +652,7 @@ class AsyncRCudaDaemon(DaemonCore):
             (transport.flush_gate and transport.unsent_bytes > 0)
             or transport.unsent_bytes >= outbound_limit
         ):
-            request, consumed = inbound.popleft()
+            request, consumed, arrived = inbound.popleft()
             # Inlined _account_recv + note_message_received: the loop
             # transport never overrides them and the call overhead is
             # measurable at full message rates.
@@ -652,7 +663,8 @@ class AsyncRCudaDaemon(DaemonCore):
             conn.seq += 1
             try:
                 session.dispatch(
-                    request, seq=seq, received_before=received_before
+                    request, seq=seq, received_before=received_before,
+                    arrived_at=arrived or None,
                 )
             except (TransportClosedError, TransportError) as exc:
                 self._finish(conn, CLOSE_MID_DISPATCH, str(exc))

@@ -299,21 +299,35 @@ class ServerSession:
                 acct.frees += 1
                 acct.device_bytes_held = self.device_bytes_held
 
-    def dispatch(self, request: Request, seq: int, received_before: int) -> None:
+    def dispatch(
+        self,
+        request: Request,
+        seq: int,
+        received_before: int,
+        arrived_at: float | None = None,
+    ) -> None:
         """Handle one decoded request and send its response, observed.
 
         ``received_before`` is the transport's ``bytes_received`` before
         this request's bytes were accounted, so per-request inbound byte
         attribution works for both the blocking reader and the async
-        decoder."""
+        decoder.  ``arrived_at`` is the perf-counter instant the decoded
+        request entered the server's inbound queue (the async daemon
+        stamps it when tracing); the gap to dispatch becomes the span's
+        ``queued_for`` attr -- the server-queue phase of the causal
+        breakdown."""
         self.dispatching = 1
         try:
-            self._dispatch_inner(request, seq, received_before)
+            self._dispatch_inner(request, seq, received_before, arrived_at)
         finally:
             self.dispatching = 0
 
     def _dispatch_inner(
-        self, request: Request, seq: int, received_before: int
+        self,
+        request: Request,
+        seq: int,
+        received_before: int,
+        arrived_at: float | None = None,
     ) -> None:
         # This method is the per-request hot path: everything observed
         # is aliased to locals up front, and byte totals that the
@@ -352,6 +366,10 @@ class ServerSession:
                     function_id=fid,
                     phase=phase,
                 )
+                if arrived_at is not None and t0 > arrived_at:
+                    span.attrs["queued_for"] = t0 - arrived_at
+                if self.tenant is not None:
+                    span.attrs["tenant"] = self.tenant.tenant_id
         try:
             if isinstance(request, InitRequest):
                 response = self.handler.handle_init(request)
@@ -379,15 +397,29 @@ class ServerSession:
             if span is not None:
                 tracer.fail(span, bytes_received=bytes_in)
             if flight is not None:
-                flight.record(
-                    EVENT_ERROR, type(exc).__name__,
-                    session=self.session_id, seq=seq, request=name,
-                )
+                if self.tenant is not None:
+                    flight.record(
+                        EVENT_ERROR, type(exc).__name__,
+                        session=self.session_id, seq=seq, request=name,
+                        tenant=self.tenant.tenant_id,
+                        queued_launch_depth=len(self.tenant.queue),
+                    )
+                else:
+                    flight.record(
+                        EVENT_ERROR, type(exc).__name__,
+                        session=self.session_id, seq=seq, request=name,
+                    )
             raise
         if observing:
             elapsed = time.perf_counter() - t0
             error = response.error if response is not None else 0
             if span is not None:
+                if self.tenant is not None:
+                    # Scheduler drain paid by this request (zero when no
+                    # queued launches stood in the way).
+                    drain = self.handler.last_drain_seconds
+                    if drain:
+                        span.attrs["sched_drain"] = drain
                 tracer.finish(
                     span,
                     bytes_received=bytes_in,
@@ -421,10 +453,18 @@ class ServerSession:
                 if error:
                     acct.record_error(error)
             if flight is not None:
-                flight.record_span(
-                    name, self.session_id, seq, elapsed, phase, error,
-                    t0 + elapsed + flight.wall_offset,
-                )
+                if self.tenant is not None:
+                    flight.record_span(
+                        name, self.session_id, seq, elapsed, phase, error,
+                        t0 + elapsed + flight.wall_offset,
+                        tenant=self.tenant.tenant_id,
+                        depth=len(self.tenant.queue),
+                    )
+                else:
+                    flight.record_span(
+                        name, self.session_id, seq, elapsed, phase, error,
+                        t0 + elapsed + flight.wall_offset,
+                    )
                 if stream_edge:
                     if rtype is MemcpyStreamBeginRequest:
                         flight.record(

@@ -366,6 +366,8 @@ class LaunchScheduler:
         )
         now_wall = time.perf_counter()
         horizon = max(device.clock.now(), self.device_busy_until)
+        busy_from = horizon
+        max_wait = 0.0
         for i, q in enumerate(batch):
             duration = q.duration if i == 0 else max(q.duration - overhead, 0.0)
             start = max(horizon, q.stream.busy_until)
@@ -373,7 +375,10 @@ class LaunchScheduler:
             horizon = done
             tenant.last_completion = done
             device.kernel_launches += 1
-            tenant.queue_wait.observe(now_wall - q.enqueued_at)
+            wait = now_wall - q.enqueued_at
+            if wait > max_wait:
+                max_wait = wait
+            tenant.queue_wait.observe(wait)
             if device.functional:
                 try:
                     q.kernel.execute(device.memory, q.grid, q.block, q.args)
@@ -392,6 +397,22 @@ class LaunchScheduler:
         tenant.batches += 1
         self.batches += 1
         self.launches_executed += executed
+        flight = tenant.pool.flight
+        if flight is not None:
+            # One event per batch (not per launch): the causal assembler
+            # joins these to the server span that paid the drain, so a
+            # dominant scheduler wait can be blamed on a tenant + batch.
+            flight.record(
+                "sched", "batch",
+                session=tenant.session,
+                tenant=tenant.tenant_id,
+                launches=executed,
+                coalesced=executed - 1,
+                contenders=contenders,
+                max_wait_seconds=max_wait,
+                busy_from=busy_from,
+                busy_until=horizon,
+            )
 
 
 class DevicePool:
@@ -438,6 +459,10 @@ class DevicePool:
         self._tenants: dict[str, Tenant] = {}
         self._attached = [0] * len(self.devices)
         self.total_tenants = 0
+        #: Optional :class:`~repro.obs.flight.FlightRecorder` the owning
+        #: daemon shares with the pool so scheduler batch events land in
+        #: the same postmortem/causal timeline as the spans.
+        self.flight = None
 
     def attach(self, session: str = "") -> Tenant:
         """Place a new tenant on the least-loaded device."""
@@ -534,6 +559,10 @@ class TenantSessionHandler(SessionHandler):
         self.tenant = tenant
         self._scheduler = tenant.scheduler
         self._pool_lock = tenant.pool.lock
+        #: Wall seconds the most recent request spent draining queued
+        #: launches before it could run (the tenant-scheduler-wait the
+        #: dispatch layer attaches to the server span).
+        self.last_drain_seconds = 0.0
 
     @property
     def pending_device_work(self) -> bool:
@@ -546,7 +575,11 @@ class TenantSessionHandler(SessionHandler):
     def handle(self, request):
         with self._pool_lock:
             if type(request) in _DRAIN_BEFORE and self.tenant.queue:
+                t0 = time.perf_counter()
                 self._scheduler.drain_tenant(self.tenant)
+                self.last_drain_seconds = time.perf_counter() - t0
+            elif self.last_drain_seconds:
+                self.last_drain_seconds = 0.0
             return super().handle(request)
 
     def _handle_malloc(self, request: MallocRequest) -> MallocResponse:

@@ -1,0 +1,393 @@
+"""Causal trace assembly: cross-process joins, phase attribution,
+critical-path extraction, flow events, and scheduler blame.
+
+The headline acceptance check lives in ``TestEightTenantAcceptance``: a
+pipelined + streamed run over an 8-tenant shared device must attribute
+at least 99% of every request's wall time to named phases (the
+partition is exact by construction, so the check is that assembly never
+loses a request or mislays a segment).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    CAUSAL_PHASES,
+    TraceAssembler,
+    Tracer,
+    read_jsonl,
+    stream_stage_totals,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.causal import (
+    PHASE_CLIENT_SERIALIZE,
+    PHASE_DEVICE,
+    PHASE_NETWORK,
+    PHASE_SCHED_WAIT,
+    PHASE_SERVER_QUEUE,
+)
+from repro.obs.spans import KIND_CLIENT, KIND_SERVER, Span
+from repro.rcuda import DevicePool, RCudaClient, RCudaDaemon
+from repro.simcuda import MemcpyKind, SimulatedGpu, fabricate_module
+from repro.simcuda.errors import CudaError
+from repro.simcuda.types import Dim3
+from repro.testbed import FunctionalRunner
+from repro.workloads import MatrixProductCase
+
+MODULE = fabricate_module("causaltest", ["saxpy"], 2048)
+MIB = 1 << 20
+
+
+def _functional_spans(pipeline: bool = False, size: int = 96):
+    tracer = Tracer()
+    with FunctionalRunner(tracer=tracer) as runner:
+        runner.run(MatrixProductCase(), size, pipeline=pipeline)
+    return list(tracer.spans)
+
+
+class TestAssembly:
+    def test_synchronous_run_fully_matches(self):
+        spans = _functional_spans()
+        trace = TraceAssembler().assemble(spans)
+        clients = [s for s in spans if s.kind == KIND_CLIENT]
+        assert len(trace.nodes) == len(clients)
+        assert not trace.orphan_client
+        assert not trace.orphan_server
+        assert len(trace.pairing) == 1
+        for node in trace.nodes:
+            assert node.server, f"{node.session}:{node.seq} has no server span"
+            assert node.attributed_fraction == pytest.approx(1.0, abs=1e-9)
+            assert set(node.segments) <= set(CAUSAL_PHASES)
+
+    def test_segments_sum_to_wall_time(self):
+        for pipeline in (False, True):
+            trace = TraceAssembler().assemble(_functional_spans(pipeline))
+            for node in trace.nodes:
+                assert sum(node.segments.values()) == pytest.approx(
+                    node.wall_seconds, rel=1e-9, abs=1e-12
+                )
+
+    def test_deferred_node_extends_to_the_ack(self):
+        trace = TraceAssembler().assemble(_functional_spans(pipeline=True))
+        deferred = [n for n in trace.nodes if n.deferred]
+        assert deferred
+        for node in deferred:
+            acked = node.client.attrs.get("acked")
+            if acked is not None:
+                assert node.end == pytest.approx(max(node.client.end, acked))
+
+    def test_streamed_copy_absorbs_all_server_frames(self):
+        tracer = Tracer()
+        daemon = RCudaDaemon(SimulatedGpu(), tracer=tracer)
+        size = 2 * MIB
+        payload = np.random.default_rng(7).integers(0, 256, size, np.uint8)
+        client = RCudaClient.connect_inproc(
+            daemon, MODULE, tracer=tracer, chunk_bytes=MIB // 2
+        )
+        rt = client.runtime
+        try:
+            err, ptr = rt.cudaMalloc(size)
+            assert err == CudaError.cudaSuccess
+            err, _ = rt.cudaMemcpy(
+                ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=payload,
+            )
+            assert err == CudaError.cudaSuccess
+        finally:
+            client.close()
+            daemon.stop()
+        trace = TraceAssembler().assemble(tracer.spans)
+        assert not trace.orphan_server
+        streamed = [n for n in trace.nodes if n.streamed]
+        assert len(streamed) == 1
+        node = streamed[0]
+        # Begin + 4 chunk frames + End on the server side of one client span.
+        assert [s.name for s in node.server] == (
+            ["cudaMemcpy"] + ["cudaMemcpyChunk"] * 4 + ["cudaMemcpyStreamEnd"]
+        )
+        assert node.attributed_fraction == pytest.approx(1.0, abs=1e-9)
+        assert node.segments.get(PHASE_DEVICE, 0.0) > 0.0
+
+    def test_critical_path_covers_the_busy_union(self):
+        trace = TraceAssembler().assemble(_functional_spans(pipeline=True))
+        cp = trace.critical_path()
+        assert cp.total_seconds > 0.0
+        assert cp.entries
+        # Responsible seconds decompose fully into phases.
+        assert sum(cp.phase_seconds.values()) == pytest.approx(
+            cp.total_seconds, rel=1e-9
+        )
+        # Under pipelining nodes overlap: the path is shorter than the
+        # naive sum of walls.
+        assert cp.total_seconds <= sum(
+            n.wall_seconds for n in trace.nodes
+        ) + 1e-12
+
+
+class TestClockSkew:
+    def _pair(self, offset: float):
+        """One synchronous exchange with the server clock shifted."""
+        client = Span(
+            name="cudaMalloc", kind=KIND_CLIENT, session="client-1", seq=1,
+            start=10.0, end=10.010,
+            attrs={"phase": "malloc", "sent": 10.001, "bytes_sent": 24},
+        )
+        server = Span(
+            name="cudaMalloc", kind=KIND_SERVER, session="server-9", seq=1,
+            start=10.004 + offset, end=10.006 + offset,
+            attrs={"phase": "malloc"},
+        )
+        return [client, server]
+
+    def test_shared_clock_prefers_zero_offset(self):
+        trace = TraceAssembler().assemble(self._pair(0.0))
+        assert trace.offsets["client-1"] == 0.0
+
+    def test_skewed_server_clock_is_aligned(self):
+        skew = 5.0
+        trace = TraceAssembler().assemble(self._pair(skew))
+        offset = trace.offsets["client-1"]
+        # Causality allows [-5.004, -4.996]; the estimate must land there.
+        assert -skew - 0.004 <= offset <= -skew + 0.004
+        node = trace.nodes[0]
+        assert node.attributed_fraction == pytest.approx(1.0, abs=1e-9)
+        # The aligned server span sits inside the client span, so the
+        # device segment survives the skew.
+        assert node.segments[PHASE_DEVICE] == pytest.approx(0.002, abs=1e-3)
+        assert node.segments[PHASE_CLIENT_SERIALIZE] == pytest.approx(
+            0.001, abs=1e-9
+        )
+
+    def test_queue_and_drain_attrs_become_segments(self):
+        client = Span(
+            name="cudaLaunch", kind=KIND_CLIENT, session="client-1", seq=2,
+            start=0.0, end=0.100,
+            attrs={"phase": "launch", "sent": 0.010},
+        )
+        server = Span(
+            name="cudaLaunch", kind=KIND_SERVER, session="server-1", seq=2,
+            start=0.040, end=0.080,
+            attrs={
+                "phase": "launch", "queued_for": 0.015, "sched_drain": 0.030,
+                "tenant": "tenant-3",
+            },
+        )
+        trace = TraceAssembler().assemble([client, server])
+        node = trace.nodes[0]
+        assert node.tenant == "tenant-3"
+        seg = node.segments
+        assert seg[PHASE_CLIENT_SERIALIZE] == pytest.approx(0.010)
+        assert seg[PHASE_SERVER_QUEUE] == pytest.approx(0.015)
+        assert seg[PHASE_SCHED_WAIT] == pytest.approx(0.030)
+        assert seg[PHASE_DEVICE] == pytest.approx(0.010)
+        # 0.025..0.040 is unexplained -> network; 0.080..0.100 -> response.
+        assert seg[PHASE_NETWORK] == pytest.approx(0.015)
+        assert sum(seg.values()) == pytest.approx(0.100)
+
+
+class TestSchedulerBlame:
+    def test_blames_the_largest_foreign_batch(self):
+        client = Span(
+            name="cudaMemcpy", kind=KIND_CLIENT, session="client-1", seq=3,
+            start=0.0, end=0.100, attrs={"phase": "h2d", "sent": 0.002},
+        )
+        server = Span(
+            name="cudaMemcpy", kind=KIND_SERVER, session="server-1", seq=3,
+            start=0.010, end=0.090,
+            attrs={"phase": "h2d", "sched_drain": 0.070, "tenant": "tenant-1"},
+        )
+        events = [
+            {"kind": "sched", "name": "batch", "t": 100.050,
+             "tenant": "tenant-2", "launches": 9, "coalesced": 8},
+            {"kind": "sched", "name": "batch", "t": 100.052,
+             "tenant": "tenant-1", "launches": 30, "coalesced": 29},
+            {"kind": "sched", "name": "batch", "t": 100.055,
+             "tenant": "tenant-3", "launches": 4, "coalesced": 3},
+            {"kind": "span", "name": "cudaMemcpy", "session": "server-1",
+             "seq": 3, "t": 100.090},
+        ]
+        trace = TraceAssembler(flight_events=events).assemble(
+            [client, server]
+        )
+        node = trace.nodes[0]
+        assert node.dominant_phase() == PHASE_SCHED_WAIT
+        # The wall offset is inferred from the shared span event
+        # (flight t 100.090 vs span end 0.090 -> offset 100).
+        assert trace.wall_offset == pytest.approx(100.0)
+        blamed = trace.blame_scheduler(node)
+        assert blamed is not None
+        # tenant-1's own batch is bigger but self-blame explains nothing.
+        assert blamed["tenant"] == "tenant-2"
+        assert blamed["launches"] == 9
+
+
+class TestChromeFlows:
+    def test_flow_events_round_trip_and_bind_to_slices(self, tmp_path):
+        spans = _functional_spans(pipeline=True)
+        trace = TraceAssembler().assemble(spans)
+        flows = trace.flows()
+        assert flows
+        path = tmp_path / "trace.json"
+        write_chrome_trace(spans, path, flows=flows)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == len(flows)
+        assert all(e.get("bp") == "e" for e in finishes)
+        # Every start pairs with exactly one finish on the same id+name.
+        by_id = {(e["id"], e["name"]) for e in starts}
+        assert {(e["id"], e["name"]) for e in finishes} == by_id
+        # Each flow endpoint lands inside an X slice on its own track
+        # (that is what makes Perfetto draw the arrow).
+        slices = [e for e in events if e["ph"] == "X"]
+        for e in starts + finishes:
+            host = [
+                s for s in slices
+                if s["pid"] == e["pid"] and s["tid"] == e["tid"]
+                and s["ts"] - 1e-6 <= e["ts"] <= s["ts"] + s["dur"] + 1e-6
+            ]
+            assert host, f"flow endpoint {e['name']} binds to no slice"
+
+    def test_jsonl_round_trip_preserves_assembly(self, tmp_path):
+        spans = _functional_spans(pipeline=True)
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(spans, path)
+        reread = read_jsonl(path)
+        a = TraceAssembler().assemble(spans)
+        b = TraceAssembler().assemble(reread)
+        assert [(n.session, n.seq) for n in a.nodes] == [
+            (n.session, n.seq) for n in b.nodes
+        ]
+        for x, y in zip(a.nodes, b.nodes):
+            assert x.segments == pytest.approx(y.segments)
+
+
+class TestStreamStageTotals:
+    def test_16mib_bound_matches_the_committed_acceptance_gate(self):
+        """The bound-stage helper reproduces ``BENCH_middleware.json``'s
+        ``acceptance_16mib`` numbers exactly: same chunk geometry, same
+        pipeline bound, and it names the stage the pipeline cannot hide."""
+        from pathlib import Path
+
+        bench_path = Path(__file__).resolve().parents[2] / (
+            "BENCH_middleware.json"
+        )
+        bench = json.loads(bench_path.read_text())
+        rows = {
+            net: row
+            for net, sizes in bench["large_copies"]["networks"].items()
+            for row in sizes if row["size_mib"] == 16
+        }
+        for net, row in rows.items():
+            totals = stream_stage_totals(16 * MIB, row["chunk_bytes"], net)
+            assert totals["chunks"] == row["chunks"]
+            assert totals["bound_seconds"] == pytest.approx(
+                row["pipeline_bound_seconds"], rel=1e-9
+            )
+            # On both committed networks the link, not PCIe, is the
+            # stage the pipeline cannot hide.
+            assert totals["bound_stage"] == PHASE_NETWORK
+            assert totals["network_seconds"] > totals["device_seconds"]
+            # And the committed floor is exactly bound/monolithic.
+            floor = bench["large_copies"]["acceptance_16mib"][net][
+                "pipeline_floor_ratio"
+            ]
+            mono = row["monolithic_seconds"]
+            assert totals["bound_seconds"] / mono == pytest.approx(
+                floor, rel=1e-6
+            )
+
+
+class TestEightTenantAcceptance:
+    def test_pipelined_streamed_shared_device_attribution(self):
+        """8 pipelined tenants stream large copies and launch kernels on
+        one shared device; every assembled request must attribute >= 99%
+        of its wall time to named phases."""
+        tenants = 8
+        size = MIB + 64 * 1024  # above the streaming threshold
+        pool = DevicePool(devices=1)
+        tracer = Tracer()
+        daemon = RCudaDaemon(pool.devices[0], pool=pool, tracer=tracer)
+        errors: list[BaseException] = []
+
+        def worker(i: int) -> None:
+            try:
+                payload = np.random.default_rng(i).integers(
+                    0, 256, size, np.uint8
+                )
+                client = RCudaClient.connect_inproc(
+                    daemon, MODULE, tracer=tracer,
+                    pipeline=True, chunk_bytes=256 * 1024,
+                )
+                rt = client.runtime
+                try:
+                    err, ptr = rt.cudaMalloc(size)
+                    assert err == CudaError.cudaSuccess
+                    err, _ = rt.cudaMemcpy(
+                        ptr, 0, size, MemcpyKind.cudaMemcpyHostToDevice,
+                        host_data=payload,
+                    )
+                    assert err == CudaError.cudaSuccess
+                    for _ in range(3):
+                        assert int(rt.launch_kernel(
+                            "saxpy", Dim3(1, 1, 1), Dim3(64, 1, 1),
+                            args=(ptr, ptr, 64, 1.0),
+                        )) == 0
+                    assert rt.cudaThreadSynchronize() == (
+                        CudaError.cudaSuccess
+                    )
+                    assert rt.cudaFree(ptr) == CudaError.cudaSuccess
+                finally:
+                    client.close()
+            except BaseException as exc:  # surfaced on the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(tenants)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        finally:
+            daemon.stop()
+        assert not errors, errors
+
+        spans = list(tracer.spans)
+        trace = TraceAssembler(
+            flight_events=daemon.flight.snapshot()
+        ).assemble(spans)
+        client_sessions = {
+            s.session for s in spans if s.kind == KIND_CLIENT
+        }
+        assert len(client_sessions) == tenants
+        # Every client session paired with a distinct server session.
+        assert len(trace.pairing) == tenants
+        assert len(set(trace.pairing.values())) == tenants
+        assert not trace.orphan_client
+        assert not trace.orphan_server
+        assert len(trace.nodes) == len(
+            [s for s in spans if s.kind == KIND_CLIENT]
+        )
+        for node in trace.nodes:
+            assert node.attributed_fraction >= 0.99, (
+                f"{node.session}:{node.seq} {node.name} attributes only "
+                f"{node.attributed_fraction:.2%}"
+            )
+            assert sum(node.segments.values()) == pytest.approx(
+                node.wall_seconds, rel=0.01, abs=1e-12
+            )
+        # The shared-device run attributes tenancy: nodes carry tenant
+        # ids, and the device phase shows up where copies executed.
+        assert all(n.tenant for n in trace.nodes)
+        totals = trace.phase_totals()
+        assert totals[PHASE_DEVICE] > 0.0

@@ -92,6 +92,23 @@ class TestRecordSpanFastPath:
         [event] = fr.snapshot()
         assert event["t"] == pytest.approx(time.time(), abs=1.0)
 
+    def test_tenant_and_depth_widen_the_entry(self):
+        """Shared-device daemons attribute span events per tenant and
+        record the queued-launch depth at completion time."""
+        fr = FlightRecorder()
+        fr.record_span("cudaLaunch", "s-1", 3, 0.002, "launch",
+                       tenant="tenant-2", depth=5)
+        [event] = fr.snapshot()
+        assert event["tenant"] == "tenant-2"
+        assert event["queued_launch_depth"] == 5
+        assert event["duration_seconds"] == pytest.approx(0.002)
+        # The unshared fast path stays narrow: no tenant keys at all.
+        fr.clear()
+        fr.record_span("cudaLaunch", "s-1", 4, 0.002, "launch")
+        [event] = fr.snapshot()
+        assert "tenant" not in event
+        assert "queued_launch_depth" not in event
+
     def test_flat_and_dict_events_interleave(self):
         fr = FlightRecorder()
         fr.record(EVENT_SESSION, "attach", session="s-1")

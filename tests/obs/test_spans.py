@@ -85,6 +85,31 @@ class TestJsonl:
         assert event["phase"] == "free"
         assert Span.from_event(event).to_event() == event
 
+    def test_core_key_attr_shadowing_round_trips(self, tmp_path):
+        """An attr named like a core event key (``start``, ``seq``,
+        ``name``...) used to overwrite the span's own field in the JSONL
+        event; now it is namespaced and survives the round trip intact."""
+        span = Span("cudaMemcpy", "client", "client-1", 4, 1.0, 3.5,
+                    {"start": 99.0, "seq": "bogus", "name": "evil",
+                     "phase": "h2d", "bytes_sent": 64})
+        event = span.to_event()
+        # Core fields keep the span's truth...
+        assert event["start"] == 1.0
+        assert event["seq"] == 4
+        assert event["name"] == "cudaMemcpy"
+        # ...and the colliding attrs survive under a namespace.
+        assert event["attrs.start"] == 99.0
+        assert event["attrs.seq"] == "bogus"
+        assert event["attrs.name"] == "evil"
+        assert event["phase"] == "h2d"
+        back = Span.from_event(event)
+        assert back.start == 1.0 and back.seq == 4
+        assert back.attrs == span.attrs
+        # And the full file round trip preserves it too.
+        path = write_jsonl([span], tmp_path / "shadow.jsonl")
+        [reread] = read_jsonl(path)
+        assert reread.to_event() == event
+
     def test_streaming_sink(self, tmp_path):
         path = tmp_path / "stream.jsonl"
         with JsonlSink(path) as sink:

@@ -1,0 +1,63 @@
+"""`repro top` dashboard rendering from endpoint snapshots."""
+
+from repro.obs.top import metric_value, parse_prometheus, render_dashboard
+
+
+def _snapshot(health=None, sessions=None, metrics_text=""):
+    return {
+        "metrics": parse_prometheus(metrics_text),
+        "health": health or {},
+        "sessions": sessions or {},
+    }
+
+
+class TestParsePrometheus:
+    def test_samples_with_and_without_labels(self):
+        metrics = parse_prometheus(
+            "# HELP rcuda_requests_total Requests.\n"
+            "rcuda_requests_total 42\n"
+            'rcuda_rpc_bytes_total{function="cudaMemcpy",direction="in"} 9\n'
+        )
+        assert metric_value(metrics, "rcuda_requests_total") == 42
+        assert metric_value(
+            metrics, "rcuda_rpc_bytes_total", function="cudaMemcpy"
+        ) == 9
+
+    def test_malformed_line_is_skipped(self):
+        metrics = parse_prometheus("rcuda_requests_total not-a-number\n")
+        assert metric_value(metrics, "rcuda_requests_total", default=-1) == -1
+
+
+class TestRenderDashboard:
+    def test_basic_frame_has_status_and_sessions(self):
+        frame = render_dashboard(_snapshot(
+            health={"status": "ok", "uptime_seconds": 3.0},
+            sessions={"sessions": [
+                {"session": "s-1", "requests": 5, "finished": False},
+            ]},
+        ))
+        assert "status=ok" in frame
+        assert "s-1" in frame
+        assert "event loop:" not in frame  # thread daemon: no loop block
+
+    def test_event_loop_lag_and_queue_depth_from_healthz(self):
+        """An async daemon's /healthz saturation signals become a
+        dashboard line: loop lag (EWMA + max), decoded-but-undispatched
+        request depth, connection count, backpressure stalls."""
+        frame = render_dashboard(_snapshot(health={
+            "status": "ok",
+            "uptime_seconds": 1.0,
+            "loop_lag_seconds": 0.0042,
+            "loop_lag_max_seconds": 0.0100,
+            "queued_requests": 17,
+            "loop_connections": 3,
+            "backpressure_stalls": 2,
+        }))
+        assert "event loop: lag 4.20 ms (max 10.00 ms)" in frame
+        assert "queued requests: 17" in frame
+        assert "connections: 3" in frame
+        assert "backpressure stalls: 2" in frame
+
+    def test_no_ledgers_hint(self):
+        frame = render_dashboard(_snapshot())
+        assert "accounting disabled?" in frame

@@ -1,0 +1,113 @@
+"""Property: trace assembly is invariant under span arrival order.
+
+Spans reach the assembler from whatever mix of files and sinks a run
+left behind -- a client JSONL, a server JSONL, a merged stream, a log
+rotated mid-run.  Assembly must not care: any permutation of the same
+spans, and any interleaving of the same spans across files, produces the
+identical set of request nodes with identical segments.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import TraceAssembler, read_jsonl, write_jsonl
+from repro.obs.spans import KIND_CLIENT, KIND_SERVER, Span
+
+#: Call-name vocabulary: realistic names, including the streamed family.
+_NAMES = ("cudaMalloc", "cudaMemcpy", "cudaLaunch", "cudaFree")
+
+
+@st.composite
+def trace_spans(draw) -> list[Span]:
+    """A synthetic two-sided trace: N sessions, each a run of calls with
+    1:1 client/server spans plus optionally one streamed copy whose
+    server side fans out into Begin + chunks + End."""
+    sessions = draw(st.integers(1, 3))
+    spans: list[Span] = []
+    for i in range(1, sessions + 1):
+        t = draw(st.floats(0.0, 10.0, allow_nan=False))
+        calls = draw(st.lists(st.sampled_from(_NAMES), min_size=1,
+                              max_size=5))
+        stream_at = draw(
+            st.one_of(st.none(), st.integers(0, len(calls) - 1))
+        )
+        server_seq = 0
+        for seq, name in enumerate(calls):
+            gap = draw(st.floats(0.0001, 0.01, allow_nan=False))
+            dur = draw(st.floats(0.001, 0.05, allow_nan=False))
+            streamed = stream_at == seq and name == "cudaMemcpy"
+            attrs = {"phase": "h2d", "sent": t + 0.2 * dur}
+            if streamed:
+                chunks = draw(st.integers(1, 4))
+                attrs.update(streamed=True, chunks=chunks)
+            spans.append(Span(
+                name=name, kind=KIND_CLIENT, session=f"client-{i}",
+                seq=seq, start=t, end=t + dur, attrs=dict(attrs),
+            ))
+            if streamed:
+                frame_names = (
+                    ["cudaMemcpy"] + ["cudaMemcpyChunk"] * chunks
+                    + ["cudaMemcpyStreamEnd"]
+                )
+            else:
+                frame_names = [name]
+            s_t = t + 0.3 * dur
+            s_dur = (0.5 * dur) / len(frame_names)
+            for frame in frame_names:
+                spans.append(Span(
+                    name=frame, kind=KIND_SERVER, session=f"server-{i}",
+                    seq=server_seq, start=s_t, end=s_t + s_dur,
+                    attrs={"phase": "h2d"},
+                ))
+                server_seq += 1
+                s_t += s_dur
+            t += dur + gap
+    return spans
+
+
+def _fingerprint(trace) -> list[tuple]:
+    return [
+        (
+            n.session, n.seq, n.name,
+            tuple(s.seq for s in n.server),
+            tuple(sorted(
+                (phase, round(seconds, 12))
+                for phase, seconds in n.segments.items()
+            )),
+        )
+        for n in trace.nodes
+    ]
+
+
+class TestArrivalOrderInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(spans=trace_spans(), data=st.data())
+    def test_any_permutation_assembles_identically(self, spans, data):
+        baseline = TraceAssembler().assemble(list(spans))
+        shuffled = data.draw(st.permutations(spans))
+        permuted = TraceAssembler().assemble(list(shuffled))
+        assert _fingerprint(permuted) == _fingerprint(baseline)
+        assert permuted.pairing == baseline.pairing
+        assert permuted.offsets == baseline.offsets
+
+    @settings(max_examples=20, deadline=None)
+    @given(spans=trace_spans(), data=st.data())
+    def test_file_interleaving_is_immaterial(self, spans, data, tmp_path_factory):
+        """Splitting the same spans across two JSONL files in any way,
+        and reading the files back in either order, changes nothing."""
+        tmp_path = tmp_path_factory.mktemp("causal")
+        mask = data.draw(
+            st.lists(st.booleans(), min_size=len(spans),
+                     max_size=len(spans))
+        )
+        first = [s for s, into in zip(spans, mask) if into]
+        second = [s for s, into in zip(spans, mask) if not into]
+        a = write_jsonl(first, tmp_path / "a.jsonl")
+        b = write_jsonl(second, tmp_path / "b.jsonl")
+        baseline = TraceAssembler().assemble(list(spans))
+        forward = TraceAssembler().assemble(read_jsonl(a) + read_jsonl(b))
+        backward = TraceAssembler().assemble(read_jsonl(b) + read_jsonl(a))
+        assert _fingerprint(forward) == _fingerprint(baseline)
+        assert _fingerprint(backward) == _fingerprint(baseline)
