@@ -139,21 +139,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         network=args.network_label,
     )
 
+    tuned = None
+    if args.profile is not None:
+        from repro.tune.table import resolve_profile
+
+        tuned = resolve_profile(args.profile)
+
     common = dict(
         host=args.host, port=args.port,
         tracer=tracer, metrics=registry, slo=slo,
         postmortem_dir=args.postmortem_dir,
         max_sessions=args.max_sessions,
+        profile=args.profile,
+        socket_buffer_bytes=args.socket_buffer_bytes,
     )
+
+    def make_device() -> SimulatedGpu:
+        if tuned is None:
+            return SimulatedGpu()
+        return SimulatedGpu(memory_policy=tuned.malloc_policy)
+
     pool = None
     if args.share_device is not None:
         from repro.rcuda import DevicePool
 
-        pool = DevicePool(
+        pool_kwargs = dict(
             devices=args.share_device,
             quota_bytes=args.quota_bytes,
             policy=args.sched,
+            device_factory=make_device,
         )
+        if tuned is not None:
+            pool_kwargs["quantum"] = tuned.launch_coalesce_width
+        pool = DevicePool(**pool_kwargs)
         common["pool"] = pool
     elif args.quota_bytes is not None:
         print(
@@ -162,7 +180,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    device = pool.devices[0] if pool is not None else SimulatedGpu()
+    device = pool.devices[0] if pool is not None else make_device()
     if args.use_async:
         daemon = AsyncRCudaDaemon(
             device, idle_timeout=args.idle_timeout, **common
@@ -195,6 +213,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             doc["loop_connections"] = daemon.loop_connections
             doc["backpressure_stalls"] = daemon.backpressure_stalls
             doc["queued_requests"] = daemon.queued_requests
+        tune = daemon.tune_block()
+        if tune is not None:
+            doc["tune"] = tune
         doc.update(slo.health_block())
         return doc
 
@@ -206,6 +227,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if args.max_sessions is not None:
             print(f"admission control: at most {args.max_sessions} sessions")
+        if tuned is not None:
+            print(
+                f"tuned profile {args.profile!r}: socket buffers "
+                f"{daemon.socket_buffer_bytes} B, malloc "
+                f"{tuned.malloc_policy}, coalesce width "
+                f"{tuned.launch_coalesce_width}"
+            )
         if pool is not None:
             quota = (
                 f", quota {args.quota_bytes} B/tenant"
@@ -286,6 +314,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 pipeline=args.pipeline,
                 chunk_bytes=args.chunk_bytes,
                 chunking=not args.no_chunking,
+                profile=args.profile,
             )
         finally:
             if profiler is not None:
@@ -345,6 +374,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
                     pipeline=args.pipeline,
                     chunk_bytes=args.chunk_bytes,
                     chunking=not args.no_chunking,
+                    profile=args.profile,
                 )
         monitor.observe_spans(tracer.spans)
         rows = []
@@ -375,6 +405,173 @@ def _cmd_drift(args: argparse.Namespace) -> int:
         if monitor.status == "drift":
             any_drift = True
     return 1 if (any_drift and args.fail_on_drift) else 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.reporting import render_table
+
+    if args.retune_demo:
+        return _retune_demo(args)
+
+    if args.quick:
+        from repro.tune.search import reevaluate_shipped
+
+        rows = reevaluate_shipped(
+            tolerance=args.tolerance,
+            networks=tuple(args.networks) if args.networks else None,
+        )
+        if not rows:
+            print("error: no shipped profiles matched", file=sys.stderr)
+            return 2
+        print(
+            render_table(
+                ["Network", "Recorded (ms)", "Observed (ms)",
+                 "Regression (%)", "OK"],
+                [
+                    [r["network"], r["recorded_seconds"] * 1e3,
+                     r["observed_seconds"] * 1e3,
+                     100.0 * r["regression"], str(r["ok"])]
+                    for r in rows
+                ],
+                title=(
+                    "Shipped tuned table vs live re-evaluation "
+                    f"(quick subset, tolerance {args.tolerance:.0%})"
+                ),
+                digits=3,
+            )
+        )
+        bad = [r["network"] for r in rows if not r["ok"]]
+        if bad:
+            print(
+                f"FAIL: committed config regressed past "
+                f"{args.tolerance:.0%} on: {', '.join(bad)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("all shipped configs hold their recorded scores")
+        return 0
+
+    from repro.tune.search import run_tuning
+    from repro.tune.workloads import NETWORK_NAMES
+
+    networks = tuple(args.networks) if args.networks else NETWORK_NAMES
+    doc = run_tuning(
+        networks=networks,
+        seed=args.seed,
+        out_path=args.out,
+        progress=print if args.verbose else None,
+    )
+    rows = []
+    for name in networks:
+        nd = doc["networks"][name]
+        best = nd["best"]["config"]
+        default = nd["default"]["config"]
+        deltas = ", ".join(
+            f"{k}={best[k]!r}" for k in sorted(best) if best[k] != default[k]
+        ) or "(defaults)"
+        rows.append(
+            [name, nd["default"]["aggregate_seconds"] * 1e3,
+             nd["best"]["aggregate_seconds"] * 1e3, nd["ratio"], deltas]
+        )
+    print(
+        render_table(
+            ["Network", "Default (ms)", "Tuned (ms)", "Ratio", "Knobs moved"],
+            rows,
+            title=f"Tuning campaign (seed {args.seed}, virtual-clock seconds)",
+            digits=3,
+        )
+    )
+    summary = doc["summary"]
+    print(
+        f"tuned beat the static defaults on {summary['tuned_wins']} of "
+        f"{summary['networks']} networks; full trial log in {args.out}"
+    )
+    return 0
+
+
+def _retune_demo(args: argparse.Namespace) -> int:
+    """Launch a session with the *wrong* profile on a link, watch the
+    conformance monitor flag streamed drift, and let the online tuner
+    walk the live knobs to the actual link's tuned config."""
+    import numpy as np
+
+    from repro.net.simlink import SimulatedLink
+    from repro.net.spec import get_network
+    from repro.obs import ConformanceMonitor, Tracer
+    from repro.rcuda import RCudaClient, RCudaDaemon
+    from repro.simcuda import SimulatedGpu
+    from repro.simcuda.types import MemcpyKind
+    from repro.transport.inproc import inproc_pair
+    from repro.transport.timed import TimedTransport
+    from repro.tune.autotune import AutoTuner
+    from repro.tune.table import get_entry
+    from repro.workloads.matmul import MatrixProductCase
+
+    actual, assumed = args.link, args.assume
+    link = SimulatedLink(get_network(actual))
+    # Spans carry the link's virtual clock, so streamed durations are
+    # the modeled wire times, not wall noise.
+    tracer = Tracer(clock=link.clock)
+    daemon = RCudaDaemon(SimulatedGpu(functional=False))
+    client_end, server_end = inproc_pair()
+    daemon.serve_transport(server_end)
+    client = RCudaClient.connect(
+        TimedTransport(client_end, link),
+        MatrixProductCase().module(),
+        tracer=tracer,
+        profile=assumed,
+    )
+    rt = client.runtime
+    monitor = ConformanceMonitor(get_network(assumed))
+    tuner = AutoTuner(rt, monitor)
+    print(
+        f"session on a {actual} link launched with the {assumed} profile: "
+        f"chunk={rt.chunk_bytes} window={rt.pipeline_window}"
+    )
+    nbytes = args.copy_bytes
+    host = np.zeros(nbytes, dtype=np.uint8)
+    err, ptr = rt.cudaMalloc(nbytes)
+    try:
+        for i in range(args.copies):
+            rt.cudaMemcpy(
+                ptr, 0, nbytes, MemcpyKind.cudaMemcpyHostToDevice,
+                host_data=host,
+            )
+            before = len(tuner.steps)
+            for span in tracer.spans:
+                tuner.observe(span)
+            tracer.spans.clear()
+            for step in tuner.steps[before:]:
+                print(
+                    f"  copy {i + 1}: drift -> step toward "
+                    f"{step['target_profile']} (chunk={step['chunk_bytes']} "
+                    f"window={step['pipeline_window']}, observed "
+                    f"{step['observed_bw_mibps']:.0f} MiB/s)"
+                )
+    finally:
+        rt.cudaFree(ptr)
+        client.close()
+        daemon.stop()
+    status = tuner.status()
+    target = status["target_profile"]
+    print(
+        f"after {status['streamed_observations']} streamed copies: "
+        f"drift={status['drift_status']} steps={status['steps']} "
+        f"target={target} chunk={status['chunk_bytes']} "
+        f"window={status['pipeline_window']}"
+    )
+    if target is not None:
+        cfg = get_entry(target).config
+        print(
+            f"{target} tuned config: chunk={cfg.chunk_bytes} "
+            f"window={cfg.pipeline_window}; converged="
+            f"{status['converged']}"
+        )
+    if not status["converged"]:
+        print("FAIL: live knobs did not reach the tuned neighbourhood",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -859,6 +1056,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="(--share-device only) launch scheduling policy: "
                         "deficit-round-robin with batching (fair, default) "
                         "or naive arrival-order dispatch (fifo)")
+    p.add_argument("--profile", default=None, metavar="NETWORK",
+                   help="load the shipped tuned config for this network "
+                        "(socket buffers, malloc policy, coalesce width "
+                        "apply daemon-side; surfaced on /healthz)")
+    p.add_argument("--socket-buffer-bytes", type=int, default=None,
+                   metavar="B",
+                   help="SO_RCVBUF/SO_SNDBUF floor for accepted "
+                        "connections (default 4 MiB; wins over "
+                        "--profile's tuned value)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -901,6 +1107,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: adapted to the bottleneck link)")
     p.add_argument("--no-chunking", action="store_true",
                    help="keep every copy monolithic (disable streaming)")
+    p.add_argument("--profile", default=None, metavar="NETWORK",
+                   help="load the shipped tuned transfer config for this "
+                        "network (explicit knobs above still win)")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write client+server spans to FILE as JSONL")
     p.add_argument("--chrome-out", default=None, metavar="FILE",
@@ -923,12 +1132,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pin the streaming frame size for large copies")
     p.add_argument("--no-chunking", action="store_true",
                    help="keep every copy monolithic (disable streaming)")
+    p.add_argument("--profile", default=None, metavar="NETWORK",
+                   help="load the shipped tuned transfer config for this "
+                        "network (explicit knobs above still win)")
     p.add_argument("--simulated", action="store_true",
                    help="use the virtual-clock simulated testbed instead "
                         "of a functional run (in-band by construction)")
     p.add_argument("--fail-on-drift", action="store_true",
                    help="exit 1 when any series leaves the drift band")
     p.set_defaults(func=_cmd_drift)
+
+    p = sub.add_parser(
+        "tune",
+        help="search the transfer/pipeline knob space per network "
+             "(or gate/demo the shipped tuned table)",
+    )
+    p.add_argument("--networks", nargs="*", default=None, metavar="NAME",
+                   help="networks to tune (default: all seven)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="search seed (the shipped table uses 0)")
+    p.add_argument("--out", default="BENCH_tuning.json", metavar="FILE",
+                   help="write the full trial log here")
+    p.add_argument("--verbose", action="store_true",
+                   help="narrate every search stage")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: re-evaluate the committed table on the "
+                        "quick workload subset and fail on regression")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="(--quick) allowed regression vs the recorded "
+                        "score (default: 0.05)")
+    p.add_argument("--retune-demo", action="store_true",
+                   help="online demo: wrong profile on a link, drift "
+                        "fires, live knobs step to the tuned config")
+    p.add_argument("--link", default="GigaE",
+                   help="(--retune-demo) the actual link")
+    p.add_argument("--assume", default="40GI",
+                   help="(--retune-demo) the wrong profile the session "
+                        "starts with")
+    p.add_argument("--copies", type=int, default=24,
+                   help="(--retune-demo) streamed copies to run")
+    p.add_argument("--copy-bytes", type=int, default=8 << 20,
+                   help="(--retune-demo) bytes per streamed copy")
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
         "stats", help="summarize a JSONL span log written by run/serve"

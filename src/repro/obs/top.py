@@ -202,6 +202,30 @@ def render_dashboard(
             f"backpressure stalls: {health.get('backpressure_stalls', 0)}"
         )
 
+    tune = health.get("tune")
+    if tune:
+        # A daemon serving under a tuned profile (and, when an online
+        # AutoTuner reports through it, the live retuning state).
+        cfg = tune.get("config", {}) or {}
+        knobs = "  ".join(
+            f"{key}={cfg[key]!r}" for key in sorted(cfg)
+        )
+        lines.append(
+            f"tuned profile: {tune.get('profile')} "
+            f"({tune.get('source', 'tuned-table')})  {knobs}"
+        )
+        auto = tune.get("autotune")
+        if auto:
+            bw = auto.get("observed_bw_mibps")
+            bw_text = f"{bw:.0f} MiB/s" if bw else "n/a"
+            lines.append(
+                f"autotune: drift={auto.get('drift_status')} "
+                f"steps={auto.get('steps', 0)} "
+                f"target={auto.get('target_profile')} "
+                f"observed bw {bw_text} "
+                f"converged={auto.get('converged')}"
+            )
+
     if previous is not None and interval_seconds and interval_seconds > 0:
         prev_requests = metric_value(
             previous.get("metrics", {}), "rcuda_requests_total"

@@ -34,6 +34,10 @@ class RCudaClient:
         pipeline: bool = False,
         chunk_bytes: int | None = None,
         chunking: bool = True,
+        stream_threshold: int | None = None,
+        pipeline_window: int | None = None,
+        d2d_route: str | None = None,
+        profile: str | None = None,
     ) -> "RCudaClient":
         """Initialize a session over an already-connected transport.
 
@@ -42,10 +46,15 @@ class RCudaClient:
         strict per-call synchronization remains the default.
         ``chunking``/``chunk_bytes`` control the chunked streaming path
         for large copies (on by default, frame size adapted to the link).
+        ``profile`` loads a shipped per-network tuned config from
+        :mod:`repro.tune.table`; the explicit knobs still win.
         """
         runtime = RemoteCudaRuntime(
             transport, tracer=tracer, session_id=session_id,
             pipeline=pipeline, chunk_bytes=chunk_bytes, chunking=chunking,
+            stream_threshold=stream_threshold,
+            pipeline_window=pipeline_window,
+            d2d_route=d2d_route, profile=profile,
         )
         status = runtime.initialize(module)
         if status != CudaError.cudaSuccess:
@@ -70,15 +79,36 @@ class RCudaClient:
         pipeline: bool = False,
         chunk_bytes: int | None = None,
         chunking: bool = True,
+        stream_threshold: int | None = None,
+        pipeline_window: int | None = None,
+        d2d_route: str | None = None,
+        profile: str | None = None,
+        socket_buffer_bytes: int | None = None,
     ) -> "RCudaClient":
         """Dial a daemon over TCP (Nagle disabled by default, as in the
-        paper) and initialize."""
-        transport = connect_tcp(host, port, nodelay=nodelay)
+        paper) and initialize.  The socket buffer floor follows the
+        profile when one is named (explicit ``socket_buffer_bytes``
+        wins, ``None`` falls back to the transport default)."""
+        if socket_buffer_bytes is None and profile is not None:
+            from repro.tune.table import resolve_profile
+
+            socket_buffer_bytes = resolve_profile(profile).socket_buffer_bytes
+        if socket_buffer_bytes is None:
+            from repro.transport.tcp import SOCKET_BUFFER_BYTES
+
+            socket_buffer_bytes = SOCKET_BUFFER_BYTES
+        transport = connect_tcp(
+            host, port, nodelay=nodelay,
+            socket_buffer_bytes=socket_buffer_bytes,
+        )
         try:
             return cls.connect(
                 transport, module, tracer=tracer,
                 session_id=session_id, pipeline=pipeline,
                 chunk_bytes=chunk_bytes, chunking=chunking,
+                stream_threshold=stream_threshold,
+                pipeline_window=pipeline_window,
+                d2d_route=d2d_route, profile=profile,
             )
         except Exception:
             transport.close()
@@ -94,6 +124,10 @@ class RCudaClient:
         pipeline: bool = False,
         chunk_bytes: int | None = None,
         chunking: bool = True,
+        stream_threshold: int | None = None,
+        pipeline_window: int | None = None,
+        d2d_route: str | None = None,
+        profile: str | None = None,
     ) -> "RCudaClient":
         """Connect to a daemon in this process without sockets: creates a
         transport pair and asks the daemon to serve the far end."""
@@ -104,6 +138,9 @@ class RCudaClient:
                 client_end, module, tracer=tracer,
                 session_id=session_id, pipeline=pipeline,
                 chunk_bytes=chunk_bytes, chunking=chunking,
+                stream_threshold=stream_threshold,
+                pipeline_window=pipeline_window,
+                d2d_route=d2d_route, profile=profile,
             )
         except Exception:
             client_end.close()

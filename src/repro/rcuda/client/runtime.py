@@ -90,6 +90,15 @@ STREAM_BEGIN_BYTES = 28
 CHUNK_HEADER_BYTES = 16
 STREAM_END_BYTES = 12
 
+#: Same-session device-to-device copy routing: ``direct`` executes the
+#: copy entirely server-side (one header-only request, no payload on the
+#: wire); ``staged`` round-trips through the client as D2H + H2D -- what
+#: a middleware without a server-side D2D path would be forced to do,
+#: kept as the tuner's comparison baseline.
+D2D_DIRECT = "direct"
+D2D_STAGED = "staged"
+D2D_ROUTES = (D2D_DIRECT, D2D_STAGED)
+
 
 class RemoteCudaRuntime:
     """One application's connection to a remote GPU."""
@@ -104,10 +113,47 @@ class RemoteCudaRuntime:
         chunking: bool = True,
         flight=None,
         postmortem_dir: str | None = None,
+        stream_threshold: int | None = None,
+        pipeline_window: int | None = None,
+        d2d_route: str | None = None,
+        profile: str | None = None,
     ) -> None:
         if chunk_bytes is not None and chunk_bytes < 1:
             raise ConfigurationError(
                 f"chunk_bytes must be >= 1, got {chunk_bytes}"
+            )
+        if stream_threshold is not None and stream_threshold < 1:
+            raise ConfigurationError(
+                f"stream_threshold must be >= 1, got {stream_threshold}"
+            )
+        if pipeline_window is not None and pipeline_window < 1:
+            raise ConfigurationError(
+                f"pipeline_window must be >= 1, got {pipeline_window}"
+            )
+        #: A named ``profile`` loads the shipped per-network tuned config
+        #: (see :mod:`repro.tune.table`); explicit kwargs always win, and
+        #: with no profile every default stays byte- and timing-identical
+        #: to the untuned runtime.
+        self.profile = profile
+        if profile is not None:
+            from repro.tune.table import resolve_profile
+
+            cfg = resolve_profile(profile)
+            if chunk_bytes is None:
+                chunk_bytes = cfg.chunk_bytes
+            if stream_threshold is None:
+                stream_threshold = cfg.stream_threshold
+            if pipeline_window is None and cfg.pipeline_window > 0:
+                pipeline_window = cfg.pipeline_window
+            if cfg.pipeline_window > 0:
+                pipeline = True
+            if d2d_route is None:
+                d2d_route = cfg.d2d_route
+        if d2d_route is None:
+            d2d_route = D2D_DIRECT
+        if d2d_route not in D2D_ROUTES:
+            raise ConfigurationError(
+                f"d2d_route must be one of {D2D_ROUTES}, got {d2d_route!r}"
             )
         self.transport = transport
         self._reader = MessageReader(transport)
@@ -124,6 +170,14 @@ class RemoteCudaRuntime:
         #: Deferred-acknowledgement mode: fire-and-forget eligible calls,
         #: drain their responses lazily (see module docstring).
         self.pipeline = pipeline
+        #: Bound on the deferred-ack in-flight window: posting past it
+        #: blocks on the oldest acknowledgement first (one round trip per
+        #: stall).  ``None`` keeps the historical unbounded window.
+        self.pipeline_window = pipeline_window
+        #: Times a full pipeline window forced a blocking drain.
+        self.window_stalls = 0
+        #: Same-session D2D routing (``direct`` or ``staged``).
+        self.d2d_route = d2d_route
         #: Requests sent but not yet acknowledged: (request, span, nbytes).
         self._inflight: deque[tuple[Request, object, int]] = deque()
         #: Request bytes on the wire awaiting their acknowledgement (the
@@ -161,7 +215,11 @@ class RemoteCudaRuntime:
         #: worth streaming (tests lower it to exercise tiny payloads).
         self.chunking = chunking
         self._chunk_bytes = chunk_bytes
-        self.stream_threshold = STREAM_THRESHOLD_BYTES
+        self.stream_threshold = (
+            stream_threshold
+            if stream_threshold is not None
+            else STREAM_THRESHOLD_BYTES
+        )
         self._stream_ids = itertools.count(1)
         #: Chunk frames this session has streamed (a profiler counter).
         self.chunks_streamed = 0
@@ -320,6 +378,19 @@ class RemoteCudaRuntime:
         self.tracer.finish(span, bytes_sent=nbytes, deferred=True)
         self.tracer.annotate(span, queued=span.end)
 
+    def _enforce_window(self) -> None:
+        """Bound the deferred-ack window: a post past ``pipeline_window``
+        blocks on the oldest acknowledgements until the in-flight count
+        is back inside it.  The stall is a real round trip -- the client
+        genuinely waits for the response stream to catch up."""
+        window = self.pipeline_window
+        if window is None or len(self._inflight) <= window:
+            return
+        self.round_trips += 1
+        self.window_stalls += 1
+        while len(self._inflight) > window:
+            self._drain_one()
+
     def _post(self, request: Request) -> CudaError:
         """Fire-and-forget: send ``request`` and defer its response."""
         if self._closed:
@@ -338,6 +409,7 @@ class RemoteCudaRuntime:
         self.calls_made += 1
         self.bytes_inflight += nbytes
         self._inflight.append((request, span, nbytes))
+        self._enforce_window()
         return CudaError.cudaSuccess
 
     def _post_coalesced(self, requests: list[Request]) -> CudaError:
@@ -367,6 +439,7 @@ class RemoteCudaRuntime:
                 self._finish_deferred(span, nbytes)
             self.bytes_inflight += nbytes
         self._inflight.extend(staged)
+        self._enforce_window()
         return CudaError.cudaSuccess
 
     def _call(self, request: Request) -> Response:
@@ -561,12 +634,46 @@ class RemoteCudaRuntime:
             and self._should_stream(request_type, count)
         ):
             return self._stream_d2h(fields, count)
+        if (
+            kind is MemcpyKind.cudaMemcpyDeviceToDevice
+            and request_type is MemcpyRequest
+        ):
+            if self.d2d_route == D2D_STAGED and count:
+                return self._staged_d2d(fields, count)
+            # Direct fast path: the copy executes entirely server-side --
+            # one header-only request, a bare-error ack, no payload on
+            # the wire in either direction.  Nothing comes back, so the
+            # pipelined mode may defer the ack like any other fire-and-
+            # forget mutation.
+            if self.pipeline:
+                return self._post(request_type(**fields)), None
         response = self._call(request_type(**fields))
         error = self._surface(CudaError(response.error))
         data: np.ndarray | None = None
         if isinstance(response, MemcpyResponse) and response.data is not None:
             data = self._received_array(response.data)
         return error, data
+
+    def _staged_d2d(
+        self, fields: dict, count: int
+    ) -> tuple[CudaError, None]:
+        """The ``staged`` D2D route: pull the source range to the host
+        and push it back to the destination -- 2x the payload on the
+        wire.  Kept as the comparison baseline the tuner measures the
+        direct server-side path against."""
+        error, data = self._memcpy_common(
+            MemcpyRequest,
+            dict(dst=0, src=fields["src"], size=count, kind=0),
+            count, MemcpyKind.cudaMemcpyDeviceToHost, None,
+        )
+        if error != CudaError.cudaSuccess or data is None:
+            return error, None
+        error, _ = self._memcpy_common(
+            MemcpyRequest,
+            dict(dst=fields["dst"], src=0, size=count, kind=0),
+            count, MemcpyKind.cudaMemcpyHostToDevice, data,
+        )
+        return error, None
 
     # -- chunked streaming ----------------------------------------------------
 
@@ -603,13 +710,31 @@ class RemoteCudaRuntime:
             transport = getattr(transport, "inner", None)
         return spec
 
+    @property
+    def chunk_bytes(self) -> int | None:
+        """The pinned streaming frame size (None = adapt to the link).
+        Writable at runtime -- the online auto-tuner steps it live."""
+        return self._chunk_bytes
+
+    @chunk_bytes.setter
+    def chunk_bytes(self, value: int | None) -> None:
+        if value is not None and value < 1:
+            raise ConfigurationError(f"chunk_bytes must be >= 1, got {value}")
+        self._chunk_bytes = value
+
     def _stream_chunk_bytes(self, count: int) -> int:
         """Frame size for a ``count``-byte stream: the pinned value if the
         caller set one, else adapted to the bottleneck link (enough bytes
         to keep the pipe full across ~32 small-message latencies), rounded
-        to 64 KiB and clamped to [64 KiB, 4 MiB]."""
-        if self._chunk_bytes is not None:
-            return max(1, min(self._chunk_bytes, max(count, 1)))
+        to 64 KiB and clamped to [64 KiB, 4 MiB].
+
+        A pin *larger than the copy* cannot be honoured as-is -- clamping
+        it to ``count`` used to collapse the stream to one frame and
+        silently bypass the link-derived window and its 64 KiB floor, so
+        an oversized pin now falls back to the adaptive path instead.
+        """
+        if self._chunk_bytes is not None and self._chunk_bytes <= max(count, 1):
+            return max(1, self._chunk_bytes)
         spec = self._bottleneck_spec()
         if spec is not None:
             window = (
@@ -709,6 +834,7 @@ class RemoteCudaRuntime:
             if span is not None:
                 self._finish_deferred(span, inflight_added)
             self._inflight.append((begin, span, inflight_added))
+            self._enforce_window()
             return CudaError.cudaSuccess
         try:
             self._drain(blocking=False)

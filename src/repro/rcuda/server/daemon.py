@@ -92,11 +92,29 @@ class DaemonCore:
         max_postmortems: int = 8,
         max_sessions: int | None = None,
         pool=None,
+        profile: str | None = None,
+        socket_buffer_bytes: int | None = None,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise TransportError(
                 f"max_sessions must be >= 1, got {max_sessions}"
             )
+        #: Named transfer profile from the shipped
+        #: :class:`~repro.tune.table.TunedTable` (``repro serve
+        #: --profile``).  The daemon side only consumes the transport
+        #: knobs -- accepted sockets get the profile's buffer size; the
+        #: malloc policy and coalesce width apply where the device/pool
+        #: are built (the CLI).  ``None`` keeps every default.
+        self.profile = profile
+        #: Explicit SO_RCVBUF/SO_SNDBUF floor for accepted connections
+        #: (``repro serve --socket-buffer-bytes``); wins over the
+        #: profile's tuned value.  ``None`` defers to profile/default.
+        self._socket_buffer_override = socket_buffer_bytes
+        self.transfer_config = None
+        if profile is not None:
+            from repro.tune.table import resolve_profile
+
+            self.transfer_config = resolve_profile(profile)
         #: Shared-device mode: a :class:`~repro.rcuda.server.tenancy.
         #: DevicePool` every new session attaches to as a tenant.  None
         #: (the default) keeps the historical unshared path untouched.
@@ -521,6 +539,30 @@ class DaemonCore:
         return listener
 
     @property
+    def socket_buffer_bytes(self) -> int:
+        """SO_RCVBUF/SO_SNDBUF floor for accepted connections: an
+        explicit constructor/CLI override, else the active profile's
+        tuned value, else the transport default."""
+        from repro.transport.tcp import SOCKET_BUFFER_BYTES
+
+        if self._socket_buffer_override is not None:
+            return self._socket_buffer_override
+        if self.transfer_config is not None:
+            return self.transfer_config.socket_buffer_bytes
+        return SOCKET_BUFFER_BYTES
+
+    def tune_block(self) -> dict | None:
+        """The ``tune`` section of the /healthz document (None without a
+        profile): which shipped config this daemon is serving with."""
+        if self.transfer_config is None:
+            return None
+        return {
+            "profile": self.profile,
+            "source": "tuned-table",
+            "config": self.transfer_config.to_dict(),
+        }
+
+    @property
     def stopping(self) -> bool:
         """True once :meth:`stop` has begun (health probes answer 503)."""
         return self._stopping
@@ -595,7 +637,10 @@ class RCudaDaemon(DaemonCore):
             if not self._running:
                 conn.close()
                 break
-            transport = TcpTransport(conn, nodelay=True)
+            transport = TcpTransport(
+                conn, nodelay=True,
+                socket_buffer_bytes=self.socket_buffer_bytes,
+            )
             self.serve_transport(transport)
 
     def stop(self, join_timeout: float = 5.0) -> None:

@@ -117,7 +117,12 @@ class _LoopTransport(Transport):
     blocking transport.
     """
 
-    def __init__(self, sock: socket.socket, nodelay: bool = True) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        nodelay: bool = True,
+        socket_buffer_bytes: int | None = SOCKET_BUFFER_BYTES,
+    ) -> None:
         super().__init__()
         self._sock = sock
         self._closed = False
@@ -137,12 +142,13 @@ class _LoopTransport(Transport):
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
         except OSError:  # pragma: no cover - platform dependent
             pass
-        for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
-            try:
-                if sock.getsockopt(socket.SOL_SOCKET, opt) < SOCKET_BUFFER_BYTES:
-                    sock.setsockopt(socket.SOL_SOCKET, opt, SOCKET_BUFFER_BYTES)
-            except OSError:  # pragma: no cover - platform dependent
-                pass
+        if socket_buffer_bytes is not None:
+            for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+                try:
+                    if sock.getsockopt(socket.SOL_SOCKET, opt) < socket_buffer_bytes:
+                        sock.setsockopt(socket.SOL_SOCKET, opt, socket_buffer_bytes)
+                except OSError:  # pragma: no cover - platform dependent
+                    pass
 
     def send(self, data) -> None:
         if type(data) is bytes:
@@ -503,7 +509,10 @@ class AsyncRCudaDaemon(DaemonCore):
             if self._stopping:
                 sock.close()
                 return
-            transport = _LoopTransport(sock, nodelay=True)
+            transport = _LoopTransport(
+                sock, nodelay=True,
+                socket_buffer_bytes=self.socket_buffer_bytes,
+            )
             if self.at_capacity():
                 # Refused over the wire, but on the loop -- no thread:
                 # read the init message, answer the refusal, flush, close.

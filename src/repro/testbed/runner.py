@@ -103,6 +103,7 @@ class FunctionalRunner:
         pipeline: bool = False,
         chunk_bytes: int | None = None,
         chunking: bool = True,
+        profile: str | None = None,
     ) -> FunctionalRunReport:
         """One full session: connect, initialize, run, finalize.
 
@@ -110,7 +111,8 @@ class FunctionalRunner:
         (byte-identical wire traffic, fewer blocking round trips).
         ``chunk_bytes`` pins the streaming frame size for large copies;
         ``chunking=False`` keeps every copy monolithic (the pre-streaming
-        wire shape)."""
+        wire shape).  ``profile`` loads a shipped tuned config by network
+        name (explicit knobs still win)."""
         links = {
             name: SimulatedLink(get_network(name))
             for name in self.accounted_networks
@@ -138,6 +140,7 @@ class FunctionalRunner:
             pipeline=pipeline,
             chunk_bytes=chunk_bytes,
             chunking=chunking,
+            profile=profile,
         )
         profiler = self.profiler
         if profiler is not None:

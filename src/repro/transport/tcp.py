@@ -32,8 +32,10 @@ from repro.transport.base import Transport
 #: the steady-state chunk-frame receive loop stops churning the allocator.
 SCRATCH_BYTES = 64 << 10
 
-#: Socket buffer floor: at least the largest streaming chunk frame
-#: (4 MiB), so one full frame fits in flight per direction.
+#: Default socket buffer floor: at least the largest streaming chunk
+#: frame (4 MiB), so one full frame fits in flight per direction.  The
+#: constructor takes it as a parameter so the tuner can shrink or grow
+#: the in-flight window per network; ``None`` leaves the OS defaults.
 SOCKET_BUFFER_BYTES = 4 << 20
 
 #: Most buffers one ``sendmsg`` call is handed.  Linux caps an iovec at
@@ -46,21 +48,32 @@ IOV_BATCH = 512
 class TcpTransport(Transport):
     """One established TCP connection."""
 
-    def __init__(self, sock: socket.socket, nodelay: bool = True) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        nodelay: bool = True,
+        socket_buffer_bytes: int | None = SOCKET_BUFFER_BYTES,
+    ) -> None:
         super().__init__()
+        if socket_buffer_bytes is not None and socket_buffer_bytes < 1:
+            raise TransportError(
+                f"socket_buffer_bytes must be >= 1, got {socket_buffer_bytes}"
+            )
         self._sock = sock
         self._closed = False
         self._scratch = bytearray(SCRATCH_BYTES)
+        self.socket_buffer_bytes = socket_buffer_bytes
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1 if nodelay else 0)
         except OSError as exc:  # pragma: no cover - platform dependent
             raise TransportError(f"could not set TCP_NODELAY: {exc}") from exc
-        for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
-            try:
-                if sock.getsockopt(socket.SOL_SOCKET, opt) < SOCKET_BUFFER_BYTES:
-                    sock.setsockopt(socket.SOL_SOCKET, opt, SOCKET_BUFFER_BYTES)
-            except OSError:  # pragma: no cover - platform dependent
-                pass
+        if socket_buffer_bytes is not None:
+            for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+                try:
+                    if sock.getsockopt(socket.SOL_SOCKET, opt) < socket_buffer_bytes:
+                        sock.setsockopt(socket.SOL_SOCKET, opt, socket_buffer_bytes)
+                except OSError:  # pragma: no cover - platform dependent
+                    pass
 
     def send(self, data) -> None:
         if self._closed:
@@ -161,11 +174,19 @@ class TcpTransport(Transport):
             self._sock.close()
 
 
-def connect_tcp(host: str, port: int, nodelay: bool = True, timeout: float | None = 10.0) -> TcpTransport:
+def connect_tcp(
+    host: str,
+    port: int,
+    nodelay: bool = True,
+    timeout: float | None = 10.0,
+    socket_buffer_bytes: int | None = SOCKET_BUFFER_BYTES,
+) -> TcpTransport:
     """Dial a server; returns a connected transport."""
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.settimeout(None)
     except OSError as exc:
         raise TransportError(f"could not connect to {host}:{port}: {exc}") from exc
-    return TcpTransport(sock, nodelay=nodelay)
+    return TcpTransport(
+        sock, nodelay=nodelay, socket_buffer_bytes=socket_buffer_bytes
+    )

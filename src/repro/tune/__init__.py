@@ -1,0 +1,41 @@
+"""Auto-tuning of the transfer/pipeline parameter space.
+
+Four pieces:
+
+* :mod:`repro.tune.space` -- the declarative knob space
+  (:class:`TransferConfig`, :class:`TuningSpace`);
+* :mod:`repro.tune.workloads` -- the virtual-clock workload matrix
+  candidates are scored on;
+* :mod:`repro.tune.search` -- the offline driver (successive halving +
+  coordinate descent) writing ``BENCH_tuning.json``;
+* :mod:`repro.tune.table` -- the checked-in per-network winners served
+  through the ``profile=`` knob;
+* :mod:`repro.tune.autotune` -- the online tuner stepping a live
+  session toward the table when conformance drift says the assumed
+  network is wrong.
+"""
+
+from repro.tune.autotune import AutoTuner
+from repro.tune.space import DEFAULT_SPACE, Knob, TransferConfig, TuningSpace
+from repro.tune.table import (
+    DEFAULT_PROFILE,
+    SHIPPED_TABLE,
+    TunedEntry,
+    get_entry,
+    list_profiles,
+    resolve_profile,
+)
+
+__all__ = [
+    "AutoTuner",
+    "DEFAULT_PROFILE",
+    "DEFAULT_SPACE",
+    "Knob",
+    "SHIPPED_TABLE",
+    "TransferConfig",
+    "TunedEntry",
+    "TuningSpace",
+    "get_entry",
+    "list_profiles",
+    "resolve_profile",
+]

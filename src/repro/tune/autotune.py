@@ -1,0 +1,209 @@
+"""Online retuning: step a live session toward the right tuned config.
+
+A session launched with the wrong profile (or on a link whose behaviour
+changed) shows up in the :class:`~repro.obs.conformance
+.ConformanceMonitor` as streamed-copy drift: the EWMA relative error of
+the ``h2d`` series leaves the band because the assumed network's
+transfer law no longer matches what the wire delivers.  The
+:class:`AutoTuner` sits in the span path (it is a tracer-sink callable,
+feeding the monitor it wraps), and when drift is flagged it:
+
+1. estimates the link's effective bandwidth from the streamed spans'
+   payload/duration (EWMA-smoothed);
+2. picks the *tuned neighbour*: the shipped table entry whose network
+   is nearest in log-bandwidth space;
+3. steps the runtime's live knobs -- streaming chunk size and pipeline
+   window -- one ladder rung toward that entry's config, at most one
+   step per ``cooldown`` observations.
+
+Steps are deliberately conservative (one rung at a time, only the two
+knobs that are safe to move mid-session) so a transient does not slam
+the transport across the space.  ``status()`` is what ``/healthz`` and
+``repro top`` render.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.net.spec import get_network
+from repro.tune.space import DEFAULT_SPACE, TransferConfig, TuningSpace
+
+MIB = 1 << 20
+
+#: Knobs the tuner may move on a live runtime.  Frame size and window
+#: take effect on the next copy; the rest (socket buffers, allocator,
+#: scheduler quantum) are fixed at session/daemon construction.
+LIVE_KNOBS = ("chunk_bytes", "pipeline_window")
+
+
+class AutoTuner:
+    """Drift-driven live retuning of one client runtime.
+
+    ``monitor`` is a ConformanceMonitor already configured for the
+    network the session *assumed*; ``table`` maps profile names to
+    :class:`~repro.tune.table.TunedEntry` (defaults to the shipped
+    table).  Attach the tuner as the tracer sink (it is callable) or
+    feed it spans explicitly via :meth:`observe`.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        monitor,
+        table=None,
+        space: TuningSpace = DEFAULT_SPACE,
+        cooldown: int = 4,
+        bw_alpha: float = 0.3,
+        enabled: bool = True,
+    ) -> None:
+        if table is None:
+            from repro.tune.table import SHIPPED_TABLE
+
+            table = SHIPPED_TABLE
+        self.runtime = runtime
+        self.monitor = monitor
+        self.table = dict(table)
+        self.space = space
+        self.cooldown = max(1, cooldown)
+        self.bw_alpha = bw_alpha
+        self.enabled = enabled
+        self.observations = 0
+        self.streamed_observations = 0
+        self.drift_events = 0
+        self.steps: list[dict] = []
+        self.observed_bw_mibps: float | None = None
+        self.target_profile: str | None = None
+        self._since_step = self.cooldown  # first drift may step at once
+
+    # -- span path -----------------------------------------------------------
+
+    def __call__(self, span) -> None:
+        self.observe(span)
+
+    def observe(self, span) -> None:
+        """Feed one finished client span: monitor first, then retune."""
+        self.monitor.observe(span)
+        self.observations += 1
+        self._since_step += 1
+        if not self._is_streamed_h2d(span):
+            return
+        self.streamed_observations += 1
+        self._update_bandwidth(span)
+        if not self.enabled:
+            return
+        if not self._streamed_drift():
+            return
+        self.drift_events += 1
+        if self._since_step < self.cooldown:
+            return
+        self._step()
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _is_streamed_h2d(span) -> bool:
+        return (
+            getattr(span, "kind", None) == "client"
+            and getattr(span, "phase", None) == "h2d"
+            and span.attrs.get("streamed")
+            and span.end is not None
+            and span.duration_seconds > 0.0
+        )
+
+    def _update_bandwidth(self, span) -> None:
+        payload = span.attrs.get("bytes_sent")
+        if not payload:
+            payload = span.attrs.get("chunks", 0) * span.attrs.get(
+                "chunk_bytes", 0
+            )
+        if not payload:
+            return
+        bw = (payload / MIB) / span.duration_seconds
+        if self.observed_bw_mibps is None:
+            self.observed_bw_mibps = bw
+        else:
+            self.observed_bw_mibps += self.bw_alpha * (
+                bw - self.observed_bw_mibps
+            )
+
+    def _streamed_drift(self) -> bool:
+        return any(f.phase == "h2d" for f in self.monitor.findings())
+
+    def _nearest_profile(self) -> str | None:
+        """The table entry nearest the observed bandwidth (log space)."""
+        if self.observed_bw_mibps is None or not self.table:
+            return None
+        target = math.log(max(self.observed_bw_mibps, 1e-9))
+        return min(
+            self.table,
+            key=lambda name: abs(
+                math.log(get_network(name).effective_bw_mibps) - target
+            ),
+        )
+
+    def _live_config(self) -> TransferConfig:
+        window = self.runtime.pipeline_window
+        return self.space.default_config().replace(
+            chunk_bytes=self.runtime.chunk_bytes,
+            pipeline_window=0 if window is None else window,
+        )
+
+    def _step(self) -> None:
+        profile = self._nearest_profile()
+        if profile is None:
+            return
+        self.target_profile = profile
+        target = self.table[profile].config
+        current = self._live_config()
+        stepped = self.space.step_toward(current, target, LIVE_KNOBS)
+        if stepped == current:
+            return
+        self._since_step = 0
+        if stepped.chunk_bytes != current.chunk_bytes:
+            self.runtime.chunk_bytes = stepped.chunk_bytes
+        if stepped.pipeline_window != current.pipeline_window:
+            # Never flip a sync session into pipelining mid-flight; only
+            # resize an already-pipelined window.
+            if self.runtime.pipeline and stepped.pipeline_window > 0:
+                self.runtime.pipeline_window = stepped.pipeline_window
+        self.steps.append(
+            {
+                "after_observations": self.observations,
+                "target_profile": profile,
+                "chunk_bytes": self.runtime.chunk_bytes,
+                "pipeline_window": self.runtime.pipeline_window,
+                "observed_bw_mibps": self.observed_bw_mibps,
+            }
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def converged(self) -> bool:
+        """Within one ladder rung of the nearest tuned config on every
+        live knob -- the retune demo's acceptance predicate."""
+        profile = self.target_profile or self._nearest_profile()
+        if profile is None:
+            return False
+        distance = self.space.rung_distance(
+            self._live_config(), self.table[profile].config
+        )
+        return all(distance[name] <= 1 for name in LIVE_KNOBS)
+
+    def status(self) -> dict:
+        """The tune block surfaced on /healthz and in ``repro top``."""
+        current = self._live_config()
+        return {
+            "enabled": self.enabled,
+            "observations": self.observations,
+            "streamed_observations": self.streamed_observations,
+            "drift_events": self.drift_events,
+            "drift_status": self.monitor.status,
+            "observed_bw_mibps": self.observed_bw_mibps,
+            "target_profile": self.target_profile,
+            "converged": self.converged(),
+            "steps": len(self.steps),
+            "last_step": self.steps[-1] if self.steps else None,
+            "chunk_bytes": current.chunk_bytes,
+            "pipeline_window": current.pipeline_window,
+        }

@@ -1,0 +1,280 @@
+"""The offline search driver: successive halving + coordinate descent.
+
+Per network the driver spends its budget in three stages:
+
+1. **Rung 0** -- the prior (static default) plus seeded random samples
+   of the space, each scored on the *quick* workload subset.  The top
+   third survive.
+2. **Rung 1** -- survivors re-scored on the full matrix; the cheapest
+   becomes the incumbent.
+3. **Descent** -- one-rung coordinate moves around the incumbent,
+   full-matrix scored, adopted greedily; stops after ``sweeps`` passes
+   or when no neighbour improves.
+4. **Simplify** -- any knob whose non-default value buys nothing on the
+   virtual clock (socket buffers and the malloc policy are invisible to
+   it; random rung-0 winners drag arbitrary values along) is reset to
+   its prior.  The shipped table only pins knobs that earned their
+   deviation.
+
+Every evaluation lands in the trial log, and :func:`run_tuning` writes
+the whole campaign -- space, per-network trial history, winners, and
+the tuned-vs-default ratios -- to ``BENCH_tuning.json``.  Scores are
+virtual-clock seconds (see :mod:`repro.tune.workloads`), so reruns
+reproduce the numbers and CI can gate on the committed table.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.tune.space import DEFAULT_SPACE, TransferConfig, TuningSpace
+from repro.tune.workloads import (
+    NETWORK_NAMES,
+    aggregate_seconds,
+    evaluate_config,
+    workload_names,
+)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One scored candidate."""
+
+    trial_id: int
+    network: str
+    stage: str  # "default" | "rung0" | "rung1" | "descent"
+    config: TransferConfig
+    scores: dict[str, float]
+
+    @property
+    def aggregate(self) -> float:
+        return aggregate_seconds(self.scores)
+
+    def to_dict(self) -> dict:
+        return {
+            "trial_id": self.trial_id,
+            "network": self.network,
+            "stage": self.stage,
+            "config": self.config.to_dict(),
+            "scores": self.scores,
+            "aggregate_seconds": self.aggregate,
+        }
+
+
+@dataclass
+class NetworkTuning:
+    """Everything one network's search produced."""
+
+    network: str
+    default: Trial
+    best: Trial
+    #: Quick-subset aggregate of the winner -- the CI gate value the
+    #: shipped table records.
+    quick_aggregate: float = 0.0
+    trials: list[Trial] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        """Tuned/default aggregate; < 1.0 means the tuner won."""
+        if self.default.aggregate <= 0.0:
+            return 1.0
+        return self.best.aggregate / self.default.aggregate
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "default": self.default.to_dict(),
+            "best": self.best.to_dict(),
+            "quick_aggregate_seconds": self.quick_aggregate,
+            "ratio": self.ratio,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+
+class _Evaluator:
+    """Scores configs, memoizing per (config, quick) so the descent
+    never pays twice for a revisited point."""
+
+    def __init__(self, network: str, log: list[Trial]) -> None:
+        self.network = network
+        self.log = log
+        self._cache: dict[tuple, Trial] = {}
+
+    def __call__(
+        self, config: TransferConfig, stage: str, quick: bool
+    ) -> Trial:
+        key = (tuple(sorted(config.to_dict().items())), quick)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        scores = evaluate_config(self.network, config, quick=quick)
+        trial = Trial(
+            trial_id=len(self.log),
+            network=self.network,
+            stage=stage,
+            config=config,
+            scores=scores,
+        )
+        self.log.append(trial)
+        self._cache[key] = trial
+        return trial
+
+
+def tune_network(
+    network: str,
+    space: TuningSpace = DEFAULT_SPACE,
+    seed: int = 0,
+    rung0_candidates: int = 12,
+    survivors: int = 4,
+    sweeps: int = 2,
+    progress=None,
+) -> NetworkTuning:
+    """Search one network; returns the winner plus the full trial log."""
+    rng = random.Random((seed, network).__repr__())
+    log: list[Trial] = []
+    evaluate = _Evaluator(network, log)
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(f"[{network}] {msg}")
+
+    default_cfg = space.default_config()
+    default = evaluate(default_cfg, "default", quick=False)
+    note(f"default aggregate {default.aggregate:.6f}s")
+
+    # Rung 0: prior + random samples on the quick subset.
+    pool = [default_cfg]
+    seen = {tuple(sorted(default_cfg.to_dict().items()))}
+    while len(pool) < rung0_candidates:
+        cand = space.random_config(rng)
+        key = tuple(sorted(cand.to_dict().items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        pool.append(cand)
+    rung0 = sorted(
+        (evaluate(c, "rung0", quick=True) for c in pool),
+        key=lambda t: t.aggregate,
+    )
+    keep = rung0[: max(1, survivors)]
+    note(f"rung 0 kept {len(keep)}/{len(rung0)} candidates")
+
+    # Rung 1: survivors on the full matrix.
+    rung1 = sorted(
+        (evaluate(t.config, "rung1", quick=False) for t in keep),
+        key=lambda t: t.aggregate,
+    )
+    best = min(rung1 + [default], key=lambda t: t.aggregate)
+    note(f"rung 1 incumbent {best.aggregate:.6f}s")
+
+    # Coordinate descent: greedy one-rung moves.
+    for sweep in range(sweeps):
+        improved = False
+        for knob, cand in space.neighbours(best.config):
+            trial = evaluate(cand, "descent", quick=False)
+            if trial.aggregate < best.aggregate:
+                note(
+                    f"sweep {sweep}: {knob} -> "
+                    f"{getattr(cand, knob)!r} ({trial.aggregate:.6f}s)"
+                )
+                best = trial
+                improved = True
+        if not improved:
+            break
+
+    # Simplify: walk knobs in order, resetting each to its prior when
+    # that does not cost anything (ties break toward the default).
+    for knob in space.knobs:
+        if getattr(best.config, knob.name) == knob.prior:
+            continue
+        trial = evaluate(
+            best.config.replace(**{knob.name: knob.prior}), "simplify",
+            quick=False,
+        )
+        if trial.aggregate <= best.aggregate:
+            note(f"simplify: {knob.name} back to prior {knob.prior!r}")
+            best = trial
+
+    note(f"best ratio {best.aggregate / max(default.aggregate, 1e-12):.3f}")
+    quick = aggregate_seconds(
+        evaluate_config(network, best.config, quick=True)
+    )
+    return NetworkTuning(
+        network=network, default=default, best=best,
+        quick_aggregate=quick, trials=log,
+    )
+
+
+def space_summary(space: TuningSpace = DEFAULT_SPACE) -> dict:
+    return {
+        k.name: {"values": list(k.values), "prior": k.prior,
+                 "description": k.description}
+        for k in space.knobs
+    }
+
+
+def run_tuning(
+    networks: tuple[str, ...] = NETWORK_NAMES,
+    space: TuningSpace = DEFAULT_SPACE,
+    seed: int = 0,
+    out_path: str | None = "BENCH_tuning.json",
+    progress=None,
+    **search_kwargs,
+) -> dict:
+    """The full campaign: every network searched, one JSON document."""
+    results = {
+        name: tune_network(
+            name, space=space, seed=seed, progress=progress, **search_kwargs
+        )
+        for name in networks
+    }
+    wins = sum(1 for r in results.values() if r.ratio < 1.0)
+    doc = {
+        "seed": seed,
+        "workloads": list(workload_names()),
+        "quick_workloads": list(workload_names(quick=True)),
+        "space": space_summary(space),
+        "networks": {name: r.to_dict() for name, r in results.items()},
+        "summary": {
+            "networks": len(results),
+            "tuned_wins": wins,
+            "ratios": {name: r.ratio for name, r in results.items()},
+        },
+    }
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return doc
+
+
+def reevaluate_shipped(
+    tolerance: float = 0.05, networks: tuple[str, ...] | None = None
+) -> list[dict]:
+    """CI smoke: re-score every committed tuned config on the quick
+    subset and compare against the score recorded when the table was
+    generated.  A committed config regressing past ``tolerance`` means
+    the transport/pipeline code lost performance the table promised."""
+    from repro.tune.table import SHIPPED_TABLE
+
+    rows = []
+    for name, entry in SHIPPED_TABLE.items():
+        if networks is not None and name not in networks:
+            continue
+        scores = evaluate_config(name, entry.config, quick=True)
+        observed = aggregate_seconds(scores)
+        recorded = entry.quick_aggregate_seconds
+        regression = (observed - recorded) / recorded if recorded > 0 else 0.0
+        rows.append(
+            {
+                "network": name,
+                "recorded_seconds": recorded,
+                "observed_seconds": observed,
+                "regression": regression,
+                "ok": regression <= tolerance,
+                "scores": scores,
+            }
+        )
+    return rows

@@ -1,0 +1,265 @@
+"""Declarative tuning space over the transfer/pipeline knobs.
+
+The middleware's hot path exposes a handful of scalar knobs -- streaming
+frame size, chunking threshold, pipeline window, socket buffer sizes,
+device malloc policy, launch-coalesce width, D2D routing -- whose best
+values depend on the interconnect (Section VI's seven networks span four
+orders of magnitude in effective bandwidth).  This module describes that
+parameter space declaratively: each :class:`Knob` carries a discrete
+value ladder plus a prior (the shipped static default), and a
+:class:`TuningSpace` composes them into :class:`TransferConfig` points
+the search driver in :mod:`repro.tune.search` can enumerate, perturb,
+and score.
+
+Ladders are deliberately coarse (powers of two): the virtual-clock
+testbed's cost models are smooth in these knobs, so a finer grid buys
+noise, not signal, and the online tuner steps along the same rungs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields, replace
+
+from repro.errors import ConfigurationError
+
+KIB = 1 << 10
+MIB = 1 << 20
+
+#: Adaptive frame sizing sentinel understood by the client runtime: the
+#: chunker derives the frame from the link's bandwidth-delay product.
+ADAPTIVE = None
+
+D2D_DIRECT = "direct"
+D2D_STAGED = "staged"
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """One point in the tuning space: every knob pinned to a value.
+
+    The defaults ARE the static shipped behaviour -- a default-built
+    config must leave the runtime byte- and timing-identical to a run
+    with no profile at all, which is what the no-profile conformance
+    test pins down.
+    """
+
+    #: Streaming frame size; ``None`` keeps the adaptive link-derived
+    #: window (see ``RemoteCudaRuntime._stream_chunk_bytes``).
+    chunk_bytes: int | None = ADAPTIVE
+    #: Copies at or above this many bytes go down the chunked streaming
+    #: path; below it they stay monolithic.
+    stream_threshold: int = 1 * MIB
+    #: Deferred-ack in-flight bound; 0 keeps strict per-call
+    #: synchronization (the protocol default).
+    pipeline_window: int = 0
+    #: SO_RCVBUF/SO_SNDBUF floor applied to TCP transports.
+    socket_buffer_bytes: int = 4 * MIB
+    #: Device allocator policy (``first-fit`` / ``best-fit`` / ``binned``).
+    malloc_policy: str = "first-fit"
+    #: Fair-share scheduler quantum: launches dispatched per tenant turn.
+    launch_coalesce_width: int = 16
+    #: Same-session device-to-device routing: ``direct`` executes the
+    #: copy server-side off one header-only request; ``staged`` bounces
+    #: the payload through the client (D2H + H2D), the pre-fast-path
+    #: wire shape kept as a comparison baseline.
+    d2d_route: str = D2D_DIRECT
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransferConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown transfer-config keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def replace(self, **changes) -> "TransferConfig":
+        return replace(self, **changes)
+
+    def client_kwargs(self) -> dict:
+        """Constructor kwargs for ``RemoteCudaRuntime``-shaped clients."""
+        window = self.pipeline_window
+        return {
+            "chunk_bytes": self.chunk_bytes,
+            "stream_threshold": self.stream_threshold,
+            "pipeline": window > 0,
+            "pipeline_window": window if window > 0 else None,
+            "d2d_route": self.d2d_route,
+        }
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable dimension: a named, ordered ladder of legal values."""
+
+    name: str
+    values: tuple
+    prior: object
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"knob {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ConfigurationError(f"knob {self.name!r} repeats a value")
+        if self.prior not in self.values:
+            raise ConfigurationError(
+                f"knob {self.name!r}: prior {self.prior!r} not on the ladder"
+            )
+
+    def index(self, value) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"knob {self.name!r}: {value!r} is not on the ladder "
+                f"{list(self.values)}"
+            ) from None
+
+    def neighbours(self, value) -> list:
+        """The one-rung moves from ``value`` (one or two entries)."""
+        idx = self.index(value)
+        out = []
+        if idx > 0:
+            out.append(self.values[idx - 1])
+        if idx < len(self.values) - 1:
+            out.append(self.values[idx + 1])
+        return out
+
+    def step_toward(self, value, target):
+        """``value`` moved one rung toward ``target`` (or unchanged)."""
+        idx, goal = self.index(value), self.index(target)
+        if goal > idx:
+            return self.values[idx + 1]
+        if goal < idx:
+            return self.values[idx - 1]
+        return value
+
+
+def _default_knobs() -> tuple[Knob, ...]:
+    return (
+        Knob(
+            "chunk_bytes",
+            (ADAPTIVE, 64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB,
+             1 * MIB, 2 * MIB, 4 * MIB),
+            prior=ADAPTIVE,
+            description="streaming frame size (None = link-adaptive)",
+        ),
+        Knob(
+            "stream_threshold",
+            (256 * KIB, 512 * KIB, 1 * MIB, 2 * MIB, 4 * MIB),
+            prior=1 * MIB,
+            description="copies at/above this size stream chunked",
+        ),
+        Knob(
+            "pipeline_window",
+            (0, 4, 8, 16, 32, 64),
+            prior=0,
+            description="deferred-ack in-flight bound (0 = strict sync)",
+        ),
+        Knob(
+            "socket_buffer_bytes",
+            (1 * MIB, 2 * MIB, 4 * MIB, 8 * MIB, 16 * MIB),
+            prior=4 * MIB,
+            description="TCP SO_RCVBUF/SO_SNDBUF floor",
+        ),
+        Knob(
+            "malloc_policy",
+            ("first-fit", "best-fit", "binned"),
+            prior="first-fit",
+            description="device allocator placement policy",
+        ),
+        Knob(
+            "launch_coalesce_width",
+            (1, 4, 8, 16, 32, 64),
+            prior=16,
+            description="fair-share launches dispatched per tenant turn",
+        ),
+        Knob(
+            "d2d_route",
+            (D2D_DIRECT, D2D_STAGED),
+            prior=D2D_DIRECT,
+            description="same-session D2D copy routing",
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class TuningSpace:
+    """The knob set the search driver walks."""
+
+    knobs: tuple[Knob, ...] = field(default_factory=_default_knobs)
+
+    def __post_init__(self) -> None:
+        names = [k.name for k in self.knobs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("tuning space repeats a knob name")
+        legal = {f.name for f in fields(TransferConfig)}
+        for name in names:
+            if name not in legal:
+                raise ConfigurationError(
+                    f"knob {name!r} is not a TransferConfig field"
+                )
+
+    def knob(self, name: str) -> Knob:
+        for k in self.knobs:
+            if k.name == name:
+                return k
+        raise ConfigurationError(f"no knob named {name!r}")
+
+    def default_config(self) -> TransferConfig:
+        """Every knob at its prior: the static shipped behaviour."""
+        return TransferConfig(**{k.name: k.prior for k in self.knobs})
+
+    def validate(self, config: TransferConfig) -> None:
+        for k in self.knobs:
+            k.index(getattr(config, k.name))
+
+    def random_config(self, rng: random.Random) -> TransferConfig:
+        return TransferConfig(
+            **{k.name: rng.choice(k.values) for k in self.knobs}
+        )
+
+    def neighbours(
+        self, config: TransferConfig, knob_names: tuple[str, ...] | None = None
+    ) -> list[tuple[str, TransferConfig]]:
+        """All one-rung perturbations of ``config``, labelled by knob."""
+        out = []
+        for k in self.knobs:
+            if knob_names is not None and k.name not in knob_names:
+                continue
+            for value in k.neighbours(getattr(config, k.name)):
+                out.append((k.name, config.replace(**{k.name: value})))
+        return out
+
+    def step_toward(
+        self,
+        config: TransferConfig,
+        target: TransferConfig,
+        knob_names: tuple[str, ...] = ("chunk_bytes", "pipeline_window"),
+    ) -> TransferConfig:
+        """``config`` with each named knob moved one rung toward
+        ``target`` -- the online tuner's conservative live step."""
+        changes = {}
+        for name in knob_names:
+            k = self.knob(name)
+            stepped = k.step_toward(getattr(config, name), getattr(target, name))
+            if stepped != getattr(config, name):
+                changes[name] = stepped
+        return config.replace(**changes) if changes else config
+
+    def rung_distance(self, a: TransferConfig, b: TransferConfig) -> dict[str, int]:
+        """Per-knob ladder distance between two configs."""
+        return {
+            k.name: abs(k.index(getattr(a, k.name)) - k.index(getattr(b, k.name)))
+            for k in self.knobs
+        }
+
+
+#: The canonical space every entry point shares.
+DEFAULT_SPACE = TuningSpace()

@@ -1,0 +1,145 @@
+"""The shipped per-network tuned table.
+
+``SHIPPED_TABLE`` is the checked-in output of ``repro tune`` (the full
+search of :mod:`repro.tune.search` at seed 0): for each of the paper's
+seven interconnects, the winning :class:`TransferConfig` plus the
+scores recorded when the table was generated.  Clients and daemons load
+an entry by network name through the ``profile=`` / ``--profile`` knob;
+explicit kwargs always win over the profile.
+
+The recorded scores are part of the contract: CI re-evaluates every
+entry on the quick workload subset (``repro tune --quick``) and fails
+if a committed config regresses more than 5% against its
+``quick_aggregate_seconds`` -- the table is a performance promise, not
+documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tune.space import DEFAULT_SPACE, TransferConfig
+
+KIB = 1 << 10
+MIB = 1 << 20
+
+#: Name resolving to the static defaults (no tuning applied).
+DEFAULT_PROFILE = "default"
+
+
+@dataclass(frozen=True)
+class TunedEntry:
+    """One network's winning config plus its recorded evidence."""
+
+    network: str
+    config: TransferConfig
+    #: Full-matrix virtual seconds of ``config`` when the table was made.
+    aggregate_seconds: float
+    #: Full-matrix virtual seconds of the static default, same run.
+    default_aggregate_seconds: float
+    #: Quick-subset virtual seconds of ``config`` -- the CI gate value.
+    quick_aggregate_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Tuned/default; < 1.0 means the shipped config beats defaults."""
+        if self.default_aggregate_seconds <= 0.0:
+            return 1.0
+        return self.aggregate_seconds / self.default_aggregate_seconds
+
+
+def _entry(network, config_kwargs, aggregate, default_aggregate, quick):
+    return TunedEntry(
+        network=network,
+        config=TransferConfig(**config_kwargs),
+        aggregate_seconds=aggregate,
+        default_aggregate_seconds=default_aggregate,
+        quick_aggregate_seconds=quick,
+    )
+
+
+#: Output of ``repro tune`` at seed 0 (see BENCH_tuning.json for the
+#: full trial log).  The pattern the search found: the pipeline window
+#: is the knob that pays everywhere -- wide (64) on high-latency links
+#: where each blocked ack is expensive, narrow (8) on 40GI where the
+#: window stall itself is cheap and a shallow queue keeps the settle
+#: arithmetic tight; the two sub-microsecond HT networks additionally
+#: prefer pinned 256 KiB frames over the adaptive window (their
+#: bandwidth-delay product is so small the adaptive chunker over-sizes
+#: frames).  Socket buffers and the malloc policy stay at their priors:
+#: the virtual clock cannot see them, and the simplify pass refuses to
+#: ship a deviation that never earned a measured win.
+SHIPPED_TABLE: dict[str, TunedEntry] = {
+    "GigaE": _entry(
+        "GigaE",
+        {"pipeline_window": 64},
+        aggregate=0.740963559,
+        default_aggregate=0.747596266,
+        quick=0.084506809,
+    ),
+    "40GI": _entry(
+        "40GI",
+        {"pipeline_window": 8},
+        aggregate=0.091245245,
+        default_aggregate=0.098575365,
+        quick=0.020921062,
+    ),
+    "10GE": _entry(
+        "10GE",
+        {"pipeline_window": 64},
+        aggregate=0.104489744,
+        default_aggregate=0.10749963,
+        quick=0.014210548,
+    ),
+    "10GI": _entry(
+        "10GI",
+        {"pipeline_window": 64},
+        aggregate=0.094148965,
+        default_aggregate=0.095653862,
+        quick=0.011752492,
+    ),
+    "Myr": _entry(
+        "Myr",
+        {"pipeline_window": 64},
+        aggregate=0.11825633,
+        default_aggregate=0.119159197,
+        quick=0.01370699,
+    ),
+    "F-HT": _entry(
+        "F-HT",
+        {"chunk_bytes": 256 * KIB, "pipeline_window": 64},
+        aggregate=0.065348148,
+        default_aggregate=0.065975995,
+        quick=0.007661802,
+    ),
+    "A-HT": _entry(
+        "A-HT",
+        {"chunk_bytes": 256 * KIB, "pipeline_window": 64},
+        aggregate=0.036910064,
+        default_aggregate=0.037382367,
+        quick=0.00455541,
+    ),
+}
+
+
+def list_profiles() -> tuple[str, ...]:
+    """Known profile names (the seven networks plus ``default``)."""
+    return (DEFAULT_PROFILE, *SHIPPED_TABLE.keys())
+
+
+def get_entry(name: str) -> TunedEntry:
+    try:
+        return SHIPPED_TABLE[name]
+    except KeyError:
+        known = ", ".join(list_profiles())
+        raise ConfigurationError(
+            f"unknown profile {name!r}; known profiles: {known}"
+        ) from None
+
+
+def resolve_profile(name: str) -> TransferConfig:
+    """Profile name -> the TransferConfig clients/daemons should apply."""
+    if name == DEFAULT_PROFILE:
+        return DEFAULT_SPACE.default_config()
+    return get_entry(name).config

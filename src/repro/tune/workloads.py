@@ -1,0 +1,271 @@
+"""The workload matrix candidate configs are scored on.
+
+Every workload runs a real client session against a real daemon over the
+in-process transport, wrapped in a :class:`~repro.transport.timed
+.TimedTransport` charging a :class:`~repro.net.simlink.SimulatedLink`
+for the network under study.  The score is pure virtual time::
+
+    link clock delta            (request legs, streaming settle)
+  + device clock delta(s)       (kernel/copy cost models)
+  + round-trip delta x response latency
+
+so evaluation is deterministic and network-scaled: the same candidate
+scores identically on every run, and a 40-Gb link really is three
+orders of magnitude cheaper per byte than GigaE.  Devices run with
+``functional=False`` -- the cost models advance the clocks but no bytes
+are copied device-side, keeping a full matrix evaluation cheap.
+
+The matrix mirrors the paper's usage spectrum: the MM case study at a
+small and a large size (Section IV.B), a burst of tiny calls (latency
+bound -- where the pipeline window pays), streamed copies from 1 to
+64 MiB (bandwidth bound -- where frame size pays), an eight-tenant
+shared-device mix (where the coalesce width pays), and a D2D staging
+copy (where routing pays).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import NetworkSpec, get_network
+from repro.rcuda.client.connection import RCudaClient
+from repro.rcuda.server.daemon import RCudaDaemon
+from repro.rcuda.server.tenancy import DevicePool
+from repro.simcuda.device import SimulatedGpu
+from repro.simcuda.errors import check
+from repro.simcuda.types import Dim3, MemcpyKind
+from repro.transport.inproc import inproc_pair
+from repro.transport.timed import TimedTransport
+from repro.tune.space import TransferConfig
+from repro.workloads.matmul import MatrixProductCase
+
+KIB = 1 << 10
+MIB = 1 << 20
+
+#: All seven interconnects of the paper, measured first.
+NETWORK_NAMES = ("GigaE", "40GI", "10GE", "10GI", "Myr", "F-HT", "A-HT")
+
+_CASE = MatrixProductCase()
+
+
+class Harness:
+    """One daemon + N tenant sessions over one timed link.
+
+    ``score()`` reads the virtual stopwatch: link clock, every device
+    clock, and the blocking round trips each client paid (priced at the
+    link's small-response latency) -- the quantity the tuner minimizes.
+    """
+
+    def __init__(
+        self, spec: NetworkSpec, config: TransferConfig, tenants: int = 1
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.link = SimulatedLink(spec)
+        if tenants > 1:
+            self.pool = DevicePool(
+                devices=1,
+                quantum=config.launch_coalesce_width,
+                device_factory=lambda: SimulatedGpu(
+                    functional=False, memory_policy=config.malloc_policy
+                ),
+            )
+            self.devices = list(self.pool.devices)
+            self.daemon = RCudaDaemon(self.devices[0], pool=self.pool)
+        else:
+            self.pool = None
+            self.devices = [
+                SimulatedGpu(functional=False, memory_policy=config.malloc_policy)
+            ]
+            self.daemon = RCudaDaemon(self.devices[0])
+        self.clients: list[RCudaClient] = []
+        for _ in range(tenants):
+            client_end, server_end = inproc_pair()
+            self.daemon.serve_transport(server_end)
+            timed = TimedTransport(client_end, self.link)
+            self.clients.append(
+                RCudaClient.connect(timed, _CASE.module(), **config.client_kwargs())
+            )
+
+    @property
+    def runtime(self):
+        return self.clients[0].runtime
+
+    def score(self) -> float:
+        response = self.spec.actual_one_way_seconds(4)
+        trips = sum(c.runtime.round_trips for c in self.clients)
+        return (
+            self.link.clock.now()
+            + sum(d.clock.now() for d in self.devices)
+            + trips * response
+        )
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+        self.daemon.stop()
+
+
+@contextmanager
+def _session(spec, config, tenants: int = 1):
+    harness = Harness(spec, config, tenants=tenants)
+    try:
+        yield harness
+    finally:
+        harness.close()
+
+
+def _host_buffer(nbytes: int) -> np.ndarray:
+    return np.zeros(nbytes, dtype=np.uint8)
+
+
+# -- workload bodies --------------------------------------------------------
+
+
+def _run_mm(harness: Harness, size: int) -> None:
+    # functional=False devices return unverifiable bytes; the wire
+    # traffic and cost-model charges are identical to a verified run.
+    _CASE.run(harness.runtime, size, verify=False)
+
+
+def _run_burst(harness: Harness, iterations: int = 64) -> None:
+    """Many tiny state-changing calls, one synchronization at the end:
+    strict sync pays a round trip per call, a pipeline window pays
+    ~one per window stall."""
+    rt = harness.runtime
+    err, ptr = rt.cudaMalloc(4 * KIB)
+    check(err, "burst malloc")
+    for _ in range(iterations):
+        check(rt.cudaMemset(ptr, 0, 4 * KIB), "burst memset")
+        check(
+            rt.launch_kernel(
+                _CASE.kernel_name,
+                Dim3(1, 1, 1),
+                Dim3(16, 4, 1),
+                (ptr, ptr, ptr, 16, 16, 16, 1.0, 0.0),
+            ),
+            "burst launch",
+        )
+    check(rt.cudaThreadSynchronize(), "burst sync")
+    rt.cudaFree(ptr)
+
+
+def _run_stream(harness: Harness, nbytes: int) -> None:
+    """One large host-to-device copy: the chunked streaming path."""
+    rt = harness.runtime
+    err, ptr = rt.cudaMalloc(nbytes)
+    check(err, "stream malloc")
+    host = _host_buffer(nbytes)
+    err, _ = rt.cudaMemcpy(
+        ptr, 0, nbytes, MemcpyKind.cudaMemcpyHostToDevice, host_data=host
+    )
+    check(err, "stream h2d")
+    check(rt.cudaThreadSynchronize(), "stream sync")
+    rt.cudaFree(ptr)
+
+
+def _run_tenants(harness: Harness, rounds: int = 4) -> None:
+    """Eight tenants interleaving launches on one shared device: the
+    fair-share scheduler's coalesce width sets how much launch overhead
+    amortizes per dispatch turn."""
+    runtimes = [c.runtime for c in harness.clients]
+    ptrs = []
+    for rt in runtimes:
+        err, ptr = rt.cudaMalloc(64 * KIB)
+        check(err, "tenant malloc")
+        ptrs.append(ptr)
+    for _ in range(rounds):
+        for rt, ptr in zip(runtimes, ptrs):
+            check(
+                rt.launch_kernel(
+                    _CASE.kernel_name,
+                    Dim3(2, 4, 1),
+                    Dim3(16, 4, 1),
+                    (ptr, ptr, ptr, 64, 64, 64, 1.0, 0.0),
+                ),
+                "tenant launch",
+            )
+    for rt, ptr in zip(runtimes, ptrs):
+        check(rt.cudaThreadSynchronize(), "tenant sync")
+        rt.cudaFree(ptr)
+
+
+def _run_d2d(harness: Harness, nbytes: int = 8 * MIB) -> None:
+    """Same-session device-to-device copy: ``direct`` routing executes
+    server-side off a header-only request; ``staged`` pays the payload
+    twice on the wire."""
+    rt = harness.runtime
+    err, src = rt.cudaMalloc(nbytes)
+    check(err, "d2d malloc src")
+    err, dst = rt.cudaMalloc(nbytes)
+    check(err, "d2d malloc dst")
+    err, _ = rt.cudaMemcpy(
+        dst, src, nbytes, MemcpyKind.cudaMemcpyDeviceToDevice
+    )
+    check(err, "d2d copy")
+    check(rt.cudaThreadSynchronize(), "d2d sync")
+    rt.cudaFree(src)
+    rt.cudaFree(dst)
+
+
+# -- the matrix -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    tenants: int
+    body: object  # callable(Harness) -> None
+    quick: bool  # member of the cheap subset (rung 0 / --quick)
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload("mm-256", 1, lambda h: _run_mm(h, 256), quick=True),
+    Workload("mm-1024", 1, lambda h: _run_mm(h, 1024), quick=False),
+    Workload("burst", 1, _run_burst, quick=True),
+    Workload("stream-1mib", 1, lambda h: _run_stream(h, 1 * MIB), quick=False),
+    Workload("stream-8mib", 1, lambda h: _run_stream(h, 8 * MIB), quick=True),
+    Workload("stream-64mib", 1, lambda h: _run_stream(h, 64 * MIB), quick=False),
+    Workload("tenants-8", 8, _run_tenants, quick=True),
+    Workload("d2d-8mib", 1, _run_d2d, quick=False),
+)
+
+
+def workload_names(quick: bool = False) -> tuple[str, ...]:
+    return tuple(w.name for w in WORKLOADS if w.quick or not quick)
+
+
+def evaluate_config(
+    network: str | NetworkSpec,
+    config: TransferConfig,
+    quick: bool = False,
+    workloads: tuple[str, ...] | None = None,
+) -> dict[str, float]:
+    """Virtual seconds per workload for one candidate on one network.
+
+    ``quick`` restricts to the cheap subset; ``workloads`` restricts to
+    named entries.  Each workload gets a fresh harness, so scores never
+    leak across workloads.
+    """
+    spec = network if isinstance(network, NetworkSpec) else get_network(network)
+    chosen = [
+        w
+        for w in WORKLOADS
+        if (workloads is None or w.name in workloads) and (w.quick or not quick)
+    ]
+    scores: dict[str, float] = {}
+    for w in chosen:
+        with _session(spec, config, tenants=w.tenants) as harness:
+            before = harness.score()
+            w.body(harness)
+            scores[w.name] = harness.score() - before
+    return scores
+
+
+def aggregate_seconds(scores: dict[str, float]) -> float:
+    """The trial objective: total virtual seconds across the matrix."""
+    return sum(scores.values())

@@ -130,14 +130,14 @@ class TestServeWiring:
         def run_serve() -> None:
             result["code"] = main([
                 "serve", "--port", str(port),
-                "--metrics-port", str(mport), "--run-seconds", "2.0",
+                "--metrics-port", str(mport), "--run-seconds", "8.0",
             ])
 
         thread = threading.Thread(target=run_serve, daemon=True)
         thread.start()
         case = MatrixProductCase()
         client = None
-        deadline = time.monotonic() + 2.0
+        deadline = time.monotonic() + 8.0
         while client is None:
             try:
                 client = RCudaClient.connect_tcp(

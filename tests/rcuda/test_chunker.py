@@ -1,0 +1,200 @@
+"""Chunker edge cases: tiny pins, zero bytes, thresholds, precedence.
+
+The streaming frame-size logic has three regimes -- honour a sane pin,
+fall back to the link-adaptive window, respect the 64 KiB floor -- and
+the boundaries between them are where the bugs were: a pin larger than
+the copy used to collapse the stream to one monolithic frame, silently
+bypassing the adaptive window and its floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+from repro.obs import Tracer
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.rcuda.client.runtime import MIN_CHUNK_BYTES
+from repro.simcuda import MemcpyKind, SimulatedGpu, fabricate_module
+from repro.simcuda.errors import CudaError
+from repro.transport.inproc import inproc_pair
+from repro.transport.timed import TimedTransport
+
+MODULE = fabricate_module("chunktest", ["saxpy"], 2048)
+KIB = 1 << 10
+MIB = 1 << 20
+
+
+def connect(daemon, chunk_bytes=None, tracer=None, link=None):
+    client_end, server_end = inproc_pair()
+    daemon.serve_transport(server_end)
+    transport = (
+        client_end if link is None else TimedTransport(client_end, link)
+    )
+    return RCudaClient.connect(
+        transport, MODULE, tracer=tracer, chunk_bytes=chunk_bytes
+    )
+
+
+def streamed_span(tracer):
+    """The streamed H2D span (the readback D2H may stream too)."""
+    spans = [
+        s for s in tracer.spans
+        if s.attrs.get("streamed") and s.phase == "h2d"
+    ]
+    assert len(spans) == 1
+    return spans[0]
+
+
+def copy_h2d(rt, nbytes, seed=0):
+    payload = np.random.default_rng(seed).integers(0, 256, nbytes, np.uint8)
+    err, ptr = rt.cudaMalloc(max(nbytes, 1))
+    assert err == CudaError.cudaSuccess
+    err, _ = rt.cudaMemcpy(
+        ptr, 0, nbytes, MemcpyKind.cudaMemcpyHostToDevice, host_data=payload
+    )
+    assert err == CudaError.cudaSuccess
+    err, back = rt.cudaMemcpy(
+        0, ptr, nbytes, MemcpyKind.cudaMemcpyDeviceToHost
+    )
+    assert err == CudaError.cudaSuccess
+    if nbytes:
+        assert back.tobytes() == payload.tobytes()
+    rt.cudaFree(ptr)
+
+
+class TestChunkBytesOne:
+    def test_one_byte_frames_round_trip(self, daemon):
+        """chunk_bytes=1 is legal: every payload byte rides its own
+        frame and the device contents still match."""
+        tracer = Tracer()
+        client = connect(daemon, chunk_bytes=1, tracer=tracer)
+        rt = client.runtime
+        rt.stream_threshold = 1
+        try:
+            copy_h2d(rt, 300)
+            span = streamed_span(tracer)
+            assert span.attrs["chunk_bytes"] == 1
+            assert span.attrs["chunks"] == 300
+        finally:
+            client.close()
+
+
+class TestZeroByteCopies:
+    def test_zero_byte_copy_never_streams(self, daemon):
+        tracer = Tracer()
+        client = connect(daemon, tracer=tracer)
+        rt = client.runtime
+        rt.stream_threshold = 0  # even an aggressive threshold
+        try:
+            copy_h2d(rt, 0)
+            assert not any(s.attrs.get("streamed") for s in tracer.spans)
+        finally:
+            client.close()
+
+    def test_zero_byte_copy_with_tiny_pin(self, daemon):
+        client = connect(daemon, chunk_bytes=1)
+        rt = client.runtime
+        rt.stream_threshold = 0
+        try:
+            copy_h2d(rt, 0)
+        finally:
+            client.close()
+
+
+class TestThresholdBoundary:
+    def test_count_exactly_at_threshold_streams(self, daemon):
+        """The threshold is inclusive: a copy of exactly
+        ``stream_threshold`` bytes goes down the streamed path."""
+        tracer = Tracer()
+        client = connect(daemon, chunk_bytes=256 * KIB, tracer=tracer)
+        rt = client.runtime
+        try:
+            copy_h2d(rt, rt.stream_threshold)
+            span = streamed_span(tracer)
+            assert span.attrs["chunks"] == 4  # 1 MiB / 256 KiB
+        finally:
+            client.close()
+
+    def test_one_byte_below_threshold_is_monolithic(self, daemon):
+        tracer = Tracer()
+        client = connect(daemon, chunk_bytes=256 * KIB, tracer=tracer)
+        rt = client.runtime
+        try:
+            copy_h2d(rt, rt.stream_threshold - 1)
+            assert not any(s.attrs.get("streamed") for s in tracer.spans)
+        finally:
+            client.close()
+
+
+class TestPinnedVsAdaptive:
+    def test_sane_pin_wins_over_the_adaptive_window(self, daemon):
+        link = SimulatedLink(get_network("GigaE"))
+        client = connect(daemon, chunk_bytes=128 * KIB, link=link)
+        rt = client.runtime
+        try:
+            assert rt._stream_chunk_bytes(4 * MIB) == 128 * KIB
+        finally:
+            client.close()
+
+    def test_oversized_pin_falls_back_to_adaptive(self, daemon):
+        """A pin larger than the copy cannot be honoured; the chunker
+        must use the adaptive window, not collapse to one frame (the old
+        clamp-order bug bypassed the 64 KiB floor)."""
+        link = SimulatedLink(get_network("GigaE"))
+        client = connect(daemon, chunk_bytes=4 * MIB, link=link)
+        rt = client.runtime
+        try:
+            chunk = rt._stream_chunk_bytes(2 * MIB)
+            assert chunk != 2 * MIB, "must not collapse to a single frame"
+            assert MIN_CHUNK_BYTES <= chunk < 2 * MIB
+            assert chunk % MIN_CHUNK_BYTES == 0
+        finally:
+            client.close()
+
+    def test_adaptive_respects_the_floor(self, daemon):
+        """Even on the slowest link the adaptive window never drops
+        below 64 KiB frames."""
+        link = SimulatedLink(get_network("GigaE"))
+        client = connect(daemon, link=link)
+        rt = client.runtime
+        try:
+            assert rt._stream_chunk_bytes(64 * MIB) >= MIN_CHUNK_BYTES
+        finally:
+            client.close()
+
+    def test_oversized_pin_streams_end_to_end(self):
+        """The fallback is not just arithmetic: the copy really streams
+        in multiple adaptive frames with correct contents."""
+        daemon = RCudaDaemon(SimulatedGpu())
+        tracer = Tracer()
+        link = SimulatedLink(get_network("GigaE"))
+        client = connect(daemon, chunk_bytes=4 * MIB, tracer=tracer,
+                         link=link)
+        rt = client.runtime
+        try:
+            copy_h2d(rt, 2 * MIB)
+            span = streamed_span(tracer)
+            assert span.attrs["chunks"] > 1
+            assert span.attrs["chunk_bytes"] >= MIN_CHUNK_BYTES
+        finally:
+            client.close()
+            daemon.stop()
+
+    def test_chunk_bytes_is_live_writable(self, daemon):
+        """The online tuner's lever: reassigning ``chunk_bytes`` changes
+        the next stream's frame size; invalid values are rejected."""
+        client = connect(daemon, chunk_bytes=128 * KIB)
+        rt = client.runtime
+        try:
+            assert rt._stream_chunk_bytes(MIB) == 128 * KIB
+            rt.chunk_bytes = 256 * KIB
+            assert rt._stream_chunk_bytes(MIB) == 256 * KIB
+            rt.chunk_bytes = None  # back to adaptive
+            with pytest.raises(ConfigurationError):
+                rt.chunk_bytes = 0
+        finally:
+            client.close()

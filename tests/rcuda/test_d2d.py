@@ -1,0 +1,164 @@
+"""The same-session device-to-device fast path.
+
+``direct`` routing executes the copy entirely server-side: the request
+is header-only, the ack is a bare error code, and no payload crosses
+the wire in either direction -- which is why the tuner can route D2D
+staging copies off the network entirely.  ``staged`` is the explicit
+comparison baseline: D2H + H2D through the client, 2x the payload on
+the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import MemcpyKind, SimulatedGpu, fabricate_module
+from repro.simcuda.errors import CudaError
+from repro.transport.inproc import inproc_pair
+
+MODULE = fabricate_module("d2dtest", ["saxpy"], 2048)
+MIB = 1 << 20
+
+
+def connect(daemon, **kwargs):
+    client_end, server_end = inproc_pair()
+    daemon.serve_transport(server_end)
+    return RCudaClient.connect(client_end, MODULE, **kwargs)
+
+
+def d2d_session(daemon, nbytes, **kwargs):
+    """Malloc src+dst, fill src; returns (client, src, dst, payload)."""
+    client = connect(daemon, **kwargs)
+    rt = client.runtime
+    payload = np.random.default_rng(11).integers(0, 256, nbytes, np.uint8)
+    err, src = rt.cudaMalloc(nbytes)
+    assert err == CudaError.cudaSuccess
+    err, dst = rt.cudaMalloc(nbytes)
+    assert err == CudaError.cudaSuccess
+    err, _ = rt.cudaMemcpy(
+        src, 0, nbytes, MemcpyKind.cudaMemcpyHostToDevice, host_data=payload
+    )
+    assert err == CudaError.cudaSuccess
+    return client, src, dst, payload
+
+
+def readback(rt, ptr, nbytes):
+    err, data = rt.cudaMemcpy(0, ptr, nbytes, MemcpyKind.cudaMemcpyDeviceToHost)
+    assert err == CudaError.cudaSuccess
+    return data.tobytes()
+
+
+class TestDirectRoute:
+    def test_copy_is_correct_and_header_only(self, daemon):
+        nbytes = 2 * MIB
+        client, src, dst, payload = d2d_session(daemon, nbytes)
+        rt = client.runtime
+        try:
+            sent_before = rt.transport.bytes_sent
+            recv_before = rt.transport.bytes_received
+            err, data = rt.cudaMemcpy(
+                dst, src, nbytes, MemcpyKind.cudaMemcpyDeviceToDevice
+            )
+            assert err == CudaError.cudaSuccess
+            assert data is None
+            # One small request + one bare ack: no payload on the wire.
+            assert rt.transport.bytes_sent - sent_before < 128
+            assert rt.transport.bytes_received - recv_before < 128
+            assert readback(rt, dst, nbytes) == payload.tobytes()
+        finally:
+            client.close()
+
+    def test_pipelined_d2d_defers_the_ack(self, daemon):
+        """Under the deferred-ack hot path a direct D2D costs no
+        blocking round trip until the next synchronization point."""
+        nbytes = 1 * MIB
+        client, src, dst, payload = d2d_session(daemon, nbytes, pipeline=True)
+        rt = client.runtime
+        try:
+            trips_before = rt.round_trips
+            err, _ = rt.cudaMemcpy(
+                dst, src, nbytes, MemcpyKind.cudaMemcpyDeviceToDevice
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.round_trips == trips_before
+            assert rt.cudaThreadSynchronize() == CudaError.cudaSuccess
+            assert rt.round_trips == trips_before + 1
+            assert readback(rt, dst, nbytes) == payload.tobytes()
+        finally:
+            client.close()
+
+    def test_sync_d2d_costs_one_round_trip(self, daemon):
+        nbytes = 1 * MIB
+        client, src, dst, _ = d2d_session(daemon, nbytes)
+        rt = client.runtime
+        try:
+            trips_before = rt.round_trips
+            err, _ = rt.cudaMemcpy(
+                dst, src, nbytes, MemcpyKind.cudaMemcpyDeviceToDevice
+            )
+            assert err == CudaError.cudaSuccess
+            assert rt.round_trips == trips_before + 1
+        finally:
+            client.close()
+
+    def test_bad_pointer_surfaces_error(self, daemon):
+        client = connect(daemon)
+        rt = client.runtime
+        try:
+            err, _ = rt.cudaMemcpy(
+                0xDEAD0000, 0xBEEF0000, 64,
+                MemcpyKind.cudaMemcpyDeviceToDevice,
+            )
+            assert err != CudaError.cudaSuccess
+        finally:
+            client.close()
+
+
+class TestStagedRoute:
+    def test_staged_copy_is_correct_but_pays_the_wire(self, daemon):
+        nbytes = 2 * MIB
+        client, src, dst, payload = d2d_session(
+            daemon, nbytes, d2d_route="staged"
+        )
+        rt = client.runtime
+        try:
+            sent_before = rt.transport.bytes_sent
+            recv_before = rt.transport.bytes_received
+            err, data = rt.cudaMemcpy(
+                dst, src, nbytes, MemcpyKind.cudaMemcpyDeviceToDevice
+            )
+            assert err == CudaError.cudaSuccess
+            assert data is None
+            # D2H pulls the payload down, H2D pushes it back up.
+            assert rt.transport.bytes_sent - sent_before >= nbytes
+            assert rt.transport.bytes_received - recv_before >= nbytes
+            assert readback(rt, dst, nbytes) == payload.tobytes()
+        finally:
+            client.close()
+
+    def test_zero_byte_staged_copy_is_a_noop_roundtrip(self, daemon):
+        client, src, dst, _ = d2d_session(daemon, 1, d2d_route="staged")
+        rt = client.runtime
+        try:
+            err, _ = rt.cudaMemcpy(
+                dst, src, 0, MemcpyKind.cudaMemcpyDeviceToDevice
+            )
+            assert err == CudaError.cudaSuccess
+        finally:
+            client.close()
+
+
+class TestRouteValidation:
+    def test_unknown_route_rejected(self, daemon):
+        with pytest.raises(ConfigurationError):
+            connect(daemon, d2d_route="teleport")
+
+    def test_routes_default_to_direct(self, daemon):
+        client = connect(daemon)
+        try:
+            assert client.runtime.d2d_route == "direct"
+        finally:
+            client.close()

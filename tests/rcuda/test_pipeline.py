@@ -472,13 +472,13 @@ class TestSpanHygiene:
 
         The spans are microseconds of wall clock, so one scheduler
         hiccup on a loaded machine can invert a single comparison;
-        three independent trials, any one passing, keeps the semantic
+        six independent trials, any one passing, keeps the semantic
         claim without the load sensitivity."""
         from repro.obs.spans import Tracer
 
         case = MatrixProductCase()
         totals = []
-        for _ in range(3):
+        for _ in range(6):
             tracers = {}
             for pipeline in (False, True):
                 tracer = Tracer()

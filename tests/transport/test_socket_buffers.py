@@ -1,0 +1,132 @@
+"""The tunable socket buffer floor on the TCP transport."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.tcp import SOCKET_BUFFER_BYTES, TcpTransport, connect_tcp
+
+MIB = 1 << 20
+
+
+def tcp_socket_pair():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    client_sock = socket.create_connection(("127.0.0.1", port))
+    server_sock, _ = listener.accept()
+    listener.close()
+    return client_sock, server_sock
+
+
+class TestSocketBufferKnob:
+    def test_default_floor_is_4mib(self):
+        assert SOCKET_BUFFER_BYTES == 4 * MIB
+        a, b = tcp_socket_pair()
+        ta, tb = TcpTransport(a), TcpTransport(b)
+        try:
+            assert ta.socket_buffer_bytes == SOCKET_BUFFER_BYTES
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_custom_floor_is_applied(self):
+        a, b = tcp_socket_pair()
+        ta = TcpTransport(a, socket_buffer_bytes=8 * MIB)
+        tb = TcpTransport(b)
+        try:
+            assert ta.socket_buffer_bytes == 8 * MIB
+            # Linux reports doubled values; assert the floor held.
+            assert (
+                ta._sock.getsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF)
+                >= 8 * MIB
+            )
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_none_leaves_os_defaults(self):
+        a, b = tcp_socket_pair()
+        before = a.getsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF)
+        ta = TcpTransport(a, socket_buffer_bytes=None)
+        tb = TcpTransport(b)
+        try:
+            assert ta.socket_buffer_bytes is None
+            # The constructor must not have touched the buffer sizes.
+            assert (
+                ta._sock.getsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF)
+                == before
+            )
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_rejects_non_positive(self):
+        a, b = tcp_socket_pair()
+        try:
+            with pytest.raises(TransportError):
+                TcpTransport(a, socket_buffer_bytes=0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_connect_tcp_passes_the_knob_through(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        transport = connect_tcp(
+            "127.0.0.1", port, socket_buffer_bytes=2 * MIB
+        )
+        server_sock, _ = listener.accept()
+        listener.close()
+        try:
+            assert transport.socket_buffer_bytes == 2 * MIB
+        finally:
+            transport.close()
+            server_sock.close()
+
+    def test_daemon_override_wins_over_profile(self):
+        """``repro serve --socket-buffer-bytes`` beats the profile's
+        tuned value, which beats the transport default."""
+        from repro.rcuda import RCudaDaemon
+        from repro.simcuda import SimulatedGpu
+
+        explicit = RCudaDaemon(
+            SimulatedGpu(), profile="40GI", socket_buffer_bytes=8 * MIB
+        )
+        assert explicit.socket_buffer_bytes == 8 * MIB
+        profiled = RCudaDaemon(SimulatedGpu(), profile="40GI")
+        assert profiled.socket_buffer_bytes == (
+            profiled.transfer_config.socket_buffer_bytes
+        )
+        plain = RCudaDaemon(SimulatedGpu())
+        assert plain.socket_buffer_bytes == SOCKET_BUFFER_BYTES
+
+    def test_traffic_flows_with_tiny_buffers(self):
+        """A floor far below a chunk frame still moves the bytes -- the
+        vectored send loop handles the partial writes."""
+        a, b = tcp_socket_pair()
+        ta = TcpTransport(a, socket_buffer_bytes=1)
+        tb = TcpTransport(b)
+        payload = b"z" * (1 * MIB)
+        try:
+            import threading
+
+            received = {}
+
+            def reader():
+                received["data"] = tb.recv_exact(len(payload))
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            ta.send_vectored([payload])
+            thread.join(timeout=10)
+            assert received["data"] == payload
+        finally:
+            ta.close()
+            tb.close()

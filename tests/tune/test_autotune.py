@@ -1,0 +1,136 @@
+"""Online retuning: drift fires, the live knobs walk to the tuned config."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.simlink import SimulatedLink
+from repro.net.spec import get_network
+from repro.obs import ConformanceMonitor, Tracer
+from repro.rcuda import RCudaClient, RCudaDaemon
+from repro.simcuda import MemcpyKind, SimulatedGpu
+from repro.transport.inproc import inproc_pair
+from repro.transport.timed import TimedTransport
+from repro.tune.autotune import AutoTuner
+from repro.tune.table import SHIPPED_TABLE
+from repro.workloads.matmul import MatrixProductCase
+
+MIB = 1 << 20
+
+
+def retune_session(actual: str, assumed: str):
+    """A session on ``actual``'s link launched with ``assumed``'s profile,
+    spans carrying the link's virtual clock."""
+    link = SimulatedLink(get_network(actual))
+    tracer = Tracer(clock=link.clock)
+    daemon = RCudaDaemon(SimulatedGpu(functional=False))
+    client_end, server_end = inproc_pair()
+    daemon.serve_transport(server_end)
+    client = RCudaClient.connect(
+        TimedTransport(client_end, link),
+        MatrixProductCase().module(),
+        tracer=tracer,
+        profile=assumed,
+    )
+    monitor = ConformanceMonitor(get_network(assumed))
+    tuner = AutoTuner(client.runtime, monitor)
+    return client, daemon, tracer, tuner
+
+
+def stream_copies(client, tracer, tuner, copies=24, nbytes=8 * MIB):
+    rt = client.runtime
+    host = np.zeros(nbytes, dtype=np.uint8)
+    err, ptr = rt.cudaMalloc(nbytes)
+    for _ in range(copies):
+        rt.cudaMemcpy(
+            ptr, 0, nbytes, MemcpyKind.cudaMemcpyHostToDevice,
+            host_data=host,
+        )
+        for span in tracer.spans:
+            tuner.observe(span)
+        tracer.spans.clear()
+    rt.cudaFree(ptr)
+
+
+class TestRetuneConvergence:
+    def test_wrong_profile_converges_to_the_links_tuned_config(self):
+        """The ISSUE's retune demo: a 40GI-profiled session on a GigaE
+        link drifts, and the tuner steps the pipeline window from the
+        40GI setting to within one rung of GigaE's tuned value."""
+        client, daemon, tracer, tuner = retune_session("GigaE", "40GI")
+        try:
+            start_window = client.runtime.pipeline_window
+            stream_copies(client, tracer, tuner)
+        finally:
+            client.close()
+            daemon.stop()
+        status = tuner.status()
+        assert status["drift_status"] == "drift"
+        assert tuner.steps, "drift must have produced live steps"
+        assert status["target_profile"] == "GigaE"
+        assert tuner.converged()
+        tuned = SHIPPED_TABLE["GigaE"].config
+        assert client.runtime.pipeline_window != start_window
+        # Within one ladder rung of the actual link's tuned window.
+        assert client.runtime.pipeline_window in (
+            tuned.pipeline_window, tuned.pipeline_window // 2,
+        )
+
+    def test_right_profile_never_steps(self):
+        """No drift, no retuning: a correctly-profiled session keeps its
+        knobs untouched."""
+        client, daemon, tracer, tuner = retune_session("GigaE", "GigaE")
+        try:
+            window = client.runtime.pipeline_window
+            chunk = client.runtime.chunk_bytes
+            stream_copies(client, tracer, tuner, copies=12)
+        finally:
+            client.close()
+            daemon.stop()
+        assert not tuner.steps
+        assert client.runtime.pipeline_window == window
+        assert client.runtime.chunk_bytes == chunk
+        assert tuner.status()["drift_status"] in ("ok", "no-data")
+
+    def test_disabled_tuner_observes_but_never_acts(self):
+        client, daemon, tracer, tuner = retune_session("GigaE", "40GI")
+        tuner.enabled = False
+        try:
+            window = client.runtime.pipeline_window
+            stream_copies(client, tracer, tuner, copies=12)
+        finally:
+            client.close()
+            daemon.stop()
+        assert tuner.streamed_observations > 0
+        assert not tuner.steps
+        assert client.runtime.pipeline_window == window
+
+    def test_bandwidth_estimate_lands_near_the_link(self):
+        client, daemon, tracer, tuner = retune_session("GigaE", "40GI")
+        try:
+            stream_copies(client, tracer, tuner, copies=12)
+        finally:
+            client.close()
+            daemon.stop()
+        bw = tuner.observed_bw_mibps
+        spec = get_network("GigaE")
+        # Effective (goodput) bandwidth: same order as the link's rating,
+        # below it (round trips and device time are in the denominator).
+        assert bw is not None
+        assert 0.2 * spec.effective_bw_mibps < bw < 3 * spec.effective_bw_mibps
+
+    def test_status_block_shape(self):
+        client, daemon, tracer, tuner = retune_session("GigaE", "40GI")
+        try:
+            stream_copies(client, tracer, tuner, copies=8)
+        finally:
+            client.close()
+            daemon.stop()
+        status = tuner.status()
+        for key in (
+            "enabled", "observations", "streamed_observations",
+            "drift_events", "drift_status", "observed_bw_mibps",
+            "target_profile", "converged", "steps", "last_step",
+            "chunk_bytes", "pipeline_window",
+        ):
+            assert key in status

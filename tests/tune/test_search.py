@@ -1,0 +1,88 @@
+"""The offline search driver and the CI re-evaluation gate."""
+
+from __future__ import annotations
+
+import json
+
+from repro.tune.search import (
+    reevaluate_shipped,
+    run_tuning,
+    space_summary,
+    tune_network,
+)
+from repro.tune.space import DEFAULT_SPACE
+
+
+class TestTuneNetwork:
+    def test_best_never_loses_to_default(self):
+        """The incumbent starts at the default, so the winner's score is
+        at most the default's -- the search can only improve."""
+        result = tune_network(
+            "40GI", seed=3, rung0_candidates=4, survivors=2, sweeps=1
+        )
+        assert result.best.aggregate <= result.default.aggregate
+        assert result.ratio <= 1.0
+
+    def test_trial_log_records_every_stage(self):
+        result = tune_network(
+            "A-HT", seed=1, rung0_candidates=4, survivors=2, sweeps=1
+        )
+        stages = {t.stage for t in result.trials}
+        assert "default" in stages
+        assert "rung0" in stages
+        assert "rung1" in stages
+        ids = [t.trial_id for t in result.trials]
+        assert ids == list(range(len(ids)))
+
+    def test_winner_stays_inside_the_space(self):
+        result = tune_network(
+            "GigaE", seed=2, rung0_candidates=4, survivors=2, sweeps=1
+        )
+        DEFAULT_SPACE.validate(result.best.config)
+
+    def test_same_seed_reproduces_the_search(self):
+        a = tune_network("Myr", seed=5, rung0_candidates=4, survivors=2,
+                         sweeps=1)
+        b = tune_network("Myr", seed=5, rung0_candidates=4, survivors=2,
+                         sweeps=1)
+        assert a.best.config == b.best.config
+        assert [t.config for t in a.trials] == [t.config for t in b.trials]
+
+
+class TestRunTuning:
+    def test_writes_the_bench_document(self, tmp_path):
+        out = tmp_path / "BENCH_tuning.json"
+        doc = run_tuning(
+            networks=("40GI",), seed=0, out_path=str(out),
+            rung0_candidates=4, survivors=2, sweeps=1,
+        )
+        on_disk = json.loads(out.read_text())
+        assert on_disk["summary"] == doc["summary"]
+        entry = on_disk["networks"]["40GI"]
+        assert entry["trials"]
+        assert entry["best"]["aggregate_seconds"] <= (
+            entry["default"]["aggregate_seconds"]
+        )
+        assert set(on_disk["space"]) == {
+            k.name for k in DEFAULT_SPACE.knobs
+        }
+
+    def test_space_summary_names_every_knob(self):
+        summary = space_summary()
+        assert set(summary) == {k.name for k in DEFAULT_SPACE.knobs}
+        for info in summary.values():
+            assert info["prior"] in info["values"]
+
+
+class TestShippedGate:
+    def test_shipped_configs_hold_their_recorded_scores(self):
+        """The CI gate itself: every committed config re-evaluates
+        within tolerance of the score recorded when the table shipped."""
+        rows = reevaluate_shipped(tolerance=0.05)
+        assert len(rows) == 7
+        bad = [r for r in rows if not r["ok"]]
+        assert not bad, f"shipped configs regressed: {bad}"
+
+    def test_network_filter(self):
+        rows = reevaluate_shipped(networks=("GigaE",))
+        assert [r["network"] for r in rows] == ["GigaE"]

@@ -1,0 +1,137 @@
+"""The declarative tuning space: knobs, configs, ladder arithmetic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tune.space import (
+    ADAPTIVE,
+    DEFAULT_SPACE,
+    Knob,
+    TransferConfig,
+    TuningSpace,
+)
+
+KIB = 1 << 10
+MIB = 1 << 20
+
+
+class TestKnob:
+    def test_rejects_prior_off_the_ladder(self):
+        with pytest.raises(ConfigurationError):
+            Knob("k", (1, 2, 3), prior=4)
+
+    def test_rejects_empty_and_duplicate_ladders(self):
+        with pytest.raises(ConfigurationError):
+            Knob("k", (), prior=1)
+        with pytest.raises(ConfigurationError):
+            Knob("k", (1, 1), prior=1)
+
+    def test_neighbours_are_one_rung_moves(self):
+        k = Knob("k", (1, 2, 4, 8), prior=1)
+        assert k.neighbours(1) == [2]
+        assert k.neighbours(4) == [2, 8]
+        assert k.neighbours(8) == [4]
+
+    def test_unknown_value_raises(self):
+        k = Knob("k", (1, 2), prior=1)
+        with pytest.raises(ConfigurationError):
+            k.index(3)
+
+    def test_step_toward_moves_one_rung(self):
+        k = Knob("k", (0, 4, 8, 16), prior=0)
+        assert k.step_toward(0, 16) == 4
+        assert k.step_toward(16, 0) == 8
+        assert k.step_toward(8, 8) == 8
+
+
+class TestTransferConfig:
+    def test_defaults_are_the_static_behaviour(self):
+        cfg = TransferConfig()
+        assert cfg.chunk_bytes is ADAPTIVE
+        assert cfg.stream_threshold == 1 * MIB
+        assert cfg.pipeline_window == 0
+        assert cfg.socket_buffer_bytes == 4 * MIB
+        assert cfg.malloc_policy == "first-fit"
+        assert cfg.launch_coalesce_width == 16
+        assert cfg.d2d_route == "direct"
+
+    def test_dict_round_trip(self):
+        cfg = TransferConfig(chunk_bytes=256 * KIB, pipeline_window=8)
+        assert TransferConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            TransferConfig.from_dict({"nagle": True})
+
+    def test_client_kwargs_sync_and_pipelined(self):
+        sync = TransferConfig().client_kwargs()
+        assert sync["pipeline"] is False
+        assert sync["pipeline_window"] is None
+        piped = TransferConfig(pipeline_window=8).client_kwargs()
+        assert piped["pipeline"] is True
+        assert piped["pipeline_window"] == 8
+
+
+class TestTuningSpace:
+    def test_default_config_is_all_priors(self):
+        assert DEFAULT_SPACE.default_config() == TransferConfig()
+
+    def test_random_configs_stay_inside_the_space(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            DEFAULT_SPACE.validate(DEFAULT_SPACE.random_config(rng))
+
+    def test_validate_rejects_off_ladder_values(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_SPACE.validate(TransferConfig(chunk_bytes=12345))
+
+    def test_neighbours_differ_in_exactly_one_knob(self):
+        cfg = DEFAULT_SPACE.default_config()
+        for name, cand in DEFAULT_SPACE.neighbours(cfg):
+            diff = [
+                k for k in cfg.to_dict()
+                if getattr(cand, k) != getattr(cfg, k)
+            ]
+            assert diff == [name]
+
+    def test_neighbour_filter_restricts_knobs(self):
+        cfg = DEFAULT_SPACE.default_config()
+        names = {
+            name
+            for name, _ in DEFAULT_SPACE.neighbours(
+                cfg, knob_names=("pipeline_window",)
+            )
+        }
+        assert names == {"pipeline_window"}
+
+    def test_step_toward_converges_along_ladders(self):
+        space = DEFAULT_SPACE
+        current = TransferConfig(pipeline_window=0, chunk_bytes=None)
+        target = TransferConfig(pipeline_window=16, chunk_bytes=128 * KIB)
+        seen = 0
+        while current != space.step_toward(current, target):
+            current = space.step_toward(current, target)
+            seen += 1
+            assert seen < 20, "step_toward must converge"
+        assert current.pipeline_window == 16
+        assert current.chunk_bytes == 128 * KIB
+
+    def test_rung_distance(self):
+        a = TransferConfig()
+        b = TransferConfig(pipeline_window=8)
+        dist = DEFAULT_SPACE.rung_distance(a, b)
+        assert dist["pipeline_window"] == 2  # 0 -> 4 -> 8
+        assert dist["chunk_bytes"] == 0
+
+    def test_duplicate_knob_names_rejected(self):
+        k = Knob("pipeline_window", (0, 4), prior=0)
+        with pytest.raises(ConfigurationError):
+            TuningSpace(knobs=(k, k))
+
+    def test_knob_must_map_to_a_config_field(self):
+        with pytest.raises(ConfigurationError):
+            TuningSpace(knobs=(Knob("warp_size", (32,), prior=32),))

@@ -1,0 +1,66 @@
+"""The virtual-clock evaluation harness the search scores configs on."""
+
+from __future__ import annotations
+
+from repro.tune.space import DEFAULT_SPACE
+from repro.tune.workloads import (
+    NETWORK_NAMES,
+    WORKLOADS,
+    aggregate_seconds,
+    evaluate_config,
+    workload_names,
+)
+
+MIB = 1 << 20
+
+
+class TestMatrix:
+    def test_quick_subset_is_a_proper_subset(self):
+        quick = set(workload_names(quick=True))
+        full = set(workload_names())
+        assert quick < full
+        assert {"burst", "stream-8mib"} <= quick
+
+    def test_workload_names_are_unique(self):
+        names = [w.name for w in WORKLOADS]
+        assert len(set(names)) == len(names)
+
+
+class TestEvaluate:
+    def test_scores_are_positive_and_deterministic(self):
+        cfg = DEFAULT_SPACE.default_config()
+        first = evaluate_config("40GI", cfg, quick=True)
+        second = evaluate_config("40GI", cfg, quick=True)
+        assert first == second
+        assert all(v > 0 for v in first.values())
+        assert aggregate_seconds(first) == sum(first.values())
+
+    def test_slower_network_costs_more(self):
+        cfg = DEFAULT_SPACE.default_config()
+        gigae = evaluate_config("GigaE", cfg, workloads=("stream-8mib",))
+        aht = evaluate_config("A-HT", cfg, workloads=("stream-8mib",))
+        assert gigae["stream-8mib"] > 5 * aht["stream-8mib"]
+
+    def test_pipeline_window_cuts_the_burst_score(self):
+        base = DEFAULT_SPACE.default_config()
+        piped = base.replace(pipeline_window=64)
+        sync_score = evaluate_config("GigaE", base, workloads=("burst",))
+        piped_score = evaluate_config("GigaE", piped, workloads=("burst",))
+        assert piped_score["burst"] < sync_score["burst"]
+
+    def test_staged_d2d_costs_payload_on_the_wire(self):
+        base = DEFAULT_SPACE.default_config()
+        staged = base.replace(d2d_route="staged")
+        direct = evaluate_config("GigaE", base, workloads=("d2d-8mib",))
+        bounced = evaluate_config("GigaE", staged, workloads=("d2d-8mib",))
+        # The direct route ships no payload; staged pays 8 MiB twice.
+        assert bounced["d2d-8mib"] > 20 * direct["d2d-8mib"]
+
+    def test_workload_filter(self):
+        cfg = DEFAULT_SPACE.default_config()
+        only = evaluate_config("Myr", cfg, workloads=("mm-256",))
+        assert set(only) == {"mm-256"}
+
+    def test_network_names_cover_the_paper(self):
+        assert len(NETWORK_NAMES) == 7
+        assert NETWORK_NAMES[0] == "GigaE"
